@@ -1,0 +1,51 @@
+// Package causality implements the context-propagation side of §4.2: when
+// application processes interact out of band (RPC between Web servers,
+// messages to workers), the causal constraints their services track must
+// travel with the interaction, or the services cannot order causally
+// related transactions.
+//
+// A Baggage is the paper's propagated context: per-service opaque tokens
+// (Spanner-RSS's minimum read timestamp t_min; Gryff-RSC's dependency
+// tuple) plus the name of the last RSS service the sender used, which
+// libRSS needs to fence correctly at the receiver.
+package causality
+
+// Baggage carries causal metadata between application processes.
+type Baggage struct {
+	// LastService is the sender's most recent RSS service (for libRSS).
+	LastService string
+	// Tokens maps service name to that service's causal token.
+	Tokens map[string]any
+}
+
+// New returns an empty baggage.
+func New() Baggage {
+	return Baggage{Tokens: make(map[string]any)}
+}
+
+// Set stores a service's token.
+func (b *Baggage) Set(service string, token any) {
+	if b.Tokens == nil {
+		b.Tokens = make(map[string]any)
+	}
+	b.Tokens[service] = token
+}
+
+// Get fetches a service's token.
+func (b Baggage) Get(service string) (any, bool) {
+	t, ok := b.Tokens[service]
+	return t, ok
+}
+
+// Merge folds another baggage into this one; Merge keeps other's tokens on
+// conflict (callers merge in causal order, newest last). Services whose
+// tokens are ordered (like t_min) should re-merge with their own maximum
+// when extracting.
+func (b *Baggage) Merge(other Baggage) {
+	if other.LastService != "" {
+		b.LastService = other.LastService
+	}
+	for k, v := range other.Tokens {
+		b.Set(k, v)
+	}
+}

@@ -1,0 +1,50 @@
+package causality
+
+import "testing"
+
+func TestSetGet(t *testing.T) {
+	b := New()
+	if _, ok := b.Get("kv"); ok {
+		t.Error("empty baggage has a token")
+	}
+	b.Set("kv", int64(42))
+	v, ok := b.Get("kv")
+	if !ok || v.(int64) != 42 {
+		t.Errorf("Get = %v, %v", v, ok)
+	}
+}
+
+func TestSetOnZeroValue(t *testing.T) {
+	var b Baggage
+	b.Set("kv", "tok")
+	if v, ok := b.Get("kv"); !ok || v != "tok" {
+		t.Error("Set on zero-value baggage failed")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := New()
+	a.LastService = "kv"
+	a.Set("kv", 1)
+	a.Set("q", "qa")
+
+	b := New()
+	b.LastService = "queue"
+	b.Set("kv", 2)
+
+	a.Merge(b)
+	if a.LastService != "queue" {
+		t.Errorf("LastService = %q", a.LastService)
+	}
+	if v, _ := a.Get("kv"); v != 2 {
+		t.Errorf("merge did not keep the newer token: %v", v)
+	}
+	if v, _ := a.Get("q"); v != "qa" {
+		t.Errorf("merge dropped an unrelated token: %v", v)
+	}
+	// Merging an empty baggage changes nothing.
+	a.Merge(Baggage{})
+	if a.LastService != "queue" {
+		t.Error("empty merge clobbered LastService")
+	}
+}

@@ -1,0 +1,210 @@
+// Package core defines the paper's formal artifacts as executable Go: typed
+// operation records, the real-time (→) and potential-causality (⇝) orders
+// over them, and the consistency models of §2–§3 as named constants with
+// their defining conditions. The history package checks finite histories
+// against these models; the librss package implements §4's composition
+// protocol over the RealTimeFence interface defined here.
+package core
+
+import (
+	"fmt"
+
+	"rsskv/internal/sim"
+)
+
+// Model names a consistency model from the paper.
+type Model int
+
+// The models discussed in the paper, strongest first within each family.
+const (
+	// StrictSerializability: transactions appear to execute sequentially
+	// in an order consistent with real time (Papadimitriou [75]).
+	StrictSerializability Model = iota
+	// RSS: regular sequential serializability (§3.4). Sequential, causal
+	// order respected, and completed writes are visible to conflicting
+	// transactions and all writes that follow them in real time.
+	RSS
+	// POSerializability: process-ordered serializability — sequential and
+	// consistent with each client's process order only [24, 56].
+	POSerializability
+	// Linearizability: the non-transactional analogue of strict
+	// serializability (Herlihy & Wing [37]).
+	Linearizability
+	// RSC: regular sequential consistency (§3.4), the non-transactional
+	// analogue of RSS.
+	RSC
+	// SequentialConsistency: the non-transactional analogue of
+	// PO-serializability (Lamport [45]).
+	SequentialConsistency
+)
+
+func (m Model) String() string {
+	switch m {
+	case StrictSerializability:
+		return "strict-serializability"
+	case RSS:
+		return "regular-sequential-serializability"
+	case POSerializability:
+		return "process-ordered-serializability"
+	case Linearizability:
+		return "linearizability"
+	case RSC:
+		return "regular-sequential-consistency"
+	case SequentialConsistency:
+		return "sequential-consistency"
+	}
+	return fmt.Sprintf("model(%d)", int(m))
+}
+
+// Transactional reports whether the model constrains transactions (true) or
+// single-object operations (false).
+func (m Model) Transactional() bool {
+	switch m {
+	case StrictSerializability, RSS, POSerializability:
+		return true
+	}
+	return false
+}
+
+// OpType classifies operations in a history.
+type OpType int
+
+// Operation types. Register operations (Read, Write, RMW) are used by
+// Gryff-style services; transaction types (ROTxn, RWTxn) by Spanner-style
+// services; Enqueue/Dequeue by the messaging service; Fence is a real-time
+// fence (§4.1).
+const (
+	Read OpType = iota
+	Write
+	RMW
+	ROTxn
+	RWTxn
+	Enqueue
+	Dequeue
+	Fence
+)
+
+func (t OpType) String() string {
+	switch t {
+	case Read:
+		return "read"
+	case Write:
+		return "write"
+	case RMW:
+		return "rmw"
+	case ROTxn:
+		return "ro-txn"
+	case RWTxn:
+		return "rw-txn"
+	case Enqueue:
+		return "enqueue"
+	case Dequeue:
+		return "dequeue"
+	case Fence:
+		return "fence"
+	}
+	return "unknown"
+}
+
+// IsWrite reports whether the operation type mutates service state (the set
+// W in the paper's definitions).
+func (t OpType) IsWrite() bool {
+	switch t {
+	case Write, RMW, RWTxn, Enqueue, Dequeue:
+		return true
+	}
+	return false
+}
+
+// Op is one completed (or pending) operation in a recorded history.
+//
+// Values written are required to be globally unique within a history so the
+// reads-from relation is unambiguous; the services in this repository tag
+// every write with a unique value for exactly this purpose when history
+// recording is enabled.
+type Op struct {
+	// ID is unique within a history.
+	ID int64
+	// Client identifies the issuing application process.
+	Client int
+	// Service names the service instance (for composition histories).
+	Service string
+	// Type classifies the operation.
+	Type OpType
+
+	// Invoke and Respond are the real-time invocation and response
+	// instants. A pending operation (invocation without response) has
+	// Respond == -1 and participates only on the right of →.
+	Invoke  sim.Time
+	Respond sim.Time
+
+	// Register / queue payload.
+	Key   string
+	Value string // value written (writes) or returned (reads/dequeues)
+
+	// Transaction payload: the keys read with the values returned, and
+	// the keys written with the (unique) values written.
+	Reads  map[string]string
+	Writes map[string]string
+
+	// Version is the service-assigned serialization point: Spanner commit
+	// or snapshot timestamp, or the total order index of a Gryff
+	// carstamp. Checkers use it as the candidate total order and verify
+	// the model's conditions against it.
+	Version int64
+
+	// HappensAfter lists IDs of operations that causally precede this one
+	// through out-of-band message passing (⇝ case (2) of §3.3), e.g. the
+	// photo-share Web server telling another process a photo ID. Process
+	// order and reads-from edges are derived, not listed.
+	HappensAfter []int64
+}
+
+// Complete reports whether the operation has a response.
+func (o *Op) Complete() bool { return o.Respond >= 0 }
+
+// Pending marks the response of an operation that never completed.
+const Pending sim.Time = -1
+
+// RealTime reports o1 → o2: o1's response precedes o2's invocation
+// (§3.3, "Real-time order").
+func RealTime(o1, o2 *Op) bool {
+	return o1.Complete() && o1.Respond < o2.Invoke
+}
+
+// ConflictsTxn reports whether read-only transaction ro conflicts with
+// read-write transaction rw: rw writes a key ro reads (§3.3,
+// "Conflicting operations").
+func ConflictsTxn(rw, ro *Op) bool {
+	for k := range rw.Writes {
+		if _, ok := ro.Reads[k]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// ConflictsReg reports whether read r conflicts with write w: same key.
+func ConflictsReg(w, r *Op) bool { return w.Key == r.Key }
+
+// RealTimeFence is the per-service fence mechanism of §4.1: after the fence
+// completes, every transaction (operation) that causally preceded the fence
+// is serialized before any transaction that follows the fence in real time,
+// at this service.
+type RealTimeFence interface {
+	// Fence blocks (in virtual time) until the guarantee holds, then
+	// calls done. Implementations: Spanner-RSS waits until
+	// t_min + L < TT.now().earliest (§5.1); Gryff-RSC writes back the
+	// pending dependency tuple (§7.1); linearizable services are no-ops.
+	Fence(done func())
+}
+
+// FenceFunc adapts a function to the RealTimeFence interface.
+type FenceFunc func(done func())
+
+// Fence implements RealTimeFence.
+func (f FenceFunc) Fence(done func()) { f(done) }
+
+// NoopFence is the fence of an already-linearizable (strictly serializable)
+// service: real-time order is universal, so no work is needed.
+var NoopFence RealTimeFence = FenceFunc(func(done func()) { done() })

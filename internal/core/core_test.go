@@ -1,0 +1,114 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestModelStrings(t *testing.T) {
+	cases := map[Model]string{
+		StrictSerializability: "strict-serializability",
+		RSS:                   "regular-sequential-serializability",
+		POSerializability:     "process-ordered-serializability",
+		Linearizability:       "linearizability",
+		RSC:                   "regular-sequential-consistency",
+		SequentialConsistency: "sequential-consistency",
+	}
+	for m, want := range cases {
+		if m.String() != want {
+			t.Errorf("%d.String() = %q, want %q", m, m.String(), want)
+		}
+	}
+	if Model(99).String() != "model(99)" {
+		t.Errorf("unknown model string = %q", Model(99).String())
+	}
+}
+
+func TestTransactionalClassification(t *testing.T) {
+	for _, m := range []Model{StrictSerializability, RSS, POSerializability} {
+		if !m.Transactional() {
+			t.Errorf("%v should be transactional", m)
+		}
+	}
+	for _, m := range []Model{Linearizability, RSC, SequentialConsistency} {
+		if m.Transactional() {
+			t.Errorf("%v should not be transactional", m)
+		}
+	}
+}
+
+func TestOpTypeStringsAndWrites(t *testing.T) {
+	names := map[OpType]string{
+		Read: "read", Write: "write", RMW: "rmw", ROTxn: "ro-txn",
+		RWTxn: "rw-txn", Enqueue: "enqueue", Dequeue: "dequeue", Fence: "fence",
+		OpType(42): "unknown",
+	}
+	for typ, want := range names {
+		if typ.String() != want {
+			t.Errorf("%d.String() = %q", typ, typ.String())
+		}
+	}
+	writes := map[OpType]bool{
+		Read: false, Write: true, RMW: true, ROTxn: false,
+		RWTxn: true, Enqueue: true, Dequeue: true, Fence: false,
+	}
+	for typ, want := range writes {
+		if typ.IsWrite() != want {
+			t.Errorf("%v.IsWrite() = %v, want %v", typ, typ.IsWrite(), want)
+		}
+	}
+}
+
+func TestRealTime(t *testing.T) {
+	a := &Op{Invoke: 0, Respond: 10}
+	b := &Op{Invoke: 20, Respond: 30}
+	c := &Op{Invoke: 5, Respond: 15} // overlaps a
+	pending := &Op{Invoke: 0, Respond: Pending}
+	if !RealTime(a, b) {
+		t.Error("a → b expected")
+	}
+	if RealTime(b, a) || RealTime(a, c) || RealTime(c, a) {
+		t.Error("unexpected real-time edges")
+	}
+	if RealTime(pending, b) {
+		t.Error("pending op cannot precede anything")
+	}
+	if !RealTime(a, pending) == false {
+		// a responded at 10, pending invoked at 0: no edge.
+		t.Error("edge into earlier-invoked pending op")
+	}
+	if pending.Complete() || !a.Complete() {
+		t.Error("Complete() wrong")
+	}
+}
+
+func TestConflicts(t *testing.T) {
+	rw := &Op{Type: RWTxn, Writes: map[string]string{"a": "1", "b": "2"}}
+	ro1 := &Op{Type: ROTxn, Reads: map[string]string{"b": "", "c": ""}}
+	ro2 := &Op{Type: ROTxn, Reads: map[string]string{"c": "", "d": ""}}
+	if !ConflictsTxn(rw, ro1) {
+		t.Error("rw and ro1 conflict on b")
+	}
+	if ConflictsTxn(rw, ro2) {
+		t.Error("rw and ro2 do not conflict")
+	}
+	w := &Op{Type: Write, Key: "x"}
+	r := &Op{Type: Read, Key: "x"}
+	r2 := &Op{Type: Read, Key: "y"}
+	if !ConflictsReg(w, r) || ConflictsReg(w, r2) {
+		t.Error("register conflict detection wrong")
+	}
+}
+
+func TestNoopFence(t *testing.T) {
+	called := false
+	NoopFence.Fence(func() { called = true })
+	if !called {
+		t.Error("noop fence did not call done")
+	}
+	var f RealTimeFence = FenceFunc(func(done func()) { done() })
+	called = false
+	f.Fence(func() { called = true })
+	if !called {
+		t.Error("FenceFunc adapter broken")
+	}
+}

@@ -1,0 +1,144 @@
+package exp
+
+import (
+	"testing"
+
+	"rsskv/internal/gryff"
+	"rsskv/internal/sim"
+	"rsskv/internal/spanner"
+)
+
+func TestFig7PointShapes(t *testing.T) {
+	// At a high write ratio and 25% conflicts, Gryff's p99 read latency
+	// must exceed one quorum round (slow paths), while Gryff-RSC's p99
+	// stays at the one-round bound (~145ms from IR).
+	cfg := DefaultFig7(25, true)
+	cfg.Duration = 60 * sim.Second
+	b := RunFig7Point(cfg, gryff.ModeLinearizable, 0.7)
+	r := RunFig7Point(cfg, gryff.ModeRSC, 0.7)
+	if b.Reads.N() < 500 || r.Reads.N() < 500 {
+		t.Fatalf("too few reads: %d / %d", b.Reads.N(), r.Reads.N())
+	}
+	bp, rp := b.Reads.PercentileMs(99), r.Reads.PercentileMs(99)
+	if rp > 150 {
+		t.Errorf("Gryff-RSC p99 read = %.1fms, want ≤ ~146ms (always one round)", rp)
+	}
+	if bp < rp*1.3 {
+		t.Errorf("Gryff p99 read = %.1fms vs RSC %.1fms; expected ≥1.3× (slow paths)", bp, rp)
+	}
+	// Writes identical between systems (±5%).
+	bw, rw := b.Writes.PercentileMs(99), r.Writes.PercentileMs(99)
+	if rw > bw*1.05 || bw > rw*1.05 {
+		t.Errorf("write p99 differs: gryff %.1f vs rsc %.1f", bw, rw)
+	}
+}
+
+func TestFig7LowConflictNoGain(t *testing.T) {
+	// Figure 7a: with 2% conflicts and few writes, nearly all Gryff reads
+	// are one round, so both systems sit at the same p99.
+	cfg := DefaultFig7(2, true)
+	cfg.Duration = 40 * sim.Second
+	b := RunFig7Point(cfg, gryff.ModeLinearizable, 0.1)
+	r := RunFig7Point(cfg, gryff.ModeRSC, 0.1)
+	bp, rp := b.Reads.PercentileMs(99), r.Reads.PercentileMs(99)
+	if bp > rp*1.1 {
+		t.Errorf("low-conflict p99: gryff %.1f vs rsc %.1f; want ≈ equal", bp, rp)
+	}
+}
+
+func TestFig5PointShapes(t *testing.T) {
+	// At skew 0.9, Spanner-RSS must cut the p99 RO latency; RW latency
+	// must be essentially unchanged; and RSS RO latency must never beat
+	// physics (one round to the farthest touched shard).
+	cfg := DefaultFig5(0.9, true)
+	base := RunFig5(cfg, spanner.ModeStrict)
+	rss := RunFig5(cfg, spanner.ModeRSS)
+	if base.RO.N() < 1000 || rss.RO.N() < 1000 {
+		t.Fatalf("too few RO txns: %d / %d", base.RO.N(), rss.RO.N())
+	}
+	bp, rp := base.RO.PercentileMs(99), rss.RO.PercentileMs(99)
+	if rp >= bp {
+		t.Errorf("RSS p99 RO %.1fms not better than Spanner %.1fms at skew 0.9", rp, bp)
+	}
+	// RW transactions pay the same protocol cost in both systems. A
+	// loose bound absorbs second-order feedback at quick scale: faster
+	// ROs make partly-open sessions issue their next RW sooner, which
+	// raises contention slightly (the full runs match within 0.1%).
+	bw, rw := base.RW.PercentileMs(50), rss.RW.PercentileMs(50)
+	if rw > bw*1.30 || bw > rw*1.30 {
+		t.Errorf("RW p50 differs: %.1f vs %.1f", bw, rw)
+	}
+}
+
+func TestFig5LowSkewStillSane(t *testing.T) {
+	cfg := DefaultFig5(0.5, true)
+	base := RunFig5(cfg, spanner.ModeStrict)
+	rss := RunFig5(cfg, spanner.ModeRSS)
+	// Low contention: medians match (both bounded by wide-area RTT).
+	bm, rm := base.RO.PercentileMs(50), rss.RO.PercentileMs(50)
+	if rm > bm*1.1 || bm > rm*1.1 {
+		t.Errorf("p50 RO differs at low skew: %.1f vs %.1f", bm, rm)
+	}
+	// RSS never loses on the tail (paper: "never worse and often better").
+	if rp, bp := rss.RO.PercentileMs(99.9), base.RO.PercentileMs(99.9); rp > bp*1.1 {
+		t.Errorf("RSS p99.9 %.1fms worse than Spanner %.1fms at low skew", rp, bp)
+	}
+}
+
+func TestFig6Overhead(t *testing.T) {
+	// Spanner-RSS throughput within a few percent of Spanner under load.
+	cfg := DefaultFig6(true)
+	b := RunFig6Point(cfg, spanner.ModeStrict, 128)
+	r := RunFig6Point(cfg, spanner.ModeRSS, 128)
+	bt, rt := b.Throughput(), r.Throughput()
+	if bt == 0 || rt == 0 {
+		t.Fatal("no throughput measured")
+	}
+	if rt < bt*0.93 {
+		t.Errorf("RSS throughput %.0f below 93%% of Spanner's %.0f", rt, bt)
+	}
+}
+
+func TestGryffOverhead(t *testing.T) {
+	cfg := DefaultOverhead(true)
+	for _, wr := range []float64{0.5, 0.05} {
+		b := RunOverheadPoint(cfg, gryff.ModeLinearizable, 64, wr)
+		r := RunOverheadPoint(cfg, gryff.ModeRSC, 64, wr)
+		bt, rt := b.Throughput(), r.Throughput()
+		if rt < bt*0.95 {
+			t.Errorf("writeRatio %.2f: RSC throughput %.0f below 95%% of Gryff's %.0f", wr, rt, bt)
+		}
+	}
+}
+
+func TestTable1Matrix(t *testing.T) {
+	cfg := DefaultTable1(true)
+	strict := Table1Row(spanner.ModeStrict, true, true, cfg)
+	if strict.I1 != 0 || strict.I2 != 0 || strict.A2 != 0 || strict.A3 != 0 {
+		t.Errorf("strict serializability row not clean: %v", strict)
+	}
+	rss := Table1Row(spanner.ModeRSS, true, true, cfg)
+	if rss.I1 != 0 || rss.I2 != 0 || rss.A2 != 0 {
+		t.Errorf("RSS row: I1/I2/A2 must be zero: %v", rss)
+	}
+	po := Table1Row(spanner.ModePO, false, false, cfg)
+	if po.I1 != 0 {
+		t.Errorf("PO row: I1 must hold (consistent snapshots): %v", po)
+	}
+	if po.I2 == 0 {
+		t.Errorf("PO row: expected I2 violations: %v", po)
+	}
+	if po.A2 == 0 {
+		t.Errorf("PO row: expected A2 stale-read anomalies: %v", po)
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	tb := Table2()
+	if len(tb.Rows) != 5 || len(tb.Columns) != 5 {
+		t.Fatalf("table 2 is %dx%d", len(tb.Rows), len(tb.Columns))
+	}
+	if tb.Rows[2].Values[4] != 220 {
+		t.Errorf("IR-JP = %v, want 220", tb.Rows[2].Values[4])
+	}
+}

@@ -1,0 +1,123 @@
+package exp
+
+import (
+	"fmt"
+
+	"rsskv/internal/sim"
+	"rsskv/internal/spanner"
+	"rsskv/internal/stats"
+	"rsskv/internal/workload"
+)
+
+// Fig5Config parameterizes the §6.1 tail-latency experiment.
+type Fig5Config struct {
+	Skew     float64  // Zipfian skew: 0.5 (5a), 0.7 (5b), 0.9 (5c)
+	Keys     uint64   // key-space size (paper: 10M; default 1M)
+	Lambda   float64  // session arrivals/sec per region
+	Duration sim.Time // measured virtual time
+	Warmup   sim.Time
+	Seed     int64
+	Pool     int // session concurrency cap per region
+}
+
+// DefaultFig5 returns the defaults used by rssbench: load chosen to sit in
+// the moderate-utilization regime the paper targets (70–80% of saturation
+// is a CPU notion that does not transfer to the latency-bound simulator;
+// we instead match the paper's contention levels, which is what drives
+// Figure 5).
+func DefaultFig5(skew float64, quick bool) Fig5Config {
+	// Load calibration: the paper sets the offered load per workload to
+	// 70–80% of that workload's maximum throughput. In the wide-area
+	// setting the binding resource is the hottest key's lock (held ≈ one
+	// 2PC, 200–400 ms), so the sustainable rate falls with skew; λ is
+	// therefore skew-dependent, mirroring the paper's per-workload
+	// tuning. Overdriving the high-skew workload collapses both systems
+	// into lock convoys the paper's tuned load avoids.
+	lambda := 12.0
+	switch {
+	case skew >= 0.85:
+		lambda = 1.25
+	case skew >= 0.65:
+		lambda = 2.0
+	}
+	cfg := Fig5Config{
+		Skew:     skew,
+		Keys:     1_000_000,
+		Lambda:   lambda,
+		Duration: 600 * sim.Second,
+		Warmup:   20 * sim.Second,
+		Seed:     1,
+		Pool:     64,
+	}
+	if quick {
+		cfg.Keys = 100_000
+		cfg.Lambda = lambda * 0.6
+		cfg.Duration = 150 * sim.Second
+		cfg.Warmup = 5 * sim.Second
+	}
+	return cfg
+}
+
+// spanner3DC builds the paper's Spanner deployment: three shards with
+// leaders in CA, VA, IR, replicas in the other two regions, ε = 10 ms.
+func spanner3DC(w *sim.World, net *sim.Network, mode spanner.Mode) *spanner.Cluster {
+	return spanner.NewCluster(w, net, spanner.Config{
+		Mode:          mode,
+		NumShards:     3,
+		LeaderRegions: []sim.RegionID{0, 1, 2},
+		ReplicaRegions: [][]sim.RegionID{
+			{1, 2}, {0, 2}, {0, 1},
+		},
+		Epsilon: sim.Ms(10),
+	})
+}
+
+// RunFig5 runs one (mode, skew) cell and returns the metrics.
+func RunFig5(cfg Fig5Config, mode spanner.Mode) *Metrics {
+	net := sim.Topology3DC()
+	net.JitterMean = 100 * sim.Microsecond
+	w := sim.NewWorld(net, cfg.Seed)
+	cl := spanner3DC(w, net, mode)
+	z := workload.NewZipf(cfg.Keys, cfg.Skew)
+	m := &Metrics{Warmup: cfg.Warmup}
+	until := cfg.Warmup + cfg.Duration
+	for r := 0; r < 3; r++ {
+		g := &SpannerLoadGen{
+			Cluster: cl,
+			Region:  sim.RegionID(r),
+			Gen:     workload.NewRetwis(workload.Scrambled(z)),
+			Metrics: m,
+			Until:   until,
+			Lambda:  cfg.Lambda,
+			Stay:    0.9,
+			Clients: cfg.Pool,
+		}
+		g.Install(w)
+	}
+	w.Run(until + 30*sim.Second) // drain in-flight transactions
+	return m
+}
+
+// Fig5Percentiles are the tail points reported for Figure 5.
+var Fig5Percentiles = []float64{50, 90, 99, 99.5, 99.9}
+
+// Fig5 regenerates one panel of Figure 5: RO (and RW) latency
+// distributions for Spanner vs Spanner-RSS at the given skew.
+func Fig5(cfg Fig5Config) (*stats.Table, *Metrics, *Metrics) {
+	base := RunFig5(cfg, spanner.ModeStrict)
+	rss := RunFig5(cfg, spanner.ModeRSS)
+	t := &stats.Table{
+		Title:   fmt.Sprintf("Figure 5 (skew %.1f): latency ms — RO tail is the result", cfg.Skew),
+		Columns: []string{"spanner-RO", "rss-RO", "RO-gain%", "spanner-RW", "rss-RW"},
+	}
+	for _, p := range Fig5Percentiles {
+		b, r := base.RO.PercentileMs(p), rss.RO.PercentileMs(p)
+		gain := 0.0
+		if b > 0 {
+			gain = (b - r) / b * 100
+		}
+		t.Add(fmt.Sprintf("p%g", p), b, r, gain, base.RW.PercentileMs(p), rss.RW.PercentileMs(p))
+	}
+	t.Add("count", float64(base.RO.N()), float64(rss.RO.N()), 0, float64(base.RW.N()), float64(rss.RW.N()))
+	return t, base, rss
+}

@@ -1,0 +1,96 @@
+package exp
+
+import (
+	"fmt"
+
+	"rsskv/internal/sim"
+	"rsskv/internal/spanner"
+	"rsskv/internal/stats"
+	"rsskv/internal/workload"
+)
+
+// Fig6Config parameterizes the §6.2 peak-load experiment: uniform keys,
+// TrueTime error zero, all shards in one data center with ≤200µs latency,
+// eight shards with dedicated CPUs, closed-loop clients.
+type Fig6Config struct {
+	Keys     uint64
+	Shards   int
+	ProcTime sim.Time // per-message CPU cost at leaders and acceptors
+	Duration sim.Time
+	Warmup   sim.Time
+	Sweep    []int // closed-loop client counts
+	Seed     int64
+}
+
+// DefaultFig6 returns the defaults used by rssbench.
+func DefaultFig6(quick bool) Fig6Config {
+	cfg := Fig6Config{
+		Keys:     1_000_000,
+		Shards:   8,
+		ProcTime: 20 * sim.Microsecond,
+		Duration: 6 * sim.Second,
+		Warmup:   2 * sim.Second,
+		Sweep:    []int{8, 32, 128, 256, 384},
+		Seed:     1,
+	}
+	if quick {
+		cfg.Keys = 100_000
+		cfg.Duration = 3 * sim.Second
+		cfg.Warmup = 500 * sim.Millisecond
+		cfg.Sweep = []int{16, 128}
+	}
+	return cfg
+}
+
+// RunFig6Point runs one (mode, clients) cell.
+func RunFig6Point(cfg Fig6Config, mode spanner.Mode, clients int) *Metrics {
+	net := sim.TopologyLocal(1, 200*sim.Microsecond)
+	w := sim.NewWorld(net, cfg.Seed)
+	leaders := make([]sim.RegionID, cfg.Shards)
+	replicas := make([][]sim.RegionID, cfg.Shards)
+	for i := range replicas {
+		replicas[i] = []sim.RegionID{0, 0}
+	}
+	cl := spanner.NewCluster(w, net, spanner.Config{
+		Mode:           mode,
+		NumShards:      cfg.Shards,
+		LeaderRegions:  leaders,
+		ReplicaRegions: replicas,
+		Epsilon:        0,
+		ProcTime:       cfg.ProcTime,
+	})
+	m := &Metrics{Warmup: cfg.Warmup}
+	until := cfg.Warmup + cfg.Duration
+	g := &SpannerLoadGen{
+		Cluster: cl,
+		Region:  0,
+		Gen:     workload.NewRetwis(workload.NewUniform(cfg.Keys)),
+		Metrics: m,
+		Until:   until,
+		Clients: clients, // Lambda 0 → closed loop
+	}
+	g.Install(w)
+	w.Run(until + 5*sim.Second)
+	return m
+}
+
+// Fig6 regenerates Figure 6: throughput vs p50 latency as closed-loop
+// clients increase, for Spanner and Spanner-RSS.
+func Fig6(cfg Fig6Config) *stats.Table {
+	t := &stats.Table{
+		Title:   "Figure 6: throughput (txn/s) vs p50 latency (ms) under increasing closed-loop load",
+		Columns: []string{"spanner-tput", "spanner-p50ms", "rss-tput", "rss-p50ms"},
+	}
+	for _, n := range cfg.Sweep {
+		b := RunFig6Point(cfg, spanner.ModeStrict, n)
+		r := RunFig6Point(cfg, spanner.ModeRSS, n)
+		t.Add(fmt.Sprintf("%d clients", n),
+			b.Throughput(), combinedP50(b), r.Throughput(), combinedP50(r))
+	}
+	return t
+}
+
+// combinedP50 is the median latency over all transactions (RO and RW).
+func combinedP50(m *Metrics) float64 {
+	return stats.Merge(&m.RO, &m.RW).PercentileMs(50)
+}

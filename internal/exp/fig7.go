@@ -1,0 +1,116 @@
+package exp
+
+import (
+	"fmt"
+
+	"rsskv/internal/gryff"
+	"rsskv/internal/sim"
+	"rsskv/internal/stats"
+	"rsskv/internal/workload"
+)
+
+// Fig7Config parameterizes the §7.3 Gryff read tail-latency experiment:
+// five replicas, one per emulated region (Table 2 RTTs), 16 closed-loop
+// YCSB clients spread evenly across regions, sweeping the write ratio at a
+// fixed conflict rate.
+type Fig7Config struct {
+	ConflictPct float64 // 2, 10, or 25 (panels a, b, c)
+	WriteRatios []float64
+	Keys        uint64
+	Clients     int
+	Duration    sim.Time
+	Warmup      sim.Time
+	Seed        int64
+}
+
+// DefaultFig7 returns the defaults used by rssbench.
+func DefaultFig7(conflictPct float64, quick bool) Fig7Config {
+	cfg := Fig7Config{
+		ConflictPct: conflictPct,
+		WriteRatios: []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9},
+		Keys:        100_000,
+		Clients:     16,
+		Duration:    240 * sim.Second,
+		Warmup:      10 * sim.Second,
+		Seed:        1,
+	}
+	if quick {
+		cfg.WriteRatios = []float64{0.1, 0.5, 0.9}
+		cfg.Duration = 60 * sim.Second
+		cfg.Warmup = 5 * sim.Second
+	}
+	return cfg
+}
+
+// RunFig7Point runs one (mode, writeRatio) cell.
+func RunFig7Point(cfg Fig7Config, mode gryff.Mode, writeRatio float64) *Metrics {
+	net := sim.Topology5Region()
+	net.JitterMean = 100 * sim.Microsecond
+	w := sim.NewWorld(net, cfg.Seed)
+	cl := gryff.NewCluster(w, net, gryff.Config{Regions: []sim.RegionID{0, 1, 2, 3, 4}})
+	m := &Metrics{Warmup: cfg.Warmup}
+	until := cfg.Warmup + cfg.Duration
+	for r := 0; r < 5; r++ {
+		n := cfg.Clients / 5
+		if r < cfg.Clients%5 {
+			n++
+		}
+		g := &GryffLoadGen{
+			Cluster: cl,
+			Region:  sim.RegionID(r),
+			Gen:     workload.NewYCSB(cfg.Keys, writeRatio, cfg.ConflictPct/100),
+			Metrics: m,
+			Until:   until,
+			Mode:    mode,
+			Clients: n,
+			IDBase:  uint32(r*100 + 1),
+		}
+		g.Install(w)
+	}
+	w.Run(until + 10*sim.Second)
+	return m
+}
+
+// Fig7 regenerates one panel of Figure 7: p99 read latency vs write ratio
+// for Gryff and Gryff-RSC at the configured conflict percentage.
+func Fig7(cfg Fig7Config) *stats.Table {
+	t := &stats.Table{
+		Title: fmt.Sprintf("Figure 7 (%.0f%% conflicts): p99 read latency (ms) vs write ratio",
+			cfg.ConflictPct),
+		Columns: []string{"gryff-p99", "rsc-p99", "gain%", "gryff-wp99", "rsc-wp99", "reads"},
+	}
+	for _, wr := range cfg.WriteRatios {
+		b := RunFig7Point(cfg, gryff.ModeLinearizable, wr)
+		r := RunFig7Point(cfg, gryff.ModeRSC, wr)
+		bp, rp := b.Reads.PercentileMs(99), r.Reads.PercentileMs(99)
+		gain := 0.0
+		if bp > 0 {
+			gain = (bp - rp) / bp * 100
+		}
+		t.Add(fmt.Sprintf("write %.1f", wr), bp, rp, gain,
+			b.Writes.PercentileMs(99), r.Writes.PercentileMs(99), float64(b.Reads.N()))
+	}
+	return t
+}
+
+// Fig7Tail reproduces §7.3's farther-tail claim: with 10% conflicts and a
+// 0.3 write ratio, Gryff-RSC reduces p99.9 read latency by ≈49% (290 ms →
+// 147 ms).
+func Fig7Tail(quick bool) *stats.Table {
+	cfg := DefaultFig7(10, quick)
+	cfg.Duration = 600 * sim.Second
+	if quick {
+		cfg.Duration = 120 * sim.Second
+	}
+	b := RunFig7Point(cfg, gryff.ModeLinearizable, 0.3)
+	r := RunFig7Point(cfg, gryff.ModeRSC, 0.3)
+	t := &stats.Table{
+		Title:   "§7.3 tail: read latency (ms), 10% conflicts, 0.3 write ratio",
+		Columns: []string{"gryff", "gryff-rsc"},
+	}
+	for _, p := range []float64{50, 99, 99.9} {
+		t.Add(fmt.Sprintf("p%g", p), b.Reads.PercentileMs(p), r.Reads.PercentileMs(p))
+	}
+	t.Add("reads", float64(b.Reads.N()), float64(r.Reads.N()))
+	return t
+}

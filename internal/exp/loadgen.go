@@ -1,0 +1,285 @@
+// Package exp contains the experiment harness that regenerates every table
+// and figure from the paper's evaluation (§6 and §7). Each experiment is a
+// function returning stats.Tables that cmd/rssbench prints; DESIGN.md's
+// per-experiment index maps them back to the paper.
+package exp
+
+import (
+	"math/rand"
+
+	"rsskv/internal/gryff"
+	"rsskv/internal/sim"
+	"rsskv/internal/spanner"
+	"rsskv/internal/stats"
+	"rsskv/internal/workload"
+)
+
+// Metrics collects per-operation latency by class, with a warmup cutoff.
+type Metrics struct {
+	Warmup    sim.Time
+	RO, RW    stats.Sample // transaction latencies (Spanner experiments)
+	Reads     stats.Sample // operation latencies (Gryff experiments)
+	Writes    stats.Sample
+	Committed int64 // operations/transactions counted after warmup
+	Start     sim.Time
+	End       sim.Time
+}
+
+func (m *Metrics) record(s *stats.Sample, start, end sim.Time) {
+	if start < m.Warmup {
+		return
+	}
+	s.Add(end - start)
+	m.Committed++
+	if m.Start == 0 {
+		m.Start = start
+	}
+	if end > m.End {
+		m.End = end
+	}
+}
+
+// Throughput returns committed operations per second of measured time.
+func (m *Metrics) Throughput() float64 {
+	dur := (m.End - m.Start).Seconds()
+	if dur <= 0 {
+		return 0
+	}
+	return float64(m.Committed) / dur
+}
+
+// ---- Spanner load generation ----
+
+// spannerSession is one partly-open session bound to a pooled client.
+type spannerSession struct {
+	gen *SpannerLoadGen
+	c   *spanner.Client
+	idx int
+}
+
+// SpannerLoadGen drives one region's share of the Retwis workload against
+// a Spanner cluster. Partly-open mode (§6.1): sessions arrive as a Poisson
+// process, each issuing transactions back-to-back (think time 0) and
+// continuing with probability Stay; each session has its own t_min.
+// Closed-loop mode (§6.2): Clients permanent sessions that never end.
+type SpannerLoadGen struct {
+	Cluster *spanner.Cluster
+	Region  sim.RegionID
+	Gen     *workload.Retwis
+	Metrics *Metrics
+	Until   sim.Time
+
+	// Partly-open parameters; Lambda 0 means closed-loop.
+	Lambda float64
+	Stay   float64
+
+	// Clients is the session pool size (the concurrency cap).
+	Clients int
+
+	pool    []*spanner.Client
+	free    []int
+	byTxn   map[uint32]int
+	pending int // arrivals waiting for a free client
+	rng     *rand.Rand
+	node    sim.NodeID
+}
+
+// Install adds the generator's node to the world; call before w runs.
+func (g *SpannerLoadGen) Install(w *sim.World) {
+	g.byTxn = make(map[uint32]int)
+	for i := 0; i < g.Clients; i++ {
+		c := g.Cluster.NewClient(g.Region, rand.New(rand.NewSource(int64(g.Region)*1000+int64(i))))
+		g.pool = append(g.pool, c)
+		g.free = append(g.free, i)
+		g.byTxn[c.ID] = i
+	}
+	g.node = w.AddNode(g, g.Region)
+}
+
+// Init implements sim.Initer.
+func (g *SpannerLoadGen) Init(ctx *sim.Context) {
+	g.rng = ctx.Rand()
+	if g.Lambda > 0 {
+		g.scheduleArrival(ctx)
+		return
+	}
+	// Closed loop: every pooled client runs forever.
+	for i := range g.pool {
+		g.free = nil
+		g.startSession(ctx, i, true)
+	}
+}
+
+func (g *SpannerLoadGen) scheduleArrival(ctx *sim.Context) {
+	p := workload.PartlyOpen{Lambda: g.Lambda, Stay: g.Stay}
+	gap := p.NextArrival(g.rng)
+	ctx.After(gap, func(ctx *sim.Context) {
+		if ctx.Now() < g.Until {
+			g.arrive(ctx)
+			g.scheduleArrival(ctx)
+		}
+	})
+}
+
+func (g *SpannerLoadGen) arrive(ctx *sim.Context) {
+	if len(g.free) == 0 {
+		g.pending++
+		return
+	}
+	idx := g.free[len(g.free)-1]
+	g.free = g.free[:len(g.free)-1]
+	g.startSession(ctx, idx, false)
+}
+
+func (g *SpannerLoadGen) startSession(ctx *sim.Context, idx int, closedLoop bool) {
+	c := g.pool[idx]
+	c.ResetSession()
+	g.sessionTxn(ctx, idx, closedLoop)
+}
+
+func (g *SpannerLoadGen) sessionTxn(ctx *sim.Context, idx int, closedLoop bool) {
+	c := g.pool[idx]
+	txn := g.Gen.Next(g.rng)
+	start := ctx.Now()
+	finish := func(ctx *sim.Context, ro bool) {
+		if ro {
+			g.Metrics.record(&g.Metrics.RO, start, ctx.Now())
+		} else {
+			g.Metrics.record(&g.Metrics.RW, start, ctx.Now())
+		}
+		if ctx.Now() >= g.Until {
+			return // stop issuing; drain
+		}
+		if closedLoop || g.rng.Float64() < g.Stay {
+			g.sessionTxn(ctx, idx, closedLoop)
+			return
+		}
+		// Session ends; hand the client to a waiting arrival, if any.
+		if g.pending > 0 {
+			g.pending--
+			g.startSession(ctx, idx, false)
+			return
+		}
+		g.free = append(g.free, idx)
+	}
+	if txn.IsReadOnly() {
+		c.ReadOnly(ctx, txn.ReadKeys, func(ctx *sim.Context, _ spanner.ROResult) {
+			finish(ctx, true)
+		})
+		return
+	}
+	writes := make([]spanner.KV, len(txn.WriteKeys))
+	for i, k := range txn.WriteKeys {
+		writes[i] = spanner.KV{Key: k, Value: "v"}
+	}
+	c.ReadWrite(ctx, txn.ReadKeys, writes, func(ctx *sim.Context, _ spanner.RWResult) {
+		finish(ctx, false)
+	})
+}
+
+// Recv demultiplexes replies to the owning pooled client.
+func (g *SpannerLoadGen) Recv(ctx *sim.Context, from sim.NodeID, msg sim.Message) {
+	idx, ok := g.route(msg)
+	if !ok {
+		return
+	}
+	g.pool[idx].Recv(ctx, from, msg)
+}
+
+func (g *SpannerLoadGen) route(msg sim.Message) (int, bool) {
+	var client uint32
+	switch m := msg.(type) {
+	case spanner.ReadReply:
+		client = uint32(m.ReqID >> 32)
+	case spanner.ROFastReply:
+		client = uint32(m.ReqID >> 32)
+	case spanner.ROSlowReply:
+		client = uint32(m.ReqID >> 32)
+	case spanner.CommitReply:
+		client = m.Txn.Client
+	case spanner.AbortNotify:
+		client = m.Txn.Client
+	default:
+		return 0, false
+	}
+	idx, ok := g.byTxn[client]
+	return idx, ok
+}
+
+// ---- Gryff load generation ----
+
+// GryffLoadGen drives one region's closed-loop YCSB clients against a
+// Gryff cluster (§7.2: 16 closed-loop clients, equal fraction per region).
+type GryffLoadGen struct {
+	Cluster *gryff.Cluster
+	Region  sim.RegionID
+	Gen     *workload.YCSB
+	Metrics *Metrics
+	Until   sim.Time
+	Mode    gryff.Mode
+	Clients int
+	IDBase  uint32
+
+	pool []*gryff.Client
+	rng  *rand.Rand
+}
+
+// Install adds the generator's node to the world.
+func (g *GryffLoadGen) Install(w *sim.World) {
+	for i := 0; i < g.Clients; i++ {
+		g.pool = append(g.pool, g.Cluster.NewClient(g.IDBase+uint32(i), g.Region, g.Mode))
+	}
+	w.AddNode(g, g.Region)
+}
+
+// Init implements sim.Initer.
+func (g *GryffLoadGen) Init(ctx *sim.Context) {
+	g.rng = ctx.Rand()
+	for i := range g.pool {
+		g.nextOp(ctx, i)
+	}
+}
+
+func (g *GryffLoadGen) nextOp(ctx *sim.Context, idx int) {
+	if ctx.Now() >= g.Until {
+		return
+	}
+	c := g.pool[idx]
+	op := g.Gen.Next(g.rng)
+	start := ctx.Now()
+	if op.IsWrite {
+		c.Write(ctx, op.Key, "v", func(ctx *sim.Context, _ gryff.WriteResult) {
+			g.Metrics.record(&g.Metrics.Writes, start, ctx.Now())
+			g.nextOp(ctx, idx)
+		})
+		return
+	}
+	c.Read(ctx, op.Key, func(ctx *sim.Context, _ gryff.ReadResult) {
+		g.Metrics.record(&g.Metrics.Reads, start, ctx.Now())
+		g.nextOp(ctx, idx)
+	})
+}
+
+// Recv demultiplexes replica replies to the owning pooled client.
+func (g *GryffLoadGen) Recv(ctx *sim.Context, from sim.NodeID, msg sim.Message) {
+	var req uint64
+	switch m := msg.(type) {
+	case gryff.ReadReply:
+		req = m.ReqID
+	case gryff.Write1Reply:
+		req = m.ReqID
+	case gryff.Write2Reply:
+		req = m.ReqID
+	case gryff.LocalReadReply:
+		req = m.ReqID
+	case gryff.RMWReply:
+		req = m.ReqID
+	default:
+		return
+	}
+	id := uint32(req >> 32)
+	if id < g.IDBase || int(id-g.IDBase) >= len(g.pool) {
+		return
+	}
+	g.pool[id-g.IDBase].Recv(ctx, from, msg)
+}

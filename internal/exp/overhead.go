@@ -1,0 +1,89 @@
+package exp
+
+import (
+	"fmt"
+
+	"rsskv/internal/gryff"
+	"rsskv/internal/sim"
+	"rsskv/internal/stats"
+	"rsskv/internal/workload"
+)
+
+// OverheadConfig parameterizes §7.4: Gryff vs Gryff-RSC with wide-area
+// emulation disabled, 10% conflicts, at 50/50 and 95/5 read-write mixes,
+// sweeping closed-loop clients. (§6.2's Spanner overhead experiment is
+// Figure 6.)
+type OverheadConfig struct {
+	Keys     uint64
+	ProcTime sim.Time
+	Duration sim.Time
+	Warmup   sim.Time
+	Sweep    []int
+	Seed     int64
+}
+
+// DefaultOverhead returns the defaults used by rssbench.
+func DefaultOverhead(quick bool) OverheadConfig {
+	cfg := OverheadConfig{
+		Keys:     100_000,
+		ProcTime: 15 * sim.Microsecond,
+		Duration: 6 * sim.Second,
+		Warmup:   2 * sim.Second,
+		Sweep:    []int{4, 16, 64, 128},
+		Seed:     1,
+	}
+	if quick {
+		cfg.Duration = 3 * sim.Second
+		cfg.Warmup = 500 * sim.Millisecond
+		cfg.Sweep = []int{16, 64}
+	}
+	return cfg
+}
+
+// RunOverheadPoint runs one (mode, clients, writeRatio) cell on a
+// single-data-center Gryff cluster.
+func RunOverheadPoint(cfg OverheadConfig, mode gryff.Mode, clients int, writeRatio float64) *Metrics {
+	net := sim.TopologyLocal(1, 200*sim.Microsecond)
+	w := sim.NewWorld(net, cfg.Seed)
+	cl := gryff.NewCluster(w, net, gryff.Config{
+		Regions:  []sim.RegionID{0, 0, 0, 0, 0},
+		ProcTime: cfg.ProcTime,
+	})
+	m := &Metrics{Warmup: cfg.Warmup}
+	until := cfg.Warmup + cfg.Duration
+	g := &GryffLoadGen{
+		Cluster: cl,
+		Region:  0,
+		Gen:     workload.NewYCSB(cfg.Keys, writeRatio, 0.10),
+		Metrics: m,
+		Until:   until,
+		Mode:    mode,
+		Clients: clients,
+		IDBase:  1,
+	}
+	g.Install(w)
+	w.Run(until + 5*sim.Second)
+	return m
+}
+
+// Overhead regenerates the §7.4 comparison for one read-write mix.
+func Overhead(cfg OverheadConfig, writeRatio float64) *stats.Table {
+	t := &stats.Table{
+		Title: fmt.Sprintf("§7.4 overhead (%.0f%% writes, 10%% conflicts): throughput (op/s) and p50 (ms)",
+			writeRatio*100),
+		Columns: []string{"gryff-tput", "rsc-tput", "Δtput%", "gryff-p50", "rsc-p50"},
+	}
+	for _, n := range cfg.Sweep {
+		b := RunOverheadPoint(cfg, gryff.ModeLinearizable, n, writeRatio)
+		r := RunOverheadPoint(cfg, gryff.ModeRSC, n, writeRatio)
+		bt, rt := b.Throughput(), r.Throughput()
+		d := 0.0
+		if bt > 0 {
+			d = (rt - bt) / bt * 100
+		}
+		t.Add(fmt.Sprintf("%d clients", n), bt, rt, d,
+			stats.Merge(&b.Reads, &b.Writes).PercentileMs(50),
+			stats.Merge(&r.Reads, &r.Writes).PercentileMs(50))
+	}
+	return t
+}

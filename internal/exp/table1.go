@@ -1,0 +1,179 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rsskv/internal/photoshare"
+	"rsskv/internal/queue"
+	"rsskv/internal/sim"
+	"rsskv/internal/spanner"
+	"rsskv/internal/stats"
+)
+
+// Table1Config parameterizes the invariant/anomaly matrix experiment.
+type Table1Config struct {
+	Adds   int // photos added per configuration
+	Probes int // A2/A3 probe pairs
+	Seed   int64
+}
+
+// DefaultTable1 returns the defaults used by rssbench.
+func DefaultTable1(quick bool) Table1Config {
+	cfg := Table1Config{Adds: 60, Probes: 40, Seed: 1}
+	if quick {
+		cfg.Adds = 18
+		cfg.Probes = 10
+	}
+	return cfg
+}
+
+// table1App is one photo-share deployment under test.
+type table1App struct {
+	w       *sim.World
+	v       *photoshare.Violations
+	adder   *photoshare.WebServer
+	alice   *photoshare.WebServer
+	bob     *photoshare.WebServer
+	nodes   map[*photoshare.WebServer]sim.NodeID
+	worker  *photoshare.Worker
+	cluster *spanner.Cluster
+}
+
+func buildTable1App(mode spanner.Mode, fences bool, seed int64) *table1App {
+	net := sim.Topology3DC()
+	w := sim.NewWorld(net, seed)
+	kv := spanner.NewCluster(w, net, spanner.Config{
+		Mode:          mode,
+		NumShards:     3,
+		LeaderRegions: []sim.RegionID{0, 1, 2},
+		ReplicaRegions: [][]sim.RegionID{
+			{1, 2}, {0, 2}, {0, 1},
+		},
+		Epsilon: sim.Ms(10),
+	})
+	q := queue.NewCluster(w, queue.Config{LeaderRegion: 0, AcceptorRegions: []sim.RegionID{1, 2}})
+	v := &photoshare.Violations{}
+	a := &table1App{w: w, v: v, cluster: kv, nodes: map[*photoshare.WebServer]sim.NodeID{}}
+	mk := func(region sim.RegionID, s int64) *photoshare.WebServer {
+		ws := photoshare.NewWebServer(kv.NewClient(region, rand.New(rand.NewSource(s))), q.NewClient(), v, fences)
+		a.nodes[ws] = w.AddNode(ws, region)
+		return ws
+	}
+	// The adder is far from the CA coordinator so the t_ee anomaly window
+	// (Figure 4) is wide; Alice and Bob are the probing users.
+	a.adder = mk(2, seed+1)
+	a.alice = mk(0, seed+2)
+	a.bob = mk(1, seed+3)
+	a.worker = photoshare.NewWorker(kv.NewClient(1, rand.New(rand.NewSource(seed+4))), q.NewClient(), v, fences)
+	a.worker.PollInterval = sim.Ms(2)
+	w.AddNode(a.worker, 1)
+	return a
+}
+
+func (a *table1App) view(ws *photoshare.WebServer, user string) map[string]bool {
+	seen := map[string]bool{}
+	done := false
+	ws.ViewAlbum(a.w.NodeContext(a.nodes[ws]), user, func(_ *sim.Context, ids []string) {
+		for _, id := range ids {
+			seen[id] = true
+		}
+		done = true
+	})
+	a.w.RunUntil(func() bool { return done }, a.w.Now()+600*sim.Second)
+	return seen
+}
+
+// Table1Row runs one configuration and reports its cells. propagate
+// controls whether out-of-band interactions carry the §4.2 causal baggage:
+// true for the strict and RSS configurations (the application uses context
+// propagation), false for the PO ablation (PO-serializable systems have no
+// such mechanism — that is precisely why A2 is "always" possible there).
+func Table1Row(mode spanner.Mode, fences, propagate bool, cfg Table1Config) *photoshare.Violations {
+	a := buildTable1App(mode, fences, cfg.Seed)
+	adderBusy := false
+	var addNext func(ctx *sim.Context, i int)
+	addNext = func(ctx *sim.Context, i int) {
+		if i >= cfg.Adds {
+			adderBusy = false
+			return
+		}
+		adderBusy = true
+		a.adder.AddPhoto(ctx, "user", fmt.Sprintf("p%d", i), fmt.Sprintf("D%d", i),
+			func(ctx *sim.Context) { addNext(ctx, i+1) })
+	}
+	addNext(a.w.NodeContext(a.nodes[a.adder]), 0)
+
+	// While photos stream in, run A3 probes: one user views, "calls" the
+	// other out of band (a literal phone call — no context propagation),
+	// and the callee views. Probed in both directions since either user
+	// may be the fresher observer.
+	for p := 0; p < cfg.Probes; p++ {
+		a.w.Run(a.w.Now() + 120*sim.Millisecond)
+		aliceSaw := a.view(a.alice, "user")
+		bobSaw := a.view(a.bob, "user")
+		bobSaw2 := a.view(a.bob, "user")
+		aliceSaw2 := a.view(a.alice, "user")
+		a.v.A3Checks++
+		missed := func(first, second map[string]bool) bool {
+			for id := range first {
+				if !second[id] {
+					return true
+				}
+			}
+			return false
+		}
+		if missed(aliceSaw, bobSaw) || missed(bobSaw2, aliceSaw2) {
+			a.v.A3++
+		}
+	}
+	// A2: Alice (the adder) finishes a photo and immediately calls Bob,
+	// who views the album. With context propagation (§4.2) Bob always
+	// sees it; the PO ablation has no propagation and Bob's stale
+	// snapshot misses the fresh photo.
+	a.w.RunUntil(func() bool { return !adderBusy }, a.w.Now()+3600*sim.Second)
+	for p := 0; p < cfg.Probes; p++ {
+		id := fmt.Sprintf("a2-%d", p)
+		addDone := false
+		a.adder.AddPhoto(a.w.NodeContext(a.nodes[a.adder]), "user", id, "D"+id,
+			func(*sim.Context) { addDone = true })
+		a.w.RunUntil(func() bool { return addDone }, a.w.Now()+600*sim.Second)
+		if propagate {
+			tmin, last := a.adder.Baggage()
+			a.bob.AcceptBaggage(tmin, last)
+		}
+		bobSaw := a.view(a.bob, "user")
+		a.v.A2Checks++
+		if !bobSaw[id] {
+			a.v.A2++
+		}
+	}
+	// Let the worker drain the queue (I2 checks).
+	total := cfg.Adds + cfg.Probes
+	a.w.RunUntil(func() bool { return int(a.worker.Processed) >= total }, a.w.Now()+3600*sim.Second)
+	// Final I1 sweep.
+	a.view(a.alice, "user")
+	return a.v
+}
+
+// Table1 regenerates the paper's Table 1 as measured counts.
+func Table1(cfg Table1Config) *stats.Table {
+	t := &stats.Table{
+		Title:   "Table 1: invariant violations and anomalies (counts; A2/A3 out of probe count)",
+		Columns: []string{"I1", "I2", "A2", "A3", "probes"},
+	}
+	rows := []struct {
+		label             string
+		mode              spanner.Mode
+		fences, propagate bool
+	}{
+		{"strict-serializability", spanner.ModeStrict, true, true},
+		{"RSS+libRSS", spanner.ModeRSS, true, true},
+		{"PO-serializability", spanner.ModePO, false, false},
+	}
+	for _, r := range rows {
+		v := Table1Row(r.mode, r.fences, r.propagate, cfg)
+		t.Add(r.label, float64(v.I1), float64(v.I2), float64(v.A2), float64(v.A3), float64(cfg.Probes))
+	}
+	return t
+}

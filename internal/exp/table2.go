@@ -1,0 +1,24 @@
+package exp
+
+import (
+	"rsskv/internal/sim"
+	"rsskv/internal/stats"
+)
+
+// Table2 prints the emulated round-trip latency matrix (Table 2 of the
+// paper), which is the configuration of every Gryff experiment.
+func Table2() *stats.Table {
+	net := sim.Topology5Region()
+	t := &stats.Table{
+		Title:   "Table 2: emulated round-trip latencies (ms)",
+		Columns: []string{"CA", "VA", "IR", "OR", "JP"},
+	}
+	for i := 0; i < net.Regions(); i++ {
+		row := make([]float64, net.Regions())
+		for j := 0; j < net.Regions(); j++ {
+			row[j] = net.RTT(sim.RegionID(i), sim.RegionID(j)).Millis()
+		}
+		t.Add(net.RegionName(sim.RegionID(i)), row...)
+	}
+	return t
+}

@@ -1,0 +1,77 @@
+// Package gryff implements the Gryff replicated key-value store (Burke,
+// Cheng, Lloyd — NSDI 2020) and the paper's Gryff-RSC variant (§7 and
+// Appendix B).
+//
+// Gryff unifies a shared-register protocol (for reads and writes) with a
+// consensus protocol (for read-modify-writes) using carstamps —
+// consensus-after-register timestamps — to order all operations on a key.
+//
+// Gryff provides linearizability. Reads take one round trip to a quorum
+// when the quorum agrees, and a second write-back round otherwise. Writes
+// take two rounds. Rmws run through an EPaxos-style protocol.
+//
+// Gryff-RSC relaxes consistency to regular sequential consistency: reads
+// always finish in one round. Instead of writing back a disagreeing
+// quorum's maximum value, the client remembers it as a dependency tuple and
+// piggybacks it on the first round of its next operation (Algorithms 3–5 of
+// the paper); replicas apply the piggybacked value before processing. A
+// real-time fence writes back the pending dependency explicitly.
+package gryff
+
+import "fmt"
+
+// Carstamp is a consensus-after-register timestamp: the position of a
+// write or rmw in the per-key total order. Num/ClientID order concurrent
+// writes (each write picks Num = max observed + 1, tie-broken by client);
+// RMWC counts rmws applied on top of that write, ordering consensus
+// operations after the register write they build on.
+type Carstamp struct {
+	Num      uint64
+	ClientID uint32
+	RMWC     uint32
+}
+
+// Less orders carstamps lexicographically.
+func (c Carstamp) Less(o Carstamp) bool {
+	if c.Num != o.Num {
+		return c.Num < o.Num
+	}
+	if c.ClientID != o.ClientID {
+		return c.ClientID < o.ClientID
+	}
+	return c.RMWC < o.RMWC
+}
+
+// Equal reports whether two carstamps are identical.
+func (c Carstamp) Equal(o Carstamp) bool { return c == o }
+
+// Next returns the carstamp a write by client id should choose after
+// observing c as the maximum: (Num+1, id, 0).
+func (c Carstamp) Next(id uint32) Carstamp { return Carstamp{Num: c.Num + 1, ClientID: id} }
+
+// NextRMW returns the carstamp an rmw applied on top of c should use:
+// same write position, RMWC+1.
+func (c Carstamp) NextRMW() Carstamp {
+	return Carstamp{Num: c.Num, ClientID: c.ClientID, RMWC: c.RMWC + 1}
+}
+
+func (c Carstamp) String() string {
+	return fmt.Sprintf("(%d,%d,%d)", c.Num, c.ClientID, c.RMWC)
+}
+
+// Rank linearizes a carstamp into a single comparable integer for history
+// checking. It preserves Less ordering for the carstamps that occur in
+// practice (Num < 2^27, ClientID < 2^16, RMWC < 2^20).
+func (c Carstamp) Rank() int64 {
+	return int64(c.Num&(1<<27-1))<<36 | int64(c.ClientID&(1<<16-1))<<20 | int64(c.RMWC&(1<<20-1))
+}
+
+// Dep is the dependency tuple d maintained by Gryff-RSC clients: the key,
+// value, and carstamp of the most recent read whose value is not yet known
+// to be on a quorum (Algorithm 3). The zero Dep is "no dependency" (⊥).
+type Dep struct {
+	Key   string
+	Value string
+	CS    Carstamp
+	Valid bool
+}

@@ -1,0 +1,126 @@
+package gryff
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCarstampOrdering(t *testing.T) {
+	a := Carstamp{Num: 1, ClientID: 1}
+	b := Carstamp{Num: 1, ClientID: 2}
+	c := Carstamp{Num: 2, ClientID: 0}
+	d := Carstamp{Num: 1, ClientID: 1, RMWC: 1}
+	if !a.Less(b) || !b.Less(c) || !a.Less(d) || !d.Less(b) {
+		t.Error("lexicographic ordering broken")
+	}
+	if a.Less(a) {
+		t.Error("Less not irreflexive")
+	}
+	if !a.Equal(a) || a.Equal(b) {
+		t.Error("Equal broken")
+	}
+}
+
+func TestCarstampNext(t *testing.T) {
+	cs := Carstamp{Num: 5, ClientID: 3, RMWC: 7}
+	n := cs.Next(9)
+	if n.Num != 6 || n.ClientID != 9 || n.RMWC != 0 {
+		t.Errorf("Next = %v", n)
+	}
+	if !cs.Less(n) {
+		t.Error("Next must be greater")
+	}
+	r := cs.NextRMW()
+	if r.Num != 5 || r.ClientID != 3 || r.RMWC != 8 {
+		t.Errorf("NextRMW = %v", r)
+	}
+	if !cs.Less(r) {
+		t.Error("NextRMW must be greater")
+	}
+}
+
+// Property: Less is a strict total order and Rank preserves it for
+// realistic field ranges.
+func TestCarstampQuick(t *testing.T) {
+	clamp := func(c Carstamp) Carstamp {
+		c.Num %= 1 << 27
+		c.ClientID %= 1 << 16
+		c.RMWC %= 1 << 20
+		return c
+	}
+	trichotomy := func(x, y Carstamp) bool {
+		x, y = clamp(x), clamp(y)
+		n := 0
+		if x.Less(y) {
+			n++
+		}
+		if y.Less(x) {
+			n++
+		}
+		if x.Equal(y) {
+			n++
+		}
+		return n == 1
+	}
+	if err := quick.Check(trichotomy, nil); err != nil {
+		t.Error(err)
+	}
+	rankMonotone := func(x, y Carstamp) bool {
+		x, y = clamp(x), clamp(y)
+		if x.Less(y) {
+			return x.Rank() < y.Rank()
+		}
+		if y.Less(x) {
+			return y.Rank() < x.Rank()
+		}
+		return x.Rank() == y.Rank()
+	}
+	if err := quick.Check(rankMonotone, nil); err != nil {
+		t.Error(err)
+	}
+	transitive := func(x, y, z Carstamp) bool {
+		x, y, z = clamp(x), clamp(y), clamp(z)
+		if x.Less(y) && y.Less(z) {
+			return x.Less(z)
+		}
+		return true
+	}
+	if err := quick.Check(transitive, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCarstampString(t *testing.T) {
+	if s := (Carstamp{1, 2, 3}).String(); s != "(1,2,3)" {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestApplyFn(t *testing.T) {
+	cases := []struct {
+		fn       RMWFunc
+		cur, arg string
+		want     string
+	}{
+		{FnAppend, "ab", "cd", "abcd"},
+		{FnAppend, "", "x", "x"},
+		{FnIncr, "", "5", "5"},
+		{FnIncr, "10", "-3", "7"},
+		{FnSetIfEmpty, "", "v", "v"},
+		{FnSetIfEmpty, "w", "v", "w"},
+	}
+	for _, c := range cases {
+		if got := applyFn(c.fn, c.cur, c.arg); got != c.want {
+			t.Errorf("applyFn(%v, %q, %q) = %q, want %q", c.fn, c.cur, c.arg, got, c.want)
+		}
+	}
+}
+
+func TestApplyFnUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown rmw function did not panic")
+		}
+	}()
+	applyFn("bogus", "", "")
+}

@@ -1,0 +1,327 @@
+package gryff
+
+import (
+	"fmt"
+
+	"rsskv/internal/sim"
+)
+
+// Mode selects the consistency protocol a client runs.
+type Mode int
+
+const (
+	// ModeLinearizable is baseline Gryff: reads write back when the
+	// quorum disagrees (two round trips on the slow path).
+	ModeLinearizable Mode = iota
+	// ModeRSC is Gryff-RSC: reads always finish in one round; the
+	// observed value is piggybacked as a dependency on the next
+	// operation (Algorithms 3–5).
+	ModeRSC
+	// ModeWeakRead is an ablation that reads one (the nearest) replica
+	// with no quorum. It is *not* RSC — it exists to demonstrate the
+	// anomalies weaker-than-RSC reads admit (Table 1 discussion).
+	ModeWeakRead
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeLinearizable:
+		return "gryff"
+	case ModeRSC:
+		return "gryff-rsc"
+	case ModeWeakRead:
+		return "gryff-weak"
+	}
+	return fmt.Sprintf("mode(%d)", int(m))
+}
+
+// opPhase tracks the client's in-flight operation.
+type opPhase int
+
+const (
+	phaseIdle opPhase = iota
+	phaseRead
+	phaseReadWriteBack
+	phaseWrite1
+	phaseWrite2
+	phaseRMW
+	phaseFence
+)
+
+// ReadResult is what a completed read observed.
+type ReadResult struct {
+	Value    string
+	CS       Carstamp
+	FastPath bool // completed in one round
+}
+
+// WriteResult is what a completed write produced.
+type WriteResult struct {
+	CS Carstamp
+}
+
+// RMWResult is what a completed rmw produced.
+type RMWResult struct {
+	Value string // new value after the transformation
+	Base  string // value the transformation was applied to
+	CS    Carstamp
+}
+
+// Client issues Gryff operations from inside a simulation node. It is a
+// message handler to be driven by the node that owns it: the owner must
+// forward incoming replica messages to Recv. One operation may be in
+// flight at a time (well-formedness, §3.1).
+type Client struct {
+	ID       uint32
+	Mode     Mode
+	replicas []sim.NodeID
+	nearest  int // index of the replica used for weak reads / rmw coordination
+
+	dep   Dep // Gryff-RSC dependency tuple d (Algorithm 3)
+	reqID uint64
+
+	phase opPhase
+	key   string
+	value string
+
+	replies  int
+	maxCS    Carstamp
+	maxVal   string
+	mismatch bool
+	fast     bool
+
+	onRead  func(*sim.Context, ReadResult)
+	onWrite func(*sim.Context, WriteResult)
+	onRMW   func(*sim.Context, RMWResult)
+	onFence func(*sim.Context)
+}
+
+// NewClient builds a client of the given cluster. nearest is the index of
+// the closest replica (used to coordinate rmws and serve weak reads).
+// Request IDs are namespaced by client ID so multiple clients can share
+// one node (load generators) without reply collisions.
+func NewClient(id uint32, replicas []sim.NodeID, nearest int, mode Mode) *Client {
+	return &Client{ID: id, Mode: mode, replicas: replicas, nearest: nearest, reqID: uint64(id) << 32}
+}
+
+// Dep exposes the pending dependency tuple (testing and fences).
+func (c *Client) Dep() Dep { return c.dep }
+
+// Idle reports whether no operation is in flight.
+func (c *Client) Idle() bool { return c.phase == phaseIdle }
+
+func (c *Client) quorum() int { return len(c.replicas)/2 + 1 }
+
+func (c *Client) begin(phase opPhase) uint64 {
+	if c.phase != phaseIdle {
+		panic("gryff: client already has an operation in flight")
+	}
+	c.phase = phase
+	c.reqID++
+	c.replies = 0
+	c.maxCS = Carstamp{}
+	c.maxVal = ""
+	c.mismatch = false
+	c.fast = true
+	return c.reqID
+}
+
+// Read starts a read of key; done is invoked on completion.
+func (c *Client) Read(ctx *sim.Context, key string, done func(*sim.Context, ReadResult)) {
+	id := c.begin(phaseRead)
+	c.key = key
+	c.onRead = done
+	if c.Mode == ModeWeakRead {
+		ctx.Send(c.replicas[c.nearest], LocalReadReq{ReqID: id, Key: key})
+		return
+	}
+	dep := c.takeDep()
+	for _, r := range c.replicas {
+		ctx.Send(r, ReadReq{ReqID: id, Key: key, Dep: dep})
+	}
+}
+
+// Write starts a write of key=value; done is invoked on completion.
+func (c *Client) Write(ctx *sim.Context, key, value string, done func(*sim.Context, WriteResult)) {
+	id := c.begin(phaseWrite1)
+	c.key = key
+	c.value = value
+	c.onWrite = done
+	dep := c.takeDep()
+	for _, r := range c.replicas {
+		ctx.Send(r, Write1Req{ReqID: id, Key: key, Dep: dep})
+	}
+}
+
+// RMW starts an atomic read-modify-write of key using the named function;
+// done is invoked on completion.
+func (c *Client) RMW(ctx *sim.Context, key string, fn RMWFunc, arg string, done func(*sim.Context, RMWResult)) {
+	id := c.begin(phaseRMW)
+	c.key = key
+	c.onRMW = done
+	dep := c.takeDep()
+	ctx.Send(c.replicas[c.nearest], RMWReq{ReqID: id, Key: key, Fn: fn, Arg: arg, Dep: dep})
+}
+
+// Fence executes a real-time fence (§7.1): it writes back the pending
+// dependency tuple, if any, guaranteeing all causally preceding operations
+// are visible to any operation that follows the fence in real time.
+func (c *Client) Fence(ctx *sim.Context, done func(*sim.Context)) {
+	if !c.dep.Valid {
+		id := c.begin(phaseFence)
+		c.phase = phaseIdle
+		_ = id
+		done(ctx)
+		return
+	}
+	id := c.begin(phaseFence)
+	c.onFence = done
+	d := c.dep
+	c.dep = Dep{}
+	for _, r := range c.replicas {
+		ctx.Send(r, Write2Req{ReqID: id, Key: d.Key, Value: d.Value, CS: d.CS})
+	}
+}
+
+// takeDep consumes the pending dependency for piggybacking. The dependency
+// is cleared optimistically: the first round of the new operation reaches a
+// quorum before the operation completes, which is when the guarantee is
+// needed (Appendix B: "the client clears d as soon as it receives
+// confirmation that it has been propagated to a quorum").
+func (c *Client) takeDep() Dep {
+	d := c.dep
+	if c.Mode != ModeRSC {
+		return Dep{}
+	}
+	return d
+}
+
+// Recv dispatches replica replies for the in-flight operation. The owner
+// node must forward all messages here.
+func (c *Client) Recv(ctx *sim.Context, from sim.NodeID, msg sim.Message) {
+	switch m := msg.(type) {
+	case ReadReply:
+		if c.phase != phaseRead || m.ReqID != c.reqID {
+			return
+		}
+		c.onReadReply(ctx, m)
+	case LocalReadReply:
+		if c.phase != phaseRead || m.ReqID != c.reqID {
+			return
+		}
+		c.finishRead(ctx, ReadResult{Value: m.Value, CS: m.CS, FastPath: true})
+	case Write1Reply:
+		if c.phase != phaseWrite1 || m.ReqID != c.reqID {
+			return
+		}
+		c.onWrite1Reply(ctx, m)
+	case Write2Reply:
+		c.onWrite2Reply(ctx, m)
+	case RMWReply:
+		if c.phase != phaseRMW || m.ReqID != c.reqID {
+			return
+		}
+		c.dep = Dep{} // the piggybacked dependency replicated with consensus
+		done := c.onRMW
+		c.phase = phaseIdle
+		done(ctx, RMWResult{Value: m.Value, Base: m.Base, CS: m.CS})
+	default:
+		panic(fmt.Sprintf("gryff: client got unexpected message %T", msg))
+	}
+}
+
+func (c *Client) onReadReply(ctx *sim.Context, m ReadReply) {
+	c.replies++
+	if c.replies == 1 || c.maxCS.Less(m.CS) {
+		if c.replies > 1 && !c.maxCS.Equal(m.CS) {
+			c.mismatch = true
+		}
+		c.maxCS = m.CS
+		c.maxVal = m.Value
+	} else if !m.CS.Equal(c.maxCS) {
+		c.mismatch = true
+	}
+	if c.replies < c.quorum() {
+		return
+	}
+	if c.Mode == ModeRSC {
+		// Any previously pending dependency reached a quorum with this
+		// read's round (Appendix B).
+		c.dep = Dep{}
+	}
+	if !c.mismatch {
+		// The quorum agrees: the value is already on a quorum.
+		c.finishRead(ctx, ReadResult{Value: c.maxVal, CS: c.maxCS, FastPath: true})
+		return
+	}
+	switch c.Mode {
+	case ModeRSC:
+		// One round, always: remember the value as a dependency and
+		// propagate it with the next operation (Algorithm 3, lines 8–9).
+		c.dep = Dep{Key: c.key, Value: c.maxVal, CS: c.maxCS, Valid: true}
+		c.finishRead(ctx, ReadResult{Value: c.maxVal, CS: c.maxCS, FastPath: true})
+	default:
+		// Linearizability: write back before returning (slow path).
+		c.phase = phaseReadWriteBack
+		c.replies = 0
+		c.fast = false
+		for _, r := range c.replicas {
+			ctx.Send(r, Write2Req{ReqID: c.reqID, Key: c.key, Value: c.maxVal, CS: c.maxCS})
+		}
+	}
+}
+
+func (c *Client) finishRead(ctx *sim.Context, res ReadResult) {
+	done := c.onRead
+	c.phase = phaseIdle
+	done(ctx, res)
+}
+
+func (c *Client) onWrite1Reply(ctx *sim.Context, m Write1Reply) {
+	c.replies++
+	if c.maxCS.Less(m.CS) {
+		c.maxCS = m.CS
+	}
+	if c.replies < c.quorum() {
+		return
+	}
+	// The dependency, if any, reached a quorum with the Write1 round.
+	c.dep = Dep{}
+	cs := c.maxCS.Next(c.ID)
+	c.phase = phaseWrite2
+	c.replies = 0
+	c.maxCS = cs
+	for _, r := range c.replicas {
+		ctx.Send(r, Write2Req{ReqID: c.reqID, Key: c.key, Value: c.value, CS: cs})
+	}
+}
+
+func (c *Client) onWrite2Reply(ctx *sim.Context, m Write2Reply) {
+	if m.ReqID != c.reqID {
+		return
+	}
+	switch c.phase {
+	case phaseWrite2:
+		c.replies++
+		if c.replies < c.quorum() {
+			return
+		}
+		done := c.onWrite
+		c.phase = phaseIdle
+		done(ctx, WriteResult{CS: c.maxCS})
+	case phaseReadWriteBack:
+		c.replies++
+		if c.replies < c.quorum() {
+			return
+		}
+		c.finishRead(ctx, ReadResult{Value: c.maxVal, CS: c.maxCS, FastPath: false})
+	case phaseFence:
+		c.replies++
+		if c.replies < c.quorum() {
+			return
+		}
+		done := c.onFence
+		c.phase = phaseIdle
+		done(ctx)
+	}
+}

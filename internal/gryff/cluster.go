@@ -1,0 +1,132 @@
+package gryff
+
+import (
+	"rsskv/internal/sim"
+)
+
+// Config parameterizes a Gryff cluster.
+type Config struct {
+	// Regions places one replica per entry.
+	Regions []sim.RegionID
+	// ProcTime is the per-message CPU cost at replicas (0 for wide-area
+	// experiments, where the network dominates).
+	ProcTime sim.Time
+}
+
+// Cluster is an assembled set of Gryff replicas in a simulation world.
+type Cluster struct {
+	Replicas   []*Replica
+	ReplicaIDs []sim.NodeID
+	net        *sim.Network
+	world      *sim.World
+}
+
+// NewCluster adds one replica per configured region to w.
+func NewCluster(w *sim.World, net *sim.Network, cfg Config) *Cluster {
+	n := len(cfg.Regions)
+	if n == 0 {
+		panic("gryff: cluster needs at least one replica")
+	}
+	cl := &Cluster{net: net, world: w}
+	// Node IDs must be known to every replica, so reserve them first via
+	// placeholder construction order: replicas are created with the full
+	// peer list filled in after all IDs are allocated.
+	cl.Replicas = make([]*Replica, n)
+	cl.ReplicaIDs = make([]sim.NodeID, n)
+	for i := 0; i < n; i++ {
+		r := NewReplica(uint32(i), nil)
+		r.ProcTime = cfg.ProcTime
+		cl.Replicas[i] = r
+		cl.ReplicaIDs[i] = w.AddNode(r, cfg.Regions[i])
+	}
+	for _, r := range cl.Replicas {
+		r.peers = cl.ReplicaIDs
+	}
+	return cl
+}
+
+// NearestReplica returns the index of the replica with the lowest RTT from
+// region (the replica weak reads and rmws are routed to).
+func (c *Cluster) NearestReplica(region sim.RegionID) int {
+	best, bestRTT := 0, sim.Time(1<<62)
+	for i, id := range c.ReplicaIDs {
+		rtt := c.net.RTT(region, c.world.Region(id))
+		if rtt < bestRTT {
+			best, bestRTT = i, rtt
+		}
+	}
+	return best
+}
+
+// NewClient constructs a client for this cluster homed in region.
+func (c *Cluster) NewClient(id uint32, region sim.RegionID, mode Mode) *Client {
+	return NewClient(id, c.ReplicaIDs, c.NearestReplica(region), mode)
+}
+
+// SyncClient wraps a Client in its own simulation node and exposes blocking
+// operations that internally run the world until the operation completes.
+// It is the linear-code façade used by examples and tests; concurrent load
+// generation uses Client directly.
+type SyncClient struct {
+	C      *Client
+	NodeID sim.NodeID
+	world  *sim.World
+}
+
+// NewSyncClient adds a node hosting client c to the world.
+func NewSyncClient(w *sim.World, region sim.RegionID, c *Client) *SyncClient {
+	s := &SyncClient{C: c, world: w}
+	s.NodeID = w.AddNode(s, region)
+	return s
+}
+
+// Recv implements sim.Handler by forwarding to the wrapped client.
+func (s *SyncClient) Recv(ctx *sim.Context, from sim.NodeID, msg sim.Message) {
+	s.C.Recv(ctx, from, msg)
+}
+
+func (s *SyncClient) context() *sim.Context { return s.world.NodeContext(s.NodeID) }
+
+const syncLimit = 3600 * sim.Second
+
+// Read performs a blocking read.
+func (s *SyncClient) Read(key string) ReadResult {
+	var res ReadResult
+	done := false
+	s.C.Read(s.context(), key, func(_ *sim.Context, r ReadResult) { res = r; done = true })
+	if !s.world.RunUntil(func() bool { return done }, s.world.Now()+syncLimit) {
+		panic("gryff: read did not complete")
+	}
+	return res
+}
+
+// Write performs a blocking write.
+func (s *SyncClient) Write(key, value string) WriteResult {
+	var res WriteResult
+	done := false
+	s.C.Write(s.context(), key, value, func(_ *sim.Context, r WriteResult) { res = r; done = true })
+	if !s.world.RunUntil(func() bool { return done }, s.world.Now()+syncLimit) {
+		panic("gryff: write did not complete")
+	}
+	return res
+}
+
+// RMW performs a blocking read-modify-write.
+func (s *SyncClient) RMW(key string, fn RMWFunc, arg string) RMWResult {
+	var res RMWResult
+	done := false
+	s.C.RMW(s.context(), key, fn, arg, func(_ *sim.Context, r RMWResult) { res = r; done = true })
+	if !s.world.RunUntil(func() bool { return done }, s.world.Now()+syncLimit) {
+		panic("gryff: rmw did not complete")
+	}
+	return res
+}
+
+// Fence performs a blocking real-time fence.
+func (s *SyncClient) Fence() {
+	done := false
+	s.C.Fence(s.context(), func(*sim.Context) { done = true })
+	if !s.world.RunUntil(func() bool { return done }, s.world.Now()+syncLimit) {
+		panic("gryff: fence did not complete")
+	}
+}

@@ -1,0 +1,206 @@
+package gryff
+
+import (
+	"fmt"
+	"testing"
+
+	"rsskv/internal/core"
+	"rsskv/internal/history"
+	"rsskv/internal/sim"
+)
+
+// recordingClient drives random operations and records them.
+type recordingClient struct {
+	c    *Client
+	rec  *history.Recorder
+	keys []string
+	ops  int
+	left int
+	done *int
+	rmws bool
+}
+
+func (rc *recordingClient) Recv(ctx *sim.Context, from sim.NodeID, msg sim.Message) {
+	rc.c.Recv(ctx, from, msg)
+}
+
+func (rc *recordingClient) Init(ctx *sim.Context) { rc.next(ctx) }
+
+func (rc *recordingClient) next(ctx *sim.Context) {
+	if rc.left == 0 {
+		*rc.done++
+		return
+	}
+	rc.left--
+	key := rc.keys[ctx.Rand().Intn(len(rc.keys))]
+	r := ctx.Rand().Float64()
+	switch {
+	case rc.rmws && r < 0.15:
+		op := rc.rec.NewOp(int(rc.c.ID), core.RMW, ctx.Now())
+		arg := "+" + rc.rec.UniqueValue()
+		rc.c.RMW(ctx, key, FnAppend, arg, func(ctx *sim.Context, res RMWResult) {
+			op.Reads = map[string]string{key: res.Base}
+			op.Writes = map[string]string{key: res.Value}
+			op.Version = res.CS.Rank()
+			rc.rec.Done(op, ctx.Now())
+			rc.next(ctx)
+		})
+	case r < 0.5:
+		op := rc.rec.NewOp(int(rc.c.ID), core.Write, ctx.Now())
+		op.Key = key
+		op.Value = rc.rec.UniqueValue()
+		rc.c.Write(ctx, key, op.Value, func(ctx *sim.Context, res WriteResult) {
+			op.Version = res.CS.Rank()
+			rc.rec.Done(op, ctx.Now())
+			rc.next(ctx)
+		})
+	default:
+		op := rc.rec.NewOp(int(rc.c.ID), core.Read, ctx.Now())
+		op.Key = key
+		rc.c.Read(ctx, key, func(ctx *sim.Context, res ReadResult) {
+			op.Value = res.Value
+			op.Version = res.CS.Rank()
+			rc.rec.Done(op, ctx.Now())
+			rc.next(ctx)
+		})
+	}
+}
+
+// runRecorded runs nClients clients doing opsEach random ops each under
+// mode and returns the recorded history.
+func runRecorded(t *testing.T, mode Mode, seed int64, nClients, opsEach int, rmws bool) *history.History {
+	t.Helper()
+	net := sim.Topology5Region()
+	net.JitterMean = sim.Ms(1)
+	w := sim.NewWorld(net, seed)
+	cl := NewCluster(w, net, Config{Regions: []sim.RegionID{0, 1, 2, 3, 4}})
+	rec := history.NewRecorder()
+	done := 0
+	keys := []string{"hot", "k1", "k2"}
+	for i := 0; i < nClients; i++ {
+		reg := sim.RegionID(i % 5)
+		rc := &recordingClient{
+			c:    cl.NewClient(uint32(i+1), reg, mode),
+			rec:  rec,
+			keys: keys,
+			left: opsEach,
+			done: &done,
+			rmws: rmws,
+		}
+		w.AddNode(rc, reg)
+	}
+	if !w.RunUntil(func() bool { return done == nClients }, 3600*sim.Second) {
+		t.Fatalf("workload did not finish: %d/%d clients done", done, nClients)
+	}
+	return &rec.H
+}
+
+func TestGryffHistoryIsLinearizable(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		h := runRecorded(t, ModeLinearizable, seed, 8, 30, true)
+		if err := history.Check(h, core.Linearizability); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		// Linearizability implies the weaker models.
+		if err := history.Check(h, core.RSC); err != nil {
+			t.Fatalf("seed %d RSC: %v", seed, err)
+		}
+		if err := history.Check(h, core.SequentialConsistency); err != nil {
+			t.Fatalf("seed %d SC: %v", seed, err)
+		}
+	}
+}
+
+func TestGryffRSCHistorySatisfiesRSC(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		h := runRecorded(t, ModeRSC, seed, 8, 30, true)
+		if err := history.Check(h, core.RSC); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestGryffRSCRelaxationObservable(t *testing.T) {
+	// Deterministic new-old inversion: client A (CA) observes a partially
+	// propagated write; client B (VA) then reads the old value. The
+	// recorded history violates linearizability but satisfies RSC —
+	// exactly the relaxation Gryff-RSC exploits (§7.1).
+	net := sim.Topology5Region()
+	w := sim.NewWorld(net, 1)
+	cl := NewCluster(w, net, Config{Regions: []sim.RegionID{0, 1, 2, 3, 4}})
+	a := NewSyncClient(w, 0, cl.NewClient(1, 0, ModeRSC))
+	b := NewSyncClient(w, 1, cl.NewClient(2, 1, ModeRSC))
+	rec := history.NewRecorder()
+
+	// v1 fully propagated.
+	wop := rec.NewOp(1, core.Write, w.Now())
+	wop.Key, wop.Value = "k", "v1"
+	res := a.Write("k", "v1")
+	wop.Version = res.CS.Rank()
+	rec.Done(wop, w.Now())
+
+	// v2 planted on OR only: a pending write by an external client.
+	v2cs := Carstamp{Num: 9, ClientID: 7}
+	cl.Replicas[3].apply("k", "v2", v2cs)
+	pend := rec.NewOp(7, core.Write, w.Now())
+	pend.Key, pend.Value = "k", "v2"
+	pend.Version = v2cs.Rank()
+	rec.Abandon(pend)
+
+	// A's quorum {CA, OR, VA} sees v2.
+	ra := rec.NewOp(1, core.Read, w.Now())
+	ra.Key = "k"
+	got := a.Read("k")
+	ra.Value, ra.Version = got.Value, got.CS.Rank()
+	rec.Done(ra, w.Now())
+	if got.Value != "v2" {
+		t.Fatalf("A read %q, want v2", got.Value)
+	}
+
+	// B's quorum {VA, CA, IR} sees only v1 — strictly after A's read
+	// completed in real time (advance the clock to separate them).
+	w.Run(w.Now() + sim.Ms(1))
+	rb := rec.NewOp(2, core.Read, w.Now())
+	rb.Key = "k"
+	got = b.Read("k")
+	rb.Value, rb.Version = got.Value, got.CS.Rank()
+	rec.Done(rb, w.Now())
+	if got.Value != "v1" {
+		t.Fatalf("B read %q, want v1 (stale)", got.Value)
+	}
+
+	if err := history.Check(&rec.H, core.Linearizability); err == nil {
+		t.Error("inversion history passed linearizability; the checker or protocol is wrong")
+	}
+	if err := history.Check(&rec.H, core.RSC); err != nil {
+		t.Errorf("inversion history must satisfy RSC: %v", err)
+	}
+}
+
+func TestGryffRSCManySeedsNoViolation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long consistency sweep")
+	}
+	for seed := int64(10); seed < 22; seed++ {
+		h := runRecorded(t, ModeRSC, seed, 10, 40, false)
+		if err := history.Check(h, core.RSC); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestHistoryOpCounts(t *testing.T) {
+	h := runRecorded(t, ModeLinearizable, 3, 4, 10, false)
+	if h.Len() != 40 {
+		t.Errorf("recorded %d ops, want 40", h.Len())
+	}
+	for _, op := range h.Ops {
+		if !op.Complete() {
+			t.Errorf("op %d incomplete", op.ID)
+		}
+		if op.Respond < op.Invoke {
+			t.Errorf("op %d responds before invoke", op.ID)
+		}
+	}
+	_ = fmt.Sprint(h.ByClient(1))
+}

@@ -1,0 +1,118 @@
+package gryff
+
+import (
+	"fmt"
+	"testing"
+
+	"rsskv/internal/sim"
+)
+
+// chaosClient issues a random mix of writes and rmws on a hot key.
+type chaosClient struct {
+	c    *Client
+	left int
+	done *int
+}
+
+func (cc *chaosClient) Recv(ctx *sim.Context, from sim.NodeID, msg sim.Message) {
+	cc.c.Recv(ctx, from, msg)
+}
+
+func (cc *chaosClient) Init(ctx *sim.Context) { cc.next(ctx) }
+
+func (cc *chaosClient) next(ctx *sim.Context) {
+	if cc.left == 0 {
+		*cc.done++
+		return
+	}
+	cc.left--
+	if ctx.Rand().Intn(2) == 0 {
+		cc.c.RMW(ctx, "hot", FnIncr, "1", func(ctx *sim.Context, _ RMWResult) { cc.next(ctx) })
+	} else {
+		v := fmt.Sprintf("w%d-%d", cc.c.ID, cc.left)
+		cc.c.Write(ctx, "hot", v, func(ctx *sim.Context, _ WriteResult) { cc.next(ctx) })
+	}
+}
+
+// TestReplicaConvergence: after a contended mix of writes and rmws settles,
+// every replica holds the same value and carstamp for the key — the
+// register and consensus paths agree on a single total order per key.
+func TestReplicaConvergence(t *testing.T) {
+	for _, mode := range []Mode{ModeLinearizable, ModeRSC} {
+		for seed := int64(1); seed <= 4; seed++ {
+			t.Run(fmt.Sprintf("%v/seed%d", mode, seed), func(t *testing.T) {
+				net := sim.Topology5Region()
+				net.JitterMean = sim.Ms(1)
+				w := sim.NewWorld(net, seed)
+				cl := NewCluster(w, net, Config{Regions: []sim.RegionID{0, 1, 2, 3, 4}})
+				done := 0
+				n := 6
+				for i := 0; i < n; i++ {
+					reg := sim.RegionID(i % 5)
+					cc := &chaosClient{c: cl.NewClient(uint32(i+1), reg, mode), left: 10, done: &done}
+					w.AddNode(cc, reg)
+				}
+				if !w.RunUntil(func() bool { return done == n }, 3600*sim.Second) {
+					t.Fatalf("chaos run stuck at %d/%d", done, n)
+				}
+				w.Drain() // let every commit/write propagate fully
+				v0, cs0 := cl.Replicas[0].Value("hot")
+				for i := 1; i < 5; i++ {
+					v, cs := cl.Replicas[i].Value("hot")
+					if v != v0 || !cs.Equal(cs0) {
+						t.Errorf("replica %d diverged: (%q, %v) vs (%q, %v)", i, v, cs, v0, cs0)
+					}
+				}
+				if v0 == "" {
+					t.Error("no value converged")
+				}
+			})
+		}
+	}
+}
+
+// TestRMWChainDeterminism: rmw execution order must be identical across
+// replicas even under dependency cycles; the final counter equals the
+// number of increments regardless of interleaving.
+func TestRMWChainDeterminism(t *testing.T) {
+	net := sim.Topology5Region()
+	w := sim.NewWorld(net, 9)
+	cl := NewCluster(w, net, Config{Regions: []sim.RegionID{0, 1, 2, 3, 4}})
+	done := 0
+	const n = 5
+	for i := 0; i < n; i++ {
+		reg := sim.RegionID(i)
+		cc := &rmwOnly{c: cl.NewClient(uint32(i+1), reg, ModeLinearizable), left: 4, done: &done}
+		w.AddNode(cc, reg)
+	}
+	if !w.RunUntil(func() bool { return done == n }, 3600*sim.Second) {
+		t.Fatalf("rmw chain stuck at %d/%d", done, n)
+	}
+	w.Drain()
+	for i, r := range cl.Replicas {
+		if v, _ := r.Value("ctr"); v != "20" {
+			t.Errorf("replica %d counter = %q, want 20", i, v)
+		}
+	}
+}
+
+type rmwOnly struct {
+	c    *Client
+	left int
+	done *int
+}
+
+func (r *rmwOnly) Recv(ctx *sim.Context, from sim.NodeID, msg sim.Message) {
+	r.c.Recv(ctx, from, msg)
+}
+
+func (r *rmwOnly) Init(ctx *sim.Context) { r.next(ctx) }
+
+func (r *rmwOnly) next(ctx *sim.Context) {
+	if r.left == 0 {
+		*r.done++
+		return
+	}
+	r.left--
+	r.c.RMW(ctx, "ctr", FnIncr, "1", func(ctx *sim.Context, _ RMWResult) { r.next(ctx) })
+}

@@ -1,0 +1,363 @@
+package gryff
+
+import (
+	"fmt"
+	"testing"
+
+	"rsskv/internal/sim"
+)
+
+// newTestCluster builds a 5-region world with one replica per region and
+// returns sync clients in the given regions.
+func newTestCluster(t *testing.T, mode Mode, clientRegions ...sim.RegionID) (*sim.World, *Cluster, []*SyncClient) {
+	t.Helper()
+	net := sim.Topology5Region()
+	w := sim.NewWorld(net, 1)
+	cl := NewCluster(w, net, Config{Regions: []sim.RegionID{0, 1, 2, 3, 4}})
+	var clients []*SyncClient
+	for i, reg := range clientRegions {
+		c := cl.NewClient(uint32(i+1), reg, mode)
+		clients = append(clients, NewSyncClient(w, reg, c))
+	}
+	return w, cl, clients
+}
+
+func TestReadYourWrite(t *testing.T) {
+	for _, mode := range []Mode{ModeLinearizable, ModeRSC} {
+		t.Run(mode.String(), func(t *testing.T) {
+			_, _, cs := newTestCluster(t, mode, 0)
+			c := cs[0]
+			if got := c.Read("k"); got.Value != "" {
+				t.Fatalf("initial read = %q, want empty", got.Value)
+			}
+			w := c.Write("k", "v1")
+			if w.CS.Num != 1 || w.CS.ClientID != 1 {
+				t.Errorf("write carstamp = %v", w.CS)
+			}
+			if got := c.Read("k"); got.Value != "v1" {
+				t.Errorf("read after write = %q, want v1", got.Value)
+			}
+		})
+	}
+}
+
+func TestCrossClientVisibility(t *testing.T) {
+	for _, mode := range []Mode{ModeLinearizable, ModeRSC} {
+		t.Run(mode.String(), func(t *testing.T) {
+			_, _, cs := newTestCluster(t, mode, 0, 2)
+			cs[0].Write("k", "v1")
+			if got := cs[1].Read("k"); got.Value != "v1" {
+				t.Errorf("remote read = %q, want v1", got.Value)
+			}
+		})
+	}
+}
+
+func TestWriteOrdering(t *testing.T) {
+	_, _, cs := newTestCluster(t, ModeLinearizable, 0, 4)
+	w1 := cs[0].Write("k", "a")
+	w2 := cs[1].Write("k", "b")
+	if !w1.CS.Less(w2.CS) {
+		t.Errorf("second write carstamp %v not after first %v", w2.CS, w1.CS)
+	}
+	if got := cs[0].Read("k"); got.Value != "b" {
+		t.Errorf("read = %q, want b", got.Value)
+	}
+}
+
+func TestReadLatencyIsQuorumRTT(t *testing.T) {
+	// An IR client's read quorum is {IR, VA, CA/OR}: the third-fastest
+	// RTT from IR is 145ms (Table 2), so an uncontended read takes 145ms.
+	w, _, cs := newTestCluster(t, ModeLinearizable, 2)
+	start := w.Now()
+	res := cs[0].Read("k")
+	if !res.FastPath {
+		t.Error("uncontended read took the slow path")
+	}
+	lat := w.Now() - start
+	if lat != sim.Ms(145) {
+		t.Errorf("IR read latency = %v, want 145ms", lat)
+	}
+}
+
+func TestWriteLatencyIsTwoQuorumRTTs(t *testing.T) {
+	w, _, cs := newTestCluster(t, ModeLinearizable, 2)
+	start := w.Now()
+	cs[0].Write("k", "v")
+	lat := w.Now() - start
+	if lat != sim.Ms(290) {
+		t.Errorf("IR write latency = %v, want 290ms", lat)
+	}
+}
+
+// interceptWorld wraps a world to let tests run a partial write: the write
+// stops after reaching a quorum, leaving replicas disagreeing.
+func partialWrite(t *testing.T, w *sim.World, cl *Cluster, key, val string, cs Carstamp, replicas ...int) {
+	t.Helper()
+	ctx := w.NodeContext(cl.ReplicaIDs[replicas[0]])
+	for _, ri := range replicas {
+		cl.Replicas[ri].apply(key, val, cs)
+	}
+	_ = ctx
+}
+
+func TestGryffSlowPathOnDisagreement(t *testing.T) {
+	w, cl, cs := newTestCluster(t, ModeLinearizable, 0)
+	// Plant a partially propagated write: replicas 0–2 have v2, 3–4 don't.
+	cs[0].Write("k", "v1")
+	partialWrite(t, w, cl, "k", "v2", Carstamp{Num: 9, ClientID: 7}, 0)
+	start := w.Now()
+	res := cs[0].Read("k")
+	if res.FastPath {
+		t.Error("read with disagreeing quorum took the fast path")
+	}
+	if res.Value != "v2" {
+		t.Errorf("read = %q, want v2 (the newest quorum value)", res.Value)
+	}
+	lat := w.Now() - start
+	// CA quorum RTT is 72ms; slow path is two rounds.
+	if lat != sim.Ms(144) {
+		t.Errorf("slow-path latency = %v, want 144ms", lat)
+	}
+	// The write-back repaired a quorum: a following read is fast again.
+	res2 := cs[0].Read("k")
+	if !res2.FastPath || res2.Value != "v2" {
+		t.Errorf("post-write-back read = %+v, want fast v2", res2)
+	}
+}
+
+func TestRSCOneRoundOnDisagreement(t *testing.T) {
+	w, cl, cs := newTestCluster(t, ModeRSC, 0)
+	cs[0].Write("k", "v1")
+	partialWrite(t, w, cl, "k", "v2", Carstamp{Num: 9, ClientID: 7}, 0)
+	start := w.Now()
+	res := cs[0].Read("k")
+	if !res.FastPath {
+		t.Error("Gryff-RSC read must always be one round")
+	}
+	if res.Value != "v2" {
+		t.Errorf("read = %q, want v2", res.Value)
+	}
+	if lat := w.Now() - start; lat != sim.Ms(72) {
+		t.Errorf("RSC read latency = %v, want 72ms (one CA quorum round)", lat)
+	}
+	// The observed value is now a pending dependency.
+	if d := cs[0].C.Dep(); !d.Valid || d.Key != "k" || d.Value != "v2" {
+		t.Errorf("dependency = %+v, want pending k=v2", d)
+	}
+	// The next operation piggybacks it; after that round it is cleared.
+	cs[0].Read("k2")
+	if d := cs[0].C.Dep(); d.Valid {
+		t.Errorf("dependency not cleared after next op: %+v", d)
+	}
+}
+
+func TestRSCDependencyOrdersCausalReads(t *testing.T) {
+	// Client A reads v2 from a partial write (dependency pending); its
+	// next operation propagates v2 to a quorum, so any read that follows
+	// that operation observes v2 or newer.
+	w, cl, cs := newTestCluster(t, ModeRSC, 0, 1)
+	cs[0].Write("k", "v1")
+	partialWrite(t, w, cl, "k", "v2", Carstamp{Num: 9, ClientID: 7}, 1)
+	r := cs[0].Read("k")
+	if r.Value != "v2" {
+		t.Fatalf("read = %q, want v2", r.Value)
+	}
+	cs[0].Read("other") // piggybacks the dependency to a quorum
+	got := cs[1].Read("k")
+	if got.Value != "v2" {
+		t.Errorf("causally-later read = %q, want v2", got.Value)
+	}
+}
+
+func TestFenceWritesBackDependency(t *testing.T) {
+	w, cl, cs := newTestCluster(t, ModeRSC, 0, 1)
+	cs[0].Write("k", "v1")
+	// Plant the partial write on OR (replica 3), inside the CA client's
+	// read quorum {CA, OR, VA}.
+	partialWrite(t, w, cl, "k", "v2", Carstamp{Num: 9, ClientID: 7}, 3)
+	r := cs[0].Read("k")
+	if r.Value != "v2" || !cs[0].C.Dep().Valid {
+		t.Fatalf("setup failed: read %+v dep %+v", r, cs[0].C.Dep())
+	}
+	cs[0].Fence()
+	if cs[0].C.Dep().Valid {
+		t.Error("fence did not clear the dependency")
+	}
+	// After the fence, v2 is on a quorum: any client's read returns it.
+	if got := cs[1].Read("k"); got.Value != "v2" {
+		t.Errorf("post-fence read = %q, want v2", got.Value)
+	}
+}
+
+func TestFenceNoDependencyIsFree(t *testing.T) {
+	w, _, cs := newTestCluster(t, ModeRSC, 0)
+	start := w.Now()
+	cs[0].Fence()
+	if w.Now() != start {
+		t.Errorf("no-op fence took %v", w.Now()-start)
+	}
+}
+
+func TestRMWIncrement(t *testing.T) {
+	for _, mode := range []Mode{ModeLinearizable, ModeRSC} {
+		t.Run(mode.String(), func(t *testing.T) {
+			_, _, cs := newTestCluster(t, mode, 0)
+			c := cs[0]
+			for i := 1; i <= 5; i++ {
+				res := c.RMW("ctr", FnIncr, "1")
+				if want := fmt.Sprint(i); res.Value != want {
+					t.Fatalf("rmw %d = %q, want %q", i, res.Value, want)
+				}
+			}
+			if got := c.Read("ctr"); got.Value != "5" {
+				t.Errorf("counter = %q, want 5", got.Value)
+			}
+		})
+	}
+}
+
+func TestRMWOrderedAfterWrite(t *testing.T) {
+	_, _, cs := newTestCluster(t, ModeLinearizable, 0)
+	cs[0].Write("k", "base-")
+	res := cs[0].RMW("k", FnAppend, "x")
+	if res.Value != "base-x" {
+		t.Errorf("rmw result = %q, want base-x", res.Value)
+	}
+	if got := cs[0].Read("k"); got.Value != "base-x" {
+		t.Errorf("read = %q, want base-x", got.Value)
+	}
+}
+
+func TestRMWConcurrentFromTwoClients(t *testing.T) {
+	// Two rmws issued back-to-back from different regions must both apply
+	// (atomicity): the counter ends at 2 on every replica.
+	w, cl, _ := func() (*sim.World, *Cluster, []*SyncClient) {
+		net := sim.Topology5Region()
+		w := sim.NewWorld(net, 3)
+		cl := NewCluster(w, net, Config{Regions: []sim.RegionID{0, 1, 2, 3, 4}})
+		return w, cl, nil
+	}()
+	// Drive two async clients concurrently.
+	c1 := cl.NewClient(1, 0, ModeLinearizable)
+	c2 := cl.NewClient(2, 4, ModeLinearizable)
+	n1 := newAsyncNode(w, 0, c1)
+	n2 := newAsyncNode(w, 4, c2)
+	done := 0
+	n1.do = func(ctx *sim.Context) {
+		c1.RMW(ctx, "ctr", FnIncr, "1", func(*sim.Context, RMWResult) { done++ })
+	}
+	n2.do = func(ctx *sim.Context) {
+		c2.RMW(ctx, "ctr", FnIncr, "1", func(*sim.Context, RMWResult) { done++ })
+	}
+	w.RunUntil(func() bool { return done == 2 }, 10*sim.Second)
+	if done != 2 {
+		t.Fatal("rmws did not complete")
+	}
+	w.Run(w.Now() + 5*sim.Second) // let commits propagate
+	for i, r := range cl.Replicas {
+		if v, _ := r.Value("ctr"); v != "2" {
+			t.Errorf("replica %d counter = %q, want 2", i, v)
+		}
+	}
+}
+
+// asyncNode hosts a client and triggers do() at init.
+type asyncNode struct {
+	c  *Client
+	do func(*sim.Context)
+}
+
+func newAsyncNode(w *sim.World, region sim.RegionID, c *Client) *asyncNode {
+	n := &asyncNode{c: c}
+	w.AddNode(n, region)
+	return n
+}
+
+func (n *asyncNode) Init(ctx *sim.Context) {
+	if n.do != nil {
+		n.do(ctx)
+	}
+}
+
+func (n *asyncNode) Recv(ctx *sim.Context, from sim.NodeID, msg sim.Message) {
+	n.c.Recv(ctx, from, msg)
+}
+
+func TestWeakReadIsLocal(t *testing.T) {
+	w, _, cs := newTestCluster(t, ModeWeakRead, 2)
+	start := w.Now()
+	res := cs[0].Read("k")
+	if lat := w.Now() - start; lat != sim.Ms(0.2) {
+		t.Errorf("weak read latency = %v, want 0.2ms (local replica)", lat)
+	}
+	if res.Value != "" {
+		t.Errorf("weak read = %q", res.Value)
+	}
+}
+
+func TestWeakReadMissesCommittedWrite(t *testing.T) {
+	// The anomaly the weak mode exists to demonstrate: a write completed
+	// at a quorum is invisible to a weak (read-one) read at a replica
+	// outside that quorum, while a quorum read is guaranteed to see it.
+	net := sim.Topology5Region()
+	w := sim.NewWorld(net, 5)
+	cl := NewCluster(w, net, Config{Regions: []sim.RegionID{0, 1, 2, 3, 4}})
+	weak := NewSyncClient(w, 4, cl.NewClient(2, 4, ModeWeakRead))
+	strong := NewSyncClient(w, 4, cl.NewClient(3, 4, ModeLinearizable))
+	// A completed write: on a quorum {CA, VA, OR} but not on JP.
+	partialWrite(t, w, cl, "k", "v1", Carstamp{Num: 1, ClientID: 1}, 0, 1, 3)
+	if res := weak.Read("k"); res.Value != "" {
+		t.Errorf("weak read at JP = %q, want stale empty value", res.Value)
+	}
+	if got := strong.Read("k"); got.Value != "v1" {
+		t.Errorf("quorum read = %q, want v1", got.Value)
+	}
+}
+
+func TestProcTimeLimitsThroughput(t *testing.T) {
+	// With a 100µs service time per message, one replica serving local
+	// traffic saturates around 10k messages/sec; verify Busy gating works
+	// through the whole stack.
+	net := sim.TopologyLocal(1, 200*sim.Microsecond)
+	w := sim.NewWorld(net, 2)
+	cl := NewCluster(w, net, Config{Regions: []sim.RegionID{0, 0, 0}, ProcTime: 100 * sim.Microsecond})
+	c := NewSyncClient(w, 0, cl.NewClient(1, 0, ModeLinearizable))
+	start := w.Now()
+	for i := 0; i < 50; i++ {
+		c.Write("k", fmt.Sprintf("v%d", i))
+	}
+	elapsed := w.Now() - start
+	// 50 writes × 2 rounds × (RTT 200µs + service ≥100µs) ≥ 30ms.
+	if elapsed < sim.Ms(25) {
+		t.Errorf("50 writes took %v; service time not applied", elapsed)
+	}
+}
+
+func TestNearestReplica(t *testing.T) {
+	net := sim.Topology5Region()
+	w := sim.NewWorld(net, 1)
+	cl := NewCluster(w, net, Config{Regions: []sim.RegionID{0, 1, 2, 3, 4}})
+	for reg := 0; reg < 5; reg++ {
+		if got := cl.NearestReplica(sim.RegionID(reg)); got != reg {
+			t.Errorf("nearest to region %d = %d, want co-located", reg, got)
+		}
+	}
+}
+
+func TestClientPanicsOnConcurrentOps(t *testing.T) {
+	net := sim.Topology5Region()
+	w := sim.NewWorld(net, 1)
+	cl := NewCluster(w, net, Config{Regions: []sim.RegionID{0, 1, 2, 3, 4}})
+	c := cl.NewClient(1, 0, ModeLinearizable)
+	n := newAsyncNode(w, 0, c)
+	_ = n
+	ctx := w.NodeContext(0)
+	c.Read(ctx, "k", func(*sim.Context, ReadResult) {})
+	defer func() {
+		if recover() == nil {
+			t.Error("second in-flight op did not panic")
+		}
+	}()
+	c.Read(ctx, "k", func(*sim.Context, ReadResult) {})
+}

@@ -1,0 +1,157 @@
+package gryff
+
+// Protocol messages. All messages carry a ReqID that correlates replies
+// with the client's in-flight operation; stale replies are dropped.
+
+// ReadReq is the single round of a read (Algorithm 3/4). Dep carries the
+// Gryff-RSC dependency tuple (zero for baseline Gryff).
+type ReadReq struct {
+	ReqID uint64
+	Key   string
+	Dep   Dep
+}
+
+// ReadReply returns the replica's current value and carstamp for the key.
+type ReadReply struct {
+	ReqID uint64
+	Value string
+	CS    Carstamp
+}
+
+// Write1Req is the carstamp-gathering round of a write.
+type Write1Req struct {
+	ReqID uint64
+	Key   string
+	Dep   Dep
+}
+
+// Write1Reply returns the replica's current carstamp for the key.
+type Write1Reply struct {
+	ReqID uint64
+	CS    Carstamp
+}
+
+// Write2Req propagates a (value, carstamp) pair. It implements the second
+// round of writes, the write-back phase of baseline Gryff reads, and the
+// Gryff-RSC real-time fence.
+type Write2Req struct {
+	ReqID uint64
+	Key   string
+	Value string
+	CS    Carstamp
+}
+
+// Write2Reply acknowledges a Write2Req.
+type Write2Reply struct {
+	ReqID uint64
+}
+
+// LocalReadReq reads one replica's current value without quorum (the
+// weak-read ablation mode; see ModeWeakRead).
+type LocalReadReq struct {
+	ReqID uint64
+	Key   string
+}
+
+// LocalReadReply answers a LocalReadReq.
+type LocalReadReply struct {
+	ReqID uint64
+	Value string
+	CS    Carstamp
+}
+
+// RMWReq asks a replica to coordinate a read-modify-write (Algorithm 5).
+// The transformation function is named so it replicates deterministically.
+type RMWReq struct {
+	ReqID uint64
+	Key   string
+	Fn    RMWFunc
+	Arg   string
+	Dep   Dep
+}
+
+// RMWReply returns the value the rmw produced.
+type RMWReply struct {
+	ReqID uint64
+	Value string
+	Base  string // the value the function was applied to
+	CS    Carstamp
+}
+
+// InstID names an EPaxos instance: (coordinating replica, slot).
+type InstID struct {
+	Replica uint32
+	Slot    uint64
+}
+
+// PreAccept is the first phase of rmw consensus.
+type PreAccept struct {
+	Inst InstID
+	Cmd  Command
+	Seq  uint64
+	Deps []InstID
+	Base ValCS
+	Dep  Dep // client dependency tuple, applied before processing
+}
+
+// PreAcceptOK returns the receiving replica's merged attributes.
+type PreAcceptOK struct {
+	Inst InstID
+	Seq  uint64
+	Deps []InstID
+	Base ValCS
+}
+
+// Accept is the slow-path round, fixing the final attributes.
+type Accept struct {
+	Inst InstID
+	Cmd  Command
+	Seq  uint64
+	Deps []InstID
+	Base ValCS
+}
+
+// AcceptOK acknowledges an Accept.
+type AcceptOK struct {
+	Inst InstID
+}
+
+// Commit finalizes an instance's attributes on all replicas.
+type Commit struct {
+	Inst InstID
+	Cmd  Command
+	Seq  uint64
+	Deps []InstID
+	Base ValCS
+}
+
+// Command is the replicated rmw operation.
+type Command struct {
+	Key    string
+	Fn     RMWFunc
+	Arg    string
+	Client uint32
+	ReqID  uint64
+}
+
+// ValCS is a value with its carstamp (the rmw base update of Algorithm 5).
+type ValCS struct {
+	Value string
+	CS    Carstamp
+}
+
+// RMWFunc names a deterministic read-modify-write transformation. The
+// function is identified by name (not a closure) so every replica executes
+// the same computation.
+type RMWFunc string
+
+// Built-in rmw transformations.
+const (
+	// FnAppend appends Arg to the current value.
+	FnAppend RMWFunc = "append"
+	// FnIncr parses the current value as a decimal integer (empty = 0)
+	// and adds the integer Arg.
+	FnIncr RMWFunc = "incr"
+	// FnSetIfEmpty writes Arg only if the current value is empty.
+	FnSetIfEmpty RMWFunc = "set-if-empty"
+)

@@ -1,0 +1,564 @@
+package gryff
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"rsskv/internal/sim"
+)
+
+// applyFn executes a named rmw transformation.
+func applyFn(fn RMWFunc, cur, arg string) string {
+	switch fn {
+	case FnAppend:
+		return cur + arg
+	case FnIncr:
+		n := int64(0)
+		if cur != "" {
+			n, _ = strconv.ParseInt(cur, 10, 64)
+		}
+		d, _ := strconv.ParseInt(arg, 10, 64)
+		return strconv.FormatInt(n+d, 10)
+	case FnSetIfEmpty:
+		if cur == "" {
+			return arg
+		}
+		return cur
+	}
+	panic(fmt.Sprintf("gryff: unknown rmw function %q", fn))
+}
+
+type instStatus int
+
+const (
+	statusNone instStatus = iota
+	statusPreAccepted
+	statusAccepted
+	statusCommitted
+	statusExecuted
+)
+
+// instance is one EPaxos consensus slot for an rmw command.
+type instance struct {
+	id     InstID
+	cmd    Command
+	seq    uint64
+	deps   []InstID
+	base   ValCS
+	status instStatus
+
+	// Coordinator-only bookkeeping.
+	preOKs    int
+	acceptOKs int
+	conflict  bool // a PreAcceptOK disagreed → slow path
+	client    sim.NodeID
+	hasClient bool
+	result    ValCS
+	wbBase    string // value the command was applied to (for the reply)
+	acks      int    // write-back acknowledgments received
+}
+
+// Replica is one Gryff server. It serves the shared-register protocol for
+// reads and writes and participates in EPaxos consensus for rmws.
+type Replica struct {
+	id    uint32 // index into the cluster's replica list
+	peers []sim.NodeID
+
+	vals map[string]string
+	cs   map[string]Carstamp
+
+	insts    map[InstID]*instance
+	executed map[InstID]ValCS // results of executed instances
+	perKey   map[string][]InstID
+	nextSlot uint64
+
+	// Write-back of executed rmw results: the coordinator propagates the
+	// result to a quorum before replying to the client, so any subsequent
+	// read quorum intersects a replica holding it (linearizability of
+	// rmws; reads use majority quorums).
+	wb     map[uint64]*instance
+	nextWB uint64
+
+	// ProcTime is the CPU cost charged per handled message; it models the
+	// single-threaded server of the overhead experiments.
+	ProcTime sim.Time
+}
+
+// NewReplica constructs replica id of a cluster whose members (including
+// itself) live at peers.
+func NewReplica(id uint32, peers []sim.NodeID) *Replica {
+	return &Replica{
+		id:       id,
+		peers:    peers,
+		vals:     make(map[string]string),
+		cs:       make(map[string]Carstamp),
+		insts:    make(map[InstID]*instance),
+		executed: make(map[InstID]ValCS),
+		perKey:   make(map[string][]InstID),
+		wb:       make(map[uint64]*instance),
+	}
+}
+
+// n returns the cluster size.
+func (r *Replica) n() int { return len(r.peers) }
+
+// fastQuorumFollowers is the number of matching PreAcceptOKs needed for the
+// fast path: f + ⌊(f+1)/2⌋ for n = 2f+1 (EPaxos).
+func (r *Replica) fastQuorumFollowers() int {
+	f := (r.n() - 1) / 2
+	return f + (f+1)/2
+}
+
+// slowQuorumFollowers is the number of AcceptOKs needed (a majority
+// counting the coordinator).
+func (r *Replica) slowQuorumFollowers() int { return (r.n() - 1) / 2 }
+
+// apply installs (v, cs) for k if cs is newer than the current carstamp
+// (Algorithm 4, Server::Apply).
+func (r *Replica) apply(k, v string, cs Carstamp) {
+	if cur, ok := r.cs[k]; !ok || cur.Less(cs) {
+		r.vals[k] = v
+		r.cs[k] = cs
+	}
+}
+
+func (r *Replica) applyDep(d Dep) {
+	if d.Valid {
+		r.apply(d.Key, d.Value, d.CS)
+	}
+}
+
+// Value returns the replica's current value and carstamp for k (testing).
+func (r *Replica) Value(k string) (string, Carstamp) { return r.vals[k], r.cs[k] }
+
+// ApplyForTest installs a value directly, bypassing the protocol. Tests
+// use it to plant partially propagated writes.
+func (r *Replica) ApplyForTest(k, v string, cs Carstamp) { r.apply(k, v, cs) }
+
+// Recv implements sim.Handler.
+func (r *Replica) Recv(ctx *sim.Context, from sim.NodeID, msg sim.Message) {
+	if r.ProcTime > 0 {
+		ctx.Busy(r.ProcTime)
+	}
+	switch m := msg.(type) {
+	case ReadReq:
+		r.applyDep(m.Dep)
+		ctx.Send(from, ReadReply{ReqID: m.ReqID, Value: r.vals[m.Key], CS: r.cs[m.Key]})
+	case Write1Req:
+		r.applyDep(m.Dep)
+		ctx.Send(from, Write1Reply{ReqID: m.ReqID, CS: r.cs[m.Key]})
+	case Write2Req:
+		r.apply(m.Key, m.Value, m.CS)
+		ctx.Send(from, Write2Reply{ReqID: m.ReqID})
+	case Write2Reply:
+		r.onRMWWriteBackAck(ctx, m)
+	case LocalReadReq:
+		ctx.Send(from, LocalReadReply{ReqID: m.ReqID, Value: r.vals[m.Key], CS: r.cs[m.Key]})
+	case RMWReq:
+		r.coordinateRMW(ctx, from, m)
+	case PreAccept:
+		r.onPreAccept(ctx, from, m)
+	case PreAcceptOK:
+		r.onPreAcceptOK(ctx, m)
+	case Accept:
+		r.onAccept(ctx, from, m)
+	case AcceptOK:
+		r.onAcceptOK(ctx, m)
+	case Commit:
+		r.onCommit(ctx, m)
+	default:
+		panic(fmt.Sprintf("gryff: replica got unexpected message %T", msg))
+	}
+}
+
+// interferingDeps returns the committed-or-pending instances on key k,
+// which all interfere with a new command on k.
+func (r *Replica) interferingDeps(k string) []InstID {
+	deps := append([]InstID(nil), r.perKey[k]...)
+	sort.Slice(deps, func(i, j int) bool {
+		if deps[i].Replica != deps[j].Replica {
+			return deps[i].Replica < deps[j].Replica
+		}
+		return deps[i].Slot < deps[j].Slot
+	})
+	return deps
+}
+
+// maxSeq returns 1 + the largest seq among instances, or floor if none.
+func (r *Replica) maxSeq(ids []InstID, floor uint64) uint64 {
+	s := floor
+	for _, id := range ids {
+		if in := r.insts[id]; in != nil && in.seq >= s {
+			s = in.seq + 1
+		}
+	}
+	return s
+}
+
+// coordinateRMW starts consensus for a client rmw (Algorithm 5,
+// Server::RMWRecv).
+func (r *Replica) coordinateRMW(ctx *sim.Context, client sim.NodeID, m RMWReq) {
+	r.applyDep(m.Dep)
+	r.nextSlot++
+	id := InstID{Replica: r.id, Slot: r.nextSlot}
+	deps := r.interferingDeps(m.Key)
+	in := &instance{
+		id:        id,
+		cmd:       Command{Key: m.Key, Fn: m.Fn, Arg: m.Arg, ReqID: m.ReqID},
+		seq:       r.maxSeq(deps, 1),
+		deps:      deps,
+		base:      ValCS{Value: r.vals[m.Key], CS: r.cs[m.Key]},
+		status:    statusPreAccepted,
+		client:    client,
+		hasClient: true,
+	}
+	r.insts[id] = in
+	r.perKey[m.Key] = append(r.perKey[m.Key], id)
+	for i, p := range r.peers {
+		if uint32(i) == r.id {
+			continue
+		}
+		ctx.Send(p, PreAccept{Inst: id, Cmd: in.cmd, Seq: in.seq, Deps: in.deps, Base: in.base, Dep: m.Dep})
+	}
+}
+
+func (r *Replica) onPreAccept(ctx *sim.Context, from sim.NodeID, m PreAccept) {
+	r.applyDep(m.Dep)
+	seq := r.maxSeq(r.interferingDeps(m.Cmd.Key), m.Seq)
+	deps := unionDeps(m.Deps, r.interferingDeps(m.Cmd.Key))
+	base := m.Base
+	if k := m.Cmd.Key; base.CS.Less(r.cs[k]) {
+		base = ValCS{Value: r.vals[k], CS: r.cs[k]}
+	}
+	in := r.insts[m.Inst]
+	if in == nil {
+		in = &instance{id: m.Inst}
+		r.insts[m.Inst] = in
+		r.perKey[m.Cmd.Key] = append(r.perKey[m.Cmd.Key], m.Inst)
+	}
+	in.cmd, in.seq, in.deps, in.base = m.Cmd, seq, deps, base
+	if in.status < statusPreAccepted {
+		in.status = statusPreAccepted
+	}
+	ctx.Send(from, PreAcceptOK{Inst: m.Inst, Seq: seq, Deps: deps, Base: base})
+}
+
+func (r *Replica) onPreAcceptOK(ctx *sim.Context, m PreAcceptOK) {
+	in := r.insts[m.Inst]
+	if in == nil || in.status != statusPreAccepted || in.id.Replica != r.id {
+		return
+	}
+	if m.Seq != in.seq || !depsEqual(m.Deps, in.deps) || m.Base != in.base {
+		in.conflict = true
+		// Merge toward the union attributes for the slow path.
+		if m.Seq > in.seq {
+			in.seq = m.Seq
+		}
+		in.deps = unionDeps(in.deps, m.Deps)
+		if in.base.CS.Less(m.Base.CS) {
+			in.base = m.Base
+		}
+	}
+	in.preOKs++
+	if in.preOKs < r.fastQuorumFollowers() {
+		return
+	}
+	if !in.conflict {
+		r.commitInstance(ctx, in)
+		return
+	}
+	// Slow path: fix the merged attributes with an Accept round.
+	in.status = statusAccepted
+	in.acceptOKs = 0
+	for i, p := range r.peers {
+		if uint32(i) == r.id {
+			continue
+		}
+		ctx.Send(p, Accept{Inst: in.id, Cmd: in.cmd, Seq: in.seq, Deps: in.deps, Base: in.base})
+	}
+}
+
+func (r *Replica) onAccept(ctx *sim.Context, from sim.NodeID, m Accept) {
+	in := r.insts[m.Inst]
+	if in == nil {
+		in = &instance{id: m.Inst}
+		r.insts[m.Inst] = in
+		r.perKey[m.Cmd.Key] = append(r.perKey[m.Cmd.Key], m.Inst)
+	}
+	in.cmd, in.seq, in.deps, in.base = m.Cmd, m.Seq, m.Deps, m.Base
+	if in.status < statusAccepted {
+		in.status = statusAccepted
+	}
+	ctx.Send(from, AcceptOK{Inst: m.Inst})
+}
+
+func (r *Replica) onAcceptOK(ctx *sim.Context, m AcceptOK) {
+	in := r.insts[m.Inst]
+	if in == nil || in.status != statusAccepted || in.id.Replica != r.id {
+		return
+	}
+	in.acceptOKs++
+	if in.acceptOKs >= r.slowQuorumFollowers() {
+		r.commitInstance(ctx, in)
+	}
+}
+
+func (r *Replica) commitInstance(ctx *sim.Context, in *instance) {
+	in.status = statusCommitted
+	for i, p := range r.peers {
+		if uint32(i) == r.id {
+			continue
+		}
+		ctx.Send(p, Commit{Inst: in.id, Cmd: in.cmd, Seq: in.seq, Deps: in.deps, Base: in.base})
+	}
+	r.tryExecute(ctx)
+}
+
+func (r *Replica) onCommit(ctx *sim.Context, m Commit) {
+	in := r.insts[m.Inst]
+	if in == nil {
+		in = &instance{id: m.Inst}
+		r.insts[m.Inst] = in
+		r.perKey[m.Cmd.Key] = append(r.perKey[m.Cmd.Key], m.Inst)
+	}
+	in.cmd, in.seq, in.deps, in.base = m.Cmd, m.Seq, m.Deps, m.Base
+	if in.status < statusCommitted {
+		in.status = statusCommitted
+	}
+	r.tryExecute(ctx)
+}
+
+// tryExecute executes committed instances in EPaxos order: strongly
+// connected components of the dependency graph execute atomically once all
+// their external dependencies have executed, members ordered by (seq, id).
+// Cycles arise when concurrent rmws each pick up the other as a dependency
+// during PreAccept merging; seq ordering breaks them deterministically.
+// Execution applies the command to the newest of the agreed base and the
+// results of executed dependencies, so every replica computes the same
+// result (Appendix B).
+func (r *Replica) tryExecute(ctx *sim.Context) {
+	for {
+		comp := r.findReadyComponent()
+		if comp == nil {
+			return
+		}
+		sort.Slice(comp, func(i, j int) bool {
+			a, b := comp[i], comp[j]
+			if a.seq != b.seq {
+				return a.seq < b.seq
+			}
+			if a.id.Replica != b.id.Replica {
+				return a.id.Replica < b.id.Replica
+			}
+			return a.id.Slot < b.id.Slot
+		})
+		for _, in := range comp {
+			r.execute(ctx, in)
+		}
+	}
+}
+
+// findReadyComponent returns one strongly connected component of committed,
+// unexecuted instances whose dependencies outside the component have all
+// executed, or nil if none is ready.
+func (r *Replica) findReadyComponent() []*instance {
+	// Candidate nodes: committed, unexecuted instances (deterministic
+	// order for the search).
+	var nodes []*instance
+	for _, in := range r.insts {
+		if in.status == statusCommitted {
+			nodes = append(nodes, in)
+		}
+	}
+	if len(nodes) == 0 {
+		return nil
+	}
+	sort.Slice(nodes, func(i, j int) bool {
+		if nodes[i].id.Replica != nodes[j].id.Replica {
+			return nodes[i].id.Replica < nodes[j].id.Replica
+		}
+		return nodes[i].id.Slot < nodes[j].id.Slot
+	})
+	idx := make(map[InstID]int, len(nodes))
+	for i, in := range nodes {
+		idx[in.id] = i
+	}
+	// Tarjan SCC (iterative), yielding components in reverse topological
+	// order of the condensation: the first complete component has no
+	// unexecuted dependencies outside itself — unless one of its deps is
+	// unknown or uncommitted, in which case nothing downstream is ready.
+	n := len(nodes)
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+	}
+	var stack []int
+	counter := 0
+	var result []*instance
+	blocked := make([]bool, n) // depends (transitively) on an uncommitted instance
+
+	var strongconnect func(v int) bool // returns false once a result is found
+	strongconnect = func(v int) bool {
+		index[v] = counter
+		low[v] = counter
+		counter++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, d := range nodes[v].deps {
+			if d == nodes[v].id {
+				continue
+			}
+			if dep := r.insts[d]; dep != nil && dep.status == statusExecuted {
+				continue
+			}
+			w, known := idx[d]
+			if !known {
+				// Dependency not yet committed here: this instance
+				// (and its component) must wait.
+				blocked[v] = true
+				continue
+			}
+			if index[w] == -1 {
+				if !strongconnect(w) {
+					return false
+				}
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+				if blocked[w] {
+					blocked[v] = true
+				}
+			} else if onStack[w] {
+				if index[w] < low[v] {
+					low[v] = index[w]
+				}
+			} else if blocked[w] {
+				blocked[v] = true
+			}
+		}
+		if low[v] == index[v] {
+			// Root of an SCC: pop it.
+			var comp []int
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp = append(comp, w)
+				if w == v {
+					break
+				}
+			}
+			ready := true
+			for _, w := range comp {
+				if blocked[w] {
+					ready = false
+				}
+			}
+			if ready {
+				for _, w := range comp {
+					result = append(result, nodes[w])
+				}
+				return false // stop the search; caller executes and retries
+			}
+			// Mark the whole component blocked so parents inherit it.
+			for _, w := range comp {
+				blocked[w] = true
+			}
+		}
+		return true
+	}
+	for v := 0; v < n && result == nil; v++ {
+		if index[v] == -1 {
+			strongconnect(v)
+		}
+	}
+	return result
+}
+
+func (r *Replica) execute(ctx *sim.Context, in *instance) {
+	base := in.base
+	for _, d := range in.deps {
+		if res, ok := r.executed[d]; ok && base.CS.Less(res.CS) {
+			base = res
+		}
+	}
+	out := ValCS{Value: applyFn(in.cmd.Fn, base.Value, in.cmd.Arg), CS: base.CS.NextRMW()}
+	r.apply(in.cmd.Key, out.Value, out.CS)
+	r.executed[in.id] = out
+	in.result = out
+	in.status = statusExecuted
+	// Prune the interference list: future commands need only depend on
+	// still-unexecuted instances plus this one (execution order reaches
+	// older instances transitively through it).
+	k := in.cmd.Key
+	pruned := r.perKey[k][:0]
+	for _, id := range r.perKey[k] {
+		if other := r.insts[id]; other != nil && other.status != statusExecuted {
+			pruned = append(pruned, id)
+		}
+	}
+	r.perKey[k] = append(pruned, in.id)
+	if in.id.Replica == r.id && in.hasClient {
+		// Propagate the result to a quorum before replying, so every
+		// subsequent majority read observes the completed rmw.
+		r.nextWB++
+		wbID := r.nextWB
+		r.wb[wbID] = in
+		in.wbBase = base.Value
+		in.acks = 1 // self
+		for i, p := range r.peers {
+			if uint32(i) == r.id {
+				continue
+			}
+			ctx.Send(p, Write2Req{ReqID: wbID, Key: k, Value: out.Value, CS: out.CS})
+		}
+	}
+}
+
+func (r *Replica) onRMWWriteBackAck(ctx *sim.Context, m Write2Reply) {
+	in, ok := r.wb[m.ReqID]
+	if !ok {
+		return
+	}
+	in.acks++
+	if in.acks < r.n()/2+1 {
+		return
+	}
+	delete(r.wb, m.ReqID)
+	ctx.Send(in.client, RMWReply{ReqID: in.cmd.ReqID, Value: in.result.Value, Base: in.wbBase, CS: in.result.CS})
+}
+
+func unionDeps(a, b []InstID) []InstID {
+	seen := make(map[InstID]bool, len(a)+len(b))
+	out := make([]InstID, 0, len(a)+len(b))
+	for _, s := range [][]InstID{a, b} {
+		for _, d := range s {
+			if !seen[d] {
+				seen[d] = true
+				out = append(out, d)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Replica != out[j].Replica {
+			return out[i].Replica < out[j].Replica
+		}
+		return out[i].Slot < out[j].Slot
+	})
+	return out
+}
+
+func depsEqual(a, b []InstID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,410 @@
+package history
+
+import (
+	"fmt"
+	"sort"
+
+	"rsskv/internal/core"
+	"rsskv/internal/sim"
+)
+
+// Check verifies that h satisfies model m, returning nil on success and a
+// *Violation describing the first problem found otherwise.
+//
+// The check is sound: a nil result means a witness total order exists (the
+// topological sort of the constructed constraint graph). It uses the
+// service-assigned per-key version order (Op.Version) as the witness for
+// the order of writes; our services always assign one (Spanner commit
+// timestamps, Gryff carstamp ranks, queue log indexes).
+func Check(h *History, m core.Model) error {
+	ops, err := normalize(h)
+	if err != nil {
+		return err
+	}
+	g, err := buildGraph(ops, m)
+	if err != nil {
+		return err
+	}
+	if cyc := g.findCycle(); cyc != nil {
+		return violationf(m, "constraint cycle: %s", g.describeCycle(cyc))
+	}
+	return nil
+}
+
+// graph is the constraint graph over operations plus auxiliary "tick" nodes
+// that encode interval (real-time) orders compactly.
+type graph struct {
+	ops   []*core.Op
+	n     int // total nodes (ops + ticks)
+	adj   [][]int32
+	model core.Model
+	why   map[[2]int32]string // edge annotations for diagnostics
+}
+
+func newGraph(ops []*core.Op, m core.Model) *graph {
+	return &graph{ops: ops, n: len(ops), adj: make([][]int32, len(ops)), model: m, why: map[[2]int32]string{}}
+}
+
+func (g *graph) addNode() int32 {
+	g.adj = append(g.adj, nil)
+	g.n++
+	return int32(g.n - 1)
+}
+
+func (g *graph) edge(a, b int32, why string) {
+	if a == b {
+		return
+	}
+	g.adj[a] = append(g.adj[a], b)
+	if _, ok := g.why[[2]int32{a, b}]; !ok {
+		g.why[[2]int32{a, b}] = why
+	}
+}
+
+// buildGraph assembles the constraint families for model m:
+//
+//  1. Per-key legality chains: writes of each key ordered by Version; each
+//     read placed after the write it read and before that key's next write.
+//  2. Queue legality: enqueues ordered by sequence number; dequeues consume
+//     a prefix, in order.
+//  3. Causality ⇝ (RSS, RSC): process order, explicit HappensAfter edges
+//     (message passing), reads-from. Sequential consistency and
+//     PO-serializability get process order only.
+//  4. Real-time: all completed pairs for linearizability and strict
+//     serializability; writes→writes plus writes→conflicting-ops for RSC
+//     and RSS; none for sequential consistency and PO-serializability.
+func buildGraph(ops []*core.Op, m core.Model) (*graph, error) {
+	g := newGraph(ops, m)
+	byID := make(map[int64]int32, len(ops))
+	for i, op := range ops {
+		byID[op.ID] = int32(i)
+	}
+
+	if err := g.addKeyChains(); err != nil {
+		return nil, err
+	}
+	if err := g.addQueueChains(); err != nil {
+		return nil, err
+	}
+
+	// Process order (all models).
+	byClient := map[int][]int32{}
+	for i, op := range ops {
+		byClient[op.Client] = append(byClient[op.Client], int32(i))
+	}
+	for _, idxs := range byClient {
+		sort.Slice(idxs, func(a, b int) bool { return ops[idxs[a]].Invoke < ops[idxs[b]].Invoke })
+		for i := 1; i < len(idxs); i++ {
+			g.edge(idxs[i-1], idxs[i], "process order")
+		}
+	}
+
+	// Message-passing causality (regular and causal models only).
+	switch m {
+	case core.RSS, core.RSC, core.Linearizability, core.StrictSerializability:
+		for i, op := range ops {
+			for _, dep := range op.HappensAfter {
+				if j, ok := byID[dep]; ok {
+					g.edge(j, int32(i), "message passing")
+				}
+			}
+		}
+	}
+
+	// Real-time constraints.
+	switch m {
+	case core.Linearizability, core.StrictSerializability:
+		all := make([]int32, len(ops))
+		for i := range ops {
+			all[i] = int32(i)
+		}
+		g.addIntervalEdges(all, all, "real time")
+	case core.RSC, core.RSS:
+		// Condition (3) of §3.4: for w ∈ W and o ∈ C(w) ∪ W,
+		// w → o implies w <S o. W includes queue mutators (enqueues and
+		// successful dequeues) in composed histories.
+		var writes []int32
+		for i, op := range ops {
+			mutates := len(op.Writes) > 0 ||
+				op.Type == core.Enqueue ||
+				(op.Type == core.Dequeue && op.Value != "")
+			if mutates {
+				writes = append(writes, int32(i))
+			}
+		}
+		g.addIntervalEdges(writes, writes, "real time (write-write)")
+		// Per key: writers of k before conflicting readers of k.
+		perKeyW := map[string][]int32{}
+		perKeyR := map[string][]int32{}
+		for i, op := range ops {
+			for k := range op.Writes {
+				perKeyW[k] = append(perKeyW[k], int32(i))
+			}
+			if len(op.Writes) == 0 { // C(w) is the *non-mutating* conflicts
+				for k := range op.Reads {
+					perKeyR[k] = append(perKeyR[k], int32(i))
+				}
+			}
+		}
+		for k, ws := range perKeyW {
+			if rs := perKeyR[k]; len(rs) > 0 {
+				g.addIntervalEdges(ws, rs, "real time (write-conflict)")
+			}
+		}
+	}
+	return g, nil
+}
+
+// addKeyChains installs the per-key sequential-specification constraints.
+func (g *graph) addKeyChains() error {
+	type keyOps struct {
+		writers []int32
+	}
+	keys := map[string]*keyOps{}
+	for i, op := range g.ops {
+		for k := range op.Writes {
+			ko := keys[k]
+			if ko == nil {
+				ko = &keyOps{}
+				keys[k] = ko
+			}
+			ko.writers = append(ko.writers, int32(i))
+		}
+	}
+	for k, ko := range keys {
+		ws := ko.writers
+		sort.Slice(ws, func(a, b int) bool {
+			va, vb := g.ops[ws[a]].Version, g.ops[ws[b]].Version
+			if va != vb {
+				return va < vb
+			}
+			return g.ops[ws[a]].ID < g.ops[ws[b]].ID
+		})
+		for i := 1; i < len(ws); i++ {
+			if g.ops[ws[i-1]].Version == g.ops[ws[i]].Version {
+				return fmt.Errorf("history: ops %d and %d write key %q at the same version %d",
+					g.ops[ws[i-1]].ID, g.ops[ws[i]].ID, k, g.ops[ws[i]].Version)
+			}
+			g.edge(ws[i-1], ws[i], "version order "+k)
+		}
+		// Index writers by value for reads-from placement.
+		valIdx := map[string]int{}
+		for pos, w := range ws {
+			valIdx[g.ops[w].Writes[k]] = pos
+		}
+		for i, op := range g.ops {
+			v, reads := op.Reads[k]
+			if !reads || op.Type == core.Dequeue {
+				continue
+			}
+			if _, selfWrites := op.Writes[k]; selfWrites && op.Writes[k] == v {
+				continue // own write; nothing to order against
+			}
+			if v == "" {
+				// Read of the initial value: must precede the first write.
+				if len(ws) > 0 && int32(i) != ws[0] {
+					g.edge(int32(i), ws[0], "read-initial "+k)
+				}
+				continue
+			}
+			pos, ok := valIdx[v]
+			if !ok {
+				return fmt.Errorf("history: op %d read %q=%q with no writer", op.ID, k, v)
+			}
+			if ws[pos] != int32(i) {
+				g.edge(ws[pos], int32(i), "reads-from "+k)
+			}
+			if pos+1 < len(ws) && ws[pos+1] != int32(i) {
+				g.edge(int32(i), ws[pos+1], "read-before-overwrite "+k)
+			}
+		}
+	}
+	return nil
+}
+
+// addQueueChains installs FIFO legality for Enqueue/Dequeue operations,
+// grouped by queue name (Op.Key). Enqueue versions are the service-assigned
+// sequence numbers; a dequeue's Version is the sequence number it consumed.
+func (g *graph) addQueueChains() error {
+	enqs := map[string][]int32{}
+	deqs := map[string][]int32{}
+	for i, op := range g.ops {
+		switch op.Type {
+		case core.Enqueue:
+			enqs[op.Key] = append(enqs[op.Key], int32(i))
+		case core.Dequeue:
+			if op.Value != "" { // empty dequeues are unconstrained polls
+				deqs[op.Key] = append(deqs[op.Key], int32(i))
+			}
+		}
+	}
+	for q, es := range enqs {
+		sort.Slice(es, func(a, b int) bool { return g.ops[es[a]].Version < g.ops[es[b]].Version })
+		for i := 1; i < len(es); i++ {
+			g.edge(es[i-1], es[i], "enqueue order "+q)
+		}
+		byVer := map[int64]int32{}
+		for _, e := range es {
+			byVer[g.ops[e].Version] = e
+		}
+		ds := deqs[q]
+		sort.Slice(ds, func(a, b int) bool { return g.ops[ds[a]].Version < g.ops[ds[b]].Version })
+		seen := map[int64]bool{}
+		for i, d := range ds {
+			ver := g.ops[d].Version
+			if seen[ver] {
+				return fmt.Errorf("history: queue %q element %d dequeued twice", q, ver)
+			}
+			seen[ver] = true
+			e, ok := byVer[ver]
+			if !ok {
+				return fmt.Errorf("history: queue %q dequeue of unknown element %d", q, ver)
+			}
+			g.edge(e, d, "dequeue-after-enqueue "+q)
+			if i > 0 {
+				g.edge(ds[i-1], d, "dequeue order "+q)
+			}
+		}
+		// FIFO: the dequeued sequence numbers must form a prefix of the
+		// enqueue order (possibly with later elements still queued).
+		for i, d := range ds {
+			if want := g.ops[es[i]].Version; g.ops[d].Version != want {
+				return fmt.Errorf("history: queue %q dequeued element %d before element %d",
+					q, g.ops[d].Version, want)
+			}
+		}
+	}
+	return nil
+}
+
+// addIntervalEdges adds edges a→b for every source a and sink b with
+// a.Respond < b.Invoke, using O(s+t) auxiliary tick nodes instead of O(s·t)
+// edges. Pending sources never finish, so they impose no edges.
+func (g *graph) addIntervalEdges(sources, sinks []int32, why string) {
+	// Collect distinct respond instants of completed sources.
+	resp := make([]sim.Time, 0, len(sources))
+	for _, s := range sources {
+		if g.ops[s].Complete() {
+			resp = append(resp, g.ops[s].Respond)
+		}
+	}
+	if len(resp) == 0 {
+		return
+	}
+	sort.Slice(resp, func(i, j int) bool { return resp[i] < resp[j] })
+	resp = dedupTimes(resp)
+	ticks := make([]int32, len(resp))
+	for i := range resp {
+		ticks[i] = g.addNode()
+		if i > 0 {
+			g.edge(ticks[i-1], ticks[i], why+" tick")
+		}
+	}
+	find := func(t sim.Time, exact bool) int {
+		// Largest index with resp[idx] <= t (exact) or < t (!exact).
+		lo, hi := 0, len(resp)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if resp[mid] < t || (exact && resp[mid] == t) {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return lo - 1
+	}
+	for _, s := range sources {
+		if op := g.ops[s]; op.Complete() {
+			idx := find(op.Respond, true)
+			g.edge(s, ticks[idx], why)
+		}
+	}
+	for _, b := range sinks {
+		idx := find(g.ops[b].Invoke, false)
+		if idx >= 0 {
+			g.edge(ticks[idx], b, why)
+		}
+	}
+}
+
+func dedupTimes(ts []sim.Time) []sim.Time {
+	out := ts[:0]
+	for i, t := range ts {
+		if i == 0 || t != ts[i-1] {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// findCycle returns a cycle as a node list if one exists, else nil.
+func (g *graph) findCycle() []int32 {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make([]byte, g.n)
+	parent := make([]int32, g.n)
+	for i := range parent {
+		parent[i] = -1
+	}
+	// Iterative DFS to avoid deep recursion on large histories.
+	type frame struct {
+		node int32
+		next int
+	}
+	for start := 0; start < g.n; start++ {
+		if color[start] != white {
+			continue
+		}
+		stack := []frame{{int32(start), 0}}
+		color[start] = gray
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if f.next < len(g.adj[f.node]) {
+				child := g.adj[f.node][f.next]
+				f.next++
+				switch color[child] {
+				case white:
+					color[child] = gray
+					parent[child] = f.node
+					stack = append(stack, frame{child, 0})
+				case gray:
+					// Found a cycle: walk parents from f.node to child.
+					cyc := []int32{child}
+					for n := f.node; n != child && n != -1; n = parent[n] {
+						cyc = append(cyc, n)
+					}
+					// Reverse into forward order.
+					for i, j := 0, len(cyc)-1; i < j; i, j = i+1, j-1 {
+						cyc[i], cyc[j] = cyc[j], cyc[i]
+					}
+					return cyc
+				}
+				continue
+			}
+			color[f.node] = black
+			stack = stack[:len(stack)-1]
+		}
+	}
+	return nil
+}
+
+// describeCycle renders a cycle with edge annotations for diagnostics.
+func (g *graph) describeCycle(cyc []int32) string {
+	name := func(n int32) string {
+		if int(n) < len(g.ops) {
+			op := g.ops[n]
+			return fmt.Sprintf("op%d(%v c%d)", op.ID, op.Type, op.Client)
+		}
+		return fmt.Sprintf("tick%d", n)
+	}
+	s := ""
+	for i, n := range cyc {
+		next := cyc[(i+1)%len(cyc)]
+		why := g.why[[2]int32{n, next}]
+		s += fmt.Sprintf("%s -[%s]-> ", name(n), why)
+	}
+	return s + name(cyc[0])
+}

@@ -1,0 +1,267 @@
+package history
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"rsskv/internal/core"
+	"rsskv/internal/sim"
+)
+
+// regOp builds a register op with an explicit version.
+func regOp(id int64, client int, typ core.OpType, key, val string, inv, resp sim.Time, ver int64) *core.Op {
+	return &core.Op{ID: id, Client: client, Type: typ, Key: key, Value: val,
+		Invoke: inv, Respond: resp, Version: ver}
+}
+
+func TestCheckSimpleLinearizable(t *testing.T) {
+	h := &History{}
+	h.Add(regOp(1, 1, core.Write, "x", "v1", 0, 10, 1))
+	h.Add(regOp(2, 2, core.Read, "x", "v1", 20, 30, 1))
+	h.Add(regOp(3, 1, core.Write, "x", "v2", 40, 50, 2))
+	h.Add(regOp(4, 2, core.Read, "x", "v2", 60, 70, 2))
+	for _, m := range []core.Model{core.Linearizability, core.RSC, core.SequentialConsistency} {
+		if err := Check(h, m); err != nil {
+			t.Errorf("Check(%v) = %v, want nil", m, err)
+		}
+	}
+}
+
+func TestCheckStaleReadViolatesLinButNotRSC(t *testing.T) {
+	// Write completes at 10 but is still propagating; a read that started
+	// at 5 (concurrent) may return the old value under both models. A
+	// read started at 20 returning the old value breaks both.
+	h := &History{}
+	h.Add(regOp(1, 1, core.Write, "x", "v1", 0, 10, 1))
+	h.Add(regOp(2, 2, core.Read, "x", "", 5, 9, 0))
+	if err := Check(h, core.Linearizability); err != nil {
+		t.Errorf("concurrent stale read should be linearizable: %v", err)
+	}
+	h2 := &History{}
+	h2.Add(regOp(1, 1, core.Write, "x", "v1", 0, 10, 1))
+	h2.Add(regOp(2, 2, core.Read, "x", "", 20, 30, 0))
+	if err := Check(h2, core.Linearizability); err == nil {
+		t.Error("stale read after completed write passed linearizability")
+	}
+	if err := Check(h2, core.RSC); err == nil {
+		t.Error("stale read after completed write passed RSC (regular condition)")
+	}
+	if err := Check(h2, core.SequentialConsistency); err != nil {
+		t.Errorf("stale read is sequentially consistent: %v", err)
+	}
+}
+
+func TestCheckRegularWindow(t *testing.T) {
+	// The RSC relaxation: a read that begins before a write completes may
+	// miss it even if another client's read already observed it.
+	h := &History{}
+	h.Add(regOp(1, 1, core.Write, "x", "v1", 0, 100, 1)) // slow write
+	h.Add(regOp(2, 2, core.Read, "x", "v1", 10, 20, 1))  // observes early
+	h.Add(regOp(3, 3, core.Read, "x", "", 30, 40, 0))    // misses it
+	if err := Check(h, core.RSC); err != nil {
+		t.Errorf("RSC should allow the new-value/old-value inversion: %v", err)
+	}
+	if err := Check(h, core.Linearizability); err == nil {
+		t.Error("linearizability should reject the inversion")
+	}
+}
+
+func TestCheckCausalMessagePassing(t *testing.T) {
+	// Same inversion, but the stale reader causally follows the fresh
+	// reader (message passing) — now RSC rejects it too.
+	h := &History{}
+	h.Add(regOp(1, 1, core.Write, "x", "v1", 0, 100, 1))
+	fresh := regOp(2, 2, core.Read, "x", "v1", 10, 20, 1)
+	stale := regOp(3, 3, core.Read, "x", "", 30, 40, 0)
+	stale.HappensAfter = []int64{2}
+	h.Add(fresh)
+	h.Add(stale)
+	if err := Check(h, core.RSC); err == nil {
+		t.Error("RSC should reject a causally-downstream stale read")
+	}
+	if err := Check(h, core.SequentialConsistency); err != nil {
+		t.Errorf("sequential consistency ignores message passing: %v", err)
+	}
+}
+
+func TestCheckWriteWriteRealTime(t *testing.T) {
+	// Non-concurrent writes serialized against their real-time order.
+	h := &History{}
+	h.Add(regOp(1, 1, core.Write, "x", "v1", 0, 10, 2)) // versioned later
+	h.Add(regOp(2, 2, core.Write, "x", "v2", 20, 30, 1))
+	if err := Check(h, core.RSC); err == nil {
+		t.Error("RSC must order non-concurrent writes by real time")
+	}
+	if err := Check(h, core.SequentialConsistency); err != nil {
+		t.Errorf("sequential consistency allows write inversion: %v", err)
+	}
+}
+
+func TestCheckProcessOrder(t *testing.T) {
+	// One client's own ops inverted in the version order.
+	h := &History{}
+	h.Add(regOp(1, 1, core.Write, "x", "v1", 0, 10, 2))
+	h.Add(regOp(2, 1, core.Write, "x", "v2", 20, 30, 1))
+	if err := Check(h, core.SequentialConsistency); err == nil {
+		t.Error("sequential consistency must respect process order")
+	}
+}
+
+func TestCheckTxnSnapshots(t *testing.T) {
+	h := &History{}
+	h.Add(&core.Op{ID: 1, Client: 1, Type: core.RWTxn, Invoke: 0, Respond: 10,
+		Writes: map[string]string{"a": "v1", "b": "v2"}, Version: 100})
+	h.Add(&core.Op{ID: 2, Client: 2, Type: core.RWTxn, Invoke: 20, Respond: 30,
+		Reads:  map[string]string{"a": "v1"},
+		Writes: map[string]string{"a": "v3"}, Version: 200})
+	h.Add(&core.Op{ID: 3, Client: 3, Type: core.ROTxn, Invoke: 40, Respond: 50,
+		Reads: map[string]string{"a": "v3", "b": "v2"}, Version: 200})
+	for _, m := range []core.Model{core.StrictSerializability, core.RSS, core.POSerializability} {
+		if err := Check(h, m); err != nil {
+			t.Errorf("Check(%v) = %v, want nil", m, err)
+		}
+	}
+	// A torn snapshot: sees the second write of a but the initial b.
+	h2 := &History{}
+	h2.Add(&core.Op{ID: 1, Client: 1, Type: core.RWTxn, Invoke: 0, Respond: 10,
+		Writes: map[string]string{"a": "v1", "b": "v2"}, Version: 100})
+	h2.Add(&core.Op{ID: 2, Client: 2, Type: core.RWTxn, Invoke: 20, Respond: 30,
+		Reads:  map[string]string{"a": "v1"},
+		Writes: map[string]string{"a": "v3"}, Version: 200})
+	h2.Add(&core.Op{ID: 3, Client: 3, Type: core.ROTxn, Invoke: 40, Respond: 50,
+		Reads: map[string]string{"a": "v3", "b": ""}, Version: 200})
+	if err := Check(h2, core.RSS); err == nil {
+		t.Error("torn snapshot passed RSS")
+	}
+	if err := Check(h2, core.POSerializability); err == nil {
+		t.Error("torn snapshot passed PO-serializability")
+	}
+}
+
+func TestCheckRSSAllowsStaleROButStrictDoesNot(t *testing.T) {
+	// The Spanner-RSS relaxation (Figure 4): a RO transaction returns an
+	// old value even though another RO already saw the new one, while the
+	// RW transaction is still committing.
+	mk := func() *History {
+		h := &History{}
+		h.Add(&core.Op{ID: 1, Client: 1, Type: core.RWTxn, Invoke: 0, Respond: 1000,
+			Writes: map[string]string{"a": "v1"}, Version: 100}) // slow commit
+		h.Add(&core.Op{ID: 2, Client: 2, Type: core.ROTxn, Invoke: 100, Respond: 200,
+			Reads: map[string]string{"a": "v1"}, Version: 100})
+		h.Add(&core.Op{ID: 3, Client: 3, Type: core.ROTxn, Invoke: 300, Respond: 400,
+			Reads: map[string]string{"a": ""}, Version: 50})
+		return h
+	}
+	if err := Check(mk(), core.RSS); err != nil {
+		t.Errorf("RSS should allow the stale RO during the concurrent RW: %v", err)
+	}
+	if err := Check(mk(), core.StrictSerializability); err == nil {
+		t.Error("strict serializability should reject the stale RO")
+	}
+}
+
+func TestCheckQueueFIFO(t *testing.T) {
+	h := &History{}
+	h.Add(&core.Op{ID: 1, Client: 1, Type: core.Enqueue, Key: "q", Value: "a", Invoke: 0, Respond: 10, Version: 1})
+	h.Add(&core.Op{ID: 2, Client: 1, Type: core.Enqueue, Key: "q", Value: "b", Invoke: 20, Respond: 30, Version: 2})
+	h.Add(&core.Op{ID: 3, Client: 2, Type: core.Dequeue, Key: "q", Value: "a", Invoke: 40, Respond: 50, Version: 1})
+	h.Add(&core.Op{ID: 4, Client: 2, Type: core.Dequeue, Key: "q", Value: "b", Invoke: 60, Respond: 70, Version: 2})
+	if err := Check(h, core.RSS); err != nil {
+		t.Errorf("FIFO queue history rejected: %v", err)
+	}
+	// Out-of-order consumption.
+	h2 := &History{}
+	h2.Add(&core.Op{ID: 1, Client: 1, Type: core.Enqueue, Key: "q", Value: "a", Invoke: 0, Respond: 10, Version: 1})
+	h2.Add(&core.Op{ID: 2, Client: 1, Type: core.Enqueue, Key: "q", Value: "b", Invoke: 20, Respond: 30, Version: 2})
+	h2.Add(&core.Op{ID: 3, Client: 2, Type: core.Dequeue, Key: "q", Value: "b", Invoke: 40, Respond: 50, Version: 2})
+	if err := Check(h2, core.RSS); err == nil {
+		t.Error("skipping the queue head passed the FIFO check")
+	}
+	// Double dequeue.
+	h3 := &History{}
+	h3.Add(&core.Op{ID: 1, Client: 1, Type: core.Enqueue, Key: "q", Value: "a", Invoke: 0, Respond: 10, Version: 1})
+	h3.Add(&core.Op{ID: 2, Client: 2, Type: core.Dequeue, Key: "q", Value: "a", Invoke: 20, Respond: 30, Version: 1})
+	h3.Add(&core.Op{ID: 3, Client: 3, Type: core.Dequeue, Key: "q", Value: "a", Invoke: 40, Respond: 50, Version: 1})
+	if err := Check(h3, core.RSS); err == nil {
+		t.Error("double dequeue passed the FIFO check")
+	}
+}
+
+func TestCheckPendingWrites(t *testing.T) {
+	// A pending write that was observed must be included; one that was
+	// not observed is excluded (and must not fail the check).
+	h := &History{}
+	h.Add(regOp(1, 1, core.Write, "x", "v1", 0, core.Pending, 1))
+	h.Add(regOp(2, 2, core.Read, "x", "v1", 20, 30, 1))
+	h.Add(regOp(3, 3, core.Write, "y", "v2", 0, core.Pending, 1))
+	if err := Check(h, core.RSC); err != nil {
+		t.Errorf("pending-write history rejected: %v", err)
+	}
+}
+
+func TestCheckDuplicateWriteValue(t *testing.T) {
+	h := &History{}
+	h.Add(regOp(1, 1, core.Write, "x", "v1", 0, 10, 1))
+	h.Add(regOp(2, 2, core.Write, "x", "v1", 20, 30, 2))
+	if err := Check(h, core.RSC); err == nil || !strings.Contains(err.Error(), "both write") {
+		t.Errorf("duplicate write values not rejected: %v", err)
+	}
+}
+
+func TestCheckUnknownReadValue(t *testing.T) {
+	h := &History{}
+	h.Add(regOp(1, 1, core.Read, "x", "ghost", 0, 10, 0))
+	if err := Check(h, core.RSC); err == nil {
+		t.Error("read of never-written value not rejected")
+	}
+}
+
+func TestCheckSameVersionWriters(t *testing.T) {
+	h := &History{}
+	h.Add(regOp(1, 1, core.Write, "x", "v1", 0, 10, 7))
+	h.Add(regOp(2, 2, core.Write, "x", "v2", 20, 30, 7))
+	if err := Check(h, core.RSC); err == nil {
+		t.Error("two writers at one version not rejected")
+	}
+}
+
+// Property: histories generated by a sequential single-client executor are
+// accepted by every model; inverting the version order of two adjacent
+// same-key writes by different clients breaks linearizability.
+func TestCheckSerialHistoriesQuick(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ops := int(n%40) + 2
+		h := &History{}
+		keys := []string{"a", "b", "c"}
+		state := map[string]string{}
+		var now sim.Time
+		ver := map[string]int64{}
+		for i := 0; i < ops; i++ {
+			k := keys[rng.Intn(len(keys))]
+			now += 10
+			if rng.Intn(2) == 0 {
+				v := UniqueVal(i)
+				ver[k]++
+				h.Add(regOp(int64(i+1), rng.Intn(3), core.Write, k, v, now, now+5, ver[k]))
+				state[k] = v
+			} else {
+				h.Add(regOp(int64(i+1), rng.Intn(3), core.Read, k, state[k], now, now+5, ver[k]))
+			}
+		}
+		for _, m := range []core.Model{core.Linearizability, core.RSC, core.SequentialConsistency} {
+			if err := Check(h, m); err != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// UniqueVal formats a distinct value for generated histories.
+func UniqueVal(i int) string { return "u" + string(rune('A'+i%26)) + string(rune('0'+i/26)) }

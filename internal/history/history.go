@@ -1,0 +1,173 @@
+// Package history records operation histories from running services and
+// checks them against the paper's consistency models.
+//
+// The checkers mirror the paper's proof structure rather than brute-force
+// search: for a recorded history we build the partial order <ψ of Appendix
+// D.2 — per-key version orders, the potential-causality order ⇝ (§3.3), and
+// the model's real-time constraints — and verify it is acyclic. By Lemma
+// D.14 an acyclic <ψ has a topological sort in the sequential specification,
+// so acyclicity (plus per-key read legality) establishes the model. For
+// linearizability and strict serializability the real-time constraint covers
+// all operation pairs; for RSC and RSS it covers only writes and their
+// conflicts (the "regular" part); for sequential and PO-serializable
+// consistency there is none.
+//
+// A separate exhaustive checker (Satisfiable) decides small litmus
+// histories, such as the Appendix A executions, where no service-assigned
+// version order exists.
+package history
+
+import (
+	"fmt"
+	"sort"
+
+	"rsskv/internal/core"
+	"rsskv/internal/sim"
+)
+
+// History is an append-only record of operations.
+type History struct {
+	Ops []*core.Op
+}
+
+// Add appends op.
+func (h *History) Add(op *core.Op) { h.Ops = append(h.Ops, op) }
+
+// Len returns the number of recorded operations.
+func (h *History) Len() int { return len(h.Ops) }
+
+// ByClient returns c's operations in invocation order.
+func (h *History) ByClient(c int) []*core.Op {
+	var out []*core.Op
+	for _, op := range h.Ops {
+		if op.Client == c {
+			out = append(out, op)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Invoke < out[j].Invoke })
+	return out
+}
+
+// Recorder builds a History with unique write values, so the reads-from
+// relation of any recorded run is unambiguous. It is safe for use from a
+// single goroutine (the simulation event loop).
+type Recorder struct {
+	H      History
+	nextID int64
+	nextV  int64
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// UniqueValue returns a fresh, globally unique write value.
+func (r *Recorder) UniqueValue() string {
+	r.nextV++
+	return fmt.Sprintf("v%d", r.nextV)
+}
+
+// NewOp allocates an operation with a fresh ID and the given invocation
+// time; the caller fills in the remaining fields and calls Done.
+func (r *Recorder) NewOp(client int, typ core.OpType, invoke sim.Time) *core.Op {
+	r.nextID++
+	return &core.Op{ID: r.nextID, Client: client, Type: typ, Invoke: invoke, Respond: core.Pending}
+}
+
+// Done marks op completed at t and records it.
+func (r *Recorder) Done(op *core.Op, t sim.Time) {
+	op.Respond = t
+	r.H.Add(op)
+}
+
+// Abandon records op as pending (no response observed). Pending writes are
+// included in checks only if some read observed them.
+func (r *Recorder) Abandon(op *core.Op) { r.H.Add(op) }
+
+// normalize canonicalizes register-style ops into the Reads/Writes map
+// form used by the checkers, validates that write values are unique per
+// key, and drops pending operations whose effects were never observed.
+func normalize(h *History) ([]*core.Op, error) {
+	// Map (key, value) -> writer for uniqueness validation and reads-from.
+	type kv struct{ k, v string }
+	writers := make(map[kv]*core.Op)
+	ops := make([]*core.Op, 0, len(h.Ops))
+	for _, op := range h.Ops {
+		c := *op // shallow copy; we may rewrite map fields
+		switch op.Type {
+		case core.Read:
+			c.Reads = map[string]string{op.Key: op.Value}
+			c.Writes = nil
+		case core.Write:
+			c.Writes = map[string]string{op.Key: op.Value}
+			c.Reads = nil
+		case core.RMW:
+			// A rmw reads the base value it was applied to and writes
+			// its result; callers populate Reads/Writes directly.
+			if c.Reads == nil && c.Writes == nil {
+				return nil, fmt.Errorf("history: rmw op %d missing Reads/Writes", op.ID)
+			}
+		case core.ROTxn, core.RWTxn, core.Enqueue, core.Dequeue, core.Fence:
+			// Already in canonical form.
+		default:
+			return nil, fmt.Errorf("history: op %d has unknown type %v", op.ID, op.Type)
+		}
+		ops = append(ops, &c)
+	}
+	observed := make(map[kv]bool)
+	for _, op := range ops {
+		for k, v := range op.Writes {
+			if v == "" {
+				return nil, fmt.Errorf("history: op %d writes empty value to %q", op.ID, k)
+			}
+			key := kv{k, v}
+			if prev, dup := writers[key]; dup {
+				return nil, fmt.Errorf("history: ops %d and %d both write %q=%q", prev.ID, op.ID, k, v)
+			}
+			writers[key] = op
+		}
+		for k, v := range op.Reads {
+			if v != "" {
+				observed[kv{k, v}] = true
+			}
+		}
+	}
+	// Validate reads-from and drop unobserved pending ops.
+	out := ops[:0]
+	for _, op := range ops {
+		if !op.Complete() {
+			keep := false
+			for k, v := range op.Writes {
+				if observed[kv{k, v}] {
+					keep = true
+				}
+			}
+			if !keep {
+				continue // unobserved pending op: legal to exclude (§3.4 extension)
+			}
+		}
+		for k, v := range op.Reads {
+			if v == "" {
+				continue // initial value
+			}
+			if _, ok := writers[kv{k, v}]; !ok && op.Type != core.Dequeue {
+				return nil, fmt.Errorf("history: op %d read %q=%q, which no op wrote", op.ID, k, v)
+			}
+		}
+		out = append(out, op)
+	}
+	return out, nil
+}
+
+// Violation describes a failed check.
+type Violation struct {
+	Model  core.Model
+	Detail string
+}
+
+func (v *Violation) Error() string {
+	return fmt.Sprintf("history violates %v: %s", v.Model, v.Detail)
+}
+
+func violationf(m core.Model, format string, args ...any) error {
+	return &Violation{Model: m, Detail: fmt.Sprintf(format, args...)}
+}

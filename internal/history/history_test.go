@@ -1,0 +1,150 @@
+package history
+
+import (
+	"strings"
+	"testing"
+
+	"rsskv/internal/core"
+	"rsskv/internal/sim"
+)
+
+func TestRecorderUniqueValues(t *testing.T) {
+	r := NewRecorder()
+	seen := map[string]bool{}
+	for i := 0; i < 1000; i++ {
+		v := r.UniqueValue()
+		if seen[v] {
+			t.Fatalf("duplicate value %q", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestRecorderOpLifecycle(t *testing.T) {
+	r := NewRecorder()
+	op := r.NewOp(3, core.Write, 100)
+	if op.Complete() {
+		t.Error("fresh op already complete")
+	}
+	op.Key, op.Value = "k", r.UniqueValue()
+	r.Done(op, 200)
+	if !op.Complete() || op.Respond != 200 {
+		t.Errorf("op after Done: %+v", op)
+	}
+	op2 := r.NewOp(3, core.Write, 300)
+	op2.Key, op2.Value = "k", r.UniqueValue()
+	r.Abandon(op2)
+	if r.H.Len() != 2 {
+		t.Errorf("history length %d", r.H.Len())
+	}
+	if op.ID == op2.ID {
+		t.Error("IDs not unique")
+	}
+}
+
+func TestByClient(t *testing.T) {
+	h := &History{}
+	h.Add(&core.Op{ID: 1, Client: 1, Invoke: 30, Respond: 40})
+	h.Add(&core.Op{ID: 2, Client: 2, Invoke: 10, Respond: 20})
+	h.Add(&core.Op{ID: 3, Client: 1, Invoke: 10, Respond: 20})
+	ops := h.ByClient(1)
+	if len(ops) != 2 || ops[0].ID != 3 || ops[1].ID != 1 {
+		t.Errorf("ByClient = %v", ops)
+	}
+}
+
+func TestViolationError(t *testing.T) {
+	err := violationf(core.RSC, "cycle %d", 7)
+	if !strings.Contains(err.Error(), "regular-sequential-consistency") ||
+		!strings.Contains(err.Error(), "cycle 7") {
+		t.Errorf("error = %q", err.Error())
+	}
+	var v *Violation
+	if !asViolation(err, &v) || v.Model != core.RSC {
+		t.Error("violation type assertion failed")
+	}
+}
+
+func asViolation(err error, out **Violation) bool {
+	v, ok := err.(*Violation)
+	if ok {
+		*out = v
+	}
+	return ok
+}
+
+func TestSatisfiableErrors(t *testing.T) {
+	// Too many operations.
+	big := &History{}
+	for i := 0; i < 15; i++ {
+		big.Add(&core.Op{ID: int64(i + 1), Client: i, Type: core.Write, Key: "k",
+			Value: UniqueVal(i), Invoke: sim.Time(i * 10), Respond: sim.Time(i*10 + 5), Version: int64(i)})
+	}
+	if _, err := Satisfiable(big, core.RSC); err == nil {
+		t.Error("oversized history accepted")
+	}
+	// Pending op.
+	p := &History{}
+	p.Add(&core.Op{ID: 1, Client: 1, Type: core.Write, Key: "k", Value: "v", Invoke: 0, Respond: core.Pending})
+	p.Add(&core.Op{ID: 2, Client: 2, Type: core.Read, Key: "k", Value: "v", Invoke: 5, Respond: 9})
+	if _, err := Satisfiable(p, core.RSC); err == nil {
+		t.Error("pending history accepted by Satisfiable")
+	}
+	// Queue ops unsupported.
+	q := &History{}
+	q.Add(&core.Op{ID: 1, Client: 1, Type: core.Enqueue, Key: "q", Value: "v", Invoke: 0, Respond: 5, Version: 1})
+	if _, err := Satisfiable(q, core.RSC); err == nil {
+		t.Error("queue history accepted by Satisfiable")
+	}
+}
+
+func TestNormalizeRejectsEmptyWrite(t *testing.T) {
+	h := &History{}
+	h.Add(&core.Op{ID: 1, Client: 1, Type: core.Write, Key: "k", Value: "", Invoke: 0, Respond: 5})
+	if err := Check(h, core.RSC); err == nil {
+		t.Error("empty write value accepted")
+	}
+}
+
+func TestNormalizeRejectsBadRMW(t *testing.T) {
+	h := &History{}
+	h.Add(&core.Op{ID: 1, Client: 1, Type: core.RMW, Invoke: 0, Respond: 5})
+	if err := Check(h, core.RSC); err == nil {
+		t.Error("rmw without Reads/Writes accepted")
+	}
+}
+
+// TestIntervalEdgesExactness probes the tick-graph construction: a chain of
+// back-to-back writes must be fully ordered, while overlapping writes must
+// not pick up false real-time constraints.
+func TestIntervalEdgesExactness(t *testing.T) {
+	// Sequential writes with inverted versions: must fail RSC.
+	h := &History{}
+	h.Add(&core.Op{ID: 1, Client: 1, Type: core.Write, Key: "a", Value: "v1", Invoke: 0, Respond: 10, Version: 9})
+	h.Add(&core.Op{ID: 2, Client: 2, Type: core.Write, Key: "b", Value: "v2", Invoke: 20, Respond: 30, Version: 5})
+	h.Add(&core.Op{ID: 3, Client: 3, Type: core.Read, Key: "a", Value: "", Invoke: 40, Respond: 50, Version: 0})
+	// The read of a="" after w(a) completed → regular violation.
+	if err := Check(h, core.RSC); err == nil {
+		t.Error("regular condition not enforced through tick graph")
+	}
+	// Same spans, read concurrent with the write: fine.
+	h2 := &History{}
+	h2.Add(&core.Op{ID: 1, Client: 1, Type: core.Write, Key: "a", Value: "v1", Invoke: 0, Respond: 100, Version: 9})
+	h2.Add(&core.Op{ID: 3, Client: 3, Type: core.Read, Key: "a", Value: "", Invoke: 40, Respond: 50, Version: 0})
+	if err := Check(h2, core.RSC); err != nil {
+		t.Errorf("false positive on concurrent write/read: %v", err)
+	}
+}
+
+// TestWriteWriteTickChainTransitivity: w1 → w2 → w3 in real time with the
+// version order of w1 and w3 inverted is caught even though w1 and w3 are
+// connected only transitively through ticks.
+func TestWriteWriteTickChainTransitivity(t *testing.T) {
+	h := &History{}
+	h.Add(&core.Op{ID: 1, Client: 1, Type: core.Write, Key: "a", Value: "v1", Invoke: 0, Respond: 10, Version: 30})
+	h.Add(&core.Op{ID: 2, Client: 2, Type: core.Write, Key: "b", Value: "v2", Invoke: 20, Respond: 30, Version: 20})
+	h.Add(&core.Op{ID: 3, Client: 3, Type: core.Write, Key: "a", Value: "v3", Invoke: 40, Respond: 50, Version: 10})
+	if err := Check(h, core.RSC); err == nil {
+		t.Error("transitive write-write inversion not caught")
+	}
+}

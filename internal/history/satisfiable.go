@@ -1,0 +1,136 @@
+package history
+
+import (
+	"fmt"
+
+	"rsskv/internal/core"
+)
+
+// Satisfiable decides by exhaustive search whether a small, complete
+// register history can be explained under model m, i.e. whether a legal
+// total order exists that satisfies the model's constraints. It is meant
+// for litmus-test histories like the Appendix A executions (a dozen ops at
+// most); Check is the scalable path for recorded runs.
+//
+// Unlike Check, Satisfiable does not need service-assigned versions: it
+// searches over write orders too.
+func Satisfiable(h *History, m core.Model) (bool, error) {
+	if len(h.Ops) > 14 {
+		return false, fmt.Errorf("history: Satisfiable limited to 14 ops, got %d", len(h.Ops))
+	}
+	ops, err := normalize(h)
+	if err != nil {
+		return false, err
+	}
+	for _, op := range ops {
+		if !op.Complete() {
+			return false, fmt.Errorf("history: Satisfiable requires complete histories (op %d pending)", op.ID)
+		}
+		switch op.Type {
+		case core.Enqueue, core.Dequeue:
+			return false, fmt.Errorf("history: Satisfiable does not support queue ops")
+		}
+	}
+	n := len(ops)
+	// must[i][j]: op i must precede op j in any witness order.
+	must := make([][]bool, n)
+	for i := range must {
+		must[i] = make([]bool, n)
+	}
+	idxOf := map[int64]int{}
+	for i, op := range ops {
+		idxOf[op.ID] = i
+	}
+	mutates := func(op *core.Op) bool { return len(op.Writes) > 0 }
+	conflicts := func(w, o *core.Op) bool {
+		for k := range w.Writes {
+			if _, ok := o.Reads[k]; ok {
+				return true
+			}
+		}
+		return false
+	}
+	for i, a := range ops {
+		for j, b := range ops {
+			if i == j {
+				continue
+			}
+			// Process order (all models).
+			if a.Client == b.Client && a.Invoke < b.Invoke {
+				must[i][j] = true
+			}
+			switch m {
+			case core.Linearizability, core.StrictSerializability:
+				if core.RealTime(a, b) {
+					must[i][j] = true
+				}
+			case core.RSC, core.RSS:
+				if core.RealTime(a, b) && mutates(a) && (mutates(b) || conflicts(a, b)) {
+					must[i][j] = true
+				}
+			}
+		}
+	}
+	// Message-passing causality for models that honor it.
+	switch m {
+	case core.RSS, core.RSC, core.Linearizability, core.StrictSerializability:
+		for j, op := range ops {
+			for _, dep := range op.HappensAfter {
+				if i, ok := idxOf[dep]; ok {
+					must[i][j] = true
+				}
+			}
+		}
+	}
+
+	// DFS over prefixes of a witness order, replaying a key-value store.
+	used := make([]bool, n)
+	state := map[string]string{}
+	var dfs func(placed int) bool
+	dfs = func(placed int) bool {
+		if placed == n {
+			return true
+		}
+	next:
+		for i, op := range ops {
+			if used[i] {
+				continue
+			}
+			for j := range ops {
+				if !used[j] && j != i && must[j][i] {
+					continue next // a required predecessor is unplaced
+				}
+			}
+			// Legality: reads must return the current value.
+			for k, v := range op.Reads {
+				if state[k] != v {
+					continue next
+				}
+			}
+			saved := make(map[string]string, len(op.Writes))
+			for k, v := range op.Writes {
+				old, had := state[k]
+				if had {
+					saved[k] = old
+				} else {
+					saved[k] = ""
+				}
+				state[k] = v
+			}
+			used[i] = true
+			if dfs(placed + 1) {
+				return true
+			}
+			used[i] = false
+			for k, old := range saved {
+				if old == "" {
+					delete(state, k)
+				} else {
+					state[k] = old
+				}
+			}
+		}
+		return false
+	}
+	return dfs(0), nil
+}

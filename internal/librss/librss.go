@@ -1,0 +1,86 @@
+// Package librss is the composition meta-library of §4.1 (Figure 3). RSS
+// (RSC) relaxes real-time order, so the states a process observes across
+// *multiple* services could form cycles; libRSS prevents them by invoking a
+// service's real-time fence whenever a process switches services. Appendix
+// C.4 proves this protocol makes the composition of individually-RSS
+// services globally RSS.
+//
+// Service client libraries register themselves with the per-process
+// Library at initialization, passing their fence callback, and notify it
+// before starting each transaction. Application code never calls fences
+// directly.
+//
+// For processes that interact through out-of-band message passing (§4.2),
+// the last-service name travels in the causality baggage so the receiving
+// process's Library fences correctly; see package causality.
+package librss
+
+import (
+	"fmt"
+
+	"rsskv/internal/core"
+)
+
+// Library is one application process's registry of RSS services (Figure 3).
+type Library struct {
+	services map[string]core.RealTimeFence
+	last     string
+
+	// Fences counts the real-time fences actually invoked (metrics).
+	Fences int64
+}
+
+// New returns an empty registry.
+func New() *Library {
+	return &Library{services: make(map[string]core.RealTimeFence)}
+}
+
+// RegisterService registers a service's fence under a unique name.
+func (l *Library) RegisterService(name string, fence core.RealTimeFence) {
+	if name == "" {
+		panic("librss: empty service name")
+	}
+	if _, dup := l.services[name]; dup {
+		panic(fmt.Sprintf("librss: service %q already registered", name))
+	}
+	l.services[name] = fence
+}
+
+// UnregisterService removes a service.
+func (l *Library) UnregisterService(name string) {
+	delete(l.services, name)
+	if l.last == name {
+		l.last = ""
+	}
+}
+
+// StartTransaction must be called before each transaction (operation) at
+// the named service. If the process's previous transaction ran at a
+// different service, that service's real-time fence is invoked first; done
+// runs once the transaction may proceed.
+func (l *Library) StartTransaction(name string, done func()) {
+	if _, ok := l.services[name]; !ok {
+		panic(fmt.Sprintf("librss: service %q not registered", name))
+	}
+	prev := l.last
+	l.last = name
+	if prev == "" || prev == name {
+		done()
+		return
+	}
+	fence, ok := l.services[prev]
+	if !ok {
+		done()
+		return
+	}
+	l.Fences++
+	fence.Fence(done)
+}
+
+// LastService returns the service of the most recent transaction; it is
+// propagated in the causality baggage across process boundaries (§4.2).
+func (l *Library) LastService() string { return l.last }
+
+// SetLastService installs a propagated last-service name received from
+// another process's baggage.
+func (l *Library) SetLastService(name string) { l.last = name }

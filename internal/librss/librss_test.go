@@ -1,0 +1,113 @@
+package librss
+
+import (
+	"testing"
+
+	"rsskv/internal/core"
+)
+
+// countingFence records invocations.
+type countingFence struct{ n int }
+
+func (f *countingFence) Fence(done func()) {
+	f.n++
+	done()
+}
+
+func TestFenceOnlyOnServiceSwitch(t *testing.T) {
+	l := New()
+	fa, fb := &countingFence{}, &countingFence{}
+	l.RegisterService("a", fa)
+	l.RegisterService("b", fb)
+
+	ran := 0
+	start := func(svc string) { l.StartTransaction(svc, func() { ran++ }) }
+
+	start("a") // first transaction: no fence
+	start("a") // same service: no fence
+	if fa.n != 0 || fb.n != 0 {
+		t.Fatalf("fences fired without a switch: a=%d b=%d", fa.n, fb.n)
+	}
+	start("b") // switch a→b: fence a
+	if fa.n != 1 || fb.n != 0 {
+		t.Fatalf("switch a→b: a=%d b=%d, want 1, 0", fa.n, fb.n)
+	}
+	start("b")
+	start("a") // switch b→a: fence b
+	if fa.n != 1 || fb.n != 1 {
+		t.Fatalf("switch b→a: a=%d b=%d, want 1, 1", fa.n, fb.n)
+	}
+	if ran != 5 {
+		t.Errorf("transactions run = %d, want 5", ran)
+	}
+	if l.Fences != 2 {
+		t.Errorf("Fences = %d, want 2", l.Fences)
+	}
+	if l.LastService() != "a" {
+		t.Errorf("LastService = %q", l.LastService())
+	}
+}
+
+func TestAsyncFenceDefersTransaction(t *testing.T) {
+	l := New()
+	var pending func()
+	l.RegisterService("a", core.FenceFunc(func(done func()) { pending = done }))
+	l.RegisterService("b", core.NoopFence)
+	l.StartTransaction("a", func() {})
+	ran := false
+	l.StartTransaction("b", func() { ran = true })
+	if ran {
+		t.Fatal("transaction ran before the fence completed")
+	}
+	pending()
+	if !ran {
+		t.Fatal("transaction did not run after the fence completed")
+	}
+}
+
+func TestPropagatedLastService(t *testing.T) {
+	l := New()
+	l.RegisterService("a", core.NoopFence)
+	l.SetLastService("remote-svc") // from baggage; not registered here
+	ran := false
+	l.StartTransaction("a", func() { ran = true })
+	if !ran {
+		t.Fatal("transaction blocked on unregistered prior service")
+	}
+}
+
+func TestUnregister(t *testing.T) {
+	l := New()
+	f := &countingFence{}
+	l.RegisterService("a", f)
+	l.RegisterService("b", core.NoopFence)
+	l.StartTransaction("a", func() {})
+	l.UnregisterService("a")
+	if l.LastService() != "" {
+		t.Error("unregistering the last service should clear it")
+	}
+	ran := false
+	l.StartTransaction("b", func() { ran = true })
+	if !ran || f.n != 0 {
+		t.Errorf("ran=%v fences=%d; unregistered service must not fence", ran, f.n)
+	}
+}
+
+func TestRegistrationErrors(t *testing.T) {
+	l := New()
+	l.RegisterService("a", core.NoopFence)
+	for name, f := range map[string]func(){
+		"duplicate":    func() { l.RegisterService("a", core.NoopFence) },
+		"empty":        func() { l.RegisterService("", core.NoopFence) },
+		"unregistered": func() { l.StartTransaction("nope", func() {}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

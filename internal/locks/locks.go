@@ -1,0 +1,354 @@
+// Package locks implements strict two-phase locking with wound-wait
+// deadlock avoidance, the concurrency control used by Spanner's read-write
+// transactions ([15], [79], §5 of the paper).
+//
+// Transactions carry a priority — their start timestamp; smaller is older.
+// On conflict, an older requester wounds (aborts) younger holders, while a
+// younger requester waits. Holders that have prepared (two-phase commit's
+// prepared state) cannot be wounded; requesters wait for them regardless of
+// age. Wound-wait admits no deadlock: a transaction only ever waits for
+// older transactions, so the wait-for graph is acyclic.
+package locks
+
+import (
+	"fmt"
+	"sort"
+)
+
+// TxnID identifies a transaction.
+type TxnID struct {
+	Client uint32
+	Seq    uint64
+}
+
+func (t TxnID) String() string { return fmt.Sprintf("t%d.%d", t.Client, t.Seq) }
+
+// Mode is a lock mode.
+type Mode int
+
+// Lock modes.
+const (
+	Shared Mode = iota
+	Exclusive
+)
+
+// Outcome is the result of an Acquire call.
+type Outcome int
+
+// Acquire outcomes.
+const (
+	// Granted: the lock is held on return.
+	Granted Outcome = iota
+	// Waiting: the request is queued; Manager.OnGrant fires from a later
+	// Flush once the lock is acquired.
+	Waiting
+)
+
+// Request is a lock acquisition.
+type Request struct {
+	Txn  TxnID
+	Key  string
+	Mode Mode
+	// Prio is the transaction's wound-wait priority (its start
+	// timestamp); smaller values are older and win conflicts.
+	Prio int64
+}
+
+type holder struct {
+	txn  TxnID
+	mode Mode
+	prio int64
+}
+
+type lockState struct {
+	holders []holder
+	queue   []Request
+}
+
+// Manager is a lock table for one shard. It is single-threaded (driven by
+// the shard's event handler).
+type Manager struct {
+	locks    map[string]*lockState
+	held     map[TxnID][]string // keys each txn holds (for release)
+	prepared map[TxnID]bool
+	wounded  map[TxnID]bool
+
+	// OnGrant is invoked from Flush when a previously Waiting request
+	// acquires its lock. It may issue further Acquire/Release calls.
+	OnGrant func(Request)
+	// OnWound is invoked from Flush at most once per transaction when it
+	// is wounded by an older requester. The transaction's locks remain
+	// held until ReleaseAll; the owner must abort it and release.
+	OnWound func(TxnID)
+
+	pendingGrants []Request
+	pendingWounds []TxnID
+	flushing      bool
+}
+
+// NewManager returns an empty lock table.
+func NewManager() *Manager {
+	return &Manager{
+		locks:    make(map[string]*lockState),
+		held:     make(map[TxnID][]string),
+		prepared: make(map[TxnID]bool),
+		wounded:  make(map[TxnID]bool),
+	}
+}
+
+// Wounded reports whether txn has been wounded and not yet released.
+func (m *Manager) Wounded(txn TxnID) bool { return m.wounded[txn] }
+
+// HoldsAll reports whether txn currently holds locks covering all keys
+// (prepare-time read-lock validation).
+func (m *Manager) HoldsAll(txn TxnID, keys []string) bool {
+	if m.wounded[txn] {
+		return false
+	}
+	for _, k := range keys {
+		if !m.holds(txn, k) {
+			return false
+		}
+	}
+	return true
+}
+
+func (m *Manager) holds(txn TxnID, key string) bool {
+	ls := m.locks[key]
+	if ls == nil {
+		return false
+	}
+	for _, h := range ls.holders {
+		if h.txn == txn {
+			return true
+		}
+	}
+	return false
+}
+
+// SetPrepared marks txn as prepared: it can no longer be wounded.
+func (m *Manager) SetPrepared(txn TxnID) { m.prepared[txn] = true }
+
+// Acquire requests a lock. It returns Granted if the lock is held on
+// return, or Waiting if queued. Wounds triggered by this request are
+// queued and delivered on the next Flush.
+func (m *Manager) Acquire(req Request) Outcome {
+	ls := m.locks[req.Key]
+	if ls == nil {
+		ls = &lockState{}
+		m.locks[req.Key] = ls
+	}
+	// Re-entrant and upgrade handling.
+	for i, h := range ls.holders {
+		if h.txn != req.Txn {
+			continue
+		}
+		if h.mode == Exclusive || req.Mode == Shared {
+			return Granted // already covered
+		}
+		// Upgrade shared→exclusive: treat other holders as conflicts.
+		if len(ls.holders) == 1 {
+			ls.holders[i].mode = Exclusive
+			return Granted
+		}
+		return m.conflict(ls, req)
+	}
+	if m.compatible(ls, req) {
+		m.grant(ls, req)
+		return Granted
+	}
+	return m.conflict(ls, req)
+}
+
+// compatible reports whether req can be granted immediately. To prevent
+// starvation of queued exclusive requests, a shared request is only
+// compatible if no conflicting request is queued ahead of it.
+func (m *Manager) compatible(ls *lockState, req Request) bool {
+	if len(ls.holders) == 0 {
+		return len(ls.queue) == 0
+	}
+	if req.Mode == Exclusive {
+		return false
+	}
+	for _, h := range ls.holders {
+		if h.mode == Exclusive {
+			return false
+		}
+	}
+	for _, q := range ls.queue {
+		if q.Mode == Exclusive {
+			return false
+		}
+	}
+	return true
+}
+
+func (m *Manager) grant(ls *lockState, req Request) {
+	ls.holders = append(ls.holders, holder{txn: req.Txn, mode: req.Mode, prio: req.Prio})
+	m.held[req.Txn] = append(m.held[req.Txn], req.Key)
+}
+
+// conflict applies wound-wait: wound all younger, unprepared conflicting
+// holders and queue the request.
+func (m *Manager) conflict(ls *lockState, req Request) Outcome {
+	var toWound []TxnID
+	for _, h := range ls.holders {
+		if h.txn == req.Txn {
+			continue // upgrade in progress; other holders conflict
+		}
+		conflicts := req.Mode == Exclusive || h.mode == Exclusive
+		if !conflicts {
+			continue
+		}
+		if h.prio > req.Prio && !m.prepared[h.txn] && !m.wounded[h.txn] {
+			toWound = append(toWound, h.txn)
+		}
+	}
+	m.enqueue(ls, req)
+	for _, t := range toWound {
+		m.wounded[t] = true
+		m.pendingWounds = append(m.pendingWounds, t)
+	}
+	return Waiting
+}
+
+// Flush delivers queued OnWound and OnGrant callbacks until none remain.
+// Callbacks may call back into the manager (ReleaseAll, Acquire); newly
+// produced events are delivered in the same Flush. Wounds are delivered
+// before grants so victims release promptly. Call Flush after any sequence
+// of Acquire/ReleaseAll/SetPrepared calls.
+func (m *Manager) Flush() {
+	if m.flushing {
+		return // the outer Flush drains everything
+	}
+	m.flushing = true
+	defer func() { m.flushing = false }()
+	for len(m.pendingWounds) > 0 || len(m.pendingGrants) > 0 {
+		if len(m.pendingWounds) > 0 {
+			t := m.pendingWounds[0]
+			m.pendingWounds = m.pendingWounds[1:]
+			if m.OnWound != nil {
+				m.OnWound(t)
+			}
+			continue
+		}
+		g := m.pendingGrants[0]
+		m.pendingGrants = m.pendingGrants[1:]
+		if m.wounded[g.Txn] {
+			continue // wounded after being granted; owner will release
+		}
+		if m.OnGrant != nil {
+			m.OnGrant(g)
+		}
+	}
+}
+
+// enqueue inserts req into the wait queue ordered by priority (older
+// first), FIFO among equals.
+func (m *Manager) enqueue(ls *lockState, req Request) {
+	i := sort.Search(len(ls.queue), func(i int) bool { return ls.queue[i].Prio > req.Prio })
+	ls.queue = append(ls.queue, Request{})
+	copy(ls.queue[i+1:], ls.queue[i:])
+	ls.queue[i] = req
+}
+
+// ReleaseAll releases every lock txn holds, removes its queued requests,
+// and grants any newly admissible waiters (via OnGrant).
+func (m *Manager) ReleaseAll(txn TxnID) {
+	keys := m.held[txn]
+	delete(m.held, txn)
+	delete(m.prepared, txn)
+	delete(m.wounded, txn)
+	touched := map[string]bool{}
+	for _, k := range keys {
+		ls := m.locks[k]
+		for i := 0; i < len(ls.holders); {
+			if ls.holders[i].txn == txn {
+				ls.holders = append(ls.holders[:i], ls.holders[i+1:]...)
+			} else {
+				i++
+			}
+		}
+		touched[k] = true
+	}
+	// Drop queued requests from txn everywhere (aborted while waiting).
+	for k, ls := range m.locks {
+		for i := 0; i < len(ls.queue); {
+			if ls.queue[i].Txn == txn {
+				ls.queue = append(ls.queue[:i], ls.queue[i+1:]...)
+				touched[k] = true
+			} else {
+				i++
+			}
+		}
+	}
+	m.promoteAll(touched)
+}
+
+// promoteAll grants admissible queued requests on the touched keys.
+// Iteration order is sorted for determinism.
+func (m *Manager) promoteAll(touched map[string]bool) {
+	keys := make([]string, 0, len(touched))
+	for k := range touched {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		m.promote(k)
+	}
+}
+
+func (m *Manager) promote(key string) {
+	ls := m.locks[key]
+	if ls == nil {
+		return
+	}
+	for len(ls.queue) > 0 {
+		req := ls.queue[0]
+		if m.wounded[req.Txn] {
+			ls.queue = ls.queue[1:]
+			continue
+		}
+		admissible := false
+		if len(ls.holders) == 0 {
+			admissible = true
+		} else if req.Mode == Shared {
+			admissible = true
+			for _, h := range ls.holders {
+				if h.mode == Exclusive {
+					admissible = false
+				}
+			}
+		} else if len(ls.holders) == 1 && ls.holders[0].txn == req.Txn {
+			// Upgrade completes once other holders drained.
+			ls.holders[0].mode = Exclusive
+			ls.queue = ls.queue[1:]
+			m.pendingGrants = append(m.pendingGrants, req)
+			continue
+		}
+		if !admissible {
+			return
+		}
+		ls.queue = ls.queue[1:]
+		m.grant(ls, req)
+		m.pendingGrants = append(m.pendingGrants, req)
+	}
+	if len(ls.holders) == 0 && len(ls.queue) == 0 {
+		delete(m.locks, key)
+	}
+}
+
+// QueueLen returns the number of waiters on key (testing and metrics).
+func (m *Manager) QueueLen(key string) int {
+	if ls := m.locks[key]; ls != nil {
+		return len(ls.queue)
+	}
+	return 0
+}
+
+// HeldKeys returns a copy of the keys txn holds (testing).
+func (m *Manager) HeldKeys(txn TxnID) []string {
+	out := append([]string(nil), m.held[txn]...)
+	sort.Strings(out)
+	return out
+}

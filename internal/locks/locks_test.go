@@ -1,0 +1,327 @@
+package locks
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func txn(c uint32, s uint64) TxnID { return TxnID{Client: c, Seq: s} }
+
+// harness collects callback events.
+type harness struct {
+	m      *Manager
+	grants []Request
+	wounds []TxnID
+}
+
+func newHarness() *harness {
+	h := &harness{m: NewManager()}
+	h.m.OnGrant = func(r Request) { h.grants = append(h.grants, r) }
+	h.m.OnWound = func(t TxnID) { h.wounds = append(h.wounds, t) }
+	return h
+}
+
+func TestSharedLocksCoexist(t *testing.T) {
+	h := newHarness()
+	a, b := txn(1, 1), txn(2, 1)
+	if h.m.Acquire(Request{Txn: a, Key: "k", Mode: Shared, Prio: 1}) != Granted {
+		t.Fatal("first shared not granted")
+	}
+	if h.m.Acquire(Request{Txn: b, Key: "k", Mode: Shared, Prio: 2}) != Granted {
+		t.Fatal("second shared not granted")
+	}
+	h.m.Flush()
+	if len(h.wounds) != 0 {
+		t.Errorf("wounds = %v", h.wounds)
+	}
+}
+
+func TestExclusiveConflictsOlderWaits(t *testing.T) {
+	h := newHarness()
+	older, younger := txn(1, 1), txn(2, 1)
+	// Younger holds; older requests: younger is wounded.
+	if h.m.Acquire(Request{Txn: younger, Key: "k", Mode: Exclusive, Prio: 10}) != Granted {
+		t.Fatal("younger not granted")
+	}
+	if h.m.Acquire(Request{Txn: older, Key: "k", Mode: Exclusive, Prio: 5}) != Waiting {
+		t.Fatal("older should wait for release")
+	}
+	h.m.Flush()
+	if len(h.wounds) != 1 || h.wounds[0] != younger {
+		t.Fatalf("wounds = %v, want [%v]", h.wounds, younger)
+	}
+	// Victim releases; the older transaction is granted.
+	h.m.ReleaseAll(younger)
+	h.m.Flush()
+	if len(h.grants) != 1 || h.grants[0].Txn != older {
+		t.Fatalf("grants = %v", h.grants)
+	}
+}
+
+func TestYoungerWaitsNoWound(t *testing.T) {
+	h := newHarness()
+	older, younger := txn(1, 1), txn(2, 1)
+	h.m.Acquire(Request{Txn: older, Key: "k", Mode: Exclusive, Prio: 5})
+	if h.m.Acquire(Request{Txn: younger, Key: "k", Mode: Exclusive, Prio: 10}) != Waiting {
+		t.Fatal("younger should wait")
+	}
+	h.m.Flush()
+	if len(h.wounds) != 0 {
+		t.Errorf("wounds = %v, want none", h.wounds)
+	}
+	h.m.ReleaseAll(older)
+	h.m.Flush()
+	if len(h.grants) != 1 || h.grants[0].Txn != younger {
+		t.Fatalf("grants = %v", h.grants)
+	}
+}
+
+func TestPreparedHoldersAreProtected(t *testing.T) {
+	h := newHarness()
+	older, younger := txn(1, 1), txn(2, 1)
+	h.m.Acquire(Request{Txn: younger, Key: "k", Mode: Exclusive, Prio: 10})
+	h.m.SetPrepared(younger)
+	if h.m.Acquire(Request{Txn: older, Key: "k", Mode: Exclusive, Prio: 5}) != Waiting {
+		t.Fatal("older should wait for prepared holder")
+	}
+	h.m.Flush()
+	if len(h.wounds) != 0 {
+		t.Errorf("prepared holder wounded: %v", h.wounds)
+	}
+}
+
+func TestUpgradeSoleHolder(t *testing.T) {
+	h := newHarness()
+	a := txn(1, 1)
+	h.m.Acquire(Request{Txn: a, Key: "k", Mode: Shared, Prio: 1})
+	if h.m.Acquire(Request{Txn: a, Key: "k", Mode: Exclusive, Prio: 1}) != Granted {
+		t.Fatal("sole-holder upgrade should be immediate")
+	}
+	// Now exclusive: another shared must wait.
+	b := txn(2, 1)
+	if h.m.Acquire(Request{Txn: b, Key: "k", Mode: Shared, Prio: 0}) != Waiting {
+		t.Fatal("shared vs exclusive should wait")
+	}
+}
+
+func TestUpgradeWithOtherHolders(t *testing.T) {
+	h := newHarness()
+	a, b := txn(1, 1), txn(2, 1)
+	h.m.Acquire(Request{Txn: a, Key: "k", Mode: Shared, Prio: 5})
+	h.m.Acquire(Request{Txn: b, Key: "k", Mode: Shared, Prio: 10})
+	// a (older) upgrades: b is wounded, upgrade waits, then completes.
+	if h.m.Acquire(Request{Txn: a, Key: "k", Mode: Exclusive, Prio: 5}) != Waiting {
+		t.Fatal("upgrade with co-holders should wait")
+	}
+	h.m.Flush()
+	if len(h.wounds) != 1 || h.wounds[0] != b {
+		t.Fatalf("wounds = %v", h.wounds)
+	}
+	h.m.ReleaseAll(b)
+	h.m.Flush()
+	if len(h.grants) != 1 || h.grants[0].Txn != a || h.grants[0].Mode != Exclusive {
+		t.Fatalf("grants = %v", h.grants)
+	}
+	if !h.m.HoldsAll(a, []string{"k"}) {
+		t.Error("a does not hold k after upgrade")
+	}
+}
+
+func TestReentrantAcquire(t *testing.T) {
+	h := newHarness()
+	a := txn(1, 1)
+	h.m.Acquire(Request{Txn: a, Key: "k", Mode: Exclusive, Prio: 1})
+	if h.m.Acquire(Request{Txn: a, Key: "k", Mode: Shared, Prio: 1}) != Granted {
+		t.Error("shared under own exclusive should be granted")
+	}
+	if h.m.Acquire(Request{Txn: a, Key: "k", Mode: Exclusive, Prio: 1}) != Granted {
+		t.Error("re-acquire of own exclusive should be granted")
+	}
+	if got := h.m.HeldKeys(a); len(got) != 1 {
+		t.Errorf("held keys = %v, want deduplicated [k]", got)
+	}
+}
+
+func TestSharedDoesNotStarveExclusive(t *testing.T) {
+	h := newHarness()
+	a, b, c := txn(1, 1), txn(2, 1), txn(3, 1)
+	h.m.Acquire(Request{Txn: a, Key: "k", Mode: Shared, Prio: 1})
+	h.m.Acquire(Request{Txn: b, Key: "k", Mode: Exclusive, Prio: 0}) // waits (a older? no: b prio 0 is older → wounds a)
+	h.m.Flush()
+	// b wounded a; but until a releases, a late shared request must queue
+	// behind the exclusive rather than slipping in.
+	if h.m.Acquire(Request{Txn: c, Key: "k", Mode: Shared, Prio: 2}) != Waiting {
+		t.Fatal("shared request jumped the exclusive queue")
+	}
+	h.m.ReleaseAll(a)
+	h.m.Flush()
+	// Exclusive b granted first.
+	if len(h.grants) == 0 || h.grants[0].Txn != b {
+		t.Fatalf("grants = %v, want b first", h.grants)
+	}
+	h.m.ReleaseAll(b)
+	h.m.Flush()
+	if len(h.grants) != 2 || h.grants[1].Txn != c {
+		t.Fatalf("grants = %v, want c second", h.grants)
+	}
+}
+
+func TestQueuePriorityOrder(t *testing.T) {
+	h := newHarness()
+	holderTxn := txn(9, 1)
+	h.m.Acquire(Request{Txn: holderTxn, Key: "k", Mode: Exclusive, Prio: 0})
+	h.m.SetPrepared(holderTxn) // protect from wounds
+	b, c := txn(2, 1), txn(3, 1)
+	h.m.Acquire(Request{Txn: c, Key: "k", Mode: Exclusive, Prio: 30})
+	h.m.Acquire(Request{Txn: b, Key: "k", Mode: Exclusive, Prio: 20})
+	h.m.Flush()
+	h.m.ReleaseAll(holderTxn)
+	h.m.Flush()
+	if len(h.grants) != 1 || h.grants[0].Txn != b {
+		t.Fatalf("grants = %v, want b (older) first", h.grants)
+	}
+}
+
+func TestWoundedQueuedRequestDropped(t *testing.T) {
+	h := newHarness()
+	a, b, c := txn(1, 1), txn(2, 1), txn(3, 1)
+	h.m.Acquire(Request{Txn: a, Key: "k1", Mode: Exclusive, Prio: 1})
+	h.m.Acquire(Request{Txn: b, Key: "k1", Mode: Exclusive, Prio: 10}) // b waits on k1
+	h.m.Acquire(Request{Txn: b, Key: "k2", Mode: Exclusive, Prio: 10})
+	h.m.Acquire(Request{Txn: c, Key: "k2", Mode: Exclusive, Prio: 5}) // c wounds b
+	h.m.Flush()
+	if len(h.wounds) != 1 || h.wounds[0] != b {
+		t.Fatalf("wounds = %v", h.wounds)
+	}
+	h.m.ReleaseAll(b) // owner aborts b
+	h.m.Flush()
+	// c granted on k2.
+	found := false
+	for _, g := range h.grants {
+		if g.Txn == c && g.Key == "k2" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("grants = %v, want c on k2", h.grants)
+	}
+	// b's queued request on k1 must be gone: release a, nothing granted.
+	pre := len(h.grants)
+	h.m.ReleaseAll(a)
+	h.m.Flush()
+	if len(h.grants) != pre {
+		t.Errorf("dead waiter granted: %v", h.grants[pre:])
+	}
+	if h.m.QueueLen("k1") != 0 {
+		t.Errorf("k1 queue = %d, want 0", h.m.QueueLen("k1"))
+	}
+}
+
+func TestHoldsAllAndWounded(t *testing.T) {
+	h := newHarness()
+	a := txn(1, 1)
+	h.m.Acquire(Request{Txn: a, Key: "x", Mode: Shared, Prio: 5})
+	h.m.Acquire(Request{Txn: a, Key: "y", Mode: Shared, Prio: 5})
+	if !h.m.HoldsAll(a, []string{"x", "y"}) {
+		t.Error("HoldsAll false for held keys")
+	}
+	if h.m.HoldsAll(a, []string{"x", "z"}) {
+		t.Error("HoldsAll true for unheld key")
+	}
+	// Wound a via an older exclusive request.
+	b := txn(2, 1)
+	h.m.Acquire(Request{Txn: b, Key: "x", Mode: Exclusive, Prio: 1})
+	h.m.Flush()
+	if !h.m.Wounded(a) {
+		t.Error("a not wounded")
+	}
+	if h.m.HoldsAll(a, []string{"x", "y"}) {
+		t.Error("wounded txn must fail HoldsAll")
+	}
+}
+
+// Property: with random acquire/release traffic, (1) no two transactions
+// ever hold conflicting locks on one key, (2) every waiter eventually gets
+// its lock once all holders release, and (3) wounds only ever target
+// younger transactions.
+func TestWoundWaitQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := newHarness()
+		keys := []string{"a", "b", "c"}
+		active := map[TxnID]int64{}
+		woundedAt := map[TxnID]bool{}
+		h.m.OnWound = func(t TxnID) { woundedAt[t] = true }
+		next := uint64(1)
+		ok := true
+		h.m.OnGrant = func(Request) {}
+		for step := 0; step < 300 && ok; step++ {
+			switch rng.Intn(4) {
+			case 0, 1: // acquire for a random txn
+				var id TxnID
+				if len(active) == 0 || rng.Intn(3) == 0 {
+					id = txn(uint32(rng.Intn(5)+1), next)
+					next++
+					active[id] = rng.Int63n(1000)
+				} else {
+					for t := range active {
+						id = t
+						break
+					}
+				}
+				mode := Shared
+				if rng.Intn(2) == 0 {
+					mode = Exclusive
+				}
+				h.m.Acquire(Request{Txn: id, Key: keys[rng.Intn(3)], Mode: mode, Prio: active[id]})
+				h.m.Flush()
+			case 2: // release a random txn
+				for t := range active {
+					h.m.ReleaseAll(t)
+					delete(active, t)
+					delete(woundedAt, t)
+					break
+				}
+				h.m.Flush()
+			case 3: // release wounded txns (owners abort them)
+				for t := range woundedAt {
+					h.m.ReleaseAll(t)
+					delete(active, t)
+					delete(woundedAt, t)
+				}
+				h.m.Flush()
+			}
+			// Invariant: exclusive implies sole holder.
+			for _, k := range keys {
+				ls := h.m.locks[k]
+				if ls == nil {
+					continue
+				}
+				excl := 0
+				for _, hh := range ls.holders {
+					if hh.mode == Exclusive {
+						excl++
+					}
+				}
+				if excl > 0 && len(ls.holders) != 1 {
+					ok = false
+				}
+			}
+		}
+		// Drain: release everything; queues must empty.
+		for t := range active {
+			h.m.ReleaseAll(t)
+		}
+		h.m.Flush()
+		for _, k := range keys {
+			if h.m.QueueLen(k) != 0 {
+				ok = false
+			}
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,87 @@
+// Package mvstore is the multi-versioned storage engine underneath each
+// Spanner shard: every committed write creates a new version of a key at
+// its transaction's commit timestamp, and reads retrieve the latest version
+// at or below a snapshot timestamp.
+package mvstore
+
+import (
+	"sort"
+
+	"rsskv/internal/truetime"
+)
+
+// Version is one committed value of a key.
+type Version struct {
+	TS    truetime.Timestamp
+	Value string
+}
+
+// Store maps keys to their version chains. The zero value is not usable;
+// call New.
+type Store struct {
+	versions map[string][]Version
+}
+
+// New returns an empty store.
+func New() *Store {
+	return &Store{versions: make(map[string][]Version)}
+}
+
+// Write installs value as the version of key at ts. Commit timestamps of
+// writes to one key are unique (strict two-phase locking orders conflicting
+// transactions), but arrival order may differ from timestamp order when a
+// skipped transaction commits late, so Write inserts in timestamp order.
+func (s *Store) Write(key, value string, ts truetime.Timestamp) {
+	vs := s.versions[key]
+	i := sort.Search(len(vs), func(i int) bool { return vs[i].TS >= ts })
+	if i < len(vs) && vs[i].TS == ts {
+		vs[i].Value = value // idempotent re-apply
+		return
+	}
+	vs = append(vs, Version{})
+	copy(vs[i+1:], vs[i:])
+	vs[i] = Version{TS: ts, Value: value}
+	s.versions[key] = vs
+}
+
+// ReadAt returns the latest version of key with TS ≤ ts. The zero Version
+// (TS 0, empty value) is returned for keys never written at or before ts —
+// the paper's null.
+func (s *Store) ReadAt(key string, ts truetime.Timestamp) Version {
+	vs := s.versions[key]
+	i := sort.Search(len(vs), func(i int) bool { return vs[i].TS > ts })
+	if i == 0 {
+		return Version{}
+	}
+	return vs[i-1]
+}
+
+// Latest returns the newest version of key (zero Version if unwritten).
+func (s *Store) Latest(key string) Version {
+	vs := s.versions[key]
+	if len(vs) == 0 {
+		return Version{}
+	}
+	return vs[len(vs)-1]
+}
+
+// MaxTS returns the largest commit timestamp of any version of key
+// (0 if unwritten).
+func (s *Store) MaxTS(key string) truetime.Timestamp { return s.Latest(key).TS }
+
+// Versions returns the number of versions of key (testing).
+func (s *Store) Versions(key string) int { return len(s.versions[key]) }
+
+// GC drops all but the newest version with TS ≤ floor for every key,
+// bounding memory in long experiments while preserving reads at or above
+// floor.
+func (s *Store) GC(floor truetime.Timestamp) {
+	for k, vs := range s.versions {
+		i := sort.Search(len(vs), func(i int) bool { return vs[i].TS > floor })
+		if i > 1 {
+			kept := make([]Version, len(vs)-i+1)
+			copy(kept, vs[i-1:])
+			s.versions[k] = kept
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package mvstore
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rsskv/internal/truetime"
+)
+
+func TestReadAtBasics(t *testing.T) {
+	s := New()
+	if v := s.ReadAt("k", 100); v.TS != 0 || v.Value != "" {
+		t.Errorf("read of unwritten key = %+v", v)
+	}
+	s.Write("k", "a", 10)
+	s.Write("k", "b", 20)
+	s.Write("k", "c", 30)
+	cases := []struct {
+		ts   int64
+		want string
+	}{{5, ""}, {10, "a"}, {15, "a"}, {20, "b"}, {29, "b"}, {30, "c"}, {1000, "c"}}
+	for _, c := range cases {
+		if v := s.ReadAt("k", truetimeTS(c.ts)); v.Value != c.want {
+			t.Errorf("ReadAt(%d) = %q, want %q", c.ts, v.Value, c.want)
+		}
+	}
+}
+
+func truetimeTS(x int64) truetime.Timestamp { return truetime.Timestamp(x) }
+
+func TestOutOfOrderInsert(t *testing.T) {
+	s := New()
+	s.Write("k", "c", 30)
+	s.Write("k", "a", 10)
+	s.Write("k", "b", 20)
+	if v := s.ReadAt("k", 25); v.Value != "b" || v.TS != 20 {
+		t.Errorf("ReadAt(25) = %+v", v)
+	}
+	if s.Versions("k") != 3 {
+		t.Errorf("versions = %d", s.Versions("k"))
+	}
+}
+
+func TestIdempotentReapply(t *testing.T) {
+	s := New()
+	s.Write("k", "a", 10)
+	s.Write("k", "a2", 10) // re-apply at same timestamp overwrites
+	if s.Versions("k") != 1 {
+		t.Errorf("versions = %d, want 1", s.Versions("k"))
+	}
+	if v := s.Latest("k"); v.Value != "a2" {
+		t.Errorf("latest = %+v", v)
+	}
+}
+
+func TestLatestAndMaxTS(t *testing.T) {
+	s := New()
+	if s.MaxTS("k") != 0 {
+		t.Error("MaxTS of unwritten key != 0")
+	}
+	s.Write("k", "a", 10)
+	s.Write("k", "b", 5)
+	if v := s.Latest("k"); v.Value != "a" || v.TS != 10 {
+		t.Errorf("latest = %+v", v)
+	}
+	if s.MaxTS("k") != 10 {
+		t.Errorf("MaxTS = %d", s.MaxTS("k"))
+	}
+}
+
+func TestGC(t *testing.T) {
+	s := New()
+	for i := int64(1); i <= 10; i++ {
+		s.Write("k", "v", truetimeTS(i*10))
+	}
+	s.GC(55)
+	if s.Versions("k") != 6 { // version at 50 plus 60..100
+		t.Errorf("after GC: %d versions", s.Versions("k"))
+	}
+	if v := s.ReadAt("k", 55); v.TS != 50 {
+		t.Errorf("ReadAt(55) after GC = %+v", v)
+	}
+	if v := s.ReadAt("k", 1000); v.TS != 100 {
+		t.Errorf("ReadAt(1000) after GC = %+v", v)
+	}
+}
+
+// Property: ReadAt returns the version with the largest TS ≤ ts regardless
+// of insertion order.
+func TestReadAtQuick(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := New()
+		k := "key"
+		type ver struct {
+			ts int64
+			v  string
+		}
+		count := int(n%20) + 1
+		used := map[int64]bool{}
+		var vs []ver
+		for i := 0; i < count; i++ {
+			ts := rng.Int63n(1000) + 1
+			if used[ts] {
+				continue
+			}
+			used[ts] = true
+			v := ver{ts: ts, v: string(rune('a' + i))}
+			vs = append(vs, v)
+			s.Write(k, v.v, truetimeTS(v.ts))
+		}
+		for probe := int64(0); probe <= 1000; probe += 37 {
+			var want ver
+			for _, v := range vs {
+				if v.ts <= probe && v.ts > want.ts {
+					want = v
+				}
+			}
+			got := s.ReadAt(k, truetimeTS(probe))
+			if int64(got.TS) != want.ts || got.Value != want.v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

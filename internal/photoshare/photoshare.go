@@ -1,0 +1,252 @@
+// Package photoshare is the paper's running example application (§2.2 and
+// Table 1): users add photos to albums stored in a transactional key-value
+// store, and an asynchronous worker fetches newly added photos through a
+// messaging service to generate thumbnails.
+//
+// The application checks the paper's two invariants on every operation:
+//
+//	I1: an album never references a photo whose data is null.
+//	I2: a worker never dequeues a photo ID whose data reads as null.
+//
+// and detects the user-visible anomalies:
+//
+//	A2: Alice adds a photo and tells Bob; Bob does not see it.
+//	A3: Alice sees Charlie's (still-committing) photo and tells Bob; Bob
+//	    does not see it.
+//
+// Running it against Spanner (strict serializability), Spanner-RSS, and
+// the PO-serializable ablation regenerates Table 1's matrix: both
+// invariants hold under strict serializability and RSS (I2 requires libRSS
+// fences when crossing into the messaging service); PO-serializability
+// breaks I2; A3 becomes temporarily possible under RSS; A2 is impossible
+// under both strict serializability and RSS.
+package photoshare
+
+import (
+	"fmt"
+	"strings"
+
+	"rsskv/internal/core"
+	"rsskv/internal/librss"
+	"rsskv/internal/queue"
+	"rsskv/internal/sim"
+	"rsskv/internal/spanner"
+	"rsskv/internal/truetime"
+)
+
+// Service names registered with libRSS.
+const (
+	KVService    = "photos-kv"
+	QueueService = "thumbnail-queue"
+)
+
+// AlbumKey and PhotoKey name the application's keys.
+func AlbumKey(user string) string { return "album:" + user }
+func PhotoKey(id string) string   { return "photo:" + id }
+func photoList(album string) []string {
+	if album == "" {
+		return nil
+	}
+	return strings.Split(album, ",")
+}
+
+// Violations tallies invariant violations and anomalies observed.
+type Violations struct {
+	I1       int64 // album references a null photo
+	I2       int64 // worker read a null photo
+	A2       int64 // Bob missed Alice's completed photo
+	A3       int64 // Bob missed a photo Alice had already observed
+	A2Checks int64
+	A3Checks int64
+}
+
+func (v *Violations) String() string {
+	return fmt.Sprintf("I1=%d I2=%d A2=%d/%d A3=%d/%d", v.I1, v.I2, v.A2, v.A2Checks, v.A3, v.A3Checks)
+}
+
+// WebServer is an application process (Figure 1) handling photo-sharing
+// requests against the KV store and the thumbnail queue, with libRSS
+// coordinating cross-service fences.
+type WebServer struct {
+	KV    *spanner.Client
+	Queue *queue.Client
+	Lib   *librss.Library
+	V     *Violations
+
+	// UseFences disables libRSS when false (ablation: shows why
+	// composition needs fences).
+	UseFences bool
+
+	ctx *sim.Context // context of the in-flight request
+}
+
+// NewWebServer wires a web server's clients and registers services.
+func NewWebServer(kv *spanner.Client, q *queue.Client, v *Violations, useFences bool) *WebServer {
+	ws := &WebServer{KV: kv, Queue: q, Lib: librss.New(), V: v, UseFences: useFences}
+	ws.Lib.RegisterService(KVService, core.FenceFunc(func(done func()) { ws.kvFence(done) }))
+	ws.Lib.RegisterService(QueueService, core.NoopFence)
+	return ws
+}
+
+// kvFence adapts the Spanner-RSS fence; it needs a sim context, which the
+// web server stores per-request.
+func (ws *WebServer) kvFence(done func()) {
+	ws.KV.Fence(ws.ctx, func(ctx *sim.Context) {
+		ws.ctx = ctx
+		done()
+	})
+}
+
+// AddPhoto adds a photo to a user's album — the §2.2 read-write
+// transaction — and then enqueues a thumbnail request. done receives the
+// causal baggage to attach to the user's response.
+func (ws *WebServer) AddPhoto(ctx *sim.Context, user, id, data string, done func(*sim.Context)) {
+	ws.ctx = ctx
+	ws.start(KVService, func() {
+		ws.KV.ReadWriteFunc(ws.ctx, []string{AlbumKey(user)}, func(reads map[string]string) []spanner.KV {
+			album := reads[AlbumKey(user)]
+			if album == "" {
+				album = id
+			} else {
+				album += "," + id
+			}
+			return []spanner.KV{
+				{Key: PhotoKey(id), Value: data},
+				{Key: AlbumKey(user), Value: album},
+			}
+		}, func(ctx *sim.Context, _ spanner.RWResult) {
+			ws.ctx = ctx
+			ws.start(QueueService, func() {
+				ws.Queue.Enqueue(ws.ctx, id, func(ctx *sim.Context, _ int64) {
+					ws.ctx = ctx
+					done(ctx)
+				})
+			})
+		})
+	})
+}
+
+// ViewAlbum reads a user's album and all referenced photos in one RO
+// transaction, checking I1, and reports the set of photo IDs seen.
+func (ws *WebServer) ViewAlbum(ctx *sim.Context, user string, done func(*sim.Context, []string)) {
+	ws.ctx = ctx
+	ws.start(KVService, func() {
+		// Two-step navigation: read the album, then the photos it lists.
+		ws.KV.ReadOnly(ws.ctx, []string{AlbumKey(user)}, func(ctx *sim.Context, r spanner.ROResult) {
+			ws.ctx = ctx
+			ids := photoList(r.Vals[AlbumKey(user)])
+			if len(ids) == 0 {
+				done(ctx, nil)
+				return
+			}
+			keys := make([]string, len(ids))
+			for i, id := range ids {
+				keys[i] = PhotoKey(id)
+			}
+			ws.start(KVService, func() {
+				ws.KV.ReadOnly(ws.ctx, keys, func(ctx *sim.Context, r2 spanner.ROResult) {
+					ws.ctx = ctx
+					for _, id := range ids {
+						if r2.Vals[PhotoKey(id)] == "" {
+							ws.V.I1++
+						}
+					}
+					done(ctx, ids)
+				})
+			})
+		})
+	})
+}
+
+// Recv implements sim.Handler: the web server is one application process.
+func (ws *WebServer) Recv(ctx *sim.Context, from sim.NodeID, msg sim.Message) {
+	switch msg.(type) {
+	case queue.EnqueueReply, queue.DequeueReply:
+		ws.Queue.Recv(ctx, from, msg)
+	default:
+		ws.KV.Recv(ctx, from, msg)
+	}
+}
+
+// start runs libRSS's StartTransaction, or skips fencing when disabled.
+func (ws *WebServer) start(service string, run func()) {
+	if !ws.UseFences {
+		run()
+		return
+	}
+	ws.Lib.StartTransaction(service, run)
+}
+
+// Baggage exports the server's causal context for out-of-band propagation
+// to another process (§4.2): t_min plus the last service.
+func (ws *WebServer) Baggage() (tmin truetime.Timestamp, lastService string) {
+	return ws.KV.TMin(), ws.Lib.LastService()
+}
+
+// AcceptBaggage merges causal context received from another process.
+func (ws *WebServer) AcceptBaggage(tmin truetime.Timestamp, lastService string) {
+	ws.KV.SetTMin(tmin)
+	if lastService != "" {
+		ws.Lib.SetLastService(lastService)
+	}
+}
+
+// Worker is the asynchronous thumbnail processor: it polls the queue and
+// reads each photo from the KV store, checking I2.
+type Worker struct {
+	KV        *spanner.Client
+	Queue     *queue.Client
+	Lib       *librss.Library
+	V         *Violations
+	UseFences bool
+	Processed int64
+
+	PollInterval sim.Time
+	stopped      bool
+}
+
+// NewWorker wires a worker process.
+func NewWorker(kv *spanner.Client, q *queue.Client, v *Violations, useFences bool) *Worker {
+	wk := &Worker{KV: kv, Queue: q, Lib: librss.New(), V: v, UseFences: useFences, PollInterval: sim.Ms(5)}
+	wk.Lib.RegisterService(KVService, core.NoopFence) // worker never needs to fence the KV for this flow
+	wk.Lib.RegisterService(QueueService, core.NoopFence)
+	return wk
+}
+
+// Init implements sim.Initer: the worker starts polling.
+func (w *Worker) Init(ctx *sim.Context) { w.poll(ctx) }
+
+// Recv implements sim.Handler.
+func (w *Worker) Recv(ctx *sim.Context, from sim.NodeID, msg sim.Message) {
+	switch msg.(type) {
+	case queue.EnqueueReply, queue.DequeueReply:
+		w.Queue.Recv(ctx, from, msg)
+	default:
+		w.KV.Recv(ctx, from, msg)
+	}
+}
+
+// Stop halts polling after the current iteration.
+func (w *Worker) Stop() { w.stopped = true }
+
+func (w *Worker) poll(ctx *sim.Context) {
+	if w.stopped {
+		return
+	}
+	w.Queue.Dequeue(ctx, func(ctx *sim.Context, id string, _ int64, ok bool) {
+		if !ok {
+			ctx.After(w.PollInterval, func(ctx *sim.Context) { w.poll(ctx) })
+			return
+		}
+		// Crossing queue→KV: the queue's fence is a no-op, so libRSS
+		// would add nothing here; the KV read must still observe the
+		// photo (I2) because the enqueue causally followed the commit.
+		w.KV.ReadOnly(ctx, []string{PhotoKey(id)}, func(ctx *sim.Context, r spanner.ROResult) {
+			w.Processed++
+			if r.Vals[PhotoKey(id)] == "" {
+				w.V.I2++
+			}
+			w.poll(ctx)
+		})
+	})
+}

@@ -1,0 +1,198 @@
+package photoshare
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"rsskv/internal/queue"
+	"rsskv/internal/sim"
+	"rsskv/internal/spanner"
+)
+
+// app is an assembled photo-sharing deployment for tests.
+type app struct {
+	w       *sim.World
+	kv      *spanner.Cluster
+	q       *queue.Cluster
+	v       *Violations
+	servers []*WebServer
+	nodes   []sim.NodeID
+	worker  *Worker
+}
+
+func newApp(t *testing.T, mode spanner.Mode, fences bool, nServers int, seed int64) *app {
+	t.Helper()
+	net := sim.Topology3DC()
+	w := sim.NewWorld(net, seed)
+	kv := spanner.NewCluster(w, net, spanner.Config{
+		Mode:          mode,
+		NumShards:     3,
+		LeaderRegions: []sim.RegionID{0, 1, 2},
+		ReplicaRegions: [][]sim.RegionID{
+			{1, 2}, {0, 2}, {0, 1},
+		},
+		Epsilon: sim.Ms(10),
+	})
+	q := queue.NewCluster(w, queue.Config{LeaderRegion: 0, AcceptorRegions: []sim.RegionID{1, 2}})
+	a := &app{w: w, kv: kv, q: q, v: &Violations{}}
+	for i := 0; i < nServers; i++ {
+		reg := sim.RegionID(i % 3)
+		ws := NewWebServer(kv.NewClient(reg, rand.New(rand.NewSource(seed+int64(i)))), q.NewClient(), a.v, fences)
+		a.servers = append(a.servers, ws)
+		a.nodes = append(a.nodes, w.AddNode(ws, reg))
+	}
+	wk := NewWorker(kv.NewClient(1, rand.New(rand.NewSource(seed+99))), q.NewClient(), a.v, fences)
+	a.worker = wk
+	w.AddNode(wk, 1)
+	return a
+}
+
+// addPhoto blocks until server s finishes an AddPhoto request.
+func (a *app) addPhoto(t *testing.T, s int, user, id, data string) {
+	t.Helper()
+	done := false
+	a.servers[s].AddPhoto(a.w.NodeContext(a.nodes[s]), user, id, data, func(*sim.Context) { done = true })
+	if !a.w.RunUntil(func() bool { return done }, a.w.Now()+600*sim.Second) {
+		t.Fatal("AddPhoto stuck")
+	}
+}
+
+// viewAlbum blocks until server s finishes a ViewAlbum request.
+func (a *app) viewAlbum(t *testing.T, s int, user string) []string {
+	t.Helper()
+	var ids []string
+	done := false
+	a.servers[s].ViewAlbum(a.w.NodeContext(a.nodes[s]), user, func(_ *sim.Context, got []string) {
+		ids = got
+		done = true
+	})
+	if !a.w.RunUntil(func() bool { return done }, a.w.Now()+600*sim.Second) {
+		t.Fatal("ViewAlbum stuck")
+	}
+	return ids
+}
+
+func TestAddThenView(t *testing.T) {
+	for _, mode := range []spanner.Mode{spanner.ModeStrict, spanner.ModeRSS} {
+		t.Run(mode.String(), func(t *testing.T) {
+			a := newApp(t, mode, true, 2, 1)
+			a.addPhoto(t, 0, "alice", "p1", "DATA1")
+			a.addPhoto(t, 0, "alice", "p2", "DATA2")
+			ids := a.viewAlbum(t, 0, "alice")
+			if len(ids) != 2 || ids[0] != "p1" || ids[1] != "p2" {
+				t.Errorf("album = %v, want [p1 p2] (A1: no lost photos)", ids)
+			}
+			if a.v.I1 != 0 {
+				t.Errorf("I1 violations = %d", a.v.I1)
+			}
+		})
+	}
+}
+
+func TestWorkerI2Holds(t *testing.T) {
+	for _, mode := range []spanner.Mode{spanner.ModeStrict, spanner.ModeRSS} {
+		t.Run(mode.String(), func(t *testing.T) {
+			a := newApp(t, mode, true, 3, 2)
+			for i := 0; i < 9; i++ {
+				a.addPhoto(t, i%3, "user", fmt.Sprintf("p%d", i), fmt.Sprintf("D%d", i))
+			}
+			if !a.w.RunUntil(func() bool { return a.worker.Processed == 9 }, a.w.Now()+600*sim.Second) {
+				t.Fatalf("worker processed %d/9", a.worker.Processed)
+			}
+			if a.v.I2 != 0 {
+				t.Errorf("I2 violations = %d, want 0 (%v)", a.v.I2, a.v)
+			}
+			if a.v.I1 != 0 {
+				t.Errorf("I1 violations = %d", a.v.I1)
+			}
+		})
+	}
+}
+
+func TestWorkerI2BreaksUnderPO(t *testing.T) {
+	// The PO-serializable ablation reads stale snapshots: the worker
+	// dequeues a photo ID quickly after the enqueue, before the photo is
+	// inside its lagging snapshot — I2 violated (Table 1 row 3). PO
+	// systems have no real-time fence mechanism, so fences are off.
+	a := newApp(t, spanner.ModePO, false, 3, 3)
+	a.worker.PollInterval = sim.Ms(1)
+	for i := 0; i < 6; i++ {
+		a.addPhoto(t, i%3, "user", fmt.Sprintf("p%d", i), fmt.Sprintf("D%d", i))
+	}
+	if !a.w.RunUntil(func() bool { return a.worker.Processed == 6 }, a.w.Now()+600*sim.Second) {
+		t.Fatalf("worker processed %d/6", a.worker.Processed)
+	}
+	if a.v.I2 == 0 {
+		t.Error("expected I2 violations under PO-serializability, got none")
+	}
+	// I1 still holds: snapshots are consistent even when stale.
+	ids := a.viewAlbum(t, 0, "user")
+	_ = ids
+	if a.v.I1 != 0 {
+		t.Errorf("I1 violations = %d; PO snapshots must still be consistent", a.v.I1)
+	}
+}
+
+func TestA2NeverUnderStrictOrRSS(t *testing.T) {
+	// Alice adds a photo and "calls Bob" (out-of-band message with causal
+	// baggage); Bob's view must include it.
+	for _, mode := range []spanner.Mode{spanner.ModeStrict, spanner.ModeRSS} {
+		t.Run(mode.String(), func(t *testing.T) {
+			a := newApp(t, mode, true, 2, 4)
+			alice, bob := 0, 1
+			for i := 0; i < 5; i++ {
+				id := fmt.Sprintf("p%d", i)
+				a.addPhoto(t, alice, "alice", id, "D"+id)
+				// The phone call: baggage propagates Alice's context.
+				tmin, last := a.servers[alice].Baggage()
+				a.servers[bob].AcceptBaggage(tmin, last)
+				ids := a.viewAlbum(t, bob, "alice")
+				found := false
+				for _, got := range ids {
+					if got == id {
+						found = true
+					}
+				}
+				a.v.A2Checks++
+				if !found {
+					a.v.A2++
+				}
+			}
+			if a.v.A2 != 0 {
+				t.Errorf("A2 anomalies = %d/%d, want 0", a.v.A2, a.v.A2Checks)
+			}
+		})
+	}
+}
+
+func TestBaggagePropagatesTMin(t *testing.T) {
+	a := newApp(t, spanner.ModeRSS, true, 2, 5)
+	a.addPhoto(t, 0, "alice", "p1", "D1")
+	tmin, last := a.servers[0].Baggage()
+	if tmin == 0 {
+		t.Error("t_min not advanced by the add-photo transaction")
+	}
+	if last != QueueService {
+		t.Errorf("last service = %q, want %q", last, QueueService)
+	}
+	a.servers[1].AcceptBaggage(tmin, last)
+	if a.servers[1].KV.TMin() < tmin {
+		t.Error("baggage t_min not merged")
+	}
+}
+
+func TestLibRSSFenceInvoked(t *testing.T) {
+	a := newApp(t, spanner.ModeRSS, true, 1, 6)
+	a.addPhoto(t, 0, "alice", "p1", "D1")
+	// AddPhoto crosses KV→queue once.
+	if got := a.servers[0].Lib.Fences; got < 1 {
+		t.Errorf("fences invoked = %d, want ≥ 1", got)
+	}
+	// Without fences, none are invoked.
+	b := newApp(t, spanner.ModeRSS, false, 1, 7)
+	b.addPhoto(t, 0, "alice", "p1", "D1")
+	if got := b.servers[0].Lib.Fences; got != 0 {
+		t.Errorf("fences invoked with UseFences=false: %d", got)
+	}
+}

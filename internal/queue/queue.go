@@ -1,0 +1,194 @@
+// Package queue implements the paper's second supporting service (Figure
+// 1): a replicated, linearizable FIFO messaging queue used to hand work to
+// asynchronous processors (§2.2's thumbnail workers).
+//
+// The queue is leader-sequenced: the leader assigns each enqueue a sequence
+// number and replicates every state change to a majority of acceptors
+// before replying, which makes operations linearizable. Its real-time
+// fence is therefore a no-op (§4.1: real-time order is universal for
+// linearizable services).
+package queue
+
+import (
+	"fmt"
+
+	"rsskv/internal/replication"
+	"rsskv/internal/sim"
+)
+
+// EnqueueReq appends a value to the queue.
+type EnqueueReq struct {
+	ReqID uint64
+	Value string
+}
+
+// EnqueueReply acknowledges an enqueue with its sequence number.
+type EnqueueReply struct {
+	ReqID uint64
+	Seq   int64
+}
+
+// DequeueReq pops the queue head.
+type DequeueReq struct {
+	ReqID uint64
+}
+
+// DequeueReply returns the popped element, or Empty.
+type DequeueReply struct {
+	ReqID uint64
+	Value string
+	Seq   int64
+	Empty bool
+}
+
+// Leader is the queue's serving node.
+type Leader struct {
+	repl *replication.Leader
+
+	items   []item
+	nextSeq int64
+	head    int
+
+	// ProcTime models per-message CPU cost.
+	ProcTime sim.Time
+}
+
+type item struct {
+	seq   int64
+	value string
+}
+
+// NewLeader builds the queue leader; attach replication before running.
+func NewLeader() *Leader { return &Leader{} }
+
+// SetReplication attaches the leader's replication group.
+func (l *Leader) SetReplication(r *replication.Leader) { l.repl = r }
+
+// Len returns the number of queued elements (testing).
+func (l *Leader) Len() int { return len(l.items) - l.head }
+
+// Recv implements sim.Handler.
+func (l *Leader) Recv(ctx *sim.Context, from sim.NodeID, msg sim.Message) {
+	if l.ProcTime > 0 {
+		ctx.Busy(l.ProcTime)
+	}
+	if l.repl.OnAck(ctx, msg) {
+		return
+	}
+	switch m := msg.(type) {
+	case EnqueueReq:
+		l.nextSeq++
+		seq := l.nextSeq
+		l.items = append(l.items, item{seq: seq, value: m.Value})
+		l.repl.Replicate(ctx, "enqueue", func(ctx *sim.Context) {
+			ctx.Send(from, EnqueueReply{ReqID: m.ReqID, Seq: seq})
+		})
+	case DequeueReq:
+		if l.head == len(l.items) {
+			ctx.Send(from, DequeueReply{ReqID: m.ReqID, Empty: true})
+			return
+		}
+		it := l.items[l.head]
+		l.head++
+		if l.head > 1024 && l.head*2 > len(l.items) {
+			l.items = append([]item(nil), l.items[l.head:]...)
+			l.head = 0
+		}
+		l.repl.Replicate(ctx, "dequeue", func(ctx *sim.Context) {
+			ctx.Send(from, DequeueReply{ReqID: m.ReqID, Value: it.value, Seq: it.seq})
+		})
+	default:
+		panic(fmt.Sprintf("queue: unexpected message %T", msg))
+	}
+}
+
+// Cluster is an assembled queue service.
+type Cluster struct {
+	Leader     *Leader
+	LeaderNode sim.NodeID
+}
+
+// Config places the queue leader and its acceptors.
+type Config struct {
+	LeaderRegion    sim.RegionID
+	AcceptorRegions []sim.RegionID
+	ProcTime        sim.Time
+}
+
+// NewCluster adds a queue service to the world.
+func NewCluster(w *sim.World, cfg Config) *Cluster {
+	l := NewLeader()
+	l.ProcTime = cfg.ProcTime
+	node := w.AddNode(l, cfg.LeaderRegion)
+	var accs []sim.NodeID
+	for _, reg := range cfg.AcceptorRegions {
+		a := replication.NewAcceptor(1 << 20) // group id outside shard range
+		a.ProcTime = cfg.ProcTime
+		accs = append(accs, w.AddNode(a, reg))
+	}
+	l.SetReplication(replication.NewLeader(1<<20, accs))
+	return &Cluster{Leader: l, LeaderNode: node}
+}
+
+// Client issues queue operations from within a simulation node.
+type Client struct {
+	leader sim.NodeID
+	nextID uint64
+
+	inflight  bool
+	onEnqueue func(*sim.Context, int64)
+	onDequeue func(*sim.Context, string, int64, bool)
+	reqID     uint64
+}
+
+// NewClient builds a client of the cluster.
+func (c *Cluster) NewClient() *Client { return &Client{leader: c.LeaderNode} }
+
+// Enqueue appends value; done receives the assigned sequence number.
+func (c *Client) Enqueue(ctx *sim.Context, value string, done func(*sim.Context, int64)) {
+	if c.inflight {
+		panic("queue: client already has an operation in flight")
+	}
+	c.inflight = true
+	c.nextID++
+	c.reqID = c.nextID
+	c.onEnqueue = done
+	ctx.Send(c.leader, EnqueueReq{ReqID: c.reqID, Value: value})
+}
+
+// Dequeue pops the head; done receives (value, seq, ok). ok is false when
+// the queue was empty.
+func (c *Client) Dequeue(ctx *sim.Context, done func(ctx *sim.Context, value string, seq int64, ok bool)) {
+	if c.inflight {
+		panic("queue: client already has an operation in flight")
+	}
+	c.inflight = true
+	c.nextID++
+	c.reqID = c.nextID
+	c.onDequeue = done
+	ctx.Send(c.leader, DequeueReq{ReqID: c.reqID})
+}
+
+// Recv dispatches replies; the owning node forwards messages here.
+func (c *Client) Recv(ctx *sim.Context, from sim.NodeID, msg sim.Message) {
+	switch m := msg.(type) {
+	case EnqueueReply:
+		if !c.inflight || m.ReqID != c.reqID || c.onEnqueue == nil {
+			return
+		}
+		done := c.onEnqueue
+		c.onEnqueue = nil
+		c.inflight = false
+		done(ctx, m.Seq)
+	case DequeueReply:
+		if !c.inflight || m.ReqID != c.reqID || c.onDequeue == nil {
+			return
+		}
+		done := c.onDequeue
+		c.onDequeue = nil
+		c.inflight = false
+		done(ctx, m.Value, m.Seq, !m.Empty)
+	default:
+		panic(fmt.Sprintf("queue: client got unexpected message %T", msg))
+	}
+}

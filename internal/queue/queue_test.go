@@ -1,0 +1,159 @@
+package queue
+
+import (
+	"fmt"
+	"testing"
+
+	"rsskv/internal/sim"
+)
+
+// syncQ wraps a client in a node with blocking helpers.
+type syncQ struct {
+	c    *Client
+	node sim.NodeID
+	w    *sim.World
+}
+
+func (s *syncQ) Recv(ctx *sim.Context, from sim.NodeID, msg sim.Message) {
+	s.c.Recv(ctx, from, msg)
+}
+
+func newSyncQ(w *sim.World, region sim.RegionID, cl *Cluster) *syncQ {
+	s := &syncQ{c: cl.NewClient(), w: w}
+	s.node = w.AddNode(s, region)
+	return s
+}
+
+func (s *syncQ) enqueue(t *testing.T, v string) int64 {
+	t.Helper()
+	var seq int64
+	done := false
+	s.c.Enqueue(s.w.NodeContext(s.node), v, func(_ *sim.Context, sq int64) {
+		seq = sq
+		done = true
+	})
+	if !s.w.RunUntil(func() bool { return done }, s.w.Now()+60*sim.Second) {
+		t.Fatal("enqueue stuck")
+	}
+	return seq
+}
+
+func (s *syncQ) dequeue(t *testing.T) (string, int64, bool) {
+	t.Helper()
+	var v string
+	var seq int64
+	var ok, done bool
+	s.c.Dequeue(s.w.NodeContext(s.node), func(_ *sim.Context, val string, sq int64, o bool) {
+		v, seq, ok = val, sq, o
+		done = true
+	})
+	if !s.w.RunUntil(func() bool { return done }, s.w.Now()+60*sim.Second) {
+		t.Fatal("dequeue stuck")
+	}
+	return v, seq, ok
+}
+
+func build(t *testing.T) (*sim.World, *Cluster) {
+	t.Helper()
+	net := sim.Topology3DC()
+	w := sim.NewWorld(net, 1)
+	cl := NewCluster(w, Config{LeaderRegion: 0, AcceptorRegions: []sim.RegionID{1, 2}})
+	return w, cl
+}
+
+func TestFIFOOrder(t *testing.T) {
+	w, cl := build(t)
+	p := newSyncQ(w, 0, cl)
+	c := newSyncQ(w, 1, cl)
+	for i := 0; i < 5; i++ {
+		seq := p.enqueue(t, fmt.Sprintf("m%d", i))
+		if seq != int64(i+1) {
+			t.Errorf("enqueue %d got seq %d", i, seq)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		v, seq, ok := c.dequeue(t)
+		if !ok || v != fmt.Sprintf("m%d", i) || seq != int64(i+1) {
+			t.Errorf("dequeue %d = (%q, %d, %v)", i, v, seq, ok)
+		}
+	}
+	if _, _, ok := c.dequeue(t); ok {
+		t.Error("dequeue of empty queue returned an element")
+	}
+	if cl.Leader.Len() != 0 {
+		t.Errorf("leader reports %d queued", cl.Leader.Len())
+	}
+}
+
+func TestEnqueueLatencyIncludesReplication(t *testing.T) {
+	w, cl := build(t)
+	p := newSyncQ(w, 0, cl)
+	start := w.Now()
+	p.enqueue(t, "m")
+	lat := w.Now() - start
+	// Leader co-located (0.1ms each way) + majority replication to the
+	// nearest acceptor (VA, 62ms RTT).
+	if lat < sim.Ms(62) || lat > sim.Ms(63) {
+		t.Errorf("enqueue latency = %v, want ≈62.2ms", lat)
+	}
+}
+
+func TestEmptyDequeueIsNotReplicated(t *testing.T) {
+	w, cl := build(t)
+	c := newSyncQ(w, 0, cl)
+	start := w.Now()
+	_, _, ok := c.dequeue(t)
+	if ok {
+		t.Fatal("dequeue of empty returned element")
+	}
+	if lat := w.Now() - start; lat > sim.Ms(1) {
+		t.Errorf("empty dequeue took %v; should be a local round", lat)
+	}
+}
+
+func TestInterleavedProducersConsumers(t *testing.T) {
+	w, cl := build(t)
+	p1 := newSyncQ(w, 0, cl)
+	p2 := newSyncQ(w, 2, cl)
+	c1 := newSyncQ(w, 1, cl)
+	p1.enqueue(t, "a")
+	p2.enqueue(t, "b")
+	v1, _, _ := c1.dequeue(t)
+	p1.enqueue(t, "c")
+	v2, _, _ := c1.dequeue(t)
+	v3, _, _ := c1.dequeue(t)
+	if v1 != "a" || v2 != "b" || v3 != "c" {
+		t.Errorf("dequeue order %q %q %q, want a b c", v1, v2, v3)
+	}
+}
+
+func TestClientPanicsOnConcurrentOps(t *testing.T) {
+	w, cl := build(t)
+	s := newSyncQ(w, 0, cl)
+	ctx := w.NodeContext(s.node)
+	s.c.Enqueue(ctx, "x", func(*sim.Context, int64) {})
+	defer func() {
+		if recover() == nil {
+			t.Error("second in-flight op did not panic")
+		}
+	}()
+	s.c.Enqueue(ctx, "y", func(*sim.Context, int64) {})
+}
+
+func TestQueueCompaction(t *testing.T) {
+	net := sim.TopologyLocal(1, 0)
+	w := sim.NewWorld(net, 1)
+	cl := NewCluster(w, Config{LeaderRegion: 0})
+	s := newSyncQ(w, 0, cl)
+	for i := 0; i < 3000; i++ {
+		s.enqueue(t, "x")
+	}
+	for i := 0; i < 3000; i++ {
+		if _, _, ok := s.dequeue(t); !ok {
+			t.Fatalf("dequeue %d empty", i)
+		}
+	}
+	if cl.Leader.Len() != 0 {
+		t.Errorf("len = %d after drain", cl.Leader.Len())
+	}
+}

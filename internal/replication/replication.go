@@ -1,0 +1,138 @@
+// Package replication provides leader-based majority log replication for
+// Spanner shards. The paper's implementation reuses TAPIR's viewstamped
+// replication [72] in place of Multi-Paxos [47]; what matters to the
+// evaluated protocols is the latency of replicating a log entry to a
+// majority and the stable-leader property (leaders hold leases, so reads at
+// the leader need not contact the group). This package models exactly
+// that: a Leader embedded in the shard's event handler and Acceptor nodes
+// that append entries and acknowledge them. Leader failure and view
+// changes are out of scope (the paper's experiments never fail leaders; see
+// DESIGN.md §8).
+package replication
+
+import (
+	"fmt"
+
+	"rsskv/internal/sim"
+)
+
+// Append is sent by a leader to its acceptors to replicate one log entry.
+// Payload is opaque to the acceptors; Bytes models the entry's size for
+// accounting.
+type Append struct {
+	Group int
+	Seq   uint64
+	Kind  string
+}
+
+// AppendOK acknowledges an Append.
+type AppendOK struct {
+	Group int
+	Seq   uint64
+}
+
+// Acceptor is a follower node: it appends entries in order and
+// acknowledges them. ProcTime models per-message CPU cost.
+type Acceptor struct {
+	Group    int
+	ProcTime sim.Time
+
+	lastSeq uint64
+	n       int
+}
+
+// NewAcceptor builds an acceptor for the given replication group.
+func NewAcceptor(group int) *Acceptor { return &Acceptor{Group: group} }
+
+// Entries returns how many entries this acceptor has appended (testing).
+func (a *Acceptor) Entries() int { return a.n }
+
+// Recv implements sim.Handler.
+func (a *Acceptor) Recv(ctx *sim.Context, from sim.NodeID, msg sim.Message) {
+	m, ok := msg.(Append)
+	if !ok {
+		panic(fmt.Sprintf("replication: acceptor got unexpected message %T", msg))
+	}
+	if a.ProcTime > 0 {
+		ctx.Busy(a.ProcTime)
+	}
+	if m.Group != a.Group {
+		panic(fmt.Sprintf("replication: entry for group %d at acceptor of group %d", m.Group, a.Group))
+	}
+	// FIFO channels deliver appends in order; tolerate re-delivery.
+	if m.Seq > a.lastSeq {
+		a.lastSeq = m.Seq
+		a.n++
+	}
+	ctx.Send(from, AppendOK{Group: m.Group, Seq: m.Seq})
+}
+
+// Leader is the replication state embedded in a shard leader. It counts
+// itself toward the majority: with acceptors A1..Ak the quorum is
+// (k+1)/2+1 total copies, so the leader waits for quorum-1 acknowledgments.
+type Leader struct {
+	Group     int
+	acceptors []sim.NodeID
+
+	nextSeq uint64
+	pending map[uint64]*pendingEntry
+
+	// Committed counts entries replicated to a majority.
+	Committed uint64
+}
+
+type pendingEntry struct {
+	acks int
+	done func(*sim.Context)
+}
+
+// NewLeader builds the leader side for a group whose followers live at the
+// given nodes.
+func NewLeader(group int, acceptors []sim.NodeID) *Leader {
+	return &Leader{Group: group, acceptors: acceptors, pending: make(map[uint64]*pendingEntry)}
+}
+
+// quorumAcks is the number of follower acknowledgments needed for a
+// majority including the leader itself.
+func (l *Leader) quorumAcks() int {
+	total := len(l.acceptors) + 1
+	return total/2 + 1 - 1 // majority minus the leader's own copy
+}
+
+// Replicate appends an entry to the group log, invoking done once a
+// majority holds it. With no acceptors (single-copy groups in unit tests)
+// done is invoked before Replicate returns.
+func (l *Leader) Replicate(ctx *sim.Context, kind string, done func(*sim.Context)) {
+	l.nextSeq++
+	seq := l.nextSeq
+	if l.quorumAcks() == 0 {
+		l.Committed++
+		done(ctx)
+		return
+	}
+	l.pending[seq] = &pendingEntry{done: done}
+	for _, a := range l.acceptors {
+		ctx.Send(a, Append{Group: l.Group, Seq: seq, Kind: kind})
+	}
+}
+
+// OnAck processes an AppendOK addressed to this leader. The shard handler
+// must route AppendOK messages here. It returns true if the message was
+// consumed.
+func (l *Leader) OnAck(ctx *sim.Context, msg sim.Message) bool {
+	m, ok := msg.(AppendOK)
+	if !ok || m.Group != l.Group {
+		return false
+	}
+	p := l.pending[m.Seq]
+	if p == nil {
+		return true // already committed; late ack
+	}
+	p.acks++
+	if p.acks >= l.quorumAcks() {
+		delete(l.pending, m.Seq)
+		l.Committed++
+		p.done(ctx)
+	}
+	return true
+}

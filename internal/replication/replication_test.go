@@ -1,0 +1,131 @@
+package replication
+
+import (
+	"testing"
+
+	"rsskv/internal/sim"
+)
+
+// leaderNode hosts a Leader and replicates entries on demand.
+type leaderNode struct {
+	l         *Leader
+	committed []sim.Time
+}
+
+func (n *leaderNode) Recv(ctx *sim.Context, from sim.NodeID, msg sim.Message) {
+	if n.l.OnAck(ctx, msg) {
+		return
+	}
+	panic("unexpected message at leader")
+}
+
+func build(t *testing.T, nAcceptors int, rtt sim.Time) (*sim.World, *leaderNode, []*Acceptor) {
+	t.Helper()
+	net := sim.TopologyLocal(2, rtt)
+	w := sim.NewWorld(net, 1)
+	var accs []*Acceptor
+	var ids []sim.NodeID
+	for i := 0; i < nAcceptors; i++ {
+		a := NewAcceptor(0)
+		accs = append(accs, a)
+		ids = append(ids, w.AddNode(a, 1))
+	}
+	ln := &leaderNode{}
+	w.AddNode(ln, 0)
+	ln.l = NewLeader(0, ids)
+	return w, ln, accs
+}
+
+func TestMajorityLatency(t *testing.T) {
+	w, ln, _ := build(t, 2, sim.Ms(60)) // 3-way group: leader + 2
+	ctx := w.NodeContext(sim.NodeID(w.NumNodes() - 1))
+	ln.l.Replicate(ctx, "prepare", func(ctx *sim.Context) {
+		ln.committed = append(ln.committed, ctx.Now())
+	})
+	w.Drain()
+	if len(ln.committed) != 1 {
+		t.Fatal("entry not committed")
+	}
+	// Majority = 2 of 3 → one acceptor ack → one RTT.
+	if ln.committed[0] != sim.Ms(60) {
+		t.Errorf("committed at %v, want 60ms", ln.committed[0])
+	}
+	if ln.l.Committed != 1 {
+		t.Errorf("Committed = %d", ln.l.Committed)
+	}
+}
+
+func TestFiveWayGroupNeedsTwoAcks(t *testing.T) {
+	w, ln, accs := build(t, 4, sim.Ms(10))
+	ctx := w.NodeContext(sim.NodeID(w.NumNodes() - 1))
+	for i := 0; i < 3; i++ {
+		ln.l.Replicate(ctx, "e", func(ctx *sim.Context) {
+			ln.committed = append(ln.committed, ctx.Now())
+		})
+	}
+	w.Drain()
+	if len(ln.committed) != 3 {
+		t.Fatalf("committed %d entries, want 3", len(ln.committed))
+	}
+	for _, a := range accs {
+		if a.Entries() != 3 {
+			t.Errorf("acceptor has %d entries, want 3", a.Entries())
+		}
+	}
+}
+
+func TestZeroAcceptorsCommitsInline(t *testing.T) {
+	net := sim.TopologyLocal(1, 0)
+	w := sim.NewWorld(net, 1)
+	ln := &leaderNode{}
+	w.AddNode(ln, 0)
+	ln.l = NewLeader(0, nil)
+	called := false
+	ln.l.Replicate(w.NodeContext(0), "e", func(*sim.Context) { called = true })
+	if !called {
+		t.Error("single-copy group must commit synchronously")
+	}
+}
+
+func TestLateAcksIgnored(t *testing.T) {
+	w, ln, _ := build(t, 4, sim.Ms(10))
+	ctx := w.NodeContext(sim.NodeID(w.NumNodes() - 1))
+	n := 0
+	ln.l.Replicate(ctx, "e", func(*sim.Context) { n++ })
+	w.Drain() // all four acks arrive; callback must fire once
+	if n != 1 {
+		t.Errorf("done fired %d times, want 1", n)
+	}
+}
+
+func TestAcceptorRejectsWrongGroup(t *testing.T) {
+	net := sim.TopologyLocal(1, 0)
+	w := sim.NewWorld(net, 1)
+	a := NewAcceptor(3)
+	id := w.AddNode(a, 0)
+	src := w.AddNode(&leaderNode{l: NewLeader(3, nil)}, 0)
+	ctx := w.NodeContext(src)
+	ctx.Send(id, Append{Group: 4, Seq: 1})
+	defer func() {
+		if recover() == nil {
+			t.Error("wrong-group append did not panic")
+		}
+	}()
+	w.Drain()
+}
+
+func TestRedeliveryIdempotent(t *testing.T) {
+	net := sim.TopologyLocal(1, 0)
+	w := sim.NewWorld(net, 1)
+	a := NewAcceptor(0)
+	id := w.AddNode(a, 0)
+	ln := &leaderNode{l: NewLeader(0, []sim.NodeID{id})}
+	src := w.AddNode(ln, 0)
+	ctx := w.NodeContext(src)
+	ctx.Send(id, Append{Group: 0, Seq: 1})
+	ctx.Send(id, Append{Group: 0, Seq: 1}) // duplicate
+	w.Drain()
+	if a.Entries() != 1 {
+		t.Errorf("duplicate append counted: %d entries", a.Entries())
+	}
+}

@@ -1,0 +1,138 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// RegionID identifies an emulated geographic region (data center).
+type RegionID int32
+
+// Network models wide-area message latency between regions. One-way delay
+// between two nodes is half the configured region-to-region RTT plus an
+// exponentially distributed jitter term. Delivery on each directed
+// (src node, dst node) channel is FIFO: a later send never arrives before an
+// earlier one, matching TCP semantics assumed by the protocols.
+type Network struct {
+	names []string
+	rtt   [][]Time // symmetric RTT matrix, µs
+
+	// JitterMean is the mean of the exponential one-way jitter added to
+	// every message. Zero disables jitter.
+	JitterMean Time
+
+	rng  *rand.Rand
+	last map[chanKey]Time // last delivery time per directed channel
+}
+
+type chanKey struct{ src, dst NodeID }
+
+// NewNetwork builds a network over len(names) regions with the given RTT
+// matrix (µs). The matrix must be square; only entries with i != j are used,
+// and the matrix is symmetrized by taking rtt[i][j] for i, j as given.
+func NewNetwork(names []string, rtt [][]Time) *Network {
+	if len(rtt) != len(names) {
+		panic("sim: RTT matrix size does not match region names")
+	}
+	for i := range rtt {
+		if len(rtt[i]) != len(names) {
+			panic("sim: RTT matrix is not square")
+		}
+	}
+	return &Network{names: names, rtt: rtt, last: make(map[chanKey]Time)}
+}
+
+func (n *Network) attach(rng *rand.Rand) { n.rng = rng }
+
+// Regions returns the number of regions.
+func (n *Network) Regions() int { return len(n.names) }
+
+// RegionName returns the human-readable name of region r.
+func (n *Network) RegionName(r RegionID) string { return n.names[r] }
+
+// RTT returns the configured round-trip time between two regions.
+func (n *Network) RTT(a, b RegionID) Time { return n.rtt[a][b] }
+
+// OneWay returns the base one-way delay between two regions (RTT/2), with
+// no jitter. Protocol code uses this for latency estimation (e.g.
+// Spanner-RSS t_ee computation), mirroring the paper's use of measured
+// minimum RTTs.
+func (n *Network) OneWay(a, b RegionID) Time { return n.rtt[a][b] / 2 }
+
+func (n *Network) delay(a, b RegionID) Time {
+	d := n.rtt[a][b] / 2
+	if n.JitterMean > 0 {
+		d += Time(n.rng.ExpFloat64() * float64(n.JitterMean))
+	}
+	return d
+}
+
+// fifoClamp ensures arrival times on a directed channel are nondecreasing.
+// It is separated from delay so World can apply it with absolute times.
+func (n *Network) fifoClamp(src, dst NodeID, arrival Time) Time {
+	k := chanKey{src, dst}
+	if prev, ok := n.last[k]; ok && arrival < prev {
+		arrival = prev
+	}
+	n.last[k] = arrival
+	return arrival
+}
+
+// String describes the topology.
+func (n *Network) String() string {
+	return fmt.Sprintf("network(%d regions, jitter=%v)", len(n.names), n.JitterMean)
+}
+
+// Topology3DC returns the Spanner evaluation topology from §6 of the paper:
+// California, Virginia, and Ireland, with RTTs CA–VA 62 ms, CA–IR 136 ms,
+// VA–IR 68 ms. Intra-region RTT is 200 µs.
+func Topology3DC() *Network {
+	const intra = 200 * Microsecond
+	cava, cair, vair := Ms(62), Ms(136), Ms(68)
+	return NewNetwork(
+		[]string{"CA", "VA", "IR"},
+		[][]Time{
+			{intra, cava, cair},
+			{cava, intra, vair},
+			{cair, vair, intra},
+		},
+	)
+}
+
+// Topology5Region returns the Gryff evaluation topology (Table 2 of the
+// paper): CA, VA, IR, OR, JP with the emulated RTTs in milliseconds, and
+// 200 µs within a region.
+func Topology5Region() *Network {
+	m := [][]float64{
+		//        CA     VA     IR     OR     JP
+		/*CA*/ {0.2, 72.0, 151.0, 59.0, 113.0},
+		/*VA*/ {72.0, 0.2, 88.0, 93.0, 162.0},
+		/*IR*/ {151.0, 88.0, 0.2, 145.0, 220.0},
+		/*OR*/ {59.0, 93.0, 145.0, 0.2, 121.0},
+		/*JP*/ {113.0, 162.0, 220.0, 121.0, 0.2},
+	}
+	rtt := make([][]Time, len(m))
+	for i := range m {
+		rtt[i] = make([]Time, len(m))
+		for j := range m {
+			rtt[i][j] = Ms(m[i][j])
+		}
+	}
+	return NewNetwork([]string{"CA", "VA", "IR", "OR", "JP"}, rtt)
+}
+
+// TopologyLocal returns a single-cluster topology with nRegions logical
+// regions all separated by the same small RTT, modeling the CloudLab
+// single-data-center setup of §6.2/§7.4 (inter-machine latency < 200 µs).
+func TopologyLocal(nRegions int, rtt Time) *Network {
+	names := make([]string, nRegions)
+	m := make([][]Time, nRegions)
+	for i := range m {
+		names[i] = fmt.Sprintf("R%d", i)
+		m[i] = make([]Time, nRegions)
+		for j := range m {
+			m[i][j] = rtt
+		}
+	}
+	return NewNetwork(names, m)
+}

@@ -1,0 +1,344 @@
+// Package sim is a deterministic discrete-event simulation kernel for
+// distributed protocols.
+//
+// Protocol code is written as single-threaded actors (Handler) that react to
+// messages and timers. A World owns a virtual clock and an event queue and
+// delivers events in virtual-time order with deterministic tie-breaking, so a
+// run with a given seed always produces the same trace. The network model
+// (see Network) injects per-region wide-area latency, and per-node service
+// times model CPU occupancy so that throughput experiments saturate
+// realistically.
+//
+// Virtual time is measured in microseconds (Time). Nothing in this package
+// reads the wall clock.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+)
+
+// Time is a virtual-time instant in microseconds since the start of the run.
+type Time int64
+
+// Common durations, in µs.
+const (
+	Microsecond Time = 1
+	Millisecond Time = 1000
+	Second      Time = 1000 * 1000
+)
+
+// Ms returns a Time of d milliseconds.
+func Ms(d float64) Time { return Time(d * float64(Millisecond)) }
+
+// Seconds converts t to floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Millis converts t to floating-point milliseconds.
+func (t Time) Millis() float64 { return float64(t) / float64(Millisecond) }
+
+func (t Time) String() string { return fmt.Sprintf("%.3fms", t.Millis()) }
+
+// NodeID identifies an actor in a World. IDs are dense, starting at 0.
+type NodeID int32
+
+// Message is an opaque protocol message. Implementations are shared by
+// value conventions: a message must not be mutated after Send.
+type Message any
+
+// Handler is the interface protocol actors implement. A Handler's methods
+// are only ever invoked from the World's event loop, one event at a time,
+// so handlers need no internal locking.
+type Handler interface {
+	// Recv delivers a message sent by node from.
+	Recv(ctx *Context, from NodeID, msg Message)
+}
+
+// Initer is optionally implemented by handlers that want a callback when the
+// world starts running (before any message is delivered).
+type Initer interface {
+	Init(ctx *Context)
+}
+
+// event is a scheduled occurrence: either a message delivery or a timer.
+type event struct {
+	at   Time
+	seq  uint64 // insertion order; breaks ties deterministically
+	to   NodeID
+	from NodeID
+	msg  Message
+	fn   func(*Context) // timer callback; nil for deliveries
+	tmr  *Timer
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+func (h eventHeap) Peek() *event             { return h[0] }
+func (h eventHeap) emptyOrAfter(t Time) bool { return len(h) == 0 || h[0].at > t }
+
+// Timer is a cancellable scheduled callback.
+type Timer struct {
+	stopped bool
+}
+
+// Stop cancels the timer. Stopping an already-fired or already-stopped timer
+// is a no-op. Stop reports whether the call prevented the timer from firing.
+func (t *Timer) Stop() bool {
+	was := t.stopped
+	t.stopped = true
+	return !was
+}
+
+type nodeState struct {
+	h         Handler
+	region    RegionID
+	busyUntil Time
+	rng       *rand.Rand
+	delivered uint64
+}
+
+// World is the simulation universe: nodes, network, clock, and event queue.
+type World struct {
+	now     Time
+	seq     uint64
+	queue   eventHeap
+	nodes   []nodeState
+	net     *Network
+	seed    int64
+	inited  bool
+	stopped bool
+
+	// Trace, if non-nil, is called for every delivered message. Intended
+	// for debugging; leave nil in benchmarks.
+	Trace func(at Time, from, to NodeID, msg Message)
+
+	// Delivered counts total message deliveries (not timers).
+	Delivered uint64
+}
+
+// NewWorld returns a World using net for message latency. The seed fixes all
+// randomness (network jitter and per-node RNGs); equal seeds give equal runs.
+func NewWorld(net *Network, seed int64) *World {
+	w := &World{net: net, seed: seed}
+	net.attach(rand.New(rand.NewSource(seed ^ 0x5DEECE66D)))
+	return w
+}
+
+// Now returns the current virtual time.
+func (w *World) Now() Time { return w.now }
+
+// AddNode registers h as a new actor placed in region and returns its ID.
+// All nodes must be added before the first Run/Step call.
+func (w *World) AddNode(h Handler, region RegionID) NodeID {
+	if w.inited {
+		panic("sim: AddNode after world started")
+	}
+	if int(region) >= w.net.Regions() {
+		panic(fmt.Sprintf("sim: region %d out of range (%d regions)", region, w.net.Regions()))
+	}
+	id := NodeID(len(w.nodes))
+	w.nodes = append(w.nodes, nodeState{
+		h:      h,
+		region: region,
+		rng:    rand.New(rand.NewSource(w.seed ^ (int64(id)+1)*0x5851F42D4C957F2D)),
+	})
+	return id
+}
+
+// NumNodes returns the number of registered nodes.
+func (w *World) NumNodes() int { return len(w.nodes) }
+
+// Region returns the region a node was placed in.
+func (w *World) Region(id NodeID) RegionID { return w.nodes[id].region }
+
+// Handler returns the handler registered for id.
+func (w *World) Handler(id NodeID) Handler { return w.nodes[id].h }
+
+func (w *World) nextSeq() uint64 { w.seq++; return w.seq }
+
+func (w *World) push(e *event) { heap.Push(&w.queue, e) }
+
+func (w *World) init() {
+	if w.inited {
+		return
+	}
+	w.inited = true
+	for id := range w.nodes {
+		if in, ok := w.nodes[id].h.(Initer); ok {
+			ctx := &Context{w: w, self: NodeID(id)}
+			in.Init(ctx)
+		}
+	}
+}
+
+// Step processes the single next event, if any, and reports whether one was
+// processed. Virtual time advances to the event's time.
+func (w *World) Step() bool {
+	w.init()
+	for len(w.queue) > 0 {
+		e := heap.Pop(&w.queue).(*event)
+		if e.tmr != nil && e.tmr.stopped {
+			continue
+		}
+		if e.at < w.now {
+			panic("sim: event scheduled in the past")
+		}
+		w.now = e.at
+		ctx := &Context{w: w, self: e.to}
+		if e.fn != nil {
+			e.fn(ctx)
+			return true
+		}
+		// Model single-threaded nodes: if the target is busy, defer the
+		// delivery until it frees up (preserving queue order via seq).
+		ns := &w.nodes[e.to]
+		if ns.busyUntil > w.now {
+			e.at = ns.busyUntil
+			w.push(e)
+			continue
+		}
+		w.Delivered++
+		ns.delivered++
+		if w.Trace != nil {
+			w.Trace(w.now, e.from, e.to, e.msg)
+		}
+		ns.h.Recv(ctx, e.from, e.msg)
+		return true
+	}
+	return false
+}
+
+// Run processes events until the queue is empty or virtual time would exceed
+// until. It returns the virtual time at which it stopped.
+func (w *World) Run(until Time) Time {
+	w.init()
+	for len(w.queue) > 0 && !w.stopped {
+		if w.queue.Peek().at > until {
+			w.now = until
+			return w.now
+		}
+		w.Step()
+	}
+	if w.now < until {
+		w.now = until
+	}
+	return w.now
+}
+
+// RunUntil processes events until done() reports true, the event queue
+// drains, or virtual time exceeds limit. It reports whether done() was
+// satisfied.
+func (w *World) RunUntil(done func() bool, limit Time) bool {
+	w.init()
+	for !done() {
+		if len(w.queue) == 0 || w.queue.Peek().at > limit || w.stopped {
+			return done()
+		}
+		w.Step()
+	}
+	return true
+}
+
+// Drain processes every remaining event (useful at the end of tests).
+func (w *World) Drain() {
+	w.init()
+	for w.Step() {
+	}
+}
+
+// Stop halts Run/RunUntil at the next event boundary.
+func (w *World) Stop() { w.stopped = true }
+
+// Context is the capability surface handlers use to interact with the world.
+// Contexts are cheap, stateless handles; harness code may also obtain one
+// via World.NodeContext to inject work from outside the event loop.
+type Context struct {
+	w    *World
+	self NodeID
+}
+
+// NodeContext returns a Context bound to node id, for harness code that
+// initiates operations from outside the event loop (for example a blocking
+// client façade). It must only be used from the goroutine running the
+// world.
+func (w *World) NodeContext(id NodeID) *Context {
+	w.init()
+	return &Context{w: w, self: id}
+}
+
+// Self returns the ID of the node whose callback is executing.
+func (c *Context) Self() NodeID { return c.self }
+
+// Now returns the current virtual time.
+func (c *Context) Now() Time { return c.w.now }
+
+// Rand returns this node's deterministic RNG.
+func (c *Context) Rand() *rand.Rand { return c.w.nodes[c.self].rng }
+
+// Send transmits msg to node to. The message departs once the sender's
+// declared service time (Busy) has elapsed; latency is then drawn from the
+// network model, and delivery over a given (src, dst) pair is FIFO.
+func (c *Context) Send(to NodeID, msg Message) {
+	w := c.w
+	departure := w.now
+	if bu := w.nodes[c.self].busyUntil; bu > departure {
+		departure = bu
+	}
+	arrival := departure
+	if to != c.self {
+		arrival += w.net.delay(w.nodes[c.self].region, w.nodes[to].region)
+		arrival = w.net.fifoClamp(c.self, to, arrival)
+	}
+	w.push(&event{at: arrival, seq: w.nextSeq(), to: to, from: c.self, msg: msg})
+}
+
+// After schedules fn to run on this node after d. It returns a Timer that
+// can cancel the callback.
+func (c *Context) After(d Time, fn func(*Context)) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	t := &Timer{}
+	c.w.push(&event{at: c.w.now + d, seq: c.w.nextSeq(), to: c.self, fn: fn, tmr: t})
+	return t
+}
+
+// At schedules fn to run on this node at absolute virtual time at (or now,
+// if at is in the past).
+func (c *Context) At(at Time, fn func(*Context)) *Timer {
+	d := at - c.w.now
+	return c.After(d, fn)
+}
+
+// Busy models CPU occupancy: the node will not receive further messages
+// until d of virtual time has elapsed (deliveries queue up FIFO). Calling
+// Busy repeatedly accumulates.
+func (c *Context) Busy(d Time) {
+	ns := &c.w.nodes[c.self]
+	if ns.busyUntil < c.w.now {
+		ns.busyUntil = c.w.now
+	}
+	ns.busyUntil += d
+}
+
+// World returns the underlying world. Intended for harness code, not for
+// protocol handlers.
+func (c *Context) World() *World { return c.w }

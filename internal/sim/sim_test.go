@@ -1,0 +1,318 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+// echoNode replies to every ping with a pong.
+type echoNode struct{ got []Message }
+
+type ping struct{ n int }
+type pong struct{ n int }
+
+func (e *echoNode) Recv(ctx *Context, from NodeID, msg Message) {
+	e.got = append(e.got, msg)
+	if p, ok := msg.(ping); ok {
+		ctx.Send(from, pong{p.n})
+	}
+}
+
+// driverNode sends pings at init and records pongs with receive times.
+type driverNode struct {
+	peer   NodeID
+	count  int
+	pongs  []int
+	rxTime []Time
+}
+
+func (d *driverNode) Init(ctx *Context) {
+	for i := 0; i < d.count; i++ {
+		ctx.Send(d.peer, ping{i})
+	}
+}
+
+func (d *driverNode) Recv(ctx *Context, from NodeID, msg Message) {
+	if p, ok := msg.(pong); ok {
+		d.pongs = append(d.pongs, p.n)
+		d.rxTime = append(d.rxTime, ctx.Now())
+	}
+}
+
+func TestPingPongLatency(t *testing.T) {
+	net := TopologyLocal(2, Ms(10)) // 10ms RTT
+	w := NewWorld(net, 1)
+	e := &echoNode{}
+	en := w.AddNode(e, 1)
+	d := &driverNode{peer: en, count: 1}
+	w.AddNode(d, 0)
+	w.Drain()
+	if len(d.pongs) != 1 {
+		t.Fatalf("got %d pongs, want 1", len(d.pongs))
+	}
+	if want := Ms(10); d.rxTime[0] != want {
+		t.Errorf("round trip took %v, want %v", d.rxTime[0], want)
+	}
+}
+
+func TestFIFOPerChannel(t *testing.T) {
+	net := TopologyLocal(2, Ms(10))
+	net.JitterMean = Ms(5) // heavy jitter would reorder without FIFO clamping
+	w := NewWorld(net, 42)
+	e := &echoNode{}
+	en := w.AddNode(e, 1)
+	d := &driverNode{peer: en, count: 50}
+	w.AddNode(d, 0)
+	w.Drain()
+	if len(d.pongs) != 50 {
+		t.Fatalf("got %d pongs, want 50", len(d.pongs))
+	}
+	for i, n := range d.pongs {
+		if n != i {
+			t.Fatalf("pong %d arrived at position %d: FIFO violated", n, i)
+		}
+	}
+}
+
+func TestSelfSendIsImmediate(t *testing.T) {
+	w := NewWorld(TopologyLocal(1, Ms(10)), 1)
+	var at Time = -1
+	n := &funcNode{}
+	id := w.AddNode(n, 0)
+	n.f = func(ctx *Context, from NodeID, msg Message) { at = ctx.Now() }
+	w.init()
+	ctx := &Context{w: w, self: id}
+	ctx.Send(id, "hello")
+	w.Drain()
+	if at != 0 {
+		t.Errorf("self send delivered at %v, want 0", at)
+	}
+}
+
+type funcNode struct {
+	f func(ctx *Context, from NodeID, msg Message)
+}
+
+func (n *funcNode) Recv(ctx *Context, from NodeID, msg Message) {
+	if n.f != nil {
+		n.f(ctx, from, msg)
+	}
+}
+
+func TestTimersFireInOrderAndCancel(t *testing.T) {
+	w := NewWorld(TopologyLocal(1, 0), 1)
+	var fired []int
+	n := &funcNode{}
+	id := w.AddNode(n, 0)
+	_ = id
+	w.init()
+	ctx := &Context{w: w, self: id}
+	ctx.After(30, func(*Context) { fired = append(fired, 3) })
+	ctx.After(10, func(*Context) { fired = append(fired, 1) })
+	tm := ctx.After(20, func(*Context) { fired = append(fired, 2) })
+	if !tm.Stop() {
+		t.Error("Stop on pending timer returned false")
+	}
+	if tm.Stop() {
+		t.Error("second Stop returned true")
+	}
+	w.Drain()
+	if len(fired) != 2 || fired[0] != 1 || fired[1] != 3 {
+		t.Errorf("fired = %v, want [1 3]", fired)
+	}
+	if w.Now() != 30 {
+		t.Errorf("final time %v, want 30", w.Now())
+	}
+}
+
+func TestBusyDefersDelivery(t *testing.T) {
+	w := NewWorld(TopologyLocal(1, 0), 1)
+	var times []Time
+	n := &funcNode{}
+	id := w.AddNode(n, 0)
+	n.f = func(ctx *Context, from NodeID, msg Message) {
+		times = append(times, ctx.Now())
+		ctx.Busy(100) // each message takes 100µs of CPU
+	}
+	src := &funcNode{}
+	sid := w.AddNode(src, 0)
+	w.init()
+	ctx := &Context{w: w, self: sid}
+	for i := 0; i < 3; i++ {
+		ctx.Send(id, i)
+	}
+	w.Drain()
+	want := []Time{0, 100, 200}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Errorf("delivery %d at %v, want %v", i, times[i], want[i])
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func(seed int64) string {
+		net := Topology5Region()
+		net.JitterMean = Ms(1)
+		w := NewWorld(net, seed)
+		e := &echoNode{}
+		en := w.AddNode(e, 3)
+		d := &driverNode{peer: en, count: 200}
+		w.AddNode(d, 1)
+		w.Drain()
+		return fmt.Sprint(d.rxTime)
+	}
+	if run(7) != run(7) {
+		t.Error("same seed produced different traces")
+	}
+	if run(7) == run(8) {
+		t.Error("different seeds produced identical traces (jitter not applied?)")
+	}
+}
+
+func TestRunUntilAndLimit(t *testing.T) {
+	w := NewWorld(TopologyLocal(1, 0), 1)
+	n := &funcNode{}
+	id := w.AddNode(n, 0)
+	count := 0
+	w.init()
+	ctx := &Context{w: w, self: id}
+	var tick func(*Context)
+	tick = func(c *Context) {
+		count++
+		c.After(10, tick)
+	}
+	ctx.After(10, tick)
+	ok := w.RunUntil(func() bool { return count >= 5 }, Second)
+	if !ok || count != 5 {
+		t.Errorf("RunUntil: ok=%v count=%d, want true, 5", ok, count)
+	}
+	ok = w.RunUntil(func() bool { return count >= 1000000 }, 200)
+	if ok {
+		t.Error("RunUntil exceeded its virtual time limit")
+	}
+}
+
+func TestRunStopsAtUntil(t *testing.T) {
+	w := NewWorld(TopologyLocal(1, 0), 1)
+	n := &funcNode{}
+	id := w.AddNode(n, 0)
+	w.init()
+	ctx := &Context{w: w, self: id}
+	fired := false
+	ctx.After(500, func(*Context) { fired = true })
+	end := w.Run(100)
+	if end != 100 || fired {
+		t.Errorf("Run(100) ended at %v fired=%v, want 100, false", end, fired)
+	}
+	w.Run(1000)
+	if !fired {
+		t.Error("timer did not fire after extending Run horizon")
+	}
+}
+
+func TestTopologies(t *testing.T) {
+	n3 := Topology3DC()
+	if got := n3.RTT(0, 1); got != Ms(62) {
+		t.Errorf("CA-VA RTT = %v, want 62ms", got)
+	}
+	if got := n3.RTT(0, 2); got != Ms(136) {
+		t.Errorf("CA-IR RTT = %v, want 136ms", got)
+	}
+	if got := n3.RTT(1, 2); got != Ms(68) {
+		t.Errorf("VA-IR RTT = %v, want 68ms", got)
+	}
+	n5 := Topology5Region()
+	if n5.Regions() != 5 {
+		t.Fatalf("Topology5Region has %d regions", n5.Regions())
+	}
+	// Table 2 spot checks.
+	if got := n5.RTT(2, 4); got != Ms(220) {
+		t.Errorf("IR-JP RTT = %v, want 220ms", got)
+	}
+	if got := n5.RTT(0, 3); got != Ms(59) {
+		t.Errorf("CA-OR RTT = %v, want 59ms", got)
+	}
+	// Symmetry.
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 5; j++ {
+			if n5.RTT(RegionID(i), RegionID(j)) != n5.RTT(RegionID(j), RegionID(i)) {
+				t.Errorf("RTT(%d,%d) asymmetric", i, j)
+			}
+		}
+	}
+}
+
+func TestTimeFormatting(t *testing.T) {
+	if Ms(1.5) != 1500*Microsecond {
+		t.Errorf("Ms(1.5) = %d", Ms(1.5))
+	}
+	if (2 * Second).Seconds() != 2 {
+		t.Errorf("Seconds conversion wrong")
+	}
+	if (1500 * Microsecond).Millis() != 1.5 {
+		t.Errorf("Millis conversion wrong")
+	}
+	if s := Ms(2).String(); s != "2.000ms" {
+		t.Errorf("String = %q", s)
+	}
+}
+
+// Property: one-way delay is at least RTT/2 and FIFO order holds for any
+// sequence of sends on one channel.
+func TestDelayBoundsQuick(t *testing.T) {
+	f := func(seed int64, nMsgs uint8) bool {
+		n := int(nMsgs%50) + 1
+		net := TopologyLocal(2, Ms(10))
+		net.JitterMean = Ms(2)
+		w := NewWorld(net, seed)
+		e := &echoNode{}
+		en := w.AddNode(e, 1)
+		d := &driverNode{peer: en, count: n}
+		w.AddNode(d, 0)
+		w.Drain()
+		if len(d.pongs) != n {
+			return false
+		}
+		prev := Time(-1)
+		for i, at := range d.rxTime {
+			if at < Ms(10) { // round trip can never beat 2 * RTT/2
+				return false
+			}
+			if at < prev {
+				return false
+			}
+			prev = at
+			if d.pongs[i] != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddNodeAfterStartPanics(t *testing.T) {
+	w := NewWorld(TopologyLocal(1, 0), 1)
+	w.AddNode(&funcNode{}, 0)
+	w.Step()
+	defer func() {
+		if recover() == nil {
+			t.Error("AddNode after start did not panic")
+		}
+	}()
+	w.AddNode(&funcNode{}, 0)
+}
+
+func TestRegionOutOfRangePanics(t *testing.T) {
+	w := NewWorld(TopologyLocal(1, 0), 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range region did not panic")
+		}
+	}()
+	w.AddNode(&funcNode{}, 5)
+}

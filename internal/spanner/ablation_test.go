@@ -1,0 +1,119 @@
+package spanner
+
+import (
+	"math/rand"
+	"testing"
+
+	"rsskv/internal/sim"
+)
+
+// TestDisableOpt2MakesTEEStale verifies §6 optimization 2's effect: with
+// the adjustment off, a transaction that blocked in wound-wait keeps its
+// original (now stale) t_ee, so subsequent RO transactions see
+// t_ee ≤ t_read and must block.
+func TestDisableOpt2MakesTEEStale(t *testing.T) {
+	build := func(disable bool) (prepTee, prepTp int64) {
+		net := sim.Topology3DC()
+		w := sim.NewWorld(net, 21)
+		cl := NewCluster(w, net, Config{
+			Mode:          ModeRSS,
+			NumShards:     3,
+			LeaderRegions: []sim.RegionID{0, 1, 2},
+			ReplicaRegions: [][]sim.RegionID{
+				{1, 2}, {0, 2}, {0, 1},
+			},
+			Epsilon:     sim.Ms(10),
+			DisableOpt2: disable,
+		})
+		k := keyOn(cl, 0, "hot")
+		k2 := keyOn(cl, 1, "other")
+		// An older holder: prepared on k, blocking the victim's prepare.
+		older := &prepareHolder{c: cl.NewClient(0, rand.New(rand.NewSource(1))), writes: []KV{{k, "a"}, {k2, "a2"}}}
+		w.AddNode(older, 0)
+		// A younger transaction that will block behind the prepared one.
+		younger := &prepareHolder{c: cl.NewClient(0, rand.New(rand.NewSource(2))), writes: []KV{{k, "b"}, {k2, "b2"}}}
+		youngNode := &delayedInit{h: younger, delay: sim.Ms(40)}
+		w.AddNode(youngNode, 0)
+		// Run until the younger client's prepare is recorded, capturing
+		// the entry before the transaction commits and clears it.
+		var captured *prepTxn
+		ok := w.RunUntil(func() bool {
+			for id, p := range cl.Shards[0].prepared {
+				if id.Client == younger.c.ID {
+					captured = p
+					return true
+				}
+			}
+			return false
+		}, 60*sim.Second)
+		if !ok {
+			t.Fatal("younger transaction never prepared")
+		}
+		return int64(captured.tee), int64(captured.tp)
+	}
+	teeOn, _ := build(false)
+	teeOff, _ := build(true)
+	if teeOn <= teeOff {
+		t.Errorf("opt2 on: tee %d, off: %d — adjustment should advance t_ee", teeOn, teeOff)
+	}
+}
+
+// delayedInit wraps a handler, delaying its Init.
+type delayedInit struct {
+	h interface {
+		sim.Handler
+		Init(*sim.Context)
+	}
+	delay sim.Time
+}
+
+func (d *delayedInit) Init(ctx *sim.Context) {
+	ctx.After(d.delay, func(ctx *sim.Context) { d.h.Init(ctx) })
+}
+
+func (d *delayedInit) Recv(ctx *sim.Context, from sim.NodeID, msg sim.Message) {
+	d.h.Recv(ctx, from, msg)
+}
+
+func TestGCDropsOldVersions(t *testing.T) {
+	net := sim.Topology3DC()
+	w := sim.NewWorld(net, 22)
+	cl := NewCluster(w, net, Config{
+		Mode:          ModeStrict,
+		NumShards:     3,
+		LeaderRegions: []sim.RegionID{0, 1, 2},
+		ReplicaRegions: [][]sim.RegionID{
+			{1, 2}, {0, 2}, {0, 1},
+		},
+		Epsilon:    0,
+		GCInterval: sim.Second,
+		GCWindow:   2 * sim.Second,
+	})
+	c := NewSyncClient(w, 0, cl.NewClient(0, rand.New(rand.NewSource(1))))
+	k := keyOn(cl, 0, "x")
+	for i := 0; i < 8; i++ {
+		c.ReadWrite(nil, []KV{{k, string(rune('a' + i))}})
+		w.Run(w.Now() + sim.Second)
+	}
+	sh := cl.Shards[0]
+	if got := sh.Store().Versions(k); got >= 8 {
+		t.Errorf("GC kept %d versions, want < 8", got)
+	}
+	if v := sh.Store().Latest(k); v.Value != "h" {
+		t.Errorf("latest = %q after GC, want h", v.Value)
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	run := func() string {
+		h := runSpannerWorkload(t, ModeRSS, 77, 4, 8)
+		out := ""
+		for _, op := range h.Ops {
+			out += op.Type.String() + ":" + op.Invoke.String() + ":" + op.Respond.String() + ";"
+		}
+		return out
+	}
+	if run() != run() {
+		t.Error("identical seeds produced different histories")
+	}
+}

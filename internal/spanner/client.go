@@ -1,0 +1,524 @@
+package spanner
+
+import (
+	"fmt"
+	"sort"
+
+	"rsskv/internal/sim"
+	"rsskv/internal/truetime"
+)
+
+// RWResult reports a committed read-write transaction.
+type RWResult struct {
+	TC       truetime.Timestamp
+	Reads    map[string]string
+	Attempts int // 1 + number of aborts
+}
+
+// ROResult reports a completed read-only transaction.
+type ROResult struct {
+	TSnap   truetime.Timestamp
+	Vals    map[string]string
+	Blocked bool // the client waited for slow replies (RSS) or shard blocking
+}
+
+// Client issues Spanner transactions from inside a simulation node. The
+// owner node forwards incoming messages to Recv. One transaction may be in
+// flight at a time.
+type Client struct {
+	ID      uint32
+	cluster *Cluster
+	region  sim.RegionID
+	clock   *truetime.Clock
+	mode    Mode
+
+	tmin  truetime.Timestamp // minimum read timestamp (Algorithm 1 state)
+	poLag sim.Time           // this client's replica lag (ModePO only)
+
+	nextSeq  uint64
+	nextReq  uint64
+	inflight bool
+
+	rw *rwState
+	ro *roState
+}
+
+type rwState struct {
+	txn      TxnID
+	prio     int64
+	start    truetime.Timestamp
+	readKeys []string
+	writes   []KV
+	compute  func(reads map[string]string) []KV
+	attempts int
+
+	phase       int // 0 reading, 1 committing
+	pendingRead int
+	reads       map[string]string
+	readReqs    map[uint64]string
+	aborted     bool
+	done        func(*sim.Context, RWResult)
+}
+
+type roState struct {
+	reqID   uint64
+	keys    []string
+	tread   truetime.Timestamp
+	pending int // outstanding fast replies
+	blocked bool
+
+	// Algorithm 1 state.
+	prepared map[TxnID]*SkippedPrep   // P
+	resolved map[TxnID][]*ROSlowReply // slow replies that raced fast ones
+	vals     []VersionedKV            // V
+	tsnap    truetime.Timestamp
+	fastDone bool
+	done     func(*sim.Context, ROResult)
+}
+
+// NewClient is created through Cluster.NewClient.
+func newClient(id uint32, cl *Cluster, region sim.RegionID, clock *truetime.Clock) *Client {
+	return &Client{
+		ID:      id,
+		cluster: cl,
+		region:  region,
+		clock:   clock,
+		mode:    cl.cfg.Mode,
+		// Namespace request IDs by client so multiple clients can share
+		// one node (load generators) without reply collisions.
+		nextReq: uint64(id) << 32,
+	}
+}
+
+// TMin exposes the client's minimum read timestamp (testing, fences,
+// context propagation per §4.2).
+func (c *Client) TMin() truetime.Timestamp { return c.tmin }
+
+// SetTMin merges an externally propagated causal constraint (e.g. received
+// alongside an out-of-band message; §4.2).
+func (c *Client) SetTMin(t truetime.Timestamp) {
+	if t > c.tmin {
+		c.tmin = t
+	}
+}
+
+// ResetSession clears the causal context; partly-open load generators call
+// this between sessions (§6: "The clients use a separate t_min for each
+// session").
+func (c *Client) ResetSession() { c.tmin = 0 }
+
+// Idle reports whether no transaction is in flight.
+func (c *Client) Idle() bool { return !c.inflight }
+
+// ReadWrite starts a read-write transaction reading readKeys and writing
+// writes. Write keys are locked at prepare; read keys during execution.
+// The transaction retries automatically on aborts (wound-wait) and
+// completes only when committed.
+func (c *Client) ReadWrite(ctx *sim.Context, readKeys []string, writes []KV, done func(*sim.Context, RWResult)) {
+	c.readWrite(ctx, readKeys, writes, nil, done)
+}
+
+// ReadWriteFunc starts a read-write transaction whose write set is
+// computed from the values read, under the read locks (the classic
+// read-modify-write shape: e.g. appending a photo to an album, §2.2). The
+// computation re-runs on every retry.
+func (c *Client) ReadWriteFunc(ctx *sim.Context, readKeys []string, compute func(reads map[string]string) []KV, done func(*sim.Context, RWResult)) {
+	c.readWrite(ctx, readKeys, nil, compute, done)
+}
+
+func (c *Client) readWrite(ctx *sim.Context, readKeys []string, writes []KV, compute func(map[string]string) []KV, done func(*sim.Context, RWResult)) {
+	if c.inflight {
+		panic("spanner: client already has a transaction in flight")
+	}
+	c.inflight = true
+	start := c.clock.Now(ctx.Now()).Latest
+	c.rw = &rwState{
+		prio:     int64(start),
+		start:    start,
+		readKeys: readKeys,
+		writes:   writes,
+		compute:  compute,
+		done:     done,
+	}
+	c.beginAttempt(ctx)
+}
+
+func (c *Client) beginAttempt(ctx *sim.Context) {
+	s := c.rw
+	c.nextSeq++
+	s.txn = TxnID{Client: c.ID, Seq: c.nextSeq}
+	s.attempts++
+	s.phase = 0
+	s.aborted = false
+	s.reads = make(map[string]string, len(s.readKeys))
+	s.readReqs = make(map[uint64]string, len(s.readKeys))
+	s.pendingRead = len(s.readKeys)
+	if s.pendingRead == 0 {
+		c.startCommit(ctx)
+		return
+	}
+	for _, k := range s.readKeys {
+		c.nextReq++
+		s.readReqs[c.nextReq] = k
+		ctx.Send(c.cluster.LeaderNode(c.cluster.ShardOf(k)), ReadReq{
+			Txn: s.txn, Prio: s.prio, Key: k, ReqID: c.nextReq,
+		})
+	}
+}
+
+// startCommit runs two-phase commit (§5, "Spanner background").
+func (c *Client) startCommit(ctx *sim.Context) {
+	s := c.rw
+	s.phase = 1
+	if s.compute != nil {
+		s.writes = s.compute(s.reads)
+	}
+	shards := c.participantShards()
+	coord, est := c.cluster.BestCoordinator(c.region, shards)
+	tee := c.clock.Now(ctx.Now()).Earliest + truetime.Timestamp(est)
+
+	var others []sim.NodeID
+	for _, sh := range shards {
+		if sh != coord {
+			others = append(others, c.cluster.LeaderNode(sh))
+		}
+	}
+	for _, sh := range shards {
+		req := PrepareReq{
+			Txn:        s.txn,
+			Prio:       s.prio,
+			Writes:     c.writesFor(sh),
+			ReadKeys:   c.readKeysFor(sh),
+			TEE:        tee,
+			StartTS:    s.start,
+			Coord:      c.cluster.LeaderNode(coord),
+			ClientNode: ctx.Self(),
+		}
+		if sh == coord {
+			req.IsCoord = true
+			req.NumParts = len(shards)
+			req.Participants = others
+		}
+		ctx.Send(c.cluster.LeaderNode(sh), req)
+	}
+}
+
+// participantShards returns the sorted set of shards the transaction
+// touched.
+func (c *Client) participantShards() []int {
+	s := c.rw
+	set := map[int]bool{}
+	for _, k := range s.readKeys {
+		set[c.cluster.ShardOf(k)] = true
+	}
+	for _, w := range s.writes {
+		set[c.cluster.ShardOf(w.Key)] = true
+	}
+	out := make([]int, 0, len(set))
+	for sh := range set {
+		out = append(out, sh)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func (c *Client) writesFor(shard int) []KV {
+	var out []KV
+	for _, w := range c.rw.writes {
+		if c.cluster.ShardOf(w.Key) == shard {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+func (c *Client) readKeysFor(shard int) []string {
+	var out []string
+	for _, k := range c.rw.readKeys {
+		if c.cluster.ShardOf(k) == shard {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// abortAndRetry releases the failed attempt and retries with the original
+// wound-wait priority after a short randomized backoff.
+func (c *Client) abortAndRetry(ctx *sim.Context) {
+	s := c.rw
+	for _, sh := range c.participantShards() {
+		ctx.Send(c.cluster.LeaderNode(sh), ReleaseReq{Txn: s.txn})
+	}
+	backoff := sim.Ms(2) + sim.Time(ctx.Rand().Int63n(int64(sim.Ms(8))))
+	ctx.After(backoff, func(ctx *sim.Context) { c.beginAttempt(ctx) })
+}
+
+// ReadOnly starts a read-only transaction over keys (Algorithm 1).
+func (c *Client) ReadOnly(ctx *sim.Context, keys []string, done func(*sim.Context, ROResult)) {
+	if c.inflight {
+		panic("spanner: client already has a transaction in flight")
+	}
+	c.inflight = true
+	c.nextReq++
+	tread := c.clock.Now(ctx.Now()).Latest
+	tmin := c.tmin
+	switch c.mode {
+	case ModeStrict:
+		tmin = 0
+	case ModePO:
+		// PO ablation: read a consistent but stale snapshot — behind
+		// real time by this client's replication lag (lazy replicas lag
+		// unevenly, so the lag is per-client), so conflicting prepared
+		// transactions essentially never block it, but completed writes
+		// by other clients may be invisible (no real-time order, no
+		// cross-service causality).
+		stale := tread - truetime.Timestamp(c.poLag)
+		if stale < c.tmin {
+			stale = c.tmin
+		}
+		tread = stale
+		tmin = 0
+	}
+	c.ro = &roState{
+		reqID:    c.nextReq,
+		keys:     keys,
+		tread:    tread,
+		prepared: make(map[TxnID]*SkippedPrep),
+		resolved: make(map[TxnID][]*ROSlowReply),
+		done:     done,
+	}
+	shards := map[int][]string{}
+	for _, k := range keys {
+		sh := c.cluster.ShardOf(k)
+		shards[sh] = append(shards[sh], k)
+	}
+	c.ro.pending = len(shards)
+	for sh, ks := range shards {
+		ctx.Send(c.cluster.LeaderNode(sh), ROCommit{ReqID: c.ro.reqID, Keys: ks, TRead: tread, TMin: tmin})
+	}
+}
+
+// Fence implements the Spanner-RSS real-time fence (§5.1): block until
+// t_min + L < TT.now().earliest, after which every future RO transaction
+// anywhere reflects a state at least as recent as t_min.
+func (c *Client) Fence(ctx *sim.Context, done func(*sim.Context)) {
+	target := c.tmin + truetime.Timestamp(c.cluster.MaxCommitLag())
+	wait := c.clock.UntilAfter(ctx.Now(), target)
+	if wait == 0 {
+		done(ctx)
+		return
+	}
+	ctx.After(wait, func(ctx *sim.Context) { done(ctx) })
+}
+
+// Recv dispatches shard replies. The owner node must forward all messages.
+func (c *Client) Recv(ctx *sim.Context, from sim.NodeID, msg sim.Message) {
+	switch m := msg.(type) {
+	case ReadReply:
+		c.onReadReply(ctx, m)
+	case AbortNotify:
+		c.onAbortNotify(ctx, m)
+	case CommitReply:
+		c.onCommitReply(ctx, m)
+	case ROFastReply:
+		c.onROFast(ctx, m)
+	case ROSlowReply:
+		c.onROSlow(ctx, m)
+	default:
+		panic(fmt.Sprintf("spanner: client got unexpected message %T", msg))
+	}
+}
+
+func (c *Client) onReadReply(ctx *sim.Context, m ReadReply) {
+	s := c.rw
+	if s == nil || s.phase != 0 || s.aborted {
+		return
+	}
+	key, ok := s.readReqs[m.ReqID]
+	if !ok {
+		return // stale reply from a previous attempt
+	}
+	delete(s.readReqs, m.ReqID)
+	if !m.OK {
+		// Wounded. ReleaseReq is sent after the in-flight requests on
+		// each channel (FIFO), so it is the last message per shard.
+		s.aborted = true
+		c.abortAndRetry(ctx)
+		return
+	}
+	s.reads[key] = m.Value
+	s.pendingRead--
+	if s.pendingRead == 0 {
+		c.startCommit(ctx)
+	}
+}
+
+func (c *Client) onAbortNotify(ctx *sim.Context, m AbortNotify) {
+	s := c.rw
+	if s == nil || m.Txn != s.txn {
+		return
+	}
+	if s.phase == 0 && !s.aborted {
+		s.aborted = true
+		c.abortAndRetry(ctx)
+	}
+	// In the commit phase the coordinator's decision settles the outcome.
+}
+
+func (c *Client) onCommitReply(ctx *sim.Context, m CommitReply) {
+	s := c.rw
+	if s == nil || m.Txn != s.txn || s.phase != 1 {
+		return
+	}
+	if !m.Committed {
+		c.abortAndRetry(ctx)
+		return
+	}
+	finish := func(ctx *sim.Context) {
+		if m.TC > c.tmin {
+			c.tmin = m.TC
+		}
+		res := RWResult{TC: m.TC, Reads: s.reads, Attempts: s.attempts}
+		c.rw = nil
+		c.inflight = false
+		s.done(ctx, res)
+	}
+	// Ensure the advertised earliest end time has truly passed before the
+	// transaction ends at the client (§5: "the client later ensures t_ee
+	// is less than the actual client-side end time").
+	wait := c.clock.UntilAfter(ctx.Now(), m.TEE)
+	if wait == 0 {
+		finish(ctx)
+		return
+	}
+	ctx.After(wait, finish)
+}
+
+// ---- Algorithm 1: the RSS read-only client ----
+
+func (c *Client) onROFast(ctx *sim.Context, m ROFastReply) {
+	s := c.ro
+	if s == nil || m.ReqID != s.reqID || s.fastDone {
+		return
+	}
+	s.vals = append(s.vals, m.Vals...)
+	for i := range m.Skipped {
+		sp := m.Skipped[i]
+		s.prepared[sp.Txn] = &sp
+		for _, r := range s.resolved[sp.Txn] {
+			c.applyResolution(s, r)
+		}
+		delete(s.resolved, sp.Txn)
+	}
+	s.pending--
+	if s.pending > 0 {
+		return
+	}
+	s.fastDone = true
+	s.tsnap = c.calculateSnapshotTS(s)
+	// Drain slow replies that raced fast replies from other shards.
+	for txn, replies := range s.resolved {
+		for _, r := range replies {
+			if _, inP := s.prepared[txn]; inP {
+				c.applyResolution(s, r)
+			} else if r.Committed && len(r.Vals) > 0 {
+				s.vals = append(s.vals, r.Vals...)
+			}
+		}
+	}
+	s.resolved = nil
+	c.checkSnapshot(ctx, s)
+}
+
+// calculateSnapshotTS is Algorithm 1 lines 14–20: the earliest timestamp
+// at which every key has a value — the max over keys of the (single)
+// fast-path version's commit timestamp.
+func (c *Client) calculateSnapshotTS(s *roState) truetime.Timestamp {
+	var tsnap truetime.Timestamp
+	for _, k := range s.keys {
+		earliest := truetime.Timestamp(-1)
+		for _, v := range s.vals {
+			if v.Key == k && (earliest == -1 || v.TC < earliest) {
+				earliest = v.TC
+			}
+		}
+		if earliest > tsnap {
+			tsnap = earliest
+		}
+	}
+	return tsnap
+}
+
+// checkSnapshot is Algorithm 1 lines 9–12 and 21–23.
+func (c *Client) checkSnapshot(ctx *sim.Context, s *roState) {
+	for _, sp := range s.prepared {
+		if sp.TP <= s.tsnap {
+			s.blocked = true
+			return // WAIT: a slow reply will re-run this check
+		}
+	}
+	// COMMIT.
+	if s.tsnap > c.tmin {
+		c.tmin = s.tsnap
+	}
+	vals := make(map[string]string, len(s.keys))
+	for _, k := range s.keys {
+		var best VersionedKV
+		best.TC = -1
+		for _, v := range s.vals {
+			if v.Key == k && v.TC <= s.tsnap && v.TC > best.TC {
+				best = v
+			}
+		}
+		if best.TC >= 0 {
+			vals[k] = best.Value
+		} else {
+			vals[k] = ""
+		}
+	}
+	res := ROResult{TSnap: s.tsnap, Vals: vals, Blocked: s.blocked}
+	c.ro = nil
+	c.inflight = false
+	s.done(ctx, res)
+}
+
+func (c *Client) onROSlow(ctx *sim.Context, m ROSlowReply) {
+	s := c.ro
+	if s == nil || m.ReqID != s.reqID {
+		return
+	}
+	if !s.fastDone {
+		// Slow reply raced ahead of another shard's fast reply; stash.
+		s.resolved[m.Txn] = append(s.resolved[m.Txn], &m)
+		return
+	}
+	// Multiple shards may have skipped the same transaction; every
+	// shard's slow reply carries that shard's values, so apply them all.
+	if _, inP := s.prepared[m.Txn]; inP {
+		c.applyResolution(s, &m)
+	} else if m.Committed && len(m.Vals) > 0 {
+		s.vals = append(s.vals, m.Vals...)
+	}
+	c.checkSnapshot(ctx, s)
+}
+
+// applyResolution is Algorithm 1 line 11 (UpdatePrepared): drop the
+// transaction from P and, on commit, add its written values to V.
+func (c *Client) applyResolution(s *roState, m *ROSlowReply) {
+	sp := s.prepared[m.Txn]
+	delete(s.prepared, m.Txn)
+	if !m.Committed {
+		return
+	}
+	if len(m.Vals) > 0 {
+		s.vals = append(s.vals, m.Vals...)
+		return
+	}
+	// §6 optimization 1: values were buffered in the fast path; stamp
+	// them with the commit timestamp learned from another shard.
+	if sp != nil {
+		for _, w := range sp.Writes {
+			s.vals = append(s.vals, VersionedKV{Key: w.Key, Value: w.Value, TC: m.TC})
+		}
+	}
+}

@@ -1,0 +1,234 @@
+package spanner
+
+import (
+	"hash/fnv"
+	"math/rand"
+
+	"rsskv/internal/replication"
+	"rsskv/internal/sim"
+	"rsskv/internal/truetime"
+)
+
+// Cluster is an assembled Spanner deployment: shard leaders, their
+// replication acceptors, and the latency knowledge clients use to pick
+// coordinators and estimate t_ee.
+type Cluster struct {
+	cfg    Config
+	world  *sim.World
+	net    *sim.Network
+	Shards []*Shard
+	leader []sim.NodeID
+
+	replLat      []sim.Time // per-shard majority replication latency
+	maxCommitLag sim.Time
+	nextClientID uint32
+}
+
+// NewCluster builds the configured shards in w. Each shard gets a leader
+// node in its configured region and one acceptor node per replica region.
+func NewCluster(w *sim.World, net *sim.Network, cfg Config) *Cluster {
+	if cfg.NumShards == 0 {
+		cfg.NumShards = len(cfg.LeaderRegions)
+	}
+	if cfg.NumShards == 0 {
+		panic("spanner: no shards configured")
+	}
+	cl := &Cluster{cfg: cfg, world: w, net: net}
+	rng := rand.New(rand.NewSource(0x5eed))
+	for i := 0; i < cfg.NumShards; i++ {
+		leaderRegion := cfg.LeaderRegions[i%len(cfg.LeaderRegions)]
+		clock := truetime.NewClock(cfg.Epsilon, rng)
+		sh := NewShard(i, &cl.cfg, clock)
+		leaderNode := w.AddNode(sh, leaderRegion)
+		var acceptors []sim.NodeID
+		var replicaRegions []sim.RegionID
+		if len(cfg.ReplicaRegions) > 0 {
+			replicaRegions = cfg.ReplicaRegions[i%len(cfg.ReplicaRegions)]
+		}
+		for _, reg := range replicaRegions {
+			acc := replication.NewAcceptor(i)
+			acc.ProcTime = cfg.ProcTime
+			acceptors = append(acceptors, w.AddNode(acc, reg))
+		}
+		sh.SetReplication(replication.NewLeader(i, acceptors))
+		cl.Shards = append(cl.Shards, sh)
+		cl.leader = append(cl.leader, leaderNode)
+		cl.replLat = append(cl.replLat, cl.majorityLatency(leaderRegion, replicaRegions))
+	}
+	cl.maxCommitLag = cfg.MaxCommitLag
+	if cl.maxCommitLag == 0 {
+		cl.maxCommitLag = cl.deriveMaxCommitLag()
+	}
+	if cl.cfg.POStaleness == 0 {
+		cl.cfg.POStaleness = 2 * cl.maxCommitLag
+	}
+	return cl
+}
+
+// POStaleness returns the PO ablation's assumed replication lag.
+func (c *Cluster) POStaleness() sim.Time { return c.cfg.POStaleness }
+
+// majorityLatency is the round-trip time to gather a majority: with the
+// leader counting itself, it is the RTT to the (quorum-1)-th nearest
+// acceptor.
+func (c *Cluster) majorityLatency(leader sim.RegionID, acceptors []sim.RegionID) sim.Time {
+	if len(acceptors) == 0 {
+		return 0
+	}
+	need := (len(acceptors)+1)/2 + 1 - 1 // acks needed beyond the leader
+	rtts := make([]sim.Time, 0, len(acceptors))
+	for _, a := range acceptors {
+		rtts = append(rtts, c.net.RTT(leader, a))
+	}
+	// Sort ascending (tiny slice).
+	for i := 1; i < len(rtts); i++ {
+		for j := i; j > 0 && rtts[j] < rtts[j-1]; j-- {
+			rtts[j], rtts[j-1] = rtts[j-1], rtts[j]
+		}
+	}
+	if need <= 0 {
+		return 0
+	}
+	return rtts[need-1]
+}
+
+// deriveMaxCommitLag bounds L of §5.1: the worst-case gap between a
+// transaction's t_ee estimate and its commit timestamp. Commit timestamps
+// are chosen during 2PC, so the bound is the worst commit latency (prepare
+// replication + vote + commit replication) plus twice the TrueTime
+// uncertainty.
+func (c *Cluster) deriveMaxCommitLag() sim.Time {
+	var worst sim.Time
+	for i := range c.Shards {
+		for j := range c.Shards {
+			lat := c.replLat[i] + c.net.RTT(c.leaderRegion(i), c.leaderRegion(j)) + c.replLat[j]
+			if lat > worst {
+				worst = lat
+			}
+		}
+	}
+	return worst + 2*c.cfg.Epsilon + sim.Ms(10)
+}
+
+func (c *Cluster) leaderRegion(shard int) sim.RegionID {
+	return c.world.Region(c.leader[shard])
+}
+
+// MaxCommitLag returns L (§5.1), used by real-time fences.
+func (c *Cluster) MaxCommitLag() sim.Time { return c.maxCommitLag }
+
+// ShardOf maps a key to its shard.
+func (c *Cluster) ShardOf(key string) int {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return int(h.Sum32() % uint32(len(c.Shards)))
+}
+
+// LeaderNode returns the node ID of a shard's leader.
+func (c *Cluster) LeaderNode(shard int) sim.NodeID { return c.leader[shard] }
+
+// Mode returns the cluster's configured consistency mode.
+func (c *Cluster) Mode() Mode { return c.cfg.Mode }
+
+// BestCoordinator picks the participant shard minimizing the estimated
+// commit latency from the client's region, and returns that estimate (§6:
+// clients use measured minimum RTTs to choose coordinators and compute
+// t_ee).
+func (c *Cluster) BestCoordinator(client sim.RegionID, shards []int) (int, sim.Time) {
+	best, bestLat := shards[0], sim.Time(1<<62)
+	for _, coord := range shards {
+		lat := c.CommitLatencyEstimate(client, shards, coord)
+		if lat < bestLat {
+			best, bestLat = coord, lat
+		}
+	}
+	return best, bestLat
+}
+
+// CommitLatencyEstimate models the 2PC critical path: client→participant
+// writes, participant prepare replication, participant→coordinator votes,
+// coordinator commit replication, coordinator→client reply.
+func (c *Cluster) CommitLatencyEstimate(client sim.RegionID, shards []int, coord int) sim.Time {
+	var phase1 sim.Time
+	for _, sh := range shards {
+		lat := c.net.OneWay(client, c.leaderRegion(sh)) +
+			c.replLat[sh] +
+			c.net.OneWay(c.leaderRegion(sh), c.leaderRegion(coord))
+		if lat > phase1 {
+			phase1 = lat
+		}
+	}
+	return phase1 + c.replLat[coord] + c.net.OneWay(c.leaderRegion(coord), client)
+}
+
+// NewClient builds a client homed in region, with a TrueTime clock drawn
+// from the cluster's uncertainty bound. In ModePO the client also draws
+// its replica lag (uniform in [POStaleness/4, POStaleness]).
+func (c *Cluster) NewClient(region sim.RegionID, rng *rand.Rand) *Client {
+	c.nextClientID++
+	cl := newClient(c.nextClientID, c, region, truetime.NewClock(c.cfg.Epsilon, rng))
+	if c.cfg.Mode == ModePO {
+		lo := int64(c.cfg.POStaleness) / 4
+		cl.poLag = sim.Time(lo + rng.Int63n(3*lo+1))
+	}
+	return cl
+}
+
+// SyncClient wraps a Client in its own node with blocking calls, the
+// linear-code façade used by examples and tests.
+type SyncClient struct {
+	C      *Client
+	NodeID sim.NodeID
+	world  *sim.World
+}
+
+// NewSyncClient adds a node hosting client cl to the world.
+func NewSyncClient(w *sim.World, region sim.RegionID, cl *Client) *SyncClient {
+	s := &SyncClient{C: cl, world: w}
+	s.NodeID = w.AddNode(s, region)
+	return s
+}
+
+// Recv implements sim.Handler.
+func (s *SyncClient) Recv(ctx *sim.Context, from sim.NodeID, msg sim.Message) {
+	s.C.Recv(ctx, from, msg)
+}
+
+const syncLimit = 3600 * sim.Second
+
+// ReadWrite performs a blocking read-write transaction.
+func (s *SyncClient) ReadWrite(readKeys []string, writes []KV) RWResult {
+	var res RWResult
+	done := false
+	s.C.ReadWrite(s.world.NodeContext(s.NodeID), readKeys, writes, func(_ *sim.Context, r RWResult) {
+		res = r
+		done = true
+	})
+	if !s.world.RunUntil(func() bool { return done }, s.world.Now()+syncLimit) {
+		panic("spanner: read-write transaction did not complete")
+	}
+	return res
+}
+
+// ReadOnly performs a blocking read-only transaction.
+func (s *SyncClient) ReadOnly(keys []string) ROResult {
+	var res ROResult
+	done := false
+	s.C.ReadOnly(s.world.NodeContext(s.NodeID), keys, func(_ *sim.Context, r ROResult) {
+		res = r
+		done = true
+	})
+	if !s.world.RunUntil(func() bool { return done }, s.world.Now()+syncLimit) {
+		panic("spanner: read-only transaction did not complete")
+	}
+	return res
+}
+
+// Fence performs a blocking real-time fence.
+func (s *SyncClient) Fence() {
+	done := false
+	s.C.Fence(s.world.NodeContext(s.NodeID), func(*sim.Context) { done = true })
+	if !s.world.RunUntil(func() bool { return done }, s.world.Now()+syncLimit) {
+		panic("spanner: fence did not complete")
+	}
+}

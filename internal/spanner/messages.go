@@ -1,0 +1,109 @@
+package spanner
+
+import (
+	"rsskv/internal/sim"
+	"rsskv/internal/truetime"
+)
+
+// ReadReq is a read inside a RW transaction's execution phase: it acquires
+// a shared lock and returns the latest committed value.
+type ReadReq struct {
+	Txn   TxnID
+	Prio  int64 // wound-wait priority (start timestamp)
+	Key   string
+	ReqID uint64
+}
+
+// ReadReply answers a ReadReq. OK is false when the transaction was
+// wounded or aborted; the client must abort and retry.
+type ReadReply struct {
+	ReqID uint64
+	Key   string
+	Value string
+	TC    truetime.Timestamp
+	OK    bool
+}
+
+// PrepareReq starts two-phase commit at one participant shard. The client
+// sends one to every touched shard; IsCoord marks the coordinator, which
+// collects PrepareVotes from the others (§5, "Spanner background").
+type PrepareReq struct {
+	Txn          TxnID
+	Prio         int64
+	Writes       []KV     // this shard's portion of the write set
+	ReadKeys     []string // this shard's read keys (lock validation)
+	TEE          truetime.Timestamp
+	StartTS      truetime.Timestamp
+	Coord        sim.NodeID // coordinator shard leader
+	IsCoord      bool
+	NumParts     int          // total participants (coordinator only)
+	Participants []sim.NodeID // other participants' leaders (coordinator only)
+	ClientNode   sim.NodeID   // where the commit reply goes
+}
+
+// PrepareVote is a participant's 2PC vote to the coordinator.
+type PrepareVote struct {
+	Txn TxnID
+	OK  bool
+	TP  truetime.Timestamp
+	TEE truetime.Timestamp // t_ee advanced by wound-wait blocking (§6 opt. 2)
+}
+
+// CommitDecision is the coordinator's outcome broadcast to participants.
+type CommitDecision struct {
+	Txn       TxnID
+	Committed bool
+	TC        truetime.Timestamp
+}
+
+// CommitReply is the coordinator's outcome sent to the client.
+type CommitReply struct {
+	Txn       TxnID
+	Committed bool
+	TC        truetime.Timestamp
+	TEE       truetime.Timestamp // max adjusted t_ee; client waits past it
+}
+
+// AbortNotify tells a client its executing transaction was wounded.
+type AbortNotify struct {
+	Txn TxnID
+}
+
+// ReleaseReq releases an aborted transaction's locks at a shard.
+type ReleaseReq struct {
+	Txn TxnID
+}
+
+// ROCommit is a read-only transaction's single round to a shard
+// (Algorithm 1 line 5). TMin is zero for baseline Spanner.
+type ROCommit struct {
+	ReqID uint64
+	Keys  []string
+	TRead truetime.Timestamp
+	TMin  truetime.Timestamp
+}
+
+// SkippedPrep describes a prepared transaction the shard skipped
+// (Algorithm 2 line 9), with its buffered writes (§6 optimization 1).
+type SkippedPrep struct {
+	Txn    TxnID
+	TP     truetime.Timestamp
+	Writes []KV // intersection with the RO's keys
+}
+
+// ROFastReply is Algorithm 2 line 10.
+type ROFastReply struct {
+	ReqID   uint64
+	Vals    []VersionedKV
+	Skipped []SkippedPrep
+}
+
+// ROSlowReply is Algorithm 2 lines 15 and 17: the resolution of one
+// skipped prepared transaction.
+type ROSlowReply struct {
+	ReqID     uint64
+	Txn       TxnID
+	Committed bool
+	TC        truetime.Timestamp
+	Vals      []VersionedKV
+}

@@ -1,0 +1,70 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is a named latency sample for plotting.
+type Series struct {
+	Name   string
+	Sample *Sample
+}
+
+// PlotTailCDF renders Figure 5-style tail CDFs as ASCII art: the x-axis is
+// latency, the y-axis is log-scale "fraction of operations" (0, 0.9, 0.99,
+// …), one glyph per series. It gives a quick visual of where the curves
+// separate without leaving the terminal.
+func PlotTailCDF(title string, width int, series ...Series) string {
+	if width < 30 {
+		width = 30
+	}
+	glyphs := []byte{'*', 'o', '+', 'x'}
+	fractions := []float64{0, 0.5, 0.9, 0.99, 0.995, 0.999, 0.9999}
+	// X scale: max latency across series at the deepest fraction.
+	var maxMs float64
+	for _, s := range series {
+		if s.Sample.N() == 0 {
+			continue
+		}
+		if v := s.Sample.PercentileMs(99.99); v > maxMs {
+			maxMs = v
+		}
+	}
+	if maxMs <= 0 || math.IsNaN(maxMs) {
+		return title + ": no data\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%8s  0ms%s%.0fms\n", "fraction", strings.Repeat(" ", width-8), maxMs)
+	for i := len(fractions) - 1; i >= 0; i-- {
+		f := fractions[i]
+		row := make([]byte, width+1)
+		for j := range row {
+			row[j] = ' '
+		}
+		for si, s := range series {
+			if s.Sample.N() == 0 {
+				continue
+			}
+			v := s.Sample.PercentileMs(f * 100)
+			pos := int(v / maxMs * float64(width))
+			if pos > width {
+				pos = width
+			}
+			g := glyphs[si%len(glyphs)]
+			if row[pos] == ' ' {
+				row[pos] = g
+			} else {
+				row[pos] = '#' // overlap
+			}
+		}
+		fmt.Fprintf(&b, "%8.4f |%s\n", f, string(row))
+	}
+	b.WriteString(strings.Repeat(" ", 10) + "+" + strings.Repeat("-", width) + "\n")
+	for si, s := range series {
+		fmt.Fprintf(&b, "%12c = %s (n=%d)\n", glyphs[si%len(glyphs)], s.Name, s.Sample.N())
+	}
+	return b.String()
+}

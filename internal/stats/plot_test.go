@@ -1,0 +1,54 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+
+	"rsskv/internal/sim"
+)
+
+func TestPlotTailCDF(t *testing.T) {
+	var a, b Sample
+	for i := 1; i <= 1000; i++ {
+		a.Add(sim.Time(i) * sim.Millisecond)
+		b.Add(sim.Time(i/2) * sim.Millisecond)
+	}
+	out := PlotTailCDF("test plot", 60, Series{"slow", &a}, Series{"fast", &b})
+	if !strings.Contains(out, "test plot") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, "slow (n=1000)") || !strings.Contains(out, "fast (n=1000)") {
+		t.Errorf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "0.9999 |") || !strings.Contains(out, "0.0000 |") {
+		t.Errorf("fraction rows missing:\n%s", out)
+	}
+	// The fast series' glyph must appear to the left of the slow one on
+	// the median row.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "0.5000") {
+			star := strings.IndexByte(line, '*')
+			circle := strings.IndexByte(line, 'o')
+			if star < 0 || circle < 0 || circle >= star {
+				t.Errorf("median row glyph order wrong: %q", line)
+			}
+		}
+	}
+}
+
+func TestPlotEmpty(t *testing.T) {
+	var s Sample
+	out := PlotTailCDF("empty", 40, Series{"none", &s})
+	if !strings.Contains(out, "no data") {
+		t.Errorf("empty plot output: %q", out)
+	}
+}
+
+func TestPlotNarrowWidthClamped(t *testing.T) {
+	var s Sample
+	s.Add(sim.Ms(5))
+	out := PlotTailCDF("narrow", 1, Series{"x", &s})
+	if !strings.Contains(out, "x (n=1)") {
+		t.Errorf("narrow plot broken:\n%s", out)
+	}
+}

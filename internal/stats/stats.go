@@ -1,0 +1,231 @@
+// Package stats collects latency samples and computes the exact percentile
+// and CDF summaries used to regenerate the paper's figures.
+//
+// Samples are stored exactly (the paper's experiments record at most a few
+// hundred thousand operations per configuration), so percentiles are exact
+// order statistics rather than sketch approximations.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"rsskv/internal/sim"
+)
+
+// Sample accumulates latency observations in virtual-time microseconds.
+// The zero value is ready to use.
+type Sample struct {
+	v      []float64
+	sorted bool
+}
+
+// Add records one observation.
+func (s *Sample) Add(d sim.Time) { s.v = append(s.v, float64(d)); s.sorted = false }
+
+// AddFloat records one observation given directly in µs.
+func (s *Sample) AddFloat(us float64) { s.v = append(s.v, us); s.sorted = false }
+
+// N returns the number of observations.
+func (s *Sample) N() int { return len(s.v) }
+
+func (s *Sample) sort() {
+	if !s.sorted {
+		sort.Float64s(s.v)
+		s.sorted = true
+	}
+}
+
+// Percentile returns the p-th percentile (p in [0,100]) in µs using the
+// nearest-rank method. It returns NaN for an empty sample.
+func (s *Sample) Percentile(p float64) float64 {
+	if len(s.v) == 0 {
+		return math.NaN()
+	}
+	s.sort()
+	if p <= 0 {
+		return s.v[0]
+	}
+	if p >= 100 {
+		return s.v[len(s.v)-1]
+	}
+	// The small epsilon guards against float artifacts like
+	// 0.999*1000 = 999.0000000000001 rounding up a rank.
+	rank := int(math.Ceil(p/100*float64(len(s.v)) - 1e-9))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(s.v) {
+		rank = len(s.v)
+	}
+	return s.v[rank-1]
+}
+
+// PercentileMs returns Percentile(p) converted to milliseconds.
+func (s *Sample) PercentileMs(p float64) float64 { return s.Percentile(p) / 1000 }
+
+// Mean returns the arithmetic mean in µs (NaN when empty).
+func (s *Sample) Mean() float64 {
+	if len(s.v) == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for _, x := range s.v {
+		sum += x
+	}
+	return sum / float64(len(s.v))
+}
+
+// Min and Max return the extreme observations in µs (NaN when empty).
+func (s *Sample) Min() float64 {
+	if len(s.v) == 0 {
+		return math.NaN()
+	}
+	s.sort()
+	return s.v[0]
+}
+
+// Max returns the largest observation in µs (NaN when empty).
+func (s *Sample) Max() float64 {
+	if len(s.v) == 0 {
+		return math.NaN()
+	}
+	s.sort()
+	return s.v[len(s.v)-1]
+}
+
+// Each calls f with every observation (µs), in unspecified order.
+func (s *Sample) Each(f func(us float64)) {
+	for _, v := range s.v {
+		f(v)
+	}
+}
+
+// Merge returns a new sample holding the union of the inputs.
+func Merge(samples ...*Sample) *Sample {
+	var out Sample
+	for _, s := range samples {
+		out.v = append(out.v, s.v...)
+	}
+	return &out
+}
+
+// CDFPoint is one point of a latency CDF: Fraction of observations are
+// ≤ LatencyMs.
+type CDFPoint struct {
+	LatencyMs float64
+	Fraction  float64
+}
+
+// CDF returns the latency CDF evaluated at the given fractions (e.g. 0.5,
+// 0.9, 0.99, 0.999, 0.9999 to match Figure 5's y-axis).
+func (s *Sample) CDF(fractions []float64) []CDFPoint {
+	out := make([]CDFPoint, 0, len(fractions))
+	for _, f := range fractions {
+		out = append(out, CDFPoint{LatencyMs: s.PercentileMs(f * 100), Fraction: f})
+	}
+	return out
+}
+
+// TailFractions are the y-axis gridlines of the paper's tail-latency CDFs.
+var TailFractions = []float64{0, 0.5, 0.9, 0.95, 0.99, 0.995, 0.999, 0.9995, 0.9999}
+
+// String summarizes the sample.
+func (s *Sample) String() string {
+	if len(s.v) == 0 {
+		return "sample(empty)"
+	}
+	return fmt.Sprintf("n=%d p50=%.1fms p99=%.1fms p99.9=%.1fms max=%.1fms",
+		s.N(), s.PercentileMs(50), s.PercentileMs(99), s.PercentileMs(99.9), s.Max()/1000)
+}
+
+// Row is one line of a figure's data table.
+type Row struct {
+	Label  string
+	Values []float64
+}
+
+// Table renders rows of named series as a fixed-width text table, which is
+// how rssbench prints the regenerated figures.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    []Row
+}
+
+// Add appends a row.
+func (t *Table) Add(label string, values ...float64) {
+	t.Rows = append(t.Rows, Row{Label: label, Values: values})
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	fmt.Fprintf(&b, "%-24s", "")
+	for _, c := range t.Columns {
+		fmt.Fprintf(&b, "%14s", c)
+	}
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%-24s", r.Label)
+		for _, v := range r.Values {
+			if math.IsNaN(v) {
+				fmt.Fprintf(&b, "%14s", "-")
+			} else {
+				fmt.Fprintf(&b, "%14.2f", v)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString("label")
+	for _, c := range t.Columns {
+		b.WriteByte(',')
+		b.WriteString(c)
+	}
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		b.WriteString(r.Label)
+		for _, v := range r.Values {
+			fmt.Fprintf(&b, ",%.4f", v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Counter is a simple named event counter set.
+type Counter struct {
+	m map[string]int64
+}
+
+// Inc adds delta to the named counter.
+func (c *Counter) Inc(name string, delta int64) {
+	if c.m == nil {
+		c.m = make(map[string]int64)
+	}
+	c.m[name] += delta
+}
+
+// Get returns the named counter's value.
+func (c *Counter) Get(name string) int64 { return c.m[name] }
+
+// Names returns the counter names in sorted order.
+func (c *Counter) Names() []string {
+	names := make([]string, 0, len(c.m))
+	for k := range c.m {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,155 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"rsskv/internal/sim"
+)
+
+func TestPercentileExact(t *testing.T) {
+	var s Sample
+	for i := 1; i <= 100; i++ {
+		s.AddFloat(float64(i))
+	}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1}, {1, 1}, {50, 50}, {99, 99}, {100, 100}, {99.9, 100},
+	}
+	for _, c := range cases {
+		if got := s.Percentile(c.p); got != c.want {
+			t.Errorf("p%v = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestPercentileEmpty(t *testing.T) {
+	var s Sample
+	if !math.IsNaN(s.Percentile(50)) || !math.IsNaN(s.Mean()) || !math.IsNaN(s.Min()) || !math.IsNaN(s.Max()) {
+		t.Error("empty sample should yield NaN")
+	}
+}
+
+func TestPercentileSingleton(t *testing.T) {
+	var s Sample
+	s.Add(5 * sim.Millisecond)
+	for _, p := range []float64{0, 50, 99.99, 100} {
+		if got := s.PercentileMs(p); got != 5 {
+			t.Errorf("p%v = %v, want 5", p, got)
+		}
+	}
+}
+
+func TestMeanMinMax(t *testing.T) {
+	var s Sample
+	for _, v := range []float64{4, 2, 8, 6} {
+		s.AddFloat(v)
+	}
+	if s.Mean() != 5 {
+		t.Errorf("mean = %v", s.Mean())
+	}
+	if s.Min() != 2 || s.Max() != 8 {
+		t.Errorf("min/max = %v/%v", s.Min(), s.Max())
+	}
+}
+
+func TestAddAfterSortStillCorrect(t *testing.T) {
+	var s Sample
+	s.AddFloat(10)
+	_ = s.Percentile(50) // forces sort
+	s.AddFloat(1)
+	if got := s.Percentile(0); got != 1 {
+		t.Errorf("min after late add = %v, want 1", got)
+	}
+}
+
+// Property: percentile is monotone in p and always one of the samples.
+func TestPercentileQuick(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var s Sample
+		vals := make([]float64, int(n)+1)
+		for i := range vals {
+			vals[i] = rng.Float64() * 1000
+			s.AddFloat(vals[i])
+		}
+		sort.Float64s(vals)
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 7.3 {
+			got := s.Percentile(p)
+			if got < prev {
+				return false
+			}
+			prev = got
+			idx := sort.SearchFloat64s(vals, got)
+			if idx >= len(vals) || vals[idx] != got {
+				return false
+			}
+		}
+		return s.Percentile(100) == vals[len(vals)-1] && s.Percentile(0) == vals[0]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCDF(t *testing.T) {
+	var s Sample
+	for i := 1; i <= 1000; i++ {
+		s.Add(sim.Time(i) * sim.Millisecond)
+	}
+	pts := s.CDF([]float64{0.5, 0.99, 0.999})
+	if len(pts) != 3 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	if pts[0].LatencyMs != 500 || pts[1].LatencyMs != 990 || pts[2].LatencyMs != 999 {
+		t.Errorf("CDF = %+v", pts)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{Title: "Figure X", Columns: []string{"a", "b"}}
+	tb.Add("row1", 1.5, math.NaN())
+	out := tb.String()
+	if !strings.Contains(out, "Figure X") || !strings.Contains(out, "row1") || !strings.Contains(out, "1.50") {
+		t.Errorf("table output missing fields:\n%s", out)
+	}
+	if !strings.Contains(out, "-") {
+		t.Errorf("NaN not rendered as dash:\n%s", out)
+	}
+	csv := tb.CSV()
+	if !strings.HasPrefix(csv, "label,a,b\n") || !strings.Contains(csv, "row1,1.5000") {
+		t.Errorf("csv output wrong:\n%s", csv)
+	}
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc("x", 2)
+	c.Inc("x", 3)
+	c.Inc("a", 1)
+	if c.Get("x") != 5 || c.Get("a") != 1 || c.Get("missing") != 0 {
+		t.Errorf("counter values wrong: x=%d a=%d", c.Get("x"), c.Get("a"))
+	}
+	names := c.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "x" {
+		t.Errorf("names = %v", names)
+	}
+}
+
+func TestSampleString(t *testing.T) {
+	var s Sample
+	if s.String() != "sample(empty)" {
+		t.Errorf("empty string = %q", s.String())
+	}
+	s.Add(sim.Ms(3))
+	if !strings.Contains(s.String(), "n=1") {
+		t.Errorf("summary = %q", s.String())
+	}
+}

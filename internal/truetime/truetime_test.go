@@ -1,0 +1,92 @@
+package truetime
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rsskv/internal/sim"
+)
+
+func TestZeroEpsilonIsPerfect(t *testing.T) {
+	c := NewClock(0, rand.New(rand.NewSource(1)))
+	iv := c.Now(12345)
+	if iv.Earliest != 12345 || iv.Latest != 12345 {
+		t.Errorf("Now = %+v, want [12345,12345]", iv)
+	}
+	if !c.After(10, 5) {
+		t.Error("After(10, 5) = false with perfect clock")
+	}
+	if c.After(10, 10) {
+		t.Error("After(10, 10) = true; bound must be strict")
+	}
+}
+
+func TestIntervalContainsTrueTime(t *testing.T) {
+	f := func(seed int64, nowRaw int64) bool {
+		now := sim.Time(nowRaw % (1 << 40))
+		if now < 0 {
+			now = -now
+		}
+		c := NewClock(sim.Ms(10), rand.New(rand.NewSource(seed)))
+		iv := c.Now(now)
+		return iv.Earliest <= Timestamp(now) && Timestamp(now) <= iv.Latest
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSkewBounded(t *testing.T) {
+	eps := sim.Ms(10)
+	for seed := int64(0); seed < 200; seed++ {
+		c := NewClock(eps, rand.New(rand.NewSource(seed)))
+		if c.Skew() < -eps/2 || c.Skew() > eps/2 {
+			t.Fatalf("seed %d: skew %v out of [-ε/2, ε/2]", seed, c.Skew())
+		}
+	}
+}
+
+func TestUntilAfter(t *testing.T) {
+	f := func(seed int64, tsRaw int64) bool {
+		ts := Timestamp(tsRaw % (1 << 40))
+		if ts < 0 {
+			ts = -ts
+		}
+		c := NewClock(sim.Ms(10), rand.New(rand.NewSource(seed)))
+		now := sim.Time(1000)
+		d := c.UntilAfter(now, ts)
+		if d == 0 {
+			return c.After(now, ts)
+		}
+		// Exactly at now+d After must hold, and at now+d-1 it must not.
+		return c.After(now+d, ts) && !c.After(now+d-1, ts)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCommitWaitDuration(t *testing.T) {
+	// With ε=10ms and zero skew, a commit at the clock's latest now
+	// requires waiting about 2ε before the timestamp is definitely past.
+	c := &Clock{eps: sim.Ms(10), skew: 0}
+	now := sim.Time(sim.Second)
+	commitTS := c.Now(now).Latest
+	d := c.UntilAfter(now, commitTS)
+	if d < sim.Ms(19) || d > sim.Ms(21) {
+		t.Errorf("commit wait = %v, want ≈20ms", d)
+	}
+}
+
+func TestBefore(t *testing.T) {
+	c := &Clock{eps: sim.Ms(10), skew: 0}
+	now := sim.Time(sim.Second)
+	lat := c.Now(now).Latest
+	if !c.Before(now, lat+1) {
+		t.Error("Before(latest+1) = false")
+	}
+	if c.Before(now, lat) {
+		t.Error("Before(latest) = true; bound must be strict")
+	}
+}

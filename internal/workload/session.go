@@ -1,0 +1,53 @@
+package workload
+
+import (
+	"math/rand"
+
+	"rsskv/internal/sim"
+)
+
+// Sessions model how load is offered to the system.
+//
+// The paper's Spanner experiments (§6) use partly-open clients [80]:
+// sessions arrive as a Poisson process with rate λ; after each transaction
+// the session continues with probability p (0.9, giving mean session length
+// 10) after a think time H (0 in the paper). Each session carries its own
+// causal context (t_min), so session boundaries matter for Spanner-RSS.
+//
+// The Gryff experiments (§7) and the overhead experiments use closed-loop
+// clients: a fixed number of clients that issue the next operation as soon
+// as the previous one completes.
+
+// PartlyOpen describes a partly-open arrival process.
+type PartlyOpen struct {
+	// Lambda is the session arrival rate in sessions per second.
+	Lambda float64
+	// Stay is the probability a session issues another transaction after
+	// each completion (the paper uses 0.9).
+	Stay float64
+	// Think is the think time between transactions in a session (the
+	// paper uses 0, the worst case for Spanner-RSS).
+	Think sim.Time
+}
+
+// NextArrival draws the interarrival gap before the next session begins.
+func (p PartlyOpen) NextArrival(rng *rand.Rand) sim.Time {
+	if p.Lambda <= 0 {
+		panic("workload: PartlyOpen requires positive Lambda")
+	}
+	gap := rng.ExpFloat64() / p.Lambda // seconds
+	return sim.Time(gap * float64(sim.Second))
+}
+
+// Continues draws whether a session issues another transaction.
+func (p PartlyOpen) Continues(rng *rand.Rand) bool {
+	return rng.Float64() < p.Stay
+}
+
+// MeanSessionLength returns the expected number of transactions per session.
+func (p PartlyOpen) MeanSessionLength() float64 {
+	if p.Stay >= 1 {
+		return 0 // unbounded
+	}
+	return 1 / (1 - p.Stay)
+}
