@@ -17,6 +17,13 @@
 //	table2    emulated RTT matrix
 //	ablation  §6 optimizations ablated (repo extension, not a paper figure)
 //	all       everything above except the ablation
+//
+// Serving-layer modes (real sockets, not the simulator):
+//
+//	serve     run an in-process rsskvd (-addr, -shards)
+//	loadgen   drive a server with concurrent pipelined clients, record
+//	          the history, and verify it is RSS (-addr, -clients, -ops,
+//	          -keys, -txnfrac, -multifrac, -fence-every, -seed)
 package main
 
 import (
@@ -122,6 +129,10 @@ func main() {
 		emit(exp.Table2())
 	case "ablation":
 		timed("ablation", func() { emit(exp.Ablation(exp.DefaultFig5(0.9, *quick))) })
+	case "serve":
+		serveCmd()
+	case "loadgen":
+		timed("loadgen", loadgenCmd)
 	case "all":
 		emit(exp.Table2())
 		timed("table1", func() { emit(exp.Table1(exp.DefaultTable1(*quick))) })

@@ -1,0 +1,3 @@
+module rsskv
+
+go 1.21

@@ -1,0 +1,423 @@
+// Package kvclient is the client driver for rsskvd. It maintains a small
+// pool of TCP connections and pipelines requests: many operations from
+// many goroutines share one connection, each tagged with a request ID, and
+// a per-connection reader routes responses back as the server completes
+// them (possibly out of order). Batched multi-key reads and writes travel
+// as single frames and execute atomically server-side.
+//
+// Transactions are one-shot: Txn buffers a read set and a write set
+// locally and ships both in a single Commit frame. A commit wounded by an
+// older transaction is retried under the same transaction ID, which
+// preserves its wound-wait age and makes the retry loop livelock-free.
+//
+// The driver exposes the server's real-time fence through RealTimeFence,
+// so a Client registers with the libRSS composition library (§4.1) like
+// any other RSS service client.
+package kvclient
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"rsskv/internal/core"
+	"rsskv/internal/wire"
+)
+
+// ErrClosed reports an operation on a closed client.
+var ErrClosed = errors.New("kvclient: closed")
+
+// Options parameterize Dial.
+type Options struct {
+	// Conns is the connection pool size (default 2).
+	Conns int
+	// MaxFrame bounds accepted response frames (default wire.MaxFrame).
+	MaxFrame int
+}
+
+// Client is a pooled, pipelined rsskvd client. It is safe for concurrent
+// use by multiple goroutines. A pool slot whose connection fails is
+// redialed lazily on its next use, so one broken connection degrades a
+// long-lived client only until the server is reachable again.
+type Client struct {
+	addr string
+	opts Options
+	next atomic.Uint64
+
+	mu     sync.Mutex
+	conns  []*conn
+	closed bool
+}
+
+// Dial connects to a server.
+func Dial(addr string, opts Options) (*Client, error) {
+	if opts.Conns <= 0 {
+		opts.Conns = 2
+	}
+	if opts.MaxFrame <= 0 {
+		opts.MaxFrame = wire.MaxFrame
+	}
+	c := &Client{addr: addr, opts: opts}
+	for i := 0; i < opts.Conns; i++ {
+		nc, err := net.Dial("tcp", addr)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.conns = append(c.conns, newConn(nc, opts.MaxFrame))
+	}
+	return c, nil
+}
+
+// Close tears down every connection; in-flight calls fail with ErrClosed.
+func (c *Client) Close() {
+	c.mu.Lock()
+	c.closed = true
+	conns := c.conns
+	c.mu.Unlock()
+	for _, cn := range conns {
+		cn.fail(ErrClosed)
+	}
+}
+
+// Do sends one request on a pooled connection and waits for its response.
+// Most callers want the typed helpers below; Do is the escape hatch for
+// custom pipelines and performs no OK checking.
+func (c *Client) Do(req *wire.Request) (*wire.Response, error) {
+	cn, err := c.conn(int(c.next.Add(1) % uint64(c.opts.Conns)))
+	if err != nil {
+		return nil, err
+	}
+	return cn.call(req)
+}
+
+// conn returns pool slot i, redialing it if its connection has failed.
+// The dial happens outside the client mutex so a dead slot's (possibly
+// slow) reconnect never stalls operations on healthy slots.
+func (c *Client) conn(i int) (*conn, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	cn := c.conns[i]
+	c.mu.Unlock()
+	if !cn.failed() {
+		return cn, nil
+	}
+	nc, err := net.Dial("tcp", c.addr)
+	if err != nil {
+		return nil, cn.lastErr()
+	}
+	fresh := newConn(nc, c.opts.MaxFrame)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		fresh.fail(ErrClosed)
+		return nil, ErrClosed
+	}
+	if cur := c.conns[i]; cur != cn && !cur.failed() {
+		// A concurrent caller already replaced the slot; use theirs.
+		fresh.fail(ErrClosed)
+		return cur, nil
+	}
+	c.conns[i] = fresh
+	return fresh, nil
+}
+
+// do is Do plus server-error surfacing for the typed helpers.
+func (c *Client) do(req *wire.Request) (*wire.Response, error) {
+	resp, err := c.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if !resp.OK {
+		return nil, fmt.Errorf("kvclient: %v: %s", req.Op, resp.Err)
+	}
+	return resp, nil
+}
+
+// Get reads key, returning its value ("" if never written) and the
+// timestamp of the version read (0 if never written).
+func (c *Client) Get(key string) (value string, version int64, err error) {
+	resp, err := c.do(&wire.Request{Op: wire.OpGet, Key: key})
+	if err != nil {
+		return "", 0, err
+	}
+	return resp.Value, resp.Version, nil
+}
+
+// Put writes key=value, returning the commit timestamp.
+func (c *Client) Put(key, value string) (version int64, err error) {
+	resp, err := c.do(&wire.Request{Op: wire.OpPut, Key: key, Value: value})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Version, nil
+}
+
+// MultiGet reads a batch of keys atomically (a read-only transaction),
+// returning their values and the snapshot's commit timestamp. Aborts are
+// retried internally.
+func (c *Client) MultiGet(keys ...string) (map[string]string, int64, error) {
+	resp, err := c.retry(&wire.Request{Op: wire.OpMultiGet, Keys: keys})
+	if err != nil {
+		return nil, 0, err
+	}
+	out := make(map[string]string, len(resp.KVs))
+	for _, kv := range resp.KVs {
+		out[kv.Key] = kv.Value
+	}
+	return out, resp.Version, nil
+}
+
+// MultiPut writes a batch of keys atomically (a write-only transaction),
+// returning the commit timestamp. Aborts are retried internally.
+func (c *Client) MultiPut(kvs map[string]string) (int64, error) {
+	batch := make([]wire.KV, 0, len(kvs))
+	for k, v := range kvs {
+		batch = append(batch, wire.KV{Key: k, Value: v})
+	}
+	sort.Slice(batch, func(i, j int) bool { return batch[i].Key < batch[j].Key })
+	resp, err := c.retry(&wire.Request{Op: wire.OpMultiPut, KVs: batch})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Version, nil
+}
+
+// Fence invokes the server's real-time fence and waits for it.
+func (c *Client) Fence() error {
+	_, err := c.do(&wire.Request{Op: wire.OpFence})
+	return err
+}
+
+// RealTimeFence adapts Fence to the composition library's interface, so a
+// Client registers with librss.Library like the simulated service clients.
+func (c *Client) RealTimeFence() core.RealTimeFence {
+	return core.FenceFunc(func(done func()) {
+		// The composition protocol tolerates a failed fence no worse
+		// than a crashed process; the caller's next operation will
+		// surface the connection error.
+		_ = c.Fence()
+		done()
+	})
+}
+
+// retry re-sends a transactional request until it is not wounded, reusing
+// the server-assigned transaction ID (and therefore priority) across
+// attempts.
+func (c *Client) retry(req *wire.Request) (*wire.Response, error) {
+	for {
+		resp, err := c.Do(req)
+		if err != nil {
+			return nil, err
+		}
+		if resp.OK {
+			return resp, nil
+		}
+		if resp.Err != wire.ErrMsgAborted {
+			return nil, fmt.Errorf("kvclient: %v: %s", req.Op, resp.Err)
+		}
+		req.TxnID = resp.TxnID // keep wound-wait age across attempts
+	}
+}
+
+// Txn is a one-shot transaction builder. Populate the read set with Read
+// and the write set with Write, then Commit. A Txn is not safe for
+// concurrent use.
+type Txn struct {
+	c     *Client
+	id    uint64
+	reads []string
+	kvs   []wire.KV
+}
+
+// Begin reserves a transaction ID (its wound-wait priority) and returns a
+// builder.
+func (c *Client) Begin() (*Txn, error) {
+	resp, err := c.do(&wire.Request{Op: wire.OpBeginTxn})
+	if err != nil {
+		return nil, err
+	}
+	return &Txn{c: c, id: resp.TxnID}, nil
+}
+
+// Read adds keys to the read set.
+func (t *Txn) Read(keys ...string) *Txn {
+	t.reads = append(t.reads, keys...)
+	return t
+}
+
+// Write adds key=value to the write set (last value wins per key).
+func (t *Txn) Write(key, value string) *Txn {
+	t.kvs = append(t.kvs, wire.KV{Key: key, Value: value})
+	return t
+}
+
+// Commit executes the transaction atomically: every read-set key is read
+// and every write-set key written at one commit timestamp, with strict
+// two-phase locking server-side. It retries wounds under the same ID and
+// returns the read values and the commit timestamp.
+func (t *Txn) Commit() (reads map[string]string, version int64, err error) {
+	resp, err := t.c.retry(&wire.Request{
+		Op: wire.OpCommit, TxnID: t.id, Keys: t.reads, KVs: t.kvs,
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	reads = make(map[string]string, len(resp.KVs))
+	for _, kv := range resp.KVs {
+		reads[kv.Key] = kv.Value
+	}
+	return reads, resp.Version, nil
+}
+
+// conn is one pipelined connection: a writer goroutine batches outbound
+// frames, a reader goroutine routes responses by request ID.
+type conn struct {
+	nc       net.Conn
+	maxFrame int
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	out     []*wire.Request
+	pending map[uint64]chan *wire.Response
+	nextID  uint64
+	err     error
+	closed  bool
+}
+
+func newConn(nc net.Conn, maxFrame int) *conn {
+	cn := &conn{nc: nc, maxFrame: maxFrame, pending: map[uint64]chan *wire.Response{}}
+	cn.cond = sync.NewCond(&cn.mu)
+	go cn.writer()
+	go cn.reader()
+	return cn
+}
+
+// call assigns a request ID, enqueues req, and waits for its response.
+func (cn *conn) call(req *wire.Request) (*wire.Response, error) {
+	cn.mu.Lock()
+	if cn.closed {
+		err := cn.err
+		cn.mu.Unlock()
+		return nil, err
+	}
+	cn.nextID++
+	req.ID = cn.nextID
+	ch := make(chan *wire.Response, 1)
+	cn.pending[req.ID] = ch
+	cn.out = append(cn.out, req)
+	cn.cond.Signal()
+	cn.mu.Unlock()
+
+	resp, ok := <-ch
+	if !ok {
+		cn.mu.Lock()
+		err := cn.err
+		cn.mu.Unlock()
+		return nil, err
+	}
+	return resp, nil
+}
+
+// failed reports whether the connection is dead (a candidate for
+// replacement in the pool).
+func (cn *conn) failed() bool {
+	cn.mu.Lock()
+	defer cn.mu.Unlock()
+	return cn.closed
+}
+
+// lastErr returns the error the connection failed with.
+func (cn *conn) lastErr() error {
+	cn.mu.Lock()
+	defer cn.mu.Unlock()
+	return cn.err
+}
+
+// fail closes the connection once, waking every pending caller with err.
+func (cn *conn) fail(err error) {
+	cn.mu.Lock()
+	if cn.closed {
+		cn.mu.Unlock()
+		return
+	}
+	cn.closed = true
+	cn.err = err
+	for _, ch := range cn.pending {
+		close(ch)
+	}
+	cn.pending = nil
+	cn.cond.Signal()
+	cn.mu.Unlock()
+	cn.nc.Close()
+}
+
+func (cn *conn) writer() {
+	bw := bufio.NewWriterSize(cn.nc, 64<<10)
+	var scratch []byte
+	for {
+		cn.mu.Lock()
+		for len(cn.out) == 0 && !cn.closed {
+			cn.cond.Wait()
+		}
+		if cn.closed {
+			cn.mu.Unlock()
+			return
+		}
+		batch := cn.out
+		cn.out = nil
+		cn.mu.Unlock()
+		for _, req := range batch {
+			// Encode before writing so a single oversized request can
+			// fail on its own instead of poisoning the pipelined
+			// connection (the server would drop the whole connection on
+			// an over-limit frame without a response).
+			scratch = wire.AppendRequest(scratch[:0], req)
+			if len(scratch) > cn.maxFrame {
+				cn.deliver(&wire.Response{
+					ID: req.ID, Op: req.Op,
+					Err: fmt.Sprintf("request frame %d bytes exceeds limit %d", len(scratch), cn.maxFrame),
+				})
+				continue
+			}
+			if err := wire.WriteFrame(bw, scratch); err != nil {
+				cn.fail(err)
+				return
+			}
+		}
+		if err := bw.Flush(); err != nil {
+			cn.fail(err)
+			return
+		}
+	}
+}
+
+// deliver routes a locally-generated response to its pending caller.
+func (cn *conn) deliver(resp *wire.Response) {
+	cn.mu.Lock()
+	ch := cn.pending[resp.ID]
+	delete(cn.pending, resp.ID)
+	cn.mu.Unlock()
+	if ch != nil {
+		ch <- resp
+	}
+}
+
+func (cn *conn) reader() {
+	br := bufio.NewReaderSize(cn.nc, 64<<10)
+	for {
+		resp, err := wire.ReadResponse(br, cn.maxFrame)
+		if err != nil {
+			cn.fail(fmt.Errorf("kvclient: connection lost: %w", err))
+			return
+		}
+		cn.deliver(resp)
+	}
+}

@@ -1,0 +1,248 @@
+package kvclient_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"rsskv/internal/kvclient"
+	"rsskv/internal/librss"
+	"rsskv/internal/server"
+	"rsskv/internal/wire"
+)
+
+func startPair(t *testing.T, shards, conns int) (*server.Server, *kvclient.Client) {
+	t.Helper()
+	srv := server.New(server.Config{Shards: shards})
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	t.Cleanup(srv.Close)
+	cl, err := kvclient.Dial(srv.Addr(), kvclient.Options{Conns: conns})
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	t.Cleanup(cl.Close)
+	return srv, cl
+}
+
+// TestPipelining funnels many concurrent operations through a single
+// connection; request IDs must route every response to its caller.
+func TestPipelining(t *testing.T) {
+	_, cl := startPair(t, 4, 1)
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			key := fmt.Sprintf("pipe-%d", g)
+			for i := 0; i < 50; i++ {
+				want := fmt.Sprintf("g%d-%d", g, i)
+				if _, err := cl.Put(key, want); err != nil {
+					errs <- fmt.Errorf("put: %w", err)
+					return
+				}
+				got, _, err := cl.Get(key)
+				if err != nil {
+					errs <- fmt.Errorf("get: %w", err)
+					return
+				}
+				// The key is private to this goroutine, so the read
+				// must return our own latest write.
+				if got != want {
+					errs <- fmt.Errorf("got %q, want %q", got, want)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestBatchedOps checks MultiPut/MultiGet round trips and result shapes.
+func TestBatchedOps(t *testing.T) {
+	_, cl := startPair(t, 4, 2)
+	in := map[string]string{"a": "1", "b": "2", "c": "3", "d": "4"}
+	ver, err := cl.MultiPut(in)
+	if err != nil {
+		t.Fatalf("multiput: %v", err)
+	}
+	if ver == 0 {
+		t.Fatal("multiput returned zero version")
+	}
+	got, _, err := cl.MultiGet("a", "b", "c", "d", "nope")
+	if err != nil {
+		t.Fatalf("multiget: %v", err)
+	}
+	for k, v := range in {
+		if got[k] != v {
+			t.Errorf("%s = %q, want %q", k, got[k], v)
+		}
+	}
+	if got["nope"] != "" {
+		t.Errorf("unwritten key = %q, want \"\"", got["nope"])
+	}
+}
+
+// TestTxnReadSetAndWriteSet checks the one-shot transaction surface: read
+// results, read-own-write-set pre-state semantics, and commit versions.
+func TestTxnReadSetAndWriteSet(t *testing.T) {
+	_, cl := startPair(t, 4, 2)
+	if _, err := cl.Put("x", "old"); err != nil {
+		t.Fatal(err)
+	}
+	txn, err := cl.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reads, ver, err := txn.Read("x", "y").Write("x", "new").Write("z", "zv").Commit()
+	if err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+	if ver == 0 {
+		t.Error("commit returned zero version")
+	}
+	// A transaction reads the pre-state of keys it also writes.
+	if reads["x"] != "old" {
+		t.Errorf("read own write-set key x = %q, want pre-state \"old\"", reads["x"])
+	}
+	if reads["y"] != "" {
+		t.Errorf("read y = %q, want \"\"", reads["y"])
+	}
+	for k, want := range map[string]string{"x": "new", "z": "zv"} {
+		if got, _, _ := cl.Get(k); got != want {
+			t.Errorf("after commit %s = %q, want %q", k, got, want)
+		}
+	}
+}
+
+// TestLibrssComposition registers the networked client as an RSS service
+// in the composition library next to a second (fake) service and checks
+// that switching services triggers the client's wire-level fence (§4.1).
+func TestLibrssComposition(t *testing.T) {
+	srv, cl := startPair(t, 2, 1)
+	lib := librss.New()
+	lib.RegisterService("kv", cl.RealTimeFence())
+	other := &countingFence{}
+	lib.RegisterService("other", other)
+
+	step := func(svc string) {
+		ran := false
+		lib.StartTransaction(svc, func() { ran = true })
+		if !ran {
+			t.Fatalf("StartTransaction(%s) did not complete", svc)
+		}
+	}
+	step("kv")    // first service: no fence
+	step("kv")    // same service: no fence
+	step("other") // switch kv→other: fences kv over the wire
+	step("kv")    // switch other→kv: fences other locally
+	step("other") // switch kv→other: fences kv again
+
+	if got := srv.Stats().Fences.Load(); got != 2 {
+		t.Errorf("server fences = %d, want 2", got)
+	}
+	if other.n != 1 {
+		t.Errorf("other service fences = %d, want 1", other.n)
+	}
+	if lib.Fences != 3 {
+		t.Errorf("library fences = %d, want 3", lib.Fences)
+	}
+}
+
+type countingFence struct{ n int }
+
+func (f *countingFence) Fence(done func()) { f.n++; done() }
+
+// TestDoEscapeHatch exercises the raw request API.
+func TestDoEscapeHatch(t *testing.T) {
+	_, cl := startPair(t, 2, 1)
+	resp, err := cl.Do(&wire.Request{Op: wire.OpBeginTxn})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.OK || resp.TxnID == 0 {
+		t.Fatalf("begin-txn response %+v", resp)
+	}
+	resp, err = cl.Do(&wire.Request{
+		Op: wire.OpCommit, TxnID: resp.TxnID,
+		KVs: []wire.KV{{Key: "raw", Value: "v"}},
+	})
+	if err != nil || !resp.OK {
+		t.Fatalf("commit response %+v err %v", resp, err)
+	}
+	if v, _, _ := cl.Get("raw"); v != "v" {
+		t.Errorf("raw = %q, want \"v\"", v)
+	}
+}
+
+// TestClientClose checks that Close fails in-flight and future calls with
+// ErrClosed rather than hanging.
+func TestClientClose(t *testing.T) {
+	_, cl := startPair(t, 2, 2)
+	if _, err := cl.Put("k", "v"); err != nil {
+		t.Fatal(err)
+	}
+	cl.Close()
+	if _, _, err := cl.Get("k"); err != kvclient.ErrClosed {
+		t.Errorf("get after close: %v, want ErrClosed", err)
+	}
+}
+
+// TestPoolReconnect kills every server connection out from under the
+// client and checks that pool slots redial lazily instead of staying
+// poisoned.
+func TestPoolReconnect(t *testing.T) {
+	srv, cl := startPair(t, 2, 2)
+	if _, err := cl.Put("k", "v1"); err != nil {
+		t.Fatal(err)
+	}
+	// Restart the server on the same address to break both pooled conns.
+	addr := srv.Addr()
+	srv.Close()
+	srv2 := server.New(server.Config{Shards: 2})
+	if err := srv2.Start(addr); err != nil {
+		t.Fatalf("restart on %s: %v", addr, err)
+	}
+	t.Cleanup(srv2.Close)
+
+	// The first use of each dead slot may surface the stale error; after
+	// at most a few calls every slot must have redialed.
+	ok := false
+	for i := 0; i < 10; i++ {
+		if _, err := cl.Put("k", fmt.Sprintf("v%d", i+2)); err == nil {
+			ok = true
+			break
+		}
+	}
+	if !ok {
+		t.Fatal("pool never recovered after server restart")
+	}
+	for i := 0; i < 4; i++ { // hit every slot round-robin
+		if _, _, err := cl.Get("k"); err != nil {
+			t.Fatalf("slot still poisoned after reconnect: %v", err)
+		}
+	}
+}
+
+// TestOversizedRequestScoped checks that a request too large for the frame
+// limit fails on its own without poisoning the shared pipelined connection.
+func TestOversizedRequestScoped(t *testing.T) {
+	_, cl := startPair(t, 2, 1)
+	big := string(make([]byte, wire.MaxFrame+1))
+	if _, err := cl.Put("big", big); err == nil {
+		t.Fatal("oversized put succeeded, want error")
+	}
+	// The connection must still work for normal requests.
+	if _, err := cl.Put("small", "v"); err != nil {
+		t.Fatalf("connection poisoned by oversized request: %v", err)
+	}
+	if v, _, _ := cl.Get("small"); v != "v" {
+		t.Errorf("small = %q, want \"v\"", v)
+	}
+}

@@ -1,0 +1,254 @@
+// Package loadgen drives live traffic at an rsskvd server over real
+// sockets and records the resulting operation history in the same form the
+// simulator produces, closing the loop the paper's checkers open: live
+// traffic → recorded history → offline RSS verification
+// (internal/history).
+//
+// Each simulated application process is one goroutine with its own
+// pipelined client (package kvclient) and its own deterministic operation
+// stream; invocation and response instants are captured from the host's
+// monotonic clock. Capturing the invocation before the request is written
+// and the response after it is read makes every recorded interval contain
+// the operation's true execution window, so any real-time edge the checker
+// derives is an edge the paper's definitions require — the check can fail
+// spuriously only never, and genuinely whenever the server misbehaves.
+package loadgen
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"rsskv/internal/core"
+	"rsskv/internal/history"
+	"rsskv/internal/kvclient"
+	"rsskv/internal/sim"
+	"rsskv/internal/stats"
+)
+
+// Config parameterizes a load run.
+type Config struct {
+	// Addr is the server's address.
+	Addr string
+	// Clients is the number of concurrent application processes.
+	Clients int
+	// OpsPerClient is each process's operation count.
+	OpsPerClient int
+	// Keys is the keyspace size; keys are "<KeyPrefix>-0" … "-N-1".
+	Keys int
+	// KeyPrefix namespaces this run's keys. It defaults to a fresh
+	// nonce so repeated runs against one long-lived server never read
+	// values written outside their own recorded history (the checker
+	// rightly rejects reads of writes it has no record of).
+	KeyPrefix string
+	// Conns is each client's connection-pool size.
+	Conns int
+	// TxnFrac is the fraction of operations that are read-write
+	// transactions (TxnReads reads + TxnWrites writes at one commit).
+	TxnFrac float64
+	// MultiFrac is the fraction of operations that are batched multi-key
+	// reads or writes (half each).
+	MultiFrac float64
+	// TxnReads and TxnWrites size each transaction's footprint.
+	TxnReads, TxnWrites int
+	// BatchSize sizes MultiGet/MultiPut batches.
+	BatchSize int
+	// FenceEvery inserts a real-time fence every N operations per client
+	// (0 disables them).
+	FenceEvery int
+	// Seed makes each client's operation stream reproducible.
+	Seed int64
+}
+
+// Defaults fills zero fields with sensible values.
+func (c *Config) Defaults() {
+	if c.Clients <= 0 {
+		c.Clients = 8
+	}
+	if c.OpsPerClient <= 0 {
+		c.OpsPerClient = 1000
+	}
+	if c.Keys <= 0 {
+		c.Keys = 128
+	}
+	if c.Conns <= 0 {
+		c.Conns = 2
+	}
+	if c.TxnReads <= 0 {
+		c.TxnReads = 2
+	}
+	if c.TxnWrites <= 0 {
+		c.TxnWrites = 2
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 4
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.KeyPrefix == "" {
+		c.KeyPrefix = fmt.Sprintf("run%d-key", time.Now().UnixNano())
+	}
+}
+
+// Result is one load run's outcome.
+type Result struct {
+	// H is the recorded history, ready for history.Check.
+	H *history.History
+	// Ops is the number of completed operations.
+	Ops int
+	// Elapsed is the wall-clock duration of the run.
+	Elapsed time.Duration
+	// Latency samples every operation's latency in microseconds.
+	Latency stats.Sample
+}
+
+// Throughput returns completed operations per wall-clock second.
+func (r *Result) Throughput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Ops) / r.Elapsed.Seconds()
+}
+
+// Run drives cfg's workload and returns the recorded history. The caller
+// decides which model to check it against (core.RSS for the serving
+// layer's contract).
+func Run(cfg Config) (*Result, error) {
+	cfg.Defaults()
+	start := time.Now()
+	perClient := make([][]*core.Op, cfg.Clients)
+	errs := make([]error, cfg.Clients)
+	var wg sync.WaitGroup
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			perClient[c], errs[c] = runClient(cfg, c, start)
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	res := &Result{H: &history.History{}, Elapsed: elapsed}
+	var id int64
+	for _, ops := range perClient {
+		for _, op := range ops {
+			id++
+			op.ID = id
+			res.H.Add(op)
+			res.Latency.AddFloat(float64(op.Respond-op.Invoke) / 1e3) // ns → µs
+		}
+		res.Ops += len(ops)
+	}
+	for c, err := range errs {
+		if err != nil {
+			return res, fmt.Errorf("client %d: %w", c, err)
+		}
+	}
+	return res, nil
+}
+
+// runClient is one application process: a private pipelined client and a
+// deterministic operation stream.
+func runClient(cfg Config, c int, start time.Time) ([]*core.Op, error) {
+	cl, err := kvclient.Dial(cfg.Addr, kvclient.Options{Conns: cfg.Conns})
+	if err != nil {
+		return nil, err
+	}
+	defer cl.Close()
+
+	rng := rand.New(rand.NewSource(cfg.Seed + int64(c)*7919))
+	key := func() string { return fmt.Sprintf("%s-%d", cfg.KeyPrefix, rng.Intn(cfg.Keys)) }
+	var nval int
+	value := func() string {
+		nval++
+		return fmt.Sprintf("c%d-%d", c, nval)
+	}
+	// now returns a per-process strictly increasing monotonic instant, so
+	// process order survives the checker's invocation-time sort even when
+	// two loopback operations land in the same clock tick.
+	var last sim.Time
+	now := func() sim.Time {
+		t := sim.Time(time.Since(start).Nanoseconds())
+		if t <= last {
+			t = last + 1
+		}
+		last = t
+		return t
+	}
+
+	ops := make([]*core.Op, 0, cfg.OpsPerClient)
+	for i := 0; i < cfg.OpsPerClient; i++ {
+		op := &core.Op{Client: c, Service: "rsskvd", Respond: core.Pending}
+		var err error
+		switch p := rng.Float64(); {
+		case cfg.FenceEvery > 0 && i > 0 && i%cfg.FenceEvery == 0:
+			op.Type = core.Fence
+			op.Invoke = now()
+			err = cl.Fence()
+		case p < cfg.TxnFrac:
+			op.Type = core.RWTxn
+			txn, e := cl.Begin()
+			if e != nil {
+				return ops, e
+			}
+			for r := 0; r < cfg.TxnReads; r++ {
+				txn.Read(key())
+			}
+			op.Writes = map[string]string{}
+			for w := 0; w < cfg.TxnWrites; w++ {
+				op.Writes[key()] = value()
+			}
+			for k, v := range op.Writes {
+				txn.Write(k, v)
+			}
+			op.Invoke = now()
+			op.Reads, op.Version, err = txn.Commit()
+		case p < cfg.TxnFrac+cfg.MultiFrac/2:
+			op.Type = core.ROTxn
+			keys := batchKeys(cfg.BatchSize, key)
+			op.Invoke = now()
+			op.Reads, op.Version, err = cl.MultiGet(keys...)
+		case p < cfg.TxnFrac+cfg.MultiFrac:
+			op.Type = core.RWTxn
+			op.Writes = map[string]string{}
+			for _, k := range batchKeys(cfg.BatchSize, key) {
+				op.Writes[k] = value()
+			}
+			op.Invoke = now()
+			op.Version, err = cl.MultiPut(op.Writes)
+		case p < cfg.TxnFrac+cfg.MultiFrac+(1-cfg.TxnFrac-cfg.MultiFrac)/2:
+			op.Type = core.Read
+			op.Key = key()
+			op.Invoke = now()
+			op.Value, op.Version, err = cl.Get(op.Key)
+		default:
+			op.Type = core.Write
+			op.Key, op.Value = key(), value()
+			op.Invoke = now()
+			op.Version, err = cl.Put(op.Key, op.Value)
+		}
+		if err != nil {
+			return ops, err
+		}
+		op.Respond = now()
+		ops = append(ops, op)
+	}
+	return ops, nil
+}
+
+// batchKeys draws n distinct keys (fewer if the keyspace is smaller).
+func batchKeys(n int, key func() string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for tries := 0; len(out) < n && tries < 4*n; tries++ {
+		k := key()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, k)
+		}
+	}
+	return out
+}

@@ -1,0 +1,418 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rsskv/internal/locks"
+	"rsskv/internal/wire"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Shards is the number of keyspace partitions (default 8). Each
+	// shard has its own apply loop, store, and lock table.
+	Shards int
+	// MaxFrame bounds accepted request frames (default wire.MaxFrame).
+	MaxFrame int
+}
+
+// Stats are cumulative operation counters, updated atomically.
+type Stats struct {
+	Gets, Puts, Commits, Aborts, Fences, Conns atomic.Int64
+}
+
+// Server is a sharded key-value server speaking the wire protocol.
+type Server struct {
+	cfg    Config
+	shards []*shard
+	seq    atomic.Int64 // transaction IDs, priorities, and commit timestamps
+	stats  Stats
+
+	quit chan struct{}
+	wg   sync.WaitGroup
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	active map[uint64]struct{} // transaction IDs currently executing
+	closed bool
+}
+
+// New returns a server with started shard loops. Call Start or Serve to
+// accept connections, and Close to shut down.
+func New(cfg Config) *Server {
+	if cfg.Shards <= 0 {
+		cfg.Shards = 8
+	}
+	if cfg.MaxFrame <= 0 {
+		cfg.MaxFrame = wire.MaxFrame
+	}
+	srv := &Server{
+		cfg:    cfg,
+		quit:   make(chan struct{}),
+		conns:  map[net.Conn]struct{}{},
+		active: map[uint64]struct{}{},
+	}
+	for i := 0; i < cfg.Shards; i++ {
+		srv.shards = append(srv.shards, newShard(i, srv))
+	}
+	for _, s := range srv.shards {
+		go s.loop()
+	}
+	return srv
+}
+
+// Stats returns the server's counters.
+func (srv *Server) Stats() *Stats { return &srv.stats }
+
+// Shards returns the number of keyspace partitions.
+func (srv *Server) Shards() int { return len(srv.shards) }
+
+// nextSeq draws the next value of the global sequencer.
+func (srv *Server) nextSeq() int64 { return srv.seq.Add(1) }
+
+// newTxnID draws a fresh transaction ID; its sequencer value doubles as
+// the wound-wait priority (smaller is older).
+func (srv *Server) newTxnID() locks.TxnID {
+	return locks.TxnID{Seq: uint64(srv.nextSeq())}
+}
+
+// Start listens on addr ("host:port"; ":0" picks a free port) and serves
+// in the background. It returns once the listener is up; Addr reports the
+// bound address.
+func (srv *Server) Start(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	srv.mu.Lock()
+	if srv.closed {
+		srv.mu.Unlock()
+		ln.Close()
+		return errClosed
+	}
+	srv.ln = ln
+	srv.mu.Unlock()
+	srv.wg.Add(1)
+	go func() {
+		defer srv.wg.Done()
+		srv.serve(ln)
+	}()
+	return nil
+}
+
+// Serve accepts connections on ln until Close. It is the blocking
+// alternative to Start.
+func (srv *Server) Serve(ln net.Listener) error {
+	srv.mu.Lock()
+	if srv.closed {
+		srv.mu.Unlock()
+		ln.Close()
+		return errClosed
+	}
+	srv.ln = ln
+	srv.mu.Unlock()
+	return srv.serve(ln)
+}
+
+func (srv *Server) serve(ln net.Listener) error {
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			if srv.isClosed() {
+				return nil
+			}
+			return err
+		}
+		srv.mu.Lock()
+		if srv.closed {
+			srv.mu.Unlock()
+			nc.Close()
+			return nil
+		}
+		srv.conns[nc] = struct{}{}
+		// Add under mu: Close marks closed under mu before it Waits, so
+		// a handler is either registered before the Wait or never starts.
+		srv.wg.Add(1)
+		srv.mu.Unlock()
+		srv.stats.Conns.Add(1)
+		go func() {
+			defer srv.wg.Done()
+			srv.handleConn(nc)
+		}()
+	}
+}
+
+// Addr returns the listening address ("" before Start).
+func (srv *Server) Addr() string {
+	srv.mu.Lock()
+	defer srv.mu.Unlock()
+	if srv.ln == nil {
+		return ""
+	}
+	return srv.ln.Addr().String()
+}
+
+// Close shuts the server down: stop accepting, close every connection,
+// wait for all handlers (and their in-flight operations) to drain, and
+// only then stop the shard loops — handlers never wait on a dead shard.
+// Clients of in-flight operations see the connection drop.
+func (srv *Server) Close() {
+	srv.mu.Lock()
+	if srv.closed {
+		srv.mu.Unlock()
+		return
+	}
+	srv.closed = true
+	if srv.ln != nil {
+		srv.ln.Close()
+	}
+	for nc := range srv.conns {
+		nc.Close()
+	}
+	srv.mu.Unlock()
+	srv.wg.Wait()
+	close(srv.quit)
+}
+
+func (srv *Server) isClosed() bool {
+	srv.mu.Lock()
+	defer srv.mu.Unlock()
+	return srv.closed
+}
+
+// handleConn reads framed requests and dispatches them. Cheap operations
+// run on shard apply loops; multi-shard operations get a coordinator
+// goroutine each, so one connection can have many in flight (pipelining)
+// and responses return in completion order, matched by request ID.
+func (srv *Server) handleConn(nc net.Conn) {
+	cw := newConnWriter(nc)
+	br := bufio.NewReaderSize(nc, 64<<10)
+	var pending sync.WaitGroup
+	for {
+		req, err := wire.ReadRequest(br, srv.cfg.MaxFrame)
+		if err != nil {
+			break
+		}
+		srv.dispatch(req, cw, &pending)
+	}
+	// Let every in-flight operation finish before tearing down the
+	// writer: responses still matter to a client that half-closed its
+	// send side after pipelining requests.
+	pending.Wait()
+	cw.close()
+	srv.mu.Lock()
+	delete(srv.conns, nc)
+	srv.mu.Unlock()
+	nc.Close()
+}
+
+func (srv *Server) dispatch(req *wire.Request, cw *connWriter, pending *sync.WaitGroup) {
+	switch req.Op {
+	case wire.OpGet:
+		s := srv.shardFor(req.Key)
+		pending.Add(1)
+		if !s.run(func() { s.get(req, cw, pending.Done) }) {
+			pending.Done()
+		}
+	case wire.OpPut:
+		s := srv.shardFor(req.Key)
+		pending.Add(1)
+		if !s.run(func() { s.put(req, cw, pending.Done) }) {
+			pending.Done()
+		}
+	case wire.OpBeginTxn:
+		cw.send(&wire.Response{
+			ID: req.ID, Op: req.Op, OK: true, TxnID: uint64(srv.nextSeq()),
+		})
+	case wire.OpCommit, wire.OpMultiGet, wire.OpMultiPut:
+		pending.Add(1)
+		go func() {
+			defer pending.Done()
+			srv.commit(req, cw)
+		}()
+	case wire.OpFence:
+		pending.Add(1)
+		go func() {
+			defer pending.Done()
+			srv.fence(req, cw)
+		}()
+	default:
+		cw.send(&wire.Response{
+			ID: req.ID, Op: req.Op, Err: fmt.Sprintf("unhandled op %v", req.Op),
+		})
+	}
+}
+
+// commit runs the transactional ops (OpCommit, OpMultiGet, OpMultiPut)
+// through the coordinator and renders the outcome.
+func (srv *Server) commit(req *wire.Request, cw *connWriter) {
+	readKeys, writeKVs := req.Keys, req.KVs
+	switch req.Op {
+	case wire.OpMultiGet:
+		writeKVs = nil
+	case wire.OpMultiPut:
+		readKeys = nil
+	}
+	txnID := req.TxnID
+	if txnID == 0 {
+		txnID = uint64(srv.nextSeq())
+	}
+	reads, version, err := srv.runTxn(txnID, readKeys, writeKVs)
+	resp := &wire.Response{ID: req.ID, Op: req.Op, TxnID: txnID}
+	if err != nil {
+		resp.Err = err.Error()
+	} else {
+		resp.OK = true
+		resp.Version = version
+		resp.KVs = reads
+		srv.stats.Commits.Add(1)
+	}
+	cw.send(resp)
+}
+
+// fence is the real-time fence: a barrier through every shard's apply
+// loop, so every operation the server accepted before the fence has been
+// applied when the fence responds. The server is strictly serializable,
+// making this stronger than the RSS fence contract of §4.1 requires.
+func (srv *Server) fence(req *wire.Request, cw *connWriter) {
+	done := make(chan struct{}, len(srv.shards))
+	for _, s := range srv.shards {
+		s.run(func() { done <- struct{}{} })
+	}
+	for range srv.shards {
+		select {
+		case <-done:
+		case <-srv.quit:
+			cw.send(&wire.Response{ID: req.ID, Op: req.Op, Err: errClosed.Error()})
+			return
+		}
+	}
+	srv.stats.Fences.Add(1)
+	cw.send(&wire.Response{ID: req.ID, Op: req.Op, OK: true})
+}
+
+// admitTxn registers a transaction ID as executing, rejecting duplicates
+// (two concurrent commits under one ID would corrupt the lock tables).
+func (srv *Server) admitTxn(id uint64) bool {
+	srv.mu.Lock()
+	defer srv.mu.Unlock()
+	if _, dup := srv.active[id]; dup {
+		return false
+	}
+	srv.active[id] = struct{}{}
+	return true
+}
+
+func (srv *Server) retireTxn(id uint64) {
+	srv.mu.Lock()
+	delete(srv.active, id)
+	srv.mu.Unlock()
+}
+
+// connWriter serializes responses onto one connection. send never blocks
+// (the queue is unbounded); a flusher goroutine drains it and batches
+// socket writes, flushing when the queue empties.
+type connWriter struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []*wire.Response
+	closed bool
+	nc     net.Conn
+	done   chan struct{} // closed when the flusher returns
+}
+
+func newConnWriter(nc net.Conn) *connWriter {
+	cw := &connWriter{nc: nc, done: make(chan struct{})}
+	cw.cond = sync.NewCond(&cw.mu)
+	go cw.flusher()
+	return cw
+}
+
+// maxQueuedResponses bounds the per-connection response backlog. A client
+// that pipelines requests but never reads responses would otherwise grow
+// cw.queue without limit while the flusher blocks on the full TCP send
+// buffer; past the bound the connection is torn down instead.
+const maxQueuedResponses = 1 << 16
+
+// send enqueues resp for delivery; after close it drops resp (the peer is
+// gone).
+func (cw *connWriter) send(resp *wire.Response) {
+	cw.mu.Lock()
+	if cw.closed {
+		cw.mu.Unlock()
+		return
+	}
+	cw.queue = append(cw.queue, resp)
+	cw.cond.Signal()
+	if len(cw.queue) > maxQueuedResponses {
+		cw.queue = nil
+		cw.closed = true
+		cw.mu.Unlock()
+		cw.nc.Close() // unblocks the flusher's write and the reader
+		return
+	}
+	cw.mu.Unlock()
+}
+
+// close stops the writer and waits until every already-queued response is
+// on the wire (or the flusher failed), so the caller may close the socket
+// without racing the flusher.
+func (cw *connWriter) close() {
+	cw.mu.Lock()
+	cw.closed = true
+	cw.cond.Signal()
+	cw.mu.Unlock()
+	<-cw.done
+}
+
+// fail abandons undelivered responses after a write error and closes the
+// socket, which unblocks the connection's reader: the peer sees a dropped
+// connection instead of silently missing responses. Called from the
+// flusher only.
+func (cw *connWriter) fail() {
+	cw.mu.Lock()
+	cw.closed = true
+	cw.queue = nil
+	cw.mu.Unlock()
+	cw.nc.Close()
+}
+
+// writeTimeout bounds each flush batch, so a client that keeps its socket
+// open but never reads responses cannot pin a handler goroutine (and its
+// fd) forever on a full TCP send buffer.
+const writeTimeout = 30 * time.Second
+
+func (cw *connWriter) flusher() {
+	defer close(cw.done)
+	bw := bufio.NewWriterSize(cw.nc, 64<<10)
+	for {
+		cw.mu.Lock()
+		for len(cw.queue) == 0 && !cw.closed {
+			cw.cond.Wait()
+		}
+		batch := cw.queue
+		cw.queue = nil
+		closed := cw.closed
+		cw.mu.Unlock()
+		cw.nc.SetWriteDeadline(time.Now().Add(writeTimeout))
+		for _, resp := range batch {
+			if err := wire.WriteResponse(bw, resp); err != nil {
+				cw.fail()
+				return
+			}
+		}
+		if err := bw.Flush(); err != nil {
+			cw.fail()
+			return
+		}
+		if closed && len(batch) == 0 {
+			return
+		}
+	}
+}

@@ -1,0 +1,307 @@
+package server_test
+
+import (
+	"net"
+	"time"
+
+	"fmt"
+	"strconv"
+	"sync"
+	"testing"
+
+	"rsskv/internal/core"
+	"rsskv/internal/history"
+	"rsskv/internal/kvclient"
+	"rsskv/internal/loadgen"
+	"rsskv/internal/server"
+	"rsskv/internal/wire"
+)
+
+// startServer runs a server on a loopback listener and returns it with a
+// cleanup hook installed.
+func startServer(t *testing.T, shards int) *server.Server {
+	t.Helper()
+	srv := server.New(server.Config{Shards: shards})
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func dial(t *testing.T, srv *server.Server, conns int) *kvclient.Client {
+	t.Helper()
+	cl, err := kvclient.Dial(srv.Addr(), kvclient.Options{Conns: conns})
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	t.Cleanup(cl.Close)
+	return cl
+}
+
+// TestEndToEndRSS is the closed loop: concurrent clients drive a sharded
+// server over real sockets, the recorded history goes through the paper's
+// checker, and the result must be RSS. The server is designed to be
+// strictly serializable — strictly stronger — so that is asserted too.
+func TestEndToEndRSS(t *testing.T) {
+	srv := startServer(t, 4)
+	res, err := loadgen.Run(loadgen.Config{
+		Addr:         srv.Addr(),
+		Clients:      8,
+		OpsPerClient: 300,
+		Keys:         48, // small keyspace forces conflicts
+		TxnFrac:      0.2,
+		MultiFrac:    0.1,
+		FenceEvery:   64,
+		Seed:         42,
+	})
+	if err != nil {
+		t.Fatalf("loadgen: %v", err)
+	}
+	if res.Ops != 8*300 {
+		t.Fatalf("completed %d ops, want %d", res.Ops, 8*300)
+	}
+	if err := history.Check(res.H, core.RSS); err != nil {
+		t.Errorf("history is not RSS: %v", err)
+	}
+	if err := history.Check(res.H, core.StrictSerializability); err != nil {
+		t.Errorf("history is not strictly serializable: %v", err)
+	}
+}
+
+// TestSingleKeyOps checks the Get/Put fast path semantics.
+func TestSingleKeyOps(t *testing.T) {
+	srv := startServer(t, 4)
+	cl := dial(t, srv, 1)
+
+	v, ver, err := cl.Get("missing")
+	if err != nil || v != "" || ver != 0 {
+		t.Fatalf("get missing = (%q, %d, %v), want (\"\", 0, nil)", v, ver, err)
+	}
+	wver, err := cl.Put("k", "v1")
+	if err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	v, ver, err = cl.Get("k")
+	if err != nil || v != "v1" || ver != wver {
+		t.Fatalf("get k = (%q, %d, %v), want (\"v1\", %d, nil)", v, ver, err, wver)
+	}
+	wver2, err := cl.Put("k", "v2")
+	if err != nil {
+		t.Fatalf("put 2: %v", err)
+	}
+	if wver2 <= wver {
+		t.Fatalf("second write version %d not after first %d", wver2, wver)
+	}
+}
+
+// TestAtomicVisibility writes key pairs atomically (both members always
+// carry the same sequence number) while readers snapshot both members with
+// MultiGet; a torn read — two members with different numbers — means a
+// transaction's writes became visible partially. The pairs are spread so
+// most straddle two shards, exercising cross-shard two-phase commit.
+func TestAtomicVisibility(t *testing.T) {
+	srv := startServer(t, 4)
+	wcl := dial(t, srv, 2)
+	rcl := dial(t, srv, 2)
+
+	const pairs = 4
+	pair := func(p int) (string, string) {
+		return fmt.Sprintf("pair-%d-a", p), fmt.Sprintf("pair-%d-b", p)
+	}
+	stop := make(chan struct{})
+	writerDone := make(chan struct{})
+	go func() { // writer: pair members always updated in one transaction
+		defer close(writerDone)
+		for i := 1; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			a, b := pair(i % pairs)
+			v := strconv.Itoa(i)
+			if _, err := wcl.MultiPut(map[string]string{a: v, b: v}); err != nil {
+				return
+			}
+		}
+	}()
+	var readers sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for i := 0; i < 200; i++ {
+				a, b := pair(i % pairs)
+				got, _, err := rcl.MultiGet(a, b)
+				if err != nil {
+					t.Errorf("multiget: %v", err)
+					break
+				}
+				if got[a] != got[b] {
+					t.Errorf("torn read: %s=%q %s=%q", a, got[a], b, got[b])
+					break
+				}
+			}
+		}()
+	}
+	readers.Wait()
+	close(stop)
+	<-writerDone
+}
+
+// TestFence checks that the fence completes under concurrent load and that
+// a value written before a fence is visible after it.
+func TestFence(t *testing.T) {
+	srv := startServer(t, 4)
+	cl := dial(t, srv, 2)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // background writers keep the apply loops busy
+		defer wg.Done()
+		i := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			i++
+			if _, err := cl.Put(fmt.Sprintf("bg-%d", i%32), strconv.Itoa(i)); err != nil {
+				return
+			}
+		}
+	}()
+	for i := 0; i < 20; i++ {
+		if _, err := cl.Put("fenced", strconv.Itoa(i)); err != nil {
+			t.Fatalf("put: %v", err)
+		}
+		if err := cl.Fence(); err != nil {
+			t.Fatalf("fence: %v", err)
+		}
+		v, _, err := cl.Get("fenced")
+		if err != nil {
+			t.Fatalf("get: %v", err)
+		}
+		if v != strconv.Itoa(i) {
+			t.Fatalf("after fence: got %q, want %q", v, strconv.Itoa(i))
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if srv.Stats().Fences.Load() < 20 {
+		t.Errorf("fence counter = %d, want >= 20", srv.Stats().Fences.Load())
+	}
+}
+
+// TestHotKeyContention hammers one key with single ops and transactions
+// from many clients; wound-wait plus same-ID retry must let every
+// operation finish.
+func TestHotKeyContention(t *testing.T) {
+	srv := startServer(t, 2)
+	clients := make([]*kvclient.Client, 6)
+	for g := range clients {
+		clients[g] = dial(t, srv, 1)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			cl := clients[g]
+			for i := 0; i < 60; i++ {
+				switch i % 3 {
+				case 0:
+					if _, err := cl.Put("hot", fmt.Sprintf("g%d-%d", g, i)); err != nil {
+						t.Errorf("put: %v", err)
+						return
+					}
+				case 1:
+					if _, _, err := cl.Get("hot"); err != nil {
+						t.Errorf("get: %v", err)
+						return
+					}
+				default:
+					txn, err := cl.Begin()
+					if err != nil {
+						t.Errorf("begin: %v", err)
+						return
+					}
+					if _, _, err := txn.Read("hot").Write("hot2", fmt.Sprintf("t%d-%d", g, i)).Commit(); err != nil {
+						t.Errorf("txn: %v", err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestCloseUnblocks checks that Close fails in-flight clients rather than
+// hanging them.
+func TestCloseUnblocks(t *testing.T) {
+	srv := server.New(server.Config{Shards: 2})
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	cl, err := kvclient.Dial(srv.Addr(), kvclient.Options{Conns: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if _, err := cl.Put("k", "v"); err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	if _, _, err := cl.Get("k"); err == nil {
+		t.Error("get after server close succeeded, want error")
+	}
+}
+
+// TestHalfCloseDeliversResponses pipelines requests, half-closes the send
+// side, and requires every response to still arrive: the handler must wait
+// for in-flight operations and the writer must drain before the socket
+// closes.
+func TestHalfCloseDeliversResponses(t *testing.T) {
+	srv := startServer(t, 4)
+	nc, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+
+	reqs := []*wire.Request{
+		{ID: 1, Op: wire.OpPut, Key: "halfk", Value: "hv"},
+		{ID: 2, Op: wire.OpGet, Key: "halfk"},
+		{ID: 3, Op: wire.OpGet, Key: "halfk"},
+		{ID: 4, Op: wire.OpCommit, Keys: []string{"halfk"}, KVs: []wire.KV{{Key: "halfk2", Value: "hv2"}}},
+		{ID: 5, Op: wire.OpFence},
+	}
+	for _, r := range reqs {
+		if err := wire.WriteRequest(nc, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := nc.(*net.TCPConn).CloseWrite(); err != nil {
+		t.Fatal(err)
+	}
+	nc.SetReadDeadline(time.Now().Add(5 * time.Second))
+	got := map[uint64]bool{}
+	for range reqs {
+		resp, err := wire.ReadResponse(nc, 0)
+		if err != nil {
+			t.Fatalf("after %d responses: %v", len(got), err)
+		}
+		if !resp.OK {
+			t.Errorf("response %d not OK: %s", resp.ID, resp.Err)
+		}
+		got[resp.ID] = true
+	}
+	for _, r := range reqs {
+		if !got[r.ID] {
+			t.Errorf("no response for request %d (%v)", r.ID, r.Op)
+		}
+	}
+}

@@ -1,0 +1,189 @@
+// Package server is the networked serving layer: a concurrent TCP server
+// that speaks the wire protocol and partitions the keyspace into shards by
+// key hash.
+//
+// Each shard owns a multi-version store (internal/mvstore) and a lock table
+// (internal/locks) and serializes all access to them through one apply
+// loop: a goroutine draining a channel of closures. Connection handlers and
+// transaction coordinators never touch shard state directly — they submit
+// closures and wait on reply channels, which is the socket-world analogue
+// of the simulator's single-threaded event handlers.
+//
+// Single-key reads and writes are one-shot transactions that fast-path
+// inside a single loop iteration when their lock is free. Multi-key
+// operations run two-phase commit with strict two-phase locking and
+// wound-wait across shards (see txn.go). Every mutation draws its commit
+// timestamp from one global sequencer while holding all its locks, so the
+// server is strictly serializable — which implies RSS, the property the
+// recorded histories are checked against.
+package server
+
+import (
+	"rsskv/internal/locks"
+	"rsskv/internal/mvstore"
+	"rsskv/internal/truetime"
+	"rsskv/internal/wire"
+)
+
+// shardEvent is a lock-table notification delivered to a transaction
+// coordinator: either this shard granted every requested lock, or the
+// transaction was wounded here by an older conflicting transaction.
+type shardEvent struct {
+	shard   int
+	wounded bool
+}
+
+// waiter tracks one in-flight lock acquisition on one shard.
+type waiter struct {
+	// need is the number of Waiting outcomes still ungranted.
+	need int
+	// notify receives the full-grant or wound event (multi-shard
+	// transactions). It is buffered for two events per shard so lock
+	// callbacks never block the apply loop.
+	notify chan shardEvent
+	// onReady, if set, runs inside the apply loop once all locks are
+	// held (single-op fast path); it must release the locks itself.
+	onReady func()
+	shard   int
+}
+
+// shard is one partition of the keyspace.
+type shard struct {
+	id      int
+	srv     *Server
+	ch      chan func()
+	store   *mvstore.Store
+	lm      *locks.Manager
+	waiters map[locks.TxnID]*waiter
+}
+
+func newShard(id int, srv *Server) *shard {
+	s := &shard{
+		id:      id,
+		srv:     srv,
+		ch:      make(chan func(), 256),
+		store:   mvstore.New(),
+		lm:      locks.NewManager(),
+		waiters: make(map[locks.TxnID]*waiter),
+	}
+	s.lm.OnGrant = s.onGrant
+	s.lm.OnWound = s.onWound
+	return s
+}
+
+// loop drains submitted closures until the server closes.
+func (s *shard) loop() {
+	for {
+		select {
+		case fn := <-s.ch:
+			fn()
+		case <-s.srv.quit:
+			return
+		}
+	}
+}
+
+// run submits fn to the apply loop, reporting whether it was accepted.
+// Shard loops outlive every connection handler (Close drains handlers
+// before stopping the loops), so false is only ever seen by stragglers
+// racing a shutdown; coordinators waiting on replies select on srv.quit
+// as well.
+func (s *shard) run(fn func()) bool {
+	select {
+	case s.ch <- fn:
+		return true
+	case <-s.srv.quit:
+		return false
+	}
+}
+
+func (s *shard) onGrant(req locks.Request) {
+	w := s.waiters[req.Txn]
+	if w == nil {
+		return
+	}
+	w.need--
+	if w.need > 0 {
+		return
+	}
+	if w.onReady != nil {
+		delete(s.waiters, req.Txn)
+		w.onReady()
+		return
+	}
+	w.notify <- shardEvent{shard: w.shard}
+}
+
+func (s *shard) onWound(txn locks.TxnID) {
+	// Single-op waiters (onReady) are never wounded: they hold locks only
+	// inside a synchronous apply-loop window, and wound-wait only wounds
+	// holders. Multi-shard coordinators learn of the wound and abort.
+	if w := s.waiters[txn]; w != nil && w.onReady == nil {
+		w.notify <- shardEvent{shard: w.shard, wounded: true}
+	}
+}
+
+// get serves a single-key read: take a shared lock, read the newest
+// version, release. The fast path completes in one loop iteration; done
+// tells the connection handler the response has been produced.
+func (s *shard) get(req *wire.Request, cw *connWriter, done func()) {
+	txn := s.srv.newTxnID()
+	apply := func() {
+		defer done()
+		v := s.store.Latest(req.Key)
+		s.lm.ReleaseAll(txn)
+		cw.send(&wire.Response{
+			ID: req.ID, Op: req.Op, OK: true,
+			Value: v.Value, Version: int64(v.TS),
+		})
+		s.lm.Flush()
+		s.srv.stats.Gets.Add(1)
+	}
+	s.acquireOne(txn, req.Key, locks.Shared, apply)
+}
+
+// put serves a single-key write: take an exclusive lock, draw a commit
+// timestamp, install the version, release.
+func (s *shard) put(req *wire.Request, cw *connWriter, done func()) {
+	txn := s.srv.newTxnID()
+	apply := func() {
+		defer done()
+		ts := truetime.Timestamp(s.srv.nextSeq())
+		s.store.Write(req.Key, req.Value, ts)
+		s.lm.ReleaseAll(txn)
+		cw.send(&wire.Response{
+			ID: req.ID, Op: req.Op, OK: true, Version: int64(ts),
+		})
+		s.lm.Flush()
+		s.srv.stats.Puts.Add(1)
+	}
+	s.acquireOne(txn, req.Key, locks.Exclusive, apply)
+}
+
+// acquireOne runs apply once txn holds key in the given mode, either
+// immediately or from the lock table's grant callback.
+func (s *shard) acquireOne(txn locks.TxnID, key string, mode locks.Mode, apply func()) {
+	out := s.lm.Acquire(locks.Request{Txn: txn, Key: key, Mode: mode, Prio: int64(txn.Seq)})
+	if out == locks.Granted {
+		apply()
+		return
+	}
+	s.waiters[txn] = &waiter{need: 1, onReady: apply, shard: s.id}
+	s.lm.Flush()
+}
+
+// shardFor maps a key to its owning shard by FNV-1a hash, inlined to keep
+// the hottest path (every single op, every key of every transaction)
+// allocation-free.
+func (srv *Server) shardFor(key string) *shard {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= prime32
+	}
+	return srv.shards[h%uint32(len(srv.shards))]
+}

@@ -1,0 +1,246 @@
+package server
+
+import (
+	"errors"
+	"sort"
+
+	"rsskv/internal/locks"
+	"rsskv/internal/truetime"
+	"rsskv/internal/wire"
+)
+
+// Transaction outcomes surfaced to the wire layer.
+var (
+	// errAborted reports a wound by an older conflicting transaction; the
+	// client should retry under the same transaction ID.
+	errAborted = errors.New(wire.ErrMsgAborted)
+	// errClosed reports that the server shut down mid-operation.
+	errClosed = errors.New("server closed")
+	// errTxnActive reports a commit for a transaction ID that is already
+	// executing (a client protocol violation).
+	errTxnActive = errors.New("transaction already in flight")
+)
+
+// txnPlan is a transaction's footprint, grouped by shard.
+type txnPlan struct {
+	shards  []int                   // involved shard ids, ascending
+	reads   map[int][]string        // read keys per shard, request order
+	writes  map[int][]wire.KV       // write set per shard, first-occurrence order
+	lockReq map[int][]locks.Request // union of both sets with lock modes
+}
+
+// plan dedupes the read and write sets and groups them by shard. A key in
+// both sets is locked exclusively; duplicate writes keep the last value.
+func (srv *Server) plan(txn locks.TxnID, readKeys []string, writeKVs []wire.KV) *txnPlan {
+	p := &txnPlan{
+		reads:   map[int][]string{},
+		writes:  map[int][]wire.KV{},
+		lockReq: map[int][]locks.Request{},
+	}
+	prio := int64(txn.Seq)
+	written := map[string]int{} // key -> index into its shard's write slice
+	for _, kv := range writeKVs {
+		sid := srv.shardFor(kv.Key).id
+		if i, dup := written[kv.Key]; dup {
+			p.writes[sid][i].Value = kv.Value
+			continue
+		}
+		written[kv.Key] = len(p.writes[sid])
+		p.writes[sid] = append(p.writes[sid], kv)
+		p.lockReq[sid] = append(p.lockReq[sid], locks.Request{
+			Txn: txn, Key: kv.Key, Mode: locks.Exclusive, Prio: prio,
+		})
+	}
+	seenRead := map[string]bool{}
+	for _, k := range readKeys {
+		if seenRead[k] {
+			continue
+		}
+		seenRead[k] = true
+		sid := srv.shardFor(k).id
+		p.reads[sid] = append(p.reads[sid], k)
+		if _, w := written[k]; !w {
+			p.lockReq[sid] = append(p.lockReq[sid], locks.Request{
+				Txn: txn, Key: k, Mode: locks.Shared, Prio: prio,
+			})
+		}
+	}
+	seenShard := map[int]bool{}
+	for sid := range p.lockReq {
+		if !seenShard[sid] {
+			seenShard[sid] = true
+			p.shards = append(p.shards, sid)
+		}
+	}
+	sort.Ints(p.shards)
+	return p
+}
+
+// runTxn executes a one-shot transaction: read every key in readKeys and
+// install every write in writeKVs, atomically. It implements two-phase
+// commit over the shard apply loops with strict two-phase locking:
+//
+//	lock    acquire the whole footprint on every shard (wound-wait
+//	        arbitrates conflicts; acquisition is concurrent across shards)
+//	prepare mark the transaction unwoundable everywhere, or abort if a
+//	        wound already landed
+//	apply   draw one commit timestamp, read, then write, on every shard
+//	release drop all locks (submitted before the response is sent, so a
+//	        client's next operation on these keys queues behind it)
+//
+// Locks are held from before the first read until after the last write on
+// every shard, so transactions serialize in commit-timestamp order and
+// partial writes are never visible.
+func (srv *Server) runTxn(txnID uint64, readKeys []string, writeKVs []wire.KV) (reads []wire.KV, version int64, err error) {
+	if txnID == 0 {
+		txnID = uint64(srv.nextSeq())
+	}
+	if !srv.admitTxn(txnID) {
+		return nil, 0, errTxnActive
+	}
+	defer srv.retireTxn(txnID)
+
+	txn := locks.TxnID{Seq: txnID}
+	p := srv.plan(txn, readKeys, writeKVs)
+	if len(p.shards) == 0 {
+		return nil, srv.nextSeq(), nil // empty transaction
+	}
+
+	// Lock phase. notify is buffered for one grant plus one wound per
+	// shard so lock-table callbacks never block an apply loop.
+	notify := make(chan shardEvent, 2*len(p.shards))
+	for _, sid := range p.shards {
+		s, reqs := srv.shards[sid], p.lockReq[sid]
+		s.run(func() {
+			w := &waiter{notify: notify, shard: s.id}
+			for _, lr := range reqs {
+				if s.lm.Acquire(lr) == locks.Waiting {
+					w.need++
+				}
+			}
+			s.waiters[txn] = w // registered even if fully granted, for wound delivery
+			if w.need == 0 {
+				notify <- shardEvent{shard: s.id}
+			}
+			s.lm.Flush()
+		})
+	}
+	granted := 0
+	for granted < len(p.shards) {
+		select {
+		case ev := <-notify:
+			if ev.wounded {
+				return nil, 0, srv.abortTxn(txn, p)
+			}
+			granted++
+		case <-srv.quit:
+			return nil, 0, errClosed
+		}
+	}
+
+	// Prepare phase: wounds race with the final grants above, so each
+	// shard atomically either observes the wound or forecloses it.
+	prepCh := make(chan bool, len(p.shards))
+	for _, sid := range p.shards {
+		s := srv.shards[sid]
+		s.run(func() {
+			if s.lm.Wounded(txn) {
+				prepCh <- false
+				return
+			}
+			s.lm.SetPrepared(txn)
+			prepCh <- true
+		})
+	}
+	for range p.shards {
+		select {
+		case ok := <-prepCh:
+			if !ok {
+				return nil, 0, srv.abortTxn(txn, p)
+			}
+		case <-srv.quit:
+			return nil, 0, errClosed
+		}
+	}
+
+	// Apply phase: the commit timestamp is drawn while every lock in the
+	// footprint is held, which makes timestamp order, lock order, and
+	// real-time order agree. Reads run before writes so a transaction
+	// reads the pre-state of keys it also writes.
+	ts := truetime.Timestamp(srv.nextSeq())
+	applyCh := make(chan []wire.KV, len(p.shards))
+	for _, sid := range p.shards {
+		s, rks, wkvs := srv.shards[sid], p.reads[sid], p.writes[sid]
+		s.run(func() {
+			kvs := make([]wire.KV, 0, len(rks))
+			for _, k := range rks {
+				kvs = append(kvs, wire.KV{Key: k, Value: s.store.Latest(k).Value})
+			}
+			for _, kv := range wkvs {
+				s.store.Write(kv.Key, kv.Value, ts)
+			}
+			applyCh <- kvs
+		})
+	}
+	byKey := map[string]string{}
+	for range p.shards {
+		select {
+		case kvs := <-applyCh:
+			for _, kv := range kvs {
+				byKey[kv.Key] = kv.Value
+			}
+		case <-srv.quit:
+			return nil, 0, errClosed
+		}
+	}
+
+	// Release phase: submitted (not awaited) before the caller responds;
+	// shard channels are FIFO, so any later operation from this client
+	// queues behind the release.
+	for _, sid := range p.shards {
+		s := srv.shards[sid]
+		s.run(func() {
+			delete(s.waiters, txn)
+			s.lm.ReleaseAll(txn)
+			s.lm.Flush()
+		})
+	}
+
+	// Return read results in request order (dedup preserved the first
+	// occurrence of each key).
+	emitted := map[string]bool{}
+	for _, k := range readKeys {
+		if emitted[k] {
+			continue
+		}
+		emitted[k] = true
+		reads = append(reads, wire.KV{Key: k, Value: byKey[k]})
+	}
+	return reads, int64(ts), nil
+}
+
+// abortTxn releases the transaction's locks and queued requests on every
+// involved shard, waits for the releases to land, and reports errAborted.
+// ReleaseAll clears the wounded mark, so a retry under the same ID (and
+// thus the same wound-wait priority) starts clean but keeps its age.
+func (srv *Server) abortTxn(txn locks.TxnID, p *txnPlan) error {
+	done := make(chan struct{}, len(p.shards))
+	for _, sid := range p.shards {
+		s := srv.shards[sid]
+		s.run(func() {
+			delete(s.waiters, txn)
+			s.lm.ReleaseAll(txn)
+			s.lm.Flush()
+			done <- struct{}{}
+		})
+	}
+	for range p.shards {
+		select {
+		case <-done:
+		case <-srv.quit:
+			return errClosed
+		}
+	}
+	srv.stats.Aborts.Add(1)
+	return errAborted
+}

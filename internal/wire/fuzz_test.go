@@ -1,0 +1,54 @@
+package wire
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzDecodeRequest checks that arbitrary payloads never panic the decoder
+// and that anything it accepts survives an encode/decode round trip
+// unchanged. (Byte-level canonicality is not required: binary.Uvarint
+// accepts non-minimal varints, which re-encode shorter.)
+func FuzzDecodeRequest(f *testing.F) {
+	for _, r := range sampleRequests() {
+		f.Add(AppendRequest(nil, r))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xff})
+	f.Add([]byte{byte(OpCommit), 0x80}) // unterminated varint
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		r, err := DecodeRequest(payload)
+		if err != nil {
+			return
+		}
+		r2, err := DecodeRequest(AppendRequest(nil, r))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if !reflect.DeepEqual(r, r2) {
+			t.Fatalf("round trip mismatch:\n dec %+v\n re  %+v", r, r2)
+		}
+	})
+}
+
+// FuzzDecodeResponse is the response-side twin of FuzzDecodeRequest.
+func FuzzDecodeResponse(f *testing.F) {
+	for _, r := range sampleResponses() {
+		f.Add(AppendResponse(nil, r))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{byte(OpFence), 0x01, 0x02})
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		r, err := DecodeResponse(payload)
+		if err != nil {
+			return
+		}
+		r2, err := DecodeResponse(AppendResponse(nil, r))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if !reflect.DeepEqual(r, r2) {
+			t.Fatalf("round trip mismatch:\n dec %+v\n re  %+v", r, r2)
+		}
+	})
+}

@@ -1,0 +1,426 @@
+// Package wire is the compact binary protocol spoken between rsskvd and
+// its clients (package kvclient).
+//
+// Every message travels as one frame: a 4-byte big-endian payload length
+// followed by the payload. The payload begins with a one-byte opcode and a
+// varint request ID; the remaining fields depend on the opcode. Strings are
+// length-prefixed with unsigned varints, signed integers use zig-zag
+// varints. Request IDs exist so a client can pipeline many requests on one
+// connection and match responses that the server completes out of order.
+//
+// The protocol is deliberately one-shot: a transaction's read set and write
+// set travel in a single Commit frame, so a transaction costs one round
+// trip regardless of how many shards it touches. BeginTxn only reserves a
+// transaction ID, whose value doubles as the wound-wait priority — retrying
+// an aborted commit under the same ID keeps the transaction's age, which is
+// what makes the retry loop livelock-free.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Op is a message opcode. Requests and responses share the opcode space;
+// a response's opcode always echoes its request's.
+type Op uint8
+
+// Opcodes.
+const (
+	// OpGet reads one key.
+	OpGet Op = iota + 1
+	// OpPut writes one key.
+	OpPut
+	// OpBeginTxn reserves a transaction ID (the wound-wait priority).
+	OpBeginTxn
+	// OpCommit executes a one-shot transaction: lock the read and write
+	// sets everywhere, read, write, release.
+	OpCommit
+	// OpFence is the RSS real-time fence (§4.1): it completes only after
+	// every operation the server accepted before it has been applied.
+	OpFence
+	// OpMultiGet reads a batch of keys atomically (a read-only
+	// transaction).
+	OpMultiGet
+	// OpMultiPut writes a batch of keys atomically (a write-only
+	// transaction).
+	OpMultiPut
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpGet:
+		return "get"
+	case OpPut:
+		return "put"
+	case OpBeginTxn:
+		return "begin-txn"
+	case OpCommit:
+		return "commit"
+	case OpFence:
+		return "fence"
+	case OpMultiGet:
+		return "multi-get"
+	case OpMultiPut:
+		return "multi-put"
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+func (o Op) valid() bool { return o >= OpGet && o <= OpMultiPut }
+
+// KV is a key-value pair in a batched write or a batched read result.
+type KV struct {
+	Key   string
+	Value string
+}
+
+// Request is a client→server message.
+type Request struct {
+	// ID matches the response to this request on a pipelined connection.
+	ID uint64
+	// Op selects the operation and which fields below are meaningful.
+	Op Op
+	// TxnID carries the reserved transaction ID on OpCommit (0 lets the
+	// server assign a fresh one).
+	TxnID uint64
+	// Key and Value are the OpGet / OpPut operands.
+	Key   string
+	Value string
+	// Keys is the read set (OpCommit) or the batch (OpMultiGet).
+	Keys []string
+	// KVs is the write set (OpCommit) or the batch (OpMultiPut).
+	KVs []KV
+}
+
+// Response is a server→client message.
+type Response struct {
+	// ID echoes the request ID.
+	ID uint64
+	// Op echoes the request opcode.
+	Op Op
+	// OK reports success. A committed transaction has OK true; a
+	// transaction wounded by an older conflicting transaction has OK
+	// false with Err "aborted" and should be retried under the same
+	// TxnID.
+	OK bool
+	// Err describes the failure when OK is false.
+	Err string
+	// TxnID returns the reserved ID on OpBeginTxn responses.
+	TxnID uint64
+	// Value is the OpGet result ("" for a never-written key).
+	Value string
+	// Version is the server-assigned serialization point: the commit
+	// timestamp of a write or transaction, or the timestamp of the
+	// version a read observed (0 for a never-written key).
+	Version int64
+	// KVs returns the read values of OpCommit and OpMultiGet.
+	KVs []KV
+}
+
+// Framing limits.
+const (
+	// MaxFrame is the default maximum payload size accepted by ReadFrame.
+	// Size enforcement is the reader's job: writers only refuse payloads
+	// whose length cannot be represented in the 4-byte header, so peers
+	// configured with a larger limit interoperate.
+	MaxFrame = 1 << 20
+	// maxEncodable is the largest length the frame header can carry.
+	maxEncodable = 1<<32 - 1
+	// lenSize is the frame header size: a 4-byte big-endian length.
+	lenSize = 4
+)
+
+// ErrMsgAborted is the Err value of a transactional response whose
+// transaction was wounded by an older conflicting transaction; the client
+// should retry under the TxnID the response carries, which preserves the
+// transaction's wound-wait age.
+const ErrMsgAborted = "aborted"
+
+// Protocol errors.
+var (
+	// ErrTruncated reports a payload that ended before its fields did.
+	ErrTruncated = errors.New("wire: truncated frame")
+	// ErrFrameTooLarge reports a frame whose declared length exceeds the
+	// reader's limit.
+	ErrFrameTooLarge = errors.New("wire: frame too large")
+	// ErrBadMessage reports a structurally invalid payload (unknown
+	// opcode, implausible count, trailing garbage).
+	ErrBadMessage = errors.New("wire: bad message")
+)
+
+// AppendRequest appends r's payload (no frame header) to buf.
+func AppendRequest(buf []byte, r *Request) []byte {
+	buf = append(buf, byte(r.Op))
+	buf = binary.AppendUvarint(buf, r.ID)
+	buf = binary.AppendUvarint(buf, r.TxnID)
+	buf = appendString(buf, r.Key)
+	buf = appendString(buf, r.Value)
+	buf = binary.AppendUvarint(buf, uint64(len(r.Keys)))
+	for _, k := range r.Keys {
+		buf = appendString(buf, k)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(r.KVs)))
+	for _, kv := range r.KVs {
+		buf = appendString(buf, kv.Key)
+		buf = appendString(buf, kv.Value)
+	}
+	return buf
+}
+
+// DecodeRequest parses a request payload produced by AppendRequest.
+func DecodeRequest(payload []byte) (*Request, error) {
+	d := decoder{b: payload}
+	r := &Request{Op: Op(d.byte())}
+	if !r.Op.valid() {
+		return nil, fmt.Errorf("%w: unknown opcode %d", ErrBadMessage, r.Op)
+	}
+	r.ID = d.uvarint()
+	r.TxnID = d.uvarint()
+	r.Key = d.string()
+	r.Value = d.string()
+	if n := d.count(); n > 0 {
+		r.Keys = make([]string, n)
+		for i := range r.Keys {
+			r.Keys[i] = d.string()
+		}
+	}
+	if n := d.count(); n > 0 {
+		r.KVs = make([]KV, n)
+		for i := range r.KVs {
+			r.KVs[i].Key = d.string()
+			r.KVs[i].Value = d.string()
+		}
+	}
+	if err := d.finish(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// AppendResponse appends r's payload (no frame header) to buf.
+func AppendResponse(buf []byte, r *Response) []byte {
+	buf = append(buf, byte(r.Op))
+	buf = binary.AppendUvarint(buf, r.ID)
+	var flags byte
+	if r.OK {
+		flags = 1
+	}
+	buf = append(buf, flags)
+	buf = appendString(buf, r.Err)
+	buf = binary.AppendUvarint(buf, r.TxnID)
+	buf = appendString(buf, r.Value)
+	buf = binary.AppendVarint(buf, r.Version)
+	buf = binary.AppendUvarint(buf, uint64(len(r.KVs)))
+	for _, kv := range r.KVs {
+		buf = appendString(buf, kv.Key)
+		buf = appendString(buf, kv.Value)
+	}
+	return buf
+}
+
+// DecodeResponse parses a response payload produced by AppendResponse.
+func DecodeResponse(payload []byte) (*Response, error) {
+	d := decoder{b: payload}
+	r := &Response{Op: Op(d.byte())}
+	if !r.Op.valid() {
+		return nil, fmt.Errorf("%w: unknown opcode %d", ErrBadMessage, r.Op)
+	}
+	r.ID = d.uvarint()
+	flags := d.byte()
+	if flags > 1 {
+		return nil, fmt.Errorf("%w: bad flags %d", ErrBadMessage, flags)
+	}
+	r.OK = flags == 1
+	r.Err = d.string()
+	r.TxnID = d.uvarint()
+	r.Value = d.string()
+	r.Version = d.varint()
+	if n := d.count(); n > 0 {
+		r.KVs = make([]KV, n)
+		for i := range r.KVs {
+			r.KVs[i].Key = d.string()
+			r.KVs[i].Value = d.string()
+		}
+	}
+	if err := d.finish(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// WriteRequest frames and writes r. The caller provides buffering.
+func WriteRequest(w io.Writer, r *Request) error {
+	return writeFrame(w, AppendRequest(make([]byte, lenSize), r))
+}
+
+// WriteResponse frames and writes r. The caller provides buffering.
+func WriteResponse(w io.Writer, r *Response) error {
+	return writeFrame(w, AppendResponse(make([]byte, lenSize), r))
+}
+
+// writeFrame fills buf's first lenSize bytes with the payload length and
+// writes the whole frame in one call.
+func writeFrame(w io.Writer, buf []byte) error {
+	n := len(buf) - lenSize
+	if uint64(n) > maxEncodable {
+		return ErrFrameTooLarge
+	}
+	binary.BigEndian.PutUint32(buf[:lenSize], uint32(n))
+	_, err := w.Write(buf)
+	return err
+}
+
+// WriteFrame frames and writes an already-encoded payload (the output of
+// AppendRequest or AppendResponse). Callers that need the payload size
+// before committing to the write — e.g. to fail one oversized request
+// without poisoning a pipelined connection — encode first and use this.
+func WriteFrame(w io.Writer, payload []byte) error {
+	if uint64(len(payload)) > maxEncodable {
+		return ErrFrameTooLarge
+	}
+	var hdr [lenSize]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one frame's payload. Frames larger than max (MaxFrame if
+// max <= 0) yield ErrFrameTooLarge; a connection that closes mid-frame
+// yields io.ErrUnexpectedEOF, and a clean close before any header byte
+// yields io.EOF.
+func ReadFrame(r io.Reader, max int) ([]byte, error) {
+	if max <= 0 {
+		max = MaxFrame
+	}
+	var hdr [lenSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if uint64(n) > uint64(max) {
+		return nil, fmt.Errorf("%w: %d > %d", ErrFrameTooLarge, n, max)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	return payload, nil
+}
+
+// ReadRequest reads and decodes one framed request.
+func ReadRequest(r io.Reader, max int) (*Request, error) {
+	payload, err := ReadFrame(r, max)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeRequest(payload)
+}
+
+// ReadResponse reads and decodes one framed response.
+func ReadResponse(r io.Reader, max int) (*Response, error) {
+	payload, err := ReadFrame(r, max)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeResponse(payload)
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+// decoder walks a payload, latching the first error so call sites read
+// field after field without per-call checks.
+type decoder struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *decoder) fail(err error) {
+	if d.err == nil {
+		d.err = err
+	}
+}
+
+func (d *decoder) byte() byte {
+	if d.err != nil || d.off >= len(d.b) {
+		d.fail(ErrTruncated)
+		return 0
+	}
+	b := d.b[d.off]
+	d.off++
+	return b
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b[d.off:])
+	if n <= 0 {
+		d.fail(ErrTruncated)
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *decoder) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.b[d.off:])
+	if n <= 0 {
+		d.fail(ErrTruncated)
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+// count reads a collection length and bounds it by the bytes remaining, so
+// a hostile frame cannot trigger a huge allocation: every element costs at
+// least one byte on the wire.
+func (d *decoder) count() int {
+	v := d.uvarint()
+	if d.err != nil {
+		return 0
+	}
+	if v > uint64(len(d.b)-d.off) {
+		d.fail(fmt.Errorf("%w: count %d exceeds remaining %d bytes", ErrBadMessage, v, len(d.b)-d.off))
+		return 0
+	}
+	return int(v)
+}
+
+func (d *decoder) string() string {
+	n := d.count()
+	if d.err != nil {
+		return ""
+	}
+	s := string(d.b[d.off : d.off+n])
+	d.off += n
+	return s
+}
+
+// finish returns the latched error, or ErrBadMessage if bytes remain.
+func (d *decoder) finish() error {
+	if d.err != nil {
+		return d.err
+	}
+	if d.off != len(d.b) {
+		return fmt.Errorf("%w: %d trailing bytes", ErrBadMessage, len(d.b)-d.off)
+	}
+	return nil
+}

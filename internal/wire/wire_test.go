@@ -1,0 +1,209 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"reflect"
+	"testing"
+)
+
+// sampleRequests covers every opcode with every field shape it uses.
+func sampleRequests() []*Request {
+	return []*Request{
+		{ID: 1, Op: OpGet, Key: "k"},
+		{ID: 2, Op: OpPut, Key: "k", Value: "v"},
+		{ID: 3, Op: OpBeginTxn},
+		{ID: 4, Op: OpCommit, TxnID: 77, Keys: []string{"a", "b"},
+			KVs: []KV{{"c", "1"}, {"d", "2"}}},
+		{ID: 5, Op: OpCommit, TxnID: 78}, // empty read and write sets
+		{ID: 6, Op: OpFence},
+		{ID: 7, Op: OpMultiGet, Keys: []string{"x", "y", "z"}},
+		{ID: 8, Op: OpMultiPut, KVs: []KV{{"x", "vx"}}},
+		{ID: 1<<64 - 1, Op: OpGet, Key: "", Value: ""}, // extreme ID, empty strings
+	}
+}
+
+// sampleResponses covers every opcode with success and failure shapes.
+func sampleResponses() []*Response {
+	return []*Response{
+		{ID: 1, Op: OpGet, OK: true, Value: "v", Version: 42},
+		{ID: 2, Op: OpGet, OK: true, Value: "", Version: 0}, // never-written key
+		{ID: 3, Op: OpPut, OK: true, Version: 43},
+		{ID: 4, Op: OpBeginTxn, OK: true, TxnID: 99},
+		{ID: 5, Op: OpCommit, OK: true, Version: 44, KVs: []KV{{"a", "1"}, {"b", ""}}},
+		{ID: 6, Op: OpCommit, OK: false, Err: "aborted", TxnID: 99},
+		{ID: 7, Op: OpFence, OK: true},
+		{ID: 8, Op: OpMultiGet, OK: true, KVs: []KV{{"x", "vx"}}},
+		{ID: 9, Op: OpMultiPut, OK: true, Version: 45},
+		{ID: 10, Op: OpPut, OK: false, Err: "server closed", Version: -1},
+	}
+}
+
+func TestRequestRoundTrip(t *testing.T) {
+	for _, want := range sampleRequests() {
+		var buf bytes.Buffer
+		if err := WriteRequest(&buf, want); err != nil {
+			t.Fatalf("%v: write: %v", want.Op, err)
+		}
+		got, err := ReadRequest(&buf, 0)
+		if err != nil {
+			t.Fatalf("%v: read: %v", want.Op, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%v: round trip mismatch:\n got %+v\nwant %+v", want.Op, got, want)
+		}
+		if buf.Len() != 0 {
+			t.Errorf("%v: %d bytes left after one frame", want.Op, buf.Len())
+		}
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	for _, want := range sampleResponses() {
+		var buf bytes.Buffer
+		if err := WriteResponse(&buf, want); err != nil {
+			t.Fatalf("%v: write: %v", want.Op, err)
+		}
+		got, err := ReadResponse(&buf, 0)
+		if err != nil {
+			t.Fatalf("%v: read: %v", want.Op, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%v: round trip mismatch:\n got %+v\nwant %+v", want.Op, got, want)
+		}
+	}
+}
+
+// TestPipelinedStream checks that many frames written back to back decode
+// in order from one stream, which is what a pipelined connection does.
+func TestPipelinedStream(t *testing.T) {
+	var buf bytes.Buffer
+	reqs := sampleRequests()
+	for _, r := range reqs {
+		if err := WriteRequest(&buf, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, want := range reqs {
+		got, err := ReadRequest(&buf, 0)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("frame %d mismatch: got %+v want %+v", i, got, want)
+		}
+	}
+	if _, err := ReadRequest(&buf, 0); err != io.EOF {
+		t.Fatalf("after last frame: got %v, want io.EOF", err)
+	}
+}
+
+// TestTruncatedPayload checks that every strict prefix of a valid payload
+// fails to decode rather than succeeding or panicking.
+func TestTruncatedPayload(t *testing.T) {
+	full := AppendRequest(nil, &Request{
+		ID: 9, Op: OpCommit, TxnID: 3, Key: "k", Value: "v",
+		Keys: []string{"a"}, KVs: []KV{{"b", "2"}},
+	})
+	for n := 0; n < len(full); n++ {
+		if _, err := DecodeRequest(full[:n]); err == nil {
+			t.Errorf("prefix of %d/%d bytes decoded without error", n, len(full))
+		}
+	}
+	fullResp := AppendResponse(nil, &Response{
+		ID: 9, Op: OpCommit, OK: true, Version: -7, KVs: []KV{{"b", "2"}},
+	})
+	for n := 0; n < len(fullResp); n++ {
+		if _, err := DecodeResponse(fullResp[:n]); err == nil {
+			t.Errorf("response prefix of %d/%d bytes decoded without error", n, len(fullResp))
+		}
+	}
+}
+
+// TestTruncatedStream checks the framed reader's behavior when the
+// connection drops mid-frame.
+func TestTruncatedStream(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteRequest(&buf, &Request{ID: 1, Op: OpPut, Key: "k", Value: "v"}); err != nil {
+		t.Fatal(err)
+	}
+	whole := buf.Bytes()
+	// Cut inside the header: unexpected EOF surfaces from ReadFull.
+	if _, err := ReadFrame(bytes.NewReader(whole[:2]), 0); err != io.ErrUnexpectedEOF {
+		t.Errorf("cut header: got %v, want io.ErrUnexpectedEOF", err)
+	}
+	// Cut inside the payload.
+	if _, err := ReadFrame(bytes.NewReader(whole[:len(whole)-1]), 0); err != io.ErrUnexpectedEOF {
+		t.Errorf("cut payload: got %v, want io.ErrUnexpectedEOF", err)
+	}
+	// Clean EOF before any byte.
+	if _, err := ReadFrame(bytes.NewReader(nil), 0); err != io.EOF {
+		t.Errorf("empty stream: got %v, want io.EOF", err)
+	}
+}
+
+func TestOversizedFrame(t *testing.T) {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], MaxFrame+1)
+	if _, err := ReadFrame(bytes.NewReader(hdr[:]), 0); !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("default limit: got %v, want ErrFrameTooLarge", err)
+	}
+	// A custom limit rejects frames the default would accept.
+	binary.BigEndian.PutUint32(hdr[:], 100)
+	if _, err := ReadFrame(bytes.NewReader(hdr[:]), 64); !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("custom limit: got %v, want ErrFrameTooLarge", err)
+	}
+	// The writer does not enforce the read limit (a larger-limit peer
+	// must be able to receive what it is configured for); a frame just
+	// over MaxFrame writes fine and is rejected by a default reader.
+	big := &Request{ID: 1, Op: OpPut, Key: "k", Value: string(make([]byte, MaxFrame+1))}
+	var buf bytes.Buffer
+	if err := WriteRequest(&buf, big); err != nil {
+		t.Errorf("write over default limit: %v, want nil", err)
+	}
+	if _, err := ReadRequest(&buf, 0); !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("default reader accepted oversized frame: %v", err)
+	}
+	// A reader configured with a larger limit accepts the same frame.
+	buf.Reset()
+	if err := WriteRequest(&buf, big); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadRequest(&buf, 2*MaxFrame); err != nil {
+		t.Errorf("large-limit reader rejected frame: %v", err)
+	}
+}
+
+func TestBadMessages(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":           {},
+		"zero opcode":     AppendRequest(nil, &Request{Op: 0, ID: 1}),
+		"unknown opcode":  {0xff, 0x01},
+		"trailing bytes":  append(AppendRequest(nil, &Request{Op: OpGet, ID: 1}), 0xaa),
+		"implausible len": {byte(OpGet), 1, 0, 0xff, 0xff, 0xff, 0x7f},
+	}
+	for name, payload := range cases {
+		if _, err := DecodeRequest(payload); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+		if _, err := DecodeResponse(payload); err == nil && name != "trailing bytes" {
+			t.Errorf("%s: response decoded without error", name)
+		}
+	}
+}
+
+// TestCountBomb checks that a declared element count far beyond the frame
+// size is rejected before allocation.
+func TestCountBomb(t *testing.T) {
+	payload := []byte{byte(OpMultiGet)}
+	payload = binary.AppendUvarint(payload, 1)     // ID
+	payload = binary.AppendUvarint(payload, 0)     // TxnID
+	payload = binary.AppendUvarint(payload, 0)     // Key
+	payload = binary.AppendUvarint(payload, 0)     // Value
+	payload = binary.AppendUvarint(payload, 1<<40) // Keys count bomb
+	if _, err := DecodeRequest(payload); !errors.Is(err, ErrBadMessage) {
+		t.Errorf("count bomb: got %v, want ErrBadMessage", err)
+	}
+}
