@@ -28,36 +28,61 @@ var (
 	keys       = flag.Int("keys", 512, "keyspace size")
 	conns      = flag.Int("conns", 2, "connections per client")
 	txnFrac    = flag.Float64("txnfrac", 0.2, "fraction of ops that are read-write transactions")
-	multiFrac  = flag.Float64("multifrac", 0.1, "fraction of ops that are batched multi-key ops")
+	roFrac     = flag.Float64("rofrac", 0.1, "fraction of ops that are lock-free snapshot read-only transactions")
+	multiFrac  = flag.Float64("multifrac", 0.1, "fraction of ops that are batched multi-key ops (the reads are the lock-based baseline)")
 	fenceEvery = flag.Int("fence-every", 0, "insert a fence every N ops per client (0 = never)")
 	seed       = flag.Int64("seed", 1, "workload seed")
 	noCheck    = flag.Bool("nocheck", false, "skip the RSS history check")
+	commitEst  = flag.Duration("commit-est", 0, "hosted server's t_ee estimate; >0 lets snapshot reads skip concurrent preparers (§5) at the cost of delaying commit responses until the estimate passes")
+	chaos      = flag.String("chaos", "", "fault injection for the hosted server; 'stale-reads' serves snapshot reads at a lowered t_read so the RSS check must reject")
 )
+
+func validateChaos() {
+	if *chaos != "" && *chaos != "stale-reads" {
+		fmt.Fprintf(os.Stderr, "unknown -chaos mode %q (supported: stale-reads)\n", *chaos)
+		os.Exit(2)
+	}
+}
 
 // serveCmd runs an in-process rsskvd until interrupted.
 func serveCmd() {
+	validateChaos()
 	a := *addr
 	if a == "" {
 		a = ":7365"
 	}
-	srv := server.New(server.Config{Shards: *shards})
+	srv := server.New(server.Config{
+		Shards:          *shards,
+		CommitEstimate:  *commitEst,
+		ChaosStaleReads: *chaos == "stale-reads",
+	})
 	if err := srv.Start(a); err != nil {
 		fmt.Fprintf(os.Stderr, "serve: %v\n", err)
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "serving on %s with %d shards (ctrl-c to stop)\n", srv.Addr(), srv.Shards())
+	if *chaos != "" {
+		fmt.Fprintf(os.Stderr, "CHAOS MODE %q: serving deliberately stale snapshot reads\n", *chaos)
+	}
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	<-stop
 	srv.Close()
 }
 
-// loadgenCmd drives a live server and checks the recorded history.
+// loadgenCmd drives a live server and checks the recorded history. With
+// -chaos=stale-reads the expectation inverts: the in-process server is
+// deliberately broken, so the run succeeds only if the checker rejects.
 func loadgenCmd() {
+	validateChaos()
 	target := *addr
 	var srv *server.Server
 	if target == "" {
-		srv = server.New(server.Config{Shards: *shards})
+		srv = server.New(server.Config{
+			Shards:          *shards,
+			CommitEstimate:  *commitEst,
+			ChaosStaleReads: *chaos == "stale-reads",
+		})
 		if err := srv.Start("127.0.0.1:0"); err != nil {
 			fmt.Fprintf(os.Stderr, "loadgen: start server: %v\n", err)
 			os.Exit(1)
@@ -65,6 +90,9 @@ func loadgenCmd() {
 		defer srv.Close()
 		target = srv.Addr()
 		fmt.Fprintf(os.Stderr, "started in-process server on %s (%d shards)\n", target, srv.Shards())
+	} else if *chaos != "" {
+		fmt.Fprintln(os.Stderr, "loadgen: -chaos injects the fault into the in-process server; it cannot break a remote -addr server (start `rsskvd -chaos` or `rssbench serve -chaos` instead)")
+		os.Exit(2)
 	}
 
 	cfg := loadgen.Config{
@@ -74,6 +102,7 @@ func loadgenCmd() {
 		Keys:         *keys,
 		Conns:        *conns,
 		TxnFrac:      *txnFrac,
+		ROFrac:       *roFrac,
 		MultiFrac:    *multiFrac,
 		FenceEvery:   *fenceEvery,
 		Seed:         *seed,
@@ -94,10 +123,25 @@ func loadgenCmd() {
 	tbl.Add("latency p50 us", res.Latency.Percentile(50))
 	tbl.Add("latency p99 us", res.Latency.Percentile(99))
 	tbl.Add("latency p99.9 us", res.Latency.Percentile(99.9))
+	if res.ROLatency.N() > 0 {
+		tbl.Add("ro-txn (snapshot) p50 us", res.ROLatency.Percentile(50))
+		tbl.Add("ro-txn (snapshot) p99 us", res.ROLatency.Percentile(99))
+	}
+	if res.MultiGetLatency.N() > 0 {
+		tbl.Add("multiget (locked) p50 us", res.MultiGetLatency.Percentile(50))
+		tbl.Add("multiget (locked) p99 us", res.MultiGetLatency.Percentile(99))
+	}
+	if res.RWLatency.N() > 0 {
+		tbl.Add("read-write p50 us", res.RWLatency.Percentile(50))
+		tbl.Add("read-write p99 us", res.RWLatency.Percentile(99))
+	}
 	if srv != nil {
 		s := srv.Stats()
 		tbl.Add("server commits", float64(s.Commits.Load()))
 		tbl.Add("server aborts (retried)", float64(s.Aborts.Load()))
+		tbl.Add("server ro-txns", float64(s.ROs.Load()))
+		tbl.Add("server ro blocked on prepares", float64(s.ROBlocked.Load()))
+		tbl.Add("server ro prepares skipped", float64(s.ROSkips.Load()))
 	}
 	emit(tbl)
 
@@ -105,15 +149,25 @@ func loadgenCmd() {
 		return
 	}
 	fmt.Fprintf(os.Stderr, "checking %d-op history against RSS...\n", res.H.Len())
-	if err := history.Check(res.H, core.RSS); err != nil {
-		fmt.Fprintf(os.Stderr, "VIOLATION: %v\n", err)
+	checkErr := history.Check(res.H, core.RSS)
+	if *chaos != "" {
+		if checkErr == nil {
+			fmt.Fprintf(os.Stderr, "chaos %q ran but the RSS checker accepted the history; the fault was not observable (try more ops or a higher -rofrac)\n", *chaos)
+			os.Exit(1)
+		}
+		fmt.Printf("chaos %q confirmed: RSS checker rejected the history\n  %v\n", *chaos, checkErr)
+		return
+	}
+	if checkErr != nil {
+		fmt.Fprintf(os.Stderr, "VIOLATION: %v\n", checkErr)
 		os.Exit(1)
 	}
 	fmt.Println("history is regular-sequential-serializable (RSS): OK")
 	if err := history.Check(res.H, core.StrictSerializability); err != nil {
-		// Informational: the server aims for strict serializability,
-		// which implies RSS; a failure here with RSS passing would
-		// point at the fence machinery rather than the lock manager.
+		// Informational: on a single server the snapshot-read timestamp
+		// is drawn at the leader, so even the RO path is externally
+		// consistent; a failure here with RSS passing points at the
+		// fence or t_min machinery rather than the lock manager.
 		fmt.Fprintf(os.Stderr, "note: strict-serializability check failed: %v\n", err)
 	} else {
 		fmt.Println("history is strictly serializable: OK")

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	rsskvd [-addr :7365] [-shards 8] [-stats 10s]
+//	rsskvd [-addr :7365] [-shards 8] [-stats 10s] [-chaos stale-reads]
 package main
 
 import (
@@ -22,10 +22,13 @@ import (
 )
 
 var (
-	addr     = flag.String("addr", ":7365", "listen address")
-	shards   = flag.Int("shards", 8, "number of keyspace shards")
-	maxFrame = flag.Int("maxframe", 0, "max accepted frame size in bytes (0 = default 1 MiB)")
-	statsEvy = flag.Duration("stats", 10*time.Second, "stats logging interval (0 disables)")
+	addr      = flag.String("addr", ":7365", "listen address")
+	shards    = flag.Int("shards", 8, "number of keyspace shards")
+	maxFrame  = flag.Int("maxframe", 0, "max accepted frame size in bytes (0 = default 1 MiB)")
+	statsEvy  = flag.Duration("stats", 10*time.Second, "stats logging interval (0 disables)")
+	epsilon   = flag.Duration("eps", 0, "TrueTime uncertainty bound ε (adds ~2ε commit wait per mutation)")
+	commitEst = flag.Duration("commit-est", 0, "advertised earliest-end-time estimate t_ee for commits; >0 lets snapshot reads skip concurrent preparers (§5) at the cost of delaying commit responses until the estimate passes")
+	chaos     = flag.String("chaos", "", "fault injection; 'stale-reads' serves snapshot reads at a lowered t_read so recorded histories violate RSS")
 )
 
 func main() {
@@ -34,11 +37,24 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unexpected argument %q\n", flag.Arg(0))
 		os.Exit(2)
 	}
-	srv := server.New(server.Config{Shards: *shards, MaxFrame: *maxFrame})
+	if *chaos != "" && *chaos != "stale-reads" {
+		fmt.Fprintf(os.Stderr, "unknown -chaos mode %q (supported: stale-reads)\n", *chaos)
+		os.Exit(2)
+	}
+	srv := server.New(server.Config{
+		Shards:          *shards,
+		MaxFrame:        *maxFrame,
+		Epsilon:         *epsilon,
+		CommitEstimate:  *commitEst,
+		ChaosStaleReads: *chaos == "stale-reads",
+	})
 	if err := srv.Start(*addr); err != nil {
 		log.Fatalf("rsskvd: %v", err)
 	}
 	log.Printf("rsskvd: listening on %s with %d shards", srv.Addr(), srv.Shards())
+	if *chaos != "" {
+		log.Printf("rsskvd: CHAOS MODE %q — serving deliberately stale snapshot reads", *chaos)
+	}
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
@@ -52,9 +68,10 @@ func main() {
 		select {
 		case <-tick:
 			s := srv.Stats()
-			log.Printf("rsskvd: conns=%d gets=%d puts=%d commits=%d aborts=%d fences=%d",
+			log.Printf("rsskvd: conns=%d gets=%d puts=%d commits=%d aborts=%d fences=%d rotxns=%d roblocked=%d roskips=%d",
 				s.Conns.Load(), s.Gets.Load(), s.Puts.Load(),
-				s.Commits.Load(), s.Aborts.Load(), s.Fences.Load())
+				s.Commits.Load(), s.Aborts.Load(), s.Fences.Load(),
+				s.ROs.Load(), s.ROBlocked.Load(), s.ROSkips.Load())
 		case sig := <-stop:
 			log.Printf("rsskvd: %v, shutting down", sig)
 			srv.Close()

@@ -10,9 +10,22 @@
 // older transaction is retried under the same transaction ID, which
 // preserves its wound-wait age and makes the retry loop livelock-free.
 //
+// ReadOnly is the lock-free snapshot path (§5): it ships the key set with
+// the session's minimum read timestamp t_min in one OpROTxn frame, and the
+// server serves a consistent snapshot no older than t_min without touching
+// the lock table — a read-only transaction can never be wounded and never
+// queues behind writers. The client maintains t_min per session (§6),
+// advancing it with every commit timestamp and snapshot timestamp it
+// observes, which is what preserves the session's causality across
+// snapshot reads; ResetSession starts a fresh session.
+//
 // The driver exposes the server's real-time fence through RealTimeFence,
 // so a Client registers with the libRSS composition library (§4.1) like
-// any other RSS service client.
+// any other RSS service client. The fence response carries the server's
+// current TrueTime upper bound, which is merged into t_min — after the
+// fence, every snapshot read of this session (or of any session the t_min
+// is propagated to, §4.2) reflects all pre-fence state, the Spanner-RSS
+// fence guarantee of §5.1.
 package kvclient
 
 import (
@@ -47,6 +60,7 @@ type Client struct {
 	addr string
 	opts Options
 	next atomic.Uint64
+	tmin atomic.Int64 // session minimum read timestamp (§5, Algorithm 1)
 
 	mu     sync.Mutex
 	conns  []*conn
@@ -141,6 +155,27 @@ func (c *Client) do(req *wire.Request) (*wire.Response, error) {
 	return resp, nil
 }
 
+// TMin returns the session's minimum read timestamp: the floor below
+// which no future snapshot read of this session will be served.
+func (c *Client) TMin() int64 { return c.tmin.Load() }
+
+// SetTMin merges an externally propagated causal constraint (§4.2), e.g.
+// a timestamp received alongside an out-of-band message from another
+// session. t_min only ever advances.
+func (c *Client) SetTMin(t int64) {
+	for {
+		cur := c.tmin.Load()
+		if t <= cur || c.tmin.CompareAndSwap(cur, t) {
+			return
+		}
+	}
+}
+
+// ResetSession clears the session's causal context (§6: "The clients use
+// a separate t_min for each session"): subsequent snapshot reads may be
+// served from any snapshot the server currently considers safe.
+func (c *Client) ResetSession() { c.tmin.Store(0) }
+
 // Get reads key, returning its value ("" if never written) and the
 // timestamp of the version read (0 if never written).
 func (c *Client) Get(key string) (value string, version int64, err error) {
@@ -148,6 +183,7 @@ func (c *Client) Get(key string) (value string, version int64, err error) {
 	if err != nil {
 		return "", 0, err
 	}
+	c.SetTMin(resp.Version)
 	return resp.Value, resp.Version, nil
 }
 
@@ -157,17 +193,40 @@ func (c *Client) Put(key, value string) (version int64, err error) {
 	if err != nil {
 		return 0, err
 	}
+	c.SetTMin(resp.Version)
 	return resp.Version, nil
 }
 
-// MultiGet reads a batch of keys atomically (a read-only transaction),
-// returning their values and the snapshot's commit timestamp. Aborts are
-// retried internally.
+// ReadOnly reads a batch of keys as a lock-free snapshot read-only
+// transaction (§5): the server serves a consistent snapshot no older than
+// the session's t_min, without lock acquisition — the read can never be
+// wounded, never queues behind writers, and costs one round trip. It
+// returns the values ("" for keys with no version in the snapshot) and
+// the snapshot timestamp, which advances t_min.
+func (c *Client) ReadOnly(keys ...string) (map[string]string, int64, error) {
+	resp, err := c.do(&wire.Request{Op: wire.OpROTxn, Keys: keys, TMin: c.TMin()})
+	if err != nil {
+		return nil, 0, err
+	}
+	c.SetTMin(resp.Version)
+	out := make(map[string]string, len(resp.KVs))
+	for _, kv := range resp.KVs {
+		out[kv.Key] = kv.Value
+	}
+	return out, resp.Version, nil
+}
+
+// MultiGet reads a batch of keys atomically under shared locks (a
+// lock-based read-only transaction), returning their values and the
+// transaction's timestamp. Aborts are retried internally. ReadOnly serves
+// the same result from a snapshot without locks; MultiGet remains the
+// strict-2PL baseline it is measured against.
 func (c *Client) MultiGet(keys ...string) (map[string]string, int64, error) {
 	resp, err := c.retry(&wire.Request{Op: wire.OpMultiGet, Keys: keys})
 	if err != nil {
 		return nil, 0, err
 	}
+	c.SetTMin(resp.Version)
 	out := make(map[string]string, len(resp.KVs))
 	for _, kv := range resp.KVs {
 		out[kv.Key] = kv.Value
@@ -187,13 +246,21 @@ func (c *Client) MultiPut(kvs map[string]string) (int64, error) {
 	if err != nil {
 		return 0, err
 	}
+	c.SetTMin(resp.Version)
 	return resp.Version, nil
 }
 
-// Fence invokes the server's real-time fence and waits for it.
+// Fence invokes the server's real-time fence and waits for it. The fence
+// timestamp it returns is merged into the session's t_min, extending the
+// fence guarantee to the snapshot-read path: every later ReadOnly
+// reflects all state the server applied before the fence.
 func (c *Client) Fence() error {
-	_, err := c.do(&wire.Request{Op: wire.OpFence})
-	return err
+	resp, err := c.do(&wire.Request{Op: wire.OpFence})
+	if err != nil {
+		return err
+	}
+	c.SetTMin(resp.Version)
+	return nil
 }
 
 // RealTimeFence adapts Fence to the composition library's interface, so a
@@ -270,6 +337,7 @@ func (t *Txn) Commit() (reads map[string]string, version int64, err error) {
 	if err != nil {
 		return nil, 0, err
 	}
+	t.c.SetTMin(resp.Version)
 	reads = make(map[string]string, len(resp.KVs))
 	for _, kv := range resp.KVs {
 		reads[kv.Key] = kv.Value
@@ -411,9 +479,9 @@ func (cn *conn) deliver(resp *wire.Response) {
 }
 
 func (cn *conn) reader() {
-	br := bufio.NewReaderSize(cn.nc, 64<<10)
+	fr := wire.NewFrameReader(bufio.NewReaderSize(cn.nc, 64<<10), cn.maxFrame)
 	for {
-		resp, err := wire.ReadResponse(br, cn.maxFrame)
+		resp, err := fr.ReadResponse()
 		if err != nil {
 			cn.fail(fmt.Errorf("kvclient: connection lost: %w", err))
 			return

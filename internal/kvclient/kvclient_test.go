@@ -246,3 +246,98 @@ func TestOversizedRequestScoped(t *testing.T) {
 		t.Errorf("small = %q, want \"v\"", v)
 	}
 }
+
+// TestReadOnlySnapshot checks the lock-free snapshot read surface: values,
+// snapshot timestamps, unwritten keys, and the empty key set.
+func TestReadOnlySnapshot(t *testing.T) {
+	_, cl := startPair(t, 4, 2)
+	in := map[string]string{"ra": "1", "rb": "2", "rc": "3"}
+	ver, err := cl.MultiPut(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, snap, err := cl.ReadOnly("ra", "rb", "rc", "nope")
+	if err != nil {
+		t.Fatalf("readonly: %v", err)
+	}
+	if snap < ver {
+		t.Errorf("snapshot timestamp %d below the commit %d it must reflect", snap, ver)
+	}
+	for k, v := range in {
+		if got[k] != v {
+			t.Errorf("%s = %q, want %q", k, got[k], v)
+		}
+	}
+	if got["nope"] != "" {
+		t.Errorf("unwritten key = %q, want \"\"", got["nope"])
+	}
+	if _, _, err := cl.ReadOnly(); err != nil {
+		t.Errorf("empty read-only: %v", err)
+	}
+}
+
+// TestSessionTMin checks the session t_min lifecycle: it starts at zero,
+// advances with every observed commit and snapshot timestamp, merges
+// external constraints, and resets per session.
+func TestSessionTMin(t *testing.T) {
+	_, cl := startPair(t, 2, 1)
+	if cl.TMin() != 0 {
+		t.Fatalf("fresh session t_min = %d, want 0", cl.TMin())
+	}
+	ver, err := cl.Put("tm", "v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.TMin() < ver {
+		t.Errorf("t_min %d did not advance to put version %d", cl.TMin(), ver)
+	}
+	_, snap, err := cl.ReadOnly("tm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.TMin() < snap {
+		t.Errorf("t_min %d did not advance to snapshot %d", cl.TMin(), snap)
+	}
+	before := cl.TMin()
+	cl.SetTMin(before - 1) // merging an older constraint is a no-op
+	if cl.TMin() != before {
+		t.Errorf("t_min regressed to %d from %d", cl.TMin(), before)
+	}
+	cl.SetTMin(before + 5)
+	if cl.TMin() != before+5 {
+		t.Errorf("t_min = %d after external merge, want %d", cl.TMin(), before+5)
+	}
+	cl.ResetSession()
+	if cl.TMin() != 0 {
+		t.Errorf("t_min = %d after session reset, want 0", cl.TMin())
+	}
+	// The session floor survives into requests: a snapshot read after
+	// observing a write must reflect it even though sessions are fresh.
+	if _, _, err := cl.ReadOnly("tm"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFenceAdvancesTMin: the fence response carries the server's TrueTime
+// upper bound (§5.1), which must be merged into the session t_min so the
+// composition guarantee covers the snapshot-read path.
+func TestFenceAdvancesTMin(t *testing.T) {
+	_, cl := startPair(t, 2, 1)
+	if err := cl.Fence(); err != nil {
+		t.Fatal(err)
+	}
+	fenced := cl.TMin()
+	if fenced == 0 {
+		t.Fatal("fence did not advance t_min")
+	}
+	// A snapshot read after the fence is served at or above the fence
+	// timestamp.
+	_, snap, err := cl.ReadOnly("unwritten-fence-key")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = snap // snapshot of an unwritten key may be 0; the floor is on t_read
+	if cl.TMin() < fenced {
+		t.Errorf("t_min %d regressed below fence timestamp %d", cl.TMin(), fenced)
+	}
+}

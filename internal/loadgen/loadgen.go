@@ -47,8 +47,14 @@ type Config struct {
 	// TxnFrac is the fraction of operations that are read-write
 	// transactions (TxnReads reads + TxnWrites writes at one commit).
 	TxnFrac float64
+	// ROFrac is the fraction of operations that are lock-free snapshot
+	// read-only transactions (BatchSize keys via kvclient.ReadOnly).
+	// Their latencies are sampled separately so the tail-latency win
+	// over the lock-based MultiGet baseline is measurable.
+	ROFrac float64
 	// MultiFrac is the fraction of operations that are batched multi-key
-	// reads or writes (half each).
+	// reads or writes (half each). The reads are the lock-based MultiGet
+	// baseline that ROFrac's snapshot reads are compared against.
 	MultiFrac float64
 	// TxnReads and TxnWrites size each transaction's footprint.
 	TxnReads, TxnWrites int
@@ -102,6 +108,12 @@ type Result struct {
 	Elapsed time.Duration
 	// Latency samples every operation's latency in microseconds.
 	Latency stats.Sample
+	// ROLatency samples the lock-free snapshot read-only transactions
+	// only; MultiGetLatency the lock-based read-only baseline; RWLatency
+	// every mutating operation (puts, multi-puts, read-write commits).
+	// Comparing ROLatency's tail against MultiGetLatency's under
+	// contention is the §5 measurement.
+	ROLatency, MultiGetLatency, RWLatency stats.Sample
 }
 
 // Throughput returns completed operations per wall-clock second.
@@ -112,13 +124,32 @@ func (r *Result) Throughput() float64 {
 	return float64(r.Ops) / r.Elapsed.Seconds()
 }
 
+// opKind classifies operations for the split latency samples; the
+// recorded core.OpType cannot distinguish the two read-only shapes
+// (snapshot ReadOnly and lock-based MultiGet are both core.ROTxn).
+type opKind uint8
+
+const (
+	kindOther    opKind = iota // single-key gets and fences
+	kindRO                     // lock-free snapshot read-only transactions
+	kindMultiGet               // lock-based multi-key reads (the baseline)
+	kindRW                     // puts, multi-puts, read-write commits
+)
+
+// clientRun is one application process's recorded operations with their
+// latency classification (parallel slices).
+type clientRun struct {
+	ops   []*core.Op
+	kinds []opKind
+}
+
 // Run drives cfg's workload and returns the recorded history. The caller
 // decides which model to check it against (core.RSS for the serving
 // layer's contract).
 func Run(cfg Config) (*Result, error) {
 	cfg.Defaults()
 	start := time.Now()
-	perClient := make([][]*core.Op, cfg.Clients)
+	perClient := make([]clientRun, cfg.Clients)
 	errs := make([]error, cfg.Clients)
 	var wg sync.WaitGroup
 	for c := 0; c < cfg.Clients; c++ {
@@ -133,14 +164,23 @@ func Run(cfg Config) (*Result, error) {
 
 	res := &Result{H: &history.History{}, Elapsed: elapsed}
 	var id int64
-	for _, ops := range perClient {
-		for _, op := range ops {
+	for _, cr := range perClient {
+		for i, op := range cr.ops {
 			id++
 			op.ID = id
 			res.H.Add(op)
-			res.Latency.AddFloat(float64(op.Respond-op.Invoke) / 1e3) // ns → µs
+			lat := float64(op.Respond-op.Invoke) / 1e3 // ns → µs
+			res.Latency.AddFloat(lat)
+			switch cr.kinds[i] {
+			case kindRO:
+				res.ROLatency.AddFloat(lat)
+			case kindMultiGet:
+				res.MultiGetLatency.AddFloat(lat)
+			case kindRW:
+				res.RWLatency.AddFloat(lat)
+			}
 		}
-		res.Ops += len(ops)
+		res.Ops += len(cr.ops)
 	}
 	for c, err := range errs {
 		if err != nil {
@@ -150,12 +190,13 @@ func Run(cfg Config) (*Result, error) {
 	return res, nil
 }
 
-// runClient is one application process: a private pipelined client and a
-// deterministic operation stream.
-func runClient(cfg Config, c int, start time.Time) ([]*core.Op, error) {
+// runClient is one application process: a private pipelined client (and
+// thus its own t_min session) and a deterministic operation stream.
+func runClient(cfg Config, c int, start time.Time) (clientRun, error) {
+	var cr clientRun
 	cl, err := kvclient.Dial(cfg.Addr, kvclient.Options{Conns: cfg.Conns})
 	if err != nil {
-		return nil, err
+		return cr, err
 	}
 	defer cl.Close()
 
@@ -179,9 +220,16 @@ func runClient(cfg Config, c int, start time.Time) ([]*core.Op, error) {
 		return t
 	}
 
-	ops := make([]*core.Op, 0, cfg.OpsPerClient)
+	record := func(op *core.Op, kind opKind) {
+		op.Respond = now()
+		cr.ops = append(cr.ops, op)
+		cr.kinds = append(cr.kinds, kind)
+	}
+	cr.ops = make([]*core.Op, 0, cfg.OpsPerClient)
+	cr.kinds = make([]opKind, 0, cfg.OpsPerClient)
 	for i := 0; i < cfg.OpsPerClient; i++ {
 		op := &core.Op{Client: c, Service: "rsskvd", Respond: core.Pending}
+		kind := kindOther
 		var err error
 		switch p := rng.Float64(); {
 		case cfg.FenceEvery > 0 && i > 0 && i%cfg.FenceEvery == 0:
@@ -189,10 +237,10 @@ func runClient(cfg Config, c int, start time.Time) ([]*core.Op, error) {
 			op.Invoke = now()
 			err = cl.Fence()
 		case p < cfg.TxnFrac:
-			op.Type = core.RWTxn
+			op.Type, kind = core.RWTxn, kindRW
 			txn, e := cl.Begin()
 			if e != nil {
-				return ops, e
+				return cr, e
 			}
 			for r := 0; r < cfg.TxnReads; r++ {
 				txn.Read(key())
@@ -206,37 +254,42 @@ func runClient(cfg Config, c int, start time.Time) ([]*core.Op, error) {
 			}
 			op.Invoke = now()
 			op.Reads, op.Version, err = txn.Commit()
-		case p < cfg.TxnFrac+cfg.MultiFrac/2:
-			op.Type = core.ROTxn
+		case p < cfg.TxnFrac+cfg.ROFrac:
+			// Lock-free snapshot read, recorded as an atomic multi-read.
+			op.Type, kind = core.ROTxn, kindRO
+			keys := batchKeys(cfg.BatchSize, key)
+			op.Invoke = now()
+			op.Reads, op.Version, err = cl.ReadOnly(keys...)
+		case p < cfg.TxnFrac+cfg.ROFrac+cfg.MultiFrac/2:
+			op.Type, kind = core.ROTxn, kindMultiGet
 			keys := batchKeys(cfg.BatchSize, key)
 			op.Invoke = now()
 			op.Reads, op.Version, err = cl.MultiGet(keys...)
-		case p < cfg.TxnFrac+cfg.MultiFrac:
-			op.Type = core.RWTxn
+		case p < cfg.TxnFrac+cfg.ROFrac+cfg.MultiFrac:
+			op.Type, kind = core.RWTxn, kindRW
 			op.Writes = map[string]string{}
 			for _, k := range batchKeys(cfg.BatchSize, key) {
 				op.Writes[k] = value()
 			}
 			op.Invoke = now()
 			op.Version, err = cl.MultiPut(op.Writes)
-		case p < cfg.TxnFrac+cfg.MultiFrac+(1-cfg.TxnFrac-cfg.MultiFrac)/2:
+		case p < cfg.TxnFrac+cfg.ROFrac+cfg.MultiFrac+(1-cfg.TxnFrac-cfg.ROFrac-cfg.MultiFrac)/2:
 			op.Type = core.Read
 			op.Key = key()
 			op.Invoke = now()
 			op.Value, op.Version, err = cl.Get(op.Key)
 		default:
-			op.Type = core.Write
+			op.Type, kind = core.Write, kindRW
 			op.Key, op.Value = key(), value()
 			op.Invoke = now()
 			op.Version, err = cl.Put(op.Key, op.Value)
 		}
 		if err != nil {
-			return ops, err
+			return cr, err
 		}
-		op.Respond = now()
-		ops = append(ops, op)
+		record(op, kind)
 	}
-	return ops, nil
+	return cr, nil
 }
 
 // batchKeys draws n distinct keys (fewer if the keyspace is smaller).

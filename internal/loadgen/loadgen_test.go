@@ -1,0 +1,72 @@
+package loadgen
+
+import (
+	"testing"
+
+	"rsskv/internal/core"
+	"rsskv/internal/history"
+	"rsskv/internal/server"
+)
+
+func startServer(t *testing.T, cfg server.Config) *server.Server {
+	t.Helper()
+	srv := server.New(cfg)
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// TestRunWithROFractionIsRSS is the acceptance loop: a mixed workload with
+// snapshot read-only transactions records a history the RSS checker
+// accepts, with the split latency samples populated.
+func TestRunWithROFractionIsRSS(t *testing.T) {
+	srv := startServer(t, server.Config{Shards: 4})
+	res, err := Run(Config{
+		Addr:         srv.Addr(),
+		Clients:      6,
+		OpsPerClient: 250,
+		Keys:         32, // small keyspace forces conflicts
+		TxnFrac:      0.2,
+		ROFrac:       0.2,
+		MultiFrac:    0.2,
+		Seed:         3,
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if res.ROLatency.N() == 0 || res.MultiGetLatency.N() == 0 || res.RWLatency.N() == 0 {
+		t.Fatalf("latency samples not split: ro=%d multiget=%d rw=%d",
+			res.ROLatency.N(), res.MultiGetLatency.N(), res.RWLatency.N())
+	}
+	if res.ROLatency.N()+res.MultiGetLatency.N()+res.RWLatency.N() > res.Latency.N() {
+		t.Fatal("split samples exceed the total sample")
+	}
+	if err := history.Check(res.H, core.RSS); err != nil {
+		t.Errorf("history is not RSS: %v", err)
+	}
+}
+
+// TestRunChaosStaleReadsRejected is the fault-injection acceptance: the
+// same workload against a server serving stale snapshot reads must record
+// a history the RSS checker rejects.
+func TestRunChaosStaleReadsRejected(t *testing.T) {
+	srv := startServer(t, server.Config{Shards: 4, ChaosStaleReads: true})
+	res, err := Run(Config{
+		Addr:         srv.Addr(),
+		Clients:      6,
+		OpsPerClient: 250,
+		Keys:         16, // small keyspace: snapshot reads hit written keys
+		ROFrac:       0.4,
+		Seed:         4,
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if err := history.Check(res.H, core.RSS); err == nil {
+		t.Fatal("RSS checker accepted a history recorded against a stale-reads server")
+	} else {
+		t.Logf("checker correctly rejected: %v", err)
+	}
+}

@@ -209,6 +209,14 @@ func (m *Manager) conflict(ls *lockState, req Request) Outcome {
 		m.wounded[t] = true
 		m.pendingWounds = append(m.pendingWounds, t)
 	}
+	// Enqueueing by priority can change the head of the queue: a shared
+	// request that compatible() refused because an exclusive was queued
+	// may itself land AHEAD of that exclusive, leaving an admissible head
+	// with no future release to promote it — a missed wakeup that parks
+	// the (older) request forever and deadlocks wound-wait, which relies
+	// on older transactions always making progress. Re-promote now; the
+	// grant, if any, is delivered through the normal Flush path.
+	m.promote(req.Key)
 	return Waiting
 }
 
@@ -351,4 +359,18 @@ func (m *Manager) HeldKeys(txn TxnID) []string {
 	out := append([]string(nil), m.held[txn]...)
 	sort.Strings(out)
 	return out
+}
+
+// DebugDump prints the lock table through printf (diagnostics).
+func (m *Manager) DebugDump(printf func(format string, args ...any)) {
+	for k, ls := range m.locks {
+		printf("key %q:", k)
+		for _, h := range ls.holders {
+			printf("  holder %v mode=%d prio=%d prepared=%v wounded=%v", h.txn, h.mode, h.prio, m.prepared[h.txn], m.wounded[h.txn])
+		}
+		for _, q := range ls.queue {
+			printf("  queued %v mode=%d prio=%d wounded=%v", q.Txn, q.Mode, q.Prio, m.wounded[q.Txn])
+		}
+	}
+	printf("pendingGrants=%d pendingWounds=%d", len(m.pendingGrants), len(m.pendingWounds))
 }

@@ -1,0 +1,290 @@
+package server
+
+import (
+	"fmt"
+	"time"
+
+	"rsskv/internal/truetime"
+	"rsskv/internal/wire"
+)
+
+// This file is the live-server port of the paper's read-only transaction
+// protocol (§5, Algorithms 1 and 2), from the simulator's internal/spanner
+// shard and client. A snapshot read never touches the lock table and can
+// never be wounded:
+//
+//	server    pick t_read = max(TT.now().latest, client t_min) and fan
+//	          the key set out to its shards
+//	shard     promise no future commit at or below t_read (advance
+//	          maxTS), then compute the conflicting prepared set P with
+//	          t_p ≤ t_read and its blocking subset B — preparers required
+//	          by causality (t_p ≤ t_min) or possibly already finished
+//	          (t_ee ≤ t_read). Wait for B only; read each key's version
+//	          at t_read; skip the rest of P, subscribing to their
+//	          outcomes (watchers)
+//	server    compute t_snap = max over keys of the observed version
+//	          timestamps (Algorithm 1 line 14); any skipped preparer with
+//	          t_p ≤ t_snap could fall inside the snapshot, so wait for
+//	          its outcome and, if it committed at t_c ≤ t_snap, fold its
+//	          buffered writes in (§6 optimization 1); finally return each
+//	          key's newest version at or below t_snap, and t_snap itself
+//	          so the client advances its session t_min
+//
+// Because t_read is drawn at the server after every previously-completed
+// write has finished commit wait, any conflicting write that completed
+// before the snapshot read was invoked is visible at t_read — condition
+// (3) of RSS. Preparers skipped under the B-rule are exactly those that
+// cannot have completed yet and are not causally required, which is what
+// lets the read return without waiting out concurrent two-phase commits.
+
+// chaosStaleness is how far -chaos=stale-reads lowers t_read below the
+// present. Any conflicting write that completed within this window before
+// the read makes the recorded history violate RSS, which is the point: the
+// checker must reject a server that serves stale snapshots.
+const chaosStaleness = 10 * time.Millisecond
+
+// maxTMinLead bounds how far a request's t_min may lead this server's
+// clock and still be waited out (cross-server clock skew, §4.2); beyond
+// it the request is rejected as malformed.
+const maxTMinLead = time.Second
+
+// roWaiter is one shard's portion of a snapshot read. It parks on the
+// shard (s.roBlocked) while its blocking set await is non-empty; the reply
+// channel is buffered so shard loops never block sending it.
+type roWaiter struct {
+	keys  []string
+	tread truetime.Timestamp
+	tmin  truetime.Timestamp
+	chaos bool // serve immediately, ignoring the prepared set
+
+	// pset is P: conflicting prepared transactions with t_p ≤ t_read at
+	// arrival. await is its blocking subset B; entries are removed as
+	// they resolve.
+	pset  map[uint64]bool
+	await map[uint64]bool
+
+	reply chan roShardReply
+}
+
+// roVal is a versioned read result, shard → coordinator.
+type roVal struct {
+	key, value string
+	ts         truetime.Timestamp
+}
+
+// roSkip is a prepared transaction the shard skipped (Algorithm 2's
+// RSS-mode reply): the coordinator must consult ch before placing the
+// snapshot at or after tp.
+type roSkip struct {
+	txnID uint64
+	tp    truetime.Timestamp
+	ch    <-chan prepOutcome
+}
+
+type roShardReply struct {
+	vals    []roVal
+	skipped []roSkip
+}
+
+// roRead starts one shard's portion of a snapshot read. Loop-only.
+func (s *shard) roRead(w *roWaiter) {
+	if w.chaos {
+		// Fault injection: no safe-time promise, no blocking, no watch —
+		// read whatever the store has at the (stale) t_read.
+		s.roReply(w)
+		return
+	}
+	// Leader-lease safe time: promise no future commit at or below t_read
+	// (Algorithm 2 line 4; immediate at a single leader).
+	if w.tread > s.maxTS {
+		s.maxTS = w.tread
+	}
+	keys := make(map[string]bool, len(w.keys))
+	for _, k := range w.keys {
+		keys[k] = true
+	}
+	w.pset = make(map[uint64]bool)
+	w.await = make(map[uint64]bool)
+	for id, p := range s.prepared {
+		if p.tp > w.tread || !conflictsKeys(p.writes, keys) {
+			continue
+		}
+		w.pset[id] = true
+		// B (Algorithm 2 line 6): required by causality (t_p ≤ t_min) or
+		// possibly finished before the read began (t_ee ≤ t_read).
+		if p.tp <= w.tmin || p.tee <= w.tread {
+			w.await[id] = true
+		}
+	}
+	if len(w.await) == 0 {
+		s.roReply(w)
+		return
+	}
+	s.srv.stats.ROBlocked.Add(1)
+	s.roBlocked = append(s.roBlocked, w)
+}
+
+func conflictsKeys(writes []wire.KV, keys map[string]bool) bool {
+	for _, kv := range writes {
+		if keys[kv.Key] {
+			return true
+		}
+	}
+	return false
+}
+
+// roReply serves the shard's versioned reads at t_read and subscribes the
+// coordinator to every still-prepared member of P it skipped (Algorithm 2
+// lines 8–10). Loop-only; runs once w's blocking set has drained.
+func (s *shard) roReply(w *roWaiter) {
+	reply := roShardReply{vals: make([]roVal, 0, len(w.keys))}
+	for _, k := range w.keys {
+		v := s.store.ReadAt(k, w.tread)
+		reply.vals = append(reply.vals, roVal{key: k, value: v.Value, ts: v.TS})
+	}
+	for id := range w.pset {
+		p := s.prepared[id]
+		if p == nil {
+			continue // resolved while we waited on B
+		}
+		s.srv.stats.ROSkips.Add(1)
+		ch := make(chan prepOutcome, 1)
+		p.watchers = append(p.watchers, ch)
+		reply.skipped = append(reply.skipped, roSkip{txnID: id, tp: p.tp, ch: ch})
+	}
+	w.reply <- reply
+}
+
+// readOnly coordinates a snapshot read-only transaction across shards and
+// renders the response. Runs on its own goroutine per request, like the
+// 2PC coordinator.
+func (srv *Server) readOnly(req *wire.Request, cw *connWriter) {
+	tmin := truetime.Timestamp(req.TMin)
+	tread := srv.clock.Now().Latest
+	if tmin > tread {
+		// Every timestamp this server mints has passed (commit wait)
+		// before a client learns it, so a session's t_min can lead this
+		// clock only by cross-server skew (a t_min propagated from
+		// another service, §4.2). Wait out a bounded lead rather than
+		// serving at t_min directly: advancing the shards' safe-time
+		// floors to an arbitrary future t_read would stall every later
+		// write on those shards in commit wait, so an implausible lead
+		// is a protocol violation, not a reason to wait — reject it
+		// (otherwise one hostile frame is a denial of service).
+		if tmin-tread > truetime.Timestamp(maxTMinLead) {
+			cw.send(&wire.Response{
+				ID: req.ID, Op: req.Op,
+				Err: fmt.Sprintf("t_min %d implausibly far ahead of server clock %d", tmin, tread),
+			})
+			return
+		}
+		srv.clock.WaitUntilAfter(tmin)
+		tread = srv.clock.Now().Latest
+	}
+	chaos := srv.cfg.ChaosStaleReads
+	if chaos {
+		// Serve an artificially stale snapshot and ignore both the
+		// session floor and the prepared set. The RSS checker must
+		// reject histories recorded against this server.
+		tread -= truetime.Timestamp(chaosStaleness)
+		if tread < 0 {
+			tread = 0
+		}
+	}
+
+	// Fan out to shards (dedup keys, preserving first-occurrence order
+	// for the response).
+	seen := make(map[string]bool, len(req.Keys))
+	keys := make([]string, 0, len(req.Keys))
+	byShard := make(map[*shard][]string)
+	for _, k := range req.Keys {
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		keys = append(keys, k)
+		s := srv.shardFor(k)
+		byShard[s] = append(byShard[s], k)
+	}
+	if len(keys) == 0 {
+		cw.send(&wire.Response{ID: req.ID, Op: req.Op, OK: true, Version: int64(tread)})
+		srv.stats.ROs.Add(1)
+		return
+	}
+
+	replyCh := make(chan roShardReply, len(byShard))
+	for s, ks := range byShard {
+		s, w := s, &roWaiter{keys: ks, tread: tread, tmin: tmin, chaos: chaos, reply: replyCh}
+		if !s.run(func() { s.roRead(w) }) {
+			cw.send(&wire.Response{ID: req.ID, Op: req.Op, Err: errClosed.Error()})
+			return
+		}
+	}
+	vals := make(map[string][]roVal, len(keys))
+	var skipped []roSkip
+	for range byShard {
+		select {
+		case r := <-replyCh:
+			for _, v := range r.vals {
+				vals[v.key] = append(vals[v.key], v)
+			}
+			skipped = append(skipped, r.skipped...)
+		case <-srv.quit:
+			cw.send(&wire.Response{ID: req.ID, Op: req.Op, Err: errClosed.Error()})
+			return
+		}
+	}
+
+	// t_snap (Algorithm 1 lines 14–20): the earliest timestamp at which
+	// every key has its observed value — the max over keys of the
+	// fast-path version timestamps.
+	var tsnap truetime.Timestamp
+	for _, vs := range vals {
+		if vs[0].ts > tsnap {
+			tsnap = vs[0].ts
+		}
+	}
+
+	// Algorithm 1 lines 9–12 and 21–23: a skipped preparer with
+	// t_p ≤ t_snap could commit inside the snapshot; wait for its outcome
+	// and fold committed writes in. Skipped preparers with t_p > t_snap
+	// serialize after the snapshot and are ignored.
+	for i := 0; i < len(skipped); i++ {
+		sk := skipped[i]
+		if sk.tp > tsnap {
+			continue
+		}
+		select {
+		case out := <-sk.ch:
+			if out.committed {
+				for _, kv := range out.writes {
+					if seen[kv.Key] {
+						vals[kv.Key] = append(vals[kv.Key], roVal{key: kv.Key, value: kv.Value, ts: out.tc})
+					}
+				}
+			}
+		case <-srv.quit:
+			cw.send(&wire.Response{ID: req.ID, Op: req.Op, Err: errClosed.Error()})
+			return
+		}
+	}
+
+	// Render: each key's newest version at or below t_snap.
+	resp := &wire.Response{ID: req.ID, Op: req.Op, OK: true, Version: int64(tsnap)}
+	resp.KVs = make([]wire.KV, 0, len(keys))
+	for _, k := range keys {
+		var best roVal
+		best.ts = -1
+		for _, v := range vals[k] {
+			if v.ts <= tsnap && v.ts > best.ts {
+				best = v
+			}
+		}
+		if best.ts < 0 {
+			best.value = "" // the paper's null: no version at or below t_snap
+		}
+		resp.KVs = append(resp.KVs, wire.KV{Key: k, Value: best.value})
+	}
+	srv.stats.ROs.Add(1)
+	cw.send(resp)
+}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"rsskv/internal/locks"
+	"rsskv/internal/truetime"
 	"rsskv/internal/wire"
 )
 
@@ -19,18 +20,41 @@ type Config struct {
 	Shards int
 	// MaxFrame bounds accepted request frames (default wire.MaxFrame).
 	MaxFrame int
+	// Epsilon is the TrueTime uncertainty bound ε of the server's wall
+	// clock. A single-host server is its own time authority and can run
+	// with 0 (the default); a deployment trusting an external sync bound
+	// sets it, paying ~2ε of commit wait per mutation.
+	Epsilon time.Duration
+	// CommitEstimate is the estimated duration of the commit phase, used
+	// to advertise a transaction's earliest end time t_ee (§5): snapshot
+	// reads must wait for conflicting preparers whose t_ee has passed,
+	// because those may already be finished. Responses are withheld until
+	// t_ee passes, so a larger estimate trades read-write latency for
+	// fewer snapshot-read waits. The default 0 adds no wait: commit wait
+	// already outlasts a zero-estimate t_ee.
+	CommitEstimate time.Duration
+	// ChaosStaleReads is fault injection for the checker: snapshot reads
+	// are served at an artificially lowered t_read and skip the prepared
+	// set entirely, so recorded histories with read-only transactions
+	// violate RSS. Never enable outside tests and chaos runs.
+	ChaosStaleReads bool
 }
 
-// Stats are cumulative operation counters, updated atomically.
+// Stats are cumulative operation counters, updated atomically. ROs counts
+// snapshot read-only transactions; ROBlocked counts shard-level waits on
+// the blocking set B, and ROSkips counts prepared transactions skipped
+// under the RSS rule (§5) — reads a lock-based server would have blocked.
 type Stats struct {
 	Gets, Puts, Commits, Aborts, Fences, Conns atomic.Int64
+	ROs, ROBlocked, ROSkips                    atomic.Int64
 }
 
 // Server is a sharded key-value server speaking the wire protocol.
 type Server struct {
 	cfg    Config
+	clock  *truetime.WallClock
 	shards []*shard
-	seq    atomic.Int64 // transaction IDs, priorities, and commit timestamps
+	seq    atomic.Int64 // transaction IDs and wound-wait priorities
 	stats  Stats
 
 	quit chan struct{}
@@ -54,6 +78,7 @@ func New(cfg Config) *Server {
 	}
 	srv := &Server{
 		cfg:    cfg,
+		clock:  truetime.NewWallClock(cfg.Epsilon),
 		quit:   make(chan struct{}),
 		conns:  map[net.Conn]struct{}{},
 		active: map[uint64]struct{}{},
@@ -192,10 +217,10 @@ func (srv *Server) isClosed() bool {
 // and responses return in completion order, matched by request ID.
 func (srv *Server) handleConn(nc net.Conn) {
 	cw := newConnWriter(nc)
-	br := bufio.NewReaderSize(nc, 64<<10)
+	fr := wire.NewFrameReader(bufio.NewReaderSize(nc, 64<<10), srv.cfg.MaxFrame)
 	var pending sync.WaitGroup
 	for {
-		req, err := wire.ReadRequest(br, srv.cfg.MaxFrame)
+		req, err := fr.ReadRequest()
 		if err != nil {
 			break
 		}
@@ -235,6 +260,12 @@ func (srv *Server) dispatch(req *wire.Request, cw *connWriter, pending *sync.Wai
 		go func() {
 			defer pending.Done()
 			srv.commit(req, cw)
+		}()
+	case wire.OpROTxn:
+		pending.Add(1)
+		go func() {
+			defer pending.Done()
+			srv.readOnly(req, cw)
 		}()
 	case wire.OpFence:
 		pending.Add(1)
@@ -278,8 +309,10 @@ func (srv *Server) commit(req *wire.Request, cw *connWriter) {
 
 // fence is the real-time fence: a barrier through every shard's apply
 // loop, so every operation the server accepted before the fence has been
-// applied when the fence responds. The server is strictly serializable,
-// making this stronger than the RSS fence contract of §4.1 requires.
+// applied when the fence responds. The response carries the server's
+// current TT.now().latest, the Spanner-RSS fence timestamp of §5.1:
+// merging it into a session's t_min guarantees every later snapshot read,
+// on any session that inherits the t_min, reflects all pre-fence state.
 func (srv *Server) fence(req *wire.Request, cw *connWriter) {
 	done := make(chan struct{}, len(srv.shards))
 	for _, s := range srv.shards {
@@ -294,7 +327,10 @@ func (srv *Server) fence(req *wire.Request, cw *connWriter) {
 		}
 	}
 	srv.stats.Fences.Add(1)
-	cw.send(&wire.Response{ID: req.ID, Op: req.Op, OK: true})
+	cw.send(&wire.Response{
+		ID: req.ID, Op: req.Op, OK: true,
+		Version: int64(srv.clock.Now().Latest),
+	})
 }
 
 // admitTxn registers a transaction ID as executing, rejecting duplicates

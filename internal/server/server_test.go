@@ -305,3 +305,157 @@ func TestHalfCloseDeliversResponses(t *testing.T) {
 		}
 	}
 }
+
+// TestReadOnlyEndToEnd drives concurrent read-write transactions and
+// lock-free snapshot reads at a hot keyspace over real sockets, records
+// the history, and requires the checker to accept it — the closed loop
+// for the §5 read-only path.
+func TestReadOnlyEndToEnd(t *testing.T) {
+	srv := startServer(t, 4)
+	res, err := loadgen.Run(loadgen.Config{
+		Addr:         srv.Addr(),
+		Clients:      8,
+		OpsPerClient: 300,
+		Keys:         48, // small keyspace forces conflicts
+		TxnFrac:      0.25,
+		ROFrac:       0.25,
+		MultiFrac:    0.1,
+		FenceEvery:   64,
+		Seed:         7,
+	})
+	if err != nil {
+		t.Fatalf("loadgen: %v", err)
+	}
+	if res.ROLatency.N() == 0 {
+		t.Fatal("workload produced no snapshot read-only transactions")
+	}
+	if got := srv.Stats().ROs.Load(); got == 0 {
+		t.Fatal("server served no snapshot read-only transactions")
+	}
+	if err := history.Check(res.H, core.RSS); err != nil {
+		t.Errorf("history is not RSS: %v", err)
+	}
+}
+
+// TestSessionTMinMonotonicReads checks the session guarantee the t_min
+// machinery provides: a snapshot read always reflects every write and
+// snapshot the same session already observed, and snapshot timestamps
+// never regress within a session.
+func TestSessionTMinMonotonicReads(t *testing.T) {
+	srv := startServer(t, 4)
+	cl := dial(t, srv, 2)
+	var lastSnap int64
+	for i := 0; i < 200; i++ {
+		k := fmt.Sprintf("sess-%d", i%5)
+		want := strconv.Itoa(i)
+		if _, err := cl.Put(k, want); err != nil {
+			t.Fatal(err)
+		}
+		vals, snap, err := cl.ReadOnly(k, fmt.Sprintf("sess-%d", (i+1)%5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if vals[k] != want {
+			t.Fatalf("iter %d: snapshot read %s = %q, want %q", i, k, vals[k], want)
+		}
+		if snap < lastSnap {
+			t.Fatalf("iter %d: snapshot timestamp regressed: %d after %d", i, snap, lastSnap)
+		}
+		lastSnap = snap
+	}
+	if cl.TMin() < lastSnap {
+		t.Fatalf("session t_min %d below last snapshot %d", cl.TMin(), lastSnap)
+	}
+}
+
+// TestChaosStaleReadsRejected is the fault-injection loop in miniature: a
+// server with -chaos=stale-reads serves a snapshot read at a lowered
+// t_read without waiting on preparers, so a write that completed before
+// the read goes missing and the RSS checker must reject the two-operation
+// history. The operations are recorded exactly as loadgen records them.
+func TestChaosStaleReadsRejected(t *testing.T) {
+	srv := server.New(server.Config{Shards: 2, ChaosStaleReads: true})
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	cl, err := kvclient.Dial(srv.Addr(), kvclient.Options{Conns: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cl.Close)
+
+	h := &history.History{}
+	ver, err := cl.Put("chaos-k", "v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Add(&core.Op{
+		ID: 1, Client: 0, Service: "rsskvd", Type: core.Write,
+		Key: "chaos-k", Value: "v1", Version: ver,
+		Invoke: 10, Respond: 20,
+	})
+	// Immediately after the put (well inside the chaos staleness window)
+	// the snapshot read must miss it.
+	vals, snap, err := cl.ReadOnly("chaos-k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals["chaos-k"] == "v1" {
+		t.Skip("chaos window elapsed before the read; nothing to assert")
+	}
+	h.Add(&core.Op{
+		ID: 2, Client: 1, Service: "rsskvd", Type: core.ROTxn,
+		Reads: map[string]string{"chaos-k": vals["chaos-k"]}, Version: snap,
+		Invoke: 30, Respond: 40,
+	})
+	if err := history.Check(h, core.RSS); err == nil {
+		t.Fatal("RSS checker accepted a history with a stale snapshot read")
+	} else {
+		t.Logf("checker correctly rejected: %v", err)
+	}
+}
+
+// TestRONeverAborts: snapshot reads take no locks, so unlike MultiGet they
+// can never be wounded — even against a storm of conflicting writers.
+func TestRONeverAborts(t *testing.T) {
+	srv := startServer(t, 2)
+	stop := make(chan struct{})
+	var writers sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		writers.Add(1)
+		go func(g int) {
+			defer writers.Done()
+			cl := dial(t, srv, 1)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				kvs := map[string]string{
+					"ro-hot-a": fmt.Sprintf("g%d-%d", g, i),
+					"ro-hot-b": fmt.Sprintf("g%d-%d", g, i),
+				}
+				if _, err := cl.MultiPut(kvs); err != nil {
+					return
+				}
+			}
+		}(g)
+	}
+	rcl := dial(t, srv, 1)
+	for i := 0; i < 300; i++ {
+		vals, _, err := rcl.ReadOnly("ro-hot-a", "ro-hot-b")
+		if err != nil {
+			t.Fatalf("read-only under write storm: %v", err)
+		}
+		if vals["ro-hot-a"] != vals["ro-hot-b"] {
+			t.Fatalf("torn snapshot: a=%q b=%q", vals["ro-hot-a"], vals["ro-hot-b"])
+		}
+	}
+	close(stop)
+	writers.Wait()
+	if aborts := srv.Stats().ROs.Load(); aborts < 300 {
+		t.Errorf("ro counter = %d, want >= 300", aborts)
+	}
+}

@@ -9,13 +9,28 @@
 // closures and wait on reply channels, which is the socket-world analogue
 // of the simulator's single-threaded event handlers.
 //
+// The server is timestamp-native. Every mutation is assigned a TrueTime
+// commit timestamp (truetime.WallClock) drawn while all its locks are
+// held, floored by the shard's maxTS — the shard's promise that no future
+// commit lands at or below any timestamp it has already assigned or
+// served a snapshot at. Writes are applied into the multi-version store at
+// their commit timestamps, and responses are withheld until the timestamp
+// has definitely passed (commit wait), so commit-timestamp order extends
+// real-time order: the read-write path is strictly serializable.
+//
 // Single-key reads and writes are one-shot transactions that fast-path
 // inside a single loop iteration when their lock is free. Multi-key
 // operations run two-phase commit with strict two-phase locking and
-// wound-wait across shards (see txn.go). Every mutation draws its commit
-// timestamp from one global sequencer while holding all its locks, so the
-// server is strictly serializable — which implies RSS, the property the
-// recorded histories are checked against.
+// wound-wait across shards (see txn.go): participants choose prepare
+// timestamps and enter the shard's prepared set, the coordinator picks the
+// commit timestamp as their maximum, and applies release the locks.
+//
+// Read-only transactions (see ro.go) never touch the lock table: they are
+// served from the version store at a snapshot timestamp, waiting only for
+// the prepared transactions §5's blocking rule requires — the t_min /
+// t_safe machinery of the paper, ported from the simulator's
+// internal/spanner shard. The recorded histories of both paths are checked
+// against RSS.
 package server
 
 import (
@@ -47,6 +62,29 @@ type waiter struct {
 	shard   int
 }
 
+// prepEntry is one member of the shard's prepared set P (§5, Algorithm 2):
+// a transaction that has passed prepare here but whose commit decision has
+// not yet been applied. Its writes are buffered so snapshot reads that skip
+// it can be completed from the buffer once the commit timestamp is known
+// (§6 optimization 1).
+type prepEntry struct {
+	tp     truetime.Timestamp // prepare timestamp: lower bound on t_c
+	tee    truetime.Timestamp // earliest end time of the transaction
+	writes []wire.KV
+	// watchers are RO coordinators that skipped this transaction and
+	// subscribed to its outcome; each channel is buffered for the single
+	// outcome event.
+	watchers []chan<- prepOutcome
+}
+
+// prepOutcome is a prepared transaction's resolution, delivered to RO
+// watchers and used to unblock parked snapshot reads.
+type prepOutcome struct {
+	committed bool
+	tc        truetime.Timestamp
+	writes    []wire.KV // this shard's write set (coordinator filters keys)
+}
+
 // shard is one partition of the keyspace.
 type shard struct {
 	id      int
@@ -55,20 +93,70 @@ type shard struct {
 	store   *mvstore.Store
 	lm      *locks.Manager
 	waiters map[locks.TxnID]*waiter
+
+	// maxTS is the shard's safe-time floor: strictly below every future
+	// prepare or commit timestamp this shard will assign. Serving a
+	// snapshot read at t_read advances it to t_read (the leader-lease
+	// promise of §5), which is what makes "no conflicting preparer with
+	// t_p ≤ t_read" a stable condition rather than a race.
+	maxTS truetime.Timestamp
+	// prepared is the prepared set P, keyed by transaction ID.
+	prepared map[uint64]*prepEntry
+	// roBlocked are parked snapshot reads waiting on their blocking set B.
+	roBlocked []*roWaiter
 }
 
 func newShard(id int, srv *Server) *shard {
 	s := &shard{
-		id:      id,
-		srv:     srv,
-		ch:      make(chan func(), 256),
-		store:   mvstore.New(),
-		lm:      locks.NewManager(),
-		waiters: make(map[locks.TxnID]*waiter),
+		id:       id,
+		srv:      srv,
+		ch:       make(chan func(), 256),
+		store:    mvstore.New(),
+		lm:       locks.NewManager(),
+		waiters:  make(map[locks.TxnID]*waiter),
+		prepared: make(map[uint64]*prepEntry),
 	}
 	s.lm.OnGrant = s.onGrant
 	s.lm.OnWound = s.onWound
 	return s
+}
+
+// nextTS returns a fresh timestamp greater than every timestamp this shard
+// has assigned or promised (prepare timestamps, applied commit timestamps,
+// and snapshot read timestamps), and at least TT.now().latest. Loop-only.
+func (s *shard) nextTS() truetime.Timestamp {
+	ts := s.srv.clock.Now().Latest
+	if ts <= s.maxTS {
+		ts = s.maxTS + 1
+	}
+	s.maxTS = ts
+	return ts
+}
+
+// resolvePrepared removes a transaction from the prepared set, notifies RO
+// watchers of its outcome, and re-evaluates parked snapshot reads whose
+// blocking set included it. Loop-only; a no-op for transactions that never
+// prepared writes here.
+func (s *shard) resolvePrepared(txnID uint64, committed bool, tc truetime.Timestamp) {
+	p := s.prepared[txnID]
+	if p == nil {
+		return
+	}
+	delete(s.prepared, txnID)
+	out := prepOutcome{committed: committed, tc: tc, writes: p.writes}
+	for _, ch := range p.watchers {
+		ch <- out // buffered for exactly this send
+	}
+	kept := s.roBlocked[:0]
+	for _, w := range s.roBlocked {
+		delete(w.await, txnID)
+		if len(w.await) == 0 {
+			s.roReply(w)
+		} else {
+			kept = append(kept, w)
+		}
+	}
+	s.roBlocked = kept
 }
 
 // loop drains submitted closures until the server closes.
@@ -142,20 +230,30 @@ func (s *shard) get(req *wire.Request, cw *connWriter, done func()) {
 	s.acquireOne(txn, req.Key, locks.Shared, apply)
 }
 
-// put serves a single-key write: take an exclusive lock, draw a commit
-// timestamp, install the version, release.
+// put serves a single-key write: take an exclusive lock, draw a TrueTime
+// commit timestamp, install the version, release. The response is withheld
+// until the timestamp has definitely passed (commit wait) — off the apply
+// loop, so a wait never stalls the shard; with a nanosecond-resolution
+// clock the wait has usually elapsed by the time the store write lands.
 func (s *shard) put(req *wire.Request, cw *connWriter, done func()) {
 	txn := s.srv.newTxnID()
 	apply := func() {
-		defer done()
-		ts := truetime.Timestamp(s.srv.nextSeq())
+		ts := s.nextTS()
 		s.store.Write(req.Key, req.Value, ts)
 		s.lm.ReleaseAll(txn)
-		cw.send(&wire.Response{
-			ID: req.ID, Op: req.Op, OK: true, Version: int64(ts),
-		})
 		s.lm.Flush()
 		s.srv.stats.Puts.Add(1)
+		resp := &wire.Response{ID: req.ID, Op: req.Op, OK: true, Version: int64(ts)}
+		if s.srv.clock.After(ts) {
+			cw.send(resp)
+			done()
+			return
+		}
+		go func() {
+			defer done()
+			s.srv.clock.WaitUntilAfter(ts)
+			cw.send(resp)
+		}()
 	}
 	s.acquireOne(txn, req.Key, locks.Exclusive, apply)
 }

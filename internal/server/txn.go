@@ -78,19 +78,25 @@ func (srv *Server) plan(txn locks.TxnID, readKeys []string, writeKVs []wire.KV) 
 
 // runTxn executes a one-shot transaction: read every key in readKeys and
 // install every write in writeKVs, atomically. It implements two-phase
-// commit over the shard apply loops with strict two-phase locking:
+// commit over the shard apply loops with strict two-phase locking and
+// TrueTime commit timestamps (§5):
 //
 //	lock    acquire the whole footprint on every shard (wound-wait
 //	        arbitrates conflicts; acquisition is concurrent across shards)
 //	prepare mark the transaction unwoundable everywhere, or abort if a
-//	        wound already landed
-//	apply   draw one commit timestamp, read, then write, on every shard
-//	release drop all locks (submitted before the response is sent, so a
-//	        client's next operation on these keys queues behind it)
+//	        wound already landed; each shard chooses a prepare timestamp
+//	        t_p above its safe-time floor and, if it owns writes, enters
+//	        the transaction into its prepared set with the advertised
+//	        earliest end time t_ee
+//	apply   commit at t_c = max t_p: read the pre-state, install the
+//	        writes at t_c, advance the shard's safe-time floor, resolve
+//	        the prepared entry (waking snapshot reads), release locks
+//	wait    commit wait: respond only once t_c (and t_ee) have definitely
+//	        passed, so commit-timestamp order extends real-time order
 //
 // Locks are held from before the first read until after the last write on
-// every shard, so transactions serialize in commit-timestamp order and
-// partial writes are never visible.
+// every shard, so conflicting transactions serialize in commit-timestamp
+// order and partial writes are never visible.
 func (srv *Server) runTxn(txnID uint64, readKeys []string, writeKVs []wire.KV) (reads []wire.KV, version int64, err error) {
 	if txnID == 0 {
 		txnID = uint64(srv.nextSeq())
@@ -103,7 +109,7 @@ func (srv *Server) runTxn(txnID uint64, readKeys []string, writeKVs []wire.KV) (
 	txn := locks.TxnID{Seq: txnID}
 	p := srv.plan(txn, readKeys, writeKVs)
 	if len(p.shards) == 0 {
-		return nil, srv.nextSeq(), nil // empty transaction
+		return nil, int64(srv.clock.Now().Latest), nil // empty transaction
 	}
 
 	// Lock phase. notify is buffered for one grant plus one wound per
@@ -139,35 +145,55 @@ func (srv *Server) runTxn(txnID uint64, readKeys []string, writeKVs []wire.KV) (
 	}
 
 	// Prepare phase: wounds race with the final grants above, so each
-	// shard atomically either observes the wound or forecloses it.
-	prepCh := make(chan bool, len(p.shards))
+	// shard atomically either observes the wound or forecloses it. Every
+	// shard chooses its prepare timestamp t_p above its safe-time floor —
+	// the promise behind snapshot reads — and write owners enter the
+	// prepared set so concurrent snapshot reads can see (and wait for or
+	// skip) this transaction.
+	tee := srv.clock.Now().Earliest + truetime.Timestamp(srv.cfg.CommitEstimate)
+	type prepResult struct {
+		ok bool
+		tp truetime.Timestamp
+	}
+	prepCh := make(chan prepResult, len(p.shards))
 	for _, sid := range p.shards {
-		s := srv.shards[sid]
+		s, wkvs := srv.shards[sid], p.writes[sid]
 		s.run(func() {
 			if s.lm.Wounded(txn) {
-				prepCh <- false
+				prepCh <- prepResult{}
 				return
 			}
 			s.lm.SetPrepared(txn)
-			prepCh <- true
+			tp := s.nextTS()
+			if len(wkvs) > 0 {
+				s.prepared[txnID] = &prepEntry{tp: tp, tee: tee, writes: wkvs}
+			}
+			prepCh <- prepResult{ok: true, tp: tp}
 		})
 	}
+	var tc truetime.Timestamp
 	for range p.shards {
 		select {
-		case ok := <-prepCh:
-			if !ok {
+		case pr := <-prepCh:
+			if !pr.ok {
 				return nil, 0, srv.abortTxn(txn, p)
+			}
+			if pr.tp > tc {
+				tc = pr.tp
 			}
 		case <-srv.quit:
 			return nil, 0, errClosed
 		}
 	}
 
-	// Apply phase: the commit timestamp is drawn while every lock in the
-	// footprint is held, which makes timestamp order, lock order, and
-	// real-time order agree. Reads run before writes so a transaction
-	// reads the pre-state of keys it also writes.
-	ts := truetime.Timestamp(srv.nextSeq())
+	// Apply phase: commit at t_c, the maximum prepare timestamp — above
+	// every involved shard's safe-time floor, and chosen while every lock
+	// in the footprint is held, which makes timestamp order, lock order,
+	// and real-time order agree. Reads run before writes so a transaction
+	// reads the pre-state of keys it also writes; resolving the prepared
+	// entry wakes snapshot reads and watchers, and the locks are released
+	// in the same loop iteration so no operation can observe the window
+	// between them.
 	applyCh := make(chan []wire.KV, len(p.shards))
 	for _, sid := range p.shards {
 		s, rks, wkvs := srv.shards[sid], p.reads[sid], p.writes[sid]
@@ -177,8 +203,15 @@ func (srv *Server) runTxn(txnID uint64, readKeys []string, writeKVs []wire.KV) (
 				kvs = append(kvs, wire.KV{Key: k, Value: s.store.Latest(k).Value})
 			}
 			for _, kv := range wkvs {
-				s.store.Write(kv.Key, kv.Value, ts)
+				s.store.Write(kv.Key, kv.Value, tc)
 			}
+			if tc > s.maxTS {
+				s.maxTS = tc
+			}
+			s.resolvePrepared(txnID, true, tc)
+			delete(s.waiters, txn)
+			s.lm.ReleaseAll(txn)
+			s.lm.Flush()
 			applyCh <- kvs
 		})
 	}
@@ -194,17 +227,16 @@ func (srv *Server) runTxn(txnID uint64, readKeys []string, writeKVs []wire.KV) (
 		}
 	}
 
-	// Release phase: submitted (not awaited) before the caller responds;
-	// shard channels are FIFO, so any later operation from this client
-	// queues behind the release.
-	for _, sid := range p.shards {
-		s := srv.shards[sid]
-		s.run(func() {
-			delete(s.waiters, txn)
-			s.lm.ReleaseAll(txn)
-			s.lm.Flush()
-		})
+	// Commit wait (§5, [22]): the response is the client's proof the
+	// transaction finished, so it may not be sent until t_c has
+	// definitely passed — that is what lets snapshot reads trust that a
+	// completed write's timestamp is below any later-drawn t_read — nor
+	// until the advertised earliest end time t_ee has passed.
+	wait := tc
+	if tee > wait {
+		wait = tee
 	}
+	srv.clock.WaitUntilAfter(wait)
 
 	// Return read results in request order (dedup preserved the first
 	// occurrence of each key).
@@ -216,18 +248,21 @@ func (srv *Server) runTxn(txnID uint64, readKeys []string, writeKVs []wire.KV) (
 		emitted[k] = true
 		reads = append(reads, wire.KV{Key: k, Value: byKey[k]})
 	}
-	return reads, int64(ts), nil
+	return reads, int64(tc), nil
 }
 
 // abortTxn releases the transaction's locks and queued requests on every
-// involved shard, waits for the releases to land, and reports errAborted.
-// ReleaseAll clears the wounded mark, so a retry under the same ID (and
-// thus the same wound-wait priority) starts clean but keeps its age.
+// involved shard, resolves any prepared entries as aborted (waking
+// snapshot reads that were blocked on them), waits for the releases to
+// land, and reports errAborted. ReleaseAll clears the wounded mark, so a
+// retry under the same ID (and thus the same wound-wait priority) starts
+// clean but keeps its age.
 func (srv *Server) abortTxn(txn locks.TxnID, p *txnPlan) error {
 	done := make(chan struct{}, len(p.shards))
 	for _, sid := range p.shards {
 		s := srv.shards[sid]
 		s.run(func() {
+			s.resolvePrepared(txn.Seq, false, 0)
 			delete(s.waiters, txn)
 			s.lm.ReleaseAll(txn)
 			s.lm.Flush()

@@ -11,10 +11,17 @@
 // uncertainty bound ε (10 ms in the wide-area experiments, 0 in the
 // overhead experiments) and a per-node constant skew drawn uniformly from
 // [-ε/2, +ε/2], which keeps true time strictly inside the reported interval.
+//
+// Two clock implementations share the Timestamp/Interval vocabulary: Clock
+// runs on virtual simulation time (and never reads the wall clock), while
+// WallClock backs the live serving layer (internal/server) with the host's
+// monotonic clock at nanosecond resolution.
 package truetime
 
 import (
 	"math/rand"
+	"runtime"
+	"time"
 
 	"rsskv/internal/sim"
 )
@@ -83,4 +90,54 @@ func (c *Clock) UntilAfter(now sim.Time, t Timestamp) sim.Time {
 		return 0
 	}
 	return target - now
+}
+
+// WallClock is the live server's TrueTime instance: real (host) time at
+// nanosecond resolution with a configurable uncertainty bound ε. Timestamps
+// are nanoseconds since the Unix epoch, but advance on the host's monotonic
+// clock so they never step backwards within a process. ε models the bound a
+// real deployment gets from clock synchronization; a single-host server can
+// run with ε = 0.
+//
+// A WallClock is immutable after construction and safe for concurrent use.
+type WallClock struct {
+	base time.Time // carries the monotonic reading
+	unix Timestamp // Unix nanoseconds at base
+	eps  Timestamp
+}
+
+// NewWallClock returns a wall clock with uncertainty bound eps.
+func NewWallClock(eps time.Duration) *WallClock {
+	now := time.Now()
+	return &WallClock{base: now, unix: Timestamp(now.UnixNano()), eps: Timestamp(eps)}
+}
+
+// Epsilon returns the configured uncertainty bound.
+func (c *WallClock) Epsilon() time.Duration { return time.Duration(c.eps) }
+
+// Now returns the current TrueTime interval.
+func (c *WallClock) Now() Interval {
+	local := c.unix + Timestamp(time.Since(c.base))
+	return Interval{Earliest: local - c.eps, Latest: local + c.eps}
+}
+
+// After reports whether t has definitely passed: TT.now().earliest > t.
+func (c *WallClock) After(t Timestamp) bool { return c.Now().Earliest > t }
+
+// WaitUntilAfter blocks until After(t) holds — Spanner's commit wait. Long
+// waits sleep; the final stretch spins, because commit timestamps usually
+// trail real time by well under the scheduler's sleep granularity.
+func (c *WallClock) WaitUntilAfter(t Timestamp) {
+	const spinWindow = Timestamp(100 * time.Microsecond)
+	for {
+		remaining := t - c.Now().Earliest
+		if remaining < 0 {
+			return
+		}
+		if remaining > spinWindow {
+			time.Sleep(time.Duration(remaining - spinWindow/2))
+			continue
+		}
+		runtime.Gosched()
+	}
 }

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"rsskv/internal/sim"
 )
@@ -88,5 +89,45 @@ func TestBefore(t *testing.T) {
 	}
 	if c.Before(now, lat) {
 		t.Error("Before(latest) = true; bound must be strict")
+	}
+}
+
+func TestWallClockMonotonic(t *testing.T) {
+	c := NewWallClock(0)
+	prev := c.Now()
+	for i := 0; i < 10000; i++ {
+		cur := c.Now()
+		if cur.Latest < prev.Latest {
+			t.Fatalf("wall clock went backwards: %d after %d", cur.Latest, prev.Latest)
+		}
+		prev = cur
+	}
+}
+
+func TestWallClockInterval(t *testing.T) {
+	eps := 5 * time.Millisecond
+	c := NewWallClock(eps)
+	iv := c.Now()
+	if got := iv.Latest - iv.Earliest; got != 2*Timestamp(eps) {
+		t.Errorf("interval width = %d, want %d", got, 2*Timestamp(eps))
+	}
+	if c.Epsilon() != eps {
+		t.Errorf("Epsilon = %v, want %v", c.Epsilon(), eps)
+	}
+}
+
+func TestWallClockWaitUntilAfter(t *testing.T) {
+	c := NewWallClock(0)
+	// A timestamp already in the past returns immediately.
+	past := c.Now().Latest - Timestamp(time.Millisecond)
+	c.WaitUntilAfter(past)
+	if !c.After(past) {
+		t.Fatal("After(past) = false after WaitUntilAfter")
+	}
+	// A near-future timestamp (the common commit-wait case) is waited out.
+	target := c.Now().Latest + Timestamp(200*time.Microsecond)
+	c.WaitUntilAfter(target)
+	if !c.After(target) {
+		t.Fatal("After(target) = false after WaitUntilAfter")
 	}
 }

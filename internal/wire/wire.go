@@ -47,6 +47,12 @@ const (
 	// OpMultiPut writes a batch of keys atomically (a write-only
 	// transaction).
 	OpMultiPut
+	// OpROTxn reads a batch of keys as a lock-free snapshot read-only
+	// transaction (§5): the server picks a read timestamp no lower than
+	// the request's TMin, serves versioned reads without acquiring locks,
+	// and returns the snapshot timestamp in Response.Version so the client
+	// can advance its session t_min.
+	OpROTxn
 )
 
 func (o Op) String() string {
@@ -65,11 +71,13 @@ func (o Op) String() string {
 		return "multi-get"
 	case OpMultiPut:
 		return "multi-put"
+	case OpROTxn:
+		return "ro-txn"
 	}
 	return fmt.Sprintf("op(%d)", uint8(o))
 }
 
-func (o Op) valid() bool { return o >= OpGet && o <= OpMultiPut }
+func (o Op) valid() bool { return o >= OpGet && o <= OpROTxn }
 
 // KV is a key-value pair in a batched write or a batched read result.
 type KV struct {
@@ -89,10 +97,14 @@ type Request struct {
 	// Key and Value are the OpGet / OpPut operands.
 	Key   string
 	Value string
-	// Keys is the read set (OpCommit) or the batch (OpMultiGet).
+	// Keys is the read set (OpCommit) or the batch (OpMultiGet, OpROTxn).
 	Keys []string
 	// KVs is the write set (OpCommit) or the batch (OpMultiPut).
 	KVs []KV
+	// TMin is the client session's minimum read timestamp on OpROTxn
+	// (§5, Algorithm 1): the server serves the snapshot at a read
+	// timestamp no lower than TMin, preserving the session's causality.
+	TMin int64
 }
 
 // Response is a server→client message.
@@ -167,6 +179,7 @@ func AppendRequest(buf []byte, r *Request) []byte {
 		buf = appendString(buf, kv.Key)
 		buf = appendString(buf, kv.Value)
 	}
+	buf = binary.AppendVarint(buf, r.TMin)
 	return buf
 }
 
@@ -194,6 +207,7 @@ func DecodeRequest(payload []byte) (*Request, error) {
 			r.KVs[i].Value = d.string()
 		}
 	}
+	r.TMin = d.varint()
 	if err := d.finish(); err != nil {
 		return nil, err
 	}
@@ -328,6 +342,78 @@ func ReadRequest(r io.Reader, max int) (*Request, error) {
 // ReadResponse reads and decodes one framed response.
 func ReadResponse(r io.Reader, max int) (*Response, error) {
 	payload, err := ReadFrame(r, max)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeResponse(payload)
+}
+
+// FrameReader reads frames from one connection into a reusable payload
+// buffer, so a long-lived connection stops paying one allocation per frame
+// (ReadFrame allocates a fresh payload each call). Safe because the
+// decoders copy every string they hand out; the buffer is overwritten by
+// the next Read call. A FrameReader is not safe for concurrent use — it
+// belongs to the single goroutine draining a connection.
+type FrameReader struct {
+	r   io.Reader
+	max int
+	buf []byte
+}
+
+// NewFrameReader wraps r with frame limit max (MaxFrame if max <= 0). The
+// caller provides buffering (e.g. a bufio.Reader).
+func NewFrameReader(r io.Reader, max int) *FrameReader {
+	if max <= 0 {
+		max = MaxFrame
+	}
+	return &FrameReader{r: r, max: max}
+}
+
+// ReadFrame reads one frame's payload into the shared buffer. The returned
+// slice is valid only until the next call on this FrameReader.
+func (fr *FrameReader) ReadFrame() ([]byte, error) {
+	var hdr [lenSize]byte
+	if _, err := io.ReadFull(fr.r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := int(binary.BigEndian.Uint32(hdr[:]))
+	if n > fr.max {
+		return nil, fmt.Errorf("%w: %d > %d", ErrFrameTooLarge, n, fr.max)
+	}
+	if cap(fr.buf) < n {
+		// Grow geometrically so a ramp of frame sizes settles quickly,
+		// without committing every connection to max-sized buffers.
+		grow := 2 * cap(fr.buf)
+		if grow < n {
+			grow = n
+		}
+		if grow > fr.max {
+			grow = fr.max
+		}
+		fr.buf = make([]byte, grow)
+	}
+	payload := fr.buf[:n]
+	if _, err := io.ReadFull(fr.r, payload); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	return payload, nil
+}
+
+// ReadRequest reads and decodes one framed request via the shared buffer.
+func (fr *FrameReader) ReadRequest() (*Request, error) {
+	payload, err := fr.ReadFrame()
+	if err != nil {
+		return nil, err
+	}
+	return DecodeRequest(payload)
+}
+
+// ReadResponse reads and decodes one framed response via the shared buffer.
+func (fr *FrameReader) ReadResponse() (*Response, error) {
+	payload, err := fr.ReadFrame()
 	if err != nil {
 		return nil, err
 	}

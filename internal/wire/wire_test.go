@@ -21,7 +21,9 @@ func sampleRequests() []*Request {
 		{ID: 6, Op: OpFence},
 		{ID: 7, Op: OpMultiGet, Keys: []string{"x", "y", "z"}},
 		{ID: 8, Op: OpMultiPut, KVs: []KV{{"x", "vx"}}},
-		{ID: 1<<64 - 1, Op: OpGet, Key: "", Value: ""}, // extreme ID, empty strings
+		{ID: 9, Op: OpROTxn, Keys: []string{"x", "y"}, TMin: 1<<62 - 1},
+		{ID: 10, Op: OpROTxn, Keys: []string{"x"}, TMin: -3}, // negative t_min survives zig-zag
+		{ID: 1<<64 - 1, Op: OpGet, Key: "", Value: ""},       // extreme ID, empty strings
 	}
 }
 
@@ -38,6 +40,7 @@ func sampleResponses() []*Response {
 		{ID: 8, Op: OpMultiGet, OK: true, KVs: []KV{{"x", "vx"}}},
 		{ID: 9, Op: OpMultiPut, OK: true, Version: 45},
 		{ID: 10, Op: OpPut, OK: false, Err: "server closed", Version: -1},
+		{ID: 11, Op: OpROTxn, OK: true, Version: 46, KVs: []KV{{"x", "vx"}, {"y", ""}}},
 	}
 }
 
@@ -205,5 +208,102 @@ func TestCountBomb(t *testing.T) {
 	payload = binary.AppendUvarint(payload, 1<<40) // Keys count bomb
 	if _, err := DecodeRequest(payload); !errors.Is(err, ErrBadMessage) {
 		t.Errorf("count bomb: got %v, want ErrBadMessage", err)
+	}
+}
+
+// TestFrameReaderStream checks that the buffer-reusing reader decodes a
+// pipelined stream identically to the allocating reader, including frames
+// that force the shared buffer to grow.
+func TestFrameReaderStream(t *testing.T) {
+	var buf bytes.Buffer
+	reqs := sampleRequests()
+	// A large frame in the middle exercises buffer growth; small frames
+	// after it exercise reuse of the grown buffer.
+	reqs = append(reqs, &Request{ID: 100, Op: OpPut, Key: "big", Value: string(make([]byte, 32<<10))})
+	reqs = append(reqs, sampleRequests()...)
+	for _, r := range reqs {
+		if err := WriteRequest(&buf, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fr := NewFrameReader(&buf, 0)
+	for i, want := range reqs {
+		got, err := fr.ReadRequest()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("frame %d mismatch: got %+v want %+v", i, got, want)
+		}
+	}
+	if _, err := fr.ReadRequest(); err != io.EOF {
+		t.Fatalf("after last frame: got %v, want io.EOF", err)
+	}
+}
+
+// TestFrameReaderLimits checks that the shared-buffer reader enforces the
+// frame limit and surfaces truncation like ReadFrame does.
+func TestFrameReaderLimits(t *testing.T) {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], 100)
+	if _, err := NewFrameReader(bytes.NewReader(hdr[:]), 64).ReadFrame(); !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("over limit: got %v, want ErrFrameTooLarge", err)
+	}
+	var buf bytes.Buffer
+	if err := WriteRequest(&buf, &Request{ID: 1, Op: OpPut, Key: "k", Value: "v"}); err != nil {
+		t.Fatal(err)
+	}
+	whole := buf.Bytes()
+	if _, err := NewFrameReader(bytes.NewReader(whole[:len(whole)-1]), 0).ReadFrame(); err != io.ErrUnexpectedEOF {
+		t.Errorf("cut payload: got %v, want io.ErrUnexpectedEOF", err)
+	}
+	if _, err := NewFrameReader(bytes.NewReader(nil), 0).ReadFrame(); err != io.EOF {
+		t.Errorf("empty stream: got %v, want io.EOF", err)
+	}
+}
+
+// benchFrames returns one iteration's worth of encoded request frames: a
+// typical pipelined mix of small ops and commit batches.
+func benchFrames(b *testing.B) []byte {
+	var stream bytes.Buffer
+	req := &Request{Op: OpCommit, ID: 7, TxnID: 42,
+		Keys: []string{"alpha", "beta"},
+		KVs:  []KV{{"gamma", "value-1"}, {"delta", "value-2"}}}
+	for i := 0; i < 64; i++ {
+		if err := WriteRequest(&stream, req); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return stream.Bytes()
+}
+
+// BenchmarkReadRequestAlloc is the per-frame-allocation baseline (the old
+// connection read path): every frame allocates a fresh payload buffer.
+func BenchmarkReadRequestAlloc(b *testing.B) {
+	frames := benchFrames(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := bytes.NewReader(frames)
+		for j := 0; j < 64; j++ {
+			if _, err := ReadRequest(r, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkFrameReaderRequest is the reused-buffer connection read path.
+func BenchmarkFrameReaderRequest(b *testing.B) {
+	frames := benchFrames(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fr := NewFrameReader(bytes.NewReader(frames), 0)
+		for j := 0; j < 64; j++ {
+			if _, err := fr.ReadRequest(); err != nil {
+				b.Fatal(err)
+			}
+		}
 	}
 }
