@@ -4,7 +4,11 @@ package main
 // instead of the simulator: serve runs an in-process rsskvd, and loadgen
 // fires concurrent pipelined clients at a server over real sockets,
 // records the operation history, and verifies it against the paper's RSS
-// checker — live traffic in, checked consistency model out.
+// checker — live traffic in, checked consistency model out. With
+// -replicas=N the hosted server puts a replication group under every
+// shard and serves snapshot reads from followers bounded by the
+// replicated t_safe; with -chaos=<mode> exactly one RSS condition is
+// broken and the run succeeds only if the checker rejects the history.
 
 import (
 	"flag"
@@ -23,6 +27,7 @@ import (
 var (
 	addr       = flag.String("addr", "", "server address; loadgen: empty starts an in-process server")
 	shards     = flag.Int("shards", 8, "shard count for the in-process server")
+	replicas   = flag.Int("replicas", 1, "copies per shard for the in-process server; >1 serves snapshot reads from followers")
 	clients    = flag.Int("clients", 16, "concurrent client processes")
 	ops        = flag.Int("ops", 20000, "total operations across all clients")
 	keys       = flag.Int("keys", 512, "keyspace size")
@@ -33,36 +38,44 @@ var (
 	fenceEvery = flag.Int("fence-every", 0, "insert a fence every N ops per client (0 = never)")
 	seed       = flag.Int64("seed", 1, "workload seed")
 	noCheck    = flag.Bool("nocheck", false, "skip the RSS history check")
+	epsilon    = flag.Duration("eps", 0, "hosted server's TrueTime uncertainty bound ε")
 	commitEst  = flag.Duration("commit-est", 0, "hosted server's t_ee estimate; >0 lets snapshot reads skip concurrent preparers (§5) at the cost of delaying commit responses until the estimate passes")
-	chaos      = flag.String("chaos", "", "fault injection for the hosted server; 'stale-reads' serves snapshot reads at a lowered t_read so the RSS check must reject")
+	chaos      = flag.String("chaos", "", "fault injection for the hosted server: stale-reads | delayed-applies | dropped-lock-release | lost-commit-wait (the run succeeds only if the RSS check rejects)")
 )
 
-func validateChaos() {
-	if *chaos != "" && *chaos != "stale-reads" {
-		fmt.Fprintf(os.Stderr, "unknown -chaos mode %q (supported: stale-reads)\n", *chaos)
+// serverConfig assembles the hosted server's Config from the flags,
+// including the chaos mode and its observability prerequisites.
+func serverConfig() server.Config {
+	cfg := server.Config{
+		Shards:         *shards,
+		Replicas:       *replicas,
+		Epsilon:        *epsilon,
+		CommitEstimate: *commitEst,
+	}
+	warn := func(f string, a ...any) { fmt.Fprintf(os.Stderr, f+"\n", a...) }
+	if err := cfg.ApplyChaosMode(*chaos, warn); err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	return cfg
 }
 
 // serveCmd runs an in-process rsskvd until interrupted.
 func serveCmd() {
-	validateChaos()
+	cfg := serverConfig()
 	a := *addr
 	if a == "" {
 		a = ":7365"
 	}
-	srv := server.New(server.Config{
-		Shards:          *shards,
-		CommitEstimate:  *commitEst,
-		ChaosStaleReads: *chaos == "stale-reads",
-	})
+	srv := server.New(cfg)
 	if err := srv.Start(a); err != nil {
 		fmt.Fprintf(os.Stderr, "serve: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "serving on %s with %d shards (ctrl-c to stop)\n", srv.Addr(), srv.Shards())
+	fmt.Fprintf(os.Stderr, "serving on %s with %d shards x %d replicas (ctrl-c to stop)\n",
+		srv.Addr(), srv.Shards(), srv.Replicas())
 	if *chaos != "" {
-		fmt.Fprintf(os.Stderr, "CHAOS MODE %q: serving deliberately stale snapshot reads\n", *chaos)
+		fmt.Fprintf(os.Stderr, "CHAOS MODE %q: recorded histories will violate RSS\n", *chaos)
 	}
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
@@ -71,31 +84,28 @@ func serveCmd() {
 }
 
 // loadgenCmd drives a live server and checks the recorded history. With
-// -chaos=stale-reads the expectation inverts: the in-process server is
-// deliberately broken, so the run succeeds only if the checker rejects.
+// -chaos the expectation inverts: the in-process server is deliberately
+// broken, so the run succeeds only if the checker rejects.
 func loadgenCmd() {
-	validateChaos()
+	cfg := serverConfig()
 	target := *addr
 	var srv *server.Server
 	if target == "" {
-		srv = server.New(server.Config{
-			Shards:          *shards,
-			CommitEstimate:  *commitEst,
-			ChaosStaleReads: *chaos == "stale-reads",
-		})
+		srv = server.New(cfg)
 		if err := srv.Start("127.0.0.1:0"); err != nil {
 			fmt.Fprintf(os.Stderr, "loadgen: start server: %v\n", err)
 			os.Exit(1)
 		}
 		defer srv.Close()
 		target = srv.Addr()
-		fmt.Fprintf(os.Stderr, "started in-process server on %s (%d shards)\n", target, srv.Shards())
+		fmt.Fprintf(os.Stderr, "started in-process server on %s (%d shards x %d replicas)\n",
+			target, srv.Shards(), srv.Replicas())
 	} else if *chaos != "" {
 		fmt.Fprintln(os.Stderr, "loadgen: -chaos injects the fault into the in-process server; it cannot break a remote -addr server (start `rsskvd -chaos` or `rssbench serve -chaos` instead)")
 		os.Exit(2)
 	}
 
-	cfg := loadgen.Config{
+	lcfg := loadgen.Config{
 		Addr:         target,
 		Clients:      *clients,
 		OpsPerClient: (*ops + *clients - 1) / *clients,
@@ -107,14 +117,14 @@ func loadgenCmd() {
 		FenceEvery:   *fenceEvery,
 		Seed:         *seed,
 	}
-	res, err := loadgen.Run(cfg)
+	res, err := loadgen.Run(lcfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
 		os.Exit(1)
 	}
 
 	tbl := &stats.Table{
-		Title:   fmt.Sprintf("loadgen: %d clients x %d ops on %s", cfg.Clients, cfg.OpsPerClient, target),
+		Title:   fmt.Sprintf("loadgen: %d clients x %d ops on %s", lcfg.Clients, lcfg.OpsPerClient, target),
 		Columns: []string{"value"},
 	}
 	tbl.Add("ops completed", float64(res.Ops))
@@ -126,6 +136,11 @@ func loadgenCmd() {
 	if res.ROLatency.N() > 0 {
 		tbl.Add("ro-txn (snapshot) p50 us", res.ROLatency.Percentile(50))
 		tbl.Add("ro-txn (snapshot) p99 us", res.ROLatency.Percentile(99))
+	}
+	if res.FollowerROLatency.N() > 0 {
+		tbl.Add("ro-txn follower-served", float64(res.FollowerROs))
+		tbl.Add("ro-txn (follower) p50 us", res.FollowerROLatency.Percentile(50))
+		tbl.Add("ro-txn (follower) p99 us", res.FollowerROLatency.Percentile(99))
 	}
 	if res.MultiGetLatency.N() > 0 {
 		tbl.Add("multiget (locked) p50 us", res.MultiGetLatency.Percentile(50))
@@ -142,6 +157,10 @@ func loadgenCmd() {
 		tbl.Add("server ro-txns", float64(s.ROs.Load()))
 		tbl.Add("server ro blocked on prepares", float64(s.ROBlocked.Load()))
 		tbl.Add("server ro prepares skipped", float64(s.ROSkips.Load()))
+		if srv.Replicas() > 1 {
+			tbl.Add("server ro follower portions", float64(s.ROFollower.Load()))
+			tbl.Add("server ro leader fallbacks", float64(s.ROFallback.Load()))
+		}
 	}
 	emit(tbl)
 
@@ -165,7 +184,7 @@ func loadgenCmd() {
 	fmt.Println("history is regular-sequential-serializable (RSS): OK")
 	if err := history.Check(res.H, core.StrictSerializability); err != nil {
 		// Informational: on a single server the snapshot-read timestamp
-		// is drawn at the leader, so even the RO path is externally
+		// is drawn against one clock, so even the RO path is externally
 		// consistent; a failure here with RSS passing points at the
 		// fence or t_min machinery rather than the lock manager.
 		fmt.Fprintf(os.Stderr, "note: strict-serializability check failed: %v\n", err)

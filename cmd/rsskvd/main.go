@@ -1,12 +1,18 @@
 // Command rsskvd is the networked RSS key-value daemon: a sharded,
 // strictly serializable (hence RSS) key-value server speaking the wire
-// protocol of internal/wire. Drive it with internal/kvclient or
-// `rssbench loadgen`, which also verifies recorded histories with the
-// paper's checker.
+// protocol of internal/wire. With -replicas=N every shard leads a
+// replication group of N-1 followers and snapshot reads are served from
+// replicas bounded by the replicated t_safe. Drive it with
+// internal/kvclient or `rssbench loadgen`, which also verifies recorded
+// histories with the paper's checker.
 //
 // Usage:
 //
-//	rsskvd [-addr :7365] [-shards 8] [-stats 10s] [-chaos stale-reads]
+//	rsskvd [-addr :7365] [-shards 8] [-replicas 3] [-stats 10s] [-chaos mode]
+//
+// Chaos modes (each breaks exactly one RSS condition; recorded histories
+// must be rejected by the checker): stale-reads, delayed-applies,
+// dropped-lock-release, lost-commit-wait.
 package main
 
 import (
@@ -24,11 +30,12 @@ import (
 var (
 	addr      = flag.String("addr", ":7365", "listen address")
 	shards    = flag.Int("shards", 8, "number of keyspace shards")
+	replicas  = flag.Int("replicas", 1, "copies per shard including the leader; >1 serves snapshot reads from followers bounded by the replicated t_safe")
 	maxFrame  = flag.Int("maxframe", 0, "max accepted frame size in bytes (0 = default 1 MiB)")
 	statsEvy  = flag.Duration("stats", 10*time.Second, "stats logging interval (0 disables)")
 	epsilon   = flag.Duration("eps", 0, "TrueTime uncertainty bound ε (adds ~2ε commit wait per mutation)")
 	commitEst = flag.Duration("commit-est", 0, "advertised earliest-end-time estimate t_ee for commits; >0 lets snapshot reads skip concurrent preparers (§5) at the cost of delaying commit responses until the estimate passes")
-	chaos     = flag.String("chaos", "", "fault injection; 'stale-reads' serves snapshot reads at a lowered t_read so recorded histories violate RSS")
+	chaos     = flag.String("chaos", "", "fault injection: stale-reads | delayed-applies | dropped-lock-release | lost-commit-wait (recorded histories violate RSS)")
 )
 
 func main() {
@@ -37,23 +44,24 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unexpected argument %q\n", flag.Arg(0))
 		os.Exit(2)
 	}
-	if *chaos != "" && *chaos != "stale-reads" {
-		fmt.Fprintf(os.Stderr, "unknown -chaos mode %q (supported: stale-reads)\n", *chaos)
+	cfg := server.Config{
+		Shards:         *shards,
+		Replicas:       *replicas,
+		MaxFrame:       *maxFrame,
+		Epsilon:        *epsilon,
+		CommitEstimate: *commitEst,
+	}
+	if err := cfg.ApplyChaosMode(*chaos, func(f string, a ...any) { log.Printf("rsskvd: "+f, a...) }); err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	srv := server.New(server.Config{
-		Shards:          *shards,
-		MaxFrame:        *maxFrame,
-		Epsilon:         *epsilon,
-		CommitEstimate:  *commitEst,
-		ChaosStaleReads: *chaos == "stale-reads",
-	})
+	srv := server.New(cfg)
 	if err := srv.Start(*addr); err != nil {
 		log.Fatalf("rsskvd: %v", err)
 	}
-	log.Printf("rsskvd: listening on %s with %d shards", srv.Addr(), srv.Shards())
+	log.Printf("rsskvd: listening on %s with %d shards x %d replicas", srv.Addr(), srv.Shards(), srv.Replicas())
 	if *chaos != "" {
-		log.Printf("rsskvd: CHAOS MODE %q — serving deliberately stale snapshot reads", *chaos)
+		log.Printf("rsskvd: CHAOS MODE %q — recorded histories will violate RSS", *chaos)
 	}
 
 	stop := make(chan os.Signal, 1)
@@ -68,10 +76,15 @@ func main() {
 		select {
 		case <-tick:
 			s := srv.Stats()
-			log.Printf("rsskvd: conns=%d gets=%d puts=%d commits=%d aborts=%d fences=%d rotxns=%d roblocked=%d roskips=%d",
+			line := fmt.Sprintf("conns=%d gets=%d puts=%d commits=%d aborts=%d fences=%d rotxns=%d roblocked=%d roskips=%d",
 				s.Conns.Load(), s.Gets.Load(), s.Puts.Load(),
 				s.Commits.Load(), s.Aborts.Load(), s.Fences.Load(),
 				s.ROs.Load(), s.ROBlocked.Load(), s.ROSkips.Load())
+			if srv.Replicas() > 1 {
+				line += fmt.Sprintf(" rofollower=%d rofallback=%d replag=%s",
+					s.ROFollower.Load(), s.ROFallback.Load(), srv.ReplicationLag())
+			}
+			log.Printf("rsskvd: %s", line)
 		case sig := <-stop:
 			log.Printf("rsskvd: %v, shutting down", sig)
 			srv.Close()

@@ -197,6 +197,20 @@ func (c *Client) Put(key, value string) (version int64, err error) {
 	return resp.Version, nil
 }
 
+// ROResult is a snapshot read-only transaction's outcome.
+type ROResult struct {
+	// Vals maps each requested key to its value in the snapshot ("" for
+	// keys with no version at or below the snapshot timestamp).
+	Vals map[string]string
+	// Snapshot is the snapshot timestamp t_snap; it advances the
+	// session's t_min.
+	Snapshot int64
+	// Follower reports that the read was served entirely by follower
+	// replicas bounded by their replicated t_safe, with zero leader
+	// involvement.
+	Follower bool
+}
+
 // ReadOnly reads a batch of keys as a lock-free snapshot read-only
 // transaction (§5): the server serves a consistent snapshot no older than
 // the session's t_min, without lock acquisition — the read can never be
@@ -204,16 +218,27 @@ func (c *Client) Put(key, value string) (version int64, err error) {
 // returns the values ("" for keys with no version in the snapshot) and
 // the snapshot timestamp, which advances t_min.
 func (c *Client) ReadOnly(keys ...string) (map[string]string, int64, error) {
-	resp, err := c.do(&wire.Request{Op: wire.OpROTxn, Keys: keys, TMin: c.TMin()})
+	r, err := c.Snapshot(keys...)
 	if err != nil {
 		return nil, 0, err
+	}
+	return r.Vals, r.Snapshot, nil
+}
+
+// Snapshot is ReadOnly with the full result, including whether the read
+// was served from follower replicas (a replicated server's t_safe path)
+// rather than the shard leaders.
+func (c *Client) Snapshot(keys ...string) (ROResult, error) {
+	resp, err := c.do(&wire.Request{Op: wire.OpROTxn, Keys: keys, TMin: c.TMin()})
+	if err != nil {
+		return ROResult{}, err
 	}
 	c.SetTMin(resp.Version)
 	out := make(map[string]string, len(resp.KVs))
 	for _, kv := range resp.KVs {
 		out[kv.Key] = kv.Value
 	}
-	return out, resp.Version, nil
+	return ROResult{Vals: out, Snapshot: resp.Version, Follower: resp.Follower}, nil
 }
 
 // MultiGet reads a batch of keys atomically under shared locks (a

@@ -114,6 +114,13 @@ type Result struct {
 	// Comparing ROLatency's tail against MultiGetLatency's under
 	// contention is the §5 measurement.
 	ROLatency, MultiGetLatency, RWLatency stats.Sample
+	// FollowerROLatency samples the subset of snapshot reads served
+	// entirely by follower replicas (replicated t_safe path, no leader
+	// involvement); FollowerROs counts them. A follower read pays the
+	// watermark park on top of the round trip, which these percentiles
+	// make visible next to the leader-served ROLatency.
+	FollowerROLatency stats.Sample
+	FollowerROs       int
 }
 
 // Throughput returns completed operations per wall-clock second.
@@ -130,10 +137,11 @@ func (r *Result) Throughput() float64 {
 type opKind uint8
 
 const (
-	kindOther    opKind = iota // single-key gets and fences
-	kindRO                     // lock-free snapshot read-only transactions
-	kindMultiGet               // lock-based multi-key reads (the baseline)
-	kindRW                     // puts, multi-puts, read-write commits
+	kindOther      opKind = iota // single-key gets and fences
+	kindRO                       // lock-free snapshot read-only transactions
+	kindROFollower               // snapshot reads served entirely by follower replicas
+	kindMultiGet                 // lock-based multi-key reads (the baseline)
+	kindRW                       // puts, multi-puts, read-write commits
 )
 
 // clientRun is one application process's recorded operations with their
@@ -174,6 +182,10 @@ func Run(cfg Config) (*Result, error) {
 			switch cr.kinds[i] {
 			case kindRO:
 				res.ROLatency.AddFloat(lat)
+			case kindROFollower:
+				res.ROLatency.AddFloat(lat)
+				res.FollowerROLatency.AddFloat(lat)
+				res.FollowerROs++
 			case kindMultiGet:
 				res.MultiGetLatency.AddFloat(lat)
 			case kindRW:
@@ -259,7 +271,12 @@ func runClient(cfg Config, c int, start time.Time) (clientRun, error) {
 			op.Type, kind = core.ROTxn, kindRO
 			keys := batchKeys(cfg.BatchSize, key)
 			op.Invoke = now()
-			op.Reads, op.Version, err = cl.ReadOnly(keys...)
+			var ro kvclient.ROResult
+			ro, err = cl.Snapshot(keys...)
+			op.Reads, op.Version = ro.Vals, ro.Snapshot
+			if ro.Follower {
+				kind = kindROFollower
+			}
 		case p < cfg.TxnFrac+cfg.ROFrac+cfg.MultiFrac/2:
 			op.Type, kind = core.ROTxn, kindMultiGet
 			keys := batchKeys(cfg.BatchSize, key)

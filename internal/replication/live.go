@@ -1,0 +1,468 @@
+// Live primary/backup log replication for the serving layer
+// (internal/server), as opposed to the simulator-facing Leader/Acceptor in
+// replication.go. Each server shard is the primary of one Group: every
+// prepare, commit, and abort it applies is appended to a per-shard
+// replicated log, and Follower goroutines apply the entries in order into
+// their own multi-version stores.
+//
+// The piece that makes follower reads safe is the watermark every entry
+// carries: the leader's safe time at append — a timestamp w such that every
+// commit at or below w precedes the entry in the log and no future commit
+// will land at or below w. Once a follower has applied a prefix of the log
+// ending in watermark w, it holds every committed write with commit
+// timestamp ≤ w, so it may serve a snapshot read at any t_read ≤ w without
+// consulting the leader, a lock table, a prepared set, or the §5 blocking
+// rule — all of those are subsumed by the watermark. This replicated
+// t_safe is what turns the client t_min floor from belt-and-braces into a
+// load-bearing bound: a follower knows nothing about a session except what
+// the watermark and t_read ≥ t_min tell it.
+//
+// A read whose t_read is ahead of the replica's t_safe parks at the
+// follower until the watermark catches up (heartbeat entries keep it
+// moving on idle shards), bounded by the caller's timeout — the same
+// "replica waits for t_safe ≥ t_read" rule Spanner applies at
+// non-leader replicas.
+//
+// The transport is in-process (a buffered channel per follower) but the
+// protocol is asynchronous by design — the leader never blocks on a
+// follower, so a dead or slow backup degrades reads to leader-served
+// rather than stalling writes. Followers acknowledge applied watermarks
+// through an atomic the router reads; a follower whose acks stop (killed,
+// overflowed, or chaos-injected) simply stops attracting new reads.
+package replication
+
+import (
+	"sync/atomic"
+	"time"
+
+	"rsskv/internal/mvstore"
+	"rsskv/internal/truetime"
+	"rsskv/internal/wire"
+)
+
+// EntryKind classifies replicated log records.
+type EntryKind uint8
+
+const (
+	// EntryPrepare records a transaction entering the leader's prepared
+	// set. Followers apply no data for it; its watermark keeps t_safe
+	// advancing between commits.
+	EntryPrepare EntryKind = iota + 1
+	// EntryCommit records a commit: Writes are installed at TS.
+	EntryCommit
+	// EntryAbort records an aborted preparer leaving the prepared set.
+	EntryAbort
+	// EntryHeartbeat carries only a watermark, so an idle shard's
+	// followers keep a fresh t_safe and can serve newly-drawn read
+	// timestamps.
+	EntryHeartbeat
+)
+
+// Entry is one replicated log record.
+type Entry struct {
+	// Seq is the entry's position in the shard log, assigned by the
+	// leader; followers apply strictly in Seq order.
+	Seq uint64
+	// Kind selects prepare, commit, abort, or heartbeat.
+	Kind EntryKind
+	// TxnID identifies the transaction (0 for one-shot single-key puts
+	// and heartbeats).
+	TxnID uint64
+	// TS is the prepare timestamp of an EntryPrepare or the commit
+	// timestamp of an EntryCommit.
+	TS truetime.Timestamp
+	// Watermark is the leader's safe time at append: every committed
+	// write with commit timestamp ≤ Watermark is in the log at or before
+	// this entry, and no future commit lands at or below it. A follower
+	// that has applied through this entry may serve snapshot reads at any
+	// t_read ≤ Watermark.
+	Watermark truetime.Timestamp
+	// Writes is the commit's write set on this shard (nil otherwise).
+	Writes []wire.KV
+}
+
+// Val is one versioned read served by a follower.
+type Val struct {
+	Key, Value string
+	TS         truetime.Timestamp
+}
+
+// Transport depths. The leader never blocks: a follower more than
+// entryBuffer entries behind is detached instead (its reads fail over to
+// the leader), which is the asynchronous-backup liveness contract.
+const (
+	entryBuffer = 4096
+	readBuffer  = 256
+)
+
+// Chaos is fault injection for the replication layer, used only by tests
+// and -chaos runs.
+type Chaos struct {
+	// DelayedApplies makes every follower acknowledge an entry's
+	// watermark before applying its writes, then sleep ApplyDelay before
+	// the apply, and serve reads without parking on the local t_safe. The
+	// advertised t_safe runs ahead of the replica's actual state, so
+	// routed snapshot reads miss committed writes and recorded histories
+	// violate RSS — the checker must reject them.
+	DelayedApplies bool
+	// ApplyDelay is how long a delayed apply lags its acknowledgment.
+	ApplyDelay time.Duration
+}
+
+// Group is the replication group under one shard: the shard apply loop is
+// the primary and appends; Followers apply. Append is loop-only (single
+// appender); routing and reads are safe from any goroutine.
+type Group struct {
+	shard     int
+	followers []*Follower
+	nextSeq   uint64 // leader-loop only
+	rr        atomic.Uint64
+}
+
+// NewGroup builds a group with n followers for the given shard and starts
+// their apply goroutines. Unreplicated shards keep a nil *Group rather
+// than an empty one.
+func NewGroup(shard, n int, chaos Chaos) *Group {
+	g := &Group{shard: shard}
+	for i := 0; i < n; i++ {
+		f := &Follower{
+			id:    i,
+			shard: shard,
+			ch:    make(chan Entry, entryBuffer),
+			reads: make(chan readRequest, readBuffer),
+			store: mvstore.New(),
+			chaos: chaos,
+		}
+		f.alive.Store(true)
+		g.followers = append(g.followers, f)
+		go f.loop()
+	}
+	return g
+}
+
+// Followers returns the group's follower count.
+func (g *Group) Followers() int { return len(g.followers) }
+
+// Follower returns follower i (testing and kill hooks).
+func (g *Group) Follower(i int) *Follower {
+	if i < 0 || i >= len(g.followers) {
+		return nil
+	}
+	return g.followers[i]
+}
+
+// Append replicates one log entry to every attached follower. It must be
+// called from the shard apply loop (the single appender) and never blocks:
+// a follower whose transport is full is detached, freezing its advertised
+// t_safe so it stops attracting reads it could no longer serve.
+func (g *Group) Append(kind EntryKind, txnID uint64, ts, watermark truetime.Timestamp, writes []wire.KV) {
+	g.nextSeq++
+	e := Entry{Seq: g.nextSeq, Kind: kind, TxnID: txnID, TS: ts, Watermark: watermark, Writes: writes}
+	for _, f := range g.followers {
+		f.offer(e)
+	}
+}
+
+// Route returns a follower expected to serve a read at tread promptly: it
+// is alive, attached, and has acknowledged a watermark within maxLag of
+// tread (a healthy replica's ack trails t_read by at most a heartbeat
+// interval plus apply latency, so the read's park will be short). Nil
+// means the caller should serve at the leader. Selection rotates so read
+// load spreads across eligible replicas.
+func (g *Group) Route(tread, maxLag truetime.Timestamp) *Follower {
+	n := len(g.followers)
+	if n == 0 {
+		return nil
+	}
+	// Reduce before converting: a raw int() of the counter goes negative
+	// on 32-bit platforms once it wraps, and Go's % keeps the sign.
+	start := int(g.rr.Add(1) % uint64(n))
+	for i := 0; i < n; i++ {
+		f := g.followers[(start+i)%n]
+		if f.alive.Load() && !f.detached.Load() && f.acked.Load() >= int64(tread-maxLag) {
+			return f
+		}
+	}
+	return nil
+}
+
+// TSafe returns the maximum acknowledged t_safe across live followers
+// (0 with none), for stats and lag reporting.
+func (g *Group) TSafe() truetime.Timestamp {
+	var max int64
+	for _, f := range g.followers {
+		if f.alive.Load() {
+			if a := f.acked.Load(); a > max {
+				max = a
+			}
+		}
+	}
+	return truetime.Timestamp(max)
+}
+
+// Close detaches every follower and stops its loop. The caller must
+// guarantee no concurrent Append (the server stops shard loops first).
+func (g *Group) Close() {
+	for _, f := range g.followers {
+		if !f.detached.Swap(true) {
+			close(f.ch)
+		}
+	}
+}
+
+// readRequest is one snapshot read submitted to a follower; reply is
+// buffered so the follower loop never blocks delivering it, even to a
+// caller that timed out and left.
+type readRequest struct {
+	tread truetime.Timestamp
+	keys  []string
+	reply chan readReply
+}
+
+type readReply struct {
+	vals []Val
+	ok   bool
+}
+
+// Follower is one backup replica of a shard: a single goroutine draining
+// the leader's log in order into a private multi-version store and serving
+// snapshot reads at or below the applied watermark — the same
+// one-goroutine-owns-the-state discipline the shards use.
+type Follower struct {
+	id    int
+	shard int
+	ch    chan Entry
+	reads chan readRequest
+	chaos Chaos
+
+	// Loop-owned state. applied (the watermark of the last applied entry,
+	// the replica's actual t_safe) is written only by the loop but read by
+	// accessors, so it is atomic.
+	store   *mvstore.Store
+	applied atomic.Int64
+	parked  []readRequest // reads waiting for applied ≥ tread
+
+	// acked is the watermark this follower has acknowledged to the
+	// router — its advertised t_safe. It trails applied by one atomic
+	// store (or leads it, deliberately, under Chaos.DelayedApplies).
+	acked atomic.Int64
+	// dropAcks freezes acked while applies continue: the "leader lost the
+	// backup's ack path" failure. The replica stays correct but stops
+	// advertising progress, so reads route back to the leader.
+	dropAcks atomic.Bool
+	// alive is cleared by Kill; a dead follower serves nothing.
+	alive atomic.Bool
+	// detached is set once the leader stops replicating to this follower
+	// (transport overflow or group close); the entry channel is closed at
+	// most once under it.
+	detached atomic.Bool
+}
+
+// offer hands e to the follower without blocking; on overflow the follower
+// is detached permanently (its log would have a gap, so it must never
+// apply a later entry).
+func (f *Follower) offer(e Entry) {
+	if f.detached.Load() {
+		return
+	}
+	select {
+	case f.ch <- e:
+	default:
+		if !f.detached.Swap(true) {
+			close(f.ch)
+		}
+	}
+}
+
+func (f *Follower) loop() {
+	if f.chaos.DelayedApplies {
+		f.chaosLoop()
+		return
+	}
+	for {
+		select {
+		case e, ok := <-f.ch:
+			if !ok {
+				for _, r := range f.parked {
+					r.reply <- readReply{}
+				}
+				f.parked = nil
+				return
+			}
+			if !f.alive.Load() {
+				continue // killed: drain without applying
+			}
+			f.apply(e)
+			f.ack(e.Watermark)
+			f.wake()
+		case r := <-f.reads:
+			f.serveOrPark(r)
+		}
+	}
+}
+
+// chaosLoop is the delayed-applies fault: every entry's watermark is
+// acknowledged the moment it arrives, but its apply sits in a queue for
+// ApplyDelay first — an asynchronous apply pipeline whose advertised
+// t_safe is a lie. Reads are served from the stale store throughout
+// (serveOrPark never parks under this chaos), so routed snapshot reads
+// miss every commit still sitting in the queue.
+func (f *Follower) chaosLoop() {
+	type delayed struct {
+		e   Entry
+		due time.Time
+	}
+	var pending []delayed
+	for {
+		var dueC <-chan time.Time
+		if len(pending) > 0 {
+			if wait := time.Until(pending[0].due); wait > 0 {
+				dueC = time.After(wait)
+			} else {
+				f.apply(pending[0].e)
+				pending = pending[1:]
+				continue
+			}
+		}
+		select {
+		case e, ok := <-f.ch:
+			if !ok {
+				for _, r := range f.parked {
+					r.reply <- readReply{}
+				}
+				f.parked = nil
+				return
+			}
+			if !f.alive.Load() {
+				continue
+			}
+			f.ack(e.Watermark) // the lie: acknowledged before applied
+			pending = append(pending, delayed{e: e, due: time.Now().Add(f.chaos.ApplyDelay)})
+		case <-dueC:
+			f.apply(pending[0].e)
+			pending = pending[1:]
+		case r := <-f.reads:
+			f.serveOrPark(r) // chaos serves immediately, stale
+		}
+	}
+}
+
+// apply installs one entry. Entries arrive in log order; the watermark is
+// clamped monotone anyway so a replayed prefix cannot regress t_safe.
+func (f *Follower) apply(e Entry) {
+	if e.Kind == EntryCommit {
+		for _, kv := range e.Writes {
+			f.store.Write(kv.Key, kv.Value, e.TS)
+		}
+	}
+	if int64(e.Watermark) > f.applied.Load() {
+		f.applied.Store(int64(e.Watermark))
+	}
+}
+
+// wake serves parked reads the advancing watermark now covers. Loop-only.
+func (f *Follower) wake() {
+	if len(f.parked) == 0 {
+		return
+	}
+	kept := f.parked[:0]
+	for _, r := range f.parked {
+		if int64(r.tread) <= f.applied.Load() {
+			f.serve(r)
+		} else {
+			kept = append(kept, r)
+		}
+	}
+	f.parked = kept
+}
+
+// serveOrPark serves a read whose t_read the applied watermark covers, or
+// parks it until the watermark catches up (the Spanner replica-wait rule).
+// Under the delayed-applies chaos every read is served immediately — that
+// broken discipline is the fault under test. Loop-only.
+func (f *Follower) serveOrPark(r readRequest) {
+	if !f.alive.Load() {
+		r.reply <- readReply{}
+		return
+	}
+	if int64(r.tread) <= f.applied.Load() || f.chaos.DelayedApplies {
+		f.serve(r)
+		return
+	}
+	f.parked = append(f.parked, r)
+}
+
+func (f *Follower) serve(r readRequest) {
+	vals := make([]Val, 0, len(r.keys))
+	for _, k := range r.keys {
+		v := f.store.ReadAt(k, r.tread)
+		vals = append(vals, Val{Key: k, Value: v.Value, TS: v.TS})
+	}
+	r.reply <- readReply{vals: vals, ok: true}
+}
+
+func (f *Follower) ack(w truetime.Timestamp) {
+	if f.dropAcks.Load() {
+		return
+	}
+	for {
+		cur := f.acked.Load()
+		if int64(w) <= cur || f.acked.CompareAndSwap(cur, int64(w)) {
+			return
+		}
+	}
+}
+
+// Read serves a snapshot read at tread from the replica, waiting up to
+// timeout for its t_safe to cover tread. ok is false when the replica
+// cannot serve the read in time — dead, detached, or lagging — and the
+// caller must fall back to the leader. abandoned is true when the request
+// was handed to the replica but no reply arrived within the timeout: the
+// replica may still be holding keys, so the caller must not reuse that
+// slice's backing array. A follower never serves a read above its own
+// applied watermark (the property the delayed-applies chaos deliberately
+// breaks): everything at or below it is fully applied, so no lock table,
+// prepared set, or blocking rule is consulted.
+func (f *Follower) Read(tread truetime.Timestamp, keys []string, timeout time.Duration) (vals []Val, ok, abandoned bool) {
+	if !f.alive.Load() {
+		return nil, false, false
+	}
+	r := readRequest{tread: tread, keys: keys, reply: make(chan readReply, 1)}
+	select {
+	case f.reads <- r:
+	default:
+		return nil, false, false // read queue full (or loop gone): leader serves
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case rep := <-r.reply:
+		return rep.vals, rep.ok, false
+	case <-timer.C:
+		return nil, false, true // the late reply lands in the buffered channel
+	}
+}
+
+// TSafe returns the watermark the follower has actually applied through —
+// its real t_safe.
+func (f *Follower) TSafe() truetime.Timestamp {
+	return truetime.Timestamp(f.applied.Load())
+}
+
+// Acked returns the follower's advertised t_safe (what the router sees).
+func (f *Follower) Acked() truetime.Timestamp {
+	return truetime.Timestamp(f.acked.Load())
+}
+
+// Kill simulates the node dying: the replica stops applying and serving.
+// Reads parked on it at that instant burn their timeout and fail over;
+// new reads fail over immediately.
+func (f *Follower) Kill() { f.alive.Store(false) }
+
+// DropAcks severs the follower→leader acknowledgment path while the
+// replica keeps applying: its advertised t_safe freezes, so the router
+// stops picking it for fresh reads and the leader serves them instead.
+func (f *Follower) DropAcks() { f.dropAcks.Store(true) }
+
+// Alive reports whether the follower is serving.
+func (f *Follower) Alive() bool { return f.alive.Load() }

@@ -1,0 +1,41 @@
+package server
+
+import (
+	"fmt"
+	"testing"
+
+	"rsskv/internal/kvclient"
+)
+
+// BenchmarkROTxn measures the end-to-end cost of a snapshot read-only
+// transaction over loopback: one OpROTxn frame fanning out to multiple
+// shards and back. Allocation counts cover both sides of the socket
+// (testing.B reads global MemStats), so the RO coordinator's per-request
+// scratch shows up here — the motivation for pooling it.
+func BenchmarkROTxn(b *testing.B) {
+	srv := New(Config{Shards: 4})
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	cl, err := kvclient.Dial(srv.Addr(), kvclient.Options{Conns: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cl.Close()
+
+	keys := make([]string, 8)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("bench-ro-%d", i)
+		if _, err := cl.Put(keys[i], "v"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := cl.ReadOnly(keys...); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,158 @@
+package server
+
+import (
+	"testing"
+	"time"
+
+	"rsskv/internal/core"
+	"rsskv/internal/history"
+	"rsskv/internal/kvclient"
+	"rsskv/internal/loadgen"
+)
+
+func dialClient(t *testing.T, srv *Server) *kvclient.Client {
+	t.Helper()
+	cl, err := kvclient.Dial(srv.Addr(), kvclient.Options{Conns: 1})
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	t.Cleanup(cl.Close)
+	return cl
+}
+
+// These tests close the loop on the replicated snapshot-read path: live
+// RSS-checked traffic against a server whose shards each lead a
+// replication group, with reads served from followers bounded by the
+// replicated t_safe — including while replicas die underneath the run.
+
+// contended returns a loadgen config that forces follower reads to race
+// writes on a hot keyspace.
+func contended(addr string, seed int64) loadgen.Config {
+	return loadgen.Config{
+		Addr:         addr,
+		Clients:      8,
+		OpsPerClient: 250,
+		Keys:         24,
+		TxnFrac:      0.2,
+		ROFrac:       0.4,
+		MultiFrac:    0.1,
+		Seed:         seed,
+	}
+}
+
+// TestFollowerReadsServeAndStayRSS: with three copies per shard a
+// contended run serves a nonzero fraction of snapshot reads from
+// followers, and the recorded history still passes the checker — the
+// acceptance bar for the replicated read path.
+func TestFollowerReadsServeAndStayRSS(t *testing.T) {
+	srv := New(Config{Shards: 4, Replicas: 3})
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	res, err := loadgen.Run(contended(srv.Addr(), 11))
+	if err != nil {
+		t.Fatalf("loadgen: %v", err)
+	}
+	if got := srv.Stats().ROFollower.Load(); got == 0 {
+		t.Error("no snapshot-read portions served by followers")
+	} else {
+		t.Logf("follower-served portions: %d (fallbacks %d)", got, srv.Stats().ROFallback.Load())
+	}
+	if res.FollowerROs == 0 {
+		t.Error("no client-visible pure follower reads")
+	}
+	if err := history.Check(res.H, core.RSS); err != nil {
+		t.Errorf("history with follower reads is not RSS: %v", err)
+	}
+}
+
+// TestReplicaKillLiveness kills backup node 1 (its follower in every
+// shard group) in the middle of a contended run: the shards must keep
+// serving, reads must fail over to the leader, the run must complete, and
+// the recorded history must still be RSS.
+func TestReplicaKillLiveness(t *testing.T) {
+	srv := New(Config{Shards: 4, Replicas: 3})
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+
+	killed := make(chan struct{})
+	go func() {
+		defer close(killed)
+		time.Sleep(30 * time.Millisecond) // mid-run, while traffic flows
+		if !srv.KillReplica(1) {
+			t.Error("KillReplica(1) found no follower")
+		}
+	}()
+	res, err := loadgen.Run(contended(srv.Addr(), 12))
+	<-killed
+	if err != nil {
+		t.Fatalf("run did not survive the replica kill: %v", err)
+	}
+	if res.Ops != 8*250 {
+		t.Fatalf("completed %d ops, want %d", res.Ops, 8*250)
+	}
+	if err := history.Check(res.H, core.RSS); err != nil {
+		t.Errorf("history after replica kill is not RSS: %v", err)
+	}
+	// The surviving follower (node 0) can still serve; the dead one must
+	// not. Snapshot reads after the kill keep working either way.
+	cl := dialClient(t, srv)
+	if _, err := cl.Put("post-kill", "v"); err != nil {
+		t.Fatal(err)
+	}
+	vals, _, err := cl.ReadOnly("post-kill")
+	if err != nil || vals["post-kill"] != "v" {
+		t.Fatalf("snapshot read after kill = (%v, %v), want v", vals, err)
+	}
+}
+
+// TestReplicaAckPathLossFailsOver severs the leader's view of every
+// backup's acknowledgments mid-run: replicas keep applying but stop
+// advertising progress, so snapshot reads drain back to the leader. The
+// run must complete and stay RSS — this is the "backup ack path" half of
+// the kill matrix.
+func TestReplicaAckPathLossFailsOver(t *testing.T) {
+	srv := New(Config{Shards: 4, Replicas: 2})
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+
+	dropped := make(chan struct{})
+	go func() {
+		defer close(dropped)
+		time.Sleep(30 * time.Millisecond)
+		if !srv.DropReplicaAcks(0) {
+			t.Error("DropReplicaAcks(0) found no follower")
+		}
+	}()
+	res, err := loadgen.Run(contended(srv.Addr(), 13))
+	<-dropped
+	if err != nil {
+		t.Fatalf("run did not survive the ack-path loss: %v", err)
+	}
+	if err := history.Check(res.H, core.RSS); err != nil {
+		t.Errorf("history after ack-path loss is not RSS: %v", err)
+	}
+	fallbacks := srv.Stats().ROFallback.Load()
+	if fallbacks == 0 {
+		t.Error("no leader fallbacks recorded after the ack path froze")
+	}
+	// With every advertised t_safe frozen, fresh reads must route to the
+	// leader yet still succeed.
+	cl := dialClient(t, srv)
+	if _, err := cl.Put("post-drop", "v"); err != nil {
+		t.Fatal(err)
+	}
+	before := srv.Stats().ROFollower.Load()
+	vals, _, err := cl.ReadOnly("post-drop")
+	if err != nil || vals["post-drop"] != "v" {
+		t.Fatalf("snapshot read after ack loss = (%v, %v), want v", vals, err)
+	}
+	if got := srv.Stats().ROFollower.Load(); got != before {
+		t.Errorf("a follower with frozen acks served a fresh read (%d -> %d)", before, got)
+	}
+}

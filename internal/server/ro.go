@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"rsskv/internal/replication"
 	"rsskv/internal/truetime"
 	"rsskv/internal/wire"
 )
@@ -15,12 +16,18 @@ import (
 //
 //	server    pick t_read = max(TT.now().latest, client t_min) and fan
 //	          the key set out to its shards
-//	shard     promise no future commit at or below t_read (advance
-//	          maxTS), then compute the conflicting prepared set P with
-//	          t_p ≤ t_read and its blocking subset B — preparers required
-//	          by causality (t_p ≤ t_min) or possibly already finished
-//	          (t_ee ≤ t_read). Wait for B only; read each key's version
-//	          at t_read; skip the rest of P, subscribing to their
+//	follower  (replicated shards) if a replica's acknowledged t_safe is
+//	          close enough to t_read, serve the whole shard portion there:
+//	          the replica parks until its applied watermark covers t_read,
+//	          then reads versions at t_read — everything at or below the
+//	          watermark is fully applied, so the leader, its lock table,
+//	          its prepared set, and the blocking rule are all bypassed
+//	shard     (leader path) promise no future commit at or below t_read
+//	          (advance maxTS), then compute the conflicting prepared set P
+//	          with t_p ≤ t_read and its blocking subset B — preparers
+//	          required by causality (t_p ≤ t_min) or possibly already
+//	          finished (t_ee ≤ t_read). Wait for B only; read each key's
+//	          version at t_read; skip the rest of P, subscribing to their
 //	          outcomes (watchers)
 //	server    compute t_snap = max over keys of the observed version
 //	          timestamps (Algorithm 1 line 14); any skipped preparer with
@@ -43,6 +50,11 @@ import (
 // checker must reject a server that serves stale snapshots.
 const chaosStaleness = 10 * time.Millisecond
 
+// chaosApplyDelay is how long -chaos=delayed-applies holds a follower
+// apply behind its (already sent) acknowledgment: the window in which
+// routed snapshot reads observe a store missing acknowledged commits.
+const chaosApplyDelay = 10 * time.Millisecond
+
 // maxTMinLead bounds how far a request's t_min may lead this server's
 // clock and still be waited out (cross-server clock skew, §4.2); beyond
 // it the request is rejected as malformed.
@@ -57,9 +69,15 @@ type roWaiter struct {
 	tmin  truetime.Timestamp
 	chaos bool // serve immediately, ignoring the prepared set
 
+	// leaked records that a follower read of these keys was abandoned in
+	// flight before this leader fallback, so the coordinator must not
+	// pool the scratch the key slice lives in.
+	leaked bool
+
 	// pset is P: conflicting prepared transactions with t_p ≤ t_read at
 	// arrival. await is its blocking subset B; entries are removed as
-	// they resolve.
+	// they resolve. Allocated lazily — most reads meet an empty prepared
+	// set.
 	pset  map[uint64]bool
 	await map[uint64]bool
 
@@ -83,10 +101,56 @@ type roSkip struct {
 
 type roShardReply struct {
 	vals    []roVal
+	fvals   []replication.Val // follower-served portion (instead of vals)
 	skipped []roSkip
+	// follower marks a portion served by a replica; leaked marks one
+	// whose key slice may still be referenced by a timed-out replica
+	// read (the scratch must not be pooled).
+	follower bool
+	leaked   bool
 }
 
-// roRead starts one shard's portion of a snapshot read. Loop-only.
+// roScratch is the per-request fan-out state of a snapshot read, pooled on
+// the server so a hot RO path stops paying half a dozen allocations per
+// request. A scratch is returned to the pool only when no other goroutine
+// can still reference its buffers: abandoned fan-outs (server shutdown) and
+// timed-out follower reads leak theirs to the garbage collector instead.
+type roScratch struct {
+	seen     map[string]bool
+	keys     []string
+	shardIDs []int      // involved shard ids, fan-out order
+	perShard [][]string // keys per shard, indexed by shard id
+	vals     map[string]roVal
+	skipped  []roSkip
+	reply    chan roShardReply
+}
+
+func (srv *Server) newROScratch() *roScratch {
+	return &roScratch{
+		seen:     make(map[string]bool),
+		perShard: make([][]string, len(srv.shards)),
+		vals:     make(map[string]roVal),
+		reply:    make(chan roShardReply, len(srv.shards)),
+	}
+}
+
+// release resets the scratch and returns it to the pool. Callers must not
+// release a scratch whose reply channel may still receive a send or whose
+// key slices a follower may still read.
+func (sc *roScratch) release(srv *Server) {
+	clear(sc.seen)
+	clear(sc.vals)
+	sc.keys = sc.keys[:0]
+	for _, sid := range sc.shardIDs {
+		sc.perShard[sid] = sc.perShard[sid][:0]
+	}
+	sc.shardIDs = sc.shardIDs[:0]
+	sc.skipped = sc.skipped[:0]
+	srv.roPool.Put(sc)
+}
+
+// roRead starts one shard's portion of a snapshot read at the leader.
+// Loop-only.
 func (s *shard) roRead(w *roWaiter) {
 	if w.chaos {
 		// Fault injection: no safe-time promise, no blocking, no watch —
@@ -99,15 +163,13 @@ func (s *shard) roRead(w *roWaiter) {
 	if w.tread > s.maxTS {
 		s.maxTS = w.tread
 	}
-	keys := make(map[string]bool, len(w.keys))
-	for _, k := range w.keys {
-		keys[k] = true
-	}
-	w.pset = make(map[uint64]bool)
-	w.await = make(map[uint64]bool)
 	for id, p := range s.prepared {
-		if p.tp > w.tread || !conflictsKeys(p.writes, keys) {
+		if p.tp > w.tread || !conflictsKeys(p.writes, w.keys) {
 			continue
+		}
+		if w.pset == nil {
+			w.pset = make(map[uint64]bool)
+			w.await = make(map[uint64]bool)
 		}
 		w.pset[id] = true
 		// B (Algorithm 2 line 6): required by causality (t_p ≤ t_min) or
@@ -124,10 +186,12 @@ func (s *shard) roRead(w *roWaiter) {
 	s.roBlocked = append(s.roBlocked, w)
 }
 
-func conflictsKeys(writes []wire.KV, keys map[string]bool) bool {
+func conflictsKeys(writes []wire.KV, keys []string) bool {
 	for _, kv := range writes {
-		if keys[kv.Key] {
-			return true
+		for _, k := range keys {
+			if kv.Key == k {
+				return true
+			}
 		}
 	}
 	return false
@@ -152,7 +216,27 @@ func (s *shard) roReply(w *roWaiter) {
 		p.watchers = append(p.watchers, ch)
 		reply.skipped = append(reply.skipped, roSkip{txnID: id, tp: p.tp, ch: ch})
 	}
+	reply.leaked = w.leaked
 	w.reply <- reply
+}
+
+// followerRead serves one shard's portion of a snapshot read at a
+// replica, falling back to the shard leader if the replica cannot serve
+// in time. It runs on its own goroutine so watermark parks and timeouts
+// across shards overlap instead of serializing; the reply lands on the
+// coordinator's fan-out channel either way.
+func (srv *Server) followerRead(s *shard, f *replication.Follower, keys []string, tread, tmin truetime.Timestamp, reply chan roShardReply) {
+	fvals, ok, abandoned := f.Read(tread, keys, srv.cfg.FollowerReadTimeout)
+	if ok {
+		srv.stats.ROFollower.Add(1)
+		reply <- roShardReply{fvals: fvals, follower: true}
+		return
+	}
+	srv.stats.ROFallback.Add(1)
+	w := &roWaiter{keys: keys, tread: tread, tmin: tmin, leaked: abandoned, reply: reply}
+	if !s.run(func() { s.roRead(w) }) {
+		return // server closing; the coordinator abandons via srv.quit
+	}
 }
 
 // readOnly coordinates a snapshot read-only transaction across shards and
@@ -160,131 +244,168 @@ func (s *shard) roReply(w *roWaiter) {
 // 2PC coordinator.
 func (srv *Server) readOnly(req *wire.Request, cw *connWriter) {
 	tmin := truetime.Timestamp(req.TMin)
-	tread := srv.clock.Now().Latest
-	if tmin > tread {
-		// Every timestamp this server mints has passed (commit wait)
-		// before a client learns it, so a session's t_min can lead this
-		// clock only by cross-server skew (a t_min propagated from
-		// another service, §4.2). Wait out a bounded lead rather than
-		// serving at t_min directly: advancing the shards' safe-time
-		// floors to an arbitrary future t_read would stall every later
-		// write on those shards in commit wait, so an implausible lead
-		// is a protocol violation, not a reason to wait — reject it
-		// (otherwise one hostile frame is a denial of service).
-		if tmin-tread > truetime.Timestamp(maxTMinLead) {
-			cw.send(&wire.Response{
-				ID: req.ID, Op: req.Op,
-				Err: fmt.Sprintf("t_min %d implausibly far ahead of server clock %d", tmin, tread),
-			})
-			return
-		}
-		srv.clock.WaitUntilAfter(tmin)
-		tread = srv.clock.Now().Latest
-	}
 	chaos := srv.cfg.ChaosStaleReads
-	if chaos {
+	var tread truetime.Timestamp
+	switch {
+	case srv.cfg.ChaosLostCommitWait:
+		// Fault injection, read-side half: trust the clock's earliest
+		// bound — the reader commit wait exists to protect. With commit
+		// wait lost, a mutation acknowledged moments ago can carry a
+		// commit timestamp up to 2ε above this t_read, so the snapshot
+		// misses completed writes. The session floor is ignored for the
+		// same reason a real victim's would be useless: the server
+		// already broke the only promise the floor builds on.
+		tread = srv.clock.Now().Earliest
+	case chaos:
 		// Serve an artificially stale snapshot and ignore both the
 		// session floor and the prepared set. The RSS checker must
 		// reject histories recorded against this server.
-		tread -= truetime.Timestamp(chaosStaleness)
+		tread = srv.clock.Now().Latest - truetime.Timestamp(chaosStaleness)
 		if tread < 0 {
 			tread = 0
+		}
+	default:
+		tread = srv.clock.Now().Latest
+		if tmin > tread {
+			// Every timestamp this server mints has passed (commit wait)
+			// before a client learns it, so a session's t_min can lead
+			// this clock only by cross-server skew (a t_min propagated
+			// from another service, §4.2). Wait out a bounded lead rather
+			// than serving at t_min directly: advancing the shards'
+			// safe-time floors to an arbitrary future t_read would stall
+			// every later write on those shards in commit wait, so an
+			// implausible lead is a protocol violation, not a reason to
+			// wait — reject it (otherwise one hostile frame is a denial
+			// of service).
+			if tmin-tread > truetime.Timestamp(maxTMinLead) {
+				cw.send(&wire.Response{
+					ID: req.ID, Op: req.Op,
+					Err: fmt.Sprintf("t_min %d implausibly far ahead of server clock %d", tmin, tread),
+				})
+				return
+			}
+			srv.clock.WaitUntilAfter(tmin)
+			tread = srv.clock.Now().Latest
 		}
 	}
 
 	// Fan out to shards (dedup keys, preserving first-occurrence order
 	// for the response).
-	seen := make(map[string]bool, len(req.Keys))
-	keys := make([]string, 0, len(req.Keys))
-	byShard := make(map[*shard][]string)
+	sc := srv.roPool.Get().(*roScratch)
+	clean := true // whether sc may be pooled again
 	for _, k := range req.Keys {
-		if seen[k] {
+		if sc.seen[k] {
 			continue
 		}
-		seen[k] = true
-		keys = append(keys, k)
-		s := srv.shardFor(k)
-		byShard[s] = append(byShard[s], k)
+		sc.seen[k] = true
+		sc.keys = append(sc.keys, k)
+		sid := srv.shardFor(k).id
+		if len(sc.perShard[sid]) == 0 {
+			sc.shardIDs = append(sc.shardIDs, sid)
+		}
+		sc.perShard[sid] = append(sc.perShard[sid], k)
 	}
-	if len(keys) == 0 {
+	if len(sc.keys) == 0 {
 		cw.send(&wire.Response{ID: req.ID, Op: req.Op, OK: true, Version: int64(tread)})
 		srv.stats.ROs.Add(1)
+		sc.release(srv)
 		return
 	}
 
-	replyCh := make(chan roShardReply, len(byShard))
-	for s, ks := range byShard {
-		s, w := s, &roWaiter{keys: ks, tread: tread, tmin: tmin, chaos: chaos, reply: replyCh}
+	// Serve each shard's portion at a follower replica when the
+	// replicated t_safe allows it; otherwise fan out to the leader.
+	// Follower portions get a goroutine each so their watermark parks
+	// (and worst-case timeouts) overlap across shards.
+	lagBudget := truetime.Timestamp(srv.cfg.FollowerReadTimeout)
+	fanout := 0
+	for _, sid := range sc.shardIDs {
+		s, ks := srv.shards[sid], sc.perShard[sid]
+		fanout++
+		if s.repl != nil && !chaos {
+			if f := s.repl.Route(tread, lagBudget); f != nil {
+				go srv.followerRead(s, f, ks, tread, tmin, sc.reply)
+				continue
+			}
+			srv.stats.ROFallback.Add(1)
+		}
+		w := &roWaiter{keys: ks, tread: tread, tmin: tmin, chaos: chaos, reply: sc.reply}
 		if !s.run(func() { s.roRead(w) }) {
 			cw.send(&wire.Response{ID: req.ID, Op: req.Op, Err: errClosed.Error()})
-			return
+			return // abandoned: pending sends may still land on sc.reply
 		}
 	}
-	vals := make(map[string][]roVal, len(keys))
-	var skipped []roSkip
-	for range byShard {
+	followerShards := 0
+	for i := 0; i < fanout; i++ {
 		select {
-		case r := <-replyCh:
-			for _, v := range r.vals {
-				vals[v.key] = append(vals[v.key], v)
+		case r := <-sc.reply:
+			if r.leaked {
+				clean = false // a timed-out replica read may still hold keys
 			}
-			skipped = append(skipped, r.skipped...)
+			if r.follower {
+				followerShards++
+			}
+			for _, v := range r.vals {
+				sc.vals[v.key] = v
+			}
+			for _, v := range r.fvals {
+				sc.vals[v.Key] = roVal{value: v.Value, ts: v.TS}
+			}
+			sc.skipped = append(sc.skipped, r.skipped...)
 		case <-srv.quit:
 			cw.send(&wire.Response{ID: req.ID, Op: req.Op, Err: errClosed.Error()})
-			return
+			return // abandoned
 		}
 	}
 
 	// t_snap (Algorithm 1 lines 14–20): the earliest timestamp at which
 	// every key has its observed value — the max over keys of the
-	// fast-path version timestamps.
+	// fast-path version timestamps (follower- and leader-served alike;
+	// every one is ≤ t_read).
 	var tsnap truetime.Timestamp
-	for _, vs := range vals {
-		if vs[0].ts > tsnap {
-			tsnap = vs[0].ts
+	for _, v := range sc.vals {
+		if v.ts > tsnap {
+			tsnap = v.ts
 		}
 	}
 
 	// Algorithm 1 lines 9–12 and 21–23: a skipped preparer with
 	// t_p ≤ t_snap could commit inside the snapshot; wait for its outcome
-	// and fold committed writes in. Skipped preparers with t_p > t_snap
-	// serialize after the snapshot and are ignored.
-	for i := 0; i < len(skipped); i++ {
-		sk := skipped[i]
+	// and, if it committed at t_c ≤ t_snap, fold the newest such write per
+	// key in. Skipped preparers with t_p > t_snap serialize after the
+	// snapshot and are ignored. Follower-served shards contribute no
+	// skips: nothing prepared below a follower's watermark is unresolved.
+	for _, sk := range sc.skipped {
 		if sk.tp > tsnap {
 			continue
 		}
 		select {
 		case out := <-sk.ch:
-			if out.committed {
+			if out.committed && out.tc <= tsnap {
 				for _, kv := range out.writes {
-					if seen[kv.Key] {
-						vals[kv.Key] = append(vals[kv.Key], roVal{key: kv.Key, value: kv.Value, ts: out.tc})
+					if cur, wanted := sc.vals[kv.Key], sc.seen[kv.Key]; wanted && out.tc > cur.ts {
+						sc.vals[kv.Key] = roVal{value: kv.Value, ts: out.tc}
 					}
 				}
 			}
 		case <-srv.quit:
 			cw.send(&wire.Response{ID: req.ID, Op: req.Op, Err: errClosed.Error()})
-			return
+			return // abandoned
 		}
 	}
 
-	// Render: each key's newest version at or below t_snap.
-	resp := &wire.Response{ID: req.ID, Op: req.Op, OK: true, Version: int64(tsnap)}
-	resp.KVs = make([]wire.KV, 0, len(keys))
-	for _, k := range keys {
-		var best roVal
-		best.ts = -1
-		for _, v := range vals[k] {
-			if v.ts <= tsnap && v.ts > best.ts {
-				best = v
-			}
-		}
-		if best.ts < 0 {
-			best.value = "" // the paper's null: no version at or below t_snap
-		}
-		resp.KVs = append(resp.KVs, wire.KV{Key: k, Value: best.value})
+	// Render: each key's newest version at or below t_snap. A key with no
+	// version in the snapshot renders the paper's null (the zero roVal).
+	resp := &wire.Response{
+		ID: req.ID, Op: req.Op, OK: true, Version: int64(tsnap),
+		Follower: followerShards > 0 && followerShards == fanout,
+	}
+	resp.KVs = make([]wire.KV, 0, len(sc.keys))
+	for _, k := range sc.keys {
+		resp.KVs = append(resp.KVs, wire.KV{Key: k, Value: sc.vals[k].value})
 	}
 	srv.stats.ROs.Add(1)
 	cw.send(resp)
+	if clean {
+		sc.release(srv)
+	}
 }

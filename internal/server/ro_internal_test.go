@@ -290,6 +290,44 @@ func TestROFutureTMinRejected(t *testing.T) {
 	}
 }
 
+// TestROLaggingFollowerForcesLeaderFallback: the routing half of the
+// replicated t_safe discipline. A follower whose advertised watermark
+// trails t_read by more than the lag budget must not be offered the read;
+// the coordinator serves it at the leader instead, and the read still
+// reflects every completed write.
+func TestROLaggingFollowerForcesLeaderFallback(t *testing.T) {
+	srv, cl := newTestServer(t, Config{Shards: 2, Replicas: 2})
+	if _, err := cl.Put("k", "v1"); err != nil {
+		t.Fatal(err)
+	}
+	// Freeze every follower's advertised t_safe: from the router's view
+	// they lag further behind each passing moment.
+	for i := 0; i < srv.Replicas()-1; i++ {
+		if !srv.DropReplicaAcks(i) {
+			t.Fatalf("no follower %d to freeze", i)
+		}
+	}
+	// Let the frozen watermarks fall out of the lag budget.
+	time.Sleep(srv.cfg.FollowerReadTimeout + 2*time.Millisecond)
+	if _, err := cl.Put("k", "v2"); err != nil {
+		t.Fatal(err)
+	}
+	followerBefore := srv.stats.ROFollower.Load()
+	vals, _, err := cl.ReadOnly("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals["k"] != "v2" {
+		t.Fatalf("leader-fallback read k = %q, want \"v2\"", vals["k"])
+	}
+	if got := srv.stats.ROFollower.Load(); got != followerBefore {
+		t.Errorf("lagging follower served the read (%d -> %d)", followerBefore, got)
+	}
+	if srv.stats.ROFallback.Load() == 0 {
+		t.Error("no leader fallback recorded for the lagging follower")
+	}
+}
+
 // TestROSmallTMinLeadWaitedOut: a t_min slightly ahead of the server
 // clock (cross-server skew, §4.2) is waited out, not rejected.
 func TestROSmallTMinLeadWaitedOut(t *testing.T) {

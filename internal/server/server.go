@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"rsskv/internal/locks"
+	"rsskv/internal/replication"
 	"rsskv/internal/truetime"
 	"rsskv/internal/wire"
 )
@@ -33,20 +34,94 @@ type Config struct {
 	// fewer snapshot-read waits. The default 0 adds no wait: commit wait
 	// already outlasts a zero-estimate t_ee.
 	CommitEstimate time.Duration
+	// Replicas is the number of copies of each shard including the
+	// leader (default 1, unreplicated). With N > 1 every shard leads a
+	// replication group of N-1 followers (internal/replication): its
+	// prepares, commits, and aborts are appended to a per-shard
+	// replicated log carrying a safe-time watermark, followers apply the
+	// log into their own stores, and snapshot reads are served from a
+	// follower whenever the replicated t_safe covers t_read.
+	Replicas int
+	// ReplicaHeartbeat is how often each shard appends a watermark-only
+	// heartbeat entry (default 250µs), which keeps follower t_safe fresh
+	// on idle shards; a snapshot read routed to a follower parks at most
+	// about this long before its watermark arrives.
+	ReplicaHeartbeat time.Duration
+	// FollowerReadTimeout bounds how long a routed snapshot read waits
+	// for a follower's t_safe to cover t_read before falling back to the
+	// leader (default 5ms). It doubles as the routing lag budget: a
+	// follower whose acknowledged watermark trails t_read by more than
+	// this is not offered reads.
+	FollowerReadTimeout time.Duration
+
 	// ChaosStaleReads is fault injection for the checker: snapshot reads
 	// are served at an artificially lowered t_read and skip the prepared
 	// set entirely, so recorded histories with read-only transactions
 	// violate RSS. Never enable outside tests and chaos runs.
 	ChaosStaleReads bool
+	// ChaosDelayedApplies breaks the replication layer's t_safe
+	// discipline: followers acknowledge watermarks before applying the
+	// entries behind them and serve routed reads without parking, so
+	// follower snapshot reads miss committed writes. Requires Replicas >
+	// 1 to be observable. Histories must be rejected by the checker.
+	ChaosDelayedApplies bool
+	// ChaosDroppedLockRelease breaks strict two-phase locking: a
+	// transaction's locks are released at prepare instead of being held
+	// through apply, so conflicting operations slip between a commit
+	// decision and its writes (unprotected reads, lost updates).
+	// Histories must be rejected by the checker.
+	ChaosDroppedLockRelease bool
+	// ChaosLostCommitWait acknowledges mutations before their commit
+	// timestamps have definitely passed (no commit wait) and draws
+	// snapshot-read timestamps from TT.now().earliest — the most
+	// conservative reader, exactly the one commit wait exists to protect.
+	// Requires Epsilon > 0 to be observable. Histories must be rejected
+	// by the checker.
+	ChaosLostCommitWait bool
+}
+
+// ApplyChaosMode validates a -chaos flag value, sets the matching Config
+// field, and fills in the prerequisites a mode needs to be observable
+// (replication for delayed applies, clock uncertainty for lost commit
+// wait), reporting any adjustment through warnf. The empty mode is a
+// no-op; an unknown mode is an error.
+func (cfg *Config) ApplyChaosMode(mode string, warnf func(format string, args ...any)) error {
+	switch mode {
+	case "":
+	case "stale-reads":
+		cfg.ChaosStaleReads = true
+	case "delayed-applies":
+		cfg.ChaosDelayedApplies = true
+		if cfg.Replicas < 2 {
+			warnf("chaos %q needs follower reads; defaulting -replicas to 3", mode)
+			cfg.Replicas = 3
+		}
+	case "dropped-lock-release":
+		cfg.ChaosDroppedLockRelease = true
+	case "lost-commit-wait":
+		cfg.ChaosLostCommitWait = true
+		if cfg.Epsilon <= 0 {
+			warnf("chaos %q needs clock uncertainty; defaulting -eps to 10ms", mode)
+			cfg.Epsilon = 10 * time.Millisecond
+		}
+	default:
+		return fmt.Errorf("unknown -chaos mode %q (supported: stale-reads, delayed-applies, dropped-lock-release, lost-commit-wait)", mode)
+	}
+	return nil
 }
 
 // Stats are cumulative operation counters, updated atomically. ROs counts
 // snapshot read-only transactions; ROBlocked counts shard-level waits on
 // the blocking set B, and ROSkips counts prepared transactions skipped
 // under the RSS rule (§5) — reads a lock-based server would have blocked.
+// ROFollower counts per-shard snapshot-read portions served by follower
+// replicas; ROFallback counts portions that were routed to a follower (or
+// should have been) but fell back to the leader — lagging, killed, or
+// timed-out replicas.
 type Stats struct {
 	Gets, Puts, Commits, Aborts, Fences, Conns atomic.Int64
 	ROs, ROBlocked, ROSkips                    atomic.Int64
+	ROFollower, ROFallback                     atomic.Int64
 }
 
 // Server is a sharded key-value server speaking the wire protocol.
@@ -57,8 +132,16 @@ type Server struct {
 	seq    atomic.Int64 // transaction IDs and wound-wait priorities
 	stats  Stats
 
+	// roPool recycles snapshot-read fan-out scratch (see roScratch).
+	roPool sync.Pool
+
 	quit chan struct{}
 	wg   sync.WaitGroup
+	// loopWG tracks the shard apply loops and the replication heartbeat —
+	// the only goroutines that append to replication groups. Close waits
+	// for them before tearing the groups down, so no append can race a
+	// closing follower transport.
+	loopWG sync.WaitGroup
 
 	mu     sync.Mutex
 	ln     net.Listener
@@ -76,6 +159,15 @@ func New(cfg Config) *Server {
 	if cfg.MaxFrame <= 0 {
 		cfg.MaxFrame = wire.MaxFrame
 	}
+	if cfg.Replicas <= 0 {
+		cfg.Replicas = 1
+	}
+	if cfg.ReplicaHeartbeat <= 0 {
+		cfg.ReplicaHeartbeat = 250 * time.Microsecond
+	}
+	if cfg.FollowerReadTimeout <= 0 {
+		cfg.FollowerReadTimeout = 5 * time.Millisecond
+	}
 	srv := &Server{
 		cfg:    cfg,
 		clock:  truetime.NewWallClock(cfg.Epsilon),
@@ -83,13 +175,116 @@ func New(cfg Config) *Server {
 		conns:  map[net.Conn]struct{}{},
 		active: map[uint64]struct{}{},
 	}
+	srv.roPool.New = func() any { return srv.newROScratch() }
+	chaos := replication.Chaos{
+		DelayedApplies: cfg.ChaosDelayedApplies,
+		ApplyDelay:     chaosApplyDelay,
+	}
 	for i := 0; i < cfg.Shards; i++ {
-		srv.shards = append(srv.shards, newShard(i, srv))
+		s := newShard(i, srv)
+		if cfg.Replicas > 1 {
+			s.repl = replication.NewGroup(i, cfg.Replicas-1, chaos)
+		}
+		srv.shards = append(srv.shards, s)
 	}
 	for _, s := range srv.shards {
+		srv.loopWG.Add(1)
 		go s.loop()
 	}
+	if cfg.Replicas > 1 {
+		srv.loopWG.Add(1)
+		go srv.heartbeatLoop()
+	}
 	return srv
+}
+
+// heartbeatLoop periodically pushes a watermark-only entry through every
+// shard's replication group, so follower t_safe tracks real time even on
+// idle shards — without it a freshly drawn t_read would always be ahead
+// of the last data-bearing entry's watermark and every snapshot read
+// would fall back to the leader.
+func (srv *Server) heartbeatLoop() {
+	defer srv.loopWG.Done()
+	t := time.NewTicker(srv.cfg.ReplicaHeartbeat)
+	defer t.Stop()
+	beats := make([]func(), len(srv.shards))
+	for i, s := range srv.shards {
+		s := s
+		beats[i] = func() { s.replicate(replication.EntryHeartbeat, 0, 0, nil) }
+	}
+	for {
+		select {
+		case <-t.C:
+			for i, s := range srv.shards {
+				// Blocking send: only data entries otherwise advance the
+				// watermark, and a shard saturated by leader-served reads
+				// produces none — dropping its heartbeat would freeze its
+				// followers exactly when the leader most needs the relief.
+				// The queue drains in microseconds, so a full channel
+				// delays the beat rather than losing it.
+				if !s.run(beats[i]) {
+					return
+				}
+			}
+		case <-srv.quit:
+			return
+		}
+	}
+}
+
+// Replicas returns the configured copies per shard (1 = unreplicated).
+func (srv *Server) Replicas() int { return srv.cfg.Replicas }
+
+// KillReplica simulates the loss of backup node i: follower i of every
+// shard's replication group stops applying and serving. Reads fail over
+// to the leader; the shard keeps serving. It reports whether such a
+// follower existed.
+func (srv *Server) KillReplica(i int) bool {
+	any := false
+	for _, s := range srv.shards {
+		if s.repl == nil {
+			continue
+		}
+		if f := s.repl.Follower(i); f != nil {
+			f.Kill()
+			any = true
+		}
+	}
+	return any
+}
+
+// DropReplicaAcks severs backup node i's acknowledgment path on every
+// shard: the replicas keep applying but their advertised t_safe freezes,
+// so the router drains reads back to the leader. It reports whether such
+// a follower existed.
+func (srv *Server) DropReplicaAcks(i int) bool {
+	any := false
+	for _, s := range srv.shards {
+		if s.repl == nil {
+			continue
+		}
+		if f := s.repl.Follower(i); f != nil {
+			f.DropAcks()
+			any = true
+		}
+	}
+	return any
+}
+
+// ReplicationLag reports how far the freshest follower t_safe trails the
+// server clock, maximized over shards (0 when unreplicated) — the extra
+// staleness bound a follower read pays before its park wakes.
+func (srv *Server) ReplicationLag() time.Duration {
+	var lag time.Duration
+	for _, s := range srv.shards {
+		if s.repl == nil {
+			continue
+		}
+		if d := srv.clock.Since(s.repl.TSafe()); d > lag {
+			lag = d
+		}
+	}
+	return lag
 }
 
 // Stats returns the server's counters.
@@ -203,6 +398,14 @@ func (srv *Server) Close() {
 	srv.mu.Unlock()
 	srv.wg.Wait()
 	close(srv.quit)
+	// Only after every appender (shard loops, heartbeat) has returned is
+	// it safe to close the replication transports.
+	srv.loopWG.Wait()
+	for _, s := range srv.shards {
+		if s.repl != nil {
+			s.repl.Close()
+		}
+	}
 }
 
 func (srv *Server) isClosed() bool {

@@ -36,6 +36,7 @@ package server
 import (
 	"rsskv/internal/locks"
 	"rsskv/internal/mvstore"
+	"rsskv/internal/replication"
 	"rsskv/internal/truetime"
 	"rsskv/internal/wire"
 )
@@ -94,6 +95,12 @@ type shard struct {
 	lm      *locks.Manager
 	waiters map[locks.TxnID]*waiter
 
+	// repl is the shard's replication group (nil when Config.Replicas is
+	// 1): this apply loop is the primary, appending every prepare,
+	// commit, and abort with a safe-time watermark so followers can serve
+	// snapshot reads bounded by their replicated t_safe.
+	repl *replication.Group
+
 	// maxTS is the shard's safe-time floor: strictly below every future
 	// prepare or commit timestamp this shard will assign. Serving a
 	// snapshot read at t_read advances it to t_read (the leader-lease
@@ -135,12 +142,13 @@ func (s *shard) nextTS() truetime.Timestamp {
 
 // resolvePrepared removes a transaction from the prepared set, notifies RO
 // watchers of its outcome, and re-evaluates parked snapshot reads whose
-// blocking set included it. Loop-only; a no-op for transactions that never
-// prepared writes here.
-func (s *shard) resolvePrepared(txnID uint64, committed bool, tc truetime.Timestamp) {
+// blocking set included it. It reports whether the transaction had a
+// prepared entry here (so the caller knows to replicate the resolution).
+// Loop-only; a no-op for transactions that never prepared writes here.
+func (s *shard) resolvePrepared(txnID uint64, committed bool, tc truetime.Timestamp) bool {
 	p := s.prepared[txnID]
 	if p == nil {
-		return
+		return false
 	}
 	delete(s.prepared, txnID)
 	out := prepOutcome{committed: committed, tc: tc, writes: p.writes}
@@ -157,10 +165,50 @@ func (s *shard) resolvePrepared(txnID uint64, committed bool, tc truetime.Timest
 		}
 	}
 	s.roBlocked = kept
+	return true
+}
+
+// safeWatermark is the shard's replicated safe time: a timestamp w such
+// that every commit at or below w has been applied here (and therefore
+// appended to the log before any entry carrying w) and no future commit
+// will land at or below w. Two bounds compose it:
+//
+//   - max(maxTS, TT.now().latest − 1): every future timestamp this shard
+//     assigns comes from nextTS, which returns at least the larger of
+//     maxTS+1 and the then-current TT.now().latest — strictly above both
+//     terms (the clock is monotonic at nanosecond resolution).
+//   - min over prepared t_p − 1: a transaction already prepared here may
+//     still commit at any t_c ≥ t_p, below maxTS and below the clock, so
+//     the watermark must stay under every outstanding prepare.
+//
+// The clock term is what lets heartbeats advance follower t_safe on idle
+// shards: without it the watermark would freeze at the last data entry
+// and every freshly drawn t_read would outrun it. Loop-only.
+func (s *shard) safeWatermark() truetime.Timestamp {
+	w := s.maxTS
+	if c := s.srv.clock.Now().Latest - 1; c > w {
+		w = c
+	}
+	for _, p := range s.prepared {
+		if p.tp-1 < w {
+			w = p.tp - 1
+		}
+	}
+	return w
+}
+
+// replicate appends one entry to the shard's replication log with the
+// current safe-time watermark. A no-op on unreplicated shards. Loop-only.
+func (s *shard) replicate(kind replication.EntryKind, txnID uint64, ts truetime.Timestamp, writes []wire.KV) {
+	if s.repl == nil {
+		return
+	}
+	s.repl.Append(kind, txnID, ts, s.safeWatermark(), writes)
 }
 
 // loop drains submitted closures until the server closes.
 func (s *shard) loop() {
+	defer s.srv.loopWG.Done()
 	for {
 		select {
 		case fn := <-s.ch:
@@ -240,11 +288,20 @@ func (s *shard) put(req *wire.Request, cw *connWriter, done func()) {
 	apply := func() {
 		ts := s.nextTS()
 		s.store.Write(req.Key, req.Value, ts)
+		// The nil check is the caller's here (unlike other replicate call
+		// sites) so the unreplicated put path stays free of the KV-slice
+		// allocation built for the log entry.
+		if s.repl != nil {
+			s.replicate(replication.EntryCommit, uint64(txn.Seq), ts,
+				[]wire.KV{{Key: req.Key, Value: req.Value}})
+		}
 		s.lm.ReleaseAll(txn)
 		s.lm.Flush()
 		s.srv.stats.Puts.Add(1)
 		resp := &wire.Response{ID: req.ID, Op: req.Op, OK: true, Version: int64(ts)}
-		if s.srv.clock.After(ts) {
+		if s.srv.cfg.ChaosLostCommitWait || s.srv.clock.After(ts) {
+			// Chaos: acknowledge before ts has definitely passed — the
+			// mutation-side half of the lost-commit-wait fault.
 			cw.send(resp)
 			done()
 			return

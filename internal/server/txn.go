@@ -3,8 +3,10 @@ package server
 import (
 	"errors"
 	"sort"
+	"time"
 
 	"rsskv/internal/locks"
+	"rsskv/internal/replication"
 	"rsskv/internal/truetime"
 	"rsskv/internal/wire"
 )
@@ -167,6 +169,18 @@ func (srv *Server) runTxn(txnID uint64, readKeys []string, writeKVs []wire.KV) (
 			tp := s.nextTS()
 			if len(wkvs) > 0 {
 				s.prepared[txnID] = &prepEntry{tp: tp, tee: tee, writes: wkvs}
+				s.replicate(replication.EntryPrepare, txnID, tp, nil)
+			}
+			if s.srv.cfg.ChaosDroppedLockRelease {
+				// Chaos: drop the strict-2PL hold-until-apply rule and
+				// release the footprint at prepare. Conflicting operations
+				// now slip between the commit decision and its reads and
+				// writes below — unprotected reads and lost updates the
+				// checker must catch. ReleaseAll clears the wound mark, so
+				// the apply phase proceeds as if undisturbed.
+				delete(s.waiters, txn)
+				s.lm.ReleaseAll(txn)
+				s.lm.Flush()
 			}
 			prepCh <- prepResult{ok: true, tp: tp}
 		})
@@ -184,6 +198,15 @@ func (srv *Server) runTxn(txnID uint64, readKeys []string, writeKVs []wire.KV) (
 		case <-srv.quit:
 			return nil, 0, errClosed
 		}
+	}
+
+	// Under the dropped-lock-release chaos the footprint is already free;
+	// model a slow commit path so conflicting operations reliably land
+	// inside the unprotected window between the commit decision and its
+	// reads and writes below (the window a correct server's held locks
+	// make unobservable).
+	if srv.cfg.ChaosDroppedLockRelease {
+		time.Sleep(500 * time.Microsecond)
 	}
 
 	// Apply phase: commit at t_c, the maximum prepare timestamp — above
@@ -208,7 +231,9 @@ func (srv *Server) runTxn(txnID uint64, readKeys []string, writeKVs []wire.KV) (
 			if tc > s.maxTS {
 				s.maxTS = tc
 			}
-			s.resolvePrepared(txnID, true, tc)
+			if s.resolvePrepared(txnID, true, tc) {
+				s.replicate(replication.EntryCommit, txnID, tc, wkvs)
+			}
 			delete(s.waiters, txn)
 			s.lm.ReleaseAll(txn)
 			s.lm.Flush()
@@ -231,12 +256,15 @@ func (srv *Server) runTxn(txnID uint64, readKeys []string, writeKVs []wire.KV) (
 	// transaction finished, so it may not be sent until t_c has
 	// definitely passed — that is what lets snapshot reads trust that a
 	// completed write's timestamp is below any later-drawn t_read — nor
-	// until the advertised earliest end time t_ee has passed.
-	wait := tc
-	if tee > wait {
-		wait = tee
+	// until the advertised earliest end time t_ee has passed. The
+	// lost-commit-wait chaos skips exactly this step.
+	if !srv.cfg.ChaosLostCommitWait {
+		wait := tc
+		if tee > wait {
+			wait = tee
+		}
+		srv.clock.WaitUntilAfter(wait)
 	}
-	srv.clock.WaitUntilAfter(wait)
 
 	// Return read results in request order (dedup preserved the first
 	// occurrence of each key).
@@ -262,7 +290,9 @@ func (srv *Server) abortTxn(txn locks.TxnID, p *txnPlan) error {
 	for _, sid := range p.shards {
 		s := srv.shards[sid]
 		s.run(func() {
-			s.resolvePrepared(txn.Seq, false, 0)
+			if s.resolvePrepared(txn.Seq, false, 0) {
+				s.replicate(replication.EntryAbort, txn.Seq, 0, nil)
+			}
 			delete(s.waiters, txn)
 			s.lm.ReleaseAll(txn)
 			s.lm.Flush()

@@ -124,6 +124,16 @@ func (c *WallClock) Now() Interval {
 // After reports whether t has definitely passed: TT.now().earliest > t.
 func (c *WallClock) After(t Timestamp) bool { return c.Now().Earliest > t }
 
+// Since reports how far t trails the clock's upper bound (0 if t has not
+// been reached), e.g. the staleness of a replicated safe-time watermark.
+func (c *WallClock) Since(t Timestamp) time.Duration {
+	d := c.Now().Latest - t
+	if d < 0 {
+		return 0
+	}
+	return time.Duration(d)
+}
+
 // WaitUntilAfter blocks until After(t) holds — Spanner's commit wait. Long
 // waits sleep; the final stretch spins, because commit timestamps usually
 // trail real time by well under the scheduler's sleep granularity.

@@ -130,6 +130,10 @@ type Response struct {
 	Version int64
 	// KVs returns the read values of OpCommit and OpMultiGet.
 	KVs []KV
+	// Follower reports that an OpROTxn was served entirely by follower
+	// replicas bounded by their replicated t_safe — zero leader
+	// involvement. Clients use it to account follower-read traffic.
+	Follower bool
 }
 
 // Framing limits.
@@ -220,7 +224,10 @@ func AppendResponse(buf []byte, r *Response) []byte {
 	buf = binary.AppendUvarint(buf, r.ID)
 	var flags byte
 	if r.OK {
-		flags = 1
+		flags |= 1
+	}
+	if r.Follower {
+		flags |= 2
 	}
 	buf = append(buf, flags)
 	buf = appendString(buf, r.Err)
@@ -244,10 +251,11 @@ func DecodeResponse(payload []byte) (*Response, error) {
 	}
 	r.ID = d.uvarint()
 	flags := d.byte()
-	if flags > 1 {
+	if flags > 3 {
 		return nil, fmt.Errorf("%w: bad flags %d", ErrBadMessage, flags)
 	}
-	r.OK = flags == 1
+	r.OK = flags&1 != 0
+	r.Follower = flags&2 != 0
 	r.Err = d.string()
 	r.TxnID = d.uvarint()
 	r.Value = d.string()

@@ -41,6 +41,9 @@ func sampleResponses() []*Response {
 		{ID: 9, Op: OpMultiPut, OK: true, Version: 45},
 		{ID: 10, Op: OpPut, OK: false, Err: "server closed", Version: -1},
 		{ID: 11, Op: OpROTxn, OK: true, Version: 46, KVs: []KV{{"x", "vx"}, {"y", ""}}},
+		{ID: 12, Op: OpROTxn, OK: true, Version: 47, Follower: true,
+			KVs: []KV{{"x", "vx"}}}, // follower-served snapshot read
+		{ID: 13, Op: OpROTxn, OK: false, Follower: true, Err: "x"}, // flags bits independent
 	}
 }
 
