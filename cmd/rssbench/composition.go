@@ -1,0 +1,219 @@
+package main
+
+// The composition mode is the live §4 experiment: the photo-share workload
+// across two rsskvd daemons (albums and photos) plus the socketed queue
+// service, every process's service switches mediated by libRSS, all
+// operations from all three services merged into one history and checked
+// against RSS.
+//
+// Two twins make the claim falsifiable, mirroring Table 1:
+//
+//	fences=on   honest daemons + libRSS fences + §4.2 baggage on the
+//	            out-of-band probes. The checker must ACCEPT.
+//	fences=off  no fences, no baggage, and the KV daemons dropped to the
+//	            PO-serializability ablation (-po-lag): each service keeps
+//	            session order but not real-time order. Sequential
+//	            consistency does not compose (Perrin et al.), so the
+//	            checker must REJECT with an I2/A2-shaped cycle.
+//
+// The ablation travels with fences=off because on a single host an honest
+// rsskvd is strictly serializable and composes vacuously — without the
+// relaxation the missing fences change nothing (run with -po-lag 0 to see
+// that accept). The §4 fence overhead (fence count, fence latency, RO/RW
+// percentile deltas) is reported when both twins run.
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"rsskv/internal/core"
+	"rsskv/internal/history"
+	"rsskv/internal/photoshare"
+	"rsskv/internal/queue"
+	"rsskv/internal/server"
+	"rsskv/internal/stats"
+)
+
+var (
+	albumAddr = flag.String("album-addr", "", "albums rsskvd; empty starts one in process")
+	photoAddr = flag.String("photo-addr", "", "photos rsskvd; empty starts one in process")
+	queueAddr = flag.String("queue-addr", "", "queue daemon (rsskvd -mode=queue); empty starts one in process")
+	fences    = flag.String("fences", "both", "composition twins to run: on | off | both")
+	poLag     = flag.Duration("po-lag", 250*time.Millisecond, "PO-serializability ablation lag applied to in-process KV daemons on the fences-off twin (0 keeps them honest: the unfenced run then composes vacuously)")
+	adders    = flag.Int("adders", 2, "adder processes (one user album each)")
+	viewers   = flag.Int("viewers", 2, "viewer processes (viewer 0 serves A2 probes, viewer 1 A3 relays)")
+	photos    = flag.Int("photos", 60, "photos per adder")
+	probes    = flag.Int("probes", 16, "out-of-band A2/A3 probes")
+)
+
+// compoStack owns the in-process daemons of one twin (nil members mean an
+// external -addr was supplied).
+type compoStack struct {
+	albums, photos *server.Server
+	queue          *queue.Server
+	cfg            photoshare.LiveConfig
+}
+
+// startCompoStack boots whatever daemons the flags did not point at an
+// external address. kvLag > 0 applies the PO ablation to in-process KV
+// daemons.
+func startCompoStack(kvLag time.Duration) (*compoStack, error) {
+	st := &compoStack{}
+	kvCfg := server.Config{Shards: *shards, Epsilon: *epsilon, POReadLag: kvLag}
+	st.cfg = photoshare.LiveConfig{
+		AlbumAddr: *albumAddr, PhotoAddr: *photoAddr, QueueAddr: *queueAddr,
+		Adders: *adders, Viewers: *viewers, Photos: *photos, Probes: *probes,
+		Conns: *conns, Seed: *seed,
+	}
+	if *quick {
+		st.cfg.Photos = min(st.cfg.Photos, 15)
+		st.cfg.Probes = min(st.cfg.Probes, 5)
+	}
+	if st.cfg.AlbumAddr == "" {
+		st.albums = server.New(kvCfg)
+		if err := st.albums.Start("127.0.0.1:0"); err != nil {
+			return nil, fmt.Errorf("start albums: %w", err)
+		}
+		st.cfg.AlbumAddr = st.albums.Addr()
+	}
+	if st.cfg.PhotoAddr == "" {
+		st.photos = server.New(kvCfg)
+		if err := st.photos.Start("127.0.0.1:0"); err != nil {
+			st.close()
+			return nil, fmt.Errorf("start photos: %w", err)
+		}
+		st.cfg.PhotoAddr = st.photos.Addr()
+	}
+	if st.cfg.QueueAddr == "" {
+		st.queue = queue.NewServer(queue.ServerConfig{Acceptors: 1})
+		if err := st.queue.Start("127.0.0.1:0"); err != nil {
+			st.close()
+			return nil, fmt.Errorf("start queue: %w", err)
+		}
+		st.cfg.QueueAddr = st.queue.Addr()
+	}
+	return st, nil
+}
+
+func (st *compoStack) close() {
+	if st.albums != nil {
+		st.albums.Close()
+	}
+	if st.photos != nil {
+		st.photos.Close()
+	}
+	if st.queue != nil {
+		st.queue.Close()
+	}
+}
+
+// runCompoTwin runs one twin and prints its table plus the checker
+// verdict; expectReject inverts the success condition (the PO twin).
+func runCompoTwin(label string, useFences bool, kvLag time.Duration) (*photoshare.LiveResult, bool) {
+	st, err := startCompoStack(kvLag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "composition %s: %v\n", label, err)
+		return nil, false
+	}
+	defer st.close()
+	st.cfg.Fences = useFences
+	st.cfg.Propagate = useFences
+	res, err := photoshare.RunLive(st.cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "composition %s: %v\n", label, err)
+		return nil, false
+	}
+
+	tbl := &stats.Table{
+		Title:   fmt.Sprintf("composition (%s): %d adders x %d photos, %d viewers, %d probes", label, st.cfg.Adders, st.cfg.Photos, st.cfg.Viewers, st.cfg.Probes),
+		Columns: []string{"value"},
+	}
+	tbl.Add("ops recorded", float64(res.Ops))
+	tbl.Add("wall seconds", res.Elapsed.Seconds())
+	tbl.Add("throughput ops/s", res.Throughput())
+	tbl.Add("photos processed by worker", float64(res.Processed))
+	tbl.Add("libRSS fences", float64(res.Fences))
+	if res.FenceLatency.N() > 0 {
+		tbl.Add("fence p50 us", res.FenceLatency.Percentile(50))
+		tbl.Add("fence p99 us", res.FenceLatency.Percentile(99))
+	}
+	tbl.Add("snapshot read p50 us", res.ROLatency.Percentile(50))
+	tbl.Add("snapshot read p99 us", res.ROLatency.Percentile(99))
+	tbl.Add("read-write p50 us", res.RWLatency.Percentile(50))
+	tbl.Add("read-write p99 us", res.RWLatency.Percentile(99))
+	tbl.Add("queue op p50 us", res.QueueLatency.Percentile(50))
+	tbl.Add("queue op p99 us", res.QueueLatency.Percentile(99))
+	tbl.Add("I1 violations", float64(res.V.I1))
+	tbl.Add("I2 violations", float64(res.V.I2))
+	tbl.Add("A2 missed / probes", float64(res.V.A2))
+	tbl.Add("A3 missed / probes", float64(res.V.A3))
+	emit(tbl)
+
+	fmt.Fprintf(os.Stderr, "checking %d-op merged history (%s) against RSS...\n", res.H.Len(), label)
+	checkErr := history.Check(res.H, core.RSS)
+	expectReject := !useFences && kvLag > 0
+	switch {
+	case expectReject && checkErr == nil:
+		fmt.Fprintf(os.Stderr, "composition %s: checker ACCEPTED but the PO ablation should have broken the composition (try more -photos)\n", label)
+		return res, false
+	case expectReject:
+		fmt.Printf("composition %s: RSS checker rejected the merged history, as the ablation predicts\n  %v\n", label, checkErr)
+	case checkErr != nil:
+		fmt.Fprintf(os.Stderr, "composition %s: VIOLATION: %v\n", label, checkErr)
+		return res, false
+	default:
+		fmt.Printf("composition %s: merged cross-service history is RSS: OK\n", label)
+	}
+	return res, true
+}
+
+// compositionCmd dispatches the twins and prints the §4 fence-overhead
+// comparison when both ran.
+func compositionCmd() {
+	external := *albumAddr != "" || *photoAddr != "" || *queueAddr != ""
+	if external && *fences == "both" {
+		// The twins need different daemon configs (the ablation lives in
+		// the daemons), and external daemons cannot be reconfigured here.
+		fmt.Fprintln(os.Stderr, "composition: external daemons cannot be reconfigured between twins; running -fences=on only (for the reject twin, start the KV daemons with `rsskvd -po-lag=250ms` and run -fences=off)")
+		*fences = "on"
+	}
+	if external && *fences == "off" {
+		fmt.Fprintln(os.Stderr, "composition: -fences=off expects the external KV daemons to run the PO ablation (`rsskvd -po-lag`); -po-lag here only sets that expectation (0 = expect a vacuous accept)")
+	}
+	var onRes, offRes *photoshare.LiveResult
+	ok := true
+	if *fences == "on" || *fences == "both" {
+		var twinOK bool
+		onRes, twinOK = runCompoTwin("fences=on", true, 0)
+		ok = ok && twinOK
+	}
+	if *fences == "off" || *fences == "both" {
+		var twinOK bool
+		offRes, twinOK = runCompoTwin("fences=off", false, *poLag)
+		ok = ok && twinOK
+	}
+	if onRes != nil && offRes != nil {
+		tbl := &stats.Table{
+			Title:   "§4 fence overhead: fences=on vs fences=off twin",
+			Columns: []string{"fences=on", "fences=off", "delta"},
+		}
+		row := func(name string, on, off float64) { tbl.Add(name, on, off, on-off) }
+		row("libRSS fences", float64(onRes.Fences), float64(offRes.Fences))
+		row("fences per op", float64(onRes.Fences)/float64(max(onRes.Ops, 1)), 0)
+		row("snapshot read p50 us", onRes.ROLatency.Percentile(50), offRes.ROLatency.Percentile(50))
+		row("snapshot read p99 us", onRes.ROLatency.Percentile(99), offRes.ROLatency.Percentile(99))
+		row("read-write p50 us", onRes.RWLatency.Percentile(50), offRes.RWLatency.Percentile(50))
+		row("read-write p99 us", onRes.RWLatency.Percentile(99), offRes.RWLatency.Percentile(99))
+		row("queue op p50 us", onRes.QueueLatency.Percentile(50), offRes.QueueLatency.Percentile(50))
+		row("queue op p99 us", onRes.QueueLatency.Percentile(99), offRes.QueueLatency.Percentile(99))
+		emit(tbl)
+		if *poLag > 0 {
+			fmt.Fprintln(os.Stderr, "note: the fences=off twin ran under the PO ablation, so its (stale) reads are cheaper than an honest unfenced run; for a pure fence-cost comparison rerun with -fences=off -po-lag=0")
+		}
+	}
+	if !ok {
+		os.Exit(1)
+	}
+}

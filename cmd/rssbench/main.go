@@ -24,6 +24,13 @@
 //	loadgen   drive a server with concurrent pipelined clients, record
 //	          the history, and verify it is RSS (-addr, -clients, -ops,
 //	          -keys, -txnfrac, -multifrac, -fence-every, -seed)
+//	composition
+//	          the live §4 experiment: photo-share across two rsskvd
+//	          daemons plus the socketed queue behind libRSS fences, the
+//	          merged history checked against RSS; -fences=both also runs
+//	          the fences-off PO-ablation twin, which the checker must
+//	          reject (-album-addr, -photo-addr, -queue-addr, -adders,
+//	          -viewers, -photos, -probes, -po-lag)
 package main
 
 import (
@@ -133,6 +140,8 @@ func main() {
 		serveCmd()
 	case "loadgen":
 		timed("loadgen", loadgenCmd)
+	case "composition":
+		timed("composition", compositionCmd)
 	case "all":
 		emit(exp.Table2())
 		timed("table1", func() { emit(exp.Table1(exp.DefaultTable1(*quick))) })

@@ -6,13 +6,22 @@
 // internal/kvclient or `rssbench loadgen`, which also verifies recorded
 // histories with the paper's checker.
 //
+// With -mode=queue the daemon serves the composition experiments' FIFO
+// queue service instead (internal/queue's live server): leader-sequenced,
+// linearizable, OpEnqueue/OpDequeue/OpFence only, with -replicas backup
+// acceptors on the live replication transport.
+//
 // Usage:
 //
-//	rsskvd [-addr :7365] [-shards 8] [-replicas 3] [-stats 10s] [-chaos mode]
+//	rsskvd [-addr :7365] [-mode kv|queue] [-shards 8] [-replicas 3]
+//	       [-stats 10s] [-chaos mode] [-po-lag 0]
 //
 // Chaos modes (each breaks exactly one RSS condition; recorded histories
 // must be rejected by the checker): stale-reads, delayed-applies,
-// dropped-lock-release, lost-commit-wait.
+// dropped-lock-release, lost-commit-wait. -po-lag > 0 is the
+// PO-serializability ablation used by `rssbench composition -fences=off`:
+// session-consistent snapshot reads that lag real time, making the daemon
+// sequentially consistent per session rather than RSS.
 package main
 
 import (
@@ -24,24 +33,66 @@ import (
 	"syscall"
 	"time"
 
+	"rsskv/internal/queue"
 	"rsskv/internal/server"
 )
 
 var (
 	addr      = flag.String("addr", ":7365", "listen address")
-	shards    = flag.Int("shards", 8, "number of keyspace shards")
-	replicas  = flag.Int("replicas", 1, "copies per shard including the leader; >1 serves snapshot reads from followers bounded by the replicated t_safe")
+	mode      = flag.String("mode", "kv", "daemon personality: kv | queue")
+	shards    = flag.Int("shards", 8, "number of keyspace shards (kv mode)")
+	replicas  = flag.Int("replicas", 1, "kv: copies per shard including the leader (>1 serves snapshot reads from followers); queue: backup acceptors + 1")
 	maxFrame  = flag.Int("maxframe", 0, "max accepted frame size in bytes (0 = default 1 MiB)")
 	statsEvy  = flag.Duration("stats", 10*time.Second, "stats logging interval (0 disables)")
-	epsilon   = flag.Duration("eps", 0, "TrueTime uncertainty bound ε (adds ~2ε commit wait per mutation)")
+	epsilon   = flag.Duration("eps", 0, "TrueTime uncertainty bound ε (adds ~2ε commit wait per mutation); on separate machines size it to the real clock-sync bound or cross-server t_min propagation breaks")
 	commitEst = flag.Duration("commit-est", 0, "advertised earliest-end-time estimate t_ee for commits; >0 lets snapshot reads skip concurrent preparers (§5) at the cost of delaying commit responses until the estimate passes")
 	chaos     = flag.String("chaos", "", "fault injection: stale-reads | delayed-applies | dropped-lock-release | lost-commit-wait (recorded histories violate RSS)")
+	poLag     = flag.Duration("po-lag", 0, "PO-serializability ablation: serve snapshot reads this far behind real time, session floor preserved (recorded cross-service histories violate RSS; the fences-off composition twin)")
 )
+
+// queueMain runs the daemon as the live queue service.
+func queueMain() {
+	srv := queue.NewServer(queue.ServerConfig{MaxFrame: *maxFrame, Acceptors: *replicas - 1})
+	if err := srv.Start(*addr); err != nil {
+		log.Fatalf("rsskvd: %v", err)
+	}
+	log.Printf("rsskvd: queue mode, listening on %s with %d acceptors", srv.Addr(), srv.Acceptors())
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	var tick <-chan time.Time
+	if *statsEvy > 0 {
+		t := time.NewTicker(*statsEvy)
+		defer t.Stop()
+		tick = t.C
+	}
+	for {
+		select {
+		case <-tick:
+			s := srv.Stats()
+			log.Printf("rsskvd: conns=%d enqueues=%d dequeues=%d empties=%d fences=%d acked=%d",
+				s.Conns.Load(), s.Enqueues.Load(), s.Dequeues.Load(),
+				s.Empties.Load(), s.Fences.Load(), srv.AckedWatermark())
+		case sig := <-stop:
+			log.Printf("rsskvd: %v, shutting down", sig)
+			srv.Close()
+			return
+		}
+	}
+}
 
 func main() {
 	flag.Parse()
 	if flag.NArg() > 0 {
 		fmt.Fprintf(os.Stderr, "unexpected argument %q\n", flag.Arg(0))
+		os.Exit(2)
+	}
+	switch *mode {
+	case "queue":
+		queueMain()
+		return
+	case "kv":
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -mode %q (supported: kv, queue)\n", *mode)
 		os.Exit(2)
 	}
 	cfg := server.Config{
@@ -50,6 +101,7 @@ func main() {
 		MaxFrame:       *maxFrame,
 		Epsilon:        *epsilon,
 		CommitEstimate: *commitEst,
+		POReadLag:      *poLag,
 	}
 	if err := cfg.ApplyChaosMode(*chaos, func(f string, a ...any) { log.Printf("rsskvd: "+f, a...) }); err != nil {
 		fmt.Fprintln(os.Stderr, err)

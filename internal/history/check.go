@@ -127,7 +127,7 @@ func buildGraph(ops []*core.Op, m core.Model) (*graph, error) {
 		for i, op := range ops {
 			mutates := len(op.Writes) > 0 ||
 				op.Type == core.Enqueue ||
-				(op.Type == core.Dequeue && op.Value != "")
+				(op.Type == core.Dequeue && op.Version != 0)
 			if mutates {
 				writes = append(writes, int32(i))
 			}
@@ -233,7 +233,11 @@ func (g *graph) addQueueChains() error {
 		case core.Enqueue:
 			enqs[op.Key] = append(enqs[op.Key], int32(i))
 		case core.Dequeue:
-			if op.Value != "" { // empty dequeues are unconstrained polls
+			// An empty poll carries Version 0; a consumed element carries
+			// its sequence number (≥ 1). The distinction must not ride on
+			// Value: "" is a legal queue element (wire Response.Empty
+			// exists for the same reason).
+			if op.Version != 0 {
 				deqs[op.Key] = append(deqs[op.Key], int32(i))
 			}
 		}

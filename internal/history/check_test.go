@@ -189,6 +189,29 @@ func TestCheckQueueFIFO(t *testing.T) {
 	}
 }
 
+// TestCheckQueueEmptyStringElement pins that "" is a legal queue element:
+// a dequeue's consumed-vs-empty-poll distinction rides on Version (empty
+// polls carry 0, elements their sequence number ≥ 1), so FIFO legality is
+// enforced for "" elements and empty polls stay unconstrained.
+func TestCheckQueueEmptyStringElement(t *testing.T) {
+	// A "" element consumed legally, with an interleaved empty poll.
+	h := &History{}
+	h.Add(&core.Op{ID: 1, Client: 1, Type: core.Enqueue, Key: "q", Value: "", Invoke: 0, Respond: 10, Version: 1})
+	h.Add(&core.Op{ID: 2, Client: 2, Type: core.Dequeue, Key: "q", Value: "", Invoke: 20, Respond: 30, Version: 1})
+	h.Add(&core.Op{ID: 3, Client: 2, Type: core.Dequeue, Key: "q", Value: "", Invoke: 40, Respond: 50, Version: 0}) // empty poll
+	if err := Check(h, core.RSS); err != nil {
+		t.Errorf("empty-string element history rejected: %v", err)
+	}
+	// The same "" element delivered twice must still be caught.
+	h2 := &History{}
+	h2.Add(&core.Op{ID: 1, Client: 1, Type: core.Enqueue, Key: "q", Value: "", Invoke: 0, Respond: 10, Version: 1})
+	h2.Add(&core.Op{ID: 2, Client: 2, Type: core.Dequeue, Key: "q", Value: "", Invoke: 20, Respond: 30, Version: 1})
+	h2.Add(&core.Op{ID: 3, Client: 3, Type: core.Dequeue, Key: "q", Value: "", Invoke: 40, Respond: 50, Version: 1})
+	if err := Check(h2, core.RSS); err == nil {
+		t.Error("double dequeue of a \"\" element passed the FIFO check")
+	}
+}
+
 func TestCheckPendingWrites(t *testing.T) {
 	// A pending write that was observed must be included; one that was
 	// not observed is excluded (and must not fail the check).

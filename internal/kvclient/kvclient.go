@@ -29,20 +29,18 @@
 package kvclient
 
 import (
-	"bufio"
-	"errors"
 	"fmt"
-	"net"
 	"sort"
-	"sync"
 	"sync/atomic"
 
 	"rsskv/internal/core"
+	"rsskv/internal/netio"
 	"rsskv/internal/wire"
 )
 
-// ErrClosed reports an operation on a closed client.
-var ErrClosed = errors.New("kvclient: closed")
+// ErrClosed reports an operation on a closed client (netio's sentinel, so
+// errors.Is matches under either name).
+var ErrClosed = netio.ErrClosed
 
 // Options parameterize Dial.
 type Options struct {
@@ -53,18 +51,12 @@ type Options struct {
 }
 
 // Client is a pooled, pipelined rsskvd client. It is safe for concurrent
-// use by multiple goroutines. A pool slot whose connection fails is
-// redialed lazily on its next use, so one broken connection degrades a
+// use by multiple goroutines; the pool (internal/netio) lazily redials a
+// failed slot on its next use, so one broken connection degrades a
 // long-lived client only until the server is reachable again.
 type Client struct {
-	addr string
-	opts Options
-	next atomic.Uint64
+	pool *netio.Pool
 	tmin atomic.Int64 // session minimum read timestamp (§5, Algorithm 1)
-
-	mu     sync.Mutex
-	conns  []*conn
-	closed bool
 }
 
 // Dial connects to a server.
@@ -72,75 +64,21 @@ func Dial(addr string, opts Options) (*Client, error) {
 	if opts.Conns <= 0 {
 		opts.Conns = 2
 	}
-	if opts.MaxFrame <= 0 {
-		opts.MaxFrame = wire.MaxFrame
+	pool, err := netio.DialPool(addr, opts.Conns, opts.MaxFrame)
+	if err != nil {
+		return nil, err
 	}
-	c := &Client{addr: addr, opts: opts}
-	for i := 0; i < opts.Conns; i++ {
-		nc, err := net.Dial("tcp", addr)
-		if err != nil {
-			c.Close()
-			return nil, err
-		}
-		c.conns = append(c.conns, newConn(nc, opts.MaxFrame))
-	}
-	return c, nil
+	return &Client{pool: pool}, nil
 }
 
 // Close tears down every connection; in-flight calls fail with ErrClosed.
-func (c *Client) Close() {
-	c.mu.Lock()
-	c.closed = true
-	conns := c.conns
-	c.mu.Unlock()
-	for _, cn := range conns {
-		cn.fail(ErrClosed)
-	}
-}
+func (c *Client) Close() { c.pool.Close() }
 
 // Do sends one request on a pooled connection and waits for its response.
 // Most callers want the typed helpers below; Do is the escape hatch for
 // custom pipelines and performs no OK checking.
 func (c *Client) Do(req *wire.Request) (*wire.Response, error) {
-	cn, err := c.conn(int(c.next.Add(1) % uint64(c.opts.Conns)))
-	if err != nil {
-		return nil, err
-	}
-	return cn.call(req)
-}
-
-// conn returns pool slot i, redialing it if its connection has failed.
-// The dial happens outside the client mutex so a dead slot's (possibly
-// slow) reconnect never stalls operations on healthy slots.
-func (c *Client) conn(i int) (*conn, error) {
-	c.mu.Lock()
-	if c.closed {
-		c.mu.Unlock()
-		return nil, ErrClosed
-	}
-	cn := c.conns[i]
-	c.mu.Unlock()
-	if !cn.failed() {
-		return cn, nil
-	}
-	nc, err := net.Dial("tcp", c.addr)
-	if err != nil {
-		return nil, cn.lastErr()
-	}
-	fresh := newConn(nc, c.opts.MaxFrame)
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.closed {
-		fresh.fail(ErrClosed)
-		return nil, ErrClosed
-	}
-	if cur := c.conns[i]; cur != cn && !cur.failed() {
-		// A concurrent caller already replaced the slot; use theirs.
-		fresh.fail(ErrClosed)
-		return cur, nil
-	}
-	c.conns[i] = fresh
-	return fresh, nil
+	return c.pool.Call(req)
 }
 
 // do is Do plus server-error surfacing for the typed helpers.
@@ -370,147 +308,6 @@ func (t *Txn) Commit() (reads map[string]string, version int64, err error) {
 	return reads, resp.Version, nil
 }
 
-// conn is one pipelined connection: a writer goroutine batches outbound
-// frames, a reader goroutine routes responses by request ID.
-type conn struct {
-	nc       net.Conn
-	maxFrame int
-
-	mu      sync.Mutex
-	cond    *sync.Cond
-	out     []*wire.Request
-	pending map[uint64]chan *wire.Response
-	nextID  uint64
-	err     error
-	closed  bool
-}
-
-func newConn(nc net.Conn, maxFrame int) *conn {
-	cn := &conn{nc: nc, maxFrame: maxFrame, pending: map[uint64]chan *wire.Response{}}
-	cn.cond = sync.NewCond(&cn.mu)
-	go cn.writer()
-	go cn.reader()
-	return cn
-}
-
-// call assigns a request ID, enqueues req, and waits for its response.
-func (cn *conn) call(req *wire.Request) (*wire.Response, error) {
-	cn.mu.Lock()
-	if cn.closed {
-		err := cn.err
-		cn.mu.Unlock()
-		return nil, err
-	}
-	cn.nextID++
-	req.ID = cn.nextID
-	ch := make(chan *wire.Response, 1)
-	cn.pending[req.ID] = ch
-	cn.out = append(cn.out, req)
-	cn.cond.Signal()
-	cn.mu.Unlock()
-
-	resp, ok := <-ch
-	if !ok {
-		cn.mu.Lock()
-		err := cn.err
-		cn.mu.Unlock()
-		return nil, err
-	}
-	return resp, nil
-}
-
-// failed reports whether the connection is dead (a candidate for
-// replacement in the pool).
-func (cn *conn) failed() bool {
-	cn.mu.Lock()
-	defer cn.mu.Unlock()
-	return cn.closed
-}
-
-// lastErr returns the error the connection failed with.
-func (cn *conn) lastErr() error {
-	cn.mu.Lock()
-	defer cn.mu.Unlock()
-	return cn.err
-}
-
-// fail closes the connection once, waking every pending caller with err.
-func (cn *conn) fail(err error) {
-	cn.mu.Lock()
-	if cn.closed {
-		cn.mu.Unlock()
-		return
-	}
-	cn.closed = true
-	cn.err = err
-	for _, ch := range cn.pending {
-		close(ch)
-	}
-	cn.pending = nil
-	cn.cond.Signal()
-	cn.mu.Unlock()
-	cn.nc.Close()
-}
-
-func (cn *conn) writer() {
-	bw := bufio.NewWriterSize(cn.nc, 64<<10)
-	var scratch []byte
-	for {
-		cn.mu.Lock()
-		for len(cn.out) == 0 && !cn.closed {
-			cn.cond.Wait()
-		}
-		if cn.closed {
-			cn.mu.Unlock()
-			return
-		}
-		batch := cn.out
-		cn.out = nil
-		cn.mu.Unlock()
-		for _, req := range batch {
-			// Encode before writing so a single oversized request can
-			// fail on its own instead of poisoning the pipelined
-			// connection (the server would drop the whole connection on
-			// an over-limit frame without a response).
-			scratch = wire.AppendRequest(scratch[:0], req)
-			if len(scratch) > cn.maxFrame {
-				cn.deliver(&wire.Response{
-					ID: req.ID, Op: req.Op,
-					Err: fmt.Sprintf("request frame %d bytes exceeds limit %d", len(scratch), cn.maxFrame),
-				})
-				continue
-			}
-			if err := wire.WriteFrame(bw, scratch); err != nil {
-				cn.fail(err)
-				return
-			}
-		}
-		if err := bw.Flush(); err != nil {
-			cn.fail(err)
-			return
-		}
-	}
-}
-
-// deliver routes a locally-generated response to its pending caller.
-func (cn *conn) deliver(resp *wire.Response) {
-	cn.mu.Lock()
-	ch := cn.pending[resp.ID]
-	delete(cn.pending, resp.ID)
-	cn.mu.Unlock()
-	if ch != nil {
-		ch <- resp
-	}
-}
-
-func (cn *conn) reader() {
-	fr := wire.NewFrameReader(bufio.NewReaderSize(cn.nc, 64<<10), cn.maxFrame)
-	for {
-		resp, err := fr.ReadResponse()
-		if err != nil {
-			cn.fail(fmt.Errorf("kvclient: connection lost: %w", err))
-			return
-		}
-		cn.deliver(resp)
-	}
-}
+// The pipelined connection machinery (one writer goroutine batching
+// outbound frames, one reader routing responses by request ID) lives in
+// internal/netio and is shared with the queue service's client.

@@ -93,6 +93,99 @@ func TestUnregister(t *testing.T) {
 	}
 }
 
+// TestUnregisterLastThenStart pins the subtle branch StartTransaction
+// takes when the previous service vanished: unregistering the `last`
+// service clears it, so the next transaction starts fence-free even at a
+// different service — and the library recovers cleanly, counting fences
+// again on later switches.
+func TestUnregisterLastThenStart(t *testing.T) {
+	l := New()
+	fa, fb := &countingFence{}, &countingFence{}
+	l.RegisterService("a", fa)
+	l.RegisterService("b", fb)
+	l.StartTransaction("a", func() {})
+	l.UnregisterService("a")
+
+	ran := false
+	l.StartTransaction("b", func() { ran = true })
+	if !ran || fa.n != 0 || fb.n != 0 || l.Fences != 0 {
+		t.Fatalf("post-unregister start: ran=%v a=%d b=%d fences=%d, want fence-free run", ran, fa.n, fb.n, l.Fences)
+	}
+
+	// Re-registration under the freed name is legal, and the fence
+	// machinery resumes: b→a fences b.
+	l.RegisterService("a", fa)
+	l.StartTransaction("a", func() {})
+	if fb.n != 1 || l.Fences != 1 {
+		t.Fatalf("post-re-registration switch: b=%d fences=%d, want 1, 1", fb.n, l.Fences)
+	}
+
+	// Unregistering a service that is NOT `last` must not clear it: the
+	// next switch still fences the true previous service.
+	l.UnregisterService("b")
+	if l.LastService() != "a" {
+		t.Fatalf("unregistering non-last service cleared last = %q", l.LastService())
+	}
+}
+
+// TestPropagatedLastServiceFences checks the §4.2 receive path when the
+// propagated service IS registered locally: the first transaction at a
+// different service must fence it (the sim photoshare relies on this).
+func TestPropagatedLastServiceFences(t *testing.T) {
+	l := New()
+	fa := &countingFence{}
+	l.RegisterService("a", fa)
+	l.RegisterService("b", core.NoopFence)
+	l.SetLastService("a") // from another process's baggage
+	ran := false
+	l.StartTransaction("b", func() { ran = true })
+	if !ran || fa.n != 1 || l.Fences != 1 {
+		t.Fatalf("propagated-last switch: ran=%v a=%d fences=%d, want fence invoked", ran, fa.n, l.Fences)
+	}
+}
+
+// TestFenceCountsUnderInterleavedSwitches drives a three-service
+// round-robin and checks the metric equals exactly the switch count: every
+// transaction after the first is a switch, each fencing its predecessor.
+func TestFenceCountsUnderInterleavedSwitches(t *testing.T) {
+	l := New()
+	f := map[string]*countingFence{"a": {}, "b": {}, "c": {}}
+	for name, cf := range f {
+		l.RegisterService(name, cf)
+	}
+	order := []string{"a", "b", "c", "a", "c", "b", "a", "a", "b"}
+	for _, svc := range order {
+		l.StartTransaction(svc, func() {})
+	}
+	// Switches: every adjacent unequal pair — a→b→c→a→c→b→a, a→b = 7.
+	if l.Fences != 7 {
+		t.Errorf("Fences = %d, want 7", l.Fences)
+	}
+	// Each predecessor of a switch was fenced once per departure:
+	// a departs 3x (a→b, a→c, a→b), b 2x, c 2x.
+	if f["a"].n != 3 || f["b"].n != 2 || f["c"].n != 2 {
+		t.Errorf("per-service fences a=%d b=%d c=%d, want 3, 2, 2", f["a"].n, f["b"].n, f["c"].n)
+	}
+	if l.LastService() != "b" {
+		t.Errorf("LastService = %q, want b", l.LastService())
+	}
+}
+
+// TestDuplicateRegistrationPanicsEvenAfterUse pins that duplicate
+// registration panics regardless of library state (fresh, used, or with
+// the duplicate as the active `last` service).
+func TestDuplicateRegistrationPanicsEvenAfterUse(t *testing.T) {
+	l := New()
+	l.RegisterService("a", core.NoopFence)
+	l.StartTransaction("a", func() {})
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate registration of an in-use service did not panic")
+		}
+	}()
+	l.RegisterService("a", core.NoopFence)
+}
+
 func TestRegistrationErrors(t *testing.T) {
 	l := New()
 	l.RegisterService("a", core.NoopFence)

@@ -1,0 +1,724 @@
+// Live (socketed) photo-share: the §4 composition of the paper's running
+// example over real daemons instead of the simulator — albums on one
+// rsskvd, photos on a second rsskvd, and the thumbnail queue on the live
+// queue service, with every process's service switches mediated by a
+// per-process librss.Library. Each process registers three services:
+//
+//	kv-albums   kvclient fence → rsskvd fence barrier; the returned fence
+//	            timestamp (TT.now().latest, §5.1) is folded into the
+//	            process's shared session t_min
+//	kv-photos   same, against the second daemon
+//	queue       queueclient fence; a linearizable service, so §4.1 makes
+//	            it semantically a no-op
+//
+// The two KV sessions share one t_min: after every operation and fence the
+// larger of the two clients' floors is pushed to both, so a timestamp
+// learned at one service constrains snapshots at the other (§4.2's
+// causality propagation, in-process). Both daemons run on one host here,
+// which makes their TrueTime timestamps directly comparable; on genuinely
+// separate machines each daemon's -eps must cover the real clock-sync
+// bound or a propagated t_min can be rejected as an implausible lead.
+//
+// Every operation of every process is recorded into one merged history —
+// both KV services and the queue — and checked against RSS. With honest
+// daemons the composition passes with or without fences: a single-host
+// rsskvd is strictly serializable, and strict serializability, like
+// linearizability, composes. The falsifiable direction runs the daemons
+// under the PO-serializability ablation (server.Config.POReadLag, Table
+// 1's no-fence row): each service keeps session order but drops real-time
+// order, the composition is not RSS (Perrin et al.: sequential consistency
+// does not compose), and the checker finds the I2/A2-shaped cycle through
+// the queue — enqueue after a completed photo write, dequeue, stale read.
+package photoshare
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rsskv/internal/core"
+	"rsskv/internal/history"
+	"rsskv/internal/kvclient"
+	"rsskv/internal/librss"
+	"rsskv/internal/queueclient"
+	"rsskv/internal/sim"
+	"rsskv/internal/stats"
+)
+
+// Live service names registered with libRSS.
+const (
+	LiveAlbumService = "kv-albums"
+	LivePhotoService = "kv-photos"
+	LiveQueueService = "queue"
+)
+
+// LiveConfig parameterizes a live composition run.
+type LiveConfig struct {
+	// AlbumAddr, PhotoAddr, and QueueAddr are the three daemons.
+	AlbumAddr, PhotoAddr, QueueAddr string
+	// Fences enables libRSS real-time fences at service switches; off is
+	// the ablation.
+	Fences bool
+	// Propagate enables §4.2 causal baggage (t_min + last service) on the
+	// out-of-band A2 probes. The paper's RSS configuration propagates;
+	// the PO ablation has no mechanism to, which is why A2 is "always"
+	// possible there (Table 1).
+	Propagate bool
+	// Adders, Viewers: process counts. Each adder owns one user's album
+	// (single writer), adds Photos photos, and enqueues each for the
+	// thumbnail worker; viewers view random albums throughout.
+	Adders, Viewers int
+	// Photos is the number of photos each adder adds.
+	Photos int
+	// Probes is the number of A2 out-of-band probes: an adder finishes a
+	// photo and "calls" a viewer, which immediately views the album. The
+	// call is recorded as a HappensAfter edge in the history.
+	Probes int
+	// Conns is each client's connection-pool size.
+	Conns int
+	// WorkerPoll is the worker's delay after an empty dequeue.
+	WorkerPoll time.Duration
+	// Seed drives the viewers' album choices.
+	Seed int64
+	// Prefix namespaces keys and the queue so reruns against long-lived
+	// daemons never collide; defaults to a fresh nonce.
+	Prefix string
+}
+
+// Defaults fills zero fields with sensible values.
+func (c *LiveConfig) Defaults() {
+	if c.Adders <= 0 {
+		c.Adders = 2
+	}
+	if c.Viewers <= 0 {
+		c.Viewers = 2
+	}
+	if c.Photos <= 0 {
+		c.Photos = 40
+	}
+	if c.Probes < 0 {
+		c.Probes = 0
+	}
+	if c.Probes > c.Photos {
+		c.Probes = c.Photos
+	}
+	if c.Conns <= 0 {
+		c.Conns = 2
+	}
+	if c.WorkerPoll <= 0 {
+		c.WorkerPoll = 2 * time.Millisecond
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Prefix == "" {
+		c.Prefix = fmt.Sprintf("ps%d", time.Now().UnixNano())
+	}
+}
+
+// LiveResult is one live composition run's outcome.
+type LiveResult struct {
+	// H is the merged history across both KV services and the queue.
+	H *history.History
+	// V tallies invariant violations and anomalies observed by the
+	// application itself (the checker independently verifies the
+	// recorded history).
+	V Violations
+	// Fences is the number of libRSS fences invoked, summed across
+	// processes; FenceLatency samples their latency in microseconds.
+	Fences       int64
+	FenceLatency stats.Sample
+	// ROLatency samples snapshot reads (album and photo views), RWLatency
+	// the mutating KV ops, QueueLatency enqueues and non-empty dequeues —
+	// all in microseconds, all end-to-end including any fence the
+	// operation's service switch required (the §4 overhead shows up
+	// here).
+	ROLatency, RWLatency, QueueLatency stats.Sample
+	// Ops is the number of recorded operations; Processed the number of
+	// photos the worker consumed.
+	Ops       int
+	Processed int64
+	// Elapsed is the wall-clock duration of the run.
+	Elapsed time.Duration
+}
+
+// Throughput returns recorded operations per wall-clock second.
+func (r *LiveResult) Throughput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Ops) / r.Elapsed.Seconds()
+}
+
+// liveProc is one application process: private clients for all three
+// services, a librss registry, and an operation recorder. Its two KV
+// sessions share one t_min floor.
+type liveProc struct {
+	cfg    *LiveConfig
+	id     int
+	albums *kvclient.Client
+	photos *kvclient.Client
+	queue  *queueclient.Client
+	lib    *librss.Library
+
+	start time.Time
+	last  sim.Time
+	ops   []*core.Op
+	seq   int64
+
+	res *LiveResult // shared; mu guards it and the violation counters
+	mu  *sync.Mutex
+}
+
+// newLiveProc dials the three services and registers their fences.
+func newLiveProc(cfg *LiveConfig, id int, start time.Time, res *LiveResult, mu *sync.Mutex) (*liveProc, error) {
+	p := &liveProc{cfg: cfg, id: id, start: start, res: res, mu: mu, lib: librss.New()}
+	var err error
+	if p.albums, err = kvclient.Dial(cfg.AlbumAddr, kvclient.Options{Conns: cfg.Conns}); err != nil {
+		return nil, fmt.Errorf("dial albums: %w", err)
+	}
+	if p.photos, err = kvclient.Dial(cfg.PhotoAddr, kvclient.Options{Conns: cfg.Conns}); err != nil {
+		p.close()
+		return nil, fmt.Errorf("dial photos: %w", err)
+	}
+	if p.queue, err = queueclient.Dial(cfg.QueueAddr, queueclient.Options{Conns: cfg.Conns}); err != nil {
+		p.close()
+		return nil, fmt.Errorf("dial queue: %w", err)
+	}
+	p.lib.RegisterService(LiveAlbumService, core.FenceFunc(func(done func()) { p.kvFence(p.albums, LiveAlbumService); done() }))
+	p.lib.RegisterService(LivePhotoService, core.FenceFunc(func(done func()) { p.kvFence(p.photos, LivePhotoService); done() }))
+	p.lib.RegisterService(LiveQueueService, core.FenceFunc(func(done func()) { p.queueFence(); done() }))
+	return p, nil
+}
+
+func (p *liveProc) close() {
+	for _, c := range []*kvclient.Client{p.albums, p.photos} {
+		if c != nil {
+			c.Close()
+		}
+	}
+	if p.queue != nil {
+		p.queue.Close()
+	}
+}
+
+// now returns a strictly increasing per-process instant (see loadgen).
+func (p *liveProc) now() sim.Time {
+	t := sim.Time(time.Since(p.start).Nanoseconds())
+	if t <= p.last {
+		t = p.last + 1
+	}
+	p.last = t
+	return t
+}
+
+// newOp allocates an operation with a process-unique ID, pre-assigned so
+// HappensAfter edges can reference it before the merge.
+func (p *liveProc) newOp(typ core.OpType, service string) *core.Op {
+	p.seq++
+	return &core.Op{
+		ID:      int64(p.id)*1_000_000 + p.seq,
+		Client:  p.id,
+		Service: service,
+		Type:    typ,
+		Respond: core.Pending,
+	}
+}
+
+func (p *liveProc) record(op *core.Op) {
+	op.Respond = p.now()
+	p.ops = append(p.ops, op)
+}
+
+// syncTMin pushes the larger of the two KV sessions' floors to both, so a
+// timestamp learned at either daemon constrains later snapshots at the
+// other. Both daemons share the host clock here; see the package comment
+// for the separate-machines -eps caveat.
+func (p *liveProc) syncTMin() {
+	a, b := p.albums.TMin(), p.photos.TMin()
+	if b > a {
+		a = b
+	}
+	p.albums.SetTMin(a)
+	p.photos.SetTMin(a)
+}
+
+// kvFence invokes a KV daemon's real-time fence, folds the fence timestamp
+// into the shared session t_min, and records + samples it.
+func (p *liveProc) kvFence(cl *kvclient.Client, service string) {
+	op := p.newOp(core.Fence, service)
+	op.Invoke = p.now()
+	if err := cl.Fence(); err != nil {
+		return // a failed fence is no worse than a crashed process (§4.1)
+	}
+	p.syncTMin()
+	p.record(op)
+	p.sample(&p.res.FenceLatency, op)
+}
+
+// queueFence is the linearizable service's fence: a sequencer-loop round
+// trip, recorded for the fence counts.
+func (p *liveProc) queueFence() {
+	op := p.newOp(core.Fence, LiveQueueService)
+	op.Invoke = p.now()
+	if err := p.queue.Fence(); err != nil {
+		return
+	}
+	p.record(op)
+	p.sample(&p.res.FenceLatency, op)
+}
+
+// begin runs libRSS's StartTransaction (or skips fencing when disabled).
+// The live fences are synchronous, so run executes inline.
+func (p *liveProc) begin(service string, run func()) {
+	if !p.cfg.Fences {
+		run()
+		return
+	}
+	p.lib.StartTransaction(service, run)
+}
+
+func (p *liveProc) sample(s *stats.Sample, op *core.Op) {
+	p.mu.Lock()
+	s.AddFloat(float64(op.Respond-op.Invoke) / 1e3)
+	p.mu.Unlock()
+}
+
+func (cfg *LiveConfig) albumKey(user string) string { return cfg.Prefix + ":album:" + user }
+func (cfg *LiveConfig) photoKey(id string) string   { return cfg.Prefix + ":photo:" + id }
+func (cfg *LiveConfig) queueName() string           { return cfg.Prefix + ":thumbs" }
+
+// probe is one out-of-band A2 "phone call" from an adder to a viewer: the
+// adder just finished adding id; albumOp is the completed album write the
+// viewer's next view causally follows.
+type probe struct {
+	user, id    string
+	albumOpID   int64
+	tmin        int64
+	lastService string
+}
+
+// relay is one A3 observation hand-off: viewer 0 saw ids in user's album
+// (its view recorded as viewOpID) and "tells" viewer 1, which must then
+// see them too — whether the underlying writes were settled or not.
+type relay struct {
+	user     string
+	ids      []string
+	viewOpID int64
+	tmin     int64
+}
+
+// addPhoto is the live AddPhoto flow: photo data on kv-photos, the album
+// append on kv-albums (a read-write transaction under the adder's single-
+// writer mirror), then the thumbnail enqueue — two service switches, each
+// fenced when enabled.
+func (p *liveProc) addPhoto(user, id, data, albumCSV string) (albumOpID int64, err error) {
+	p.begin(LivePhotoService, func() {
+		op := p.newOp(core.Write, LivePhotoService)
+		op.Key, op.Value = p.cfg.photoKey(id), data
+		op.Invoke = p.now()
+		var ver int64
+		if ver, err = p.photos.Put(op.Key, op.Value); err != nil {
+			return
+		}
+		op.Version = ver
+		p.syncTMin()
+		p.record(op)
+		p.sample(&p.res.RWLatency, op)
+	})
+	if err != nil {
+		return 0, err
+	}
+	p.begin(LiveAlbumService, func() {
+		op := p.newOp(core.RWTxn, LiveAlbumService)
+		key := p.cfg.albumKey(user)
+		op.Invoke = p.now()
+		var txn *kvclient.Txn
+		if txn, err = p.albums.Begin(); err != nil {
+			return
+		}
+		var reads map[string]string
+		var ver int64
+		reads, ver, err = txn.Read(key).Write(key, albumCSV).Commit()
+		if err != nil {
+			return
+		}
+		op.Reads = reads
+		op.Writes = map[string]string{key: albumCSV}
+		op.Version = ver
+		p.syncTMin()
+		p.record(op)
+		p.sample(&p.res.RWLatency, op)
+		albumOpID = op.ID
+	})
+	if err != nil {
+		return 0, err
+	}
+	p.begin(LiveQueueService, func() {
+		op := p.newOp(core.Enqueue, LiveQueueService)
+		op.Key = p.cfg.queueName()
+		op.Value = id
+		op.Invoke = p.now()
+		var seq int64
+		if seq, err = p.queue.Enqueue(op.Key, id); err != nil {
+			return
+		}
+		op.Version = seq
+		p.record(op)
+		p.sample(&p.res.QueueLatency, op)
+	})
+	if err != nil {
+		return 0, err
+	}
+	return albumOpID, nil
+}
+
+// viewAlbum is the live ViewAlbum flow: the album snapshot on kv-albums,
+// then the referenced photos on kv-photos (a service switch), checking I1
+// and reporting the IDs seen plus the album read's own operation ID (the
+// anchor for relayed observations). after, when nonzero, is a HappensAfter
+// dependency for the album read (an out-of-band call).
+func (p *liveProc) viewAlbum(user string, after int64) (ids []string, albumOpID int64, err error) {
+	var csv string
+	p.begin(LiveAlbumService, func() {
+		op := p.newOp(core.ROTxn, LiveAlbumService)
+		key := p.cfg.albumKey(user)
+		op.Invoke = p.now()
+		var ro kvclient.ROResult
+		if ro, err = p.albums.Snapshot(key); err != nil {
+			return
+		}
+		csv = ro.Vals[key]
+		op.Reads = map[string]string{key: csv}
+		op.Version = ro.Snapshot
+		if after != 0 {
+			op.HappensAfter = []int64{after}
+		}
+		p.syncTMin()
+		p.record(op)
+		p.sample(&p.res.ROLatency, op)
+		albumOpID = op.ID
+	})
+	if err != nil || csv == "" {
+		return nil, albumOpID, err
+	}
+	ids = strings.Split(csv, ",")
+	p.begin(LivePhotoService, func() {
+		op := p.newOp(core.ROTxn, LivePhotoService)
+		keys := make([]string, len(ids))
+		for i, id := range ids {
+			keys[i] = p.cfg.photoKey(id)
+		}
+		op.Invoke = p.now()
+		var ro kvclient.ROResult
+		if ro, err = p.photos.Snapshot(keys...); err != nil {
+			return
+		}
+		op.Reads = ro.Vals
+		op.Version = ro.Snapshot
+		p.syncTMin()
+		p.record(op)
+		p.sample(&p.res.ROLatency, op)
+		p.mu.Lock()
+		for _, k := range keys {
+			if ro.Vals[k] == "" {
+				p.res.V.I1++
+			}
+		}
+		p.mu.Unlock()
+	})
+	return ids, albumOpID, err
+}
+
+// workerStep dequeues one thumbnail request and reads its photo, checking
+// I2. It reports whether the queue had an element.
+func (p *liveProc) workerStep() (bool, error) {
+	var gotID string
+	var got bool
+	var err error
+	p.begin(LiveQueueService, func() {
+		op := p.newOp(core.Dequeue, LiveQueueService)
+		op.Key = p.cfg.queueName()
+		op.Invoke = p.now()
+		var v string
+		var seq int64
+		if v, seq, got, err = p.queue.Dequeue(op.Key); err != nil {
+			return
+		}
+		if !got {
+			p.record(op) // empty poll: unconstrained, recorded for completeness
+			return
+		}
+		op.Value, op.Version = v, seq
+		gotID = v
+		p.record(op)
+		p.sample(&p.res.QueueLatency, op)
+	})
+	if err != nil || !got {
+		return false, err
+	}
+	// Crossing queue→kv-photos: the queue's fence is (semantically) a
+	// no-op; what must make this read see the photo is the KV service's
+	// own RSS guarantee — exactly what the PO ablation drops.
+	p.begin(LivePhotoService, func() {
+		op := p.newOp(core.ROTxn, LivePhotoService)
+		key := p.cfg.photoKey(gotID)
+		op.Invoke = p.now()
+		var ro kvclient.ROResult
+		if ro, err = p.photos.Snapshot(key); err != nil {
+			return
+		}
+		op.Reads = map[string]string{key: ro.Vals[key]}
+		op.Version = ro.Snapshot
+		p.syncTMin()
+		p.record(op)
+		p.sample(&p.res.ROLatency, op)
+		p.mu.Lock()
+		if ro.Vals[key] == "" {
+			p.res.V.I2++
+		}
+		p.res.Processed++
+		p.mu.Unlock()
+	})
+	return true, err
+}
+
+// RunLive drives the live composition workload and returns the merged
+// history plus the application-level violation counters. The caller checks
+// the history (core.RSS) and decides which verdict the configuration
+// demands.
+func RunLive(cfg LiveConfig) (*LiveResult, error) {
+	cfg.Defaults()
+	if cfg.AlbumAddr == "" || cfg.PhotoAddr == "" || cfg.QueueAddr == "" {
+		return nil, errors.New("photoshare: live run needs album, photo, and queue addresses")
+	}
+	start := time.Now()
+	res := &LiveResult{H: &history.History{}}
+	var mu sync.Mutex
+
+	total := cfg.Adders * cfg.Photos
+	probes := make(chan probe, cfg.Probes+1)
+	relays := make(chan relay, cfg.Probes+1)
+	var addersLeft atomic.Int64
+	addersLeft.Store(int64(cfg.Adders))
+	var enqueued atomic.Int64
+	var probesDrained atomic.Bool
+
+	// Process IDs: adders, then viewers, then the worker.
+	nProcs := cfg.Adders + cfg.Viewers + 1
+	procs := make([]*liveProc, nProcs)
+	for i := range procs {
+		p, err := newLiveProc(&cfg, i, start, res, &mu)
+		if err != nil {
+			for _, q := range procs {
+				if q != nil {
+					q.close()
+				}
+			}
+			return nil, err
+		}
+		procs[i] = p
+	}
+	defer func() {
+		for _, p := range procs {
+			p.close()
+		}
+	}()
+
+	errs := make([]error, nProcs)
+	var wg sync.WaitGroup
+
+	// Adders: each owns user "u<i>" and appends Photos photos to its
+	// album (single writer, so the local CSV mirror is authoritative).
+	// The last Probes adds of adder 0 each place an out-of-band call.
+	for a := 0; a < cfg.Adders; a++ {
+		wg.Add(1)
+		go func(a int) {
+			defer wg.Done()
+			defer addersLeft.Add(-1)
+			p := procs[a]
+			user := fmt.Sprintf("u%d", a)
+			var csv string
+			for i := 0; i < cfg.Photos; i++ {
+				id := fmt.Sprintf("a%d-p%d", a, i)
+				if csv == "" {
+					csv = id
+				} else {
+					csv += "," + id
+				}
+				albumOp, err := p.addPhoto(user, id, "D-"+id, csv)
+				if err != nil {
+					errs[a] = err
+					return
+				}
+				enqueued.Add(1)
+				if a == 0 && i >= cfg.Photos-cfg.Probes {
+					probes <- probe{
+						user: user, id: id, albumOpID: albumOp,
+						tmin:        p.albums.TMin(),
+						lastService: p.lib.LastService(),
+					}
+				}
+			}
+		}(a)
+	}
+
+	// Viewers: view random albums while adds stream in. Viewer 0 serves
+	// the A2 probes (the adder's out-of-band calls) and relays what it
+	// saw to viewer 1 — the A3 probe: an observation handed on before the
+	// observer can know whether the underlying writes are settled.
+	for v := 0; v < cfg.Viewers; v++ {
+		wg.Add(1)
+		go func(v int) {
+			defer wg.Done()
+			if v == 0 {
+				defer probesDrained.Store(true)
+			}
+			pid := cfg.Adders + v
+			p := procs[pid]
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(v)*7919))
+			acceptBaggage := func(tmin int64) {
+				if cfg.Propagate {
+					p.albums.SetTMin(tmin)
+					p.photos.SetTMin(tmin)
+				}
+			}
+			for {
+				switch {
+				case v == 0:
+					if addersLeft.Load() == 0 && len(probes) == 0 {
+						return
+					}
+				case v == 1:
+					if addersLeft.Load() == 0 && probesDrained.Load() && len(relays) == 0 {
+						return
+					}
+				default:
+					if addersLeft.Load() == 0 {
+						return
+					}
+				}
+				if v == 0 {
+					select {
+					case pr := <-probes:
+						// The call happened: Bob's view causally follows
+						// Alice's completed album write whether or not the
+						// baggage travels — that asymmetry is A2.
+						acceptBaggage(pr.tmin)
+						if cfg.Propagate && cfg.Fences && pr.lastService != "" {
+							p.lib.SetLastService(pr.lastService)
+						}
+						ids, viewOp, err := p.viewAlbum(pr.user, pr.albumOpID)
+						if err != nil {
+							errs[pid] = err
+							return
+						}
+						mu.Lock()
+						res.V.A2Checks++
+						if !contains(ids, pr.id) {
+							res.V.A2++
+						}
+						mu.Unlock()
+						if cfg.Viewers > 1 && len(ids) > 0 {
+							relays <- relay{user: pr.user, ids: ids, viewOpID: viewOp, tmin: p.albums.TMin()}
+						}
+						continue
+					default:
+					}
+				}
+				if v == 1 {
+					select {
+					case rl := <-relays:
+						// A3: viewer 0 saw these IDs and "tells" viewer 1,
+						// which must then see them too.
+						acceptBaggage(rl.tmin)
+						ids, _, err := p.viewAlbum(rl.user, rl.viewOpID)
+						if err != nil {
+							errs[pid] = err
+							return
+						}
+						mu.Lock()
+						res.V.A3Checks++
+						for _, id := range rl.ids {
+							if !contains(ids, id) {
+								res.V.A3++
+								break
+							}
+						}
+						mu.Unlock()
+						continue
+					default:
+					}
+				}
+				user := fmt.Sprintf("u%d", rng.Intn(cfg.Adders))
+				if _, _, err := p.viewAlbum(user, 0); err != nil {
+					errs[pid] = err
+					return
+				}
+			}
+		}(v)
+	}
+
+	// Worker: drain the queue until every enqueued photo is processed.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		pid := nProcs - 1
+		p := procs[pid]
+		deadline := time.Now().Add(60 * time.Second)
+		for {
+			mu.Lock()
+			done := res.Processed >= int64(total)
+			mu.Unlock()
+			if done || time.Now().After(deadline) {
+				return
+			}
+			got, err := p.workerStep()
+			if err != nil {
+				errs[pid] = err
+				return
+			}
+			if !got {
+				// With the adders done, enqueued is final: the worker is
+				// finished once it has consumed every acknowledged enqueue
+				// (fewer than total if an adder failed early).
+				mu.Lock()
+				processed := res.Processed
+				mu.Unlock()
+				if addersLeft.Load() == 0 && processed >= enqueued.Load() {
+					return
+				}
+				time.Sleep(cfg.WorkerPoll)
+			}
+		}
+	}()
+
+	wg.Wait()
+	res.Elapsed = time.Since(start)
+	for _, p := range procs {
+		res.Fences += p.lib.Fences
+		for _, op := range p.ops {
+			res.H.Add(op)
+		}
+		res.Ops += len(p.ops)
+	}
+	for i, err := range errs {
+		if err != nil {
+			return res, fmt.Errorf("process %d: %w", i, err)
+		}
+	}
+	return res, nil
+}
+
+func contains(ids []string, id string) bool {
+	for _, x := range ids {
+		if x == id {
+			return true
+		}
+	}
+	return false
+}

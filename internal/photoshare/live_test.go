@@ -1,0 +1,148 @@
+package photoshare_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"rsskv/internal/core"
+	"rsskv/internal/history"
+	"rsskv/internal/photoshare"
+	"rsskv/internal/queue"
+	"rsskv/internal/server"
+)
+
+// liveStack is the three-daemon composition deployment on loopback
+// sockets: albums and photos on separate rsskvd instances, plus the live
+// queue service.
+type liveStack struct {
+	albums, photos *server.Server
+	queue          *queue.Server
+}
+
+// startStack boots the three daemons; poLag > 0 runs both KV daemons
+// under the PO-serializability ablation.
+func startStack(t *testing.T, poLag time.Duration) *liveStack {
+	t.Helper()
+	st := &liveStack{
+		albums: server.New(server.Config{Shards: 2, POReadLag: poLag}),
+		photos: server.New(server.Config{Shards: 2, POReadLag: poLag}),
+		queue:  queue.NewServer(queue.ServerConfig{Acceptors: 1}),
+	}
+	for name, start := range map[string]func(string) error{
+		"albums": st.albums.Start, "photos": st.photos.Start, "queue": st.queue.Start,
+	} {
+		if err := start("127.0.0.1:0"); err != nil {
+			t.Fatalf("start %s: %v", name, err)
+		}
+	}
+	t.Cleanup(func() {
+		st.albums.Close()
+		st.photos.Close()
+		st.queue.Close()
+	})
+	return st
+}
+
+func (st *liveStack) config(fences bool) photoshare.LiveConfig {
+	return photoshare.LiveConfig{
+		AlbumAddr: st.albums.Addr(),
+		PhotoAddr: st.photos.Addr(),
+		QueueAddr: st.queue.Addr(),
+		Fences:    fences,
+		Propagate: fences,
+		Adders:    2,
+		Viewers:   2,
+		Photos:    25,
+		Probes:    8,
+		Seed:      42,
+	}
+}
+
+// TestLiveCompositionFencedAccepted is the accept half of the
+// falsifiability pair: the photo-share workload across two rsskvd daemons
+// and the live queue, with libRSS fences at every service switch, produces
+// a merged cross-service history the RSS checker accepts, zero invariant
+// violations, and a nonzero fence count (the switches really fence).
+func TestLiveCompositionFencedAccepted(t *testing.T) {
+	st := startStack(t, 0)
+	res, err := photoshare.RunLive(st.config(true))
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if res.Processed != 2*25 {
+		t.Errorf("worker processed %d photos, want %d", res.Processed, 2*25)
+	}
+	if res.V.I1 != 0 || res.V.I2 != 0 || res.V.A2 != 0 || res.V.A3 != 0 {
+		t.Errorf("fenced run observed violations: %v", &res.V)
+	}
+	if res.V.A2Checks == 0 || res.V.A3Checks == 0 {
+		t.Errorf("probes did not run: %v", &res.V)
+	}
+	if res.Fences == 0 {
+		t.Error("no libRSS fences were invoked despite constant service switches")
+	}
+	if err := history.Check(res.H, core.RSS); err != nil {
+		t.Errorf("fenced composition history rejected: %v", err)
+	}
+}
+
+// TestLiveCompositionUnfencedRejected is the reject half: the identical
+// workload with fences off and the daemons under the PO ablation (each
+// service session-ordered but not real-time-ordered — the configuration
+// the missing fences can no longer repair, per Perrin et al.'s
+// non-composition result) must observe I2 and produce a merged history the
+// checker REJECTS with an I2/A2-shaped cycle through the queue or the
+// out-of-band call.
+func TestLiveCompositionUnfencedRejected(t *testing.T) {
+	st := startStack(t, 250*time.Millisecond)
+	cfg := st.config(false)
+	res, err := photoshare.RunLive(cfg)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if res.Fences != 0 {
+		t.Errorf("fences-off run invoked %d fences", res.Fences)
+	}
+	// The worker dequeues each photo ID milliseconds after its enqueue —
+	// far inside the 250ms lag — so its photo read misses the completed
+	// write: the paper's I2, live.
+	if res.V.I2 == 0 {
+		t.Error("unfenced PO composition observed no I2 violations; the ablation was not observable")
+	}
+	checkErr := history.Check(res.H, core.RSS)
+	if checkErr == nil {
+		t.Fatal("unfenced PO composition history passed the RSS check; want rejection")
+	}
+	t.Logf("rejected as intended: %v", checkErr)
+	// The cycle must span the composition: it should mention the queue's
+	// edges or the out-of-band call, not only intra-KV constraints.
+	msg := checkErr.Error()
+	if !strings.Contains(msg, "dequeue") && !strings.Contains(msg, "enqueue") &&
+		!strings.Contains(msg, "message passing") && !strings.Contains(msg, "read-initial") {
+		t.Logf("note: cycle did not name a cross-service edge: %s", msg)
+	}
+}
+
+// TestLiveCompositionUnfencedHonestServersVacuouslyRSS documents the
+// locality caveat: with honest (strictly serializable) daemons even the
+// unfenced composition stays RSS on a single host — strict
+// serializability, like linearizability, composes. The fences become
+// load-bearing exactly when the services relax real-time order, which is
+// why the reject direction pairs fences-off with the PO ablation.
+func TestLiveCompositionUnfencedHonestServersVacuouslyRSS(t *testing.T) {
+	st := startStack(t, 0)
+	cfg := st.config(false)
+	cfg.Photos = 12
+	cfg.Probes = 4
+	res, err := photoshare.RunLive(cfg)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if res.V.I2 != 0 {
+		t.Errorf("honest unfenced run observed I2=%d, want 0", res.V.I2)
+	}
+	if err := history.Check(res.H, core.RSS); err != nil {
+		t.Errorf("honest unfenced composition rejected: %v", err)
+	}
+}

@@ -1,0 +1,259 @@
+package queue_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"rsskv/internal/queue"
+	"rsskv/internal/queueclient"
+)
+
+// startServer runs a live queue server on a loopback socket.
+func startServer(t *testing.T, cfg queue.ServerConfig) *queue.Server {
+	t.Helper()
+	s := queue.NewServer(cfg)
+	if err := s.Start("127.0.0.1:0"); err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+func dial(t *testing.T, addr string, conns int) *queueclient.Client {
+	t.Helper()
+	c, err := queueclient.Dial(addr, queueclient.Options{Conns: conns})
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+// drain dequeues until the queue reports empty twice in a row, returning
+// the (seq, value) pairs in dequeue order.
+func drain(t *testing.T, c *queueclient.Client, q string) (seqs []int64, vals []string) {
+	t.Helper()
+	empties := 0
+	for empties < 2 {
+		v, seq, ok, err := c.Dequeue(q)
+		if err != nil {
+			t.Fatalf("dequeue: %v", err)
+		}
+		if !ok {
+			empties++
+			continue
+		}
+		empties = 0
+		seqs = append(seqs, seq)
+		vals = append(vals, v)
+	}
+	return seqs, vals
+}
+
+// TestLiveQueueFIFOUnderConcurrentClients is the live-queue property test:
+// with many pipelined clients enqueueing concurrently, the dequeue order
+// equals the server-assigned enqueue sequence order exactly — every
+// acknowledged element appears once, in ascending seq order, carrying the
+// value its enqueue reply was acknowledged under.
+func TestLiveQueueFIFOUnderConcurrentClients(t *testing.T) {
+	s := startServer(t, queue.ServerConfig{})
+	const clients, perClient = 8, 200
+
+	valBySeq := sync.Map{}
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			client, err := queueclient.Dial(s.Addr(), queueclient.Options{Conns: 2})
+			if err != nil {
+				t.Errorf("client %d: %v", c, err)
+				return
+			}
+			defer client.Close()
+			// Pipeline enqueues from several goroutines per client.
+			var inner sync.WaitGroup
+			for g := 0; g < 4; g++ {
+				inner.Add(1)
+				go func(g int) {
+					defer inner.Done()
+					for i := 0; i < perClient/4; i++ {
+						v := fmt.Sprintf("c%d-g%d-%d", c, g, i)
+						seq, err := client.Enqueue("thumbs", v)
+						if err != nil {
+							t.Errorf("enqueue: %v", err)
+							return
+						}
+						if _, dup := valBySeq.LoadOrStore(seq, v); dup {
+							t.Errorf("seq %d assigned twice", seq)
+						}
+					}
+				}(g)
+			}
+			inner.Wait()
+		}(c)
+	}
+	wg.Wait()
+
+	total := clients * perClient
+	if got := s.Len("thumbs"); got != total {
+		t.Fatalf("queue length = %d, want %d", got, total)
+	}
+	seqs, vals := drain(t, dial(t, s.Addr(), 1), "thumbs")
+	if len(seqs) != total {
+		t.Fatalf("drained %d elements, want %d", len(seqs), total)
+	}
+	for i, seq := range seqs {
+		if seq != int64(i+1) {
+			t.Fatalf("dequeue %d returned seq %d, want %d (FIFO order broken)", i, seq, i+1)
+		}
+		want, _ := valBySeq.Load(seq)
+		if vals[i] != want {
+			t.Fatalf("seq %d carried %q, want %q", seq, vals[i], want)
+		}
+	}
+}
+
+// TestLiveQueueConcurrentDequeuersPartition checks that concurrent
+// dequeuers partition the queue: no element is delivered twice, none is
+// lost, and each dequeuer individually observes ascending seq order (the
+// linearized pop order).
+func TestLiveQueueConcurrentDequeuersPartition(t *testing.T) {
+	s := startServer(t, queue.ServerConfig{})
+	cl := dial(t, s.Addr(), 2)
+	const total = 600
+	for i := 0; i < total; i++ {
+		if _, err := cl.Enqueue("q", fmt.Sprintf("v%d", i)); err != nil {
+			t.Fatalf("enqueue: %v", err)
+		}
+	}
+	const dequeuers = 6
+	got := make([][]int64, dequeuers)
+	var wg sync.WaitGroup
+	for d := 0; d < dequeuers; d++ {
+		wg.Add(1)
+		go func(d int) {
+			defer wg.Done()
+			client, err := queueclient.Dial(s.Addr(), queueclient.Options{})
+			if err != nil {
+				t.Errorf("dial: %v", err)
+				return
+			}
+			defer client.Close()
+			for {
+				_, seq, ok, err := client.Dequeue("q")
+				if err != nil {
+					t.Errorf("dequeue: %v", err)
+					return
+				}
+				if !ok {
+					return
+				}
+				got[d] = append(got[d], seq)
+			}
+		}(d)
+	}
+	wg.Wait()
+	seen := map[int64]bool{}
+	for d, seqs := range got {
+		for i, seq := range seqs {
+			if i > 0 && seqs[i-1] >= seq {
+				t.Fatalf("dequeuer %d saw seq %d after %d (pop order not ascending)", d, seq, seqs[i-1])
+			}
+			if seen[seq] {
+				t.Fatalf("seq %d delivered twice", seq)
+			}
+			seen[seq] = true
+		}
+	}
+	if len(seen) != total {
+		t.Fatalf("delivered %d distinct elements, want %d", len(seen), total)
+	}
+}
+
+// TestLiveQueueAcceptorKillLosesNothing kills one acceptor and severs
+// another's ack path mid-stream: every acknowledged enqueue must still be
+// dequeued, in order — the leader is authoritative and a dead backup
+// neither blocks nor truncates the sequence (replication's Kill/DropAcks
+// hooks, as in the KV replica-kill tests).
+func TestLiveQueueAcceptorKillLosesNothing(t *testing.T) {
+	s := startServer(t, queue.ServerConfig{Acceptors: 2})
+	cl := dial(t, s.Addr(), 2)
+
+	const phase = 150
+	enq := func(base int) {
+		for i := 0; i < phase; i++ {
+			if _, err := cl.Enqueue("q", fmt.Sprintf("v%d", base+i)); err != nil {
+				t.Fatalf("enqueue %d: %v", base+i, err)
+			}
+		}
+	}
+	enq(0)
+	// Let the acceptors catch up, then check the ack watermark moved.
+	deadline := time.Now().Add(2 * time.Second)
+	for s.AckedWatermark() < phase && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if s.AckedWatermark() < phase {
+		t.Fatalf("acked watermark %d never reached %d", s.AckedWatermark(), phase)
+	}
+	if !s.KillAcceptor(0) {
+		t.Fatal("KillAcceptor(0) found no acceptor")
+	}
+	enq(phase)
+	if !s.DropAcceptorAcks(1) {
+		t.Fatal("DropAcceptorAcks(1) found no acceptor")
+	}
+	enq(2 * phase)
+
+	seqs, vals := drain(t, cl, "q")
+	if len(seqs) != 3*phase {
+		t.Fatalf("drained %d elements after acceptor loss, want %d", len(seqs), 3*phase)
+	}
+	for i, seq := range seqs {
+		if seq != int64(i+1) || vals[i] != fmt.Sprintf("v%d", i) {
+			t.Fatalf("element %d = (seq %d, %q), want (seq %d, %q)", i, seq, vals[i], i+1, fmt.Sprintf("v%d", i))
+		}
+	}
+}
+
+// TestLiveQueueMisroutedOpRejected checks that KV opcodes sent to the
+// queue service fail cleanly without poisoning the connection.
+func TestLiveQueueMisroutedOpRejected(t *testing.T) {
+	s := startServer(t, queue.ServerConfig{})
+	cl := dial(t, s.Addr(), 1)
+	if _, err := cl.Enqueue("q", "a"); err != nil {
+		t.Fatal(err)
+	}
+	// Reach for the wire shape directly: a Get against the queue server.
+	if err := cl.Fence(); err != nil {
+		t.Fatalf("fence: %v", err)
+	}
+	v, seq, ok, err := cl.Dequeue("q")
+	if err != nil || !ok || v != "a" || seq != 1 {
+		t.Fatalf("dequeue after fence = (%q, %d, %v, %v)", v, seq, ok, err)
+	}
+	// Separate queues do not share sequences or elements.
+	if _, _, ok, err := cl.Dequeue("other"); err != nil || ok {
+		t.Fatalf("dequeue of untouched queue = (ok=%v, err=%v), want empty", ok, err)
+	}
+}
+
+// TestLiveQueueEmptyValueElement checks that "" travels as a real element,
+// distinguished from emptiness by the wire-level Empty flag.
+func TestLiveQueueEmptyValueElement(t *testing.T) {
+	s := startServer(t, queue.ServerConfig{})
+	cl := dial(t, s.Addr(), 1)
+	if _, err := cl.Enqueue("q", ""); err != nil {
+		t.Fatal(err)
+	}
+	v, seq, ok, err := cl.Dequeue("q")
+	if err != nil || !ok || v != "" || seq != 1 {
+		t.Fatalf("dequeue = (%q, %d, %v, %v), want (\"\", 1, true, nil)", v, seq, ok, err)
+	}
+	if _, _, ok, _ := cl.Dequeue("q"); ok {
+		t.Fatal("drained queue still returned an element")
+	}
+}

@@ -1,0 +1,109 @@
+package queueclient_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"rsskv/internal/queue"
+	"rsskv/internal/queueclient"
+)
+
+func startServer(t *testing.T) *queue.Server {
+	t.Helper()
+	s := queue.NewServer(queue.ServerConfig{})
+	if err := s.Start("127.0.0.1:0"); err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+// TestBasicOps drives the typed helpers end to end.
+func TestBasicOps(t *testing.T) {
+	s := startServer(t)
+	c, err := queueclient.Dial(s.Addr(), queueclient.Options{Conns: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i, v := range []string{"a", "b"} {
+		seq, err := c.Enqueue("q", v)
+		if err != nil || seq != int64(i+1) {
+			t.Fatalf("enqueue %q = (%d, %v)", v, seq, err)
+		}
+	}
+	if err := c.Fence(); err != nil {
+		t.Fatalf("fence: %v", err)
+	}
+	v, seq, ok, err := c.Dequeue("q")
+	if err != nil || !ok || v != "a" || seq != 1 {
+		t.Fatalf("dequeue = (%q, %d, %v, %v)", v, seq, ok, err)
+	}
+	if _, _, ok, err = c.Dequeue("empty"); err != nil || ok {
+		t.Fatalf("empty dequeue = (ok=%v, err=%v)", ok, err)
+	}
+}
+
+// TestOversizedEnqueueFailsAlone checks that a request over the frame
+// limit fails locally with a descriptive error and does not poison the
+// pipelined connection for subsequent operations.
+func TestOversizedEnqueueFailsAlone(t *testing.T) {
+	s := startServer(t)
+	c, err := queueclient.Dial(s.Addr(), queueclient.Options{Conns: 1, MaxFrame: 1 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Enqueue("q", strings.Repeat("x", 2<<10)); err == nil {
+		t.Fatal("oversized enqueue succeeded")
+	} else if !strings.Contains(err.Error(), "exceeds limit") {
+		t.Fatalf("oversized enqueue error = %v, want a frame-limit message", err)
+	}
+	if seq, err := c.Enqueue("q", "small"); err != nil || seq != 1 {
+		t.Fatalf("enqueue after local failure = (%d, %v); connection was poisoned", seq, err)
+	}
+}
+
+// TestClosedClient checks ErrClosed surfaces after Close.
+func TestClosedClient(t *testing.T) {
+	s := startServer(t)
+	c, err := queueclient.Dial(s.Addr(), queueclient.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	if _, err := c.Enqueue("q", "v"); !errors.Is(err, queueclient.ErrClosed) {
+		t.Fatalf("enqueue after close = %v, want ErrClosed", err)
+	}
+}
+
+// TestRedialAfterServerDrop checks the pool's lazy redial: connections
+// severed by a server-side "network blip" (every accepted socket closed,
+// listener kept) are replaced on their next use.
+func TestRedialAfterServerDrop(t *testing.T) {
+	s := startServer(t)
+	c, err := queueclient.Dial(s.Addr(), queueclient.Options{Conns: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Enqueue("q", "before"); err != nil {
+		t.Fatal(err)
+	}
+	// Sever every established connection server-side; the listener stays
+	// up, so the next operation should redial and succeed.
+	s.DropConns()
+	// The first call may race the teardown and fail; the pool must
+	// recover within a couple of attempts.
+	var ok bool
+	for i := 0; i < 5; i++ {
+		if _, err := c.Enqueue("q", "after"); err == nil {
+			ok = true
+			break
+		}
+	}
+	if !ok {
+		t.Fatal("pool never recovered after the server dropped its connections")
+	}
+}

@@ -264,6 +264,32 @@ func (srv *Server) readOnly(req *wire.Request, cw *connWriter) {
 		if tread < 0 {
 			tread = 0
 		}
+	case srv.cfg.POReadLag > 0:
+		// PO ablation (the live spanner.ModePO): serve a session-consistent
+		// snapshot POReadLag behind real time. The t_min floor is kept —
+		// process order and propagated causality survive, which is what
+		// makes this PO-serializability rather than arbitrary staleness —
+		// but completed writes by other sessions stay invisible inside the
+		// lag window, so cross-session real-time order (RSS condition 3) is
+		// deliberately dropped. The prepared-set machinery still runs at
+		// the lowered t_read: anything prepared below it is handled by the
+		// normal blocking rule.
+		now := srv.clock.Now().Latest
+		tread = now - truetime.Timestamp(srv.cfg.POReadLag)
+		if tread < 0 {
+			tread = 0
+		}
+		if tmin > tread {
+			if tmin-now > truetime.Timestamp(maxTMinLead) {
+				cw.Send(&wire.Response{
+					ID: req.ID, Op: req.Op,
+					Err: fmt.Sprintf("t_min %d implausibly far ahead of server clock %d", tmin, now),
+				})
+				return
+			}
+			srv.clock.WaitUntilAfter(tmin)
+			tread = tmin
+		}
 	default:
 		tread = srv.clock.Now().Latest
 		if tmin > tread {
@@ -278,7 +304,7 @@ func (srv *Server) readOnly(req *wire.Request, cw *connWriter) {
 			// wait — reject it (otherwise one hostile frame is a denial
 			// of service).
 			if tmin-tread > truetime.Timestamp(maxTMinLead) {
-				cw.send(&wire.Response{
+				cw.Send(&wire.Response{
 					ID: req.ID, Op: req.Op,
 					Err: fmt.Sprintf("t_min %d implausibly far ahead of server clock %d", tmin, tread),
 				})
@@ -306,7 +332,7 @@ func (srv *Server) readOnly(req *wire.Request, cw *connWriter) {
 		sc.perShard[sid] = append(sc.perShard[sid], k)
 	}
 	if len(sc.keys) == 0 {
-		cw.send(&wire.Response{ID: req.ID, Op: req.Op, OK: true, Version: int64(tread)})
+		cw.Send(&wire.Response{ID: req.ID, Op: req.Op, OK: true, Version: int64(tread)})
 		srv.stats.ROs.Add(1)
 		sc.release(srv)
 		return
@@ -330,7 +356,7 @@ func (srv *Server) readOnly(req *wire.Request, cw *connWriter) {
 		}
 		w := &roWaiter{keys: ks, tread: tread, tmin: tmin, chaos: chaos, reply: sc.reply}
 		if !s.run(func() { s.roRead(w) }) {
-			cw.send(&wire.Response{ID: req.ID, Op: req.Op, Err: errClosed.Error()})
+			cw.Send(&wire.Response{ID: req.ID, Op: req.Op, Err: errClosed.Error()})
 			return // abandoned: pending sends may still land on sc.reply
 		}
 	}
@@ -352,7 +378,7 @@ func (srv *Server) readOnly(req *wire.Request, cw *connWriter) {
 			}
 			sc.skipped = append(sc.skipped, r.skipped...)
 		case <-srv.quit:
-			cw.send(&wire.Response{ID: req.ID, Op: req.Op, Err: errClosed.Error()})
+			cw.Send(&wire.Response{ID: req.ID, Op: req.Op, Err: errClosed.Error()})
 			return // abandoned
 		}
 	}
@@ -388,7 +414,7 @@ func (srv *Server) readOnly(req *wire.Request, cw *connWriter) {
 				}
 			}
 		case <-srv.quit:
-			cw.send(&wire.Response{ID: req.ID, Op: req.Op, Err: errClosed.Error()})
+			cw.Send(&wire.Response{ID: req.ID, Op: req.Op, Err: errClosed.Error()})
 			return // abandoned
 		}
 	}
@@ -404,7 +430,7 @@ func (srv *Server) readOnly(req *wire.Request, cw *connWriter) {
 		resp.KVs = append(resp.KVs, wire.KV{Key: k, Value: sc.vals[k].value})
 	}
 	srv.stats.ROs.Add(1)
-	cw.send(resp)
+	cw.Send(resp)
 	if clean {
 		sc.release(srv)
 	}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"rsskv/internal/locks"
+	"rsskv/internal/netio"
 	"rsskv/internal/replication"
 	"rsskv/internal/truetime"
 	"rsskv/internal/wire"
@@ -53,6 +54,20 @@ type Config struct {
 	// follower whose acknowledged watermark trails t_read by more than
 	// this is not offered reads.
 	FollowerReadTimeout time.Duration
+	// POReadLag > 0 is the PO-serializability ablation, the live analogue
+	// of the simulator's spanner.ModePO (Table 1's no-fence row): snapshot
+	// reads are served at t_read = max(t_min, TT.now().latest − POReadLag)
+	// instead of a fresh timestamp. Session causality survives — the t_min
+	// floor still applies, so a client always sees its own writes and
+	// anything whose timestamp was propagated to it — but real-time order
+	// across sessions is dropped: a completed write by another client stays
+	// invisible for up to POReadLag. Each such server is sequentially
+	// consistent per session rather than RSS, which is exactly the
+	// composition failure mode of Perrin et al.: histories recorded across
+	// this server, a second KV, and the queue service violate RSS whenever
+	// a cross-service causal chain (an enqueued photo ID, an out-of-band
+	// call) outruns the lag. Never enable outside the composition ablation.
+	POReadLag time.Duration
 
 	// ChaosStaleReads is fault injection for the checker: snapshot reads
 	// are served at an artificially lowered t_read and skip the prepared
@@ -433,7 +448,7 @@ func (srv *Server) handleConn(nc net.Conn) {
 	// writer: responses still matter to a client that half-closed its
 	// send side after pipelining requests.
 	pending.Wait()
-	cw.close()
+	cw.Close()
 	srv.mu.Lock()
 	delete(srv.conns, nc)
 	srv.mu.Unlock()
@@ -455,7 +470,7 @@ func (srv *Server) dispatch(req *wire.Request, cw *connWriter, pending *sync.Wai
 			pending.Done()
 		}
 	case wire.OpBeginTxn:
-		cw.send(&wire.Response{
+		cw.Send(&wire.Response{
 			ID: req.ID, Op: req.Op, OK: true, TxnID: uint64(srv.nextSeq()),
 		})
 	case wire.OpCommit, wire.OpMultiGet, wire.OpMultiPut:
@@ -477,7 +492,7 @@ func (srv *Server) dispatch(req *wire.Request, cw *connWriter, pending *sync.Wai
 			srv.fence(req, cw)
 		}()
 	default:
-		cw.send(&wire.Response{
+		cw.Send(&wire.Response{
 			ID: req.ID, Op: req.Op, Err: fmt.Sprintf("unhandled op %v", req.Op),
 		})
 	}
@@ -507,7 +522,7 @@ func (srv *Server) commit(req *wire.Request, cw *connWriter) {
 		resp.KVs = reads
 		srv.stats.Commits.Add(1)
 	}
-	cw.send(resp)
+	cw.Send(resp)
 }
 
 // fence is the real-time fence: a barrier through every shard's apply
@@ -525,12 +540,12 @@ func (srv *Server) fence(req *wire.Request, cw *connWriter) {
 		select {
 		case <-done:
 		case <-srv.quit:
-			cw.send(&wire.Response{ID: req.ID, Op: req.Op, Err: errClosed.Error()})
+			cw.Send(&wire.Response{ID: req.ID, Op: req.Op, Err: errClosed.Error()})
 			return
 		}
 	}
 	srv.stats.Fences.Add(1)
-	cw.send(&wire.Response{
+	cw.Send(&wire.Response{
 		ID: req.ID, Op: req.Op, OK: true,
 		Version: int64(srv.clock.Now().Latest),
 	})
@@ -554,104 +569,9 @@ func (srv *Server) retireTxn(id uint64) {
 	srv.mu.Unlock()
 }
 
-// connWriter serializes responses onto one connection. send never blocks
-// (the queue is unbounded); a flusher goroutine drains it and batches
-// socket writes, flushing when the queue empties.
-type connWriter struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	queue  []*wire.Response
-	closed bool
-	nc     net.Conn
-	done   chan struct{} // closed when the flusher returns
-}
+// The batching response writer lives in internal/netio (shared with the
+// queue server); connWriter remains as a local alias so the shard and
+// coordinator code reads unchanged.
+type connWriter = netio.ConnWriter
 
-func newConnWriter(nc net.Conn) *connWriter {
-	cw := &connWriter{nc: nc, done: make(chan struct{})}
-	cw.cond = sync.NewCond(&cw.mu)
-	go cw.flusher()
-	return cw
-}
-
-// maxQueuedResponses bounds the per-connection response backlog. A client
-// that pipelines requests but never reads responses would otherwise grow
-// cw.queue without limit while the flusher blocks on the full TCP send
-// buffer; past the bound the connection is torn down instead.
-const maxQueuedResponses = 1 << 16
-
-// send enqueues resp for delivery; after close it drops resp (the peer is
-// gone).
-func (cw *connWriter) send(resp *wire.Response) {
-	cw.mu.Lock()
-	if cw.closed {
-		cw.mu.Unlock()
-		return
-	}
-	cw.queue = append(cw.queue, resp)
-	cw.cond.Signal()
-	if len(cw.queue) > maxQueuedResponses {
-		cw.queue = nil
-		cw.closed = true
-		cw.mu.Unlock()
-		cw.nc.Close() // unblocks the flusher's write and the reader
-		return
-	}
-	cw.mu.Unlock()
-}
-
-// close stops the writer and waits until every already-queued response is
-// on the wire (or the flusher failed), so the caller may close the socket
-// without racing the flusher.
-func (cw *connWriter) close() {
-	cw.mu.Lock()
-	cw.closed = true
-	cw.cond.Signal()
-	cw.mu.Unlock()
-	<-cw.done
-}
-
-// fail abandons undelivered responses after a write error and closes the
-// socket, which unblocks the connection's reader: the peer sees a dropped
-// connection instead of silently missing responses. Called from the
-// flusher only.
-func (cw *connWriter) fail() {
-	cw.mu.Lock()
-	cw.closed = true
-	cw.queue = nil
-	cw.mu.Unlock()
-	cw.nc.Close()
-}
-
-// writeTimeout bounds each flush batch, so a client that keeps its socket
-// open but never reads responses cannot pin a handler goroutine (and its
-// fd) forever on a full TCP send buffer.
-const writeTimeout = 30 * time.Second
-
-func (cw *connWriter) flusher() {
-	defer close(cw.done)
-	bw := bufio.NewWriterSize(cw.nc, 64<<10)
-	for {
-		cw.mu.Lock()
-		for len(cw.queue) == 0 && !cw.closed {
-			cw.cond.Wait()
-		}
-		batch := cw.queue
-		cw.queue = nil
-		closed := cw.closed
-		cw.mu.Unlock()
-		cw.nc.SetWriteDeadline(time.Now().Add(writeTimeout))
-		for _, resp := range batch {
-			if err := wire.WriteResponse(bw, resp); err != nil {
-				cw.fail()
-				return
-			}
-		}
-		if err := bw.Flush(); err != nil {
-			cw.fail()
-			return
-		}
-		if closed && len(batch) == 0 {
-			return
-		}
-	}
-}
+func newConnWriter(nc net.Conn) *connWriter { return netio.NewConnWriter(nc) }

@@ -268,7 +268,7 @@ func (s *shard) get(req *wire.Request, cw *connWriter, done func()) {
 		defer done()
 		v := s.store.Latest(req.Key)
 		s.lm.ReleaseAll(txn)
-		cw.send(&wire.Response{
+		cw.Send(&wire.Response{
 			ID: req.ID, Op: req.Op, OK: true,
 			Value: v.Value, Version: int64(v.TS),
 		})
@@ -302,14 +302,14 @@ func (s *shard) put(req *wire.Request, cw *connWriter, done func()) {
 		if s.srv.cfg.ChaosLostCommitWait || s.srv.clock.After(ts) {
 			// Chaos: acknowledge before ts has definitely passed — the
 			// mutation-side half of the lost-commit-wait fault.
-			cw.send(resp)
+			cw.Send(resp)
 			done()
 			return
 		}
 		go func() {
 			defer done()
 			s.srv.clock.WaitUntilAfter(ts)
-			cw.send(resp)
+			cw.Send(resp)
 		}()
 	}
 	s.acquireOne(txn, req.Key, locks.Exclusive, apply)

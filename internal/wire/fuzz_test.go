@@ -15,7 +15,11 @@ func FuzzDecodeRequest(f *testing.F) {
 	}
 	f.Add([]byte{})
 	f.Add([]byte{0xff})
-	f.Add([]byte{byte(OpCommit), 0x80}) // unterminated varint
+	f.Add([]byte{byte(OpCommit), 0x80})  // unterminated varint
+	f.Add([]byte{byte(OpEnqueue), 0x01}) // enqueue truncated after the ID
+	f.Add([]byte{byte(OpDequeue)})       // dequeue truncated after the opcode
+	// Enqueue whose declared value length exceeds the actual payload.
+	f.Add(append(AppendRequest(nil, &Request{Op: OpEnqueue, ID: 1, Key: "q"})[:5], 0xff, 0xff, 0x7f))
 	f.Fuzz(func(t *testing.T, payload []byte) {
 		r, err := DecodeRequest(payload)
 		if err != nil {
@@ -38,6 +42,8 @@ func FuzzDecodeResponse(f *testing.F) {
 	}
 	f.Add([]byte{})
 	f.Add([]byte{byte(OpFence), 0x01, 0x02})
+	f.Add([]byte{byte(OpDequeue), 0x01, 0x08}) // reserved flag bit set
+	f.Add([]byte{byte(OpDequeue), 0x01, 0x05}) // OK+Empty, truncated after flags
 	f.Fuzz(func(t *testing.T, payload []byte) {
 		r, err := DecodeResponse(payload)
 		if err != nil {

@@ -53,6 +53,15 @@ const (
 	// and returns the snapshot timestamp in Response.Version so the client
 	// can advance its session t_min.
 	OpROTxn
+	// OpEnqueue appends Value to the FIFO queue named Key at the queue
+	// service; the response carries the assigned sequence number in
+	// Version. The queue is leader-sequenced and linearizable, so its
+	// real-time fence is the no-op of §4.1.
+	OpEnqueue
+	// OpDequeue pops the head of the FIFO queue named Key; the response
+	// carries the element in Value and its sequence number in Version, or
+	// the Empty flag when the queue had no elements.
+	OpDequeue
 )
 
 func (o Op) String() string {
@@ -73,11 +82,15 @@ func (o Op) String() string {
 		return "multi-put"
 	case OpROTxn:
 		return "ro-txn"
+	case OpEnqueue:
+		return "enqueue"
+	case OpDequeue:
+		return "dequeue"
 	}
 	return fmt.Sprintf("op(%d)", uint8(o))
 }
 
-func (o Op) valid() bool { return o >= OpGet && o <= OpROTxn }
+func (o Op) valid() bool { return o >= OpGet && o <= OpDequeue }
 
 // KV is a key-value pair in a batched write or a batched read result.
 type KV struct {
@@ -134,6 +147,9 @@ type Response struct {
 	// replicas bounded by their replicated t_safe — zero leader
 	// involvement. Clients use it to account follower-read traffic.
 	Follower bool
+	// Empty reports that an OpDequeue found the queue empty. It is a flag
+	// rather than a sentinel value because "" is a legal queue element.
+	Empty bool
 }
 
 // Framing limits.
@@ -229,6 +245,9 @@ func AppendResponse(buf []byte, r *Response) []byte {
 	if r.Follower {
 		flags |= 2
 	}
+	if r.Empty {
+		flags |= 4
+	}
 	buf = append(buf, flags)
 	buf = appendString(buf, r.Err)
 	buf = binary.AppendUvarint(buf, r.TxnID)
@@ -251,11 +270,12 @@ func DecodeResponse(payload []byte) (*Response, error) {
 	}
 	r.ID = d.uvarint()
 	flags := d.byte()
-	if flags > 3 {
+	if flags > 7 {
 		return nil, fmt.Errorf("%w: bad flags %d", ErrBadMessage, flags)
 	}
 	r.OK = flags&1 != 0
 	r.Follower = flags&2 != 0
+	r.Empty = flags&4 != 0
 	r.Err = d.string()
 	r.TxnID = d.uvarint()
 	r.Value = d.string()

@@ -24,6 +24,9 @@ func sampleRequests() []*Request {
 		{ID: 9, Op: OpROTxn, Keys: []string{"x", "y"}, TMin: 1<<62 - 1},
 		{ID: 10, Op: OpROTxn, Keys: []string{"x"}, TMin: -3}, // negative t_min survives zig-zag
 		{ID: 1<<64 - 1, Op: OpGet, Key: "", Value: ""},       // extreme ID, empty strings
+		{ID: 11, Op: OpEnqueue, Key: "thumbs", Value: "photo-7"},
+		{ID: 12, Op: OpEnqueue, Key: "thumbs", Value: ""}, // "" is a legal element
+		{ID: 13, Op: OpDequeue, Key: "thumbs"},
 	}
 }
 
@@ -44,6 +47,12 @@ func sampleResponses() []*Response {
 		{ID: 12, Op: OpROTxn, OK: true, Version: 47, Follower: true,
 			KVs: []KV{{"x", "vx"}}}, // follower-served snapshot read
 		{ID: 13, Op: OpROTxn, OK: false, Follower: true, Err: "x"}, // flags bits independent
+		{ID: 14, Op: OpEnqueue, OK: true, Version: 9},
+		{ID: 15, Op: OpDequeue, OK: true, Value: "photo-7", Version: 9},
+		{ID: 16, Op: OpDequeue, OK: true, Empty: true},                 // empty queue
+		{ID: 17, Op: OpDequeue, OK: true, Value: "", Version: 3},       // "" element ≠ empty queue
+		{ID: 18, Op: OpDequeue, OK: true, Empty: true, Follower: true}, // flags bits independent
+		{ID: 19, Op: OpEnqueue, OK: false, Err: "queue server closed"}, // failure shape
 	}
 }
 
@@ -125,6 +134,65 @@ func TestTruncatedPayload(t *testing.T) {
 		if _, err := DecodeResponse(fullResp[:n]); err == nil {
 			t.Errorf("response prefix of %d/%d bytes decoded without error", n, len(fullResp))
 		}
+	}
+}
+
+// TestTruncatedQueuePayloads checks every strict prefix of the queue
+// opcodes' payloads, and that an Empty dequeue truncated mid-flags fails
+// rather than decoding as a non-empty result.
+func TestTruncatedQueuePayloads(t *testing.T) {
+	reqs := []*Request{
+		{ID: 3, Op: OpEnqueue, Key: "q", Value: "payload"},
+		{ID: 4, Op: OpDequeue, Key: "q"},
+	}
+	for _, r := range reqs {
+		full := AppendRequest(nil, r)
+		for n := 0; n < len(full); n++ {
+			if _, err := DecodeRequest(full[:n]); err == nil {
+				t.Errorf("%v: prefix of %d/%d bytes decoded without error", r.Op, n, len(full))
+			}
+		}
+	}
+	resps := []*Response{
+		{ID: 3, Op: OpEnqueue, OK: true, Version: 12},
+		{ID: 4, Op: OpDequeue, OK: true, Empty: true},
+	}
+	for _, r := range resps {
+		full := AppendResponse(nil, r)
+		for n := 0; n < len(full); n++ {
+			if _, err := DecodeResponse(full[:n]); err == nil {
+				t.Errorf("%v: response prefix of %d/%d bytes decoded without error", r.Op, n, len(full))
+			}
+		}
+	}
+}
+
+// TestOversizedEnqueue checks that an enqueue payload over the frame limit
+// is refused by the reader without a huge allocation, and accepted by a
+// reader configured for it — queue elements are opaque blobs, so the limit
+// is the only bound on their size.
+func TestOversizedEnqueue(t *testing.T) {
+	big := &Request{ID: 1, Op: OpEnqueue, Key: "q", Value: string(make([]byte, MaxFrame+1))}
+	var buf bytes.Buffer
+	if err := WriteRequest(&buf, big); err != nil {
+		t.Fatalf("write over default limit: %v, want nil (size is the reader's call)", err)
+	}
+	if _, err := ReadRequest(bytes.NewReader(buf.Bytes()), 0); !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("default reader accepted oversized enqueue: %v", err)
+	}
+	if got, err := ReadRequest(bytes.NewReader(buf.Bytes()), 2*MaxFrame); err != nil || got.Value != big.Value {
+		t.Errorf("large-limit reader failed on oversized enqueue: %v", err)
+	}
+}
+
+// TestBadResponseFlags checks that reserved flag bits are rejected, so a
+// future flag cannot be silently dropped by an old peer.
+func TestBadResponseFlags(t *testing.T) {
+	full := AppendResponse(nil, &Response{ID: 1, Op: OpDequeue, OK: true, Empty: true})
+	// The flags byte follows the opcode and the ID varint (one byte here).
+	full[2] |= 8
+	if _, err := DecodeResponse(full); !errors.Is(err, ErrBadMessage) {
+		t.Errorf("reserved flag bit: got %v, want ErrBadMessage", err)
 	}
 }
 
