@@ -38,6 +38,7 @@ var (
 	fenceEvery = flag.Int("fence-every", 0, "insert a fence every N ops per client (0 = never)")
 	seed       = flag.Int64("seed", 1, "workload seed")
 	noCheck    = flag.Bool("nocheck", false, "skip the RSS history check")
+	expectFoll = flag.Bool("expect-follower", false, "fail unless some snapshot reads were served entirely by follower replicas (smoke-testing replicated serving, in-process or external -mode=replica processes)")
 	epsilon    = flag.Duration("eps", 0, "hosted server's TrueTime uncertainty bound ε")
 	commitEst  = flag.Duration("commit-est", 0, "hosted server's t_ee estimate; >0 lets snapshot reads skip concurrent preparers (§5) at the cost of delaying commit responses until the estimate passes")
 	chaos      = flag.String("chaos", "", "fault injection for the hosted server: stale-reads | delayed-applies | dropped-lock-release | lost-commit-wait (the run succeeds only if the RSS check rejects)")
@@ -120,6 +121,10 @@ func loadgenCmd() {
 	res, err := loadgen.Run(lcfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+		os.Exit(1)
+	}
+	if *expectFoll && res.FollowerROs == 0 {
+		fmt.Fprintln(os.Stderr, "loadgen: -expect-follower set but no snapshot read was served entirely by follower replicas (are replicas attached and -rofrac > 0?)")
 		os.Exit(1)
 	}
 

@@ -23,7 +23,10 @@
 //	serve     run an in-process rsskvd (-addr, -shards)
 //	loadgen   drive a server with concurrent pipelined clients, record
 //	          the history, and verify it is RSS (-addr, -clients, -ops,
-//	          -keys, -txnfrac, -multifrac, -fence-every, -seed)
+//	          -keys, -txnfrac, -multifrac, -fence-every, -seed;
+//	          -expect-follower fails the run unless follower replicas —
+//	          in-process or external -mode=replica processes — served
+//	          snapshot reads)
 //	composition
 //	          the live §4 experiment: photo-share across two rsskvd
 //	          daemons plus the socketed queue behind libRSS fences, the

@@ -1,10 +1,21 @@
 // Command rsskvd is the networked RSS key-value daemon: a sharded,
 // strictly serializable (hence RSS) key-value server speaking the wire
 // protocol of internal/wire. With -replicas=N every shard leads a
-// replication group of N-1 followers and snapshot reads are served from
-// replicas bounded by the replicated t_safe. Drive it with
+// replication group of N-1 in-process followers and snapshot reads are
+// served from replicas bounded by the replicated t_safe. Drive it with
 // internal/kvclient or `rssbench loadgen`, which also verifies recorded
 // histories with the paper's checker.
+//
+// Followers can also live in other processes: a kv-mode daemon accepts
+// replica joins by default (-accept-replicas), and
+//
+//	rsskvd -mode=replica -join=<leader addr> [-addr 127.0.0.1:0]
+//
+// runs an out-of-process follower: one replica per leader shard, pulling
+// the replicated logs over the wire protocol (snapshot catch-up included,
+// so it may join, fall behind leader-side log truncation, die, and rejoin
+// at any time), serving snapshot reads on its own listener whenever its
+// acknowledged t_safe is fresh enough for the leader's router.
 //
 // With -mode=queue the daemon serves the composition experiments' FIFO
 // queue service instead (internal/queue's live server): leader-sequenced,
@@ -13,15 +24,17 @@
 //
 // Usage:
 //
-//	rsskvd [-addr :7365] [-mode kv|queue] [-shards 8] [-replicas 3]
-//	       [-stats 10s] [-chaos mode] [-po-lag 0]
+//	rsskvd [-addr :7365] [-mode kv|queue|replica] [-shards 8] [-replicas 3]
+//	       [-join addr] [-advertise addr] [-stats 10s] [-chaos mode] [-po-lag 0]
 //
 // Chaos modes (each breaks exactly one RSS condition; recorded histories
 // must be rejected by the checker): stale-reads, delayed-applies,
-// dropped-lock-release, lost-commit-wait. -po-lag > 0 is the
-// PO-serializability ablation used by `rssbench composition -fences=off`:
-// session-consistent snapshot reads that lag real time, making the daemon
-// sequentially consistent per session rather than RSS.
+// dropped-lock-release, lost-commit-wait. In replica mode only
+// delayed-applies applies (the replica acknowledges watermarks ahead of
+// its applies). -po-lag > 0 is the PO-serializability ablation used by
+// `rssbench composition -fences=off`: session-consistent snapshot reads
+// that lag real time, making the daemon sequentially consistent per
+// session rather than RSS.
 package main
 
 import (
@@ -34,20 +47,24 @@ import (
 	"time"
 
 	"rsskv/internal/queue"
+	"rsskv/internal/replication"
 	"rsskv/internal/server"
 )
 
 var (
-	addr      = flag.String("addr", ":7365", "listen address")
-	mode      = flag.String("mode", "kv", "daemon personality: kv | queue")
-	shards    = flag.Int("shards", 8, "number of keyspace shards (kv mode)")
-	replicas  = flag.Int("replicas", 1, "kv: copies per shard including the leader (>1 serves snapshot reads from followers); queue: backup acceptors + 1")
-	maxFrame  = flag.Int("maxframe", 0, "max accepted frame size in bytes (0 = default 1 MiB)")
-	statsEvy  = flag.Duration("stats", 10*time.Second, "stats logging interval (0 disables)")
-	epsilon   = flag.Duration("eps", 0, "TrueTime uncertainty bound ε (adds ~2ε commit wait per mutation); on separate machines size it to the real clock-sync bound or cross-server t_min propagation breaks")
-	commitEst = flag.Duration("commit-est", 0, "advertised earliest-end-time estimate t_ee for commits; >0 lets snapshot reads skip concurrent preparers (§5) at the cost of delaying commit responses until the estimate passes")
-	chaos     = flag.String("chaos", "", "fault injection: stale-reads | delayed-applies | dropped-lock-release | lost-commit-wait (recorded histories violate RSS)")
-	poLag     = flag.Duration("po-lag", 0, "PO-serializability ablation: serve snapshot reads this far behind real time, session floor preserved (recorded cross-service histories violate RSS; the fences-off composition twin)")
+	addr       = flag.String("addr", ":7365", "listen address (replica mode: the read listener the leader dials back)")
+	mode       = flag.String("mode", "kv", "daemon personality: kv | queue | replica")
+	shards     = flag.Int("shards", 8, "number of keyspace shards (kv mode)")
+	replicas   = flag.Int("replicas", 1, "kv: copies per shard including the leader (>1 serves snapshot reads from followers); queue: backup acceptors + 1")
+	joinAddr   = flag.String("join", "", "replica mode: the leader daemon to join (required)")
+	advertise  = flag.String("advertise", "", "replica mode: read address the leader dials back (default: the listener address; set on multi-host deployments)")
+	acceptRepl = flag.Bool("accept-replicas", true, "kv mode: accept out-of-process replica joins (rsskvd -mode=replica)")
+	maxFrame   = flag.Int("maxframe", 0, "max accepted frame size in bytes (0 = default 1 MiB)")
+	statsEvy   = flag.Duration("stats", 10*time.Second, "stats logging interval (0 disables)")
+	epsilon    = flag.Duration("eps", 0, "TrueTime uncertainty bound ε (adds ~2ε commit wait per mutation); on separate machines size it to the real clock-sync bound or cross-server t_min propagation breaks")
+	commitEst  = flag.Duration("commit-est", 0, "advertised earliest-end-time estimate t_ee for commits; >0 lets snapshot reads skip concurrent preparers (§5) at the cost of delaying commit responses until the estimate passes")
+	chaos      = flag.String("chaos", "", "fault injection: stale-reads | delayed-applies | dropped-lock-release | lost-commit-wait (recorded histories violate RSS)")
+	poLag      = flag.Duration("po-lag", 0, "PO-serializability ablation: serve snapshot reads this far behind real time, session floor preserved (recorded cross-service histories violate RSS; the fences-off composition twin)")
 )
 
 // queueMain runs the daemon as the live queue service.
@@ -80,6 +97,57 @@ func queueMain() {
 	}
 }
 
+// replicaMain runs the daemon as an out-of-process follower of -join.
+func replicaMain() {
+	if *joinAddr == "" {
+		fmt.Fprintln(os.Stderr, "replica mode needs -join=<leader addr>")
+		os.Exit(2)
+	}
+	var nodeChaos replication.Chaos
+	switch *chaos {
+	case "":
+	case "delayed-applies":
+		nodeChaos = replication.Chaos{DelayedApplies: true, ApplyDelay: 10 * time.Millisecond}
+	default:
+		fmt.Fprintf(os.Stderr, "replica mode supports only -chaos=delayed-applies, not %q\n", *chaos)
+		os.Exit(2)
+	}
+	node, err := replication.StartNode(replication.NodeConfig{
+		Leader:    *joinAddr,
+		Addr:      *addr,
+		Advertise: *advertise,
+		MaxFrame:  *maxFrame, // 0 keeps the snapshot-sized node default
+		Chaos:     nodeChaos,
+	})
+	if err != nil {
+		log.Fatalf("rsskvd: %v", err)
+	}
+	log.Printf("rsskvd: replica mode, joined %s with %d shard replicas, serving reads on %s (advertised %s)",
+		*joinAddr, node.Shards(), node.Addr(), node.Advertise())
+	if *chaos != "" {
+		log.Printf("rsskvd: CHAOS MODE %q — recorded histories will violate RSS", *chaos)
+	}
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	var tick <-chan time.Time
+	if *statsEvy > 0 {
+		t := time.NewTicker(*statsEvy)
+		defer t.Stop()
+		tick = t.C
+	}
+	for {
+		select {
+		case <-tick:
+			log.Printf("rsskvd: pulls=%d snapshots=%d min-tsafe=%d",
+				node.Pulls(), node.Snapshots(), node.MinTSafe())
+		case sig := <-stop:
+			log.Printf("rsskvd: %v, shutting down", sig)
+			node.Close()
+			return
+		}
+	}
+}
+
 func main() {
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -90,18 +158,22 @@ func main() {
 	case "queue":
 		queueMain()
 		return
+	case "replica":
+		replicaMain()
+		return
 	case "kv":
 	default:
-		fmt.Fprintf(os.Stderr, "unknown -mode %q (supported: kv, queue)\n", *mode)
+		fmt.Fprintf(os.Stderr, "unknown -mode %q (supported: kv, queue, replica)\n", *mode)
 		os.Exit(2)
 	}
 	cfg := server.Config{
-		Shards:         *shards,
-		Replicas:       *replicas,
-		MaxFrame:       *maxFrame,
-		Epsilon:        *epsilon,
-		CommitEstimate: *commitEst,
-		POReadLag:      *poLag,
+		Shards:           *shards,
+		Replicas:         *replicas,
+		MaxFrame:         *maxFrame,
+		Epsilon:          *epsilon,
+		CommitEstimate:   *commitEst,
+		POReadLag:        *poLag,
+		AllowReplicaJoin: *acceptRepl,
 	}
 	if err := cfg.ApplyChaosMode(*chaos, func(f string, a ...any) { log.Printf("rsskvd: "+f, a...) }); err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -132,9 +204,11 @@ func main() {
 				s.Conns.Load(), s.Gets.Load(), s.Puts.Load(),
 				s.Commits.Load(), s.Aborts.Load(), s.Fences.Load(),
 				s.ROs.Load(), s.ROBlocked.Load(), s.ROSkips.Load())
-			if srv.Replicas() > 1 {
-				line += fmt.Sprintf(" rofollower=%d rofallback=%d replag=%s",
-					s.ROFollower.Load(), s.ROFallback.Load(), srv.ReplicationLag())
+			if srv.Replicas() > 1 || s.ReplicaJoins.Load() > 0 {
+				line += fmt.Sprintf(" rofollower=%d (chan=%d sock=%d) rofallback=%d joins=%d snapshots=%d replag=%s",
+					s.ROFollower.Load(), s.ROFollowerChan.Load(), s.ROFollowerSock.Load(),
+					s.ROFallback.Load(), s.ReplicaJoins.Load(), s.ReplSnapshots.Load(),
+					srv.ReplicationLag())
 			}
 			log.Printf("rsskvd: %s", line)
 		case sig := <-stop:

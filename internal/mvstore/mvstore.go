@@ -72,6 +72,20 @@ func (s *Store) MaxTS(key string) truetime.Timestamp { return s.Latest(key).TS }
 // Versions returns the number of versions of key (testing).
 func (s *Store) Versions(key string) int { return len(s.versions[key]) }
 
+// Dump visits every version of every key in timestamp order per key (key
+// order unspecified) — the full-state walk behind replication catch-up
+// snapshots: installing every version into a fresh store reproduces this
+// store exactly, so replaying the log suffix after the snapshot's cut
+// point re-derives everything later. The store must not be mutated during
+// the walk (callers run it on the owning loop).
+func (s *Store) Dump(fn func(key string, v Version)) {
+	for k, vs := range s.versions {
+		for _, v := range vs {
+			fn(k, v)
+		}
+	}
+}
+
 // GC drops all but the newest version with TS ≤ floor for every key,
 // bounding memory in long experiments while preserving reads at or above
 // floor.

@@ -30,6 +30,12 @@ const maxQueuedResponses = 1 << 16
 // fd) forever on a full TCP send buffer.
 const writeTimeout = 30 * time.Second
 
+// maxEncodeScratch caps the flusher's reusable encode buffer. Responses
+// beyond it (replication catch-up snapshots can carry a whole shard
+// store) are encoded into a one-off allocation instead of pinning a
+// snapshot-sized buffer to the connection for its lifetime.
+const maxEncodeScratch = 1 << 20
+
 // ConnWriter serializes responses onto one server-side connection. Send
 // never blocks (the queue is unbounded up to maxQueuedResponses); a flusher
 // goroutine drains it and batches socket writes, flushing when the queue
@@ -38,6 +44,7 @@ type ConnWriter struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
 	queue  []*wire.Response
+	free   []*wire.Response // drained batch recycled as the next queue
 	closed bool
 	nc     net.Conn
 	done   chan struct{} // closed when the flusher returns
@@ -58,6 +65,9 @@ func (cw *ConnWriter) Send(resp *wire.Response) {
 	if cw.closed {
 		cw.mu.Unlock()
 		return
+	}
+	if cw.queue == nil && cw.free != nil {
+		cw.queue, cw.free = cw.free, nil
 	}
 	cw.queue = append(cw.queue, resp)
 	cw.cond.Signal()
@@ -97,6 +107,12 @@ func (cw *ConnWriter) fail() {
 func (cw *ConnWriter) flusher() {
 	defer close(cw.done)
 	bw := bufio.NewWriterSize(cw.nc, 64<<10)
+	// scratch is the reusable encode buffer: the decode side reuses a
+	// per-connection payload buffer (wire.FrameReader); this is its encode
+	// twin, so a long-lived connection stops paying one allocation per
+	// response (WriteResponse builds a fresh frame each call). It grows to
+	// the largest response seen and stays there.
+	var scratch []byte
 	for {
 		cw.mu.Lock()
 		for len(cw.queue) == 0 && !cw.closed {
@@ -108,7 +124,12 @@ func (cw *ConnWriter) flusher() {
 		cw.mu.Unlock()
 		cw.nc.SetWriteDeadline(time.Now().Add(writeTimeout))
 		for _, resp := range batch {
-			if err := wire.WriteResponse(bw, resp); err != nil {
+			scratch = wire.AppendResponse(scratch[:0], resp)
+			err := wire.WriteFrame(bw, scratch)
+			if cap(scratch) > maxEncodeScratch {
+				scratch = nil // outsized one-off (e.g. a snapshot): don't pin it
+			}
+			if err != nil {
 				cw.fail()
 				return
 			}
@@ -120,6 +141,16 @@ func (cw *ConnWriter) flusher() {
 		if closed && len(batch) == 0 {
 			return
 		}
+		// Recycle the drained batch as the next queue so a steady
+		// request rate stops allocating queue backing arrays.
+		for i := range batch {
+			batch[i] = nil
+		}
+		cw.mu.Lock()
+		if cw.free == nil || cap(batch) > cap(cw.free) {
+			cw.free = batch[:0]
+		}
+		cw.mu.Unlock()
 	}
 }
 

@@ -1,0 +1,277 @@
+package netio
+
+import (
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"rsskv/internal/wire"
+)
+
+// echoServer accepts connections and answers every request with a response
+// echoing its ID and Op. Close the listener to stop it.
+func echoServer(t testing.TB) net.Listener {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			nc, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer nc.Close()
+				fr := wire.NewFrameReader(nc, 0)
+				cw := NewConnWriter(nc)
+				defer cw.Close()
+				for {
+					req, err := fr.ReadRequest()
+					if err != nil {
+						return
+					}
+					cw.Send(&wire.Response{ID: req.ID, Op: req.Op, OK: true, Value: req.Value})
+				}
+			}()
+		}
+	}()
+	t.Cleanup(func() { ln.Close() })
+	return ln
+}
+
+// TestPoolRedialsFailedConn: a pooled connection that Fail()s is lazily
+// redialed on its next use, so one broken connection degrades the pool only
+// until the server is reachable again.
+func TestPoolRedialsFailedConn(t *testing.T) {
+	ln := echoServer(t)
+	p, err := DialPool(ln.Addr().String(), 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if _, err := p.Call(&wire.Request{Op: wire.OpGet, Key: "k"}); err != nil {
+		t.Fatalf("call before failure: %v", err)
+	}
+	// Kill the slot's connection out from under the pool.
+	p.mu.Lock()
+	cn := p.slots[0]
+	p.mu.Unlock()
+	cn.Fail(errors.New("injected failure"))
+	// The next call must redial rather than returning the stale error
+	// forever or hanging.
+	resp, err := p.Call(&wire.Request{Op: wire.OpGet, Key: "k"})
+	if err != nil {
+		t.Fatalf("call after failure not redialed: %v", err)
+	}
+	if !resp.OK {
+		t.Fatalf("redialed call response not OK: %+v", resp)
+	}
+	p.mu.Lock()
+	fresh := p.slots[0]
+	p.mu.Unlock()
+	if fresh == cn {
+		t.Fatal("pool kept the failed connection in its slot")
+	}
+}
+
+// TestPoolRedialFailsFast: while the server is down, calls on a failed slot
+// return an error promptly (no hang); once the server is back the same pool
+// recovers.
+func TestPoolRedialFailsFast(t *testing.T) {
+	// A one-shot server that closes its accepted connection when told, so
+	// the pool's established connection actually dies (closing a listener
+	// alone leaves accepted connections open).
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		nc, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		accepted <- nc
+		fr := wire.NewFrameReader(nc, 0)
+		cw := NewConnWriter(nc)
+		defer cw.Close()
+		for {
+			req, err := fr.ReadRequest()
+			if err != nil {
+				return
+			}
+			cw.Send(&wire.Response{ID: req.ID, Op: req.Op, OK: true})
+		}
+	}()
+	p, err := DialPool(addr, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if _, err := p.Call(&wire.Request{Op: wire.OpGet, Key: "k"}); err != nil {
+		t.Fatalf("call before failure: %v", err)
+	}
+	ln.Close()
+	(<-accepted).Close() // server and its connection are both gone
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, err := p.Call(&wire.Request{Op: wire.OpGet, Key: "k"})
+		if err != nil {
+			break // conn observed the close; slot is now failed
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("connection never observed the server close")
+		}
+	}
+	// Redial against the dead address fails fast with an error, not a hang.
+	done := make(chan error, 1)
+	go func() {
+		_, err := p.Call(&wire.Request{Op: wire.OpGet, Key: "k"})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("call against a dead server succeeded")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("call against a dead server hung instead of erroring")
+	}
+	// Server returns on the same address: the pool recovers by redial.
+	ln2, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Skipf("could not rebind %s: %v", addr, err)
+	}
+	go func() {
+		for {
+			nc, err := ln2.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer nc.Close()
+				fr := wire.NewFrameReader(nc, 0)
+				cw := NewConnWriter(nc)
+				defer cw.Close()
+				for {
+					req, err := fr.ReadRequest()
+					if err != nil {
+						return
+					}
+					cw.Send(&wire.Response{ID: req.ID, Op: req.Op, OK: true})
+				}
+			}()
+		}
+	}()
+	defer ln2.Close()
+	if _, err := p.Call(&wire.Request{Op: wire.OpGet, Key: "k"}); err != nil {
+		t.Fatalf("pool did not recover after server returned: %v", err)
+	}
+}
+
+// TestPoolFailWakesInFlightCallers: callers blocked in Call when the
+// connection dies get errors, not hangs.
+func TestPoolFailWakesInFlightCallers(t *testing.T) {
+	// A server that reads requests but never responds, so calls park in
+	// the pending map until the connection fails.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		nc, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		accepted <- nc
+		io.Copy(io.Discard, nc) // swallow requests, answer nothing
+	}()
+	p, err := DialPool(ln.Addr().String(), 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	const callers = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := p.Call(&wire.Request{Op: wire.OpGet, Key: "k"})
+			errs <- err
+		}()
+	}
+	time.Sleep(20 * time.Millisecond) // let the calls enter pending
+	(<-accepted).Close()              // server drops the connection
+
+	waited := make(chan struct{})
+	go func() { wg.Wait(); close(waited) }()
+	select {
+	case <-waited:
+	case <-time.After(5 * time.Second):
+		t.Fatal("in-flight callers hung after the connection died")
+	}
+	for i := 0; i < callers; i++ {
+		if err := <-errs; err == nil {
+			t.Error("in-flight caller got a response from a dead connection")
+		}
+	}
+}
+
+// BenchmarkConnWriterSend measures the server-side response write path: a
+// ConnWriter encoding and flushing batched responses onto a loopback
+// connection whose peer discards them. Sends run in bounded batches and
+// each batch waits for the flusher to drain (Close blocks until the queue
+// is on the wire), so the timed region covers the whole encode+write cost
+// of every response — the allocation count is dominated by response
+// encoding, the motivation for the flusher's reusable encode buffer.
+func BenchmarkConnWriterSend(b *testing.B) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		nc, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer nc.Close()
+		io.Copy(io.Discard, nc)
+	}()
+	nc, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer nc.Close()
+	resp := &wire.Response{
+		ID: 7, Op: wire.OpROTxn, OK: true, Version: 424242,
+		KVs: []wire.KV{{Key: "alpha", Value: "value-1"}, {Key: "beta", Value: "value-2"}},
+	}
+	const batch = 1024
+	b.ReportAllocs()
+	b.ResetTimer()
+	sent := 0
+	for sent < b.N {
+		cw := NewConnWriter(nc)
+		n := batch
+		if left := b.N - sent; left < n {
+			n = left
+		}
+		for j := 0; j < n; j++ {
+			cw.Send(resp)
+		}
+		cw.Close() // waits for every queued response to hit the wire
+		sent += n
+	}
+}

@@ -146,7 +146,7 @@ func (s *Server) KillAcceptor(i int) bool {
 	if s.repl == nil {
 		return false
 	}
-	f := s.repl.Follower(i)
+	f := s.repl.Transport(i)
 	if f == nil {
 		return false
 	}
@@ -161,7 +161,7 @@ func (s *Server) DropAcceptorAcks(i int) bool {
 	if s.repl == nil {
 		return false
 	}
-	f := s.repl.Follower(i)
+	f := s.repl.Transport(i)
 	if f == nil {
 		return false
 	}

@@ -1,0 +1,361 @@
+package replication
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rsskv/internal/truetime"
+	"rsskv/internal/wire"
+)
+
+// DefaultRetain is the default cap on retained log entries per group. A
+// pull replica that falls further behind than this is truncated past and
+// must catch up via snapshot — the cap is what keeps one stuck replica
+// from pinning the leader's memory.
+const DefaultRetain = 4096
+
+// Group is the replication group under one shard: the shard apply loop is
+// the primary and appends; transports carry entries to follower replicas.
+// Group is a pure leader-side sequencer over []Transport — it never sees a
+// concrete replica type. Append must come from a single appender (the
+// shard apply loop); everything else is safe from any goroutine.
+//
+// For pull transports (out-of-process replicas) the group retains a
+// bounded suffix of the log: entries below every attached replica's
+// acknowledged position are truncated eagerly, and a hard cap (SetRetain)
+// bounds what a lagging replica can pin. A pull below the retained suffix
+// answers "snapshot required" — the catch-up path.
+type Group struct {
+	shard int
+
+	mu         sync.Mutex
+	transports []Transport
+	nPull      int // attached transports with Pull() true
+	nextSeq    uint64
+	logStart   uint64  // position of the entry just before log[0]
+	log        []Entry // retained suffix: positions logStart+1 .. nextSeq
+	dead       int     // truncated entries not yet compacted away
+	retain     int
+	lastWM     truetime.Timestamp // newest appended watermark (any kind)
+	appendC    chan struct{}      // closed and replaced on append (broadcast)
+	closed     bool
+
+	// active mirrors len(transports) > 0 so hot paths (Route, the shard
+	// replicate call sites) can skip the mutex when the group is idle.
+	active atomic.Bool
+	rr     atomic.Uint64
+}
+
+// NewGroup builds a group for the given shard with n in-process channel
+// followers and starts their apply goroutines. Unreplicated shards that
+// also refuse replica joins keep a nil *Group rather than an empty one.
+func NewGroup(shard, n int, chaos Chaos) *Group {
+	g := &Group{shard: shard, retain: DefaultRetain, appendC: make(chan struct{})}
+	for i := 0; i < n; i++ {
+		g.Attach(newChanTransport(i, shard, chaos))
+	}
+	return g
+}
+
+// SetRetain caps the retained log suffix (entries). Only meaningful before
+// pull replicas attach; tests use small caps to force the snapshot path.
+func (g *Group) SetRetain(n int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if n > 0 {
+		g.retain = n
+	}
+}
+
+// Attach adds a transport to the group (a replica joining). Safe against
+// concurrent Append.
+func (g *Group) Attach(t Transport) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.closed {
+		t.Close()
+		return
+	}
+	g.transports = append(g.transports, t)
+	if t.Pull() {
+		g.nPull++
+	}
+	g.active.Store(true)
+}
+
+// Detach removes a transport from the group (a replaced or departed
+// replica). The caller closes the transport; Detach only stops offering it
+// entries and reads. It reports whether the transport was attached.
+func (g *Group) Detach(t Transport) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for i, cur := range g.transports {
+		if cur == t {
+			g.transports = append(g.transports[:i], g.transports[i+1:]...)
+			if t.Pull() {
+				g.nPull--
+			}
+			g.active.Store(len(g.transports) > 0)
+			return true
+		}
+	}
+	return false
+}
+
+// Active reports whether any transport is attached — the cheap guard the
+// shard loops and the read router consult before paying for an entry or a
+// routing scan.
+func (g *Group) Active() bool { return g.active.Load() }
+
+// Transports returns the number of attached transports.
+func (g *Group) Transports() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.transports)
+}
+
+// Transport returns attached transport i (testing and failure hooks), or
+// nil when out of range.
+func (g *Group) Transport(i int) Transport {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if i < 0 || i >= len(g.transports) {
+		return nil
+	}
+	return g.transports[i]
+}
+
+// Append replicates one log entry: push transports are offered it
+// directly, pull transports find it in the retained log. It must be called
+// from the shard apply loop (the single appender) and never blocks — a
+// push follower whose channel is full is detached, and pull followers are
+// bounded by the retention cap, not by the leader.
+//
+// Heartbeats are neither sequenced nor retained: they carry only a
+// watermark, so push transports get them with Seq 0 (the replica's
+// position does not move) and pull followers receive the fresh watermark
+// on their empty pull responses instead (ServePull). Keeping them out of
+// the log means the retention cap counts real history — at the default
+// 250µs heartbeat interval, retained heartbeats would dilute a
+// 4096-entry cap to about one second of log and push every transient
+// replica stall into snapshot catch-up.
+func (g *Group) Append(kind EntryKind, txnID uint64, ts, watermark truetime.Timestamp, writes []wire.KV) {
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		return
+	}
+	if watermark > g.lastWM {
+		g.lastWM = watermark
+	}
+	e := Entry{Kind: kind, TxnID: txnID, TS: ts, Watermark: watermark, Writes: writes}
+	if kind != EntryHeartbeat {
+		g.nextSeq++
+		e.Seq = g.nextSeq
+	}
+	for _, t := range g.transports {
+		t.Offer(e)
+	}
+	if kind != EntryHeartbeat {
+		if g.nPull > 0 {
+			g.log = append(g.log, e)
+			g.truncateLocked()
+		} else {
+			// No pull replicas: nothing to retain for. Keeping logStart
+			// at nextSeq means a later joiner starts from a snapshot
+			// instead of a gapped log.
+			g.log = g.log[:0]
+			g.dead = 0
+			g.logStart = g.nextSeq
+		}
+	}
+	if g.nPull > 0 {
+		// Wake pull waiters (WaitEntriesAfter long-polls on appendC) for
+		// data and heartbeats alike — a caught-up follower's watermark
+		// freshness is bounded by this wake-up.
+		close(g.appendC)
+		g.appendC = make(chan struct{})
+	}
+	g.mu.Unlock()
+}
+
+// truncateLocked drops retained entries no pull replica still needs: below
+// the minimum acknowledged position of live pull transports, and in any
+// case below nextSeq − retain (the hard cap — a replica that needs more
+// re-syncs via snapshot). Callers hold g.mu.
+func (g *Group) truncateLocked() {
+	floor := g.nextSeq // with no live pull replica, keep nothing
+	for _, t := range g.transports {
+		if t.Pull() && t.Alive() && t.Routable() {
+			if s := t.AckedSeq(); s < floor {
+				floor = s
+			}
+		}
+	}
+	newStart := g.logStart
+	if floor > newStart {
+		newStart = floor
+	}
+	if g.nextSeq > uint64(g.retain) {
+		if capStart := g.nextSeq - uint64(g.retain); capStart > newStart {
+			newStart = capStart
+		}
+	}
+	if drop := int(newStart - g.logStart); drop > 0 {
+		g.log = g.log[drop:]
+		g.logStart = newStart
+		g.dead += drop
+		// Compact once the dead prefix of the backing array outgrows the
+		// cap, so the array stops growing behind the advancing window.
+		if g.dead > g.retain {
+			g.log = append([]Entry(nil), g.log...)
+			g.dead = 0
+		}
+	}
+}
+
+// EntriesAfter returns up to max retained entries with positions above
+// after. ok is false when after has been truncated away — the caller must
+// catch up via snapshot. An empty batch with ok true means the follower is
+// caught up.
+func (g *Group) EntriesAfter(after uint64, max int) (es []Entry, ok bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.entriesAfterLocked(after, max)
+}
+
+func (g *Group) entriesAfterLocked(after uint64, max int) ([]Entry, bool) {
+	if after < g.logStart {
+		return nil, false
+	}
+	if after > g.nextSeq {
+		// The follower claims a position this log has never reached — it
+		// outlived a leader restart. Treating it as caught up would hand
+		// it fresh watermarks over a store missing every post-restart
+		// commit; sending it through the snapshot path resyncs it.
+		return nil, false
+	}
+	if after == g.nextSeq {
+		return nil, true
+	}
+	i := int(after - g.logStart)
+	n := len(g.log) - i
+	if n > max {
+		n = max
+	}
+	es := make([]Entry, n)
+	copy(es, g.log[i:i+n])
+	return es, true
+}
+
+// WaitEntriesAfter is EntriesAfter with a long-poll: when the follower is
+// caught up it waits up to wait for the next append instead of returning
+// an empty batch immediately, so pull loops are paced by the log, not by
+// their own spin rate. An empty batch with ok true means the follower
+// held the whole log at capture time; wm is the group's newest watermark,
+// captured atomically with that emptiness, so the follower may apply it
+// as a synthetic heartbeat — every commit at or below it was in the log
+// the follower has fully applied.
+func (g *Group) WaitEntriesAfter(after uint64, max int, wait time.Duration) (es []Entry, wm truetime.Timestamp, ok bool) {
+	g.mu.Lock()
+	es, ok = g.entriesAfterLocked(after, max)
+	ch, closed := g.appendC, g.closed
+	wm = g.lastWM
+	g.mu.Unlock()
+	if !ok || len(es) > 0 || closed {
+		return es, wm, ok
+	}
+	// Caught up: park for the next append. One wake suffices either way —
+	// a data append yields entries, a heartbeat append yields a fresher
+	// watermark, and returning promptly on both is what keeps a
+	// caught-up follower's advertised t_safe within the router's lag
+	// budget (a loop-until-entries here would starve the watermark for
+	// the whole long-poll).
+	timer := time.NewTimer(wait)
+	defer timer.Stop()
+	select {
+	case <-ch:
+	case <-timer.C:
+		return nil, wm, true
+	}
+	g.mu.Lock()
+	es, ok = g.entriesAfterLocked(after, max)
+	wm = g.lastWM
+	g.mu.Unlock()
+	return es, wm, ok
+}
+
+// NextSeq returns the position of the last appended entry. Consistent with
+// the log only when called from the appender (the shard apply loop), which
+// is where snapshot cuts are taken.
+func (g *Group) NextSeq() uint64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.nextSeq
+}
+
+// Route returns a transport expected to serve a read at tread promptly:
+// routable (alive, attached) with an acknowledged watermark within maxLag
+// of tread (a healthy replica's ack trails t_read by at most a heartbeat
+// interval plus apply latency, so the read's park will be short). Nil
+// means the caller should serve at the leader. Selection rotates so read
+// load spreads across eligible replicas.
+func (g *Group) Route(tread, maxLag truetime.Timestamp) Transport {
+	if !g.active.Load() {
+		return nil
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	n := len(g.transports)
+	if n == 0 {
+		return nil
+	}
+	// Reduce before converting: a raw int() of the counter goes negative
+	// on 32-bit platforms once it wraps, and Go's % keeps the sign.
+	start := int(g.rr.Add(1) % uint64(n))
+	for i := 0; i < n; i++ {
+		t := g.transports[(start+i)%n]
+		if t.Routable() && t.Acked() >= tread-maxLag {
+			return t
+		}
+	}
+	return nil
+}
+
+// TSafe returns the maximum acknowledged t_safe across live transports
+// (0 with none), for stats and lag reporting.
+func (g *Group) TSafe() truetime.Timestamp {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	var max truetime.Timestamp
+	for _, t := range g.transports {
+		if t.Alive() {
+			if a := t.Acked(); a > max {
+				max = a
+			}
+		}
+	}
+	return max
+}
+
+// Close detaches and closes every transport and wakes pull waiters. The
+// caller must guarantee no concurrent Append (the server stops shard loops
+// first).
+func (g *Group) Close() {
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		return
+	}
+	g.closed = true
+	ts := g.transports
+	g.transports = nil
+	g.nPull = 0
+	g.active.Store(false)
+	close(g.appendC)
+	g.mu.Unlock()
+	for _, t := range ts {
+		t.Close()
+	}
+}

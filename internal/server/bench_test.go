@@ -39,3 +39,47 @@ func BenchmarkROTxn(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkRWTxn measures the end-to-end cost of a read-write transaction
+// over loopback: one OpCommit frame through lock acquisition, 2PC
+// prepare/apply across multiple shards, and commit wait. Like
+// BenchmarkROTxn, allocation counts cover both sides of the socket, so
+// the coordinator's per-transaction plan (its maps and lock-request
+// slices) shows up here — the motivation for pooling it.
+func BenchmarkRWTxn(b *testing.B) {
+	srv := New(Config{Shards: 4})
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	cl, err := kvclient.Dial(srv.Addr(), kvclient.Options{Conns: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cl.Close()
+
+	readKeys := make([]string, 4)
+	writeKeys := make([]string, 4)
+	for i := range readKeys {
+		readKeys[i] = fmt.Sprintf("bench-rw-r%d", i)
+		writeKeys[i] = fmt.Sprintf("bench-rw-w%d", i)
+		if _, err := cl.Put(readKeys[i], "v"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		txn, err := cl.Begin()
+		if err != nil {
+			b.Fatal(err)
+		}
+		txn.Read(readKeys...)
+		for _, k := range writeKeys {
+			txn.Write(k, "v")
+		}
+		if _, _, err := txn.Commit(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"rsskv/internal/core"
 	"rsskv/internal/history"
 	"rsskv/internal/loadgen"
+	"rsskv/internal/replication"
 )
 
 // Fault-injection falsifiability: each chaos mode breaks exactly one RSS
@@ -56,18 +57,40 @@ func runChaosPair(t *testing.T, broken, clean Config, seed int64) (brokenErr, cl
 // of their applies and serve routed reads from the stale store, so
 // follower snapshot reads miss writes that committed (and completed)
 // before the read began — RSS condition (3) broken at the replica. The
-// checker must reject the chaos run and accept the clean twin.
+// checker must reject the chaos run and accept the clean twin. The fault
+// is parameterized over both transports: in-process channel followers lie
+// through their atomics, out-of-process socket replicas lie through
+// OpReplAck messages — the checker catches both identically.
 func TestChaosDelayedAppliesRejected(t *testing.T) {
-	broken := Config{Shards: 4, Replicas: 3, ChaosDelayedApplies: true}
-	clean := Config{Shards: 4, Replicas: 3}
-	brokenErr, cleanErr := runChaosPair(t, broken, clean, 21)
-	if brokenErr == nil {
-		t.Error("checker accepted a history served by acked-before-applied replicas")
-	} else {
-		t.Logf("checker correctly rejected: %v", brokenErr)
-	}
-	if cleanErr != nil {
-		t.Errorf("same workload without chaos is not RSS: %v", cleanErr)
+	for _, flavor := range transportFlavors {
+		flavor := flavor
+		t.Run(flavor, func(t *testing.T) {
+			run := func(chaos replication.Chaos, cfgChaos bool) error {
+				cfg := Config{Shards: 4, ChaosDelayedApplies: cfgChaos}
+				srv, _ := startReplicated(t, flavor, 2, cfg, chaos)
+				res, err := loadgen.Run(chaosWorkload(srv.Addr(), 21))
+				if err != nil {
+					t.Fatalf("loadgen: %v", err)
+				}
+				return history.Check(res.H, core.RSS)
+			}
+			var brokenErr error
+			if flavor == "chan" {
+				// Config-level chaos reaches the in-process followers.
+				brokenErr = run(replication.Chaos{}, true)
+			} else {
+				// The replica process itself is the liar; the leader is honest.
+				brokenErr = run(replication.Chaos{DelayedApplies: true, ApplyDelay: chaosApplyDelay}, false)
+			}
+			if brokenErr == nil {
+				t.Error("checker accepted a history served by acked-before-applied replicas")
+			} else {
+				t.Logf("checker correctly rejected: %v", brokenErr)
+			}
+			if cleanErr := run(replication.Chaos{}, false); cleanErr != nil {
+				t.Errorf("same workload without chaos is not RSS: %v", cleanErr)
+			}
+		})
 	}
 }
 

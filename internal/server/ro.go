@@ -222,13 +222,22 @@ func (s *shard) roReply(w *roWaiter) {
 
 // followerRead serves one shard's portion of a snapshot read at a
 // replica, falling back to the shard leader if the replica cannot serve
-// in time. It runs on its own goroutine so watermark parks and timeouts
-// across shards overlap instead of serializing; the reply lands on the
-// coordinator's fan-out channel either way.
-func (srv *Server) followerRead(s *shard, f *replication.Follower, keys []string, tread, tmin truetime.Timestamp, reply chan roShardReply) {
+// in time. The replica is whatever Transport the router picked — an
+// in-process channel follower or an out-of-process socket replica; the
+// protocol (park until the watermark covers t_read, then serve versioned
+// reads) is identical behind the interface. It runs on its own goroutine
+// so watermark parks and timeouts across shards overlap instead of
+// serializing; the reply lands on the coordinator's fan-out channel
+// either way.
+func (srv *Server) followerRead(s *shard, f replication.Transport, keys []string, tread, tmin truetime.Timestamp, reply chan roShardReply) {
 	fvals, ok, abandoned := f.Read(tread, keys, srv.cfg.FollowerReadTimeout)
 	if ok {
 		srv.stats.ROFollower.Add(1)
+		if f.Kind() == "sock" {
+			srv.stats.ROFollowerSock.Add(1)
+		} else {
+			srv.stats.ROFollowerChan.Add(1)
+		}
 		reply <- roShardReply{fvals: fvals, follower: true}
 		return
 	}
@@ -347,7 +356,10 @@ func (srv *Server) readOnly(req *wire.Request, cw *connWriter) {
 	for _, sid := range sc.shardIDs {
 		s, ks := srv.shards[sid], sc.perShard[sid]
 		fanout++
-		if s.repl != nil && !chaos {
+		// Active() gates the scan so a join-enabled server with no
+		// replicas attached neither pays the routing scan nor counts
+		// phantom fallbacks.
+		if s.repl != nil && s.repl.Active() && !chaos {
 			if f := s.repl.Route(tread, lagBudget); f != nil {
 				go srv.followerRead(s, f, ks, tread, tmin, sc.reply)
 				continue

@@ -54,6 +54,28 @@ type Config struct {
 	// follower whose acknowledged watermark trails t_read by more than
 	// this is not offered reads.
 	FollowerReadTimeout time.Duration
+	// AllowReplicaJoin accepts out-of-process follower replicas (rsskvd
+	// -mode=replica -join): every shard keeps a replication group (even
+	// with Replicas 1) whose log retains a bounded suffix for pull
+	// transports, the OpReplEntry/OpReplAck/OpReplSnapshot opcodes are
+	// served, and joined replicas attract snapshot reads exactly like
+	// in-process followers. An idle join-enabled group costs a sequence
+	// bump per mutation and nothing per read.
+	AllowReplicaJoin bool
+	// ReplLogRetain caps the per-shard retained log suffix for joined
+	// replicas (default replication.DefaultRetain); a replica lagging
+	// past it catches up via snapshot. Tests use small caps to force the
+	// truncation path.
+	ReplLogRetain int
+	// ReplicaEvictAfter is how long a joined replica's acknowledgments
+	// may stay silent before the registry presumes the process dead and
+	// evicts it (default 10s) — detaching its transports so the router
+	// stops scanning them and log truncation moves past its position. A
+	// replica evicted while merely slow re-registers on its next pull
+	// and catches up via snapshot. Note the Kill/DropAcks failure hooks
+	// silence acks too: tests using them must finish (or assert) within
+	// this window.
+	ReplicaEvictAfter time.Duration
 	// POReadLag > 0 is the PO-serializability ablation, the live analogue
 	// of the simulator's spanner.ModePO (Table 1's no-fence row): snapshot
 	// reads are served at t_read = max(t_min, TT.now().latest − POReadLag)
@@ -130,13 +152,19 @@ func (cfg *Config) ApplyChaosMode(mode string, warnf func(format string, args ..
 // the blocking set B, and ROSkips counts prepared transactions skipped
 // under the RSS rule (§5) — reads a lock-based server would have blocked.
 // ROFollower counts per-shard snapshot-read portions served by follower
-// replicas; ROFallback counts portions that were routed to a follower (or
-// should have been) but fell back to the leader — lagging, killed, or
-// timed-out replicas.
+// replicas, split by transport: ROFollowerChan by in-process channel
+// followers (-replicas), ROFollowerSock by out-of-process socket replicas
+// (-mode=replica joins). ROFallback counts portions that were routed to a
+// follower (or should have been) but fell back to the leader — lagging,
+// killed, or timed-out replicas. ReplicaJoins counts socket replica
+// registrations (a rejoin with a fresh boot counts again); ReplSnapshots
+// counts catch-up snapshots shipped.
 type Stats struct {
 	Gets, Puts, Commits, Aborts, Fences, Conns atomic.Int64
 	ROs, ROBlocked, ROSkips                    atomic.Int64
 	ROFollower, ROFallback                     atomic.Int64
+	ROFollowerChan, ROFollowerSock             atomic.Int64
+	ReplicaJoins, ReplSnapshots                atomic.Int64
 }
 
 // Server is a sharded key-value server speaking the wire protocol.
@@ -147,8 +175,11 @@ type Server struct {
 	seq    atomic.Int64 // transaction IDs and wound-wait priorities
 	stats  Stats
 
-	// roPool recycles snapshot-read fan-out scratch (see roScratch).
-	roPool sync.Pool
+	// roPool recycles snapshot-read fan-out scratch (see roScratch);
+	// txnPool recycles the RW coordinator's per-transaction plan (see
+	// txnPlan).
+	roPool  sync.Pool
+	txnPool sync.Pool
 
 	quit chan struct{}
 	wg   sync.WaitGroup
@@ -163,6 +194,10 @@ type Server struct {
 	conns  map[net.Conn]struct{}
 	active map[uint64]struct{} // transaction IDs currently executing
 	closed bool
+
+	// replMu guards the out-of-process replica registry (see repl.go).
+	replMu   sync.Mutex
+	replicas map[string]*replicaReg
 }
 
 // New returns a server with started shard loops. Call Start or Serve to
@@ -183,22 +218,31 @@ func New(cfg Config) *Server {
 	if cfg.FollowerReadTimeout <= 0 {
 		cfg.FollowerReadTimeout = 5 * time.Millisecond
 	}
+	if cfg.ReplicaEvictAfter <= 0 {
+		cfg.ReplicaEvictAfter = 10 * time.Second
+	}
 	srv := &Server{
-		cfg:    cfg,
-		clock:  truetime.NewWallClock(cfg.Epsilon),
-		quit:   make(chan struct{}),
-		conns:  map[net.Conn]struct{}{},
-		active: map[uint64]struct{}{},
+		cfg:      cfg,
+		clock:    truetime.NewWallClock(cfg.Epsilon),
+		quit:     make(chan struct{}),
+		conns:    map[net.Conn]struct{}{},
+		active:   map[uint64]struct{}{},
+		replicas: map[string]*replicaReg{},
 	}
 	srv.roPool.New = func() any { return srv.newROScratch() }
+	srv.txnPool.New = func() any { return srv.newTxnPlan() }
 	chaos := replication.Chaos{
 		DelayedApplies: cfg.ChaosDelayedApplies,
 		ApplyDelay:     chaosApplyDelay,
 	}
+	replicated := cfg.Replicas > 1 || cfg.AllowReplicaJoin
 	for i := 0; i < cfg.Shards; i++ {
 		s := newShard(i, srv)
-		if cfg.Replicas > 1 {
+		if replicated {
 			s.repl = replication.NewGroup(i, cfg.Replicas-1, chaos)
+			if cfg.ReplLogRetain > 0 {
+				s.repl.SetRetain(cfg.ReplLogRetain)
+			}
 		}
 		srv.shards = append(srv.shards, s)
 	}
@@ -206,7 +250,7 @@ func New(cfg Config) *Server {
 		srv.loopWG.Add(1)
 		go s.loop()
 	}
-	if cfg.Replicas > 1 {
+	if replicated {
 		srv.loopWG.Add(1)
 		go srv.heartbeatLoop()
 	}
@@ -222,6 +266,8 @@ func (srv *Server) heartbeatLoop() {
 	defer srv.loopWG.Done()
 	t := time.NewTicker(srv.cfg.ReplicaHeartbeat)
 	defer t.Stop()
+	reap := time.NewTicker(srv.cfg.ReplicaEvictAfter / 4)
+	defer reap.Stop()
 	beats := make([]func(), len(srv.shards))
 	for i, s := range srv.shards {
 		s := s
@@ -241,6 +287,8 @@ func (srv *Server) heartbeatLoop() {
 					return
 				}
 			}
+		case <-reap.C:
+			srv.reapDeadReplicas()
 		case <-srv.quit:
 			return
 		}
@@ -250,17 +298,19 @@ func (srv *Server) heartbeatLoop() {
 // Replicas returns the configured copies per shard (1 = unreplicated).
 func (srv *Server) Replicas() int { return srv.cfg.Replicas }
 
-// KillReplica simulates the loss of backup node i: follower i of every
-// shard's replication group stops applying and serving. Reads fail over
-// to the leader; the shard keeps serving. It reports whether such a
-// follower existed.
+// KillReplica simulates the loss of backup node i: transport i of every
+// shard's replication group stops serving and its acknowledgments stop
+// counting. Reads fail over to the leader; the shard keeps serving. It
+// reports whether such a follower existed. The hook is transport-agnostic
+// — in-process channel followers and joined socket replicas die the same
+// way.
 func (srv *Server) KillReplica(i int) bool {
 	any := false
 	for _, s := range srv.shards {
 		if s.repl == nil {
 			continue
 		}
-		if f := s.repl.Follower(i); f != nil {
+		if f := s.repl.Transport(i); f != nil {
 			f.Kill()
 			any = true
 		}
@@ -278,7 +328,7 @@ func (srv *Server) DropReplicaAcks(i int) bool {
 		if s.repl == nil {
 			continue
 		}
-		if f := s.repl.Follower(i); f != nil {
+		if f := s.repl.Transport(i); f != nil {
 			f.DropAcks()
 			any = true
 		}
@@ -292,7 +342,7 @@ func (srv *Server) DropReplicaAcks(i int) bool {
 func (srv *Server) ReplicationLag() time.Duration {
 	var lag time.Duration
 	for _, s := range srv.shards {
-		if s.repl == nil {
+		if s.repl == nil || !s.repl.Active() {
 			continue
 		}
 		if d := srv.clock.Since(s.repl.TSafe()); d > lag {
@@ -490,6 +540,22 @@ func (srv *Server) dispatch(req *wire.Request, cw *connWriter, pending *sync.Wai
 		go func() {
 			defer pending.Done()
 			srv.fence(req, cw)
+		}()
+	case wire.OpReplEntry:
+		// Long-polls the shard log, so it runs off the connection's read
+		// loop like any other slow operation.
+		pending.Add(1)
+		go func() {
+			defer pending.Done()
+			srv.replPull(req, cw)
+		}()
+	case wire.OpReplAck:
+		srv.replAck(req, cw)
+	case wire.OpReplSnapshot:
+		pending.Add(1)
+		go func() {
+			defer pending.Done()
+			srv.replSnapshot(req, cw)
 		}()
 	default:
 		cw.Send(&wire.Response{

@@ -23,55 +23,83 @@ var (
 	errTxnActive = errors.New("transaction already in flight")
 )
 
-// txnPlan is a transaction's footprint, grouped by shard.
+// txnPlan is a transaction's footprint, grouped by shard. Plans are
+// pooled on the server (srv.txnPool): the maps and the read/lock slices
+// are reused across transactions, mirroring the RO coordinator's scratch.
+// The per-shard write slices are the exception — they escape the
+// transaction's lifetime into the shard prepared sets and the replication
+// log, so release() drops them for the garbage collector instead of
+// recycling their backing arrays.
 type txnPlan struct {
-	shards  []int                   // involved shard ids, ascending
-	reads   map[int][]string        // read keys per shard, request order
-	writes  map[int][]wire.KV       // write set per shard, first-occurrence order
-	lockReq map[int][]locks.Request // union of both sets with lock modes
+	shards  []int             // involved shard ids, ascending
+	reads   [][]string        // read keys per shard id, request order
+	writes  [][]wire.KV       // write set per shard id, first-occurrence order
+	lockReq [][]locks.Request // union of both sets with lock modes, per shard id
+
+	written  map[string]int // write key -> index into its shard's write slice
+	seenRead map[string]bool
+}
+
+func (srv *Server) newTxnPlan() *txnPlan {
+	return &txnPlan{
+		reads:    make([][]string, len(srv.shards)),
+		writes:   make([][]wire.KV, len(srv.shards)),
+		lockReq:  make([][]locks.Request, len(srv.shards)),
+		written:  map[string]int{},
+		seenRead: map[string]bool{},
+	}
+}
+
+// release resets the plan and returns it to the pool. Callers must not
+// release a plan whose shard closures may still be queued (abandoned
+// operations on a closing server leak their plan instead).
+func (p *txnPlan) release(srv *Server) {
+	for _, sid := range p.shards {
+		p.reads[sid] = p.reads[sid][:0]
+		p.writes[sid] = nil // escaped into prepared sets / replication log
+		p.lockReq[sid] = p.lockReq[sid][:0]
+	}
+	p.shards = p.shards[:0]
+	clear(p.written)
+	clear(p.seenRead)
+	srv.txnPool.Put(p)
 }
 
 // plan dedupes the read and write sets and groups them by shard. A key in
 // both sets is locked exclusively; duplicate writes keep the last value.
 func (srv *Server) plan(txn locks.TxnID, readKeys []string, writeKVs []wire.KV) *txnPlan {
-	p := &txnPlan{
-		reads:   map[int][]string{},
-		writes:  map[int][]wire.KV{},
-		lockReq: map[int][]locks.Request{},
-	}
+	p := srv.txnPool.Get().(*txnPlan)
 	prio := int64(txn.Seq)
-	written := map[string]int{} // key -> index into its shard's write slice
+	touch := func(sid int) {
+		if len(p.reads[sid]) == 0 && len(p.writes[sid]) == 0 && len(p.lockReq[sid]) == 0 {
+			p.shards = append(p.shards, sid)
+		}
+	}
 	for _, kv := range writeKVs {
 		sid := srv.shardFor(kv.Key).id
-		if i, dup := written[kv.Key]; dup {
+		if i, dup := p.written[kv.Key]; dup {
 			p.writes[sid][i].Value = kv.Value
 			continue
 		}
-		written[kv.Key] = len(p.writes[sid])
+		touch(sid)
+		p.written[kv.Key] = len(p.writes[sid])
 		p.writes[sid] = append(p.writes[sid], kv)
 		p.lockReq[sid] = append(p.lockReq[sid], locks.Request{
 			Txn: txn, Key: kv.Key, Mode: locks.Exclusive, Prio: prio,
 		})
 	}
-	seenRead := map[string]bool{}
 	for _, k := range readKeys {
-		if seenRead[k] {
+		if p.seenRead[k] {
 			continue
 		}
-		seenRead[k] = true
+		p.seenRead[k] = true
 		sid := srv.shardFor(k).id
+		touch(sid)
 		p.reads[sid] = append(p.reads[sid], k)
-		if _, w := written[k]; !w {
+		if _, w := p.written[k]; !w {
 			p.lockReq[sid] = append(p.lockReq[sid], locks.Request{
 				Txn: txn, Key: k, Mode: locks.Shared, Prio: prio,
 			})
-		}
-	}
-	seenShard := map[int]bool{}
-	for sid := range p.lockReq {
-		if !seenShard[sid] {
-			seenShard[sid] = true
-			p.shards = append(p.shards, sid)
 		}
 	}
 	sort.Ints(p.shards)
@@ -111,7 +139,19 @@ func (srv *Server) runTxn(txnID uint64, readKeys []string, writeKVs []wire.KV) (
 	txn := locks.TxnID{Seq: txnID}
 	p := srv.plan(txn, readKeys, writeKVs)
 	if len(p.shards) == 0 {
+		p.release(srv)
 		return nil, int64(srv.clock.Now().Latest), nil // empty transaction
+	}
+	// abort tears the transaction down and recycles the plan — but only
+	// after a complete abort: an abort abandoned by server shutdown may
+	// leave shard closures queued that still reference the plan's slices,
+	// so that path leaks the plan to the garbage collector instead.
+	abort := func() error {
+		err := srv.abortTxn(txn, p)
+		if err == errAborted {
+			p.release(srv)
+		}
+		return err
 	}
 
 	// Lock phase. notify is buffered for one grant plus one wound per
@@ -138,7 +178,7 @@ func (srv *Server) runTxn(txnID uint64, readKeys []string, writeKVs []wire.KV) (
 		select {
 		case ev := <-notify:
 			if ev.wounded {
-				return nil, 0, srv.abortTxn(txn, p)
+				return nil, 0, abort()
 			}
 			granted++
 		case <-srv.quit:
@@ -190,7 +230,10 @@ func (srv *Server) runTxn(txnID uint64, readKeys []string, writeKVs []wire.KV) (
 		select {
 		case pr := <-prepCh:
 			if !pr.ok {
-				return nil, 0, srv.abortTxn(txn, p)
+				// Undrained sibling prepares may still run, but they only
+				// reference the write slices, which release never recycles
+				// — so aborting (and pooling the rest) here is safe.
+				return nil, 0, abort()
 			}
 			if pr.tp > tc {
 				tc = pr.tp
@@ -267,7 +310,8 @@ func (srv *Server) runTxn(txnID uint64, readKeys []string, writeKVs []wire.KV) (
 	}
 
 	// Return read results in request order (dedup preserved the first
-	// occurrence of each key).
+	// occurrence of each key). Every shard closure has completed (applyCh
+	// drained), so the plan can be recycled.
 	emitted := map[string]bool{}
 	for _, k := range readKeys {
 		if emitted[k] {
@@ -276,6 +320,7 @@ func (srv *Server) runTxn(txnID uint64, readKeys []string, writeKVs []wire.KV) (
 		emitted[k] = true
 		reads = append(reads, wire.KV{Key: k, Value: byKey[k]})
 	}
+	p.release(srv)
 	return reads, int64(tc), nil
 }
 

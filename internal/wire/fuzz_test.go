@@ -20,6 +20,11 @@ func FuzzDecodeRequest(f *testing.F) {
 	f.Add([]byte{byte(OpDequeue)})       // dequeue truncated after the opcode
 	// Enqueue whose declared value length exceeds the actual payload.
 	f.Add(append(AppendRequest(nil, &Request{Op: OpEnqueue, ID: 1, Key: "q"})[:5], 0xff, 0xff, 0x7f))
+	f.Add([]byte{byte(OpReplEntry), 0x01}) // pull truncated after the ID
+	f.Add([]byte{byte(OpReplAck)})         // ack truncated after the opcode
+	// Pull cut off before the trailing Seq field.
+	full := AppendRequest(nil, &Request{Op: OpReplEntry, ID: 2, Key: "127.0.0.1:1", TxnID: 1, Seq: 9})
+	f.Add(full[:len(full)-1])
 	f.Fuzz(func(t *testing.T, payload []byte) {
 		r, err := DecodeRequest(payload)
 		if err != nil {
@@ -42,8 +47,13 @@ func FuzzDecodeResponse(f *testing.F) {
 	}
 	f.Add([]byte{})
 	f.Add([]byte{byte(OpFence), 0x01, 0x02})
-	f.Add([]byte{byte(OpDequeue), 0x01, 0x08}) // reserved flag bit set
-	f.Add([]byte{byte(OpDequeue), 0x01, 0x05}) // OK+Empty, truncated after flags
+	f.Add([]byte{byte(OpDequeue), 0x01, 0x08})      // reserved flag bit set
+	f.Add([]byte{byte(OpDequeue), 0x01, 0x05})      // OK+Empty, truncated after flags
+	f.Add([]byte{byte(OpReplSnapshot), 0x01, 0x01}) // snapshot truncated after flags
+	// Entry batch response whose blob payload is itself malformed: the
+	// frame decodes, the blob must fail cleanly in DecodeReplEntries.
+	f.Add(AppendResponse(nil, &Response{Op: OpReplEntry, ID: 3, OK: true, Seq: 2,
+		Value: string([]byte{0xff, 0xff, 0x7f})}))
 	f.Fuzz(func(t *testing.T, payload []byte) {
 		r, err := DecodeResponse(payload)
 		if err != nil {
@@ -55,6 +65,52 @@ func FuzzDecodeResponse(f *testing.F) {
 		}
 		if !reflect.DeepEqual(r, r2) {
 			t.Fatalf("round trip mismatch:\n dec %+v\n re  %+v", r, r2)
+		}
+	})
+}
+
+// FuzzDecodeReplEntries checks the replication log batch codec: arbitrary
+// payloads never panic, and anything accepted round-trips unchanged.
+func FuzzDecodeReplEntries(f *testing.F) {
+	f.Add(AppendReplEntries(nil, nil))
+	f.Add(AppendReplEntries(nil, []ReplEntry{
+		{Seq: 1, Kind: 1, TxnID: 7, TS: 100, Watermark: 90},
+		{Seq: 2, Kind: 2, TxnID: 7, TS: 105, Watermark: 104, Writes: []KV{{"k", "v"}}},
+	}))
+	f.Add([]byte{0x01, 0x01})             // one entry, truncated mid-fields
+	f.Add([]byte{0xff, 0xff, 0xff, 0x7f}) // count bomb
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		es, err := DecodeReplEntries(payload)
+		if err != nil {
+			return
+		}
+		es2, err := DecodeReplEntries(AppendReplEntries(nil, es))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if !reflect.DeepEqual(es, es2) {
+			t.Fatalf("round trip mismatch:\n dec %+v\n re  %+v", es, es2)
+		}
+	})
+}
+
+// FuzzDecodeReplVals is the versioned-read twin of FuzzDecodeReplEntries.
+func FuzzDecodeReplVals(f *testing.F) {
+	f.Add(AppendReplVals(nil, nil))
+	f.Add(AppendReplVals(nil, []ReplVal{{"k", "v", 42}, {"", "", 0}}))
+	f.Add([]byte{0x02, 0x00})             // declared two vals, one missing
+	f.Add([]byte{0xff, 0xff, 0xff, 0x7f}) // count bomb
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		vs, err := DecodeReplVals(payload)
+		if err != nil {
+			return
+		}
+		vs2, err := DecodeReplVals(AppendReplVals(nil, vs))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if !reflect.DeepEqual(vs, vs2) {
+			t.Fatalf("round trip mismatch:\n dec %+v\n re  %+v", vs, vs2)
 		}
 	})
 }

@@ -62,6 +62,36 @@ const (
 	// carries the element in Value and its sequence number in Version, or
 	// the Empty flag when the queue had no elements.
 	OpDequeue
+	// OpReplEntry is a replication log pull, sent by an out-of-process
+	// follower to its leader: Key is the follower's advertised read
+	// address (its identity), Value a per-boot nonce, TxnID the shard, and
+	// Seq the last log position the follower holds — the leader answers
+	// with the entries after it, encoded by AppendReplEntries into the
+	// response's Value, the leader's shard count in the response's TxnID,
+	// and the batch's last position in the response's Seq. A pull below
+	// the leader's retained log fails with ErrMsgSnapshotRequired: the
+	// follower must catch up via OpReplSnapshot instead.
+	OpReplEntry
+	// OpReplAck reports a follower's applied progress to its leader: Key
+	// and Value identify the follower as in OpReplEntry, TxnID the shard,
+	// Seq the last applied log position, and TMin the applied safe-time
+	// watermark. Acks ride their own messages (not the pulls) so the ack
+	// path can fail independently of replication — the DropAcks failure
+	// mode.
+	OpReplAck
+	// OpReplRead is a snapshot read served by a follower replica, sent by
+	// the leader over its dial-back connection: TxnID the shard, TMin the
+	// read timestamp, Keys the key set. The follower parks until its
+	// applied watermark covers the timestamp, then answers with versioned
+	// reads encoded by AppendReplVals into the response's Value; a
+	// follower that cannot serve in time responds with OK false.
+	OpReplRead
+	// OpReplSnapshot ships a follower a consistent copy of a shard store
+	// for catch-up: Key/Value/TxnID as in OpReplEntry. The response
+	// carries every version of every key (AppendReplVals) in Value, the
+	// log position the snapshot reflects in Seq (replay resumes after
+	// it), and the safe-time watermark at the snapshot point in Version.
+	OpReplSnapshot
 )
 
 func (o Op) String() string {
@@ -86,11 +116,19 @@ func (o Op) String() string {
 		return "enqueue"
 	case OpDequeue:
 		return "dequeue"
+	case OpReplEntry:
+		return "repl-entry"
+	case OpReplAck:
+		return "repl-ack"
+	case OpReplRead:
+		return "repl-read"
+	case OpReplSnapshot:
+		return "repl-snapshot"
 	}
 	return fmt.Sprintf("op(%d)", uint8(o))
 }
 
-func (o Op) valid() bool { return o >= OpGet && o <= OpDequeue }
+func (o Op) valid() bool { return o >= OpGet && o <= OpReplSnapshot }
 
 // KV is a key-value pair in a batched write or a batched read result.
 type KV struct {
@@ -117,7 +155,13 @@ type Request struct {
 	// TMin is the client session's minimum read timestamp on OpROTxn
 	// (§5, Algorithm 1): the server serves the snapshot at a read
 	// timestamp no lower than TMin, preserving the session's causality.
+	// The replication opcodes reuse it as a watermark (see OpReplAck) or
+	// a read timestamp (OpReplRead).
 	TMin int64
+	// Seq is a replication log position: the last position a follower
+	// holds on OpReplEntry, the last position applied on OpReplAck. Zero
+	// elsewhere.
+	Seq uint64
 }
 
 // Response is a server→client message.
@@ -150,6 +194,10 @@ type Response struct {
 	// Empty reports that an OpDequeue found the queue empty. It is a flag
 	// rather than a sentinel value because "" is a legal queue element.
 	Empty bool
+	// Seq is a replication log position: the last position of the batch
+	// on OpReplEntry, the position an OpReplSnapshot reflects (replay
+	// resumes after it). Zero elsewhere.
+	Seq uint64
 }
 
 // Framing limits.
@@ -200,6 +248,7 @@ func AppendRequest(buf []byte, r *Request) []byte {
 		buf = appendString(buf, kv.Value)
 	}
 	buf = binary.AppendVarint(buf, r.TMin)
+	buf = binary.AppendUvarint(buf, r.Seq)
 	return buf
 }
 
@@ -228,6 +277,7 @@ func DecodeRequest(payload []byte) (*Request, error) {
 		}
 	}
 	r.TMin = d.varint()
+	r.Seq = d.uvarint()
 	if err := d.finish(); err != nil {
 		return nil, err
 	}
@@ -258,6 +308,7 @@ func AppendResponse(buf []byte, r *Response) []byte {
 		buf = appendString(buf, kv.Key)
 		buf = appendString(buf, kv.Value)
 	}
+	buf = binary.AppendUvarint(buf, r.Seq)
 	return buf
 }
 
@@ -287,6 +338,7 @@ func DecodeResponse(payload []byte) (*Response, error) {
 			r.KVs[i].Value = d.string()
 		}
 	}
+	r.Seq = d.uvarint()
 	if err := d.finish(); err != nil {
 		return nil, err
 	}

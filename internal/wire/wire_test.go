@@ -27,6 +27,13 @@ func sampleRequests() []*Request {
 		{ID: 11, Op: OpEnqueue, Key: "thumbs", Value: "photo-7"},
 		{ID: 12, Op: OpEnqueue, Key: "thumbs", Value: ""}, // "" is a legal element
 		{ID: 13, Op: OpDequeue, Key: "thumbs"},
+		{ID: 14, Op: OpReplEntry, Key: "127.0.0.1:7380", Value: "nonce-1",
+			TxnID: 3, Seq: 1<<63 - 1}, // log pull: shard 3, extreme position
+		{ID: 15, Op: OpReplAck, Key: "127.0.0.1:7380", Value: "nonce-1",
+			TxnID: 3, Seq: 42, TMin: 1234567},
+		{ID: 16, Op: OpReplRead, TxnID: 2, TMin: 99,
+			Keys: []string{"a", "b"}},
+		{ID: 17, Op: OpReplSnapshot, Key: "127.0.0.1:7380", Value: "nonce-1", TxnID: 0},
 	}
 }
 
@@ -53,6 +60,19 @@ func sampleResponses() []*Response {
 		{ID: 17, Op: OpDequeue, OK: true, Value: "", Version: 3},       // "" element ≠ empty queue
 		{ID: 18, Op: OpDequeue, OK: true, Empty: true, Follower: true}, // flags bits independent
 		{ID: 19, Op: OpEnqueue, OK: false, Err: "queue server closed"}, // failure shape
+		{ID: 20, Op: OpReplEntry, OK: true, TxnID: 8, Seq: 57,
+			Value: string(AppendReplEntries(nil, []ReplEntry{
+				{Seq: 56, Kind: 1, TxnID: 7, TS: 100, Watermark: 90},
+				{Seq: 57, Kind: 2, TxnID: 7, TS: 105, Watermark: 104,
+					Writes: []KV{{"k", "v"}}},
+			}))},
+		{ID: 21, Op: OpReplEntry, OK: false, Err: ErrMsgSnapshotRequired}, // truncated-away pull
+		{ID: 22, Op: OpReplAck, OK: true},
+		{ID: 23, Op: OpReplRead, OK: true,
+			Value: string(AppendReplVals(nil, []ReplVal{{"a", "va", 10}, {"b", "", 0}}))},
+		{ID: 24, Op: OpReplRead, OK: false, Err: "replica lagging"}, // refusal shape
+		{ID: 25, Op: OpReplSnapshot, OK: true, Seq: 128, Version: 5000,
+			Value: string(AppendReplVals(nil, []ReplVal{{"k", "v1", 3}, {"k", "v2", 9}}))},
 	}
 }
 
