@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 
 	"rsskv/internal/core"
@@ -42,6 +43,8 @@ var (
 	epsilon    = flag.Duration("eps", 0, "hosted server's TrueTime uncertainty bound ε")
 	commitEst  = flag.Duration("commit-est", 0, "hosted server's t_ee estimate; >0 lets snapshot reads skip concurrent preparers (§5) at the cost of delaying commit responses until the estimate passes")
 	chaos      = flag.String("chaos", "", "fault injection for the hosted server: stale-reads | delayed-applies | dropped-lock-release | lost-commit-wait (the run succeeds only if the RSS check rejects)")
+	metricsOut = flag.String("metrics-out", "", "loadgen: scrape the server's metrics after the run, render the per-stage dashboard, and write the JSON document here (- for stdout)")
+	extraAddrs = flag.String("scrape-addrs", "", "loadgen: extra daemon addresses (replica read listeners, queue daemons) to include in the end-of-run scrape")
 )
 
 // serverConfig assembles the hosted server's Config from the flags,
@@ -168,6 +171,31 @@ func loadgenCmd() {
 		}
 	}
 	emit(tbl)
+
+	// End-of-run scrape: pull the metrics registries of the target plus any
+	// -scrape-addrs processes (external replicas, queue daemons) while they
+	// are still alive, render the per-stage dashboard, and persist the JSON
+	// document. Scrape failures are fatal — a loadgen run asked to record
+	// its observability baseline must actually record it.
+	if *metricsOut != "" || *extraAddrs != "" {
+		addrs := []string{target}
+		if *extraAddrs != "" {
+			addrs = append(addrs, strings.Split(*extraAddrs, ",")...)
+		}
+		sources, err := scrapeAll(addrs)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+			os.Exit(1)
+		}
+		doc := buildMetricsDoc(sources)
+		renderMetrics(doc, *plot)
+		if *metricsOut != "" {
+			if err := writeMetricsJSON(*metricsOut, doc); err != nil {
+				fmt.Fprintf(os.Stderr, "loadgen: write metrics json: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
 
 	if *noCheck {
 		return

@@ -26,7 +26,9 @@
 //	          -keys, -txnfrac, -multifrac, -fence-every, -seed;
 //	          -expect-follower fails the run unless follower replicas —
 //	          in-process or external -mode=replica processes — served
-//	          snapshot reads)
+//	          snapshot reads; -metrics-out scrapes the target after the
+//	          run — plus any -scrape-addrs daemons — renders the merged
+//	          per-stage dashboard, and writes the JSON document)
 //	composition
 //	          the live §4 experiment: photo-share across two rsskvd
 //	          daemons plus the socketed queue behind libRSS fences, the
@@ -34,6 +36,11 @@
 //	          the fences-off PO-ablation twin, which the checker must
 //	          reject (-album-addr, -photo-addr, -queue-addr, -adders,
 //	          -viewers, -photos, -probes, -po-lag)
+//	metrics   scrape the OpMetrics registries of live daemons (kv leaders,
+//	          -mode=replica read listeners, queue daemons) and render a
+//	          merged per-stage dashboard (-addrs, -metrics-json, -require,
+//	          -plot draws bucket occupancy bars); -require fails the run
+//	          when a named histogram is empty, the CI smoke gate
 package main
 
 import (
@@ -49,7 +56,7 @@ import (
 var (
 	quick    = flag.Bool("quick", false, "shrink durations for a fast pass")
 	csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
-	plot     = flag.Bool("plot", false, "also draw ASCII tail-CDF plots (fig5)")
+	plot     = flag.Bool("plot", false, "also draw ASCII plots (fig5 tail CDFs, metrics bucket bars)")
 	skew     = flag.String("skew", "all", "fig5 Zipfian skew: 0.5, 0.7, 0.9, or all")
 	conflict = flag.String("conflict", "all", "fig7 conflict percentage: 2, 10, 25, or all")
 )
@@ -145,6 +152,8 @@ func main() {
 		timed("loadgen", loadgenCmd)
 	case "composition":
 		timed("composition", compositionCmd)
+	case "metrics":
+		metricsCmd()
 	case "all":
 		emit(exp.Table2())
 		timed("table1", func() { emit(exp.Table1(exp.DefaultTable1(*quick))) })

@@ -1,0 +1,231 @@
+package main
+
+// The metrics mode scrapes the OpMetrics registries of live daemons —
+// the kv leader, every rsskvd -mode=replica read listener, and the queue
+// service answer the same opcode — merges the snapshots into one
+// cross-process view, and renders a per-stage dashboard: histogram
+// quantiles through internal/stats tables, bucket occupancies as ASCII
+// bars, and (optionally) the whole document as machine-readable JSON.
+//
+// It doubles as the CI smoke gate: -require fails the run when a named
+// histogram is empty in the merged view, which is how the workflow
+// asserts that commit-wait and replication-ack-lag instrumentation is
+// actually live end to end.
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"rsskv/internal/kvclient"
+	"rsskv/internal/obs"
+	"rsskv/internal/stats"
+	"rsskv/internal/wire"
+)
+
+var (
+	scrapeAddrs = flag.String("addrs", "", "metrics: comma-separated daemon addresses to scrape (kv leaders, replica read listeners, queue daemons)")
+	metricsJSON = flag.String("metrics-json", "", "metrics/loadgen: write the scraped payloads and merged summary as JSON to this path (- for stdout)")
+	requireHist = flag.String("require", "", "metrics: comma-separated histogram names that must be non-empty in the merged view (exit 1 otherwise)")
+)
+
+// scrapeAll scrapes every address, returning one payload per reachable
+// daemon. Unreachable addresses are errors: a smoke gate that silently
+// skips a dead process would pass vacuously.
+func scrapeAll(addrs []string) ([]*wire.MetricsPayload, error) {
+	var ps []*wire.MetricsPayload
+	for _, a := range addrs {
+		p, err := kvclient.ScrapeMetrics(a, 0)
+		if err != nil {
+			return nil, fmt.Errorf("scrape %s: %w", a, err)
+		}
+		ps = append(ps, p)
+	}
+	return ps, nil
+}
+
+// histSummary is one histogram's summary in the JSON document.
+type histSummary struct {
+	Count uint64  `json:"count"`
+	MeanN float64 `json:"mean_ns"`
+	P50   int64   `json:"p50_ns"`
+	P90   int64   `json:"p90_ns"`
+	P99   int64   `json:"p99_ns"`
+	Max   int64   `json:"max_ns"`
+}
+
+// metricsDoc is the machine-readable scrape document: the raw per-process
+// payloads, the merged view, and quantile summaries of the merged
+// histograms. Bucket indexes are the obs log-linear scheme's.
+type metricsDoc struct {
+	Sources []*wire.MetricsPayload `json:"sources"`
+	Merged  *wire.MetricsPayload   `json:"merged"`
+	Summary map[string]histSummary `json:"summary"`
+}
+
+func buildMetricsDoc(sources []*wire.MetricsPayload) *metricsDoc {
+	doc := &metricsDoc{
+		Sources: sources,
+		Merged:  obs.MergePayloads(sources...),
+		Summary: map[string]histSummary{},
+	}
+	for _, h := range doc.Merged.Hists {
+		if h.Count == 0 {
+			continue
+		}
+		doc.Summary[h.Name] = histSummary{
+			Count: h.Count,
+			MeanN: obs.HistMean(h),
+			P50:   obs.HistQuantile(h, 0.50),
+			P90:   obs.HistQuantile(h, 0.90),
+			P99:   obs.HistQuantile(h, 0.99),
+			Max:   obs.HistMax(h),
+		}
+	}
+	return doc
+}
+
+func writeMetricsJSON(path string, doc *metricsDoc) error {
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// renderMetrics prints the dashboard: per-source one-liners, counter and
+// gauge tables, and a per-stage histogram table (count, mean, quantiles,
+// max — durations shown in microseconds, plain counts as-is).
+func renderMetrics(doc *metricsDoc, plotHists bool) {
+	for _, p := range doc.Sources {
+		fmt.Fprintf(os.Stderr, "scraped %s: %d counters, %d gauges, %d hists\n",
+			p.Source, len(p.Counters), len(p.Gauges), len(p.Hists))
+	}
+	m := doc.Merged
+
+	if len(m.Counters) > 0 || len(m.Gauges) > 0 {
+		tbl := &stats.Table{Title: "counters and gauges (merged)", Columns: []string{"value"}}
+		for _, v := range m.Counters {
+			tbl.Add(v.Name, float64(v.Value))
+		}
+		for _, v := range m.Gauges {
+			tbl.Add(v.Name+" (gauge)", float64(v.Value))
+		}
+		emit(tbl)
+	}
+
+	hists := m.Hists
+	tbl := &stats.Table{
+		Title:   "per-stage histograms (merged; durations in us, counts raw)",
+		Columns: []string{"n", "mean", "p50", "p90", "p99", "max"},
+	}
+	for _, h := range hists {
+		if h.Count == 0 {
+			continue
+		}
+		div := 1000.0 // ns -> us
+		if isCountHist(h.Name) {
+			div = 1
+		}
+		tbl.Add(h.Name,
+			float64(h.Count),
+			obs.HistMean(h)/div,
+			float64(obs.HistQuantile(h, 0.50))/div,
+			float64(obs.HistQuantile(h, 0.90))/div,
+			float64(obs.HistQuantile(h, 0.99))/div,
+			float64(obs.HistMax(h))/div,
+		)
+	}
+	emit(tbl)
+
+	if plotHists {
+		for _, h := range hists {
+			if h.Count == 0 {
+				continue
+			}
+			labels, counts := histBars(h)
+			fmt.Println(stats.PlotBars(h.Name, 50, labels, counts))
+		}
+	}
+}
+
+// isCountHist reports whether a histogram records plain counts (queue
+// depths, batch sizes, payload bytes) rather than nanosecond durations.
+func isCountHist(name string) bool {
+	return strings.Contains(name, "depth") || strings.Contains(name, "occupancy") ||
+		strings.HasSuffix(name, "bytes")
+}
+
+// histBars coarsens a histogram to at most 16 power-of-two-ish rows for
+// the ASCII bar chart.
+func histBars(h wire.MetricHist) ([]string, []float64) {
+	type row struct {
+		lo, hi int64
+		n      float64
+	}
+	var rows []row
+	for _, b := range h.Buckets {
+		lo, hi := obs.BucketBounds(int(b.Idx))
+		if len(rows) > 0 && rows[len(rows)-1].hi+1 == lo && len(h.Buckets) > 16 {
+			// Merge adjacent buckets when the chart would overflow.
+			last := &rows[len(rows)-1]
+			if last.hi < last.lo*2 {
+				last.hi = hi
+				last.n += float64(b.N)
+				continue
+			}
+		}
+		rows = append(rows, row{lo: lo, hi: hi, n: float64(b.N)})
+	}
+	labels := make([]string, len(rows))
+	counts := make([]float64, len(rows))
+	for i, r := range rows {
+		labels[i] = fmt.Sprintf("[%d,%d]", r.lo, r.hi)
+		counts[i] = r.n
+	}
+	return labels, counts
+}
+
+// metricsCmd scrapes -addrs, renders the dashboard, enforces -require,
+// and optionally writes -metrics-json.
+func metricsCmd() {
+	if *scrapeAddrs == "" {
+		fmt.Fprintln(os.Stderr, "metrics: -addrs=<host:port>[,<host:port>...] is required")
+		os.Exit(2)
+	}
+	addrs := strings.Split(*scrapeAddrs, ",")
+	sources, err := scrapeAll(addrs)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "metrics: %v\n", err)
+		os.Exit(1)
+	}
+	doc := buildMetricsDoc(sources)
+	renderMetrics(doc, *plot)
+	if *metricsJSON != "" {
+		if err := writeMetricsJSON(*metricsJSON, doc); err != nil {
+			fmt.Fprintf(os.Stderr, "metrics: write json: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *requireHist != "" {
+		failed := false
+		for _, name := range strings.Split(*requireHist, ",") {
+			h, ok := obs.FindHist(doc.Merged, name)
+			if !ok || h.Count == 0 {
+				fmt.Fprintf(os.Stderr, "metrics: required histogram %q is empty in the merged view\n", name)
+				failed = true
+			}
+		}
+		if failed {
+			os.Exit(1)
+		}
+		fmt.Printf("metrics: all required histograms non-empty: %s\n", *requireHist)
+	}
+}

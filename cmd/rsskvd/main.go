@@ -26,6 +26,13 @@
 //
 //	rsskvd [-addr :7365] [-mode kv|queue|replica] [-shards 8] [-replicas 3]
 //	       [-join addr] [-advertise addr] [-stats 10s] [-chaos mode] [-po-lag 0]
+//	       [-slowop 0] [-pprof addr]
+//
+// Every personality answers OpMetrics with its counters, gauges, and
+// per-stage latency histograms; scrape one daemon or a whole fleet with
+// `rssbench metrics -addrs=...`. -slowop logs per-stage timelines of
+// transactions slower than the threshold (kv mode), and -pprof serves the
+// stdlib profiling handlers on a separate listener.
 //
 // Chaos modes (each breaks exactly one RSS condition; recorded histories
 // must be rejected by the checker): stale-reads, delayed-applies,
@@ -41,6 +48,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	_ "net/http/pprof" // -pprof registers the profiling handlers
 	"os"
 	"os/signal"
 	"syscall"
@@ -65,7 +74,23 @@ var (
 	commitEst  = flag.Duration("commit-est", 0, "advertised earliest-end-time estimate t_ee for commits; >0 lets snapshot reads skip concurrent preparers (§5) at the cost of delaying commit responses until the estimate passes")
 	chaos      = flag.String("chaos", "", "fault injection: stale-reads | delayed-applies | dropped-lock-release | lost-commit-wait (recorded histories violate RSS)")
 	poLag      = flag.Duration("po-lag", 0, "PO-serializability ablation: serve snapshot reads this far behind real time, session floor preserved (recorded cross-service histories violate RSS; the fences-off composition twin)")
+	slowOp     = flag.Duration("slowop", 0, "kv mode: log any transaction slower than this with its per-stage timeline (0 disables)")
+	pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty disables)")
 )
+
+// startPprof serves the stdlib pprof handlers on their own listener, kept
+// off the data-plane port so profiling never competes with wire traffic.
+func startPprof(addr string) {
+	if addr == "" {
+		return
+	}
+	go func() {
+		log.Printf("rsskvd: pprof on http://%s/debug/pprof/", addr)
+		if err := http.ListenAndServe(addr, nil); err != nil {
+			log.Printf("rsskvd: pprof listener: %v", err)
+		}
+	}()
+}
 
 // queueMain runs the daemon as the live queue service.
 func queueMain() {
@@ -154,6 +179,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unexpected argument %q\n", flag.Arg(0))
 		os.Exit(2)
 	}
+	startPprof(*pprofAddr)
 	switch *mode {
 	case "queue":
 		queueMain()
@@ -174,6 +200,7 @@ func main() {
 		CommitEstimate:   *commitEst,
 		POReadLag:        *poLag,
 		AllowReplicaJoin: *acceptRepl,
+		SlowOpThreshold:  *slowOp,
 	}
 	if err := cfg.ApplyChaosMode(*chaos, func(f string, a ...any) { log.Printf("rsskvd: "+f, a...) }); err != nil {
 		fmt.Fprintln(os.Stderr, err)

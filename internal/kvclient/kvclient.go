@@ -213,6 +213,30 @@ func (c *Client) MultiPut(kvs map[string]string) (int64, error) {
 	return resp.Version, nil
 }
 
+// Metrics scrapes the server's metrics registry (OpMetrics): counters,
+// gauges, and log-bucket histograms, decoded from one response frame. All
+// three daemon personalities (kv leader, queue service, replica read
+// listener) answer it, so one helper covers the whole fleet.
+func (c *Client) Metrics() (*wire.MetricsPayload, error) {
+	resp, err := c.do(&wire.Request{Op: wire.OpMetrics})
+	if err != nil {
+		return nil, err
+	}
+	return wire.DecodeMetricsPayload([]byte(resp.Value))
+}
+
+// ScrapeMetrics dials addr, scrapes one metrics snapshot, and closes —
+// the one-shot form for dashboards and CI smoke checks. maxFrame bounds
+// the response frame (0 = the wire default).
+func ScrapeMetrics(addr string, maxFrame int) (*wire.MetricsPayload, error) {
+	c, err := Dial(addr, Options{Conns: 1, MaxFrame: maxFrame})
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	return c.Metrics()
+}
+
 // Fence invokes the server's real-time fence and waits for it. The fence
 // timestamp it returns is merged into the session's t_min, extending the
 // fence guarantee to the snapshot-read path: every later ReadOnly

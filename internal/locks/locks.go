@@ -13,6 +13,7 @@ package locks
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 )
 
 // TxnID identifies a transaction.
@@ -84,6 +85,11 @@ type Manager struct {
 	pendingGrants []Request
 	pendingWounds []TxnID
 	flushing      bool
+
+	// wounds counts wound-wait victims cumulatively. It is the one
+	// atomic in the otherwise single-threaded table: metrics snapshots
+	// read it from outside the shard loop.
+	wounds atomic.Int64
 }
 
 // NewManager returns an empty lock table.
@@ -98,6 +104,10 @@ func NewManager() *Manager {
 
 // Wounded reports whether txn has been wounded and not yet released.
 func (m *Manager) Wounded(txn TxnID) bool { return m.wounded[txn] }
+
+// Wounds returns how many transactions this table has wounded (safe from
+// any goroutine; everything else on the Manager is loop-only).
+func (m *Manager) Wounds() int64 { return m.wounds.Load() }
 
 // HoldsAll reports whether txn currently holds locks covering all keys
 // (prepare-time read-lock validation).
@@ -208,6 +218,7 @@ func (m *Manager) conflict(ls *lockState, req Request) Outcome {
 	for _, t := range toWound {
 		m.wounded[t] = true
 		m.pendingWounds = append(m.pendingWounds, t)
+		m.wounds.Add(1)
 	}
 	// Enqueueing by priority can change the head of the queue: a shared
 	// request that compatible() refused because an exclusive was queued

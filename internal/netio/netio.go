@@ -16,6 +16,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"rsskv/internal/obs"
 	"rsskv/internal/wire"
 )
 
@@ -48,7 +49,16 @@ type ConnWriter struct {
 	closed bool
 	nc     net.Conn
 	done   chan struct{} // closed when the flusher returns
+
+	// batchHist, when set, records each flush batch's occupancy — how
+	// many responses one socket write carried. It is observed once per
+	// flush (not per response), so the hook costs the hot path nothing.
+	batchHist atomic.Pointer[obs.Histogram]
 }
+
+// ObserveBatches records flush batch sizes into h (nil detaches). Safe to
+// call while the writer is live.
+func (cw *ConnWriter) ObserveBatches(h *obs.Histogram) { cw.batchHist.Store(h) }
 
 // NewConnWriter starts a writer for nc.
 func NewConnWriter(nc net.Conn) *ConnWriter {
@@ -122,6 +132,9 @@ func (cw *ConnWriter) flusher() {
 		cw.queue = nil
 		closed := cw.closed
 		cw.mu.Unlock()
+		if h := cw.batchHist.Load(); h != nil && len(batch) > 0 {
+			h.Observe(int64(len(batch)))
+		}
 		cw.nc.SetWriteDeadline(time.Now().Add(writeTimeout))
 		for _, resp := range batch {
 			scratch = wire.AppendResponse(scratch[:0], resp)

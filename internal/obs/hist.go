@@ -1,0 +1,210 @@
+// Log-linear latency histograms: fixed bucket layout, lock-free and
+// allocation-free on the record path, mergeable across processes.
+//
+// The layout is the HDR-histogram family's log-linear scheme: small values
+// get exact unit buckets, and every power-of-two octave above that splits
+// into subCount equal sub-buckets. A bucket's width is therefore at most
+// 1/subCount of its lower bound, so reporting a bucket's midpoint is within
+// 1/(2·subCount) ≈ 6.25% of any value it holds — a bounded relative error
+// at every scale from nanoseconds to hours, with no per-observation
+// allocation and no locks (one atomic add per bucket).
+//
+// Values are dimensionless int64s; by convention latency histograms record
+// nanoseconds and occupancy histograms record counts or bytes.
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+
+	"rsskv/internal/wire"
+)
+
+const (
+	subBits  = 3
+	subCount = 1 << subBits // sub-buckets per octave
+	firstExp = subBits + 1
+	identity = 1 << firstExp // values below this get exact buckets
+
+	// NumBuckets covers the full non-negative int64 range.
+	NumBuckets = identity + (64-firstExp)*subCount
+)
+
+// bucketIndex maps a value to its bucket. Negative values clamp to 0.
+func bucketIndex(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	u := uint64(v)
+	if u < identity {
+		return int(u)
+	}
+	p := bits.Len64(u) - 1 // top bit position, ≥ firstExp
+	m := int(u>>(uint(p)-subBits)) & (subCount - 1)
+	return identity + (p-firstExp)*subCount + m
+}
+
+// bucketBounds returns bucket i's value range [lo, hi].
+func bucketBounds(i int) (lo, hi int64) {
+	if i < identity {
+		return int64(i), int64(i)
+	}
+	rel := i - identity
+	p := firstExp + rel/subCount
+	m := rel % subCount
+	width := int64(1) << (uint(p) - subBits)
+	lo = int64(1)<<uint(p) + int64(m)*width
+	return lo, lo + width - 1
+}
+
+// BucketBounds returns bucket i's value range [lo, hi]. Out-of-range
+// indexes clamp to the layout. Dashboards use it to label occupancy bars.
+func BucketBounds(i int) (lo, hi int64) {
+	if i < 0 {
+		i = 0
+	}
+	if i >= NumBuckets {
+		i = NumBuckets - 1
+	}
+	return bucketBounds(i)
+}
+
+// bucketMid returns bucket i's midpoint — the value quantile estimates
+// report for observations that landed in it.
+func bucketMid(i int) int64 {
+	lo, hi := bucketBounds(i)
+	return lo + (hi-lo)/2
+}
+
+// Histogram is a fixed-layout log-linear histogram. The zero value is ready
+// to use; all methods are safe for concurrent use.
+type Histogram struct {
+	count atomic.Uint64
+	sum   atomic.Int64
+	b     [NumBuckets]atomic.Uint64
+}
+
+// Observe records one value. The record path is one bucket lookup and three
+// atomic adds: no locks, no allocation.
+func (h *Histogram) Observe(v int64) {
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.b[bucketIndex(v)].Add(1)
+}
+
+// ObserveSince records the elapsed time since start, in nanoseconds.
+func (h *Histogram) ObserveSince(start time.Time) {
+	h.Observe(int64(time.Since(start)))
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Snapshot renders the histogram as its sparse wire form (occupied buckets
+// in ascending index order). Name is left empty; the registry fills it.
+// Concurrent observers may land between the count read and the bucket scan,
+// so a snapshot is a near-point-in-time view, not a linearizable cut.
+func (h *Histogram) Snapshot() wire.MetricHist {
+	out := wire.MetricHist{Count: h.count.Load(), Sum: h.sum.Load()}
+	for i := range h.b {
+		if n := h.b[i].Load(); n > 0 {
+			out.Buckets = append(out.Buckets, wire.MetricBucket{Idx: uint32(i), N: n})
+		}
+	}
+	return out
+}
+
+// MergeHists folds histogram snapshots with the same bucket layout into
+// one, summing per-bucket occupancies. It is associative and commutative,
+// which is what makes cross-process aggregation well defined. The result's
+// Name is taken from the first input.
+func MergeHists(hs ...wire.MetricHist) wire.MetricHist {
+	var out wire.MetricHist
+	acc := map[uint32]uint64{}
+	for i, h := range hs {
+		if i == 0 {
+			out.Name = h.Name
+		}
+		out.Count += h.Count
+		out.Sum += h.Sum
+		for _, b := range h.Buckets {
+			acc[b.Idx] += b.N
+		}
+	}
+	for idx, n := range acc {
+		out.Buckets = append(out.Buckets, wire.MetricBucket{Idx: idx, N: n})
+	}
+	sortBuckets(out.Buckets)
+	return out
+}
+
+func sortBuckets(bs []wire.MetricBucket) {
+	// Insertion sort: bucket lists are short and usually nearly sorted.
+	for i := 1; i < len(bs); i++ {
+		for j := i; j > 0 && bs[j-1].Idx > bs[j].Idx; j-- {
+			bs[j-1], bs[j] = bs[j], bs[j-1]
+		}
+	}
+}
+
+// HistQuantile estimates the q-quantile (q in [0,1]) of a histogram
+// snapshot using the same nearest-rank rule as stats.Sample, returning the
+// midpoint of the bucket holding that rank. The estimate is within the
+// bucket's relative width (≤ ~6.25%) of the exact order statistic. Returns
+// 0 for an empty histogram. Buckets with out-of-range indexes (a corrupt or
+// foreign payload) clamp to the top bucket.
+func HistQuantile(h wire.MetricHist, q float64) int64 {
+	if h.Count == 0 || len(h.Buckets) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q*float64(h.Count) - 1e-9)
+	if rank >= h.Count {
+		rank = h.Count - 1
+	}
+	var cum uint64
+	for _, b := range h.Buckets {
+		cum += b.N
+		if cum > rank {
+			idx := int(b.Idx)
+			if idx >= NumBuckets {
+				idx = NumBuckets - 1
+			}
+			return bucketMid(idx)
+		}
+	}
+	idx := int(h.Buckets[len(h.Buckets)-1].Idx)
+	if idx >= NumBuckets {
+		idx = NumBuckets - 1
+	}
+	return bucketMid(idx)
+}
+
+// HistMean returns the exact mean of a histogram snapshot (the sum rides
+// along precisely for this), or 0 when empty.
+func HistMean(h wire.MetricHist) float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.Count)
+}
+
+// HistMax returns the upper bound of the highest occupied bucket (an upper
+// bound on the largest observation), or 0 when empty.
+func HistMax(h wire.MetricHist) int64 {
+	if len(h.Buckets) == 0 {
+		return 0
+	}
+	idx := int(h.Buckets[len(h.Buckets)-1].Idx)
+	if idx >= NumBuckets {
+		idx = NumBuckets - 1
+	}
+	_, hi := bucketBounds(idx)
+	return hi
+}

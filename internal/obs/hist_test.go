@@ -1,0 +1,163 @@
+package obs
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"rsskv/internal/stats"
+	"rsskv/internal/wire"
+)
+
+// TestBucketInvariants: every value lands in a bucket whose bounds contain
+// it, and the midpoint is within the documented relative error.
+func TestBucketInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	check := func(v int64) {
+		i := bucketIndex(v)
+		lo, hi := bucketBounds(i)
+		if v < lo || v > hi {
+			t.Fatalf("value %d landed in bucket %d [%d,%d]", v, i, lo, hi)
+		}
+		if v >= identity {
+			mid := bucketMid(i)
+			diff := v - mid
+			if diff < 0 {
+				diff = -diff
+			}
+			// Width ≤ lo/subCount, so |v-mid| ≤ width/2 ≤ v/(2·subCount).
+			if float64(diff) > float64(v)/(2*subCount)+1 {
+				t.Fatalf("midpoint of bucket %d off by %d for value %d (>%.0f)",
+					i, diff, v, float64(v)/(2*subCount))
+			}
+		}
+	}
+	for v := int64(0); v < 4096; v++ {
+		check(v)
+	}
+	for i := 0; i < 100000; i++ {
+		check(rng.Int63())
+	}
+	// Adjacent buckets tile the range with no gaps or overlaps.
+	for i := 0; i < NumBuckets-1; i++ {
+		_, hi := bucketBounds(i)
+		lo, _ := bucketBounds(i + 1)
+		if lo != hi+1 {
+			t.Fatalf("buckets %d and %d do not tile: hi=%d next lo=%d", i, i+1, hi, lo)
+		}
+	}
+}
+
+// TestHistQuantileErrorBound compares histogram quantile estimates against
+// the exact order statistics of stats.Sample on identical data: the
+// relative error must stay within the bucket width bound (~6.25%).
+func TestHistQuantileErrorBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, gen := range []struct {
+		name string
+		next func() int64
+	}{
+		{"uniform", func() int64 { return rng.Int63n(50_000_000) }},
+		{"bimodal", func() int64 {
+			if rng.Intn(10) == 0 {
+				return 10_000_000 + rng.Int63n(40_000_000) // slow tail
+			}
+			return 20_000 + rng.Int63n(80_000)
+		}},
+		{"tiny", func() int64 { return rng.Int63n(32) }},
+	} {
+		var h Histogram
+		var s stats.Sample
+		for i := 0; i < 50000; i++ {
+			v := gen.next()
+			h.Observe(v)
+			s.AddFloat(float64(v))
+		}
+		snap := h.Snapshot()
+		for _, q := range []float64{0.01, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0} {
+			exact := s.Percentile(q * 100)
+			got := float64(HistQuantile(snap, q))
+			tol := exact/(2*subCount) + 1 // half a bucket width, +1 for unit buckets
+			if diff := got - exact; diff > tol || diff < -tol {
+				t.Errorf("%s q=%.3f: hist %.0f vs exact %.0f (tol %.0f)",
+					gen.name, q, got, exact, tol)
+			}
+		}
+	}
+}
+
+// TestMergeHistsAssociative: cross-process aggregation must not depend on
+// scrape order.
+func TestMergeHistsAssociative(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	mk := func(n int) wire.MetricHist {
+		var h Histogram
+		for i := 0; i < n; i++ {
+			h.Observe(rng.Int63n(1_000_000))
+		}
+		s := h.Snapshot()
+		s.Name = "m"
+		return s
+	}
+	a, b, c := mk(1000), mk(500), mk(1)
+	left := MergeHists(MergeHists(a, b), c)
+	right := MergeHists(a, MergeHists(b, c))
+	if !reflect.DeepEqual(left, right) {
+		t.Fatalf("merge not associative:\n left  %+v\n right %+v", left, right)
+	}
+	if left.Count != a.Count+b.Count+c.Count {
+		t.Fatalf("merged count %d, want %d", left.Count, a.Count+b.Count+c.Count)
+	}
+	if left.Sum != a.Sum+b.Sum+c.Sum {
+		t.Fatalf("merged sum %d, want %d", left.Sum, a.Sum+b.Sum+c.Sum)
+	}
+	// Merging with an empty histogram is the identity on the data.
+	if got := MergeHists(a, wire.MetricHist{Name: "m"}); !reflect.DeepEqual(got, a) {
+		t.Fatalf("merge with empty changed data:\n in  %+v\n out %+v", a, got)
+	}
+}
+
+// TestHistogramConcurrent hammers one histogram from many goroutines; run
+// under -race this is the lock-free-record-path proof, and the final count
+// and sum must be exact regardless.
+func TestHistogramConcurrent(t *testing.T) {
+	const goroutines = 16
+	const perG = 20000
+	var h Histogram
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < perG; i++ {
+				h.Observe(rng.Int63n(1 << 30))
+				if i%1000 == 0 {
+					h.Snapshot() // concurrent snapshots must be safe too
+				}
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	snap := h.Snapshot()
+	if snap.Count != goroutines*perG {
+		t.Fatalf("count %d, want %d", snap.Count, goroutines*perG)
+	}
+	var bucketTotal uint64
+	for _, b := range snap.Buckets {
+		bucketTotal += b.N
+	}
+	if bucketTotal != snap.Count {
+		t.Fatalf("bucket occupancies sum to %d, count is %d", bucketTotal, snap.Count)
+	}
+}
+
+// TestObserveAllocFree: the record path must not allocate (the acceptance
+// gate for instrumenting the transaction hot path).
+func TestObserveAllocFree(t *testing.T) {
+	var h Histogram
+	if allocs := testing.AllocsPerRun(1000, func() { h.Observe(12345) }); allocs != 0 {
+		t.Fatalf("Observe allocates %.1f times per call", allocs)
+	}
+}

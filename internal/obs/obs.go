@@ -1,0 +1,228 @@
+// Package obs is the serving stack's measurement substrate: a lock-free
+// metrics registry (atomic counters, sampled gauges, and log-linear latency
+// histograms — see hist.go) plus per-request stage tracing (trace.go).
+//
+// Every daemon personality (kv leader, queue service, replica node) owns
+// one Registry, instruments its stages into it, and answers the OpMetrics
+// opcode with the registry's snapshot; rssbench scrapes and merges the
+// snapshots into one cross-process view. Registration happens once at
+// construction (before any concurrency); the record paths — Counter.Add,
+// Histogram.Observe — are a handful of atomic adds, safe from any
+// goroutine and free of allocation, which is what lets them sit on the
+// transaction hot path without moving the benchmarks.
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"rsskv/internal/wire"
+)
+
+// Counter is a monotone event counter.
+type Counter struct{ v atomic.Int64 }
+
+// Add adds delta.
+func (c *Counter) Add(delta int64) { c.v.Add(delta) }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Registry is one process's metric namespace. Construct with NewRegistry,
+// register everything up front, then snapshot at will.
+type Registry struct {
+	source string
+
+	mu       sync.Mutex
+	counters []namedCounter
+	cfuncs   []namedFunc // counters mirrored from pre-existing atomics
+	gauges   []namedFunc
+	hists    []namedHist
+}
+
+type namedCounter struct {
+	name string
+	c    *Counter
+}
+
+type namedFunc struct {
+	name string
+	fn   func() int64
+}
+
+type namedHist struct {
+	name string
+	h    *Histogram
+}
+
+// NewRegistry returns a registry whose snapshots carry the given source
+// label (conventionally "personality@addr", e.g. "kv@127.0.0.1:7401").
+func NewRegistry(source string) *Registry {
+	return &Registry{source: source}
+}
+
+// SetSource updates the source label (the listen address is often only
+// known after the registry's owner binds its listener).
+func (r *Registry) SetSource(source string) {
+	r.mu.Lock()
+	r.source = source
+	r.mu.Unlock()
+}
+
+// Counter registers and returns a named counter.
+func (r *Registry) Counter(name string) *Counter {
+	c := &Counter{}
+	r.mu.Lock()
+	r.counters = append(r.counters, namedCounter{name, c})
+	r.mu.Unlock()
+	return c
+}
+
+// CounterFunc registers a counter read from fn at snapshot time — the
+// bridge for counters that already live elsewhere as atomics (the server's
+// Stats struct) and must not be double-tracked.
+func (r *Registry) CounterFunc(name string, fn func() int64) {
+	r.mu.Lock()
+	r.cfuncs = append(r.cfuncs, namedFunc{name, fn})
+	r.mu.Unlock()
+}
+
+// Gauge registers a gauge sampled from fn at snapshot time (queue depths,
+// watermark ages — instantaneous readings, not cumulative events).
+func (r *Registry) Gauge(name string, fn func() int64) {
+	r.mu.Lock()
+	r.gauges = append(r.gauges, namedFunc{name, fn})
+	r.mu.Unlock()
+}
+
+// Hist registers and returns a named histogram.
+func (r *Registry) Hist(name string) *Histogram {
+	h := &Histogram{}
+	r.mu.Lock()
+	r.hists = append(r.hists, namedHist{name, h})
+	r.mu.Unlock()
+	return h
+}
+
+// Snapshot renders the registry as a wire payload: counters and gauges by
+// name, histograms in sparse bucket form, everything sorted by name so
+// output is stable across runs and processes.
+func (r *Registry) Snapshot() *wire.MetricsPayload {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	p := &wire.MetricsPayload{Source: r.source}
+	for _, nc := range r.counters {
+		p.Counters = append(p.Counters, wire.MetricVal{Name: nc.name, Value: nc.c.Load()})
+	}
+	for _, nf := range r.cfuncs {
+		p.Counters = append(p.Counters, wire.MetricVal{Name: nf.name, Value: nf.fn()})
+	}
+	for _, nf := range r.gauges {
+		p.Gauges = append(p.Gauges, wire.MetricVal{Name: nf.name, Value: nf.fn()})
+	}
+	for _, nh := range r.hists {
+		mh := nh.h.Snapshot()
+		mh.Name = nh.name
+		p.Hists = append(p.Hists, mh)
+	}
+	sortVals(p.Counters)
+	sortVals(p.Gauges)
+	sort.Slice(p.Hists, func(i, j int) bool { return p.Hists[i].Name < p.Hists[j].Name })
+	return p
+}
+
+func sortVals(vs []wire.MetricVal) {
+	sort.Slice(vs, func(i, j int) bool { return vs[i].Name < vs[j].Name })
+}
+
+// MergePayloads folds per-process snapshots into one cross-process view:
+// counters and histograms sum by name (histogram merging is associative,
+// see MergeHists), and gauges sum by name too — the merged reading of an
+// instantaneous quantity like queue depth is the fleet total. The merged
+// source is "merged".
+func MergePayloads(ps ...*wire.MetricsPayload) *wire.MetricsPayload {
+	out := &wire.MetricsPayload{Source: "merged"}
+	cs := map[string]int64{}
+	gs := map[string]int64{}
+	hs := map[string]wire.MetricHist{}
+	var corder, gorder, horder []string
+	for _, p := range ps {
+		if p == nil {
+			continue
+		}
+		for _, v := range p.Counters {
+			if _, ok := cs[v.Name]; !ok {
+				corder = append(corder, v.Name)
+			}
+			cs[v.Name] += v.Value
+		}
+		for _, v := range p.Gauges {
+			if _, ok := gs[v.Name]; !ok {
+				gorder = append(gorder, v.Name)
+			}
+			gs[v.Name] += v.Value
+		}
+		for _, h := range p.Hists {
+			if prev, ok := hs[h.Name]; ok {
+				hs[h.Name] = MergeHists(prev, h)
+			} else {
+				horder = append(horder, h.Name)
+				hs[h.Name] = h
+			}
+		}
+	}
+	sort.Strings(corder)
+	sort.Strings(gorder)
+	sort.Strings(horder)
+	for _, n := range corder {
+		out.Counters = append(out.Counters, wire.MetricVal{Name: n, Value: cs[n]})
+	}
+	for _, n := range gorder {
+		out.Gauges = append(out.Gauges, wire.MetricVal{Name: n, Value: gs[n]})
+	}
+	for _, n := range horder {
+		out.Hists = append(out.Hists, hs[n])
+	}
+	return out
+}
+
+// FindHist returns the named histogram in a payload, or a zero histogram
+// when absent.
+func FindHist(p *wire.MetricsPayload, name string) (wire.MetricHist, bool) {
+	if p == nil {
+		return wire.MetricHist{}, false
+	}
+	for _, h := range p.Hists {
+		if h.Name == name {
+			return h, true
+		}
+	}
+	return wire.MetricHist{}, false
+}
+
+// FindCounter returns the named counter's value in a payload (0 when
+// absent).
+func FindCounter(p *wire.MetricsPayload, name string) int64 {
+	if p == nil {
+		return 0
+	}
+	for _, v := range p.Counters {
+		if v.Name == name {
+			return v.Value
+		}
+	}
+	return 0
+}
+
+// MetricsResponse renders one OpMetrics reply from a registry snapshot —
+// shared by all three daemon personalities.
+func MetricsResponse(req *wire.Request, r *Registry) *wire.Response {
+	return &wire.Response{
+		ID: req.ID, Op: req.Op, OK: true,
+		Value: string(wire.AppendMetricsPayload(nil, r.Snapshot())),
+	}
+}

@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"rsskv/internal/wire"
+)
+
+func TestRegistrySnapshotRoundTrip(t *testing.T) {
+	r := NewRegistry("kv@test")
+	commits := r.Counter("commits")
+	commits.Add(41)
+	commits.Inc()
+	r.CounterFunc("gets", func() int64 { return 7 })
+	r.Gauge("queue.depth", func() int64 { return 3 })
+	h := r.Hist("txn.commit_wait")
+	h.Observe(1000)
+	h.Observe(2000)
+
+	p := r.Snapshot()
+	if p.Source != "kv@test" {
+		t.Fatalf("source %q", p.Source)
+	}
+	if got := FindCounter(p, "commits"); got != 42 {
+		t.Fatalf("commits %d", got)
+	}
+	if got := FindCounter(p, "gets"); got != 7 {
+		t.Fatalf("gets %d", got)
+	}
+	if len(p.Gauges) != 1 || p.Gauges[0].Value != 3 {
+		t.Fatalf("gauges %+v", p.Gauges)
+	}
+	mh, ok := FindHist(p, "txn.commit_wait")
+	if !ok || mh.Count != 2 || mh.Sum != 3000 {
+		t.Fatalf("hist %+v ok=%v", mh, ok)
+	}
+
+	// The snapshot must survive the wire codec unchanged.
+	dec, err := wire.DecodeMetricsPayload(wire.AppendMetricsPayload(nil, p))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got := FindCounter(dec, "commits"); got != 42 {
+		t.Fatalf("decoded commits %d", got)
+	}
+	if mh2, ok := FindHist(dec, "txn.commit_wait"); !ok || mh2.Count != mh.Count {
+		t.Fatalf("decoded hist %+v", mh2)
+	}
+}
+
+func TestMergePayloads(t *testing.T) {
+	mk := func(src string, commits int64, depth int64, obs ...int64) *wire.MetricsPayload {
+		r := NewRegistry(src)
+		r.Counter("commits").Add(commits)
+		r.Gauge("depth", func() int64 { return depth })
+		h := r.Hist("lat")
+		for _, v := range obs {
+			h.Observe(v)
+		}
+		return r.Snapshot()
+	}
+	m := MergePayloads(mk("a", 10, 2, 100, 200), mk("b", 5, 3, 300), nil)
+	if got := FindCounter(m, "commits"); got != 15 {
+		t.Fatalf("merged commits %d", got)
+	}
+	if len(m.Gauges) != 1 || m.Gauges[0].Value != 5 {
+		t.Fatalf("merged gauges %+v", m.Gauges)
+	}
+	h, ok := FindHist(m, "lat")
+	if !ok || h.Count != 3 || h.Sum != 600 {
+		t.Fatalf("merged hist %+v", h)
+	}
+}
+
+func TestTraceAndSlowLog(t *testing.T) {
+	var tr Trace
+	tr.Mark("lock", 100*time.Microsecond)
+	tr.Mark("apply", 1200*time.Microsecond)
+	tl := tr.Timeline()
+	if !strings.Contains(tl, "lock@0.10ms") || !strings.Contains(tl, "apply@1.20ms") {
+		t.Fatalf("timeline %q", tl)
+	}
+	tr.Reset()
+	if tr.Timeline() != "" {
+		t.Fatalf("reset timeline %q", tr.Timeline())
+	}
+	tr.Mark("lock", time.Millisecond)
+
+	var lines []string
+	l := NewSlowLog(2*time.Millisecond, func(f string, args ...any) {
+		lines = append(lines, fmt.Sprintf(f, args...))
+	})
+	l.Record("rw-txn", 7, &tr, time.Millisecond) // under threshold
+	if len(lines) != 0 || l.Slow() != 0 {
+		t.Fatalf("under-threshold op logged: %v", lines)
+	}
+	l.Record("rw-txn", 7, &tr, 5*time.Millisecond)
+	if len(lines) != 1 || l.Slow() != 1 {
+		t.Fatalf("slow op not logged: %v", lines)
+	}
+	if !strings.Contains(lines[0], "op=rw-txn") || !strings.Contains(lines[0], "id=7") ||
+		!strings.Contains(lines[0], "total=5.00ms") || !strings.Contains(lines[0], "lock@1.00ms") {
+		t.Fatalf("slow line %q", lines[0])
+	}
+
+	// Disabled and nil logs are inert.
+	var nilLog *SlowLog
+	nilLog.Record("x", 1, &tr, time.Hour)
+	if nilLog.Slow() != 0 {
+		t.Fatal("nil slow log counted")
+	}
+	off := NewSlowLog(0, func(string, ...any) { t.Fatal("disabled log wrote") })
+	off.Record("x", 1, &tr, time.Hour)
+
+	// Marks past the cap drop silently.
+	tr.Reset()
+	for i := 0; i < maxStages+3; i++ {
+		tr.Mark("s", time.Duration(i))
+	}
+	if tr.n != maxStages {
+		t.Fatalf("trace grew past cap: %d", tr.n)
+	}
+}

@@ -1,0 +1,96 @@
+// Per-request stage tracing and the slow-op log.
+//
+// A Trace is a fixed-size timeline of (stage label, cumulative elapsed)
+// marks that a request coordinator fills as it moves through its stages —
+// lock acquisition, prepare, apply, commit wait. It is designed to embed in
+// the coordinators' pooled scratch state (txnPlan, roScratch), so the hot
+// path records a timeline with zero allocation; formatting only happens on
+// the slow path, when a SlowLog decides the request crossed its threshold.
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// maxStages bounds a trace's timeline. Coordinators have at most a handful
+// of stages; extra marks are dropped rather than grown.
+const maxStages = 8
+
+// Trace is one request's stage timeline. The zero value is ready; Reset
+// before reuse.
+type Trace struct {
+	n      int
+	labels [maxStages]string
+	at     [maxStages]time.Duration
+}
+
+// Reset clears the timeline for reuse.
+func (t *Trace) Reset() { t.n = 0 }
+
+// Mark appends a stage: the request reached stage label at cumulative
+// elapsed time since the request began. The caller passes elapsed rather
+// than Mark reading the clock, so one time.Since both feeds the stage
+// histogram and the trace.
+func (t *Trace) Mark(label string, elapsed time.Duration) {
+	if t.n < maxStages {
+		t.labels[t.n] = label
+		t.at[t.n] = elapsed
+		t.n++
+	}
+}
+
+// Timeline renders the marks as "lock@0.1ms apply@1.2ms commit-wait@3.4ms".
+func (t *Trace) Timeline() string {
+	var b strings.Builder
+	for i := 0; i < t.n; i++ {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s@%.2fms", t.labels[i], float64(t.at[i])/float64(time.Millisecond))
+	}
+	return b.String()
+}
+
+// SlowLog gates per-request timelines behind a latency threshold: requests
+// that finish under it cost one comparison; requests over it are counted
+// and their stage timeline formatted and logged. A nil *SlowLog or a zero
+// threshold disables logging but keeps the counter at zero cost.
+type SlowLog struct {
+	threshold time.Duration
+	logf      func(format string, args ...any)
+	slow      atomic.Int64
+}
+
+// NewSlowLog returns a slow-op log writing through logf (log.Printf
+// shaped). A threshold ≤ 0 disables it.
+func NewSlowLog(threshold time.Duration, logf func(format string, args ...any)) *SlowLog {
+	return &SlowLog{threshold: threshold, logf: logf}
+}
+
+// Enabled reports whether Record can ever log.
+func (l *SlowLog) Enabled() bool {
+	return l != nil && l.threshold > 0 && l.logf != nil
+}
+
+// Slow returns how many requests crossed the threshold.
+func (l *SlowLog) Slow() int64 {
+	if l == nil {
+		return 0
+	}
+	return l.slow.Load()
+}
+
+// Record logs op's stage timeline if total crossed the threshold:
+//
+//	slow-op op=rw-txn id=42 total=12.40ms lock@0.21ms apply@1.13ms commit-wait@12.40ms
+func (l *SlowLog) Record(op string, id uint64, t *Trace, total time.Duration) {
+	if !l.Enabled() || total < l.threshold {
+		return
+	}
+	l.slow.Add(1)
+	l.logf("slow-op op=%s id=%d total=%.2fms %s",
+		op, id, float64(total)/float64(time.Millisecond), t.Timeline())
+}

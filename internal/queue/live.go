@@ -24,6 +24,7 @@ import (
 	"sync/atomic"
 
 	"rsskv/internal/netio"
+	"rsskv/internal/obs"
 	"rsskv/internal/replication"
 	"rsskv/internal/truetime"
 	"rsskv/internal/wire"
@@ -65,6 +66,18 @@ type Server struct {
 	wg     sync.WaitGroup
 	loopWG sync.WaitGroup
 
+	// Observability: the queue daemon's OpMetrics registry. Scrapes run
+	// on the sequencer loop, so gauges may read loop-owned state.
+	//
+	//	enqueues/dequeues/empties/fences/conns  ctr    ServerStats mirrors
+	//	queue.depth       hist   named queue's depth after each enq/deq
+	//	loop.queue_depth  hist   sequencer channel depth at dequeue
+	//	queue.depth_now   gauge  total queued elements across queues
+	//	queue.acked_seq   gauge  highest acceptor-acknowledged log index
+	reg       *obs.Registry
+	qDepth    *obs.Histogram
+	loopDepth *obs.Histogram
+
 	mu     sync.Mutex
 	ln     net.Listener
 	conns  map[net.Conn]struct{}
@@ -95,6 +108,22 @@ func NewServer(cfg ServerConfig) *Server {
 	if cfg.Acceptors > 0 {
 		s.repl = replication.NewGroup(replGroupID, cfg.Acceptors, replication.Chaos{})
 	}
+	s.reg = obs.NewRegistry("queue")
+	s.reg.CounterFunc("enqueues", s.stats.Enqueues.Load)
+	s.reg.CounterFunc("dequeues", s.stats.Dequeues.Load)
+	s.reg.CounterFunc("empties", s.stats.Empties.Load)
+	s.reg.CounterFunc("fences", s.stats.Fences.Load)
+	s.reg.CounterFunc("conns", s.stats.Conns.Load)
+	s.reg.Gauge("queue.depth_now", func() int64 {
+		var n int64
+		for _, q := range s.queues { // loop-only; scrapes run on the loop
+			n += int64(len(q.items) - q.head)
+		}
+		return n
+	})
+	s.reg.Gauge("queue.acked_seq", s.AckedWatermark)
+	s.qDepth = s.reg.Hist("queue.depth")
+	s.loopDepth = s.reg.Hist("loop.queue_depth")
 	s.loopWG.Add(1)
 	go s.loop()
 	return s
@@ -115,6 +144,7 @@ func (s *Server) Start(addr string) error {
 	}
 	s.ln = ln
 	s.mu.Unlock()
+	s.reg.SetSource("queue@" + ln.Addr().String())
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
@@ -303,6 +333,9 @@ func (s *Server) dispatch(req *wire.Request, cw *netio.ConnWriter, pending *sync
 			s.stats.Fences.Add(1)
 			cw.Send(&wire.Response{ID: req.ID, Op: req.Op, OK: true, Version: int64(s.seq)})
 		}
+	case wire.OpMetrics:
+		// On the loop so the depth gauges may read loop-owned state.
+		fn = func() { cw.Send(obs.MetricsResponse(req, s.reg)) }
 	default:
 		cw.Send(&wire.Response{
 			ID: req.ID, Op: req.Op,
@@ -328,6 +361,7 @@ func (s *Server) enqueue(req *wire.Request, cw *netio.ConnWriter) {
 	q.nextSeq++
 	seq := q.nextSeq
 	q.items = append(q.items, item{seq: seq, value: req.Value})
+	s.qDepth.Observe(int64(len(q.items) - q.head))
 	s.replicate(req.Key+"#"+strconv.FormatInt(seq, 10), req.Value)
 	s.stats.Enqueues.Add(1)
 	cw.Send(&wire.Response{ID: req.ID, Op: req.Op, OK: true, Version: seq})
@@ -345,6 +379,7 @@ func (s *Server) dequeue(req *wire.Request, cw *netio.ConnWriter) {
 	}
 	it := q.items[q.head]
 	q.head++
+	s.qDepth.Observe(int64(len(q.items) - q.head))
 	if q.head > 1024 && q.head*2 > len(q.items) {
 		q.items = append([]item(nil), q.items[q.head:]...)
 		q.head = 0
@@ -371,6 +406,7 @@ func (s *Server) loop() {
 	for {
 		select {
 		case fn := <-s.ch:
+			s.loopDepth.Observe(int64(len(s.ch)))
 			fn()
 		case <-s.quit:
 			return

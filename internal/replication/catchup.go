@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"rsskv/internal/netio"
+	"rsskv/internal/obs"
 	"rsskv/internal/truetime"
 	"rsskv/internal/wire"
 )
@@ -146,7 +147,42 @@ type Node struct {
 	// stats: a rejoin after truncation must show at least one).
 	snapshots atomic.Int64
 	pulls     atomic.Int64
+
+	// Observability: the node's OpMetrics registry (served on the read
+	// listener alongside OpReplRead) and the read-path instruments.
+	reg       *obs.Registry
+	readDur   *obs.Histogram
+	readFails *obs.Counter
+	reads     *obs.Counter
 }
+
+// newNodeMetrics builds the node's registry. Catalog:
+//
+//	node.pulls            ctr    entry batches pulled from the leader
+//	node.snapshots        ctr    catch-up snapshots installed
+//	node.reads            ctr    follower reads served
+//	node.read_fails       ctr    follower reads the park gave up on
+//	node.read_dur         hist   follower read duration (park included), ns
+//	node.safe_time_age_ns gauge  min applied watermark's age across shards
+func (n *Node) newNodeMetrics() {
+	r := obs.NewRegistry("replica@" + n.adv)
+	r.CounterFunc("node.pulls", n.pulls.Load)
+	r.CounterFunc("node.snapshots", n.snapshots.Load)
+	r.Gauge("node.safe_time_age_ns", func() int64 {
+		w := n.MinTSafe()
+		if w <= 0 {
+			return 0 // nothing applied yet; age would be since-epoch noise
+		}
+		return time.Now().UnixNano() - int64(w)
+	})
+	n.reg = r
+	n.readDur = r.Hist("node.read_dur")
+	n.reads = r.Counter("node.reads")
+	n.readFails = r.Counter("node.read_fails")
+}
+
+// Metrics returns the node's registry snapshot (testing and stats).
+func (n *Node) Metrics() *wire.MetricsPayload { return n.reg.Snapshot() }
 
 // ackState coalesces a shard's acknowledgments: the replica loop records
 // the newest applied position, a sender goroutine ships it. Bursts of
@@ -210,6 +246,7 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 	if n.adv == "" {
 		n.adv = advertisable(ln.Addr())
 	}
+	n.newNodeMetrics()
 	pool, err := netio.DialPool(cfg.Leader, 1, cfg.MaxFrame)
 	if err != nil {
 		ln.Close()
@@ -519,8 +556,12 @@ func (n *Node) handleReadConn(nc net.Conn) {
 		if err != nil {
 			break
 		}
+		if req.Op == wire.OpMetrics {
+			cw.Send(obs.MetricsResponse(req, n.reg))
+			continue
+		}
 		if req.Op != wire.OpReplRead {
-			cw.Send(&wire.Response{ID: req.ID, Op: req.Op, Err: "replica serves repl-read only"})
+			cw.Send(&wire.Response{ID: req.ID, Op: req.Op, Err: "replica serves repl-read and metrics only"})
 			continue
 		}
 		shard := int(req.TxnID)
@@ -531,11 +572,15 @@ func (n *Node) handleReadConn(nc net.Conn) {
 		pending.Add(1)
 		go func(req *wire.Request) {
 			defer pending.Done()
+			start := time.Now()
 			vals, ok, _ := n.reps[shard].Read(truetime.Timestamp(req.TMin), req.Keys, n.cfg.ReadPark)
+			n.readDur.ObserveSince(start)
 			if !ok {
+				n.readFails.Inc()
 				cw.Send(&wire.Response{ID: req.ID, Op: req.Op, Err: "replica cannot serve"})
 				return
 			}
+			n.reads.Inc()
 			wvs := make([]wire.ReplVal, len(vals))
 			for i, v := range vals {
 				wvs[i] = wire.ReplVal{Key: v.Key, Value: v.Value, TS: int64(v.TS)}

@@ -1,0 +1,139 @@
+package server
+
+import (
+	"log"
+
+	"rsskv/internal/obs"
+)
+
+// serverMetrics is the kv server's observability surface: one obs.Registry
+// answering OpMetrics, the per-stage latency histograms the coordinators
+// record into, and the slow-op log. The counters the server already keeps
+// in Stats are mirrored into the registry as CounterFuncs at snapshot time
+// rather than double-tracked.
+//
+// Metric catalog (durations in nanoseconds unless noted):
+//
+//	txn.lock_wait       hist  lock phase: first Acquire to full grant
+//	txn.prepare_commit  hist  prepare+apply: grant to last apply drained
+//	txn.commit_wait     hist  commit wait: apply to response release
+//	txn.total           hist  whole 2PC coordinator
+//	txn.wounds          ctr   wound-wait victims across shard lock tables
+//	ro.block_wait       hist  snapshot-read park on the blocking set B
+//	ro.total            hist  whole RO coordinator
+//	apply.queue_depth   hist  shard apply channel depth at dequeue (count)
+//	net.batch_occupancy hist  responses per connection-writer flush (count)
+//	repl.ack_lag_chan   hist  acked t_safe age, channel followers (sampled
+//	                          every heartbeat per live transport)
+//	repl.ack_lag_sock   hist  acked t_safe age, socket replicas (sampled)
+//	repl.snapshot_bytes hist  catch-up snapshot payload size (bytes)
+//	repl.snapshot_dur   hist  catch-up snapshot cut+encode duration
+//	slow_ops            ctr   requests over Config.SlowOpThreshold
+//	repl.safe_time_age_ns  gauge  freshest follower t_safe lag, max/shards
+//	apply.queue_depth_now  gauge  apply channel depth summed over shards
+type serverMetrics struct {
+	reg *obs.Registry
+
+	lockWait      *obs.Histogram
+	prepareCommit *obs.Histogram
+	commitWait    *obs.Histogram
+	txnTotal      *obs.Histogram
+	roBlockWait   *obs.Histogram
+	roTotal       *obs.Histogram
+	applyDepth    *obs.Histogram
+	batchOcc      *obs.Histogram
+	ackLagChan    *obs.Histogram
+	ackLagSock    *obs.Histogram
+	snapBytes     *obs.Histogram
+	snapDur       *obs.Histogram
+
+	slow *obs.SlowLog
+}
+
+func newServerMetrics(srv *Server) *serverMetrics {
+	r := obs.NewRegistry("kv")
+	logf := srv.cfg.SlowOpLogf
+	if logf == nil {
+		logf = log.Printf
+	}
+	m := &serverMetrics{
+		reg:           r,
+		lockWait:      r.Hist("txn.lock_wait"),
+		prepareCommit: r.Hist("txn.prepare_commit"),
+		commitWait:    r.Hist("txn.commit_wait"),
+		txnTotal:      r.Hist("txn.total"),
+		roBlockWait:   r.Hist("ro.block_wait"),
+		roTotal:       r.Hist("ro.total"),
+		applyDepth:    r.Hist("apply.queue_depth"),
+		batchOcc:      r.Hist("net.batch_occupancy"),
+		ackLagChan:    r.Hist("repl.ack_lag_chan"),
+		ackLagSock:    r.Hist("repl.ack_lag_sock"),
+		snapBytes:     r.Hist("repl.snapshot_bytes"),
+		snapDur:       r.Hist("repl.snapshot_dur"),
+		slow:          obs.NewSlowLog(srv.cfg.SlowOpThreshold, logf),
+	}
+	st := &srv.stats
+	r.CounterFunc("gets", st.Gets.Load)
+	r.CounterFunc("puts", st.Puts.Load)
+	r.CounterFunc("commits", st.Commits.Load)
+	r.CounterFunc("aborts", st.Aborts.Load)
+	r.CounterFunc("fences", st.Fences.Load)
+	r.CounterFunc("conns", st.Conns.Load)
+	r.CounterFunc("ro.txns", st.ROs.Load)
+	r.CounterFunc("ro.blocked", st.ROBlocked.Load)
+	r.CounterFunc("ro.skips", st.ROSkips.Load)
+	r.CounterFunc("ro.follower", st.ROFollower.Load)
+	r.CounterFunc("ro.follower_chan", st.ROFollowerChan.Load)
+	r.CounterFunc("ro.follower_sock", st.ROFollowerSock.Load)
+	r.CounterFunc("ro.fallback", st.ROFallback.Load)
+	r.CounterFunc("replica.joins", st.ReplicaJoins.Load)
+	r.CounterFunc("repl.snapshots", st.ReplSnapshots.Load)
+	r.CounterFunc("txn.wounds", func() int64 {
+		var n int64
+		for _, s := range srv.shards {
+			n += s.lm.Wounds()
+		}
+		return n
+	})
+	r.CounterFunc("slow_ops", m.slow.Slow)
+	r.Gauge("repl.safe_time_age_ns", func() int64 { return int64(srv.ReplicationLag()) })
+	r.Gauge("apply.queue_depth_now", func() int64 {
+		var n int64
+		for _, s := range srv.shards {
+			n += int64(len(s.ch))
+		}
+		return n
+	})
+	return m
+}
+
+// sampleReplication records every live transport's acknowledged-watermark
+// age, split by transport kind. Called once per heartbeat tick, so the
+// histograms are uniform-in-time samples of follower staleness rather than
+// per-ack event streams (which would weight chatty replicas).
+func (m *serverMetrics) sampleReplication(srv *Server) {
+	for _, s := range srv.shards {
+		if s.repl == nil || !s.repl.Active() {
+			continue
+		}
+		for i := 0; ; i++ {
+			f := s.repl.Transport(i)
+			if f == nil {
+				break
+			}
+			if !f.Routable() {
+				continue
+			}
+			w := f.Acked()
+			if w <= 0 {
+				continue // nothing acked yet; age would be since-epoch noise
+			}
+			lag := int64(srv.clock.Since(w))
+			if f.Kind() == "sock" {
+				m.ackLagSock.Observe(lag)
+			} else {
+				m.ackLagChan.Observe(lag)
+			}
+		}
+	}
+}

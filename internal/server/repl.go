@@ -206,10 +206,14 @@ func (srv *Server) replSnapshot(req *wire.Request, cw *connWriter) {
 		cw.Send(&wire.Response{ID: req.ID, Op: req.Op, Err: errClosed.Error()})
 		return
 	}
+	start := time.Now()
 	select {
 	case cut := <-ch:
 		srv.stats.ReplSnapshots.Add(1)
-		cw.Send(replication.SnapshotResponse(req, cut.vals, cut.seq, cut.w, len(srv.shards)))
+		resp := replication.SnapshotResponse(req, cut.vals, cut.seq, cut.w, len(srv.shards))
+		srv.metrics.snapDur.ObserveSince(start)
+		srv.metrics.snapBytes.Observe(int64(len(resp.Value)))
+		cw.Send(resp)
 	case <-srv.quit:
 		cw.Send(&wire.Response{ID: req.ID, Op: req.Op, Err: errClosed.Error()})
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"rsskv/internal/obs"
 	"rsskv/internal/replication"
 	"rsskv/internal/truetime"
 	"rsskv/internal/wire"
@@ -81,6 +82,10 @@ type roWaiter struct {
 	pset  map[uint64]bool
 	await map[uint64]bool
 
+	// parkedAt is when the waiter joined s.roBlocked (zero when the read
+	// was served without blocking); roReply records the park duration.
+	parkedAt time.Time
+
 	reply chan roShardReply
 }
 
@@ -123,6 +128,7 @@ type roScratch struct {
 	vals     map[string]roVal
 	skipped  []roSkip
 	reply    chan roShardReply
+	trace    obs.Trace // per-stage timeline for the slow-op log
 }
 
 func (srv *Server) newROScratch() *roScratch {
@@ -146,6 +152,7 @@ func (sc *roScratch) release(srv *Server) {
 	}
 	sc.shardIDs = sc.shardIDs[:0]
 	sc.skipped = sc.skipped[:0]
+	sc.trace.Reset()
 	srv.roPool.Put(sc)
 }
 
@@ -183,6 +190,7 @@ func (s *shard) roRead(w *roWaiter) {
 		return
 	}
 	s.srv.stats.ROBlocked.Add(1)
+	w.parkedAt = time.Now()
 	s.roBlocked = append(s.roBlocked, w)
 }
 
@@ -201,6 +209,9 @@ func conflictsKeys(writes []wire.KV, keys []string) bool {
 // coordinator to every still-prepared member of P it skipped (Algorithm 2
 // lines 8–10). Loop-only; runs once w's blocking set has drained.
 func (s *shard) roReply(w *roWaiter) {
+	if !w.parkedAt.IsZero() {
+		s.srv.metrics.roBlockWait.ObserveSince(w.parkedAt)
+	}
 	reply := roShardReply{vals: make([]roVal, 0, len(w.keys))}
 	for _, k := range w.keys {
 		v := s.store.ReadAt(k, w.tread)
@@ -252,6 +263,7 @@ func (srv *Server) followerRead(s *shard, f replication.Transport, keys []string
 // renders the response. Runs on its own goroutine per request, like the
 // 2PC coordinator.
 func (srv *Server) readOnly(req *wire.Request, cw *connWriter) {
+	start := time.Now()
 	tmin := truetime.Timestamp(req.TMin)
 	chaos := srv.cfg.ChaosStaleReads
 	var tread truetime.Timestamp
@@ -394,6 +406,7 @@ func (srv *Server) readOnly(req *wire.Request, cw *connWriter) {
 			return // abandoned
 		}
 	}
+	sc.trace.Mark("fanout", time.Since(start))
 
 	// t_snap (Algorithm 1 lines 14–20): the earliest timestamp at which
 	// every key has its observed value — the max over keys of the
@@ -442,6 +455,10 @@ func (srv *Server) readOnly(req *wire.Request, cw *connWriter) {
 		resp.KVs = append(resp.KVs, wire.KV{Key: k, Value: sc.vals[k].value})
 	}
 	srv.stats.ROs.Add(1)
+	total := time.Since(start)
+	srv.metrics.roTotal.Observe(int64(total))
+	sc.trace.Mark("snap", total)
+	srv.metrics.slow.Record("ro-txn", req.ID, &sc.trace, total)
 	cw.Send(resp)
 	if clean {
 		sc.release(srv)

@@ -10,6 +10,7 @@ import (
 
 	"rsskv/internal/locks"
 	"rsskv/internal/netio"
+	"rsskv/internal/obs"
 	"rsskv/internal/replication"
 	"rsskv/internal/truetime"
 	"rsskv/internal/wire"
@@ -90,6 +91,15 @@ type Config struct {
 	// a cross-service causal chain (an enqueued photo ID, an out-of-band
 	// call) outruns the lag. Never enable outside the composition ablation.
 	POReadLag time.Duration
+
+	// SlowOpThreshold enables the slow-op trace log: any request whose
+	// coordinator runs longer than this logs its per-stage timeline
+	// through SlowOpLogf (default log.Printf when unset). Zero disables
+	// the log; the threshold comparison is the only cost on fast requests.
+	SlowOpThreshold time.Duration
+	// SlowOpLogf receives slow-op trace lines (see obs.SlowLog). Unset
+	// with a nonzero SlowOpThreshold falls back to log.Printf.
+	SlowOpLogf func(format string, args ...any)
 
 	// ChaosStaleReads is fault injection for the checker: snapshot reads
 	// are served at an artificially lowered t_read and skip the prepared
@@ -174,6 +184,11 @@ type Server struct {
 	shards []*shard
 	seq    atomic.Int64 // transaction IDs and wound-wait priorities
 	stats  Stats
+	// metrics is the OpMetrics-scrapeable registry plus the stage
+	// histograms the coordinators record into (see metrics.go). Built in
+	// New before the shard loops start, so loop instrumentation never
+	// races construction.
+	metrics *serverMetrics
 
 	// roPool recycles snapshot-read fan-out scratch (see roScratch);
 	// txnPool recycles the RW coordinator's per-transaction plan (see
@@ -246,6 +261,7 @@ func New(cfg Config) *Server {
 		}
 		srv.shards = append(srv.shards, s)
 	}
+	srv.metrics = newServerMetrics(srv)
 	for _, s := range srv.shards {
 		srv.loopWG.Add(1)
 		go s.loop()
@@ -276,6 +292,10 @@ func (srv *Server) heartbeatLoop() {
 	for {
 		select {
 		case <-t.C:
+			// Sampling at the heartbeat cadence gives the ack-lag
+			// histograms a uniform-in-time view of follower staleness
+			// (per-ack recording would overweight chatty replicas).
+			srv.metrics.sampleReplication(srv)
 			for i, s := range srv.shards {
 				// Blocking send: only data entries otherwise advance the
 				// watermark, and a shard saturated by leader-served reads
@@ -383,6 +403,7 @@ func (srv *Server) Start(addr string) error {
 	}
 	srv.ln = ln
 	srv.mu.Unlock()
+	srv.metrics.reg.SetSource("kv@" + ln.Addr().String())
 	srv.wg.Add(1)
 	go func() {
 		defer srv.wg.Done()
@@ -485,6 +506,7 @@ func (srv *Server) isClosed() bool {
 // and responses return in completion order, matched by request ID.
 func (srv *Server) handleConn(nc net.Conn) {
 	cw := newConnWriter(nc)
+	cw.ObserveBatches(srv.metrics.batchOcc)
 	fr := wire.NewFrameReader(bufio.NewReaderSize(nc, 64<<10), srv.cfg.MaxFrame)
 	var pending sync.WaitGroup
 	for {
@@ -557,6 +579,8 @@ func (srv *Server) dispatch(req *wire.Request, cw *connWriter, pending *sync.Wai
 			defer pending.Done()
 			srv.replSnapshot(req, cw)
 		}()
+	case wire.OpMetrics:
+		cw.Send(obs.MetricsResponse(req, srv.metrics.reg))
 	default:
 		cw.Send(&wire.Response{
 			ID: req.ID, Op: req.Op, Err: fmt.Sprintf("unhandled op %v", req.Op),

@@ -209,9 +209,13 @@ func (s *shard) replicate(kind replication.EntryKind, txnID uint64, ts truetime.
 // loop drains submitted closures until the server closes.
 func (s *shard) loop() {
 	defer s.srv.loopWG.Done()
+	depth := s.srv.metrics.applyDepth
 	for {
 		select {
 		case fn := <-s.ch:
+			// Queue depth at dequeue: how many closures were waiting
+			// behind this one. The saturation signal for the shard.
+			depth.Observe(int64(len(s.ch)))
 			fn()
 		case <-s.srv.quit:
 			return

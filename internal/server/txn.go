@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"rsskv/internal/locks"
+	"rsskv/internal/obs"
 	"rsskv/internal/replication"
 	"rsskv/internal/truetime"
 	"rsskv/internal/wire"
@@ -38,15 +39,40 @@ type txnPlan struct {
 
 	written  map[string]int // write key -> index into its shard's write slice
 	seenRead map[string]bool
+
+	// The coordinator's notification channels, pooled with the plan. All
+	// are sized for the maximal footprint (every shard involved), so sends
+	// never block. Reuse is safe because every send happens inside a shard
+	// closure that the same shard's final closure for the transaction
+	// (apply, or abort's release) is queued behind — and release only runs
+	// after the coordinator drained that final round — so no send can land
+	// after release drains the residue below.
+	notify  chan shardEvent // lock grants and wounds (2 events/shard)
+	prepCh  chan prepResult // prepare outcomes
+	applyCh chan []wire.KV  // apply-phase read results
+	abortCh chan struct{}   // abort-release completions
+
+	trace obs.Trace // per-stage timeline for the slow-op log
+}
+
+// prepResult is one shard's prepare-phase outcome.
+type prepResult struct {
+	ok bool
+	tp truetime.Timestamp
 }
 
 func (srv *Server) newTxnPlan() *txnPlan {
+	n := len(srv.shards)
 	return &txnPlan{
-		reads:    make([][]string, len(srv.shards)),
-		writes:   make([][]wire.KV, len(srv.shards)),
-		lockReq:  make([][]locks.Request, len(srv.shards)),
+		reads:    make([][]string, n),
+		writes:   make([][]wire.KV, n),
+		lockReq:  make([][]locks.Request, n),
 		written:  map[string]int{},
 		seenRead: map[string]bool{},
+		notify:   make(chan shardEvent, 2*n),
+		prepCh:   make(chan prepResult, n),
+		applyCh:  make(chan []wire.KV, n),
+		abortCh:  make(chan struct{}, n),
 	}
 }
 
@@ -62,6 +88,21 @@ func (p *txnPlan) release(srv *Server) {
 	p.shards = p.shards[:0]
 	clear(p.written)
 	clear(p.seenRead)
+	// Drain channel residue from paths that stop reading early: wounds
+	// that raced the last grants, sibling prepares behind a failed one.
+	for len(p.notify) > 0 {
+		<-p.notify
+	}
+	for len(p.prepCh) > 0 {
+		<-p.prepCh
+	}
+	for len(p.applyCh) > 0 {
+		<-p.applyCh
+	}
+	for len(p.abortCh) > 0 {
+		<-p.abortCh
+	}
+	p.trace.Reset()
 	srv.txnPool.Put(p)
 }
 
@@ -136,6 +177,8 @@ func (srv *Server) runTxn(txnID uint64, readKeys []string, writeKVs []wire.KV) (
 	}
 	defer srv.retireTxn(txnID)
 
+	m := srv.metrics
+	start := time.Now()
 	txn := locks.TxnID{Seq: txnID}
 	p := srv.plan(txn, readKeys, writeKVs)
 	if len(p.shards) == 0 {
@@ -145,8 +188,12 @@ func (srv *Server) runTxn(txnID uint64, readKeys []string, writeKVs []wire.KV) (
 	// abort tears the transaction down and recycles the plan — but only
 	// after a complete abort: an abort abandoned by server shutdown may
 	// leave shard closures queued that still reference the plan's slices,
-	// so that path leaks the plan to the garbage collector instead.
-	abort := func() error {
+	// so that path leaks the plan to the garbage collector instead. The
+	// wound is the interesting latency story, so it records the timeline.
+	abort := func(stage string) error {
+		elapsed := time.Since(start)
+		p.trace.Mark(stage, elapsed)
+		m.slow.Record("rw-abort", txnID, &p.trace, elapsed)
 		err := srv.abortTxn(txn, p)
 		if err == errAborted {
 			p.release(srv)
@@ -156,7 +203,7 @@ func (srv *Server) runTxn(txnID uint64, readKeys []string, writeKVs []wire.KV) (
 
 	// Lock phase. notify is buffered for one grant plus one wound per
 	// shard so lock-table callbacks never block an apply loop.
-	notify := make(chan shardEvent, 2*len(p.shards))
+	notify := p.notify
 	for _, sid := range p.shards {
 		s, reqs := srv.shards[sid], p.lockReq[sid]
 		s.run(func() {
@@ -178,13 +225,16 @@ func (srv *Server) runTxn(txnID uint64, readKeys []string, writeKVs []wire.KV) (
 		select {
 		case ev := <-notify:
 			if ev.wounded {
-				return nil, 0, abort()
+				return nil, 0, abort("wound-lock")
 			}
 			granted++
 		case <-srv.quit:
 			return nil, 0, errClosed
 		}
 	}
+	lockWait := time.Since(start)
+	m.lockWait.Observe(int64(lockWait))
+	p.trace.Mark("lock", lockWait)
 
 	// Prepare phase: wounds race with the final grants above, so each
 	// shard atomically either observes the wound or forecloses it. Every
@@ -193,11 +243,7 @@ func (srv *Server) runTxn(txnID uint64, readKeys []string, writeKVs []wire.KV) (
 	// prepared set so concurrent snapshot reads can see (and wait for or
 	// skip) this transaction.
 	tee := srv.clock.Now().Earliest + truetime.Timestamp(srv.cfg.CommitEstimate)
-	type prepResult struct {
-		ok bool
-		tp truetime.Timestamp
-	}
-	prepCh := make(chan prepResult, len(p.shards))
+	prepCh := p.prepCh
 	for _, sid := range p.shards {
 		s, wkvs := srv.shards[sid], p.writes[sid]
 		s.run(func() {
@@ -233,7 +279,7 @@ func (srv *Server) runTxn(txnID uint64, readKeys []string, writeKVs []wire.KV) (
 				// Undrained sibling prepares may still run, but they only
 				// reference the write slices, which release never recycles
 				// — so aborting (and pooling the rest) here is safe.
-				return nil, 0, abort()
+				return nil, 0, abort("wound-prepare")
 			}
 			if pr.tp > tc {
 				tc = pr.tp
@@ -260,7 +306,7 @@ func (srv *Server) runTxn(txnID uint64, readKeys []string, writeKVs []wire.KV) (
 	// entry wakes snapshot reads and watchers, and the locks are released
 	// in the same loop iteration so no operation can observe the window
 	// between them.
-	applyCh := make(chan []wire.KV, len(p.shards))
+	applyCh := p.applyCh
 	for _, sid := range p.shards {
 		s, rks, wkvs := srv.shards[sid], p.reads[sid], p.writes[sid]
 		s.run(func() {
@@ -294,6 +340,9 @@ func (srv *Server) runTxn(txnID uint64, readKeys []string, writeKVs []wire.KV) (
 			return nil, 0, errClosed
 		}
 	}
+	applied := time.Since(start)
+	m.prepareCommit.Observe(int64(applied - lockWait))
+	p.trace.Mark("apply", applied)
 
 	// Commit wait (§5, [22]): the response is the client's proof the
 	// transaction finished, so it may not be sent until t_c has
@@ -308,6 +357,11 @@ func (srv *Server) runTxn(txnID uint64, readKeys []string, writeKVs []wire.KV) (
 		}
 		srv.clock.WaitUntilAfter(wait)
 	}
+	total := time.Since(start)
+	m.commitWait.Observe(int64(total - applied))
+	m.txnTotal.Observe(int64(total))
+	p.trace.Mark("commit-wait", total)
+	m.slow.Record("rw-txn", txnID, &p.trace, total)
 
 	// Return read results in request order (dedup preserved the first
 	// occurrence of each key). Every shard closure has completed (applyCh
@@ -331,7 +385,7 @@ func (srv *Server) runTxn(txnID uint64, readKeys []string, writeKVs []wire.KV) (
 // retry under the same ID (and thus the same wound-wait priority) starts
 // clean but keeps its age.
 func (srv *Server) abortTxn(txn locks.TxnID, p *txnPlan) error {
-	done := make(chan struct{}, len(p.shards))
+	done := p.abortCh
 	for _, sid := range p.shards {
 		s := srv.shards[sid]
 		s.run(func() {

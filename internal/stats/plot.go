@@ -68,3 +68,35 @@ func PlotTailCDF(title string, width int, series ...Series) string {
 	}
 	return b.String()
 }
+
+// PlotBars renders labeled counts as a horizontal ASCII bar chart, scaled
+// to the largest count. The metrics dashboard uses it to draw histogram
+// bucket occupancies; labels and counts must be the same length.
+func PlotBars(title string, width int, labels []string, counts []float64) string {
+	if width < 10 {
+		width = 10
+	}
+	var maxC float64
+	labelW := 0
+	for i, c := range counts {
+		if c > maxC {
+			maxC = c
+		}
+		if len(labels[i]) > labelW {
+			labelW = len(labels[i])
+		}
+	}
+	if maxC <= 0 {
+		return title + ": no data\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	for i, c := range counts {
+		n := int(c / maxC * float64(width))
+		if n == 0 && c > 0 {
+			n = 1
+		}
+		fmt.Fprintf(&b, "  %-*s |%s %.0f\n", labelW, labels[i], strings.Repeat("#", n), c)
+	}
+	return b.String()
+}

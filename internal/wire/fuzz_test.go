@@ -94,6 +94,32 @@ func FuzzDecodeReplEntries(f *testing.F) {
 	})
 }
 
+// FuzzDecodeMetricsPayload checks the metrics snapshot codec the same way:
+// arbitrary payloads never panic, and anything accepted round-trips
+// unchanged.
+func FuzzDecodeMetricsPayload(f *testing.F) {
+	for _, p := range sampleMetricsPayloads() {
+		f.Add(AppendMetricsPayload(nil, p))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0x00, 0x00, 0x00, 0x01, 0x01, 'h'}) // hist truncated after its name
+	f.Add([]byte{0xff, 0xff, 0xff, 0x7f})            // count bomb in the source length
+	f.Add([]byte{0x00, 0xff, 0xff, 0xff, 0x7f})      // counter count bomb
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		p, err := DecodeMetricsPayload(payload)
+		if err != nil {
+			return
+		}
+		p2, err := DecodeMetricsPayload(AppendMetricsPayload(nil, p))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if !reflect.DeepEqual(p, p2) {
+			t.Fatalf("round trip mismatch:\n dec %+v\n re  %+v", p, p2)
+		}
+	})
+}
+
 // FuzzDecodeReplVals is the versioned-read twin of FuzzDecodeReplEntries.
 func FuzzDecodeReplVals(f *testing.F) {
 	f.Add(AppendReplVals(nil, nil))

@@ -1,0 +1,108 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"reflect"
+	"testing"
+)
+
+func sampleMetricsPayloads() []*MetricsPayload {
+	return []*MetricsPayload{
+		{},
+		{Source: "kv@127.0.0.1:7401"},
+		{
+			Source:   "queue@:7403",
+			Counters: []MetricVal{{"enqueues", 12}, {"dequeues", 7}, {"empties", 0}},
+			Gauges:   []MetricVal{{"queue.depth", 5}, {"negative", -3}},
+		},
+		{
+			Source:   "kv@:7401",
+			Counters: []MetricVal{{"commits", 1 << 40}},
+			Hists: []MetricHist{
+				{Name: "txn.commit_wait", Count: 3, Sum: 9000,
+					Buckets: []MetricBucket{{Idx: 0, N: 1}, {Idx: 131, N: 2}}},
+				{Name: "empty.hist"},
+				{Name: "txn.lock_wait", Count: 1, Sum: -5,
+					Buckets: []MetricBucket{{Idx: 495, N: 1}}},
+			},
+		},
+	}
+}
+
+func TestMetricsPayloadRoundTrip(t *testing.T) {
+	for i, p := range sampleMetricsPayloads() {
+		buf := AppendMetricsPayload(nil, p)
+		got, err := DecodeMetricsPayload(buf)
+		if err != nil {
+			t.Fatalf("payload %d: decode: %v", i, err)
+		}
+		if !reflect.DeepEqual(p, got) {
+			t.Fatalf("payload %d round trip mismatch:\n in  %+v\n out %+v", i, p, got)
+		}
+	}
+}
+
+// TestMetricsPayloadTruncation cuts a rich payload at every possible prefix
+// length: none may panic, and only the full payload may decode cleanly.
+func TestMetricsPayloadTruncation(t *testing.T) {
+	p := sampleMetricsPayloads()[3]
+	buf := AppendMetricsPayload(nil, p)
+	for n := 0; n < len(buf); n++ {
+		if _, err := DecodeMetricsPayload(buf[:n]); err == nil {
+			t.Fatalf("truncated payload (%d of %d bytes) decoded without error", n, len(buf))
+		}
+	}
+	if _, err := DecodeMetricsPayload(buf); err != nil {
+		t.Fatalf("full payload failed: %v", err)
+	}
+}
+
+// TestMetricsPayloadTrailingGarbage: extra bytes after a valid payload must
+// be rejected, not silently ignored.
+func TestMetricsPayloadTrailingGarbage(t *testing.T) {
+	buf := AppendMetricsPayload(nil, sampleMetricsPayloads()[2])
+	if _, err := DecodeMetricsPayload(append(buf, 0x00)); err == nil {
+		t.Fatal("payload with trailing garbage decoded without error")
+	}
+}
+
+// TestMetricsPayloadCountBomb feeds declared element counts wildly larger
+// than the payload: the decoder must fail fast instead of allocating.
+func TestMetricsPayloadCountBomb(t *testing.T) {
+	bomb := binary.AppendUvarint(nil, 1<<40)
+	cases := [][]byte{
+		// Counter count bomb right after an empty source string.
+		append([]byte{0x00}, bomb...),
+		// Histogram count bomb after empty source/counters/gauges.
+		append([]byte{0x00, 0x00, 0x00}, bomb...),
+		// Bucket count bomb inside one declared histogram.
+		append([]byte{0x00, 0x00, 0x00, 0x01, 0x01, 'h', 0x01, 0x00}, bomb...),
+	}
+	for i, c := range cases {
+		if _, err := DecodeMetricsPayload(c); err == nil {
+			t.Fatalf("count bomb %d decoded without error", i)
+		}
+	}
+}
+
+// TestMetricsPayloadBucketIndexOverflow: a bucket index beyond uint32 must
+// be rejected rather than silently truncated (which would break the
+// round-trip invariant the fuzzer checks).
+func TestMetricsPayloadBucketIndexOverflow(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteByte(0x00)                         // source ""
+	buf.WriteByte(0x00)                         // no counters
+	buf.WriteByte(0x00)                         // no gauges
+	buf.WriteByte(0x01)                         // one hist
+	buf.WriteByte(0x01)                         // name len 1
+	buf.WriteByte('h')                          // name
+	buf.WriteByte(0x01)                         // count 1
+	buf.WriteByte(0x00)                         // sum 0
+	buf.WriteByte(0x01)                         // one bucket
+	buf.Write(binary.AppendUvarint(nil, 1<<33)) // idx > MaxUint32
+	buf.WriteByte(0x01)                         // n 1
+	if _, err := DecodeMetricsPayload(buf.Bytes()); err == nil {
+		t.Fatal("oversized bucket index decoded without error")
+	}
+}

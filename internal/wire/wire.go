@@ -92,6 +92,13 @@ const (
 	// log position the snapshot reflects in Seq (replay resumes after
 	// it), and the safe-time watermark at the snapshot point in Version.
 	OpReplSnapshot
+	// OpMetrics scrapes a process's metrics registry: counters, gauges,
+	// and latency histograms for every serving stage, encoded by
+	// AppendMetricsPayload into the response's Value. All three daemon
+	// personalities (kv leader, queue service, replica node) answer it,
+	// which is what lets rssbench assemble one merged cross-process
+	// snapshot.
+	OpMetrics
 )
 
 func (o Op) String() string {
@@ -124,11 +131,13 @@ func (o Op) String() string {
 		return "repl-read"
 	case OpReplSnapshot:
 		return "repl-snapshot"
+	case OpMetrics:
+		return "metrics"
 	}
 	return fmt.Sprintf("op(%d)", uint8(o))
 }
 
-func (o Op) valid() bool { return o >= OpGet && o <= OpReplSnapshot }
+func (o Op) valid() bool { return o >= OpGet && o <= OpMetrics }
 
 // KV is a key-value pair in a batched write or a batched read result.
 type KV struct {
