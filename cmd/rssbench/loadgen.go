@@ -15,8 +15,10 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	"rsskv/internal/core"
 	"rsskv/internal/history"
@@ -45,6 +47,11 @@ var (
 	chaos      = flag.String("chaos", "", "fault injection for the hosted server: stale-reads | delayed-applies | dropped-lock-release | lost-commit-wait (the run succeeds only if the RSS check rejects)")
 	metricsOut = flag.String("metrics-out", "", "loadgen: scrape the server's metrics after the run, render the per-stage dashboard, and write the JSON document here (- for stdout)")
 	extraAddrs = flag.String("scrape-addrs", "", "loadgen: extra daemon addresses (replica read listeners, queue daemons) to include in the end-of-run scrape")
+	targetQPS  = flag.Float64("target-qps", 0, "loadgen: open-loop mode — offer this many Poisson-scheduled retwis/zipf transactions per second instead of the closed-loop mix (latency measured from scheduled arrival; overflow arrivals are dropped, not queued)")
+	qpsSweep   = flag.String("qps-sweep", "", "loadgen: comma-separated target-QPS points, e.g. 1000,2000,4000 — run an open-loop point at each and print the latency-under-throughput curve (implies open-loop; each point gets its own key namespace and RSS check)")
+	zipfTheta  = flag.Float64("zipf-theta", 0.75, "open-loop: Zipfian key-popularity skew in (0,1); 0 = uniform")
+	inFlight   = flag.Int("inflight", 64, "open-loop: max concurrent operations (each slot is one client session; arrivals beyond it are dropped)")
+	pointDur   = flag.Duration("point-dur", 5*time.Second, "open-loop: arrival-generation window per load point")
 )
 
 // serverConfig assembles the hosted server's Config from the flags,
@@ -91,6 +98,13 @@ func serveCmd() {
 // -chaos the expectation inverts: the in-process server is deliberately
 // broken, so the run succeeds only if the checker rejects.
 func loadgenCmd() {
+	if (*qpsSweep != "" || *targetQPS > 0) && *chaos != "" {
+		// Open-loop is the performance-measurement mode; the falsifiability
+		// matrix (chaos must be rejected) stays on the closed-loop path
+		// where every op completes and the history covers the whole run.
+		fmt.Fprintln(os.Stderr, "loadgen: -chaos cannot be combined with open-loop mode (-target-qps/-qps-sweep); use the closed-loop flags for the chaos matrix")
+		os.Exit(2)
+	}
 	cfg := serverConfig()
 	target := *addr
 	var srv *server.Server
@@ -107,6 +121,11 @@ func loadgenCmd() {
 	} else if *chaos != "" {
 		fmt.Fprintln(os.Stderr, "loadgen: -chaos injects the fault into the in-process server; it cannot break a remote -addr server (start `rsskvd -chaos` or `rssbench serve -chaos` instead)")
 		os.Exit(2)
+	}
+
+	if *qpsSweep != "" || *targetQPS > 0 {
+		openLoopCmd(target)
+		return
 	}
 
 	lcfg := loadgen.Config{
@@ -223,5 +242,116 @@ func loadgenCmd() {
 		fmt.Fprintf(os.Stderr, "note: strict-serializability check failed: %v\n", err)
 	} else {
 		fmt.Println("history is strictly serializable: OK")
+	}
+}
+
+// sweepPoints parses the open-loop load points: -qps-sweep's list, or the
+// single -target-qps.
+func sweepPoints() []float64 {
+	if *qpsSweep == "" {
+		return []float64{*targetQPS}
+	}
+	var pts []float64
+	for _, f := range strings.Split(*qpsSweep, ",") {
+		q, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil || q <= 0 {
+			fmt.Fprintf(os.Stderr, "loadgen: bad -qps-sweep point %q (want a positive rate)\n", f)
+			os.Exit(2)
+		}
+		pts = append(pts, q)
+	}
+	return pts
+}
+
+// openLoopCmd runs the open-loop path: one Poisson-arrival load point per
+// sweep entry against the (possibly in-process) server, RSS-checking each
+// point's history and printing the latency-under-throughput curve.
+// Latency percentiles are measured from each arrival's *scheduled*
+// instant, so they degrade honestly as the offered rate passes what the
+// server sustains instead of the closed-loop generator quietly slowing
+// down with it.
+func openLoopCmd(target string) {
+	points := sweepPoints()
+	var rows []sweepPoint
+	followerROs := 0
+	for _, q := range points {
+		ocfg := loadgen.OpenConfig{
+			Addr:        target,
+			TargetQPS:   q,
+			Duration:    *pointDur,
+			MaxInFlight: *inFlight,
+			Keys:        *keys,
+			ZipfTheta:   *zipfTheta,
+			Conns:       *conns,
+			Seed:        *seed,
+			// KeyPrefix left empty: each point gets a fresh nonce namespace
+			// so its checked history never reads a prior point's writes.
+		}
+		fmt.Fprintf(os.Stderr, "open-loop point: target %.0f qps for %s (retwis mix, zipf theta %.2f, %d keys, %d in-flight)\n",
+			q, *pointDur, *zipfTheta, *keys, *inFlight)
+		res, err := loadgen.RunOpen(ocfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: open-loop point %.0f qps: %v\n", q, err)
+			os.Exit(1)
+		}
+		followerROs += res.FollowerROs
+		rows = append(rows, sweepPoint{
+			TargetQPS:   q,
+			AchievedQPS: res.Throughput(),
+			Offered:     res.Offered,
+			Ops:         res.Ops,
+			Drops:       res.Drops,
+			P50us:       res.Latency.Percentile(50),
+			P95us:       res.Latency.Percentile(95),
+			P99us:       res.Latency.Percentile(99),
+			ROP99us:     res.ROLatency.Percentile(99),
+			RWP99us:     res.RWLatency.Percentile(99),
+		})
+		if !*noCheck {
+			fmt.Fprintf(os.Stderr, "checking %d-op history against RSS...\n", res.H.Len())
+			if err := history.Check(res.H, core.RSS); err != nil {
+				fmt.Fprintf(os.Stderr, "VIOLATION at %.0f qps: %v\n", q, err)
+				os.Exit(1)
+			}
+		}
+	}
+	if *expectFoll && followerROs == 0 {
+		fmt.Fprintln(os.Stderr, "loadgen: -expect-follower set but no snapshot read was served entirely by follower replicas (are replicas attached?)")
+		os.Exit(1)
+	}
+
+	tbl := &stats.Table{
+		Title:   fmt.Sprintf("open-loop sweep on %s (latency us from scheduled arrival)", target),
+		Columns: []string{"achieved", "offered", "ops", "drops", "p50", "p95", "p99", "ro p99", "rw p99"},
+	}
+	for _, r := range rows {
+		tbl.Add(fmt.Sprintf("%.0f qps", r.TargetQPS),
+			r.AchievedQPS, float64(r.Offered), float64(r.Ops), float64(r.Drops),
+			r.P50us, r.P95us, r.P99us, r.ROP99us, r.RWP99us)
+	}
+	emit(tbl)
+	if !*noCheck {
+		fmt.Printf("all %d open-loop points regular-sequential-serializable (RSS): OK\n", len(rows))
+	}
+
+	if *metricsOut != "" || *extraAddrs != "" {
+		addrs := []string{target}
+		if *extraAddrs != "" {
+			addrs = append(addrs, strings.Split(*extraAddrs, ",")...)
+		}
+		sources, err := scrapeAll(addrs)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+			os.Exit(1)
+		}
+		doc := buildMetricsDoc(sources)
+		doc.Sweep = rows
+		renderMetrics(doc, *plot)
+		if *metricsOut != "" {
+			if err := writeMetricsJSON(*metricsOut, doc); err != nil {
+				fmt.Fprintf(os.Stderr, "loadgen: write metrics json: %v\n", err)
+				os.Exit(1)
+			}
+		}
 	}
 }

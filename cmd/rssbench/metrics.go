@@ -56,13 +56,31 @@ type histSummary struct {
 	Max   int64   `json:"max_ns"`
 }
 
+// sweepPoint is one open-loop load point's latency-under-throughput
+// summary (loadgen -qps-sweep), recorded alongside the scrape so a
+// BENCH_*.json snapshot carries the curve the run measured.
+type sweepPoint struct {
+	TargetQPS   float64 `json:"target_qps"`
+	AchievedQPS float64 `json:"achieved_qps"`
+	Offered     int     `json:"offered"`
+	Ops         int     `json:"ops"`
+	Drops       int     `json:"drops"`
+	P50us       float64 `json:"p50_us"`
+	P95us       float64 `json:"p95_us"`
+	P99us       float64 `json:"p99_us"`
+	ROP99us     float64 `json:"ro_p99_us"`
+	RWP99us     float64 `json:"rw_p99_us"`
+}
+
 // metricsDoc is the machine-readable scrape document: the raw per-process
 // payloads, the merged view, and quantile summaries of the merged
-// histograms. Bucket indexes are the obs log-linear scheme's.
+// histograms. Bucket indexes are the obs log-linear scheme's. Sweep is
+// present only on open-loop loadgen runs.
 type metricsDoc struct {
 	Sources []*wire.MetricsPayload `json:"sources"`
 	Merged  *wire.MetricsPayload   `json:"merged"`
 	Summary map[string]histSummary `json:"summary"`
+	Sweep   []sweepPoint           `json:"sweep,omitempty"`
 }
 
 func buildMetricsDoc(sources []*wire.MetricsPayload) *metricsDoc {
@@ -160,7 +178,7 @@ func renderMetrics(doc *metricsDoc, plotHists bool) {
 // depths, batch sizes, payload bytes) rather than nanosecond durations.
 func isCountHist(name string) bool {
 	return strings.Contains(name, "depth") || strings.Contains(name, "occupancy") ||
-		strings.HasSuffix(name, "bytes")
+		strings.Contains(name, "batch") || strings.HasSuffix(name, "bytes")
 }
 
 // histBars coarsens a histogram to at most 16 power-of-two-ish rows for

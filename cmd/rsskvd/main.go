@@ -74,6 +74,7 @@ var (
 	commitEst  = flag.Duration("commit-est", 0, "advertised earliest-end-time estimate t_ee for commits; >0 lets snapshot reads skip concurrent preparers (§5) at the cost of delaying commit responses until the estimate passes")
 	chaos      = flag.String("chaos", "", "fault injection: stale-reads | delayed-applies | dropped-lock-release | lost-commit-wait (recorded histories violate RSS)")
 	poLag      = flag.Duration("po-lag", 0, "PO-serializability ablation: serve snapshot reads this far behind real time, session floor preserved (recorded cross-service histories violate RSS; the fences-off composition twin)")
+	applyBatch = flag.Int("apply-batch", 0, "kv mode: max closures per shard apply-loop drain / replication entries per batched append (0 = default 64; 1 restores the entry-at-a-time pipeline)")
 	slowOp     = flag.Duration("slowop", 0, "kv mode: log any transaction slower than this with its per-stage timeline (0 disables)")
 	pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty disables)")
 )
@@ -200,6 +201,7 @@ func main() {
 		CommitEstimate:   *commitEst,
 		POReadLag:        *poLag,
 		AllowReplicaJoin: *acceptRepl,
+		ApplyBatchMax:    *applyBatch,
 		SlowOpThreshold:  *slowOp,
 	}
 	if err := cfg.ApplyChaosMode(*chaos, func(f string, a ...any) { log.Printf("rsskvd: "+f, a...) }); err != nil {

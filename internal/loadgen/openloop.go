@@ -1,0 +1,350 @@
+// Open-loop load generation: arrivals are scheduled by a Poisson process
+// targeting a fixed offered rate, independent of how fast the server is
+// answering — the §7/§8 measurement model, where latency is reported
+// *under offered throughput* rather than from a closed loop whose clients
+// slow down exactly when the server does (coordinated omission). Latency
+// is measured from each operation's *scheduled arrival instant*, so queue
+// time spent waiting for a free in-flight slot — and dispatcher oversleep
+// under overload — shows up in the percentiles instead of vanishing; an
+// arrival that finds every slot busy is counted as a drop, making the
+// omitted load visible too.
+//
+// The workload is the paper's Retwis transaction mix over Zipfian key
+// popularity (internal/workload, §6), which the simulator has always used
+// but the live stack had not until now.
+package loadgen
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"rsskv/internal/core"
+	"rsskv/internal/history"
+	"rsskv/internal/kvclient"
+	"rsskv/internal/sim"
+	"rsskv/internal/stats"
+	"rsskv/internal/workload"
+)
+
+// OpenConfig parameterizes one open-loop load point.
+type OpenConfig struct {
+	// Addr is the server's address.
+	Addr string
+	// TargetQPS is the offered arrival rate (Poisson-distributed
+	// inter-arrival times with this mean rate). Required.
+	TargetQPS float64
+	// Duration is how long arrivals are generated (default 5s).
+	Duration time.Duration
+	// MaxInFlight bounds concurrent operations (default 64). Each slot is
+	// one worker goroutine with its own pipelined client and session —
+	// one recorded history process — so per-process operation order stays
+	// sequential for the checker. An arrival with no idle slot is
+	// dropped, not queued.
+	MaxInFlight int
+	// Keys is the keyspace size (default 4096).
+	Keys int
+	// ZipfTheta is the key-popularity skew in (0,1); 0 selects a uniform
+	// keyspace (default 0.75, inside the paper's 0.5–0.9 range).
+	ZipfTheta float64
+	// Conns is each worker client's connection-pool size (default 1; a
+	// worker runs one operation at a time).
+	Conns int
+	// KeyPrefix namespaces this point's keys; it defaults to a fresh
+	// nonce so a sweep's points (and repeated runs against a long-lived
+	// server) never read values written outside their own recorded
+	// history.
+	KeyPrefix string
+	// Seed makes the run reproducible: transaction kinds, key choices,
+	// and Poisson arrival offsets are all drawn from generators seeded by
+	// it, so two runs with the same seed offer the identical operation
+	// sequence at the identical scheduled instants.
+	Seed int64
+}
+
+// Defaults fills zero fields with sensible values.
+func (c *OpenConfig) Defaults() {
+	if c.Duration <= 0 {
+		c.Duration = 5 * time.Second
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 64
+	}
+	if c.Keys <= 0 {
+		c.Keys = 4096
+	}
+	if c.ZipfTheta == 0 {
+		c.ZipfTheta = 0.75
+	}
+	if c.Conns <= 0 {
+		c.Conns = 1
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.KeyPrefix == "" {
+		c.KeyPrefix = fmt.Sprintf("ol%d", time.Now().UnixNano())
+	}
+}
+
+// OpenResult is one open-loop point's outcome.
+type OpenResult struct {
+	// H is the recorded history, ready for history.Check.
+	H *history.History
+	// Offered is the number of scheduled arrivals; Ops the number that
+	// completed; Drops the arrivals that found no idle in-flight slot.
+	// On an error-free run Offered == Ops + Drops.
+	Offered, Ops, Drops int
+	// Elapsed is the wall-clock duration (arrival window + drain).
+	Elapsed time.Duration
+	// Latency samples every completed operation from its *scheduled*
+	// arrival instant to its response, in microseconds — the
+	// coordinated-omission-honest number. ROLatency covers the read-only
+	// load-timeline transactions, RWLatency the three read-write kinds.
+	Latency, ROLatency, RWLatency stats.Sample
+	// FollowerROs counts snapshot reads served entirely by follower
+	// replicas.
+	FollowerROs int
+}
+
+// Throughput returns completed operations per wall-clock second.
+func (r *OpenResult) Throughput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Ops) / r.Elapsed.Seconds()
+}
+
+// DropFrac returns the fraction of offered arrivals that were dropped —
+// the open-loop overload signal (a closed loop would silently slow its
+// offered rate instead).
+func (r *OpenResult) DropFrac() float64 {
+	if r.Offered == 0 {
+		return 0
+	}
+	return float64(r.Drops) / float64(r.Offered)
+}
+
+// openGen pre-draws the deterministic transaction stream: Retwis shapes
+// over (scrambled) Zipfian keys, all from one seeded source. It runs only
+// on the dispatcher goroutine, and every arrival's transaction is drawn
+// *before* checking worker availability, so the generated sequence is a
+// pure function of the seed — unaffected by drops, scheduling, or server
+// speed (the reproducibility contract tests pin down).
+type openGen struct {
+	rng *rand.Rand
+	ret *workload.Retwis
+	pfx string
+}
+
+func newOpenGen(cfg OpenConfig) *openGen {
+	var keys workload.KeyChooser
+	if cfg.ZipfTheta > 0 && cfg.ZipfTheta < 1 {
+		keys = workload.Scrambled(workload.NewZipf(uint64(cfg.Keys), cfg.ZipfTheta))
+	} else {
+		keys = workload.NewUniform(uint64(cfg.Keys))
+	}
+	return &openGen{
+		rng: rand.New(rand.NewSource(cfg.Seed)),
+		ret: workload.NewRetwis(keys),
+		pfx: cfg.KeyPrefix,
+	}
+}
+
+func (g *openGen) next() workload.Txn {
+	t := g.ret.Next(g.rng)
+	t.ReadKeys = g.prefixed(t.ReadKeys)
+	t.WriteKeys = g.prefixed(t.WriteKeys)
+	return t
+}
+
+// prefixed namespaces key names into this run's keyspace. It builds a new
+// slice because Retwis shapes alias ReadKeys and WriteKeys (write keys
+// are also read).
+func (g *openGen) prefixed(ks []string) []string {
+	if len(ks) == 0 {
+		return nil
+	}
+	out := make([]string, len(ks))
+	for i, k := range ks {
+		out[i] = g.pfx + "-" + k
+	}
+	return out
+}
+
+// openJob is one scheduled arrival handed to a worker.
+type openJob struct {
+	txn   workload.Txn
+	sched time.Time
+}
+
+// openWorker is one in-flight slot: a goroutine with its own pipelined
+// client, session, and recorded-process identity.
+type openWorker struct {
+	id   int
+	cl   *kvclient.Client
+	cr   clientRun
+	lat  []float64 // scheduled-arrival latency µs, parallel to cr.ops
+	last sim.Time
+	nval int
+	err  error
+}
+
+// now returns a per-process strictly increasing monotonic instant (see
+// runClient).
+func (w *openWorker) now(start time.Time) sim.Time {
+	t := sim.Time(time.Since(start).Nanoseconds())
+	if t <= w.last {
+		t = w.last + 1
+	}
+	w.last = t
+	return t
+}
+
+func (w *openWorker) value() string {
+	w.nval++
+	return fmt.Sprintf("w%d-%d", w.id, w.nval)
+}
+
+// exec runs one Retwis transaction: load-timeline as a lock-free snapshot
+// read, the three read-write kinds as one-shot 2PC commits (write keys
+// acquire exclusive locks and are read from pre-state, matching the
+// paper's Retwis shapes where write keys are also read).
+func (w *openWorker) exec(job openJob, start time.Time) {
+	op := &core.Op{Client: w.id, Service: "rsskvd", Respond: core.Pending}
+	kind := kindRO
+	var err error
+	if job.txn.IsReadOnly() {
+		op.Type = core.ROTxn
+		op.Invoke = w.now(start)
+		var ro kvclient.ROResult
+		ro, err = w.cl.Snapshot(job.txn.ReadKeys...)
+		op.Reads, op.Version = ro.Vals, ro.Snapshot
+		if ro.Follower {
+			kind = kindROFollower
+		}
+	} else {
+		op.Type, kind = core.RWTxn, kindRW
+		txn, e := w.cl.Begin()
+		if e != nil {
+			w.err = e
+			return
+		}
+		txn.Read(job.txn.ReadKeys...)
+		op.Writes = make(map[string]string, len(job.txn.WriteKeys))
+		for _, k := range job.txn.WriteKeys {
+			v := w.value()
+			op.Writes[k] = v
+			txn.Write(k, v)
+		}
+		op.Invoke = w.now(start)
+		op.Reads, op.Version, err = txn.Commit()
+	}
+	if err != nil {
+		w.err = err
+		return
+	}
+	op.Respond = w.now(start)
+	w.cr.ops = append(w.cr.ops, op)
+	w.cr.kinds = append(w.cr.kinds, kind)
+	w.lat = append(w.lat, float64(time.Since(job.sched).Nanoseconds())/1e3)
+}
+
+// RunOpen drives one open-loop load point and returns the recorded
+// history with its latency-under-offered-throughput samples.
+func RunOpen(cfg OpenConfig) (*OpenResult, error) {
+	cfg.Defaults()
+	if cfg.TargetQPS <= 0 {
+		return nil, fmt.Errorf("loadgen: open-loop mode needs TargetQPS > 0")
+	}
+	gen := newOpenGen(cfg)
+	arr := rand.New(rand.NewSource(cfg.Seed + 1)) // arrival process, own stream
+	workers := make([]*openWorker, cfg.MaxInFlight)
+	for i := range workers {
+		cl, err := kvclient.Dial(cfg.Addr, kvclient.Options{Conns: cfg.Conns})
+		if err != nil {
+			for _, w := range workers {
+				if w != nil {
+					w.cl.Close()
+				}
+			}
+			return nil, err
+		}
+		workers[i] = &openWorker{id: i, cl: cl}
+	}
+
+	// jobs is unbuffered on purpose: a send succeeds only when a worker
+	// is idle and receiving, which is exactly the "free in-flight slot"
+	// test — a buffered channel would hide queueing the drop accounting
+	// exists to expose.
+	jobs := make(chan openJob)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for _, w := range workers {
+		wg.Add(1)
+		go func(w *openWorker) {
+			defer wg.Done()
+			defer w.cl.Close()
+			for job := range jobs {
+				if w.err != nil {
+					continue // keep draining so the dispatcher never wedges
+				}
+				w.exec(job, start)
+			}
+		}(w)
+	}
+
+	res := &OpenResult{H: &history.History{}}
+	deadline := start.Add(cfg.Duration)
+	next := start
+	for {
+		// Schedule the next Poisson arrival and draw its transaction
+		// BEFORE checking for a free slot: the op sequence and arrival
+		// schedule depend only on the seed, never on server speed.
+		next = next.Add(time.Duration(arr.ExpFloat64() / cfg.TargetQPS * 1e9))
+		if next.After(deadline) {
+			break
+		}
+		job := openJob{txn: gen.next(), sched: next}
+		if d := time.Until(next); d > 0 {
+			time.Sleep(d)
+		}
+		res.Offered++
+		select {
+		case jobs <- job:
+		default:
+			res.Drops++ // every slot busy at arrival: open-loop drop
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	res.Elapsed = time.Since(start)
+
+	var id int64
+	for _, w := range workers {
+		for i, op := range w.cr.ops {
+			id++
+			op.ID = id
+			res.H.Add(op)
+			lat := w.lat[i]
+			res.Latency.AddFloat(lat)
+			switch w.cr.kinds[i] {
+			case kindROFollower:
+				res.FollowerROs++
+				res.ROLatency.AddFloat(lat)
+			case kindRO:
+				res.ROLatency.AddFloat(lat)
+			case kindRW:
+				res.RWLatency.AddFloat(lat)
+			}
+		}
+		res.Ops += len(w.cr.ops)
+	}
+	for _, w := range workers {
+		if w.err != nil {
+			return res, fmt.Errorf("worker %d: %w", w.id, w.err)
+		}
+	}
+	return res, nil
+}

@@ -431,7 +431,7 @@ func (n *Node) puller(shard int) {
 			// every commit at or below it is applied here.
 			if w := truetime.Timestamp(resp.Version); w > 0 {
 				select {
-				case r.ch <- Entry{Kind: EntryHeartbeat, Watermark: w}:
+				case r.ch <- []Entry{{Kind: EntryHeartbeat, Watermark: w}}:
 				case <-n.quit:
 					return
 				}
@@ -445,6 +445,10 @@ func (n *Node) puller(shard int) {
 			}
 			continue
 		}
+		// Decode the whole pull into one batch and hand it to the apply
+		// loop in a single send, mirroring the leader-side batched append:
+		// the replica applies it back-to-back and acks once at its tail.
+		batch := make([]Entry, 0, len(wes))
 		for _, we := range wes {
 			if we.Seq != last+1 {
 				// Gap (leader restarted, or we raced a truncation):
@@ -452,14 +456,16 @@ func (n *Node) puller(shard int) {
 				last = 0
 				break
 			}
-			e := Entry{
+			batch = append(batch, Entry{
 				Seq: we.Seq, Kind: EntryKind(we.Kind), TxnID: we.TxnID,
 				TS: truetime.Timestamp(we.TS), Watermark: truetime.Timestamp(we.Watermark),
 				Writes: we.Writes,
-			}
+			})
+			last = we.Seq
+		}
+		if len(batch) > 0 {
 			select {
-			case r.ch <- e:
-				last = we.Seq
+			case r.ch <- batch:
 			case <-n.quit:
 				return
 			}

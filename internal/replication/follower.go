@@ -9,9 +9,12 @@ import (
 )
 
 // Transport depths. A push (channel) follower more than entryBuffer
-// entries behind is detached instead of blocking the leader (its reads
+// batches behind is detached instead of blocking the leader (its reads
 // fail over), which is the asynchronous-backup liveness contract; pull
-// followers use the same depth between their puller and apply loop.
+// followers use the same depth between their puller and apply loop. The
+// buffer counts batches, not entries — the leader appends one batch per
+// shard apply drain, so depth tracks how many flushes behind the
+// follower is, which is the quantity the detach decision cares about.
 const (
 	entryBuffer = 4096
 	readBuffer  = 256
@@ -40,7 +43,7 @@ type readReply struct {
 type replica struct {
 	id    int
 	shard int
-	ch    chan Entry
+	ch    chan []Entry
 	ctrl  chan func() // loop-run control closures (snapshot install)
 	reads chan readRequest
 	chaos Chaos
@@ -74,7 +77,7 @@ func newReplica(id, shard int, chaos Chaos) *replica {
 	r := &replica{
 		id:    id,
 		shard: shard,
-		ch:    make(chan Entry, entryBuffer),
+		ch:    make(chan []Entry, entryBuffer),
 		ctrl:  make(chan func(), 1),
 		reads: make(chan readRequest, readBuffer),
 		store: mvstore.New(),
@@ -91,7 +94,7 @@ func (r *replica) loop() {
 	}
 	for {
 		select {
-		case e, ok := <-r.ch:
+		case es, ok := <-r.ch:
 			if !ok {
 				r.drainParked()
 				return
@@ -99,8 +102,23 @@ func (r *replica) loop() {
 			if !r.alive.Load() {
 				continue // killed: drain without applying
 			}
-			r.apply(e)
-			r.ack(e.Seq, e.Watermark)
+			// Apply the whole batch, then acknowledge once at its tail —
+			// the follower-side half of the batching amortization. Seq and
+			// watermark both grow along the batch (heartbeats carry Seq 0,
+			// non-tail batch entries watermark 0), so the maxima are the
+			// tail's view and ack() clamps monotone anyway.
+			var maxSeq uint64
+			var maxWM truetime.Timestamp
+			for _, e := range es {
+				r.apply(e)
+				if e.Seq > maxSeq {
+					maxSeq = e.Seq
+				}
+				if e.Watermark > maxWM {
+					maxWM = e.Watermark
+				}
+			}
+			r.ack(maxSeq, maxWM)
 			r.wake()
 		case fn := <-r.ctrl:
 			fn()
@@ -134,7 +152,7 @@ func (r *replica) chaosLoop() {
 			}
 		}
 		select {
-		case e, ok := <-r.ch:
+		case es, ok := <-r.ch:
 			if !ok {
 				r.drainParked()
 				return
@@ -142,8 +160,23 @@ func (r *replica) chaosLoop() {
 			if !r.alive.Load() {
 				continue
 			}
-			r.ack(e.Seq, e.Watermark) // the lie: acknowledged before applied
-			pending = append(pending, delayed{e: e, due: time.Now().Add(r.chaos.ApplyDelay)})
+			// The lie: the whole batch is acknowledged on arrival, applied
+			// only after ApplyDelay.
+			var maxSeq uint64
+			var maxWM truetime.Timestamp
+			for _, e := range es {
+				if e.Seq > maxSeq {
+					maxSeq = e.Seq
+				}
+				if e.Watermark > maxWM {
+					maxWM = e.Watermark
+				}
+			}
+			r.ack(maxSeq, maxWM)
+			due := time.Now().Add(r.chaos.ApplyDelay)
+			for _, e := range es {
+				pending = append(pending, delayed{e: e, due: due})
+			}
 		case <-dueC:
 			r.apply(pending[0].e)
 			pending = pending[1:]
@@ -315,15 +348,16 @@ func newChanTransport(id, shard int, chaos Chaos) *ChanTransport {
 	return t
 }
 
-// Offer hands e to the replica without blocking; on overflow the follower
-// is detached permanently (its log would have a gap, so it must never
-// apply a later entry).
-func (t *ChanTransport) Offer(e Entry) {
+// Offer hands a batch to the replica without blocking; on overflow the
+// follower is detached permanently (its log would have a gap, so it must
+// never apply a later entry). The batch slice is shared with the other
+// transports and treated as read-only.
+func (t *ChanTransport) Offer(es []Entry) {
 	if t.detached.Load() {
 		return
 	}
 	select {
-	case t.r.ch <- e:
+	case t.r.ch <- es:
 	default:
 		if !t.detached.Swap(true) {
 			close(t.r.ch)

@@ -141,25 +141,59 @@ func (g *Group) Transport(i int) Transport {
 // 4096-entry cap to about one second of log and push every transient
 // replica stall into snapshot catch-up.
 func (g *Group) Append(kind EntryKind, txnID uint64, ts, watermark truetime.Timestamp, writes []wire.KV) {
+	g.appendOwned([]Entry{{Kind: kind, TxnID: txnID, TS: ts, Watermark: watermark, Writes: writes}})
+}
+
+// AppendBatch replicates a batch of log entries under a single lock
+// acquisition and transport offer — the amortization that makes batched
+// shard applies pay off on the replication path. Entries are sequenced in
+// slice order with the same semantics as N Append calls; the Seq fields
+// are assigned here (callers leave them zero). The slice is copied, so the
+// caller may reuse its buffer immediately.
+func (g *Group) AppendBatch(entries []Entry) {
+	if len(entries) == 0 {
+		return
+	}
+	es := make([]Entry, len(entries))
+	copy(es, entries)
+	g.appendOwned(es)
+}
+
+// appendOwned sequences and replicates a batch the group now owns. The
+// slice is offered to every transport as shared read-only data and its
+// non-heartbeat entries (batches are all-data or a lone heartbeat in
+// practice, but mixtures work) are retained for pull replicas.
+func (g *Group) appendOwned(es []Entry) {
 	g.mu.Lock()
 	if g.closed {
 		g.mu.Unlock()
 		return
 	}
-	if watermark > g.lastWM {
-		g.lastWM = watermark
-	}
-	e := Entry{Kind: kind, TxnID: txnID, TS: ts, Watermark: watermark, Writes: writes}
-	if kind != EntryHeartbeat {
-		g.nextSeq++
-		e.Seq = g.nextSeq
+	nData := 0
+	for i := range es {
+		if es[i].Watermark > g.lastWM {
+			g.lastWM = es[i].Watermark
+		}
+		if es[i].Kind != EntryHeartbeat {
+			g.nextSeq++
+			es[i].Seq = g.nextSeq
+			nData++
+		}
 	}
 	for _, t := range g.transports {
-		t.Offer(e)
+		t.Offer(es)
 	}
-	if kind != EntryHeartbeat {
+	if nData > 0 {
 		if g.nPull > 0 {
-			g.log = append(g.log, e)
+			if nData == len(es) {
+				g.log = append(g.log, es...)
+			} else {
+				for i := range es {
+					if es[i].Kind != EntryHeartbeat {
+						g.log = append(g.log, es[i])
+					}
+				}
+			}
 			g.truncateLocked()
 		} else {
 			// No pull replicas: nothing to retain for. Keeping logStart

@@ -281,9 +281,9 @@ type pullStub struct {
 	mu        sync.Mutex
 }
 
-func (p *pullStub) Offer(Entry)  {}
-func (p *pullStub) Pull() bool   { return true }
-func (p *pullStub) Kind() string { return "stub" }
+func (p *pullStub) Offer([]Entry) {}
+func (p *pullStub) Pull() bool    { return true }
+func (p *pullStub) Kind() string  { return "stub" }
 func (p *pullStub) Read(truetime.Timestamp, []string, time.Duration) ([]Val, bool, bool) {
 	return nil, false, false
 }

@@ -112,11 +112,12 @@ type Chaos struct {
 // channel replica and an out-of-process socket replica carry the same
 // protocol (and the same failure matrix).
 type Transport interface {
-	// Offer hands one freshly appended log entry to the replica without
-	// blocking; a push transport that cannot accept it must detach (its
-	// log would gap). Pull transports ignore Offer — the group's retained
-	// log is their channel (see Pull).
-	Offer(e Entry)
+	// Offer hands one freshly appended batch of log entries to the
+	// replica without blocking; a push transport that cannot accept it
+	// must detach (its log would gap). The slice is shared between every
+	// transport and must be treated as read-only. Pull transports ignore
+	// Offer — the group's retained log is their channel (see Pull).
+	Offer(es []Entry)
 	// Pull reports whether the replica drains the group's retained log
 	// (OpReplEntry pulls) instead of Offer pushes. The group retains and
 	// truncates log entries only while pull transports are attached, and
@@ -195,7 +196,7 @@ func NewSockTransport(shard int, addr string, maxFrame int) (*SockTransport, err
 
 // Offer is a no-op: socket replicas pull entries from the group's retained
 // log (OpReplEntry) rather than receiving pushes.
-func (t *SockTransport) Offer(Entry) {}
+func (t *SockTransport) Offer([]Entry) {}
 
 // Pull reports that this transport drains the retained log.
 func (t *SockTransport) Pull() bool { return true }

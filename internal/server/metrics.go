@@ -22,6 +22,8 @@ import (
 //	ro.block_wait       hist  snapshot-read park on the blocking set B
 //	ro.total            hist  whole RO coordinator
 //	apply.queue_depth   hist  shard apply channel depth at dequeue (count)
+//	apply.batch_size    hist  closures per apply-loop drain (count)
+//	repl.append_batch   hist  entries per replication AppendBatch (count)
 //	net.batch_occupancy hist  responses per connection-writer flush (count)
 //	repl.ack_lag_chan   hist  acked t_safe age, channel followers (sampled
 //	                          every heartbeat per live transport)
@@ -41,6 +43,8 @@ type serverMetrics struct {
 	roBlockWait   *obs.Histogram
 	roTotal       *obs.Histogram
 	applyDepth    *obs.Histogram
+	applyBatch    *obs.Histogram
+	replBatch     *obs.Histogram
 	batchOcc      *obs.Histogram
 	ackLagChan    *obs.Histogram
 	ackLagSock    *obs.Histogram
@@ -65,6 +69,8 @@ func newServerMetrics(srv *Server) *serverMetrics {
 		roBlockWait:   r.Hist("ro.block_wait"),
 		roTotal:       r.Hist("ro.total"),
 		applyDepth:    r.Hist("apply.queue_depth"),
+		applyBatch:    r.Hist("apply.batch_size"),
+		replBatch:     r.Hist("repl.append_batch"),
 		batchOcc:      r.Hist("net.batch_occupancy"),
 		ackLagChan:    r.Hist("repl.ack_lag_chan"),
 		ackLagSock:    r.Hist("repl.ack_lag_sock"),

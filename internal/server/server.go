@@ -23,6 +23,13 @@ type Config struct {
 	Shards int
 	// MaxFrame bounds accepted request frames (default wire.MaxFrame).
 	MaxFrame int
+	// ApplyBatchMax caps how many queued closures a shard apply loop
+	// drains per wakeup before flushing their replication entries as one
+	// batch (default 64, sized so a saturated shard amortizes the group
+	// lock and transport hops without starving fairness; 1 restores
+	// entry-at-a-time appends). Batching never delays an unloaded shard:
+	// the first receive blocks, the rest are opportunistic.
+	ApplyBatchMax int
 	// Epsilon is the TrueTime uncertainty bound ε of the server's wall
 	// clock. A single-host server is its own time authority and can run
 	// with 0 (the default); a deployment trusting an external sync bound
@@ -226,6 +233,9 @@ func New(cfg Config) *Server {
 	}
 	if cfg.Replicas <= 0 {
 		cfg.Replicas = 1
+	}
+	if cfg.ApplyBatchMax <= 0 {
+		cfg.ApplyBatchMax = 64
 	}
 	if cfg.ReplicaHeartbeat <= 0 {
 		cfg.ReplicaHeartbeat = 250 * time.Microsecond

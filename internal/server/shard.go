@@ -100,6 +100,11 @@ type shard struct {
 	// commit, and abort with a safe-time watermark so followers can serve
 	// snapshot reads bounded by their replicated t_safe.
 	repl *replication.Group
+	// replBuf accumulates the current apply batch's log entries, appended
+	// to the group in one AppendBatch per loop drain (flushRepl) so the
+	// group lock, transport hop, and watermark computation are paid per
+	// batch instead of per entry. Loop-only.
+	replBuf []replication.Entry
 
 	// maxTS is the shard's safe-time floor: strictly below every future
 	// prepare or commit timestamp this shard will assign. Serving a
@@ -197,19 +202,53 @@ func (s *shard) safeWatermark() truetime.Timestamp {
 	return w
 }
 
-// replicate appends one entry to the shard's replication log with the
-// current safe-time watermark. A no-op on unreplicated shards. Loop-only.
+// replicate buffers one entry for the shard's replication log; the batch
+// is appended by flushRepl at the end of the current loop drain. A no-op
+// on unreplicated shards. Loop-only.
 func (s *shard) replicate(kind replication.EntryKind, txnID uint64, ts truetime.Timestamp, writes []wire.KV) {
 	if s.repl == nil {
 		return
 	}
-	s.repl.Append(kind, txnID, ts, s.safeWatermark(), writes)
+	s.replBuf = append(s.replBuf, replication.Entry{Kind: kind, TxnID: txnID, TS: ts, Writes: writes})
 }
 
-// loop drains submitted closures until the server closes.
+// flushRepl appends the buffered batch to the replication group in one
+// AppendBatch call. The safe-time watermark is computed once, at flush,
+// and stamped on the batch's TAIL entry only: by flush time every commit
+// of the batch is in the buffer at or before the tail and the prepared
+// set reflects every in-batch resolution, so the tail honors the
+// watermark contract — but an earlier entry must not carry it, because a
+// transaction that prepared and committed within this same batch has a
+// commit timestamp the flush-time watermark may exceed, and a follower
+// (or pull replica) holding only a prefix ending at that earlier entry
+// would then serve reads it cannot cover. Non-tail entries carry
+// watermark 0, which followers' monotone clamp ignores. Loop-only.
+func (s *shard) flushRepl() {
+	if len(s.replBuf) == 0 {
+		return
+	}
+	s.replBuf[len(s.replBuf)-1].Watermark = s.safeWatermark()
+	s.repl.AppendBatch(s.replBuf)
+	s.srv.metrics.replBatch.Observe(int64(len(s.replBuf)))
+	// AppendBatch copied the entries; drop the write-set references so the
+	// reused buffer doesn't pin them.
+	for i := range s.replBuf {
+		s.replBuf[i] = replication.Entry{}
+	}
+	s.replBuf = s.replBuf[:0]
+}
+
+// loop drains submitted closures until the server closes. Each wakeup
+// drains up to Config.ApplyBatchMax waiting closures back-to-back, then
+// flushes their buffered replication entries as one batch — the per-batch
+// amortization of the group lock and transport hops. The first receive
+// blocks (an idle shard costs nothing); the rest are non-blocking, so an
+// unloaded shard still runs every closure immediately with batch size 1.
 func (s *shard) loop() {
 	defer s.srv.loopWG.Done()
 	depth := s.srv.metrics.applyDepth
+	batch := s.srv.metrics.applyBatch
+	max := s.srv.cfg.ApplyBatchMax
 	for {
 		select {
 		case fn := <-s.ch:
@@ -217,6 +256,20 @@ func (s *shard) loop() {
 			// behind this one. The saturation signal for the shard.
 			depth.Observe(int64(len(s.ch)))
 			fn()
+			n := 1
+		drain:
+			for n < max {
+				select {
+				case fn := <-s.ch:
+					depth.Observe(int64(len(s.ch)))
+					fn()
+					n++
+				default:
+					break drain
+				}
+			}
+			batch.Observe(int64(n))
+			s.flushRepl()
 		case <-s.srv.quit:
 			return
 		}

@@ -261,10 +261,31 @@ func AppendRequest(buf []byte, r *Request) []byte {
 	return buf
 }
 
+// requestBox co-allocates a Request with inline storage for small Keys
+// and KVs lists. Decoded requests escape into asynchronous dispatch, so
+// per-reader scratch reuse is off the table — but the three allocations a
+// typical commit-shaped frame needed (Request, Keys backing, KVs backing)
+// can still be collapsed into one. Slices handed out from the inline
+// arrays stay valid exactly as long as the Request itself: they pin the
+// box, and the box pins nothing else.
+type requestBox struct {
+	req  Request
+	keys [8]string
+	kvs  [8]KV
+}
+
+// responseBox is the Response-side equivalent of requestBox.
+type responseBox struct {
+	resp Response
+	kvs  [8]KV
+}
+
 // DecodeRequest parses a request payload produced by AppendRequest.
 func DecodeRequest(payload []byte) (*Request, error) {
 	d := decoder{b: payload}
-	r := &Request{Op: Op(d.byte())}
+	box := &requestBox{}
+	r := &box.req
+	r.Op = Op(d.byte())
 	if !r.Op.valid() {
 		return nil, fmt.Errorf("%w: unknown opcode %d", ErrBadMessage, r.Op)
 	}
@@ -273,13 +294,21 @@ func DecodeRequest(payload []byte) (*Request, error) {
 	r.Key = d.string()
 	r.Value = d.string()
 	if n := d.count(); n > 0 {
-		r.Keys = make([]string, n)
+		if n <= len(box.keys) {
+			r.Keys = box.keys[:n]
+		} else {
+			r.Keys = make([]string, n)
+		}
 		for i := range r.Keys {
 			r.Keys[i] = d.string()
 		}
 	}
 	if n := d.count(); n > 0 {
-		r.KVs = make([]KV, n)
+		if n <= len(box.kvs) {
+			r.KVs = box.kvs[:n]
+		} else {
+			r.KVs = make([]KV, n)
+		}
 		for i := range r.KVs {
 			r.KVs[i].Key = d.string()
 			r.KVs[i].Value = d.string()
@@ -324,7 +353,9 @@ func AppendResponse(buf []byte, r *Response) []byte {
 // DecodeResponse parses a response payload produced by AppendResponse.
 func DecodeResponse(payload []byte) (*Response, error) {
 	d := decoder{b: payload}
-	r := &Response{Op: Op(d.byte())}
+	box := &responseBox{}
+	r := &box.resp
+	r.Op = Op(d.byte())
 	if !r.Op.valid() {
 		return nil, fmt.Errorf("%w: unknown opcode %d", ErrBadMessage, r.Op)
 	}
@@ -341,7 +372,11 @@ func DecodeResponse(payload []byte) (*Response, error) {
 	r.Value = d.string()
 	r.Version = d.varint()
 	if n := d.count(); n > 0 {
-		r.KVs = make([]KV, n)
+		if n <= len(box.kvs) {
+			r.KVs = box.kvs[:n]
+		} else {
+			r.KVs = make([]KV, n)
+		}
 		for i := range r.KVs {
 			r.KVs[i].Key = d.string()
 			r.KVs[i].Value = d.string()
