@@ -52,16 +52,25 @@ var (
 	zipfTheta  = flag.Float64("zipf-theta", 0.75, "open-loop: Zipfian key-popularity skew in (0,1); 0 = uniform")
 	inFlight   = flag.Int("inflight", 64, "open-loop: max concurrent operations (each slot is one client session; arrivals beyond it are dropped)")
 	pointDur   = flag.Duration("point-dur", 5*time.Second, "open-loop: arrival-generation window per load point")
+	dataDir    = flag.String("data-dir", "", "in-process server: write per-shard WALs and checkpoints under this directory (empty = no durability)")
+	ckptBytes  = flag.Int64("ckpt-bytes", 0, "in-process server: checkpoint after this many WAL bytes per shard (0 = server default)")
+	record     = flag.String("record", "", "loadgen: write the recorded history to this JSON file (for a later checkhist merge across a server crash)")
+	timeBase   = flag.Int64("time-base", 0, "loadgen: unix-nanosecond epoch all recorded instants are measured from (0 = now); runs merged by checkhist must share one")
+	clientBase = flag.Int("client-base", 0, "loadgen: offset client IDs and written values by this base; runs merged by checkhist must use disjoint ranges")
+	keyPrefix  = flag.String("key-prefix", "", "loadgen: key namespace (empty = fresh nonce); runs merged by checkhist must share one")
+	tolerate   = flag.Bool("tolerate-errors", false, "loadgen: record failed operations as pending instead of failing the run (crash testing)")
 )
 
 // serverConfig assembles the hosted server's Config from the flags,
 // including the chaos mode and its observability prerequisites.
 func serverConfig() server.Config {
 	cfg := server.Config{
-		Shards:         *shards,
-		Replicas:       *replicas,
-		Epsilon:        *epsilon,
-		CommitEstimate: *commitEst,
+		Shards:          *shards,
+		Replicas:        *replicas,
+		Epsilon:         *epsilon,
+		CommitEstimate:  *commitEst,
+		DataDir:         *dataDir,
+		CheckpointBytes: *ckptBytes,
 	}
 	warn := func(f string, a ...any) { fmt.Fprintf(os.Stderr, f+"\n", a...) }
 	if err := cfg.ApplyChaosMode(*chaos, warn); err != nil {
@@ -78,7 +87,12 @@ func serveCmd() {
 	if a == "" {
 		a = ":7365"
 	}
-	srv := server.New(cfg)
+	srv, err := server.Open(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "serve: %v\n", err)
+		os.Exit(1)
+	}
+	reportRecovery(srv)
 	if err := srv.Start(a); err != nil {
 		fmt.Fprintf(os.Stderr, "serve: %v\n", err)
 		os.Exit(1)
@@ -109,7 +123,13 @@ func loadgenCmd() {
 	target := *addr
 	var srv *server.Server
 	if target == "" {
-		srv = server.New(cfg)
+		var err error
+		srv, err = server.Open(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: open server: %v\n", err)
+			os.Exit(1)
+		}
+		reportRecovery(srv)
 		if err := srv.Start("127.0.0.1:0"); err != nil {
 			fmt.Fprintf(os.Stderr, "loadgen: start server: %v\n", err)
 			os.Exit(1)
@@ -129,21 +149,37 @@ func loadgenCmd() {
 	}
 
 	lcfg := loadgen.Config{
-		Addr:         target,
-		Clients:      *clients,
-		OpsPerClient: (*ops + *clients - 1) / *clients,
-		Keys:         *keys,
-		Conns:        *conns,
-		TxnFrac:      *txnFrac,
-		ROFrac:       *roFrac,
-		MultiFrac:    *multiFrac,
-		FenceEvery:   *fenceEvery,
-		Seed:         *seed,
+		Addr:           target,
+		Clients:        *clients,
+		OpsPerClient:   (*ops + *clients - 1) / *clients,
+		Keys:           *keys,
+		KeyPrefix:      *keyPrefix,
+		Conns:          *conns,
+		TxnFrac:        *txnFrac,
+		ROFrac:         *roFrac,
+		MultiFrac:      *multiFrac,
+		FenceEvery:     *fenceEvery,
+		Seed:           *seed,
+		ClientBase:     *clientBase,
+		TolerateErrors: *tolerate,
+	}
+	if *timeBase != 0 {
+		lcfg.Start = time.Unix(0, *timeBase)
 	}
 	res, err := loadgen.Run(lcfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
 		os.Exit(1)
+	}
+	if res.Errors > 0 {
+		fmt.Fprintf(os.Stderr, "loadgen: %d operations recorded as pending (tolerated errors)\n", res.Errors)
+	}
+	if *record != "" {
+		if err := history.Save(res.H, *record); err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: record history: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "recorded %d-op history to %s\n", res.H.Len(), *record)
 	}
 	if *expectFoll && res.FollowerROs == 0 {
 		fmt.Fprintln(os.Stderr, "loadgen: -expect-follower set but no snapshot read was served entirely by follower replicas (are replicas attached and -rofrac > 0?)")
@@ -219,6 +255,15 @@ func loadgenCmd() {
 	if *noCheck {
 		return
 	}
+	if res.Errors > 0 {
+		// Tolerated errors leave pending writes whose commit timestamps
+		// died with their connections; seat the observed ones before the
+		// checker sorts version chains.
+		if err := history.RepairPendingVersions(res.H); err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+			os.Exit(1)
+		}
+	}
 	fmt.Fprintf(os.Stderr, "checking %d-op history against RSS...\n", res.H.Len())
 	checkErr := history.Check(res.H, core.RSS)
 	if *chaos != "" {
@@ -243,6 +288,62 @@ func loadgenCmd() {
 	} else {
 		fmt.Println("history is strictly serializable: OK")
 	}
+}
+
+// reportRecovery logs what a durable server's replay found, so restart
+// logs show the recovered state instead of a silent fresh-looking boot.
+func reportRecovery(srv *server.Server) {
+	rec := srv.Recovery()
+	if rec.Records == 0 && rec.Checkpoints == 0 && rec.PreparesRestored == 0 {
+		return
+	}
+	fmt.Fprintf(os.Stderr,
+		"recovered: %d checkpoints, %d log records, %d torn tails; %d dangling prepares (%d committed, %d aborted)\n",
+		rec.Checkpoints, rec.Records, rec.TornTails,
+		rec.PreparesRestored, rec.PreparesCommitted, rec.PreparesAborted)
+}
+
+// checkhistCmd merges recorded history files — typically one per server
+// incarnation across a crash — repairs pending writes from their read
+// witnesses, and runs the RSS checker over the merged whole. This is the
+// offline half of the kill -9 test: the recording processes died with the
+// server, but the files they left must still compose into one history the
+// paper's definitions accept.
+func checkhistCmd() {
+	// main re-parses the args after the command name, so flag.Args() is
+	// the file list — unless there were none and no re-parse happened, in
+	// which case it is still ["checkhist"].
+	files := flag.Args()
+	if len(files) > 0 && files[0] == "checkhist" {
+		files = files[1:]
+	}
+	if len(files) == 0 {
+		fmt.Fprintln(os.Stderr, "checkhist: usage: rssbench checkhist <history.json> [more.json ...]")
+		os.Exit(2)
+	}
+	var hs []*history.History
+	total := 0
+	for _, f := range files {
+		h, err := history.Load(f)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "checkhist: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "loaded %s: %d ops\n", f, h.Len())
+		total += h.Len()
+		hs = append(hs, h)
+	}
+	merged := history.Merge(hs...)
+	if err := history.RepairPendingVersions(merged); err != nil {
+		fmt.Fprintf(os.Stderr, "checkhist: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "checking merged %d-op history against RSS...\n", total)
+	if err := history.Check(merged, core.RSS); err != nil {
+		fmt.Fprintf(os.Stderr, "VIOLATION: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("merged history (%d files, %d ops) is regular-sequential-serializable (RSS): OK\n", len(files), total)
 }
 
 // sweepPoints parses the open-loop load points: -qps-sweep's list, or the

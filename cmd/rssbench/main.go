@@ -29,6 +29,10 @@
 //	          snapshot reads; -metrics-out scrapes the target after the
 //	          run — plus any -scrape-addrs daemons — renders the merged
 //	          per-stage dashboard, and writes the JSON document)
+//	checkhist merge recorded history JSON files (rssbench loadgen -record,
+//	          one per server incarnation across a crash), repair pending
+//	          writes from read witnesses, and verify the merged history
+//	          is RSS — the offline half of the kill -9 durability test
 //	composition
 //	          the live §4 experiment: photo-share across two rsskvd
 //	          daemons plus the socketed queue behind libRSS fences, the
@@ -152,6 +156,8 @@ func main() {
 		timed("loadgen", loadgenCmd)
 	case "composition":
 		timed("composition", compositionCmd)
+	case "checkhist":
+		checkhistCmd()
 	case "metrics":
 		metricsCmd()
 	case "all":

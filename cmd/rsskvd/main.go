@@ -26,7 +26,13 @@
 //
 //	rsskvd [-addr :7365] [-mode kv|queue|replica] [-shards 8] [-replicas 3]
 //	       [-join addr] [-advertise addr] [-stats 10s] [-chaos mode] [-po-lag 0]
-//	       [-slowop 0] [-pprof addr]
+//	       [-slowop 0] [-pprof addr] [-data-dir dir] [-ckpt-bytes n]
+//
+// With -data-dir every shard group-commits a write-ahead log and takes
+// periodic checkpoints under the directory; a restart with the same
+// -data-dir replays them — resolving any in-flight 2PC — and serves from
+// the recovered state, with surviving replicas resyncing from the
+// recovered log instead of a forced full snapshot. See internal/wal.
 //
 // Every personality answers OpMetrics with its counters, gauges, and
 // per-stage latency histograms; scrape one daemon or a whole fleet with
@@ -75,6 +81,8 @@ var (
 	chaos      = flag.String("chaos", "", "fault injection: stale-reads | delayed-applies | dropped-lock-release | lost-commit-wait (recorded histories violate RSS)")
 	poLag      = flag.Duration("po-lag", 0, "PO-serializability ablation: serve snapshot reads this far behind real time, session floor preserved (recorded cross-service histories violate RSS; the fences-off composition twin)")
 	applyBatch = flag.Int("apply-batch", 0, "kv mode: max closures per shard apply-loop drain / replication entries per batched append (0 = default 64; 1 restores the entry-at-a-time pipeline)")
+	dataDir    = flag.String("data-dir", "", "kv mode: write per-shard WALs and checkpoints under this directory and recover from them on restart (empty = no durability)")
+	ckptBytes  = flag.Int64("ckpt-bytes", 0, "kv mode: checkpoint after this many WAL bytes per shard (0 = default 4 MiB; needs -data-dir)")
 	slowOp     = flag.Duration("slowop", 0, "kv mode: log any transaction slower than this with its per-stage timeline (0 disables)")
 	pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty disables)")
 )
@@ -203,12 +211,22 @@ func main() {
 		AllowReplicaJoin: *acceptRepl,
 		ApplyBatchMax:    *applyBatch,
 		SlowOpThreshold:  *slowOp,
+		DataDir:          *dataDir,
+		CheckpointBytes:  *ckptBytes,
 	}
 	if err := cfg.ApplyChaosMode(*chaos, func(f string, a ...any) { log.Printf("rsskvd: "+f, a...) }); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	srv := server.New(cfg)
+	srv, err := server.Open(cfg)
+	if err != nil {
+		log.Fatalf("rsskvd: %v", err)
+	}
+	if rec := srv.Recovery(); rec.Records > 0 || rec.Checkpoints > 0 || rec.PreparesRestored > 0 {
+		log.Printf("rsskvd: recovered %d checkpoints, %d log records, %d torn tails; %d dangling prepares (%d committed, %d aborted)",
+			rec.Checkpoints, rec.Records, rec.TornTails,
+			rec.PreparesRestored, rec.PreparesCommitted, rec.PreparesAborted)
+	}
 	if err := srv.Start(*addr); err != nil {
 		log.Fatalf("rsskvd: %v", err)
 	}

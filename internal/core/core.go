@@ -153,6 +153,15 @@ type Op struct {
 	// the model's conditions against it.
 	Version int64
 
+	// ReadVers maps each key in Reads to the commit timestamp of the
+	// version observed (0 for a never-written key) — the read's version
+	// witnesses. Histories merged across a service crash use them to
+	// assign a Version to pending writes the crash cut off: the writer's
+	// own response (and with it its commit timestamp) may be lost, but
+	// any read that observed the write pins where it sits on the key's
+	// version chain. Nil when the recording client didn't capture them.
+	ReadVers map[string]int64
+
 	// HappensAfter lists IDs of operations that causally precede this one
 	// through out-of-band message passing (⇝ case (2) of §3.3), e.g. the
 	// photo-share Web server telling another process a photo ID. Process

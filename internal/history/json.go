@@ -1,0 +1,61 @@
+package history
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// JSON persistence for recorded histories. A crash test records two
+// histories — before the kill and after the restart — into separate
+// files, then merges them for one offline RSS check; the files are the
+// only thing that survives the recording processes, so the format is
+// plain JSON over core.Op with nothing positional to version.
+
+// Save writes h to path as JSON, one top-level array of operations.
+func Save(h *History, path string) error {
+	data, err := json.Marshal(h.Ops)
+	if err != nil {
+		return fmt.Errorf("history: encode %s: %w", path, err)
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// Load reads a history written by Save.
+func Load(path string) (*History, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	h := &History{}
+	if err := json.Unmarshal(data, &h.Ops); err != nil {
+		return nil, fmt.Errorf("history: decode %s: %w", path, err)
+	}
+	return h, nil
+}
+
+// Merge concatenates histories into one, renumbering operation IDs so
+// they stay unique (IDs are per-history; clients and values must already
+// be disjoint — loadgen's ClientBase — for the merge to be coherent).
+// HappensAfter references are remapped along with the IDs they name.
+func Merge(hs ...*History) *History {
+	out := &History{}
+	var id int64
+	for _, h := range hs {
+		remap := make(map[int64]int64, len(h.Ops))
+		for _, op := range h.Ops {
+			id++
+			remap[op.ID] = id
+			op.ID = id
+			out.Add(op)
+		}
+		for _, op := range h.Ops {
+			for i, ha := range op.HappensAfter {
+				if nid, ok := remap[ha]; ok {
+					op.HappensAfter[i] = nid
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,90 @@
+package history
+
+import (
+	"fmt"
+
+	"rsskv/internal/core"
+)
+
+// RepairPendingVersions assigns a Version to pending writes from the
+// version witnesses of the reads that observed them.
+//
+// A service crash cuts histories in a specific way: a write can commit —
+// and be read by later operations — while its own response, carrying the
+// commit timestamp, dies with the connection. The recording client keeps
+// the op as pending (normalize keeps observed pending ops), but the
+// checkers sort each key's writers by Version, and a real write sitting
+// at Version 0 would corrupt the chain. Every read in this repository's
+// recorded histories carries ReadVers — the commit timestamp of each
+// version it observed — so the lost timestamp is recoverable: any reader
+// of the pending write pins it.
+//
+// Witnesses for one transaction must agree (all its writes share one
+// commit timestamp); a conflict means the merged history is incoherent
+// and is an error. A pending write nobody observed stays at Version 0 —
+// normalize drops it before any checker sees it.
+func RepairPendingVersions(h *History) error {
+	// (key, value) -> witnessed version, from every read's ReadVers.
+	type kv struct{ k, v string }
+	witness := make(map[kv]int64)
+	record := func(op *core.Op, k, v string) error {
+		if v == "" || op.ReadVers == nil {
+			return nil
+		}
+		ver, ok := op.ReadVers[k]
+		if !ok || ver == 0 {
+			return nil
+		}
+		if prev, dup := witness[kv{k, v}]; dup && prev != ver {
+			return fmt.Errorf("history: reads disagree on the version of %q=%q: %d vs %d", k, v, prev, ver)
+		}
+		witness[kv{k, v}] = ver
+		return nil
+	}
+	for _, op := range h.Ops {
+		switch {
+		case op.Reads != nil:
+			for k, v := range op.Reads {
+				if err := record(op, k, v); err != nil {
+					return err
+				}
+			}
+		case op.Type == core.Read && op.Key != "":
+			if err := record(op, op.Key, op.Value); err != nil {
+				return err
+			}
+		}
+	}
+	for _, op := range h.Ops {
+		if op.Complete() || op.Version != 0 {
+			continue
+		}
+		var ver int64
+		check := func(k, v string) error {
+			w, ok := witness[kv{k, v}]
+			if !ok {
+				return nil
+			}
+			if ver != 0 && ver != w {
+				return fmt.Errorf("history: pending op %d witnessed at two versions: %d and %d", op.ID, ver, w)
+			}
+			ver = w
+			return nil
+		}
+		if op.Writes != nil {
+			for k, v := range op.Writes {
+				if err := check(k, v); err != nil {
+					return err
+				}
+			}
+		} else if op.Type.IsWrite() && op.Key != "" {
+			if err := check(op.Key, op.Value); err != nil {
+				return err
+			}
+		}
+		if ver != 0 {
+			op.Version = ver
+		}
+	}
+	return nil
+}

@@ -1,0 +1,78 @@
+package history
+
+import (
+	"testing"
+
+	"rsskv/internal/core"
+)
+
+// TestRepairPendingVersions: the crash-merge scenario — a committed
+// write whose response died with the server is pending in the recorded
+// history, but a later read observed it and carries its version witness.
+// Repair must seat the write at the witnessed version so the RSS check
+// of the merged history succeeds.
+func TestRepairPendingVersions(t *testing.T) {
+	h := &History{}
+	// The pending transactional write: committed at ts 100, response lost.
+	h.Add(&core.Op{ID: 1, Client: 0, Type: core.RWTxn, Invoke: 10, Respond: core.Pending,
+		Writes: map[string]string{"a": "pre-1", "b": "pre-2"}})
+	// A post-restart RO txn observed both keys with witnesses.
+	h.Add(&core.Op{ID: 2, Client: 1, Type: core.ROTxn, Invoke: 200, Respond: 210, Version: 150,
+		Reads:    map[string]string{"a": "pre-1", "b": "pre-2"},
+		ReadVers: map[string]int64{"a": 100, "b": 100}})
+	// A single-key Read observing key a, agreeing.
+	h.Add(&core.Op{ID: 3, Client: 2, Type: core.Read, Invoke: 220, Respond: 230, Version: 100,
+		Key: "a", Value: "pre-1", ReadVers: map[string]int64{"a": 100}})
+	// An unobserved pending write: stays at 0 (normalize drops it).
+	h.Add(&core.Op{ID: 4, Client: 3, Type: core.Write, Invoke: 50, Respond: core.Pending,
+		Key: "c", Value: "lost-1"})
+
+	if err := RepairPendingVersions(h); err != nil {
+		t.Fatalf("RepairPendingVersions: %v", err)
+	}
+	if h.Ops[0].Version != 100 {
+		t.Fatalf("pending txn repaired to Version %d, want 100", h.Ops[0].Version)
+	}
+	if h.Ops[3].Version != 0 {
+		t.Fatalf("unobserved pending write got Version %d, want 0", h.Ops[3].Version)
+	}
+
+	// The repaired history must now pass the RSS checker.
+	if err := Check(h, core.RSS); err != nil {
+		t.Fatalf("repaired history rejected: %v", err)
+	}
+}
+
+// TestRepairWithoutWitnessesStillChecks: an observed pending write with
+// no witness anywhere would corrupt the version chain — but it can only
+// happen when the recording client predates ReadVers, and the checker's
+// duplicate-version guard catches the damage. Here we only assert repair
+// itself is a no-op without witnesses, not silently inventing versions.
+func TestRepairWithoutWitnesses(t *testing.T) {
+	h := &History{}
+	h.Add(&core.Op{ID: 1, Client: 0, Type: core.Write, Invoke: 10, Respond: core.Pending,
+		Key: "a", Value: "x1"})
+	h.Add(&core.Op{ID: 2, Client: 1, Type: core.Read, Invoke: 20, Respond: 30, Version: 5,
+		Key: "a", Value: "x1"}) // no ReadVers recorded
+	if err := RepairPendingVersions(h); err != nil {
+		t.Fatalf("RepairPendingVersions: %v", err)
+	}
+	if h.Ops[0].Version != 0 {
+		t.Fatalf("repair invented Version %d from nothing", h.Ops[0].Version)
+	}
+}
+
+// TestRepairConflictingWitnesses: readers disagreeing on a value's
+// version mean the merged history is incoherent — repair must refuse.
+func TestRepairConflictingWitnesses(t *testing.T) {
+	h := &History{}
+	h.Add(&core.Op{ID: 1, Client: 0, Type: core.Write, Invoke: 10, Respond: core.Pending,
+		Key: "a", Value: "x1"})
+	h.Add(&core.Op{ID: 2, Client: 1, Type: core.Read, Invoke: 20, Respond: 30, Version: 100,
+		Key: "a", Value: "x1", ReadVers: map[string]int64{"a": 100}})
+	h.Add(&core.Op{ID: 3, Client: 2, Type: core.Read, Invoke: 40, Respond: 50, Version: 200,
+		Key: "a", Value: "x1", ReadVers: map[string]int64{"a": 200}})
+	if err := RepairPendingVersions(h); err == nil {
+		t.Fatal("conflicting witnesses accepted")
+	}
+}

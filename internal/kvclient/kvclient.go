@@ -140,6 +140,11 @@ type ROResult struct {
 	// Vals maps each requested key to its value in the snapshot ("" for
 	// keys with no version at or below the snapshot timestamp).
 	Vals map[string]string
+	// Vers maps each requested key to the commit timestamp of the version
+	// observed (0 for keys with no version in the snapshot) — the version
+	// witnesses that let merged crash histories re-seat writes whose
+	// responses died with the server.
+	Vers map[string]int64
 	// Snapshot is the snapshot timestamp t_snap; it advances the
 	// session's t_min.
 	Snapshot int64
@@ -173,10 +178,14 @@ func (c *Client) Snapshot(keys ...string) (ROResult, error) {
 	}
 	c.SetTMin(resp.Version)
 	out := make(map[string]string, len(resp.KVs))
-	for _, kv := range resp.KVs {
+	vers := make(map[string]int64, len(resp.KVs))
+	for i, kv := range resp.KVs {
 		out[kv.Key] = kv.Value
+		if i < len(resp.Vers) {
+			vers[kv.Key] = resp.Vers[i]
+		}
 	}
-	return ROResult{Vals: out, Snapshot: resp.Version, Follower: resp.Follower}, nil
+	return ROResult{Vals: out, Vers: vers, Snapshot: resp.Version, Follower: resp.Follower}, nil
 }
 
 // MultiGet reads a batch of keys atomically under shared locks (a
@@ -185,16 +194,28 @@ func (c *Client) Snapshot(keys ...string) (ROResult, error) {
 // the same result from a snapshot without locks; MultiGet remains the
 // strict-2PL baseline it is measured against.
 func (c *Client) MultiGet(keys ...string) (map[string]string, int64, error) {
+	out, _, version, err := c.MultiGetVers(keys...)
+	return out, version, err
+}
+
+// MultiGetVers is MultiGet returning, additionally, the commit timestamp
+// of each version observed — the per-key version witnesses recorded
+// histories use to repair crash-orphaned writes.
+func (c *Client) MultiGetVers(keys ...string) (map[string]string, map[string]int64, int64, error) {
 	resp, err := c.retry(&wire.Request{Op: wire.OpMultiGet, Keys: keys})
 	if err != nil {
-		return nil, 0, err
+		return nil, nil, 0, err
 	}
 	c.SetTMin(resp.Version)
 	out := make(map[string]string, len(resp.KVs))
-	for _, kv := range resp.KVs {
+	vers := make(map[string]int64, len(resp.KVs))
+	for i, kv := range resp.KVs {
 		out[kv.Key] = kv.Value
+		if i < len(resp.Vers) {
+			vers[kv.Key] = resp.Vers[i]
+		}
 	}
-	return out, resp.Version, nil
+	return out, vers, resp.Version, nil
 }
 
 // MultiPut writes a batch of keys atomically (a write-only transaction),
@@ -285,10 +306,11 @@ func (c *Client) retry(req *wire.Request) (*wire.Response, error) {
 // and the write set with Write, then Commit. A Txn is not safe for
 // concurrent use.
 type Txn struct {
-	c     *Client
-	id    uint64
-	reads []string
-	kvs   []wire.KV
+	c        *Client
+	id       uint64
+	reads    []string
+	kvs      []wire.KV
+	readVers map[string]int64
 }
 
 // Begin reserves a transaction ID (its wound-wait priority) and returns a
@@ -326,11 +348,20 @@ func (t *Txn) Commit() (reads map[string]string, version int64, err error) {
 	}
 	t.c.SetTMin(resp.Version)
 	reads = make(map[string]string, len(resp.KVs))
-	for _, kv := range resp.KVs {
+	t.readVers = make(map[string]int64, len(resp.KVs))
+	for i, kv := range resp.KVs {
 		reads[kv.Key] = kv.Value
+		if i < len(resp.Vers) {
+			t.readVers[kv.Key] = resp.Vers[i]
+		}
 	}
 	return reads, resp.Version, nil
 }
+
+// ReadVers returns, after Commit, the commit timestamp of each version
+// the transaction's read set observed — the version witnesses recorded
+// histories use to repair crash-orphaned writes.
+func (t *Txn) ReadVers() map[string]int64 { return t.readVers }
 
 // The pipelined connection machinery (one writer goroutine batching
 // outbound frames, one reader routing responses by request ID) lives in

@@ -65,6 +65,22 @@ type Config struct {
 	FenceEvery int
 	// Seed makes each client's operation stream reproducible.
 	Seed int64
+	// Start is the time epoch all recorded instants are measured from.
+	// Zero means "now". Runs whose histories will be merged (e.g. before
+	// and after a server crash) must share one epoch so their real-time
+	// edges land on a common axis.
+	Start time.Time
+	// ClientBase offsets client IDs (and the values they write, which
+	// embed the ID). Merged runs use disjoint bases so the checker never
+	// conflates two runs' process orders or written values.
+	ClientBase int
+	// TolerateErrors records a failed operation as pending — invoked,
+	// never answered — instead of failing the run. The op may or may not
+	// have taken effect (a commit whose ack a crash swallowed did); that
+	// is exactly the checker's pending semantics. The client stops after
+	// its first error: with one synchronous stream per process there is
+	// nothing left to observe once the connection is dead.
+	TolerateErrors bool
 }
 
 // Defaults fills zero fields with sensible values.
@@ -121,6 +137,9 @@ type Result struct {
 	// make visible next to the leader-served ROLatency.
 	FollowerROLatency stats.Sample
 	FollowerROs       int
+	// Errors counts operations recorded as pending under
+	// Config.TolerateErrors (each also ends its client's stream).
+	Errors int
 }
 
 // Throughput returns completed operations per wall-clock second.
@@ -156,6 +175,10 @@ type clientRun struct {
 // layer's contract).
 func Run(cfg Config) (*Result, error) {
 	cfg.Defaults()
+	epoch := cfg.Start
+	if epoch.IsZero() {
+		epoch = time.Now()
+	}
 	start := time.Now()
 	perClient := make([]clientRun, cfg.Clients)
 	errs := make([]error, cfg.Clients)
@@ -164,7 +187,7 @@ func Run(cfg Config) (*Result, error) {
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
-			perClient[c], errs[c] = runClient(cfg, c, start)
+			perClient[c], errs[c] = runClient(cfg, c, epoch)
 		}(c)
 	}
 	wg.Wait()
@@ -177,6 +200,11 @@ func Run(cfg Config) (*Result, error) {
 			id++
 			op.ID = id
 			res.H.Add(op)
+			if op.Respond == core.Pending {
+				res.Errors++
+				continue
+			}
+			res.Ops++
 			lat := float64(op.Respond-op.Invoke) / 1e3 // ns → µs
 			res.Latency.AddFloat(lat)
 			switch cr.kinds[i] {
@@ -192,7 +220,6 @@ func Run(cfg Config) (*Result, error) {
 				res.RWLatency.AddFloat(lat)
 			}
 		}
-		res.Ops += len(cr.ops)
 	}
 	for c, err := range errs {
 		if err != nil {
@@ -212,12 +239,12 @@ func runClient(cfg Config, c int, start time.Time) (clientRun, error) {
 	}
 	defer cl.Close()
 
-	rng := rand.New(rand.NewSource(cfg.Seed + int64(c)*7919))
+	rng := rand.New(rand.NewSource(cfg.Seed + int64(cfg.ClientBase+c)*7919))
 	key := func() string { return fmt.Sprintf("%s-%d", cfg.KeyPrefix, rng.Intn(cfg.Keys)) }
 	var nval int
 	value := func() string {
 		nval++
-		return fmt.Sprintf("c%d-%d", c, nval)
+		return fmt.Sprintf("c%d-%d", cfg.ClientBase+c, nval)
 	}
 	// now returns a per-process strictly increasing monotonic instant, so
 	// process order survives the checker's invocation-time sort even when
@@ -240,7 +267,7 @@ func runClient(cfg Config, c int, start time.Time) (clientRun, error) {
 	cr.ops = make([]*core.Op, 0, cfg.OpsPerClient)
 	cr.kinds = make([]opKind, 0, cfg.OpsPerClient)
 	for i := 0; i < cfg.OpsPerClient; i++ {
-		op := &core.Op{Client: c, Service: "rsskvd", Respond: core.Pending}
+		op := &core.Op{Client: cfg.ClientBase + c, Service: "rsskvd", Respond: core.Pending}
 		kind := kindOther
 		var err error
 		switch p := rng.Float64(); {
@@ -252,7 +279,12 @@ func runClient(cfg Config, c int, start time.Time) (clientRun, error) {
 			op.Type, kind = core.RWTxn, kindRW
 			txn, e := cl.Begin()
 			if e != nil {
-				return cr, e
+				// Failed before anything reached the lock tables: same
+				// tolerate-or-fail treatment as an invoked op (the pending
+				// record it leaves has no writes and constrains nothing).
+				op.Invoke = now()
+				err = e
+				break
 			}
 			for r := 0; r < cfg.TxnReads; r++ {
 				txn.Read(key())
@@ -266,6 +298,7 @@ func runClient(cfg Config, c int, start time.Time) (clientRun, error) {
 			}
 			op.Invoke = now()
 			op.Reads, op.Version, err = txn.Commit()
+			op.ReadVers = txn.ReadVers()
 		case p < cfg.TxnFrac+cfg.ROFrac:
 			// Lock-free snapshot read, recorded as an atomic multi-read.
 			op.Type, kind = core.ROTxn, kindRO
@@ -273,7 +306,7 @@ func runClient(cfg Config, c int, start time.Time) (clientRun, error) {
 			op.Invoke = now()
 			var ro kvclient.ROResult
 			ro, err = cl.Snapshot(keys...)
-			op.Reads, op.Version = ro.Vals, ro.Snapshot
+			op.Reads, op.Version, op.ReadVers = ro.Vals, ro.Snapshot, ro.Vers
 			if ro.Follower {
 				kind = kindROFollower
 			}
@@ -281,7 +314,7 @@ func runClient(cfg Config, c int, start time.Time) (clientRun, error) {
 			op.Type, kind = core.ROTxn, kindMultiGet
 			keys := batchKeys(cfg.BatchSize, key)
 			op.Invoke = now()
-			op.Reads, op.Version, err = cl.MultiGet(keys...)
+			op.Reads, op.ReadVers, op.Version, err = cl.MultiGetVers(keys...)
 		case p < cfg.TxnFrac+cfg.ROFrac+cfg.MultiFrac:
 			op.Type, kind = core.RWTxn, kindRW
 			op.Writes = map[string]string{}
@@ -295,6 +328,9 @@ func runClient(cfg Config, c int, start time.Time) (clientRun, error) {
 			op.Key = key()
 			op.Invoke = now()
 			op.Value, op.Version, err = cl.Get(op.Key)
+			if err == nil {
+				op.ReadVers = map[string]int64{op.Key: op.Version}
+			}
 		default:
 			op.Type, kind = core.Write, kindRW
 			op.Key, op.Value = key(), value()
@@ -302,6 +338,14 @@ func runClient(cfg Config, c int, start time.Time) (clientRun, error) {
 			op.Version, err = cl.Put(op.Key, op.Value)
 		}
 		if err != nil {
+			if cfg.TolerateErrors {
+				// Recorded pending: invoked, never answered. The crash may
+				// or may not have let it take effect — precisely what the
+				// checker's pending semantics allow.
+				cr.ops = append(cr.ops, op)
+				cr.kinds = append(cr.kinds, kind)
+				return cr, nil
+			}
 			return cr, err
 		}
 		record(op, kind)

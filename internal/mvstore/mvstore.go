@@ -69,6 +69,20 @@ func (s *Store) Latest(key string) Version {
 // (0 if unwritten).
 func (s *Store) MaxTS(key string) truetime.Timestamp { return s.Latest(key).TS }
 
+// MaxTSAll returns the largest commit timestamp of any version of any
+// key (0 on an empty store) — the floor a recovered shard's clock must
+// clear so post-restart commits sort after everything a checkpoint
+// restored.
+func (s *Store) MaxTSAll() truetime.Timestamp {
+	var max truetime.Timestamp
+	for _, vs := range s.versions {
+		if n := len(vs); n > 0 && vs[n-1].TS > max {
+			max = vs[n-1].TS
+		}
+	}
+	return max
+}
+
 // Versions returns the number of versions of key (testing).
 func (s *Store) Versions(key string) int { return len(s.versions[key]) }
 

@@ -40,6 +40,7 @@ type Group struct {
 	lastWM     truetime.Timestamp // newest appended watermark (any kind)
 	appendC    chan struct{}      // closed and replaced on append (broadcast)
 	closed     bool
+	keepLog    bool // retain the log (up to the cap) even with no pull replicas
 
 	// active mirrors len(transports) > 0 so hot paths (Route, the shard
 	// replicate call sites) can skip the mutex when the group is idle.
@@ -150,24 +151,27 @@ func (g *Group) Append(kind EntryKind, txnID uint64, ts, watermark truetime.Time
 // slice order with the same semantics as N Append calls; the Seq fields
 // are assigned here (callers leave them zero). The slice is copied, so the
 // caller may reuse its buffer immediately.
-func (g *Group) AppendBatch(entries []Entry) {
+// It returns the sequence number assigned to the last non-heartbeat entry
+// (the group's position after the batch) — what a durable leader records
+// so recovery can hand replicas the exact log position they resync from.
+func (g *Group) AppendBatch(entries []Entry) uint64 {
 	if len(entries) == 0 {
-		return
+		return g.NextSeq()
 	}
 	es := make([]Entry, len(entries))
 	copy(es, entries)
-	g.appendOwned(es)
+	return g.appendOwned(es)
 }
 
 // appendOwned sequences and replicates a batch the group now owns. The
 // slice is offered to every transport as shared read-only data and its
 // non-heartbeat entries (batches are all-data or a lone heartbeat in
 // practice, but mixtures work) are retained for pull replicas.
-func (g *Group) appendOwned(es []Entry) {
+func (g *Group) appendOwned(es []Entry) uint64 {
 	g.mu.Lock()
 	if g.closed {
 		g.mu.Unlock()
-		return
+		return 0
 	}
 	nData := 0
 	for i := range es {
@@ -184,7 +188,7 @@ func (g *Group) appendOwned(es []Entry) {
 		t.Offer(es)
 	}
 	if nData > 0 {
-		if g.nPull > 0 {
+		if g.nPull > 0 || g.keepLog {
 			if nData == len(es) {
 				g.log = append(g.log, es...)
 			} else {
@@ -204,6 +208,7 @@ func (g *Group) appendOwned(es []Entry) {
 			g.logStart = g.nextSeq
 		}
 	}
+	seq := g.nextSeq
 	if g.nPull > 0 {
 		// Wake pull waiters (WaitEntriesAfter long-polls on appendC) for
 		// data and heartbeats alike — a caught-up follower's watermark
@@ -212,6 +217,36 @@ func (g *Group) appendOwned(es []Entry) {
 		g.appendC = make(chan struct{})
 	}
 	g.mu.Unlock()
+	return seq
+}
+
+// Restore seats a recovered log suffix: the group resumes sequencing at
+// nextSeq+1 with entries (positions nextSeq-len(entries)+1 .. nextSeq)
+// retained for pull replicas, so a replica that outlived the leader's
+// restart resyncs from the replayed log instead of being forced through
+// a full snapshot. It also marks the log as kept: without it, the first
+// post-restart append with no pull replica attached would wipe the
+// restored suffix before any replica had the chance to re-register.
+// Must be called before the shard loops start appending.
+func (g *Group) Restore(entries []Entry, nextSeq uint64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.closed {
+		return
+	}
+	if len(entries) > g.retain {
+		entries = entries[len(entries)-g.retain:]
+	}
+	g.log = append([]Entry(nil), entries...)
+	g.dead = 0
+	g.nextSeq = nextSeq
+	g.logStart = nextSeq - uint64(len(entries))
+	g.keepLog = true
+	for i := range entries {
+		if entries[i].Watermark > g.lastWM {
+			g.lastWM = entries[i].Watermark
+		}
+	}
 }
 
 // truncateLocked drops retained entries no pull replica still needs: below
@@ -220,12 +255,19 @@ func (g *Group) appendOwned(es []Entry) {
 // re-syncs via snapshot). Callers hold g.mu.
 func (g *Group) truncateLocked() {
 	floor := g.nextSeq // with no live pull replica, keep nothing
+	anyPull := false
 	for _, t := range g.transports {
 		if t.Pull() && t.Alive() && t.Routable() {
+			anyPull = true
 			if s := t.AckedSeq(); s < floor {
 				floor = s
 			}
 		}
+	}
+	if !anyPull && g.keepLog {
+		// A restored log with no replica attached yet: keep the suffix
+		// (up to the hard cap) so a rejoining replica can pull it.
+		floor = g.logStart
 	}
 	newStart := g.logStart
 	if floor > newStart {

@@ -1,0 +1,105 @@
+package replication
+
+import (
+	"testing"
+
+	"rsskv/internal/truetime"
+	"rsskv/internal/wire"
+)
+
+// TestRestoreServesLogPulls: a group seated from a recovered WAL must
+// serve log pulls from the replayed position — a replica that outlived
+// the leader's restart resumes with an incremental pull instead of being
+// forced through the full-snapshot path.
+func TestRestoreServesLogPulls(t *testing.T) {
+	g := NewGroup(0, 0, Chaos{})
+	t.Cleanup(g.Close)
+	entries := []Entry{
+		{Seq: 4, Kind: EntryCommit, TxnID: 1, TS: 10, Watermark: 10, Writes: []wire.KV{{Key: "a", Value: "1"}}},
+		{Seq: 5, Kind: EntryCommit, TxnID: 2, TS: 20, Watermark: 20, Writes: []wire.KV{{Key: "b", Value: "2"}}},
+	}
+	g.Restore(entries, 5)
+	if g.NextSeq() != 5 {
+		t.Fatalf("NextSeq = %d, want 5", g.NextSeq())
+	}
+
+	// A replica that had acked seq 3 pre-restart pulls the suffix.
+	es, ok := g.EntriesAfter(3, 100)
+	if !ok || len(es) != 2 || es[0].Seq != 4 || es[1].Seq != 5 {
+		t.Fatalf("EntriesAfter(3) = %+v ok=%v, want the restored suffix", es, ok)
+	}
+	// A fully caught-up replica sees an empty, caught-up pull.
+	if es, ok := g.EntriesAfter(5, 100); !ok || len(es) != 0 {
+		t.Fatalf("EntriesAfter(5) = %+v ok=%v, want caught up", es, ok)
+	}
+	// One below the restored suffix still needs a snapshot.
+	if _, ok := g.EntriesAfter(2, 100); ok {
+		t.Fatal("EntriesAfter(2) served from a log that starts at 4")
+	}
+}
+
+// TestRestoreSurvivesAppendsBeforeRejoin is the regression pinned by the
+// leader-restart fix: before Restore marked the log as kept, the first
+// post-restart append with no pull replica attached wiped the restored
+// suffix (the no-pull branch resets logStart to nextSeq), so a replica
+// re-registering moments later was forced through snapshot resync even
+// though the leader had its whole history on disk.
+func TestRestoreSurvivesAppendsBeforeRejoin(t *testing.T) {
+	g := NewGroup(0, 0, Chaos{})
+	t.Cleanup(g.Close)
+	g.Restore([]Entry{
+		{Seq: 1, Kind: EntryCommit, TxnID: 1, TS: 10, Watermark: 10, Writes: []wire.KV{{Key: "a", Value: "1"}}},
+	}, 1)
+
+	// Post-restart traffic lands before any replica has re-registered.
+	last := g.AppendBatch([]Entry{{Kind: EntryCommit, TxnID: 2, TS: 20, Watermark: 20,
+		Writes: []wire.KV{{Key: "b", Value: "2"}}}})
+	if last != 2 {
+		t.Fatalf("AppendBatch returned seq %d, want 2", last)
+	}
+
+	// Now the old replica rejoins at its pre-crash position and must get
+	// the log, not a snapshot demand.
+	es, ok := g.EntriesAfter(0, 100)
+	if !ok {
+		t.Fatal("restored log was wiped by a pre-rejoin append (forced-resync regression)")
+	}
+	if len(es) != 2 || es[0].Seq != 1 || es[1].Seq != 2 {
+		t.Fatalf("EntriesAfter(0) = %+v, want restored entry + new append", es)
+	}
+}
+
+// TestForcedResyncWhenAheadOfLog pins the other half of the rejoin
+// contract: a replica claiming a position the recovered log never reached
+// (it outlived a leader that lost its tail, e.g. a data-dir wipe) must be
+// sent through the snapshot path, never treated as caught up.
+func TestForcedResyncWhenAheadOfLog(t *testing.T) {
+	g := NewGroup(0, 0, Chaos{})
+	t.Cleanup(g.Close)
+	g.Restore([]Entry{
+		{Seq: 3, Kind: EntryCommit, TxnID: 1, TS: 10, Watermark: 10},
+	}, 3)
+	if _, ok := g.EntriesAfter(7, 100); ok {
+		t.Fatal("a replica ahead of the recovered log must be forced to resync")
+	}
+}
+
+// TestRestoreCapsRetention: a restored suffix larger than the retention
+// cap keeps only its newest entries.
+func TestRestoreCapsRetention(t *testing.T) {
+	g := NewGroup(0, 0, Chaos{})
+	t.Cleanup(g.Close)
+	g.SetRetain(4)
+	var es []Entry
+	for i := uint64(1); i <= 10; i++ {
+		es = append(es, Entry{Seq: i, Kind: EntryCommit, TxnID: i, TS: truetime.Timestamp(i)})
+	}
+	g.Restore(es, 10)
+	if _, ok := g.EntriesAfter(5, 100); ok {
+		t.Fatal("entries below the cap survived Restore")
+	}
+	got, ok := g.EntriesAfter(6, 100)
+	if !ok || len(got) != 4 || got[0].Seq != 7 {
+		t.Fatalf("EntriesAfter(6) = %+v ok=%v, want the capped suffix 7..10", got, ok)
+	}
+}

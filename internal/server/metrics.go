@@ -30,6 +30,12 @@ import (
 //	repl.ack_lag_sock   hist  acked t_safe age, socket replicas (sampled)
 //	repl.snapshot_bytes hist  catch-up snapshot payload size (bytes)
 //	repl.snapshot_dur   hist  catch-up snapshot cut+encode duration
+//	wal.fsync           hist  group-commit fsync duration (durable only)
+//	wal.batch_bytes     hist  bytes per synced WAL batch (durable only)
+//	wal.checkpoint_bytes hist checkpoint dump size (bytes)
+//	wal.checkpoint_dur  hist  checkpoint write+install duration
+//	wal.fsyncs          ctr   fsyncs paid, summed over shard logs
+//	wal.bytes           ctr   log bytes synced, summed over shard logs
 //	slow_ops            ctr   requests over Config.SlowOpThreshold
 //	repl.safe_time_age_ns  gauge  freshest follower t_safe lag, max/shards
 //	apply.queue_depth_now  gauge  apply channel depth summed over shards
@@ -50,6 +56,10 @@ type serverMetrics struct {
 	ackLagSock    *obs.Histogram
 	snapBytes     *obs.Histogram
 	snapDur       *obs.Histogram
+	walFsync      *obs.Histogram
+	walBatch      *obs.Histogram
+	ckptBytes     *obs.Histogram
+	ckptDur       *obs.Histogram
 
 	slow *obs.SlowLog
 }
@@ -76,6 +86,10 @@ func newServerMetrics(srv *Server) *serverMetrics {
 		ackLagSock:    r.Hist("repl.ack_lag_sock"),
 		snapBytes:     r.Hist("repl.snapshot_bytes"),
 		snapDur:       r.Hist("repl.snapshot_dur"),
+		walFsync:      r.Hist("wal.fsync"),
+		walBatch:      r.Hist("wal.batch_bytes"),
+		ckptBytes:     r.Hist("wal.checkpoint_bytes"),
+		ckptDur:       r.Hist("wal.checkpoint_dur"),
 		slow:          obs.NewSlowLog(srv.cfg.SlowOpThreshold, logf),
 	}
 	st := &srv.stats
@@ -98,6 +112,24 @@ func newServerMetrics(srv *Server) *serverMetrics {
 		var n int64
 		for _, s := range srv.shards {
 			n += s.lm.Wounds()
+		}
+		return n
+	})
+	r.CounterFunc("wal.fsyncs", func() int64 {
+		var n int64
+		for _, s := range srv.shards {
+			if s.wal != nil {
+				n += int64(s.wal.Fsyncs())
+			}
+		}
+		return n
+	})
+	r.CounterFunc("wal.bytes", func() int64 {
+		var n int64
+		for _, s := range srv.shards {
+			if s.wal != nil {
+				n += int64(s.wal.Bytes())
+			}
 		}
 		return n
 	})

@@ -1,0 +1,241 @@
+package server
+
+import (
+	"fmt"
+	"path/filepath"
+
+	"rsskv/internal/replication"
+	"rsskv/internal/truetime"
+	"rsskv/internal/wal"
+)
+
+// Crash recovery (see internal/wal for the on-disk format).
+//
+// Replay leans on one invariant the serving paths maintain: every
+// response — including reads — waits for the durability of the state it
+// exposes, and followers are only ever offered entries whose records are
+// already synced. So anything any client or replica observed is in the
+// recovered log, and replaying it reconstructs a state consistent with
+// every acknowledgment the dead process released. The converse does not
+// hold — the log may contain durable-but-unacknowledged suffixes (a
+// batch whose fsync completed but whose responses never left) — and
+// recovery deliberately treats those as committed history: there is no
+// way to distinguish them from acknowledged work, and accepting them is
+// always consistent (the merged-history checker treats the operations as
+// pending, free to have taken effect or not).
+//
+// Dangling 2PC prepares — durable KindPrepare (or KindReprepare) with no
+// durable resolution — are decided by the commit-record rule: commit iff
+// ANY shard durably logged the transaction's KindCommit, abort otherwise.
+// Soundness: the coordinator acknowledges only after every involved
+// shard's commit record is durable, and an RO transaction folding a
+// prepared transaction's outcome waits on the LSN covering the commit
+// record of the shard it folded from. So if no shard has the record, no
+// one observed the commit, and presumed abort is safe; if some shard has
+// it, the commit decision was made and the record carries t_c, so every
+// other shard's prepare must be completed at that timestamp — a reader
+// of that one shard may have been acknowledged.
+
+// RecoveryStats summarizes what Open's replay found, aggregated over
+// shards.
+type RecoveryStats struct {
+	// Checkpoints counts shards restored from an installed checkpoint.
+	Checkpoints int
+	// Records counts replayed log records (after the checkpoint cuts).
+	Records int
+	// TornTails counts shards whose final segment ended in a torn or
+	// corrupt frame that replay truncated.
+	TornTails int
+	// PreparesRestored counts dangling 2PC prepares rebuilt from the logs;
+	// PreparesCommitted of them were resolved as committed (some shard
+	// held the commit record) and PreparesAborted by presumed abort.
+	PreparesRestored  int
+	PreparesCommitted int
+	PreparesAborted   int
+}
+
+// walDir names shard i's log directory under the data dir.
+func walDir(dataDir string, shard int) string {
+	return filepath.Join(dataDir, fmt.Sprintf("shard-%04d", shard))
+}
+
+// recover opens every shard's log directory and rebuilds the server from
+// it. It runs from Open, before the shard loops start, so it mutates
+// shard state directly. Two passes: first every shard replays its own
+// checkpoint and log suffix (collecting the global commit-record map),
+// then dangling prepares are resolved across shards — the decision needs
+// every log, because the commit record for a prepare recovered on one
+// shard may live on another.
+func (srv *Server) recover() error {
+	type shardReplay struct {
+		rec      *wal.Recovered
+		seq      uint64                 // last replication seq reassigned
+		entries  []replication.Entry    // rebuilt log suffix for pull replicas
+		prepares map[uint64]*wal.Record // dangling prepares after replay
+		order    []uint64               // their txn IDs in log order
+	}
+	replays := make([]shardReplay, len(srv.shards))
+	// committed maps txnID -> t_c for every durable commit record on any
+	// shard — the global side of the commit-record rule.
+	committed := map[uint64]truetime.Timestamp{}
+	var maxTxn uint64
+
+	for i, s := range srv.shards {
+		cfg := wal.Config{Dir: walDir(srv.cfg.DataDir, i)}
+		if srv.cfg.WALCrashAt != wal.CrashNone && srv.cfg.WALCrashShard == i {
+			cfg.CrashAt = srv.cfg.WALCrashAt
+			cfg.CrashAfter = srv.cfg.WALCrashAfter
+			cfg.OnCrash = func() {
+				// Off the shard loop: Crash closes the server, and Close
+				// waits for the very loop the crash point fired on.
+				go srv.Crash()
+			}
+		}
+		l, rec, err := wal.Open(cfg)
+		if err != nil {
+			return fmt.Errorf("server: recover shard %d: %w", i, err)
+		}
+		s.wal = l
+		rp := &replays[i]
+		rp.rec = rec
+		rp.prepares = map[uint64]*wal.Record{}
+		if rec.Torn {
+			srv.recovery.TornTails++
+		}
+		if cp := rec.Checkpoint; cp != nil {
+			srv.recovery.Checkpoints++
+			for _, v := range cp.Vals {
+				s.store.Write(v.Key, v.Value, truetime.Timestamp(v.TS))
+			}
+			if w := truetime.Timestamp(cp.Watermark); w > s.maxTS {
+				s.maxTS = w
+			}
+			rp.seq = cp.Seq
+		}
+		for idx := range rec.Records {
+			r := &rec.Records[idx]
+			srv.recovery.Records++
+			if r.TxnID > maxTxn {
+				maxTxn = r.TxnID
+			}
+			switch r.Kind {
+			case wal.KindPrepare:
+				if _, dup := rp.prepares[r.TxnID]; !dup {
+					rp.order = append(rp.order, r.TxnID)
+				}
+				rp.prepares[r.TxnID] = r
+				rp.seq++
+				rp.entries = append(rp.entries, replication.Entry{
+					Seq: rp.seq, Kind: replication.EntryPrepare,
+					TxnID: r.TxnID, TS: truetime.Timestamp(r.TS),
+				})
+			case wal.KindReprepare:
+				// A prepare re-logged at a checkpoint cut: same dangling
+				// entry (duplicates overwrite), but no replication entry —
+				// followers saw the original, so reassigning it a seq would
+				// shift every later entry under them.
+				if _, dup := rp.prepares[r.TxnID]; !dup {
+					rp.order = append(rp.order, r.TxnID)
+				}
+				rp.prepares[r.TxnID] = r
+			case wal.KindCommit:
+				delete(rp.prepares, r.TxnID)
+				ts := truetime.Timestamp(r.TS)
+				committed[r.TxnID] = ts
+				for _, kv := range r.Writes {
+					s.store.Write(kv.Key, kv.Value, ts)
+				}
+				if ts > s.maxTS {
+					s.maxTS = ts
+				}
+				rp.seq++
+				rp.entries = append(rp.entries, replication.Entry{
+					Seq: rp.seq, Kind: replication.EntryCommit,
+					TxnID: r.TxnID, TS: ts, Writes: r.Writes,
+				})
+			case wal.KindAbort:
+				delete(rp.prepares, r.TxnID)
+				rp.seq++
+				rp.entries = append(rp.entries, replication.Entry{
+					Seq: rp.seq, Kind: replication.EntryAbort, TxnID: r.TxnID,
+				})
+			}
+			if w := truetime.Timestamp(r.Watermark); w > s.maxTS {
+				// Batch-tail watermarks restore the safe-time floor even
+				// across stretches of aborts and prepares.
+				s.maxTS = w
+			}
+		}
+	}
+
+	// Resolution pass: every dangling prepare is decided by the global
+	// commit-record map, applied, and re-logged as resolved — so the next
+	// recovery (and any replica syncing from the rebuilt log) sees the
+	// decision, not the dangle.
+	for i, s := range srv.shards {
+		rp := &replays[i]
+		for _, txnID := range rp.order {
+			r := rp.prepares[txnID]
+			if r == nil {
+				continue
+			}
+			srv.recovery.PreparesRestored++
+			// The prepare's t_p was drawn by the dead shard's nextTS, so
+			// the recovered floor must clear it either way.
+			if tp := truetime.Timestamp(r.TS); tp > s.maxTS {
+				s.maxTS = tp
+			}
+			if tc, ok := committed[txnID]; ok {
+				srv.recovery.PreparesCommitted++
+				for _, kv := range r.Writes {
+					s.store.Write(kv.Key, kv.Value, tc)
+				}
+				if tc > s.maxTS {
+					s.maxTS = tc
+				}
+				s.wal.Append(wal.Record{
+					Kind: wal.KindCommit, TxnID: txnID, TS: int64(tc), Writes: r.Writes,
+				})
+				rp.seq++
+				rp.entries = append(rp.entries, replication.Entry{
+					Seq: rp.seq, Kind: replication.EntryCommit,
+					TxnID: txnID, TS: tc, Writes: r.Writes,
+				})
+			} else {
+				srv.recovery.PreparesAborted++
+				s.wal.Append(wal.Record{Kind: wal.KindAbort, TxnID: txnID})
+				rp.seq++
+				rp.entries = append(rp.entries, replication.Entry{
+					Seq: rp.seq, Kind: replication.EntryAbort, TxnID: txnID,
+				})
+			}
+		}
+		// Floor the store-derived watermark too: a checkpoint-only shard
+		// with no replayed records must still refuse commits at or below
+		// its restored versions.
+		if m := s.store.MaxTSAll(); m > s.maxTS {
+			s.maxTS = m
+		}
+		// The resolutions must be durable before the server serves: a
+		// crash after serving but before their sync would un-decide them.
+		if s.wal.Pending() > 0 {
+			if _, err := s.wal.Sync(int64(s.maxTS)); err != nil {
+				return fmt.Errorf("server: recover shard %d: %w", i, err)
+			}
+		}
+		if s.repl != nil {
+			// Seat the rebuilt suffix so a replica that outlived the
+			// leader's restart resyncs from the log instead of being
+			// forced through a full snapshot.
+			s.repl.Restore(rp.entries, rp.seq)
+		}
+	}
+
+	// Seed the sequencer above every replayed transaction ID so a
+	// recovered server never reissues an ID a long-lived client or replica
+	// still associates with the old incarnation.
+	if cur := srv.seq.Load(); int64(maxTxn) > cur {
+		srv.seq.Store(int64(maxTxn))
+	}
+	return nil
+}

@@ -7,6 +7,7 @@ import (
 	"rsskv/internal/obs"
 	"rsskv/internal/replication"
 	"rsskv/internal/truetime"
+	"rsskv/internal/wal"
 	"rsskv/internal/wire"
 )
 
@@ -113,6 +114,13 @@ type roShardReply struct {
 	// read (the scratch must not be pooled).
 	follower bool
 	leaked   bool
+	// wal and lsn pin the durability point covering a leader-served
+	// portion: the versions read may sit in the shard's current unsynced
+	// batch, so the coordinator waits them durable before responding.
+	// Follower portions carry none — followers only ever see entries that
+	// were already durable on the leader.
+	wal *wal.Log
+	lsn uint64
 }
 
 // roScratch is the per-request fan-out state of a snapshot read, pooled on
@@ -228,6 +236,9 @@ func (s *shard) roReply(w *roWaiter) {
 		reply.skipped = append(reply.skipped, roSkip{txnID: id, tp: p.tp, ch: ch})
 	}
 	reply.leaked = w.leaked
+	if s.wal != nil {
+		reply.wal, reply.lsn = s.wal, s.wal.AppendedLSN()
+	}
 	w.reply <- reply
 }
 
@@ -385,6 +396,11 @@ func (srv *Server) readOnly(req *wire.Request, cw *connWriter) {
 		}
 	}
 	followerShards := 0
+	type dwait struct {
+		wal *wal.Log
+		lsn uint64
+	}
+	var dwaits []dwait
 	for i := 0; i < fanout; i++ {
 		select {
 		case r := <-sc.reply:
@@ -401,6 +417,9 @@ func (srv *Server) readOnly(req *wire.Request, cw *connWriter) {
 				sc.vals[v.Key] = roVal{value: v.Value, ts: v.TS}
 			}
 			sc.skipped = append(sc.skipped, r.skipped...)
+			if r.wal != nil {
+				dwaits = append(dwaits, dwait{r.wal, r.lsn})
+			}
 		case <-srv.quit:
 			cw.Send(&wire.Response{ID: req.ID, Op: req.Op, Err: errClosed.Error()})
 			return // abandoned
@@ -437,10 +456,26 @@ func (srv *Server) readOnly(req *wire.Request, cw *connWriter) {
 						sc.vals[kv.Key] = roVal{value: kv.Value, ts: out.tc}
 					}
 				}
+				if out.wal != nil {
+					// The folded writes come from a commit whose record may
+					// still be in its shard's unsynced batch; the response
+					// must wait on the LSN that covers it.
+					dwaits = append(dwaits, dwait{out.wal, out.lsn})
+				}
 			}
 		case <-srv.quit:
 			cw.Send(&wire.Response{ID: req.ID, Op: req.Op, Err: errClosed.Error()})
 			return // abandoned
+		}
+	}
+
+	// Read durability: everything this snapshot exposes must survive a
+	// crash before the client may see it. A failed wait means the server
+	// died — a dead process acknowledges nothing, so the response is
+	// dropped (the connection is being torn down anyway).
+	for _, d := range dwaits {
+		if err := d.wal.WaitDurable(d.lsn); err != nil {
+			return // abandoned: scratch leaks like other abandon paths
 		}
 	}
 
@@ -451,8 +486,10 @@ func (srv *Server) readOnly(req *wire.Request, cw *connWriter) {
 		Follower: followerShards > 0 && followerShards == fanout,
 	}
 	resp.KVs = make([]wire.KV, 0, len(sc.keys))
+	resp.Vers = make([]int64, 0, len(sc.keys))
 	for _, k := range sc.keys {
 		resp.KVs = append(resp.KVs, wire.KV{Key: k, Value: sc.vals[k].value})
+		resp.Vers = append(resp.Vers, int64(sc.vals[k].ts))
 	}
 	srv.stats.ROs.Add(1)
 	total := time.Since(start)

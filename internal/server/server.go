@@ -13,6 +13,7 @@ import (
 	"rsskv/internal/obs"
 	"rsskv/internal/replication"
 	"rsskv/internal/truetime"
+	"rsskv/internal/wal"
 	"rsskv/internal/wire"
 )
 
@@ -98,6 +99,29 @@ type Config struct {
 	// a cross-service causal chain (an enqueued photo ID, an out-of-band
 	// call) outruns the lag. Never enable outside the composition ablation.
 	POReadLag time.Duration
+
+	// DataDir enables durability: each shard keeps a write-ahead log with
+	// group commit and periodic checkpoints under DataDir/shard-NNNN (see
+	// internal/wal), every response waits for the durability of the state
+	// it exposes, and Open replays the directory on restart — rebuilding
+	// the stores, the prepared set (resolving in-flight 2PC), the
+	// safe-time floor, and the replication position. Empty disables
+	// durability (the pre-durability in-memory server).
+	DataDir string
+	// CheckpointBytes is the per-shard log budget between checkpoints
+	// (default 4 MiB when durable): once this many log bytes accumulate,
+	// the shard cuts an mvstore checkpoint and truncates the covered
+	// segments. Tests use tiny budgets to force the rotation paths.
+	CheckpointBytes int64
+	// WALCrashShard, WALCrashAt, and WALCrashAfter inject a simulated
+	// kill -9 into one shard's log for the crash-point test matrix (see
+	// wal.CrashPoint): when the chosen shard hits the chosen point, the
+	// whole server tears down the way a killed process would — synced
+	// state survives on disk, everything else is gone, and nothing is
+	// acknowledged after the instant of death. Tests only.
+	WALCrashShard int
+	WALCrashAt    wal.CrashPoint
+	WALCrashAfter int
 
 	// SlowOpThreshold enables the slow-op trace log: any request whose
 	// coordinator runs longer than this logs its per-stage timeline
@@ -211,11 +235,21 @@ type Server struct {
 	// closing follower transport.
 	loopWG sync.WaitGroup
 
+	// recovery is what Open's replay found (zero on a fresh or undurable
+	// server); crashed is set by Crash and the WAL crash points.
+	recovery RecoveryStats
+	crashed  atomic.Bool
+
 	mu     sync.Mutex
 	ln     net.Listener
 	conns  map[net.Conn]struct{}
 	active map[uint64]struct{} // transaction IDs currently executing
 	closed bool
+	// closeDone makes Close blocking-idempotent: every caller returns only
+	// once the first caller's teardown has fully finished, which is what
+	// lets a crash-triggered asynchronous Close and a test's deferred
+	// Close race safely before the data directory is reopened.
+	closeDone chan struct{}
 
 	// replMu guards the out-of-process replica registry (see repl.go).
 	replMu   sync.Mutex
@@ -223,8 +257,26 @@ type Server struct {
 }
 
 // New returns a server with started shard loops. Call Start or Serve to
-// accept connections, and Close to shut down.
+// accept connections, and Close to shut down. It panics if the data
+// directory cannot be recovered — durable callers that want the error
+// use Open.
 func New(cfg Config) *Server {
+	srv, err := Open(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return srv
+}
+
+// Open builds the server and, when Config.DataDir is set, recovers it:
+// every shard's checkpoint is installed and its log suffix replayed
+// (rebuilding store contents, the prepared set, the safe-time floor, and
+// the replication group position), dangling 2PC prepares are resolved —
+// committed iff any shard durably logged the commit record, aborted
+// otherwise (presumed abort; see recovery.go) — and the resolutions are
+// made durable before the shard loops start. Recovery() reports what
+// replay found.
+func Open(cfg Config) (*Server, error) {
 	if cfg.Shards <= 0 {
 		cfg.Shards = 8
 	}
@@ -246,13 +298,17 @@ func New(cfg Config) *Server {
 	if cfg.ReplicaEvictAfter <= 0 {
 		cfg.ReplicaEvictAfter = 10 * time.Second
 	}
+	if cfg.DataDir != "" && cfg.CheckpointBytes <= 0 {
+		cfg.CheckpointBytes = 4 << 20
+	}
 	srv := &Server{
-		cfg:      cfg,
-		clock:    truetime.NewWallClock(cfg.Epsilon),
-		quit:     make(chan struct{}),
-		conns:    map[net.Conn]struct{}{},
-		active:   map[uint64]struct{}{},
-		replicas: map[string]*replicaReg{},
+		cfg:       cfg,
+		clock:     truetime.NewWallClock(cfg.Epsilon),
+		quit:      make(chan struct{}),
+		conns:     map[net.Conn]struct{}{},
+		active:    map[uint64]struct{}{},
+		replicas:  map[string]*replicaReg{},
+		closeDone: make(chan struct{}),
 	}
 	srv.roPool.New = func() any { return srv.newROScratch() }
 	srv.txnPool.New = func() any { return srv.newTxnPlan() }
@@ -272,6 +328,13 @@ func New(cfg Config) *Server {
 		srv.shards = append(srv.shards, s)
 	}
 	srv.metrics = newServerMetrics(srv)
+	if cfg.DataDir != "" {
+		// Recover before the loops start: replay runs single-threaded with
+		// direct access to shard state, exactly like the loops will have.
+		if err := srv.recover(); err != nil {
+			return nil, err
+		}
+	}
 	for _, s := range srv.shards {
 		srv.loopWG.Add(1)
 		go s.loop()
@@ -280,7 +343,31 @@ func New(cfg Config) *Server {
 		srv.loopWG.Add(1)
 		go srv.heartbeatLoop()
 	}
-	return srv
+	return srv, nil
+}
+
+// Recovery reports what Open's replay found (zero values on a fresh or
+// undurable server).
+func (srv *Server) Recovery() RecoveryStats { return srv.recovery }
+
+// Crashed reports whether the server died by Crash or a WAL crash point
+// rather than a clean Close.
+func (srv *Server) Crashed() bool { return srv.crashed.Load() }
+
+// Crash kills the server the way kill -9 would: every shard log is
+// crashed first — freezing durability where the last fsync left it and
+// failing every outstanding and future durability wait, so nothing is
+// acknowledged past the instant of death — and then the server tears
+// down without the final syncs a clean Close performs. The data
+// directory is left exactly as a real crash would leave it.
+func (srv *Server) Crash() {
+	srv.crashed.Store(true)
+	for _, s := range srv.shards {
+		if s.wal != nil {
+			s.wal.Crash()
+		}
+	}
+	srv.Close()
 }
 
 // heartbeatLoop periodically pushes a watermark-only entry through every
@@ -477,11 +564,15 @@ func (srv *Server) Addr() string {
 // Close shuts the server down: stop accepting, close every connection,
 // wait for all handlers (and their in-flight operations) to drain, and
 // only then stop the shard loops — handlers never wait on a dead shard.
-// Clients of in-flight operations see the connection drop.
+// Clients of in-flight operations see the connection drop. Close blocks
+// every caller until teardown is complete, even callers that lost the
+// race to start it, so reopening the data directory after Close (or a
+// crash-triggered Close) returns is always safe.
 func (srv *Server) Close() {
 	srv.mu.Lock()
 	if srv.closed {
 		srv.mu.Unlock()
+		<-srv.closeDone
 		return
 	}
 	srv.closed = true
@@ -494,14 +585,19 @@ func (srv *Server) Close() {
 	srv.mu.Unlock()
 	srv.wg.Wait()
 	close(srv.quit)
-	// Only after every appender (shard loops, heartbeat) has returned is
-	// it safe to close the replication transports.
+	// Only after every appender (shard loops, heartbeat, checkpoint
+	// writers) has returned is it safe to close the replication
+	// transports and the shard logs.
 	srv.loopWG.Wait()
 	for _, s := range srv.shards {
 		if s.repl != nil {
 			s.repl.Close()
 		}
+		if s.wal != nil {
+			s.wal.Close() // syncs any tail batch unless crashed
+		}
 	}
+	close(srv.closeDone)
 }
 
 func (srv *Server) isClosed() bool {
@@ -612,7 +708,7 @@ func (srv *Server) commit(req *wire.Request, cw *connWriter) {
 	if txnID == 0 {
 		txnID = uint64(srv.nextSeq())
 	}
-	reads, version, err := srv.runTxn(txnID, readKeys, writeKVs)
+	reads, readVers, version, err := srv.runTxn(txnID, readKeys, writeKVs)
 	resp := &wire.Response{ID: req.ID, Op: req.Op, TxnID: txnID}
 	if err != nil {
 		resp.Err = err.Error()
@@ -620,6 +716,7 @@ func (srv *Server) commit(req *wire.Request, cw *connWriter) {
 		resp.OK = true
 		resp.Version = version
 		resp.KVs = reads
+		resp.Vers = readVers
 		srv.stats.Commits.Add(1)
 	}
 	cw.Send(resp)

@@ -34,10 +34,14 @@
 package server
 
 import (
+	"sync/atomic"
+	"time"
+
 	"rsskv/internal/locks"
 	"rsskv/internal/mvstore"
 	"rsskv/internal/replication"
 	"rsskv/internal/truetime"
+	"rsskv/internal/wal"
 	"rsskv/internal/wire"
 )
 
@@ -84,6 +88,12 @@ type prepOutcome struct {
 	committed bool
 	tc        truetime.Timestamp
 	writes    []wire.KV // this shard's write set (coordinator filters keys)
+	// wal and lsn pin the durability point covering this resolution: an
+	// RO coordinator that folds a committed outcome into its snapshot must
+	// wait it durable before releasing the response, or a crash could take
+	// back a write the read acknowledged (nil/0 on undurable shards).
+	wal *wal.Log
+	lsn uint64
 }
 
 // shard is one partition of the keyspace.
@@ -105,6 +115,26 @@ type shard struct {
 	// group lock, transport hop, and watermark computation are paid per
 	// batch instead of per entry. Loop-only.
 	replBuf []replication.Entry
+
+	// wal is the shard's write-ahead log (nil when Config.DataDir is
+	// unset). Every prepare, commit, and abort the loop applies is
+	// appended as a record and group-committed by flush — at most one
+	// fsync per loop drain — before the batch's entries are offered to
+	// replication or any response that observed the batch's state is
+	// released (see postSync).
+	wal *wal.Log
+	// postSync defers the current batch's response releases until its
+	// records are durable: flush runs the queue right after the group
+	// commit, with ok=false when a crash ate the batch (the closures must
+	// then drop their sends — a dead process acknowledges nothing).
+	// Loop-only.
+	postSync []func(ok bool)
+	// walBytes counts log bytes synced since the last checkpoint cut;
+	// crossing Config.CheckpointBytes schedules the next checkpoint.
+	// Loop-only.
+	walBytes int64
+	// ckptBusy guards the single in-flight off-loop checkpoint writer.
+	ckptBusy atomic.Bool
 
 	// maxTS is the shard's safe-time floor: strictly below every future
 	// prepare or commit timestamp this shard will assign. Serving a
@@ -157,6 +187,12 @@ func (s *shard) resolvePrepared(txnID uint64, committed bool, tc truetime.Timest
 	}
 	delete(s.prepared, txnID)
 	out := prepOutcome{committed: committed, tc: tc, writes: p.writes}
+	if s.wal != nil {
+		// Call sites append the resolution record before resolving, so the
+		// current appended LSN covers it; watchers folding the outcome wait
+		// on it (prepOutcome contract).
+		out.wal, out.lsn = s.wal, s.wal.AppendedLSN()
+	}
 	for _, ch := range p.watchers {
 		ch <- out // buffered for exactly this send
 	}
@@ -212,22 +248,96 @@ func (s *shard) replicate(kind replication.EntryKind, txnID uint64, ts truetime.
 	s.replBuf = append(s.replBuf, replication.Entry{Kind: kind, TxnID: txnID, TS: ts, Writes: writes})
 }
 
+// walAppend buffers one record on the shard's log, returning its LSN
+// (0 on undurable shards). Loop-only.
+func (s *shard) walAppend(kind wal.Kind, txnID uint64, ts, tee truetime.Timestamp, writes []wire.KV) uint64 {
+	if s.wal == nil {
+		return 0
+	}
+	return s.wal.Append(wal.Record{
+		Kind: kind, TxnID: txnID, TS: int64(ts), TEE: int64(tee), Writes: writes,
+	})
+}
+
+// afterSync defers fn until the current apply batch is durable: flush
+// runs the queue right after the batch's group-commit fsync, with
+// ok=false when a crash took durability away — the response fn would
+// have released must then never be sent (but its done accounting must
+// still run). Only meaningful on durable shards; undurable paths call
+// fn(true) directly. Loop-only.
+func (s *shard) afterSync(fn func(ok bool)) {
+	s.postSync = append(s.postSync, fn)
+}
+
+func (s *shard) runPostSync(ok bool) {
+	for i, fn := range s.postSync {
+		fn(ok)
+		s.postSync[i] = nil
+	}
+	s.postSync = s.postSync[:0]
+}
+
+// flush makes the current apply batch durable and replicated, in that
+// order: the WAL's group commit first (at most one fsync per drain),
+// then the replication append — so followers are only ever offered
+// entries whose records are already durable, and a crash can never
+// leave a follower knowing a commit the recovered leader has lost.
+// After a successful sync the post-sync queue (deferred response
+// releases) runs on the loop, then a checkpoint is cut if the log has
+// grown past its budget. On a crashed log the batch is dropped whole:
+// nothing is replicated and every deferred release runs with ok=false.
+// Loop-only.
+func (s *shard) flush() {
+	if s.wal == nil {
+		s.flushRepl(0)
+		return
+	}
+	if s.wal.Pending() == 0 && len(s.postSync) == 0 && len(s.replBuf) == 0 {
+		return
+	}
+	// One watermark for both tails: the log's (recovery floor) and the
+	// replication batch's (follower t_safe).
+	wm := s.safeWatermark()
+	start := time.Now()
+	n, err := s.wal.Sync(int64(wm))
+	if err != nil {
+		for i := range s.replBuf {
+			s.replBuf[i] = replication.Entry{}
+		}
+		s.replBuf = s.replBuf[:0]
+		s.runPostSync(false)
+		return
+	}
+	if n > 0 {
+		s.srv.metrics.walFsync.ObserveSince(start)
+		s.srv.metrics.walBatch.Observe(int64(n))
+		s.walBytes += int64(n)
+	}
+	s.flushRepl(wm)
+	s.runPostSync(true)
+	s.maybeCheckpoint()
+}
+
 // flushRepl appends the buffered batch to the replication group in one
-// AppendBatch call. The safe-time watermark is computed once, at flush,
-// and stamped on the batch's TAIL entry only: by flush time every commit
-// of the batch is in the buffer at or before the tail and the prepared
-// set reflects every in-batch resolution, so the tail honors the
-// watermark contract — but an earlier entry must not carry it, because a
-// transaction that prepared and committed within this same batch has a
-// commit timestamp the flush-time watermark may exceed, and a follower
-// (or pull replica) holding only a prefix ending at that earlier entry
-// would then serve reads it cannot cover. Non-tail entries carry
-// watermark 0, which followers' monotone clamp ignores. Loop-only.
-func (s *shard) flushRepl() {
+// AppendBatch call. The safe-time watermark is computed once, at flush
+// (wm, or here when the caller passes 0), and stamped on the batch's
+// TAIL entry only: by flush time every commit of the batch is in the
+// buffer at or before the tail and the prepared set reflects every
+// in-batch resolution, so the tail honors the watermark contract — but
+// an earlier entry must not carry it, because a transaction that
+// prepared and committed within this same batch has a commit timestamp
+// the flush-time watermark may exceed, and a follower (or pull replica)
+// holding only a prefix ending at that earlier entry would then serve
+// reads it cannot cover. Non-tail entries carry watermark 0, which
+// followers' monotone clamp ignores. Loop-only.
+func (s *shard) flushRepl(wm truetime.Timestamp) {
 	if len(s.replBuf) == 0 {
 		return
 	}
-	s.replBuf[len(s.replBuf)-1].Watermark = s.safeWatermark()
+	if wm == 0 {
+		wm = s.safeWatermark()
+	}
+	s.replBuf[len(s.replBuf)-1].Watermark = wm
 	s.repl.AppendBatch(s.replBuf)
 	s.srv.metrics.replBatch.Observe(int64(len(s.replBuf)))
 	// AppendBatch copied the entries; drop the write-set references so the
@@ -236,6 +346,72 @@ func (s *shard) flushRepl() {
 		s.replBuf[i] = replication.Entry{}
 	}
 	s.replBuf = s.replBuf[:0]
+}
+
+// maybeCheckpoint cuts a checkpoint when the log since the last cut has
+// outgrown Config.CheckpointBytes. The cut itself happens here, on the
+// loop, mirroring the replica-snapshot idiom: flush just synced, so the
+// pending buffer is empty, the checkpoint's LSN is exactly AppendedLSN,
+// and the dump, the replication position, and the watermark are one
+// consistent picture. The expensive part — writing the dump and
+// deleting covered segments — runs off-loop (writeCheckpoint), at most
+// one in flight. Loop-only.
+func (s *shard) maybeCheckpoint() {
+	limit := s.srv.cfg.CheckpointBytes
+	if limit <= 0 || s.walBytes < limit {
+		return
+	}
+	if !s.ckptBusy.CompareAndSwap(false, true) {
+		return // previous checkpoint still writing; re-tried next flush
+	}
+	s.walBytes = 0
+	cp := &wal.Checkpoint{
+		LSN:       s.wal.AppendedLSN(),
+		Watermark: int64(s.safeWatermark()),
+	}
+	if s.repl != nil {
+		cp.Seq = s.repl.NextSeq()
+	}
+	s.store.Dump(func(key string, v mvstore.Version) {
+		cp.Vals = append(cp.Vals, wire.ReplVal{Key: key, Value: v.Value, TS: int64(v.TS)})
+	})
+	if err := s.wal.Rotate(); err != nil {
+		s.ckptBusy.Store(false)
+		return
+	}
+	// Re-log still-unresolved prepares into the fresh segment. Their
+	// original records sit at or below the cut and the checkpoint captures
+	// only the store — without the re-log, deleting the covered segments
+	// would lose the prepared set a recovery needs to rebuild. The records
+	// must be durable before those segments can go, so they are synced
+	// here (a second fsync, but only on checkpoints with 2PC in flight).
+	if len(s.prepared) > 0 {
+		for id, p := range s.prepared {
+			s.walAppend(wal.KindReprepare, id, p.tp, p.tee, p.writes)
+		}
+		if _, err := s.wal.Sync(cp.Watermark); err != nil {
+			s.ckptBusy.Store(false)
+			return
+		}
+	}
+	s.srv.loopWG.Add(1)
+	go s.writeCheckpoint(cp)
+}
+
+// writeCheckpoint installs the cut off the loop and deletes the
+// segments it covers. Any failure simply leaves the previous checkpoint
+// and the full log in place — recovery is unaffected, only longer.
+func (s *shard) writeCheckpoint(cp *wal.Checkpoint) {
+	defer s.srv.loopWG.Done()
+	defer s.ckptBusy.Store(false)
+	start := time.Now()
+	n, err := s.wal.WriteCheckpoint(cp)
+	if err != nil {
+		return
+	}
+	s.srv.metrics.ckptBytes.Observe(int64(n))
+	s.srv.metrics.ckptDur.ObserveSince(start)
+	s.wal.RemoveObsoleteSegments(cp.LSN)
 }
 
 // loop drains submitted closures until the server closes. Each wakeup
@@ -269,7 +445,7 @@ func (s *shard) loop() {
 				}
 			}
 			batch.Observe(int64(n))
-			s.flushRepl()
+			s.flush()
 		case <-s.srv.quit:
 			return
 		}
@@ -322,13 +498,27 @@ func (s *shard) onWound(txn locks.TxnID) {
 func (s *shard) get(req *wire.Request, cw *connWriter, done func()) {
 	txn := s.srv.newTxnID()
 	apply := func() {
-		defer done()
 		v := s.store.Latest(req.Key)
 		s.lm.ReleaseAll(txn)
-		cw.Send(&wire.Response{
+		resp := &wire.Response{
 			ID: req.ID, Op: req.Op, OK: true,
 			Value: v.Value, Version: int64(v.TS),
-		})
+		}
+		if s.wal == nil {
+			cw.Send(resp)
+			done()
+		} else {
+			// Read durability: the version just read may sit in the current
+			// unsynced batch, so the response rides the batch's group
+			// commit — an acknowledged read is never of state a crash can
+			// take back.
+			s.afterSync(func(ok bool) {
+				if ok {
+					cw.Send(resp)
+				}
+				done()
+			})
+		}
 		s.lm.Flush()
 		s.srv.stats.Gets.Add(1)
 	}
@@ -345,29 +535,45 @@ func (s *shard) put(req *wire.Request, cw *connWriter, done func()) {
 	apply := func() {
 		ts := s.nextTS()
 		s.store.Write(req.Key, req.Value, ts)
-		// The nil check is the caller's here (unlike other replicate call
-		// sites) so the unreplicated put path stays free of the KV-slice
-		// allocation built for the log entry.
-		if s.repl != nil {
-			s.replicate(replication.EntryCommit, uint64(txn.Seq), ts,
-				[]wire.KV{{Key: req.Key, Value: req.Value}})
+		// The nil checks are the caller's here (unlike other log call
+		// sites) so the bare in-memory put path stays free of the KV-slice
+		// allocation built for the record and the log entry.
+		if s.wal != nil || s.repl != nil {
+			wkvs := []wire.KV{{Key: req.Key, Value: req.Value}}
+			s.walAppend(wal.KindCommit, uint64(txn.Seq), ts, 0, wkvs)
+			s.replicate(replication.EntryCommit, uint64(txn.Seq), ts, wkvs)
 		}
 		s.lm.ReleaseAll(txn)
 		s.lm.Flush()
 		s.srv.stats.Puts.Add(1)
 		resp := &wire.Response{ID: req.ID, Op: req.Op, OK: true, Version: int64(ts)}
-		if s.srv.cfg.ChaosLostCommitWait || s.srv.clock.After(ts) {
-			// Chaos: acknowledge before ts has definitely passed — the
-			// mutation-side half of the lost-commit-wait fault.
-			cw.Send(resp)
-			done()
+		release := func(ok bool) {
+			if !ok {
+				// Crashed before the commit record was durable: the write
+				// was never acknowledged, and must not be now.
+				done()
+				return
+			}
+			if s.srv.cfg.ChaosLostCommitWait || s.srv.clock.After(ts) {
+				// Chaos: acknowledge before ts has definitely passed — the
+				// mutation-side half of the lost-commit-wait fault.
+				cw.Send(resp)
+				done()
+				return
+			}
+			go func() {
+				defer done()
+				s.srv.clock.WaitUntilAfter(ts)
+				cw.Send(resp)
+			}()
+		}
+		if s.wal == nil {
+			release(true)
 			return
 		}
-		go func() {
-			defer done()
-			s.srv.clock.WaitUntilAfter(ts)
-			cw.Send(resp)
-		}()
+		// Commit wait and group commit overlap: the response is released
+		// after both the record's fsync and ts passing.
+		s.afterSync(release)
 	}
 	s.acquireOne(txn, req.Key, locks.Exclusive, apply)
 }

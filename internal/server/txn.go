@@ -9,6 +9,7 @@ import (
 	"rsskv/internal/obs"
 	"rsskv/internal/replication"
 	"rsskv/internal/truetime"
+	"rsskv/internal/wal"
 	"rsskv/internal/wire"
 )
 
@@ -47,10 +48,10 @@ type txnPlan struct {
 	// (apply, or abort's release) is queued behind — and release only runs
 	// after the coordinator drained that final round — so no send can land
 	// after release drains the residue below.
-	notify  chan shardEvent // lock grants and wounds (2 events/shard)
-	prepCh  chan prepResult // prepare outcomes
-	applyCh chan []wire.KV  // apply-phase read results
-	abortCh chan struct{}   // abort-release completions
+	notify  chan shardEvent  // lock grants and wounds (2 events/shard)
+	prepCh  chan prepResult  // prepare outcomes
+	applyCh chan applyResult // apply-phase read results + durability points
+	abortCh chan struct{}    // abort-release completions
 
 	trace obs.Trace // per-stage timeline for the slow-op log
 }
@@ -59,6 +60,17 @@ type txnPlan struct {
 type prepResult struct {
 	ok bool
 	tp truetime.Timestamp
+}
+
+// applyResult is one shard's apply-phase outcome: the read results with
+// their version witnesses, and — on durable shards — the log position
+// the coordinator must wait durable before acknowledging (covers this
+// shard's commit record and everything the reads observed).
+type applyResult struct {
+	kvs  []wire.KV
+	vers []int64
+	wal  *wal.Log
+	lsn  uint64
 }
 
 func (srv *Server) newTxnPlan() *txnPlan {
@@ -71,7 +83,7 @@ func (srv *Server) newTxnPlan() *txnPlan {
 		seenRead: map[string]bool{},
 		notify:   make(chan shardEvent, 2*n),
 		prepCh:   make(chan prepResult, n),
-		applyCh:  make(chan []wire.KV, n),
+		applyCh:  make(chan applyResult, n),
 		abortCh:  make(chan struct{}, n),
 	}
 }
@@ -168,12 +180,12 @@ func (srv *Server) plan(txn locks.TxnID, readKeys []string, writeKVs []wire.KV) 
 // Locks are held from before the first read until after the last write on
 // every shard, so conflicting transactions serialize in commit-timestamp
 // order and partial writes are never visible.
-func (srv *Server) runTxn(txnID uint64, readKeys []string, writeKVs []wire.KV) (reads []wire.KV, version int64, err error) {
+func (srv *Server) runTxn(txnID uint64, readKeys []string, writeKVs []wire.KV) (reads []wire.KV, readVers []int64, version int64, err error) {
 	if txnID == 0 {
 		txnID = uint64(srv.nextSeq())
 	}
 	if !srv.admitTxn(txnID) {
-		return nil, 0, errTxnActive
+		return nil, nil, 0, errTxnActive
 	}
 	defer srv.retireTxn(txnID)
 
@@ -183,7 +195,7 @@ func (srv *Server) runTxn(txnID uint64, readKeys []string, writeKVs []wire.KV) (
 	p := srv.plan(txn, readKeys, writeKVs)
 	if len(p.shards) == 0 {
 		p.release(srv)
-		return nil, int64(srv.clock.Now().Latest), nil // empty transaction
+		return nil, nil, int64(srv.clock.Now().Latest), nil // empty transaction
 	}
 	// abort tears the transaction down and recycles the plan — but only
 	// after a complete abort: an abort abandoned by server shutdown may
@@ -225,11 +237,11 @@ func (srv *Server) runTxn(txnID uint64, readKeys []string, writeKVs []wire.KV) (
 		select {
 		case ev := <-notify:
 			if ev.wounded {
-				return nil, 0, abort("wound-lock")
+				return nil, nil, 0, abort("wound-lock")
 			}
 			granted++
 		case <-srv.quit:
-			return nil, 0, errClosed
+			return nil, nil, 0, errClosed
 		}
 	}
 	lockWait := time.Since(start)
@@ -255,6 +267,10 @@ func (srv *Server) runTxn(txnID uint64, readKeys []string, writeKVs []wire.KV) (
 			tp := s.nextTS()
 			if len(wkvs) > 0 {
 				s.prepared[txnID] = &prepEntry{tp: tp, tee: tee, writes: wkvs}
+				// The record carries the write set (unlike the replication
+				// entry) so recovery can rebuild the prepared entry and its
+				// exclusive lock footprint.
+				s.walAppend(wal.KindPrepare, txnID, tp, tee, wkvs)
 				s.replicate(replication.EntryPrepare, txnID, tp, nil)
 			}
 			if s.srv.cfg.ChaosDroppedLockRelease {
@@ -279,13 +295,13 @@ func (srv *Server) runTxn(txnID uint64, readKeys []string, writeKVs []wire.KV) (
 				// Undrained sibling prepares may still run, but they only
 				// reference the write slices, which release never recycles
 				// — so aborting (and pooling the rest) here is safe.
-				return nil, 0, abort("wound-prepare")
+				return nil, nil, 0, abort("wound-prepare")
 			}
 			if pr.tp > tc {
 				tc = pr.tp
 			}
 		case <-srv.quit:
-			return nil, 0, errClosed
+			return nil, nil, 0, errClosed
 		}
 	}
 
@@ -310,9 +326,11 @@ func (srv *Server) runTxn(txnID uint64, readKeys []string, writeKVs []wire.KV) (
 	for _, sid := range p.shards {
 		s, rks, wkvs := srv.shards[sid], p.reads[sid], p.writes[sid]
 		s.run(func() {
-			kvs := make([]wire.KV, 0, len(rks))
+			res := applyResult{kvs: make([]wire.KV, 0, len(rks))}
 			for _, k := range rks {
-				kvs = append(kvs, wire.KV{Key: k, Value: s.store.Latest(k).Value})
+				v := s.store.Latest(k)
+				res.kvs = append(res.kvs, wire.KV{Key: k, Value: v.Value})
+				res.vers = append(res.vers, int64(v.TS))
 			}
 			for _, kv := range wkvs {
 				s.store.Write(kv.Key, kv.Value, tc)
@@ -320,24 +338,39 @@ func (srv *Server) runTxn(txnID uint64, readKeys []string, writeKVs []wire.KV) (
 			if tc > s.maxTS {
 				s.maxTS = tc
 			}
-			if s.resolvePrepared(txnID, true, tc) {
+			if s.prepared[txnID] != nil {
+				// Commit record first, then resolve: watchers folding the
+				// outcome get an LSN that covers the record.
+				s.walAppend(wal.KindCommit, txnID, tc, 0, wkvs)
+				s.resolvePrepared(txnID, true, tc)
 				s.replicate(replication.EntryCommit, txnID, tc, wkvs)
+			}
+			if s.wal != nil {
+				// Even a read-only participant pins a durability point: its
+				// reads may have observed records still in the current batch.
+				res.wal, res.lsn = s.wal, s.wal.AppendedLSN()
 			}
 			delete(s.waiters, txn)
 			s.lm.ReleaseAll(txn)
 			s.lm.Flush()
-			applyCh <- kvs
+			applyCh <- res
 		})
 	}
 	byKey := map[string]string{}
+	verByKey := map[string]int64{}
+	var dwaits []applyResult
 	for range p.shards {
 		select {
-		case kvs := <-applyCh:
-			for _, kv := range kvs {
+		case res := <-applyCh:
+			for i, kv := range res.kvs {
 				byKey[kv.Key] = kv.Value
+				verByKey[kv.Key] = res.vers[i]
+			}
+			if res.wal != nil {
+				dwaits = append(dwaits, res)
 			}
 		case <-srv.quit:
-			return nil, 0, errClosed
+			return nil, nil, 0, errClosed
 		}
 	}
 	applied := time.Since(start)
@@ -357,6 +390,15 @@ func (srv *Server) runTxn(txnID uint64, readKeys []string, writeKVs []wire.KV) (
 		}
 		srv.clock.WaitUntilAfter(wait)
 	}
+	// Durability wait, overlapped with commit wait above: the group
+	// commits covering the shards' records have been running since apply,
+	// so by now they have usually landed. A crash here means the response
+	// must never be sent — a dead process acknowledges nothing.
+	for _, d := range dwaits {
+		if err := d.wal.WaitDurable(d.lsn); err != nil {
+			return nil, nil, 0, errClosed
+		}
+	}
 	total := time.Since(start)
 	m.commitWait.Observe(int64(total - applied))
 	m.txnTotal.Observe(int64(total))
@@ -373,9 +415,10 @@ func (srv *Server) runTxn(txnID uint64, readKeys []string, writeKVs []wire.KV) (
 		}
 		emitted[k] = true
 		reads = append(reads, wire.KV{Key: k, Value: byKey[k]})
+		readVers = append(readVers, verByKey[k])
 	}
 	p.release(srv)
-	return reads, int64(tc), nil
+	return reads, readVers, int64(tc), nil
 }
 
 // abortTxn releases the transaction's locks and queued requests on every
@@ -389,7 +432,12 @@ func (srv *Server) abortTxn(txn locks.TxnID, p *txnPlan) error {
 	for _, sid := range p.shards {
 		s := srv.shards[sid]
 		s.run(func() {
-			if s.resolvePrepared(txn.Seq, false, 0) {
+			if s.prepared[txn.Seq] != nil {
+				// Abort record before the resolution, mirroring commit; no
+				// durability wait follows — presumed abort means recovery
+				// treats a missing resolution as an abort anyway.
+				s.walAppend(wal.KindAbort, txn.Seq, 0, 0, nil)
+				s.resolvePrepared(txn.Seq, false, 0)
 				s.replicate(replication.EntryAbort, txn.Seq, 0, nil)
 			}
 			delete(s.waiters, txn)

@@ -1,0 +1,130 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"rsskv/internal/wire"
+)
+
+const (
+	checkpointName = "checkpoint"
+	checkpointTmp  = "checkpoint.tmp"
+)
+
+// Checkpoint is a full cut of one shard's durable state at a known log
+// position — the same cut OpReplSnapshot hands a lagging replica, made
+// durable: the mvstore dump, the replication sequence the shard had
+// assigned, the safe-time watermark, all as of LSN. Recovery loads it
+// and replays only records after LSN; segments at or below LSN are
+// garbage once the checkpoint is in place.
+type Checkpoint struct {
+	// LSN is the log position the cut covers: every record at or below
+	// it is reflected in Vals, every record after it must be replayed.
+	LSN uint64
+	// Seq is the replication group's next sequence number at the cut, so
+	// a recovered leader resumes numbering where the old one stopped and
+	// replicas resync from the log instead of forcing a full snapshot.
+	Seq uint64
+	// Watermark is the shard's safe-time watermark at the cut.
+	Watermark int64
+	// Vals is the mvstore dump (every live version, per-key TS order).
+	Vals []wire.ReplVal
+}
+
+// WriteCheckpoint atomically installs cp as dir's checkpoint: written to
+// checkpoint.tmp, fsynced, renamed over checkpoint, directory fsynced. A
+// crash at any instant leaves either the old checkpoint or the new one —
+// never a torn hybrid — because recovery ignores the tmp file. The
+// CrashMidCheckpoint point fires after the tmp is fully written but
+// before the rename, the window where a naive overwrite would lose both.
+// Returns the encoded size.
+func (l *Log) WriteCheckpoint(cp *Checkpoint) (int, error) {
+	if l.crashed.Load() {
+		return 0, ErrCrashed
+	}
+	buf := make([]byte, 0, 64+32*len(cp.Vals))
+	buf = append(buf, 0, 0, 0, 0, 0, 0, 0, 0)
+	buf = binary.AppendUvarint(buf, cp.LSN)
+	buf = binary.AppendUvarint(buf, cp.Seq)
+	buf = binary.AppendVarint(buf, cp.Watermark)
+	buf = wire.AppendReplVals(buf, cp.Vals)
+	buf = appendFrame(buf, 0)
+
+	tmp := filepath.Join(l.dir, checkpointTmp)
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		return 0, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return 0, err
+	}
+	if err := f.Close(); err != nil {
+		return 0, err
+	}
+	if l.cfg.CrashAt == CrashMidCheckpoint && l.trip() {
+		l.crash()
+		return 0, ErrCrashed
+	}
+	if err := os.Rename(tmp, filepath.Join(l.dir, checkpointName)); err != nil {
+		return 0, err
+	}
+	if err := syncDir(l.dir); err != nil {
+		return 0, err
+	}
+	return len(buf), nil
+}
+
+// syncDir fsyncs a directory so a rename (or segment deletion) inside it
+// is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// loadCheckpoint reads dir's checkpoint, returning nil if none exists. A
+// checkpoint that exists but fails its frame check is fatal: unlike a
+// torn log tail it was renamed into place only after an fsync, so
+// corruption there is real damage, not a crash artifact.
+func loadCheckpoint(dir string) (*Checkpoint, error) {
+	data, err := os.ReadFile(filepath.Join(dir, checkpointName))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	payload, rest, ok := nextFrame(data)
+	if !ok || len(rest) != 0 {
+		return nil, fmt.Errorf("wal: corrupt checkpoint in %s", dir)
+	}
+	d := recDecoder{buf: payload}
+	cp := &Checkpoint{
+		LSN:       d.uvarint(),
+		Seq:       d.uvarint(),
+		Watermark: d.varint(),
+	}
+	if d.err != nil {
+		return nil, fmt.Errorf("wal: corrupt checkpoint in %s: %w", dir, d.err)
+	}
+	vals, err := wire.DecodeReplVals(d.buf)
+	if err != nil {
+		return nil, fmt.Errorf("wal: corrupt checkpoint in %s: %w", dir, err)
+	}
+	cp.Vals = vals
+	return cp, nil
+}

@@ -1,0 +1,191 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"rsskv/internal/wire"
+)
+
+// Record framing: every record (and the checkpoint header) is
+//
+//	[4-byte big-endian payload length][4-byte big-endian CRC32-Castagnoli
+//	of the payload][payload]
+//
+// and the payload speaks the internal/wire varint vocabulary: uvarints
+// for counts and IDs, zig-zag varints for timestamps, length-prefixed
+// strings. The CRC is what lets replay distinguish "the log ends here"
+// from "the log was torn here": either way, the first frame that fails
+// to parse or verify is the end of history.
+
+const (
+	frameHeaderSize = 8
+	// maxRecordPayload bounds a single record so a corrupt length prefix
+	// can't provoke a giant allocation. It comfortably covers a shard's
+	// largest write set (the wire layer caps client frames at 1 MiB).
+	maxRecordPayload = 8 << 20
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// appendFramed wraps payload (everything in buf after the reserved
+// 8-byte header at org) with its length + CRC header.
+func appendFrame(buf []byte, org int) []byte {
+	payload := buf[org+frameHeaderSize:]
+	binary.BigEndian.PutUint32(buf[org:], uint32(len(payload)))
+	binary.BigEndian.PutUint32(buf[org+4:], crc32.Checksum(payload, crcTable))
+	return buf
+}
+
+// appendFramedRecord appends r's framed encoding to buf.
+func appendFramedRecord(buf []byte, r *Record) []byte {
+	org := len(buf)
+	buf = append(buf, 0, 0, 0, 0, 0, 0, 0, 0)
+	buf = append(buf, byte(r.Kind))
+	buf = binary.AppendUvarint(buf, r.TxnID)
+	buf = binary.AppendVarint(buf, r.TS)
+	buf = binary.AppendVarint(buf, r.TEE)
+	buf = binary.AppendVarint(buf, r.Watermark)
+	buf = binary.AppendUvarint(buf, uint64(len(r.Writes)))
+	for _, kv := range r.Writes {
+		buf = appendString(buf, kv.Key)
+		buf = appendString(buf, kv.Value)
+	}
+	return appendFrame(buf, org)
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+// nextFrame splits the first frame off data, verifying length and CRC.
+// ok=false means data holds no valid frame at its head — the clean end
+// of replay (torn tail, garbage, or a genuinely empty rest).
+func nextFrame(data []byte) (payload, rest []byte, ok bool) {
+	if len(data) < frameHeaderSize {
+		return nil, nil, false
+	}
+	n := binary.BigEndian.Uint32(data)
+	if n == 0 || n > maxRecordPayload || uint64(len(data)-frameHeaderSize) < uint64(n) {
+		return nil, nil, false
+	}
+	payload = data[frameHeaderSize : frameHeaderSize+n]
+	if crc32.Checksum(payload, crcTable) != binary.BigEndian.Uint32(data[4:]) {
+		return nil, nil, false
+	}
+	return payload, data[frameHeaderSize+int(n):], true
+}
+
+// recDecoder is a bounds-checked reader over one record payload,
+// mirroring internal/wire's decoder idiom: first error sticks, every
+// accessor returns zero values after it.
+type recDecoder struct {
+	buf []byte
+	err error
+}
+
+func (d *recDecoder) fail() {
+	if d.err == nil {
+		d.err = fmt.Errorf("wal: short or malformed record payload")
+	}
+	d.buf = nil
+}
+
+func (d *recDecoder) byte() byte {
+	if d.err != nil || len(d.buf) == 0 {
+		d.fail()
+		return 0
+	}
+	b := d.buf[0]
+	d.buf = d.buf[1:]
+	return b
+}
+
+func (d *recDecoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf)
+	if n <= 0 {
+		d.fail()
+		return 0
+	}
+	d.buf = d.buf[n:]
+	return v
+}
+
+func (d *recDecoder) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.buf)
+	if n <= 0 {
+		d.fail()
+		return 0
+	}
+	d.buf = d.buf[n:]
+	return v
+}
+
+// count reads a collection length, rejecting counts the remaining bytes
+// cannot possibly hold (each element needs at least one byte) so a
+// corrupt count can't balloon an allocation.
+func (d *recDecoder) count() int {
+	n := d.uvarint()
+	if d.err != nil {
+		return 0
+	}
+	if n > uint64(len(d.buf)) {
+		d.fail()
+		return 0
+	}
+	return int(n)
+}
+
+func (d *recDecoder) string() string {
+	n := d.count()
+	if d.err != nil || len(d.buf) < n {
+		d.fail()
+		return ""
+	}
+	s := string(d.buf[:n])
+	d.buf = d.buf[n:]
+	return s
+}
+
+func (d *recDecoder) finish() error {
+	if d.err == nil && len(d.buf) != 0 {
+		d.err = fmt.Errorf("wal: %d trailing bytes after record payload", len(d.buf))
+	}
+	return d.err
+}
+
+// decodeRecord parses one verified frame payload into r.
+func decodeRecord(payload []byte, r *Record) error {
+	d := recDecoder{buf: payload}
+	kind := Kind(d.byte())
+	r.TxnID = d.uvarint()
+	r.TS = d.varint()
+	r.TEE = d.varint()
+	r.Watermark = d.varint()
+	n := d.count()
+	if d.err != nil {
+		return d.err
+	}
+	if kind < KindPrepare || kind > KindReprepare {
+		return fmt.Errorf("wal: bad record kind %d", kind)
+	}
+	r.Kind = kind
+	r.Writes = r.Writes[:0]
+	for i := 0; i < n; i++ {
+		k := d.string()
+		v := d.string()
+		if d.err != nil {
+			return d.err
+		}
+		r.Writes = append(r.Writes, wire.KV{Key: k, Value: v})
+	}
+	return d.finish()
+}

@@ -1,0 +1,119 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Recovered is what Open found on disk: the newest durable checkpoint
+// (nil on a fresh directory) and every valid record after its cut, in
+// append order. Records[i] has LSN CheckpointLSN()+1+i.
+type Recovered struct {
+	// Checkpoint is the installed checkpoint, nil if none.
+	Checkpoint *Checkpoint
+	// Records is the replay suffix after the checkpoint's cut.
+	Records []Record
+	// LSN is the last valid record position (the checkpoint's cut on an
+	// empty suffix); the live log appends from LSN+1.
+	LSN uint64
+	// Torn reports that the final segment ended in an invalid frame — a
+	// torn tail from a crash between append and fsync — which recovery
+	// truncated.
+	Torn bool
+}
+
+// CheckpointLSN returns the checkpoint's cut position, 0 without one.
+func (r *Recovered) CheckpointLSN() uint64 {
+	if r.Checkpoint == nil {
+		return 0
+	}
+	return r.Checkpoint.LSN
+}
+
+// recoverDir reads dir's checkpoint and replays its segments. Replay
+// stops cleanly at the first frame that fails its length or CRC check:
+// in the final segment that is the torn tail a crash legitimately leaves
+// (truncated away so the live log can append after it); anywhere else it
+// is corruption of acknowledged history and an error, because skipping
+// it would silently splice the log.
+func recoverDir(dir string) (*Recovered, error) {
+	if err := os.Remove(filepath.Join(dir, checkpointTmp)); err != nil && !os.IsNotExist(err) {
+		return nil, err
+	}
+	cp, err := loadCheckpoint(dir)
+	if err != nil {
+		return nil, err
+	}
+	rec := &Recovered{Checkpoint: cp, LSN: 0}
+	if cp != nil {
+		rec.LSN = cp.LSN
+	}
+
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	type seg struct {
+		name  string
+		first uint64
+	}
+	var segs []seg
+	for _, e := range ents {
+		if first, ok := segmentFirstLSN(e.Name()); ok {
+			segs = append(segs, seg{e.Name(), first})
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].first < segs[j].first })
+
+	next := rec.LSN + 1 // LSN the next decoded record must carry
+	for i, s := range segs {
+		if s.first > next {
+			return nil, fmt.Errorf("wal: segment gap in %s: have LSN %d, next segment starts at %d", dir, next-1, s.first)
+		}
+		full := filepath.Join(dir, s.name)
+		data, err := os.ReadFile(full)
+		if err != nil {
+			return nil, err
+		}
+		lsn := s.first
+		valid := 0 // bytes of data forming valid frames
+		torn := false
+		for len(data) > 0 {
+			payload, rest, ok := nextFrame(data)
+			if !ok {
+				torn = true
+				break
+			}
+			var r Record
+			if err := decodeRecord(payload, &r); err != nil {
+				torn = true
+				break
+			}
+			valid += len(data) - len(rest)
+			data = rest
+			// Records below next are already covered by the checkpoint
+			// (a segment straddling the cut); skip them.
+			if lsn >= next {
+				rec.Records = append(rec.Records, r)
+				rec.LSN = lsn
+				next = lsn + 1
+			}
+			lsn++
+		}
+		if torn {
+			if i != len(segs)-1 {
+				return nil, fmt.Errorf("wal: corrupt record mid-log in %s (segment %s is not the last)", dir, s.name)
+			}
+			rec.Torn = true
+			if err := os.Truncate(full, int64(valid)); err != nil {
+				return nil, err
+			}
+			if err := syncDir(dir); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return rec, nil
+}

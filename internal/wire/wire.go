@@ -207,6 +207,13 @@ type Response struct {
 	// on OpReplEntry, the position an OpReplSnapshot reflects (replay
 	// resumes after it). Zero elsewhere.
 	Seq uint64
+	// Vers carries the per-key version timestamps of KVs (parallel
+	// slices; 0 for a never-written key) on OpCommit, OpMultiGet, and
+	// OpROTxn responses. They are the read's version witnesses: a
+	// recorded history merged across a crash uses them to place every
+	// observed value on its version chain even when the writing
+	// operation's own response was lost to the crash.
+	Vers []int64
 }
 
 // Framing limits.
@@ -278,6 +285,7 @@ type requestBox struct {
 type responseBox struct {
 	resp Response
 	kvs  [8]KV
+	vers [8]int64
 }
 
 // DecodeRequest parses a request payload produced by AppendRequest.
@@ -347,6 +355,10 @@ func AppendResponse(buf []byte, r *Response) []byte {
 		buf = appendString(buf, kv.Value)
 	}
 	buf = binary.AppendUvarint(buf, r.Seq)
+	buf = binary.AppendUvarint(buf, uint64(len(r.Vers)))
+	for _, v := range r.Vers {
+		buf = binary.AppendVarint(buf, v)
+	}
 	return buf
 }
 
@@ -383,6 +395,16 @@ func DecodeResponse(payload []byte) (*Response, error) {
 		}
 	}
 	r.Seq = d.uvarint()
+	if n := d.count(); n > 0 {
+		if n <= len(box.vers) {
+			r.Vers = box.vers[:n]
+		} else {
+			r.Vers = make([]int64, n)
+		}
+		for i := range r.Vers {
+			r.Vers[i] = d.varint()
+		}
+	}
 	if err := d.finish(); err != nil {
 		return nil, err
 	}

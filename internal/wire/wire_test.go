@@ -73,6 +73,13 @@ func sampleResponses() []*Response {
 		{ID: 24, Op: OpReplRead, OK: false, Err: "replica lagging"}, // refusal shape
 		{ID: 25, Op: OpReplSnapshot, OK: true, Seq: 128, Version: 5000,
 			Value: string(AppendReplVals(nil, []ReplVal{{"k", "v1", 3}, {"k", "v2", 9}}))},
+		{ID: 26, Op: OpMultiGet, OK: true, KVs: []KV{{"x", "vx"}, {"y", ""}},
+			Vers: []int64{41, 0}}, // per-key version witnesses
+		{ID: 27, Op: OpROTxn, OK: true, Version: 50, Follower: true,
+			KVs: []KV{{"x", "vx"}}, Vers: []int64{-3}},
+		{ID: 28, Op: OpCommit, OK: true, Version: 60,
+			KVs:  []KV{{"a", "1"}, {"b", ""}, {"c", "2"}, {"d", ""}, {"e", "3"}, {"f", ""}, {"g", "4"}, {"h", ""}, {"i", "5"}},
+			Vers: []int64{1, 2, 3, 4, 5, 6, 7, 8, 9}}, // beyond the inline boxes
 	}
 }
 
