@@ -59,6 +59,10 @@ var (
 	clientBase = flag.Int("client-base", 0, "loadgen: offset client IDs and written values by this base; runs merged by checkhist must use disjoint ranges")
 	keyPrefix  = flag.String("key-prefix", "", "loadgen: key namespace (empty = fresh nonce); runs merged by checkhist must share one")
 	tolerate   = flag.Bool("tolerate-errors", false, "loadgen: record failed operations as pending instead of failing the run (crash testing)")
+	applyBatch = flag.Int("apply-batch", 0, "in-process server: max closures per shard apply-loop drain (0 = default 64; negative clamps to 1, the entry-at-a-time pipeline)")
+	admitQPS   = flag.Float64("admit-qps", 0, "in-process server: admission-control throughput cap in ops/s, split over shards; excess arrivals are delayed then rejected with a retry hint (0 = admission disabled)")
+	admitQueue = flag.Int("admit-queue", 0, "in-process server: per-shard admission delay-queue bound; overflow rejects immediately (0 = default 64)")
+	admitDeadl = flag.Duration("admit-deadline", 0, "in-process server: longest a delayed arrival waits for admission before rejection (0 = default 5ms)")
 )
 
 // serverConfig assembles the hosted server's Config from the flags,
@@ -71,6 +75,10 @@ func serverConfig() server.Config {
 		CommitEstimate:  *commitEst,
 		DataDir:         *dataDir,
 		CheckpointBytes: *ckptBytes,
+		ApplyBatchMax:   *applyBatch,
+		AdmitQPS:        *admitQPS,
+		AdmitQueue:      *admitQueue,
+		AdmitDeadline:   *admitDeadl,
 	}
 	warn := func(f string, a ...any) { fmt.Fprintf(os.Stderr, f+"\n", a...) }
 	if err := cfg.ApplyChaosMode(*chaos, warn); err != nil {
@@ -174,6 +182,9 @@ func loadgenCmd() {
 	if res.Errors > 0 {
 		fmt.Fprintf(os.Stderr, "loadgen: %d operations recorded as pending (tolerated errors)\n", res.Errors)
 	}
+	if res.Rejects > 0 {
+		fmt.Fprintf(os.Stderr, "loadgen: %d operations rejected by admission control (shed, absent from the history)\n", res.Rejects)
+	}
 	if *record != "" {
 		if err := history.Save(res.H, *record); err != nil {
 			fmt.Fprintf(os.Stderr, "loadgen: record history: %v\n", err)
@@ -223,6 +234,10 @@ func loadgenCmd() {
 		if srv.Replicas() > 1 {
 			tbl.Add("server ro follower portions", float64(s.ROFollower.Load()))
 			tbl.Add("server ro leader fallbacks", float64(s.ROFallback.Load()))
+		}
+		if *admitQPS > 0 {
+			tbl.Add("server admission rejects", float64(s.AdmitRejects.Load()))
+			tbl.Add("server admission delays", float64(s.AdmitDelayed.Load()))
 		}
 	}
 	emit(tbl)
@@ -377,14 +392,15 @@ func openLoopCmd(target string) {
 	followerROs := 0
 	for _, q := range points {
 		ocfg := loadgen.OpenConfig{
-			Addr:        target,
-			TargetQPS:   q,
-			Duration:    *pointDur,
-			MaxInFlight: *inFlight,
-			Keys:        *keys,
-			ZipfTheta:   *zipfTheta,
-			Conns:       *conns,
-			Seed:        *seed,
+			Addr:           target,
+			TargetQPS:      q,
+			Duration:       *pointDur,
+			MaxInFlight:    *inFlight,
+			Keys:           *keys,
+			ZipfTheta:      *zipfTheta,
+			Conns:          *conns,
+			Seed:           *seed,
+			TolerateErrors: *tolerate,
 			// KeyPrefix left empty: each point gets a fresh nonce namespace
 			// so its checked history never reads a prior point's writes.
 		}
@@ -396,12 +412,22 @@ func openLoopCmd(target string) {
 			os.Exit(1)
 		}
 		followerROs += res.FollowerROs
+		// The sweep table is also where the accounting invariant is
+		// enforced: a point whose buckets do not sum back to its offered
+		// arrivals is reporting a curve over silently leaked load.
+		if res.Offered != res.Ops+res.Drops+res.Errors+res.Rejects {
+			fmt.Fprintf(os.Stderr, "loadgen: point %.0f qps leaks arrivals: offered=%d ops=%d drops=%d errors=%d rejects=%d\n",
+				q, res.Offered, res.Ops, res.Drops, res.Errors, res.Rejects)
+			os.Exit(1)
+		}
 		rows = append(rows, sweepPoint{
 			TargetQPS:   q,
 			AchievedQPS: res.Throughput(),
 			Offered:     res.Offered,
 			Ops:         res.Ops,
 			Drops:       res.Drops,
+			Errors:      res.Errors,
+			Rejects:     res.Rejects,
 			P50us:       res.Latency.Percentile(50),
 			P95us:       res.Latency.Percentile(95),
 			P99us:       res.Latency.Percentile(99),
@@ -409,6 +435,15 @@ func openLoopCmd(target string) {
 			RWP99us:     res.RWLatency.Percentile(99),
 		})
 		if !*noCheck {
+			if res.Errors > 0 {
+				// Tolerated errors leave pending writes whose commit
+				// timestamps died with their connections; seat the observed
+				// ones before the checker sorts version chains.
+				if err := history.RepairPendingVersions(res.H); err != nil {
+					fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+					os.Exit(1)
+				}
+			}
 			fmt.Fprintf(os.Stderr, "checking %d-op history against RSS...\n", res.H.Len())
 			if err := history.Check(res.H, core.RSS); err != nil {
 				fmt.Fprintf(os.Stderr, "VIOLATION at %.0f qps: %v\n", q, err)
@@ -423,11 +458,12 @@ func openLoopCmd(target string) {
 
 	tbl := &stats.Table{
 		Title:   fmt.Sprintf("open-loop sweep on %s (latency us from scheduled arrival)", target),
-		Columns: []string{"achieved", "offered", "ops", "drops", "p50", "p95", "p99", "ro p99", "rw p99"},
+		Columns: []string{"achieved", "offered", "ops", "drops", "errors", "rejects", "p50", "p95", "p99", "ro p99", "rw p99"},
 	}
 	for _, r := range rows {
 		tbl.Add(fmt.Sprintf("%.0f qps", r.TargetQPS),
 			r.AchievedQPS, float64(r.Offered), float64(r.Ops), float64(r.Drops),
+			float64(r.Errors), float64(r.Rejects),
 			r.P50us, r.P95us, r.P99us, r.ROP99us, r.RWP99us)
 	}
 	emit(tbl)

@@ -65,6 +65,8 @@ type sweepPoint struct {
 	Offered     int     `json:"offered"`
 	Ops         int     `json:"ops"`
 	Drops       int     `json:"drops"`
+	Errors      int     `json:"errors"`
+	Rejects     int     `json:"rejects"`
 	P50us       float64 `json:"p50_us"`
 	P95us       float64 `json:"p95_us"`
 	P99us       float64 `json:"p99_us"`
@@ -236,7 +238,7 @@ func metricsCmd() {
 		failed := false
 		for _, name := range strings.Split(*requireHist, ",") {
 			h, ok := obs.FindHist(doc.Merged, name)
-			if !ok || h.Count == 0 {
+			if !ok || !histNonEmpty(h) {
 				fmt.Fprintf(os.Stderr, "metrics: required histogram %q is empty in the merged view\n", name)
 				failed = true
 			}
@@ -246,4 +248,21 @@ func metricsCmd() {
 		}
 		fmt.Printf("metrics: all required histograms non-empty: %s\n", *requireHist)
 	}
+}
+
+// histNonEmpty reports whether a histogram actually recorded samples. The
+// -require gate must not be satisfiable by a histogram that merely exists:
+// the transmitted Count and the bucket occupancies travel as separate
+// fields, so a registry bug (or a merge dropping buckets) could present a
+// nonzero Count over all-zero buckets — or buckets without a Count — and a
+// gate checking either alone would pass vacuously. Demand both.
+func histNonEmpty(h wire.MetricHist) bool {
+	if h.Count == 0 {
+		return false
+	}
+	var n uint64
+	for _, b := range h.Buckets {
+		n += b.N
+	}
+	return n > 0
 }

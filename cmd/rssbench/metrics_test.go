@@ -1,0 +1,34 @@
+package main
+
+import (
+	"testing"
+
+	"rsskv/internal/wire"
+)
+
+// TestHistNonEmpty pins the -require gate's emptiness test: a histogram
+// satisfies the gate only when it carries a nonzero count AND nonzero
+// bucket occupancy. The all-zero-buckets case is the regression — a gate
+// that accepted it would pass vacuously on instrumentation that exists
+// but never fired.
+func TestHistNonEmpty(t *testing.T) {
+	cases := []struct {
+		name string
+		h    wire.MetricHist
+		want bool
+	}{
+		{"empty", wire.MetricHist{Name: "h"}, false},
+		{"count without buckets", wire.MetricHist{Name: "h", Count: 3}, false},
+		{"all-zero buckets", wire.MetricHist{Name: "h", Count: 3,
+			Buckets: []wire.MetricBucket{{Idx: 4, N: 0}, {Idx: 9, N: 0}}}, false},
+		{"buckets without count", wire.MetricHist{Name: "h",
+			Buckets: []wire.MetricBucket{{Idx: 4, N: 2}}}, false},
+		{"recorded samples", wire.MetricHist{Name: "h", Count: 2,
+			Buckets: []wire.MetricBucket{{Idx: 4, N: 2}}}, true},
+	}
+	for _, c := range cases {
+		if got := histNonEmpty(c.h); got != c.want {
+			t.Errorf("%s: histNonEmpty = %v, want %v", c.name, got, c.want)
+		}
+	}
+}

@@ -80,7 +80,10 @@ var (
 	commitEst  = flag.Duration("commit-est", 0, "advertised earliest-end-time estimate t_ee for commits; >0 lets snapshot reads skip concurrent preparers (§5) at the cost of delaying commit responses until the estimate passes")
 	chaos      = flag.String("chaos", "", "fault injection: stale-reads | delayed-applies | dropped-lock-release | lost-commit-wait (recorded histories violate RSS)")
 	poLag      = flag.Duration("po-lag", 0, "PO-serializability ablation: serve snapshot reads this far behind real time, session floor preserved (recorded cross-service histories violate RSS; the fences-off composition twin)")
-	applyBatch = flag.Int("apply-batch", 0, "kv mode: max closures per shard apply-loop drain / replication entries per batched append (0 = default 64; 1 restores the entry-at-a-time pipeline)")
+	applyBatch = flag.Int("apply-batch", 0, "kv mode: max closures per shard apply-loop drain / replication entries per batched append (0 = default 64; negative clamps to 1, the entry-at-a-time pipeline)")
+	admitQPS   = flag.Float64("admit-qps", 0, "kv mode: admission-control throughput cap in ops/s, split over shards; excess arrivals are delayed then rejected with a retry hint (0 = admission disabled)")
+	admitQueue = flag.Int("admit-queue", 0, "kv mode: per-shard admission delay-queue bound; overflow rejects immediately (0 = default 64)")
+	admitDeadl = flag.Duration("admit-deadline", 0, "kv mode: longest a delayed arrival waits for admission before rejection (0 = default 5ms)")
 	dataDir    = flag.String("data-dir", "", "kv mode: write per-shard WALs and checkpoints under this directory and recover from them on restart (empty = no durability)")
 	ckptBytes  = flag.Int64("ckpt-bytes", 0, "kv mode: checkpoint after this many WAL bytes per shard (0 = default 4 MiB; needs -data-dir)")
 	slowOp     = flag.Duration("slowop", 0, "kv mode: log any transaction slower than this with its per-stage timeline (0 disables)")
@@ -210,6 +213,9 @@ func main() {
 		POReadLag:        *poLag,
 		AllowReplicaJoin: *acceptRepl,
 		ApplyBatchMax:    *applyBatch,
+		AdmitQPS:         *admitQPS,
+		AdmitQueue:       *admitQueue,
+		AdmitDeadline:    *admitDeadl,
 		SlowOpThreshold:  *slowOp,
 		DataDir:          *dataDir,
 		CheckpointBytes:  *ckptBytes,
@@ -256,6 +262,10 @@ func main() {
 					s.ROFollower.Load(), s.ROFollowerChan.Load(), s.ROFollowerSock.Load(),
 					s.ROFallback.Load(), s.ReplicaJoins.Load(), s.ReplSnapshots.Load(),
 					srv.ReplicationLag())
+			}
+			if *admitQPS > 0 {
+				line += fmt.Sprintf(" admitrejects=%d admitdelays=%d",
+					s.AdmitRejects.Load(), s.AdmitDelayed.Load())
 			}
 			log.Printf("rsskvd: %s", line)
 		case sig := <-stop:

@@ -29,9 +29,12 @@
 package kvclient
 
 import (
+	"errors"
 	"fmt"
+	"math/rand"
 	"sort"
 	"sync/atomic"
+	"time"
 
 	"rsskv/internal/core"
 	"rsskv/internal/netio"
@@ -41,6 +44,41 @@ import (
 // ErrClosed reports an operation on a closed client (netio's sentinel, so
 // errors.Is matches under either name).
 var ErrClosed = netio.ErrClosed
+
+// ErrOverloaded reports that the server's admission control rejected the
+// operation on every attempt: the client backed off (honoring the
+// server's retry-after hint) and retried up to overloadMaxAttempts times
+// before giving up. A rejected operation never executed — the server
+// touched no state for it — so the caller may safely retry later or shed
+// the work. Match with errors.Is.
+var ErrOverloaded = errors.New("kvclient: server overloaded")
+
+// Overload retry policy: exponential backoff from overloadBackoffBase,
+// floored by the server's RetryAfterUS hint, jittered to half its value
+// to spread synchronized retries, capped at overloadBackoffCap per sleep
+// and overloadMaxAttempts total.
+const (
+	overloadBackoffBase = 500 * time.Microsecond
+	overloadBackoffCap  = 50 * time.Millisecond
+	overloadMaxAttempts = 32
+)
+
+// overloadDelay computes the sleep before retrying an Overloaded
+// response: the larger of the exponential schedule and the server's hint,
+// capped, with uniform jitter in [d/2, d].
+func overloadDelay(resp *wire.Response, attempt int) time.Duration {
+	if attempt > 10 {
+		attempt = 10 // 500µs << 10 is already past the cap
+	}
+	d := overloadBackoffBase << attempt
+	if hint := time.Duration(resp.RetryAfterUS) * time.Microsecond; hint > d {
+		d = hint
+	}
+	if d > overloadBackoffCap {
+		d = overloadBackoffCap
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+}
 
 // Options parameterize Dial.
 type Options struct {
@@ -81,16 +119,28 @@ func (c *Client) Do(req *wire.Request) (*wire.Response, error) {
 	return c.pool.Call(req)
 }
 
-// do is Do plus server-error surfacing for the typed helpers.
+// do is Do plus server-error surfacing for the typed helpers. Overloaded
+// responses — admission-control rejections, which executed nothing — are
+// retried here under the backoff policy, so callers only ever see
+// ErrOverloaded once the policy is exhausted.
 func (c *Client) do(req *wire.Request) (*wire.Response, error) {
-	resp, err := c.Do(req)
-	if err != nil {
-		return nil, err
+	for attempt := 0; ; attempt++ {
+		resp, err := c.Do(req)
+		if err != nil {
+			return nil, err
+		}
+		if resp.Overloaded {
+			if attempt+1 >= overloadMaxAttempts {
+				return nil, fmt.Errorf("kvclient: %v: %w", req.Op, ErrOverloaded)
+			}
+			time.Sleep(overloadDelay(resp, attempt))
+			continue
+		}
+		if !resp.OK {
+			return nil, fmt.Errorf("kvclient: %v: %s", req.Op, resp.Err)
+		}
+		return resp, nil
 	}
-	if !resp.OK {
-		return nil, fmt.Errorf("kvclient: %v: %s", req.Op, resp.Err)
-	}
-	return resp, nil
 }
 
 // TMin returns the session's minimum read timestamp: the floor below
@@ -285,8 +335,11 @@ func (c *Client) RealTimeFence() core.RealTimeFence {
 
 // retry re-sends a transactional request until it is not wounded, reusing
 // the server-assigned transaction ID (and therefore priority) across
-// attempts.
+// attempts. Wounds retry immediately (the wound-wait age makes the loop
+// livelock-free); Overloaded rejections — which executed nothing — back
+// off under the overload policy and count against its attempt budget.
 func (c *Client) retry(req *wire.Request) (*wire.Response, error) {
+	overloads := 0
 	for {
 		resp, err := c.Do(req)
 		if err != nil {
@@ -294,6 +347,13 @@ func (c *Client) retry(req *wire.Request) (*wire.Response, error) {
 		}
 		if resp.OK {
 			return resp, nil
+		}
+		if resp.Overloaded {
+			if overloads++; overloads >= overloadMaxAttempts {
+				return nil, fmt.Errorf("kvclient: %v: %w", req.Op, ErrOverloaded)
+			}
+			time.Sleep(overloadDelay(resp, overloads-1))
+			continue
 		}
 		if resp.Err != wire.ErrMsgAborted {
 			return nil, fmt.Errorf("kvclient: %v: %s", req.Op, resp.Err)

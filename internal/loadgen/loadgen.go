@@ -15,6 +15,7 @@
 package loadgen
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -140,6 +141,12 @@ type Result struct {
 	// Errors counts operations recorded as pending under
 	// Config.TolerateErrors (each also ends its client's stream).
 	Errors int
+	// Rejects counts operations the server's admission control refused
+	// after the client exhausted its backoff. A reject is not an error
+	// and not a drop: the server touched no state for it (it is absent
+	// from the history entirely, unlike a pending op) and the client's
+	// stream continues.
+	Rejects int
 }
 
 // Throughput returns completed operations per wall-clock second.
@@ -168,6 +175,9 @@ const (
 type clientRun struct {
 	ops   []*core.Op
 	kinds []opKind
+	// rejects counts admission-control refusals: operations the server
+	// provably never executed, excluded from the history.
+	rejects int
 }
 
 // Run drives cfg's workload and returns the recorded history. The caller
@@ -196,6 +206,7 @@ func Run(cfg Config) (*Result, error) {
 	res := &Result{H: &history.History{}, Elapsed: elapsed}
 	var id int64
 	for _, cr := range perClient {
+		res.Rejects += cr.rejects
 		for i, op := range cr.ops {
 			id++
 			op.ID = id
@@ -338,6 +349,14 @@ func runClient(cfg Config, c int, start time.Time) (clientRun, error) {
 			op.Version, err = cl.Put(op.Key, op.Value)
 		}
 		if err != nil {
+			if errors.Is(err, kvclient.ErrOverloaded) {
+				// Admission rejection: unlike a connection error, the server
+				// guarantees it executed nothing for this op, so it is
+				// dropped from the history entirely (no pending record to
+				// constrain the checker) and the stream continues.
+				cr.rejects++
+				continue
+			}
 			if cfg.TolerateErrors {
 				// Recorded pending: invoked, never answered. The crash may
 				// or may not have let it take effect — precisely what the

@@ -15,6 +15,7 @@
 package loadgen
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -61,6 +62,12 @@ type OpenConfig struct {
 	// it, so two runs with the same seed offer the identical operation
 	// sequence at the identical scheduled instants.
 	Seed int64
+	// TolerateErrors records a failed operation as pending — invoked,
+	// never answered — instead of failing the run (crash testing). The
+	// worker's stream ends at its first error (its connection is dead);
+	// arrivals its slot drains afterwards count as Errors, never
+	// silently vanish.
+	TolerateErrors bool
 }
 
 // Defaults fills zero fields with sensible values.
@@ -94,8 +101,17 @@ type OpenResult struct {
 	H *history.History
 	// Offered is the number of scheduled arrivals; Ops the number that
 	// completed; Drops the arrivals that found no idle in-flight slot.
-	// On an error-free run Offered == Ops + Drops.
-	Offered, Ops, Drops int
+	// Errors counts arrivals that reached a worker but produced no
+	// response: operations that failed (recorded pending under
+	// TolerateErrors) and arrivals drained by a slot whose stream already
+	// died. Rejects counts server-side admission refusals — shed load the
+	// server provably never executed, absent from the history. Every
+	// arrival lands in exactly one bucket:
+	//
+	//	Offered == Ops + Drops + Errors + Rejects
+	//
+	// always, not just on error-free runs.
+	Offered, Ops, Drops, Errors, Rejects int
 	// Elapsed is the wall-clock duration (arrival window + drain).
 	Elapsed time.Duration
 	// Latency samples every completed operation from its *scheduled*
@@ -118,12 +134,16 @@ func (r *OpenResult) Throughput() float64 {
 
 // DropFrac returns the fraction of offered arrivals that were dropped —
 // the open-loop overload signal (a closed loop would silently slow its
-// offered rate instead).
+// offered rate instead). The denominator is the sum of the accounting
+// buckets rather than the raw Offered counter: the two are equal when the
+// invariant holds, and summing the buckets keeps the fraction honest even
+// if a future accounting bug reopens the gap the invariant closes.
 func (r *OpenResult) DropFrac() float64 {
-	if r.Offered == 0 {
+	total := r.Ops + r.Drops + r.Errors + r.Rejects
+	if total == 0 {
 		return 0
 	}
-	return float64(r.Drops) / float64(r.Offered)
+	return float64(r.Drops) / float64(total)
 }
 
 // openGen pre-draws the deterministic transaction stream: Retwis shapes
@@ -189,6 +209,12 @@ type openWorker struct {
 	last sim.Time
 	nval int
 	err  error
+	// errors counts arrivals this slot consumed without producing a
+	// response: the op that killed the stream (recorded pending under
+	// TolerateErrors) plus everything drained after it. Rejects live in
+	// cr.rejects (shared with the closed loop).
+	errors   int
+	tolerate bool
 }
 
 // now returns a per-process strictly increasing monotonic instant (see
@@ -228,6 +254,16 @@ func (w *openWorker) exec(job openJob, start time.Time) {
 		op.Type, kind = core.RWTxn, kindRW
 		txn, e := w.cl.Begin()
 		if e != nil {
+			// Failed before anything reached the server's lock tables; the
+			// arrival still must land in a bucket (the invariant admits no
+			// silent consumption), so it counts as this stream's fatal error.
+			w.errors++
+			if w.tolerate {
+				op.Invoke = w.now(start)
+				w.cr.ops = append(w.cr.ops, op)
+				w.cr.kinds = append(w.cr.kinds, kind)
+				w.lat = append(w.lat, 0)
+			}
 			w.err = e
 			return
 		}
@@ -242,6 +278,22 @@ func (w *openWorker) exec(job openJob, start time.Time) {
 		op.Reads, op.Version, err = txn.Commit()
 	}
 	if err != nil {
+		if errors.Is(err, kvclient.ErrOverloaded) {
+			// Admission rejection: the server guarantees zero footprint, so
+			// the op is absent from the history (nothing to constrain the
+			// checker) and the stream continues — shed load, not a failure.
+			w.cr.rejects++
+			return
+		}
+		w.errors++
+		if w.tolerate {
+			// Recorded pending: invoked, never answered (see runClient).
+			// The zero latency placeholder keeps lat parallel to cr.ops;
+			// pending ops never reach the percentile samples.
+			w.cr.ops = append(w.cr.ops, op)
+			w.cr.kinds = append(w.cr.kinds, kind)
+			w.lat = append(w.lat, 0)
+		}
 		w.err = err
 		return
 	}
@@ -271,7 +323,7 @@ func RunOpen(cfg OpenConfig) (*OpenResult, error) {
 			}
 			return nil, err
 		}
-		workers[i] = &openWorker{id: i, cl: cl}
+		workers[i] = &openWorker{id: i, cl: cl, tolerate: cfg.TolerateErrors}
 	}
 
 	// jobs is unbuffered on purpose: a send succeeds only when a worker
@@ -288,7 +340,12 @@ func RunOpen(cfg OpenConfig) (*OpenResult, error) {
 			defer w.cl.Close()
 			for job := range jobs {
 				if w.err != nil {
-					continue // keep draining so the dispatcher never wedges
+					// Keep draining so the dispatcher never wedges — but
+					// count each drained arrival: it was offered and will
+					// never complete, and the accounting invariant admits
+					// no silent consumption.
+					w.errors++
+					continue
 				}
 				w.exec(job, start)
 			}
@@ -323,10 +380,16 @@ func RunOpen(cfg OpenConfig) (*OpenResult, error) {
 
 	var id int64
 	for _, w := range workers {
+		res.Errors += w.errors
+		res.Rejects += w.cr.rejects
 		for i, op := range w.cr.ops {
 			id++
 			op.ID = id
 			res.H.Add(op)
+			if op.Respond == core.Pending {
+				continue // tolerated error, counted in Errors above
+			}
+			res.Ops++
 			lat := w.lat[i]
 			res.Latency.AddFloat(lat)
 			switch w.cr.kinds[i] {
@@ -339,10 +402,9 @@ func RunOpen(cfg OpenConfig) (*OpenResult, error) {
 				res.RWLatency.AddFloat(lat)
 			}
 		}
-		res.Ops += len(w.cr.ops)
 	}
 	for _, w := range workers {
-		if w.err != nil {
+		if w.err != nil && !cfg.TolerateErrors {
 			return res, fmt.Errorf("worker %d: %w", w.id, w.err)
 		}
 	}

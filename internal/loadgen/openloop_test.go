@@ -81,8 +81,12 @@ func TestRunOpenIsRSS(t *testing.T) {
 	if res.Ops == 0 {
 		t.Fatal("no operations completed")
 	}
-	if res.Offered != res.Ops+res.Drops {
-		t.Fatalf("arrival accounting leak: offered=%d ops=%d drops=%d", res.Offered, res.Ops, res.Drops)
+	if res.Offered != res.Ops+res.Drops+res.Errors+res.Rejects {
+		t.Fatalf("arrival accounting leak: offered=%d ops=%d drops=%d errors=%d rejects=%d",
+			res.Offered, res.Ops, res.Drops, res.Errors, res.Rejects)
+	}
+	if res.Errors != 0 || res.Rejects != 0 {
+		t.Fatalf("healthy unadmitted run saw errors=%d rejects=%d", res.Errors, res.Rejects)
 	}
 	if res.Latency.N() != res.Ops {
 		t.Fatalf("latency samples %d != completed ops %d", res.Latency.N(), res.Ops)
@@ -92,5 +96,91 @@ func TestRunOpenIsRSS(t *testing.T) {
 	}
 	if err := history.Check(res.H, core.RSS); err != nil {
 		t.Fatalf("open-loop history rejected: %v", err)
+	}
+}
+
+// TestRunOpenOverloadShedsAndStaysRSS drives the open loop far past an
+// admission-controlled server's configured budget and pins the graceful
+// overload contract end to end: the server sheds (client-visible rejects
+// land in the Rejects bucket, never in Ops or Errors), the arrival
+// accounting stays exact, the latency of what did complete stays bounded
+// by the client's capped backoff rather than collapsing into an unbounded
+// queue, and the recorded history — which contains only admitted
+// operations, because a reject never touches shard state — is still RSS.
+func TestRunOpenOverloadShedsAndStaysRSS(t *testing.T) {
+	srv := startServer(t, server.Config{
+		Shards:        2,
+		AdmitQPS:      100,
+		AdmitQueue:    8,
+		AdmitDeadline: 2 * time.Millisecond,
+	})
+	res, err := RunOpen(OpenConfig{
+		Addr:        srv.Addr(),
+		TargetQPS:   1500, // ~15x the admission budget: well past the knee
+		Duration:    3 * time.Second,
+		MaxInFlight: 64,
+		Keys:        64,
+		Seed:        11,
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if res.Rejects == 0 {
+		t.Fatal("15x overload against a 100 qps admission budget produced no rejects")
+	}
+	if res.Ops == 0 {
+		t.Fatal("no operations admitted: the gate shed everything, not just the excess")
+	}
+	if res.Offered != res.Ops+res.Drops+res.Errors+res.Rejects {
+		t.Fatalf("arrival accounting leak under shedding: offered=%d ops=%d drops=%d errors=%d rejects=%d",
+			res.Offered, res.Ops, res.Drops, res.Errors, res.Rejects)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("rejects misclassified: %d errors on a healthy overloaded server", res.Errors)
+	}
+	// Completed-op p99 is bounded by the retry policy (32 capped backoff
+	// sleeps ≈ 1.3s worst case plus service time), not by a queue that
+	// grows with the overload.
+	if p99us := res.Latency.Percentile(99); p99us > 2.5e6 {
+		t.Fatalf("p99 %.0fus under overload: latency is tracking the backlog, not the backoff cap", p99us)
+	}
+	if err := history.Check(res.H, core.RSS); err != nil {
+		t.Fatalf("overload history rejected: %v", err)
+	}
+}
+
+// TestRunOpenAccountingSurvivesErrors pins the invariant the Errors bucket
+// exists for: when worker streams die mid-run (the server closes under
+// them) with TolerateErrors set, every offered arrival still lands in
+// exactly one bucket — the failed ops and the arrivals drained by dead
+// slots are Errors, not silent leaks that break Offered == Ops + Drops +
+// Errors + Rejects.
+func TestRunOpenAccountingSurvivesErrors(t *testing.T) {
+	srv := startServer(t, server.Config{Shards: 2})
+	go func() {
+		time.Sleep(400 * time.Millisecond)
+		srv.Close()
+	}()
+	res, err := RunOpen(OpenConfig{
+		Addr:           srv.Addr(),
+		TargetQPS:      500,
+		Duration:       1200 * time.Millisecond,
+		MaxInFlight:    8,
+		Keys:           64,
+		Seed:           5,
+		TolerateErrors: true,
+	})
+	if err != nil {
+		t.Fatalf("tolerated run failed: %v", err)
+	}
+	if res.Errors == 0 {
+		t.Fatal("server closed mid-run but no errors were counted")
+	}
+	if res.Offered != res.Ops+res.Drops+res.Errors+res.Rejects {
+		t.Fatalf("arrival accounting leak under errors: offered=%d ops=%d drops=%d errors=%d rejects=%d",
+			res.Offered, res.Ops, res.Drops, res.Errors, res.Rejects)
+	}
+	if got := res.DropFrac(); got < 0 || got > 1 {
+		t.Fatalf("DropFrac out of range: %v", got)
 	}
 }

@@ -36,6 +36,11 @@ import (
 //	wal.checkpoint_dur  hist  checkpoint write+install duration
 //	wal.fsyncs          ctr   fsyncs paid, summed over shard logs
 //	wal.bytes           ctr   log bytes synced, summed over shard logs
+//	admission.queue_wait hist delay-queue park duration, admitted or not
+//	                          (admission enabled only)
+//	admission.rejects   ctr   operations refused by admission control
+//	admission.delayed   ctr   operations that parked in a delay queue
+//	admission.tokens    gauge bucket level summed over shard gates
 //	slow_ops            ctr   requests over Config.SlowOpThreshold
 //	repl.safe_time_age_ns  gauge  freshest follower t_safe lag, max/shards
 //	apply.queue_depth_now  gauge  apply channel depth summed over shards
@@ -60,6 +65,7 @@ type serverMetrics struct {
 	walBatch      *obs.Histogram
 	ckptBytes     *obs.Histogram
 	ckptDur       *obs.Histogram
+	admitWait     *obs.Histogram
 
 	slow *obs.SlowLog
 }
@@ -90,6 +96,7 @@ func newServerMetrics(srv *Server) *serverMetrics {
 		walBatch:      r.Hist("wal.batch_bytes"),
 		ckptBytes:     r.Hist("wal.checkpoint_bytes"),
 		ckptDur:       r.Hist("wal.checkpoint_dur"),
+		admitWait:     r.Hist("admission.queue_wait"),
 		slow:          obs.NewSlowLog(srv.cfg.SlowOpThreshold, logf),
 	}
 	st := &srv.stats
@@ -133,6 +140,17 @@ func newServerMetrics(srv *Server) *serverMetrics {
 		}
 		return n
 	})
+	r.CounterFunc("admission.rejects", st.AdmitRejects.Load)
+	r.CounterFunc("admission.delayed", st.AdmitDelayed.Load)
+	if srv.admitting {
+		r.Gauge("admission.tokens", func() int64 {
+			var n int64
+			for _, s := range srv.shards {
+				n += s.gate.tokenLevel()
+			}
+			return n
+		})
+	}
 	r.CounterFunc("slow_ops", m.slow.Slow)
 	r.Gauge("repl.safe_time_age_ns", func() int64 { return int64(srv.ReplicationLag()) })
 	r.Gauge("apply.queue_depth_now", func() int64 {

@@ -274,6 +274,17 @@ func (srv *Server) followerRead(s *shard, f replication.Transport, keys []string
 // renders the response. Runs on its own goroutine per request, like the
 // 2PC coordinator.
 func (srv *Server) readOnly(req *wire.Request, cw *connWriter) {
+	// Admission before any snapshot state is touched: a rejected read
+	// draws no t_read, advances no maxTS, subscribes to no prepared
+	// transaction — it never happened. Charged to the bottleneck shard
+	// of its key set.
+	if g := srv.admitFor(req.Keys, nil, nil); g != nil {
+		if ok, retryUS := g.admit(); !ok {
+			cw.Send(overloadResponse(req, retryUS))
+			return
+		}
+		defer g.refund() // the read ran: refund its completion fraction
+	}
 	start := time.Now()
 	tmin := truetime.Timestamp(req.TMin)
 	chaos := srv.cfg.ChaosStaleReads

@@ -2,6 +2,7 @@ package server
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -31,6 +32,23 @@ type Config struct {
 	// entry-at-a-time appends). Batching never delays an unloaded shard:
 	// the first receive blocks, the rest are opportunistic.
 	ApplyBatchMax int
+	// AdmitQPS > 0 enables admission control: a per-shard token-bucket
+	// gate (the configured rate split evenly over shards, topped up by
+	// completed applies) that classifies every RW transaction, snapshot
+	// read, and single-key operation as admit, delay, or reject before it
+	// touches any shard state (see admission.go). Live overload signals —
+	// apply-queue depth and WAL fsync pressure — stall the gate even with
+	// tokens in hand. 0 (the default) disables the gate entirely: every
+	// request is admitted, the pre-admission server.
+	AdmitQPS float64
+	// AdmitQueue bounds each shard gate's delay queue (default 64): an
+	// arrival that cannot be admitted immediately parks here in FIFO
+	// order; overflow is an immediate rejection.
+	AdmitQueue int
+	// AdmitDeadline bounds how long a delayed arrival waits for a token
+	// before it is rejected (default 5ms) — the most queueing latency
+	// admission control itself may add to an admitted operation.
+	AdmitDeadline time.Duration
 	// Epsilon is the TrueTime uncertainty bound ε of the server's wall
 	// clock. A single-host server is its own time authority and can run
 	// with 0 (the default); a deployment trusting an external sync bound
@@ -206,6 +224,11 @@ type Stats struct {
 	ROFollower, ROFallback                     atomic.Int64
 	ROFollowerChan, ROFollowerSock             atomic.Int64
 	ReplicaJoins, ReplSnapshots                atomic.Int64
+	// AdmitRejects counts operations refused by admission control (queue
+	// overflow or deadline expiry — each answered Overloaded, zero state
+	// touched); AdmitDelayed counts operations that parked in a gate's
+	// delay queue before their outcome (admitted or rejected).
+	AdmitRejects, AdmitDelayed atomic.Int64
 }
 
 // Server is a sharded key-value server speaking the wire protocol.
@@ -220,6 +243,10 @@ type Server struct {
 	// New before the shard loops start, so loop instrumentation never
 	// races construction.
 	metrics *serverMetrics
+	// admitting is Config.AdmitQPS > 0: the serving paths consult the
+	// per-shard admission gates (see admission.go). Set before the gates
+	// and metrics are built, immutable after Open.
+	admitting bool
 
 	// roPool recycles snapshot-read fan-out scratch (see roScratch);
 	// txnPool recycles the RW coordinator's per-transaction plan (see
@@ -286,8 +313,21 @@ func Open(cfg Config) (*Server, error) {
 	if cfg.Replicas <= 0 {
 		cfg.Replicas = 1
 	}
-	if cfg.ApplyBatchMax <= 0 {
+	// Clamp at config time so no value of -apply-batch can reach the
+	// shard drain loop unusable: 0 means "use the default", but an
+	// explicit negative is an operator asking for the smallest batch, not
+	// the largest — clamp it to 1 (the entry-at-a-time pipeline), never
+	// silently promote it to 64.
+	if cfg.ApplyBatchMax < 0 {
+		cfg.ApplyBatchMax = 1
+	} else if cfg.ApplyBatchMax == 0 {
 		cfg.ApplyBatchMax = 64
+	}
+	if cfg.AdmitQueue <= 0 {
+		cfg.AdmitQueue = 64
+	}
+	if cfg.AdmitDeadline <= 0 {
+		cfg.AdmitDeadline = 5 * time.Millisecond
 	}
 	if cfg.ReplicaHeartbeat <= 0 {
 		cfg.ReplicaHeartbeat = 250 * time.Microsecond
@@ -326,6 +366,12 @@ func Open(cfg Config) (*Server, error) {
 			}
 		}
 		srv.shards = append(srv.shards, s)
+	}
+	// Gates before metrics: the admission.tokens gauge reads them.
+	if srv.admitting = cfg.AdmitQPS > 0; srv.admitting {
+		for _, s := range srv.shards {
+			s.gate = newAdmitGate(s)
+		}
 	}
 	srv.metrics = newServerMetrics(srv)
 	if cfg.DataDir != "" {
@@ -637,14 +683,22 @@ func (srv *Server) dispatch(req *wire.Request, cw *connWriter, pending *sync.Wai
 	switch req.Op {
 	case wire.OpGet:
 		s := srv.shardFor(req.Key)
+		if !srv.admitFast(s, req, cw, pending) {
+			return
+		}
+		done := s.admitDone(pending.Done)
 		pending.Add(1)
-		if !s.run(func() { s.get(req, cw, pending.Done) }) {
+		if !s.run(func() { s.get(req, cw, done) }) {
 			pending.Done()
 		}
 	case wire.OpPut:
 		s := srv.shardFor(req.Key)
+		if !srv.admitFast(s, req, cw, pending) {
+			return
+		}
+		done := s.admitDone(pending.Done)
 		pending.Add(1)
-		if !s.run(func() { s.put(req, cw, pending.Done) }) {
+		if !s.run(func() { s.put(req, cw, done) }) {
 			pending.Done()
 		}
 	case wire.OpBeginTxn:
@@ -710,7 +764,15 @@ func (srv *Server) commit(req *wire.Request, cw *connWriter) {
 	}
 	reads, readVers, version, err := srv.runTxn(txnID, readKeys, writeKVs)
 	resp := &wire.Response{ID: req.ID, Op: req.Op, TxnID: txnID}
-	if err != nil {
+	var ovl *overloadError
+	if errors.As(err, &ovl) {
+		// Admission rejection: a first-class outcome, not a generic error
+		// — the Overloaded flag and retry hint let the client distinguish
+		// shed load (back off) from a wounded transaction (retry now).
+		resp.Err = wire.ErrMsgOverloaded
+		resp.Overloaded = true
+		resp.RetryAfterUS = ovl.retryAfterUS
+	} else if err != nil {
 		resp.Err = err.Error()
 	} else {
 		resp.OK = true

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"fmt"
+	"runtime"
 	"strconv"
 	"sync"
 	"testing"
@@ -257,6 +258,68 @@ func TestCloseUnblocks(t *testing.T) {
 	srv.Close()
 	if _, _, err := cl.Get("k"); err == nil {
 		t.Error("get after server close succeeded, want error")
+	}
+}
+
+// TestCloseWithInflightDurableWaits drives a clean Close through a
+// durable server while many clients are mid-operation — so at the instant
+// the shard loops are told to quit, operations are parked in
+// wal.WaitDurable. Every one of them must be released (the graceful path
+// syncs the tail batch, then fails the uncovered waits with ErrShutdown,
+// mirroring the crash path's release) rather than stranded: the test
+// fails if any client is still blocked after Close returns, or if the
+// teardown leaks goroutines.
+func TestCloseWithInflightDurableWaits(t *testing.T) {
+	before := runtime.NumGoroutine()
+	srv := server.New(server.Config{Shards: 2, DataDir: t.TempDir()})
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	cl, err := kvclient.Dial(srv.Addr(), kvclient.Options{Conns: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Writers hammer until the close reaches them; every iteration's put
+	// waits on WAL durability, so some are always parked in WaitDurable.
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; ; j++ {
+				if _, err := cl.Put(fmt.Sprintf("inflight-%d-%d", i, j%4), "v"); err != nil {
+					return
+				}
+			}
+		}(i)
+	}
+	time.Sleep(100 * time.Millisecond)
+	srv.Close()
+
+	drained := make(chan struct{})
+	go func() { wg.Wait(); close(drained) }()
+	select {
+	case <-drained:
+	case <-time.After(5 * time.Second):
+		t.Fatal("clients still blocked after Close: a durability waiter was stranded")
+	}
+	cl.Close()
+
+	// Teardown is asynchronous at the edges (connection readers observing
+	// EOF); poll briefly before declaring a leak.
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= before+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutine leak after Close: %d before, %d after\n%s",
+				before, n, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(20 * time.Millisecond)
 	}
 }
 

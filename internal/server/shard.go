@@ -136,6 +136,12 @@ type shard struct {
 	// ckptBusy guards the single in-flight off-loop checkpoint writer.
 	ckptBusy atomic.Bool
 
+	// gate is the shard's admission gate (nil when Config.AdmitQPS is 0):
+	// every serving-path arrival charged to this shard passes it before
+	// touching any of the state above (see admission.go). The loop refunds
+	// it per drain (completed) and feeds it fsync pressure (noteFsync).
+	gate *admitGate
+
 	// maxTS is the shard's safe-time floor: strictly below every future
 	// prepare or commit timestamp this shard will assign. Serving a
 	// snapshot read at t_read advances it to t_read (the leader-lease
@@ -312,6 +318,9 @@ func (s *shard) flush() {
 		s.srv.metrics.walFsync.ObserveSince(start)
 		s.srv.metrics.walBatch.Observe(int64(n))
 		s.walBytes += int64(n)
+		if s.gate != nil {
+			s.gate.noteFsync(time.Since(start))
+		}
 	}
 	s.flushRepl(wm)
 	s.runPostSync(true)
@@ -447,6 +456,15 @@ func (s *shard) loop() {
 			batch.Observe(int64(n))
 			s.flush()
 		case <-s.srv.quit:
+			// Graceful exit: sync the tail batch so everything already
+			// appended becomes durable, then release any remaining
+			// WaitDurable parkers — in LSN order, durable waits succeeding
+			// and the rest failing with ErrShutdown — before the loop (the
+			// only syncer) goes away and would strand them forever.
+			s.flush()
+			if s.wal != nil {
+				s.wal.Shutdown()
+			}
 			return
 		}
 	}

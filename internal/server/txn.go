@@ -184,6 +184,17 @@ func (srv *Server) runTxn(txnID uint64, readKeys []string, writeKVs []wire.KV) (
 	if txnID == 0 {
 		txnID = uint64(srv.nextSeq())
 	}
+	// Admission first, before the duplicate-ID check, the plan, and any
+	// lock or log touch: a rejected transaction must leave zero footprint
+	// — no locks requested, no WAL record, no replication entry, nothing
+	// in the active set — so the recorded history simply never contains
+	// it. Charged to the bottleneck shard of its footprint.
+	if g := srv.admitFor(readKeys, writeKVs, nil); g != nil {
+		if ok, retryUS := g.admit(); !ok {
+			return nil, nil, 0, &overloadError{retryAfterUS: retryUS}
+		}
+		defer g.refund() // commit, abort, or error: the capacity was spent
+	}
 	if !srv.admitTxn(txnID) {
 		return nil, nil, 0, errTxnActive
 	}

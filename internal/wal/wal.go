@@ -134,6 +134,14 @@ const (
 // durability can be promised.
 var ErrCrashed = fmt.Errorf("wal: crashed")
 
+// ErrShutdown reports a WaitDurable cut short by a clean shutdown: the
+// shard loop flushed its final batch and exited, so a wait for any record
+// beyond the durable LSN can never be satisfied. Unlike ErrCrashed it is
+// selective — waits for already-durable records still succeed, so callers
+// racing the shutdown see their outcomes in LSN order: everything the
+// final flush covered acknowledges normally, everything past it fails.
+var ErrShutdown = fmt.Errorf("wal: shut down")
+
 // Config parameterizes Open.
 type Config struct {
 	// Dir is the shard's log directory, created if missing.
@@ -166,6 +174,7 @@ type Log struct {
 	appended uint64 // LSN of the last appended record (loop-only)
 	durable  atomic.Uint64
 	crashed  atomic.Bool
+	shutdown atomic.Bool
 	events   atomic.Int64 // qualifying crash events seen
 	fsyncs   atomic.Uint64
 	bytes    atomic.Uint64
@@ -357,6 +366,22 @@ func (l *Log) crash() {
 // WaitDurable fails, and appends are dropped. Safe from any goroutine.
 func (l *Log) Crash() { l.crash() }
 
+// Shutdown marks the log as cleanly shut down and releases parked
+// WaitDurable callers: waiters at or below the durable LSN return nil (the
+// final flush covered them), everything above it returns ErrShutdown. The
+// shard loop calls it after its last flush, so no waiter can be stranded
+// between the loop exiting and the process ending. Safe from any
+// goroutine; durability itself is untouched.
+func (l *Log) Shutdown() {
+	if l.shutdown.Swap(true) {
+		return
+	}
+	l.mu.Lock()
+	close(l.syncC)
+	l.syncC = make(chan struct{})
+	l.mu.Unlock()
+}
+
 // Crashed reports whether the log hit its crash point or was crashed.
 func (l *Log) Crashed() bool { return l.crashed.Load() }
 
@@ -373,10 +398,13 @@ func (l *Log) WaitDurable(lsn uint64) error {
 		if l.durable.Load() >= lsn {
 			return nil
 		}
+		if l.shutdown.Load() {
+			return ErrShutdown
+		}
 		l.mu.Lock()
 		ch := l.syncC
 		l.mu.Unlock()
-		if l.crashed.Load() || l.durable.Load() >= lsn {
+		if l.crashed.Load() || l.shutdown.Load() || l.durable.Load() >= lsn {
 			continue // re-check outcome above
 		}
 		<-ch

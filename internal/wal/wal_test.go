@@ -5,6 +5,7 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"rsskv/internal/wire"
 )
@@ -380,6 +381,66 @@ func TestWaitDurableBlocksUntilSync(t *testing.T) {
 	}
 	if err := <-done; err != nil {
 		t.Fatalf("WaitDurable after Sync: %v", err)
+	}
+}
+
+// TestShutdownReleasesWaitersSelectively pins the graceful-shutdown
+// contract: Shutdown releases every parked WaitDurable caller with the
+// outcome the LSN order dictates — waits at or below the durable LSN
+// (covered by the final flush) succeed, waits past it fail with
+// ErrShutdown — and no waiter is left parked. Crash semantics stay
+// distinct: this is selective, Crash fails everything.
+func TestShutdownReleasesWaitersSelectively(t *testing.T) {
+	l, _ := mustOpen(t, Config{Dir: t.TempDir()})
+	appendBatch(t, l, 0, commitRec(1, 5, kv("a", "1")), commitRec(2, 6, kv("b", "2")))
+	// Two appended-but-unsynced records: waits on them can never be
+	// satisfied once the syncer is gone.
+	l.Append(commitRec(3, 7, kv("c", "3")))
+	l.Append(commitRec(4, 8, kv("d", "4")))
+
+	const top = 4
+	errs := make([]error, top+1)
+	done := make([]chan struct{}, top+1)
+	for lsn := 1; lsn <= top; lsn++ {
+		lsn := lsn
+		done[lsn] = make(chan struct{})
+		go func() {
+			errs[lsn] = l.WaitDurable(uint64(lsn))
+			close(done[lsn])
+		}()
+	}
+	time.Sleep(50 * time.Millisecond) // let the uncovered waits park
+	l.Shutdown()
+	l.Shutdown() // idempotent
+
+	for lsn := 1; lsn <= top; lsn++ {
+		select {
+		case <-done[lsn]:
+		case <-time.After(2 * time.Second):
+			t.Fatalf("WaitDurable(%d) still parked after Shutdown", lsn)
+		}
+	}
+	for lsn := 1; lsn <= 2; lsn++ {
+		if errs[lsn] != nil {
+			t.Errorf("WaitDurable(%d) was covered by the last sync, got %v, want nil", lsn, errs[lsn])
+		}
+	}
+	for lsn := 3; lsn <= top; lsn++ {
+		if errs[lsn] != ErrShutdown {
+			t.Errorf("WaitDurable(%d) past the durable LSN, got %v, want ErrShutdown", lsn, errs[lsn])
+		}
+	}
+
+	// Waits arriving after the shutdown resolve instantly with the same
+	// selectivity.
+	if err := l.WaitDurable(2); err != nil {
+		t.Errorf("post-shutdown WaitDurable(2): %v, want nil", err)
+	}
+	if err := l.WaitDurable(4); err != ErrShutdown {
+		t.Errorf("post-shutdown WaitDurable(4): %v, want ErrShutdown", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
 	}
 }
 

@@ -47,9 +47,14 @@ func FuzzDecodeResponse(f *testing.F) {
 	}
 	f.Add([]byte{})
 	f.Add([]byte{byte(OpFence), 0x01, 0x02})
-	f.Add([]byte{byte(OpDequeue), 0x01, 0x08})      // reserved flag bit set
+	f.Add([]byte{byte(OpDequeue), 0x01, 0x10})      // reserved flag bit set
 	f.Add([]byte{byte(OpDequeue), 0x01, 0x05})      // OK+Empty, truncated after flags
+	f.Add([]byte{byte(OpCommit), 0x01, 0x08})       // Overloaded, truncated after flags
 	f.Add([]byte{byte(OpReplSnapshot), 0x01, 0x01}) // snapshot truncated after flags
+	// Overloaded rejection cut off before the trailing retry-after field.
+	ovl := AppendResponse(nil, &Response{Op: OpCommit, ID: 5, Overloaded: true,
+		Err: "overloaded", RetryAfterUS: 2500})
+	f.Add(ovl[:len(ovl)-1])
 	// Entry batch response whose blob payload is itself malformed: the
 	// frame decodes, the blob must fail cleanly in DecodeReplEntries.
 	f.Add(AppendResponse(nil, &Response{Op: OpReplEntry, ID: 3, OK: true, Seq: 2,

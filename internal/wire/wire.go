@@ -203,6 +203,18 @@ type Response struct {
 	// Empty reports that an OpDequeue found the queue empty. It is a flag
 	// rather than a sentinel value because "" is a legal queue element.
 	Empty bool
+	// Overloaded reports that admission control rejected the request
+	// before it touched any state: no locks were acquired, nothing was
+	// appended to the WAL or the replication log, and the operation is
+	// safe to retry. It is a flag rather than an Err string match so
+	// clients can distinguish shed load (back off and retry) from real
+	// failures without parsing text.
+	Overloaded bool
+	// RetryAfterUS is the server's backoff hint in microseconds on an
+	// Overloaded response: roughly how long until the admission gate
+	// expects to have capacity again. Zero means "no estimate"; clients
+	// fall back to their own backoff schedule.
+	RetryAfterUS int64
 	// Seq is a replication log position: the last position of the batch
 	// on OpReplEntry, the position an OpReplSnapshot reflects (replay
 	// resumes after it). Zero elsewhere.
@@ -234,6 +246,13 @@ const (
 // should retry under the TxnID the response carries, which preserves the
 // transaction's wound-wait age.
 const ErrMsgAborted = "aborted"
+
+// ErrMsgOverloaded is the Err value of a response rejected by admission
+// control before it touched any server state. The Overloaded flag carries
+// the same fact structurally; the message exists so operators reading raw
+// traces see it too. The client should back off (honoring RetryAfterUS
+// when nonzero) and retry.
+const ErrMsgOverloaded = "overloaded"
 
 // Protocol errors.
 var (
@@ -344,6 +363,9 @@ func AppendResponse(buf []byte, r *Response) []byte {
 	if r.Empty {
 		flags |= 4
 	}
+	if r.Overloaded {
+		flags |= 8
+	}
 	buf = append(buf, flags)
 	buf = appendString(buf, r.Err)
 	buf = binary.AppendUvarint(buf, r.TxnID)
@@ -359,6 +381,7 @@ func AppendResponse(buf []byte, r *Response) []byte {
 	for _, v := range r.Vers {
 		buf = binary.AppendVarint(buf, v)
 	}
+	buf = binary.AppendVarint(buf, r.RetryAfterUS)
 	return buf
 }
 
@@ -373,12 +396,13 @@ func DecodeResponse(payload []byte) (*Response, error) {
 	}
 	r.ID = d.uvarint()
 	flags := d.byte()
-	if flags > 7 {
+	if flags > 15 {
 		return nil, fmt.Errorf("%w: bad flags %d", ErrBadMessage, flags)
 	}
 	r.OK = flags&1 != 0
 	r.Follower = flags&2 != 0
 	r.Empty = flags&4 != 0
+	r.Overloaded = flags&8 != 0
 	r.Err = d.string()
 	r.TxnID = d.uvarint()
 	r.Value = d.string()
@@ -405,6 +429,7 @@ func DecodeResponse(payload []byte) (*Response, error) {
 			r.Vers[i] = d.varint()
 		}
 	}
+	r.RetryAfterUS = d.varint()
 	if err := d.finish(); err != nil {
 		return nil, err
 	}

@@ -80,6 +80,11 @@ func sampleResponses() []*Response {
 		{ID: 28, Op: OpCommit, OK: true, Version: 60,
 			KVs:  []KV{{"a", "1"}, {"b", ""}, {"c", "2"}, {"d", ""}, {"e", "3"}, {"f", ""}, {"g", "4"}, {"h", ""}, {"i", "5"}},
 			Vers: []int64{1, 2, 3, 4, 5, 6, 7, 8, 9}}, // beyond the inline boxes
+		{ID: 29, Op: OpCommit, OK: false, Overloaded: true, Err: "overloaded",
+			RetryAfterUS: 1500}, // admission rejection with retry hint
+		{ID: 30, Op: OpPut, OK: false, Overloaded: true, Err: "overloaded"}, // no hint
+		{ID: 31, Op: OpROTxn, OK: false, Overloaded: true, Follower: false,
+			Err: "overloaded", RetryAfterUS: 1<<40 + 3}, // extreme hint survives
 	}
 }
 
@@ -217,7 +222,7 @@ func TestOversizedEnqueue(t *testing.T) {
 func TestBadResponseFlags(t *testing.T) {
 	full := AppendResponse(nil, &Response{ID: 1, Op: OpDequeue, OK: true, Empty: true})
 	// The flags byte follows the opcode and the ID varint (one byte here).
-	full[2] |= 8
+	full[2] |= 16
 	if _, err := DecodeResponse(full); !errors.Is(err, ErrBadMessage) {
 		t.Errorf("reserved flag bit: got %v, want ErrBadMessage", err)
 	}
