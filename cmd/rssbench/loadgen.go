@@ -22,6 +22,7 @@ import (
 
 	"rsskv/internal/core"
 	"rsskv/internal/history"
+	"rsskv/internal/kvclient"
 	"rsskv/internal/loadgen"
 	"rsskv/internal/server"
 	"rsskv/internal/stats"
@@ -59,6 +60,8 @@ var (
 	clientBase = flag.Int("client-base", 0, "loadgen: offset client IDs and written values by this base; runs merged by checkhist must use disjoint ranges")
 	keyPrefix  = flag.String("key-prefix", "", "loadgen: key namespace (empty = fresh nonce); runs merged by checkhist must share one")
 	tolerate   = flag.Bool("tolerate-errors", false, "loadgen: record failed operations as pending instead of failing the run (crash testing)")
+	contErr    = flag.Bool("continue-on-error", false, "loadgen: with -tolerate-errors, keep each client's stream running across errors instead of ending it (failover runs: failed ops are recorded pending and the client redirects via -fallbacks)")
+	fallbacks  = flag.String("fallbacks", "", "loadgen: comma-separated view-service addresses (rsskvd -mode=replica read listeners) clients query for the current leader after NotLeader redirects or connection loss")
 	applyBatch = flag.Int("apply-batch", 0, "in-process server: max closures per shard apply-loop drain (0 = default 64; negative clamps to 1, the entry-at-a-time pipeline)")
 	admitQPS   = flag.Float64("admit-qps", 0, "in-process server: admission-control throughput cap in ops/s, split over shards; excess arrivals are delayed then rejected with a retry hint (0 = admission disabled)")
 	admitQueue = flag.Int("admit-queue", 0, "in-process server: per-shard admission delay-queue bound; overflow rejects immediately (0 = default 64)")
@@ -157,19 +160,23 @@ func loadgenCmd() {
 	}
 
 	lcfg := loadgen.Config{
-		Addr:           target,
-		Clients:        *clients,
-		OpsPerClient:   (*ops + *clients - 1) / *clients,
-		Keys:           *keys,
-		KeyPrefix:      *keyPrefix,
-		Conns:          *conns,
-		TxnFrac:        *txnFrac,
-		ROFrac:         *roFrac,
-		MultiFrac:      *multiFrac,
-		FenceEvery:     *fenceEvery,
-		Seed:           *seed,
-		ClientBase:     *clientBase,
-		TolerateErrors: *tolerate,
+		Addr:            target,
+		Clients:         *clients,
+		OpsPerClient:    (*ops + *clients - 1) / *clients,
+		Keys:            *keys,
+		KeyPrefix:       *keyPrefix,
+		Conns:           *conns,
+		TxnFrac:         *txnFrac,
+		ROFrac:          *roFrac,
+		MultiFrac:       *multiFrac,
+		FenceEvery:      *fenceEvery,
+		Seed:            *seed,
+		ClientBase:      *clientBase,
+		TolerateErrors:  *tolerate,
+		ContinueOnError: *contErr,
+	}
+	if *fallbacks != "" {
+		lcfg.Fallbacks = strings.Split(*fallbacks, ",")
 	}
 	if *timeBase != 0 {
 		lcfg.Start = time.Unix(0, *timeBase)
@@ -184,6 +191,19 @@ func loadgenCmd() {
 	}
 	if res.Rejects > 0 {
 		fmt.Fprintf(os.Stderr, "loadgen: %d operations rejected by admission control (shed, absent from the history)\n", res.Rejects)
+	}
+	var failover *failoverSummary
+	if res.FirstError > 0 && res.Recovered > 0 {
+		failover = &failoverSummary{
+			FirstErrorNS: int64(res.FirstError),
+			RecoveredNS:  int64(res.Recovered),
+			MTTRNS:       int64(res.Recovered - res.FirstError),
+			PendingOps:   res.Errors,
+			Ops:          res.Ops,
+			FollowerROs:  res.FollowerROs,
+		}
+		fmt.Fprintf(os.Stderr, "loadgen: rode out an outage: client-observed MTTR %v (first swallowed op at +%v, last failed client served again at +%v, %d ops pending)\n",
+			time.Duration(failover.MTTRNS), time.Duration(failover.FirstErrorNS), time.Duration(failover.RecoveredNS), res.Errors)
 	}
 	if *record != "" {
 		if err := history.Save(res.H, *record); err != nil {
@@ -248,9 +268,21 @@ func loadgenCmd() {
 	// document. Scrape failures are fatal — a loadgen run asked to record
 	// its observability baseline must actually record it.
 	if *metricsOut != "" || *extraAddrs != "" {
-		addrs := []string{target}
+		var addrs []string
+		if failover == nil {
+			addrs = []string{target}
+		} else {
+			// The run rode out its target's death; the live processes to
+			// scrape (the promoted leader, the view service) come via
+			// -scrape-addrs.
+			fmt.Fprintf(os.Stderr, "loadgen: skipping scrape of %s (died mid-run)\n", target)
+		}
 		if *extraAddrs != "" {
 			addrs = append(addrs, strings.Split(*extraAddrs, ",")...)
+		}
+		if len(addrs) == 0 {
+			fmt.Fprintln(os.Stderr, "loadgen: nothing left to scrape (failover run without -scrape-addrs)")
+			os.Exit(1)
 		}
 		sources, err := scrapeAll(addrs)
 		if err != nil {
@@ -258,6 +290,7 @@ func loadgenCmd() {
 			os.Exit(1)
 		}
 		doc := buildMetricsDoc(sources)
+		doc.Failover = failover
 		renderMetrics(doc, *plot)
 		if *metricsOut != "" {
 			if err := writeMetricsJSON(*metricsOut, doc); err != nil {
@@ -359,6 +392,24 @@ func checkhistCmd() {
 		os.Exit(1)
 	}
 	fmt.Printf("merged history (%d files, %d ops) is regular-sequential-serializable (RSS): OK\n", len(files), total)
+}
+
+// promoteCmd orders the replica at -addr (its read listener) to take over
+// leadership of its shard group, printing the view it installs. It is the
+// explicit-trigger half of failover — the CI split-brain twin uses it to
+// promote while the old leader is still alive, where the lease watcher
+// (-promote-after) would never fire.
+func promoteCmd() {
+	if *addr == "" {
+		fmt.Fprintln(os.Stderr, "promote: -addr=<replica read listener> is required")
+		os.Exit(2)
+	}
+	epoch, leader, err := kvclient.Promote(*addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "promote: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("promoted: epoch %d, leader %s\n", epoch, leader)
 }
 
 // sweepPoints parses the open-loop load points: -qps-sweep's list, or the

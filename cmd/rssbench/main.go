@@ -160,6 +160,8 @@ func main() {
 		checkhistCmd()
 	case "metrics":
 		metricsCmd()
+	case "promote":
+		promoteCmd()
 	case "all":
 		emit(exp.Table2())
 		timed("table1", func() { emit(exp.Table1(exp.DefaultTable1(*quick))) })

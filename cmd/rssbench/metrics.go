@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"rsskv/internal/kvclient"
 	"rsskv/internal/obs"
@@ -31,15 +32,26 @@ var (
 	requireHist = flag.String("require", "", "metrics: comma-separated histogram names that must be non-empty in the merged view (exit 1 otherwise)")
 )
 
+// scrapeRetryPause is how long scrapeAll waits before its one retry.
+var scrapeRetryPause = 250 * time.Millisecond
+
 // scrapeAll scrapes every address, returning one payload per reachable
-// daemon. Unreachable addresses are errors: a smoke gate that silently
-// skips a dead process would pass vacuously.
+// daemon. A failed scrape is retried once after a beat: a daemon
+// mid-restart — or a just-promoted leader whose listener came up a
+// moment ago — fails a single dial transiently, and failing the whole
+// merged dashboard for that makes the gate flaky rather than strict.
+// Two consecutive failures mean a genuinely dead process and remain an
+// error: a smoke gate that silently skips a dead process would pass
+// vacuously.
 func scrapeAll(addrs []string) ([]*wire.MetricsPayload, error) {
 	var ps []*wire.MetricsPayload
 	for _, a := range addrs {
 		p, err := kvclient.ScrapeMetrics(a, 0)
 		if err != nil {
-			return nil, fmt.Errorf("scrape %s: %w", a, err)
+			time.Sleep(scrapeRetryPause)
+			if p, err = kvclient.ScrapeMetrics(a, 0); err != nil {
+				return nil, fmt.Errorf("scrape %s: %w", a, err)
+			}
 		}
 		ps = append(ps, p)
 	}
@@ -74,15 +86,37 @@ type sweepPoint struct {
 	RWP99us     float64 `json:"rw_p99_us"`
 }
 
+// failoverSummary is a failover loadgen run's client-observed outage,
+// recorded in the JSON document only when a -continue-on-error run rode
+// out mid-run errors. Instants are on the run's time axis; the window
+// is measured per client (first swallowed op → that client's next
+// served op) and MTTR spans from the earliest failure to the moment the
+// last failed client was being served again.
+type failoverSummary struct {
+	FirstErrorNS int64 `json:"first_error_ns"`
+	RecoveredNS  int64 `json:"recovered_ns"`
+	MTTRNS       int64 `json:"mttr_ns"`
+	PendingOps   int   `json:"pending_ops"`
+	Ops          int   `json:"ops"`
+	// FollowerROs counts snapshot reads served entirely by followers over
+	// the whole run. Routed follower reads go through the leader, so they
+	// share the outage window — the number here is the availability the
+	// architecture actually delivers around a failover, not a claim that
+	// reads dodge it (see the README's Failover section).
+	FollowerROs int `json:"follower_ros"`
+}
+
 // metricsDoc is the machine-readable scrape document: the raw per-process
 // payloads, the merged view, and quantile summaries of the merged
 // histograms. Bucket indexes are the obs log-linear scheme's. Sweep is
-// present only on open-loop loadgen runs.
+// present only on open-loop loadgen runs; Failover only on runs that
+// rode out an outage under -continue-on-error.
 type metricsDoc struct {
-	Sources []*wire.MetricsPayload `json:"sources"`
-	Merged  *wire.MetricsPayload   `json:"merged"`
-	Summary map[string]histSummary `json:"summary"`
-	Sweep   []sweepPoint           `json:"sweep,omitempty"`
+	Sources  []*wire.MetricsPayload `json:"sources"`
+	Merged   *wire.MetricsPayload   `json:"merged"`
+	Summary  map[string]histSummary `json:"summary"`
+	Sweep    []sweepPoint           `json:"sweep,omitempty"`
+	Failover *failoverSummary       `json:"failover,omitempty"`
 }
 
 func buildMetricsDoc(sources []*wire.MetricsPayload) *metricsDoc {

@@ -64,6 +64,7 @@ import (
 	"rsskv/internal/queue"
 	"rsskv/internal/replication"
 	"rsskv/internal/server"
+	"rsskv/internal/viewchange"
 )
 
 var (
@@ -88,6 +89,11 @@ var (
 	ckptBytes  = flag.Int64("ckpt-bytes", 0, "kv mode: checkpoint after this many WAL bytes per shard (0 = default 4 MiB; needs -data-dir)")
 	slowOp     = flag.Duration("slowop", 0, "kv mode: log any transaction slower than this with its per-stage timeline (0 disables)")
 	pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty disables)")
+	epoch      = flag.Uint64("epoch", 0, "kv mode: view epoch this leader serves (0 = default 1); stamped on every replication entry and WAL record")
+	syncRepl   = flag.Bool("sync-repl", false, "kv/replica mode: synchronous replication — withhold responses until a live follower acknowledged the batch (needs -data-dir); required for acknowledged writes to survive failover")
+	promoAfter = flag.Duration("promote-after", 0, "replica mode: self-promote to leader when the leader has answered nothing for this long (0 = only explicit OpPromote orders)")
+	promoAddr  = flag.String("promote-addr", "127.0.0.1:0", "replica mode: address the promoted server listens on")
+	noFence    = flag.Bool("no-fence", false, "replica mode CHAOS: promote without fencing — keep following and acknowledging the old leader while serving as the new one (split brain; recorded histories must be rejected)")
 )
 
 // startPprof serves the stdlib pprof handlers on their own listener, kept
@@ -161,8 +167,31 @@ func replicaMain() {
 	}
 	log.Printf("rsskvd: replica mode, joined %s with %d shard replicas, serving reads on %s (advertised %s)",
 		*joinAddr, node.Shards(), node.Addr(), node.Advertise())
-	if *chaos != "" {
-		log.Printf("rsskvd: CHAOS MODE %q — recorded histories will violate RSS", *chaos)
+	sup, err := viewchange.New(viewchange.Config{
+		Node:         node,
+		Leader:       *joinAddr,
+		PromoteAddr:  *promoAddr,
+		PromoteAfter: *promoAfter,
+		NoFence:      *noFence,
+		Server: server.Config{
+			MaxFrame:         *maxFrame,
+			Epsilon:          *epsilon,
+			CommitEstimate:   *commitEst,
+			AllowReplicaJoin: *acceptRepl,
+			ApplyBatchMax:    *applyBatch,
+			SyncRepl:         *syncRepl,
+			DataDir:          *dataDir,
+			CheckpointBytes:  *ckptBytes,
+		},
+	})
+	if err != nil {
+		log.Fatalf("rsskvd: %v", err)
+	}
+	if *promoAfter > 0 {
+		log.Printf("rsskvd: will self-promote after %s of leader silence (promoted server on %s)", *promoAfter, *promoAddr)
+	}
+	if *chaos != "" || *noFence {
+		log.Printf("rsskvd: CHAOS MODE — recorded histories will violate RSS")
 	}
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
@@ -172,13 +201,29 @@ func replicaMain() {
 		defer t.Stop()
 		tick = t.C
 	}
+	promoted := false
 	for {
 		select {
 		case <-tick:
-			log.Printf("rsskvd: pulls=%d snapshots=%d min-tsafe=%d",
-				node.Pulls(), node.Snapshots(), node.MinTSafe())
+			if srv := sup.Promoted(); srv != nil {
+				if !promoted {
+					promoted = true
+					e, _ := sup.View()
+					log.Printf("rsskvd: PROMOTED to leader of epoch %d, serving on %s", e, srv.Addr())
+				}
+				s := srv.Stats()
+				log.Printf("rsskvd: (promoted) conns=%d gets=%d puts=%d commits=%d rotxns=%d",
+					s.Conns.Load(), s.Gets.Load(), s.Puts.Load(), s.Commits.Load(), s.ROs.Load())
+				continue
+			}
+			log.Printf("rsskvd: pulls=%d snapshots=%d min-tsafe=%d epoch=%d",
+				node.Pulls(), node.Snapshots(), node.MinTSafe(), node.MaxEpoch())
 		case sig := <-stop:
 			log.Printf("rsskvd: %v, shutting down", sig)
+			sup.Close()
+			if srv := sup.Promoted(); srv != nil {
+				srv.Close()
+			}
 			node.Close()
 			return
 		}
@@ -219,6 +264,8 @@ func main() {
 		SlowOpThreshold:  *slowOp,
 		DataDir:          *dataDir,
 		CheckpointBytes:  *ckptBytes,
+		Epoch:            *epoch,
+		SyncRepl:         *syncRepl,
 	}
 	if err := cfg.ApplyChaosMode(*chaos, func(f string, a ...any) { log.Printf("rsskvd: "+f, a...) }); err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -33,6 +33,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -86,15 +87,37 @@ type Options struct {
 	Conns int
 	// MaxFrame bounds accepted response frames (default wire.MaxFrame).
 	MaxFrame int
+	// Fallbacks are additional view-query addresses — replica read
+	// listeners and standby promote addresses — consulted (OpView) when the
+	// current leader is unreachable, so a client survives a leader failover:
+	// the highest-epoch view wins and future operations go to its leader.
+	// Empty disables view resolution (the single-leader client).
+	Fallbacks []string
 }
 
 // Client is a pooled, pipelined rsskvd client. It is safe for concurrent
 // use by multiple goroutines; the pool (internal/netio) lazily redials a
 // failed slot on its next use, so one broken connection degrades a
 // long-lived client only until the server is reachable again.
+//
+// The client is view-aware: a NotLeader response (a fenced old leader
+// redirecting) makes it adopt the new view — swap its pool to the promoted
+// leader — and retry the operation, which the fenced server refused before
+// touching any state. A transport error instead only triggers view
+// resolution for FUTURE operations and is returned to the caller: the
+// operation may have executed (its response died with the connection), so a
+// transparent retry could double-apply it; recorded histories treat such
+// operations as pending, exactly like operations in flight at a crash.
 type Client struct {
-	pool *netio.Pool
+	opts Options
+	pool atomic.Pointer[netio.Pool]
 	tmin atomic.Int64 // session minimum read timestamp (§5, Algorithm 1)
+
+	mu    sync.Mutex // serializes pool swaps
+	addr  string     // current leader address (under mu)
+	epoch atomic.Uint64
+
+	lastResolve atomic.Int64 // unix nanos of the last view resolution
 }
 
 // Dial connects to a server.
@@ -106,17 +129,117 @@ func Dial(addr string, opts Options) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Client{pool: pool}, nil
+	c := &Client{opts: opts, addr: addr}
+	c.pool.Store(pool)
+	return c, nil
 }
 
 // Close tears down every connection; in-flight calls fail with ErrClosed.
-func (c *Client) Close() { c.pool.Close() }
+func (c *Client) Close() { c.pool.Load().Close() }
+
+// Leader returns the address the client currently believes leads, and the
+// highest view epoch it has adopted (0 before any redirect).
+func (c *Client) Leader() (string, uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.addr, c.epoch.Load()
+}
 
 // Do sends one request on a pooled connection and waits for its response.
 // Most callers want the typed helpers below; Do is the escape hatch for
-// custom pipelines and performs no OK checking.
+// custom pipelines and performs no OK checking or view handling.
 func (c *Client) Do(req *wire.Request) (*wire.Response, error) {
-	return c.pool.Call(req)
+	return c.pool.Load().Call(req)
+}
+
+// notLeaderMaxRedirects bounds how many NotLeader redirects one operation
+// follows before giving up (promotion still in progress, or a redirect
+// loop between confused nodes).
+const notLeaderMaxRedirects = 16
+
+// adopt switches the client to a new leader address, refusing moves to a
+// view older than one already adopted. It reports whether the client now
+// points at addr.
+func (c *Client) adopt(addr string, epoch uint64) bool {
+	if addr == "" {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if epoch != 0 && epoch < c.epoch.Load() {
+		return false
+	}
+	if epoch > c.epoch.Load() {
+		c.epoch.Store(epoch)
+	}
+	if addr == c.addr {
+		return true
+	}
+	pool, err := netio.DialPool(addr, c.opts.Conns, c.opts.MaxFrame)
+	if err != nil {
+		return false
+	}
+	old := c.pool.Swap(pool)
+	c.addr = addr
+	old.Close() // in-flight calls on it fail and surface to their callers
+	return true
+}
+
+// resolveView queries the fallback addresses for the current view and
+// adopts the highest-epoch leader found. Rate-limited so a burst of failing
+// operations does not multiply into a burst of view queries.
+func (c *Client) resolveView() {
+	if len(c.opts.Fallbacks) == 0 {
+		return
+	}
+	now := time.Now().UnixNano()
+	last := c.lastResolve.Load()
+	if now-last < int64(50*time.Millisecond) || !c.lastResolve.CompareAndSwap(last, now) {
+		return
+	}
+	var bestE uint64
+	var bestAddr string
+	for _, a := range c.opts.Fallbacks {
+		resp, err := queryView(a, c.opts.MaxFrame)
+		if err != nil || resp.Value == "" {
+			continue
+		}
+		if resp.Epoch >= bestE {
+			bestE, bestAddr = resp.Epoch, resp.Value
+		}
+	}
+	if bestAddr != "" {
+		c.adopt(bestAddr, bestE)
+	}
+}
+
+// queryView asks one address (leader, fenced leader, or replica read
+// listener — all serve OpView) who leads.
+func queryView(addr string, maxFrame int) (*wire.Response, error) {
+	pool, err := netio.DialPool(addr, 1, maxFrame)
+	if err != nil {
+		return nil, err
+	}
+	defer pool.Close()
+	return pool.Call(&wire.Request{Op: wire.OpView})
+}
+
+// redirect handles one NotLeader response inside a retry loop: adopt the
+// view it names (or resolve one from the fallbacks when it names none) and
+// let the loop retry — the fenced server refused the operation before
+// touching any state, so the retry cannot double-apply. Returns an error
+// once the redirect budget is spent.
+func (c *Client) redirect(req *wire.Request, resp *wire.Response, redirects *int) error {
+	if *redirects++; *redirects > notLeaderMaxRedirects {
+		return fmt.Errorf("kvclient: %v: %s (no reachable leader after %d redirects)",
+			req.Op, resp.Err, notLeaderMaxRedirects)
+	}
+	if !c.adopt(resp.Value, resp.Epoch) {
+		c.resolveView()
+		// The new leader may still be mid-promotion; give it a beat.
+		time.Sleep(10 * time.Millisecond)
+	}
+	return nil
 }
 
 // do is Do plus server-error surfacing for the typed helpers. Overloaded
@@ -124,10 +247,20 @@ func (c *Client) Do(req *wire.Request) (*wire.Response, error) {
 // retried here under the backoff policy, so callers only ever see
 // ErrOverloaded once the policy is exhausted.
 func (c *Client) do(req *wire.Request) (*wire.Response, error) {
+	redirects := 0
 	for attempt := 0; ; attempt++ {
 		resp, err := c.Do(req)
 		if err != nil {
+			// The operation may have executed (see the Client doc): surface
+			// the error, but resolve the view so future operations redirect.
+			c.resolveView()
 			return nil, err
+		}
+		if resp.NotLeader {
+			if err := c.redirect(req, resp, &redirects); err != nil {
+				return nil, err
+			}
+			continue
 		}
 		if resp.Overloaded {
 			if attempt+1 >= overloadMaxAttempts {
@@ -308,6 +441,26 @@ func ScrapeMetrics(addr string, maxFrame int) (*wire.MetricsPayload, error) {
 	return c.Metrics()
 }
 
+// Promote dials the replica read listener at addr and orders it to take
+// over leadership of its shard group (OpPromote with no epoch and no
+// leader named: the replica picks the next epoch and promotes itself,
+// fencing the deposed leader unless it was started -no-fence). It
+// returns the view the replica ended up in — the new epoch and the
+// promoted server's serving address. Promotion is idempotent at the
+// replica: a second order returns the already-installed view.
+func Promote(addr string) (epoch uint64, leader string, err error) {
+	c, err := Dial(addr, Options{Conns: 1})
+	if err != nil {
+		return 0, "", err
+	}
+	defer c.Close()
+	resp, err := c.do(&wire.Request{Op: wire.OpPromote})
+	if err != nil {
+		return 0, "", err
+	}
+	return resp.Epoch, resp.Value, nil
+}
+
 // Fence invokes the server's real-time fence and waits for it. The fence
 // timestamp it returns is merged into the session's t_min, extending the
 // fence guarantee to the snapshot-read path: every later ReadOnly
@@ -339,14 +492,21 @@ func (c *Client) RealTimeFence() core.RealTimeFence {
 // livelock-free); Overloaded rejections — which executed nothing — back
 // off under the overload policy and count against its attempt budget.
 func (c *Client) retry(req *wire.Request) (*wire.Response, error) {
-	overloads := 0
+	overloads, redirects := 0, 0
 	for {
 		resp, err := c.Do(req)
 		if err != nil {
+			c.resolveView()
 			return nil, err
 		}
 		if resp.OK {
 			return resp, nil
+		}
+		if resp.NotLeader {
+			if err := c.redirect(req, resp, &redirects); err != nil {
+				return nil, err
+			}
+			continue
 		}
 		if resp.Overloaded {
 			if overloads++; overloads >= overloadMaxAttempts {

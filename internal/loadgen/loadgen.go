@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"rsskv/internal/core"
@@ -78,10 +79,38 @@ type Config struct {
 	// TolerateErrors records a failed operation as pending — invoked,
 	// never answered — instead of failing the run. The op may or may not
 	// have taken effect (a commit whose ack a crash swallowed did); that
-	// is exactly the checker's pending semantics. The client stops after
-	// its first error: with one synchronous stream per process there is
-	// nothing left to observe once the connection is dead.
+	// is exactly the checker's pending semantics. Without ContinueOnError
+	// the client stops after its first error: with one synchronous stream
+	// per process there is nothing left to observe once the connection is
+	// dead.
 	TolerateErrors bool
+	// ContinueOnError (with TolerateErrors) keeps a client's stream
+	// running across errors instead of ending it: the failed op is
+	// recorded pending, the client pauses RetryPause, and the next op
+	// proceeds. This is the shape of a failover run — mid-run errors are
+	// an outage window the client is expected to ride out, redirecting to
+	// the new leader via Fallbacks.
+	//
+	// Each swallowed error moves the client to a fresh recorded process
+	// ID. A pending operation has no response, so its effect may land at
+	// any later real-time instant — including after the client's own
+	// subsequent operations — and a well-formed history therefore ends a
+	// process at its pending op (the checker orders a process's ops by
+	// invocation, which would otherwise pin the lost op's effect before
+	// operations it may really follow). The fresh ID drops only that
+	// unjustified process-order edge; real-time write ordering and the
+	// session's t_min causality are untouched.
+	ContinueOnError bool
+	// RetryPause is the per-client pause after a tolerated error under
+	// ContinueOnError (default 5ms): real clients back off before
+	// retrying a dead leader, and the pause bounds how much of the op
+	// budget an outage burns.
+	RetryPause time.Duration
+	// Fallbacks are view-service addresses (replica read listeners) each
+	// client hands to kvclient: after a NotLeader redirect or a transport
+	// error the client queries them for the current view and re-aims at
+	// its leader.
+	Fallbacks []string
 }
 
 // Defaults fills zero fields with sensible values.
@@ -112,6 +141,9 @@ func (c *Config) Defaults() {
 	}
 	if c.KeyPrefix == "" {
 		c.KeyPrefix = fmt.Sprintf("run%d-key", time.Now().UnixNano())
+	}
+	if c.RetryPause <= 0 {
+		c.RetryPause = 5 * time.Millisecond
 	}
 }
 
@@ -147,6 +179,18 @@ type Result struct {
 	// from the history entirely, unlike a pending op) and the client's
 	// stream continues.
 	Rejects int
+	// FirstError and Recovered delimit the outage a ContinueOnError run
+	// rode out, as instants on the run's time axis, measured per client: a
+	// client that recorded a pending op could do no useful work until its
+	// own next completed response, so its personal window runs from its
+	// first pending op's invocation to that next success. FirstError is
+	// the earliest such start across clients and Recovered the latest such
+	// per-client recovery — the span between them is the run's
+	// client-observed unavailability (MTTR), closing only once every
+	// failed client is being served again. Both are zero when no op went
+	// pending; Recovered alone is zero when no failed client ever
+	// succeeded again.
+	FirstError, Recovered sim.Time
 }
 
 // Throughput returns completed operations per wall-clock second.
@@ -193,11 +237,12 @@ func Run(cfg Config) (*Result, error) {
 	perClient := make([]clientRun, cfg.Clients)
 	errs := make([]error, cfg.Clients)
 	var wg sync.WaitGroup
+	var incarn atomic.Int64 // ContinueOnError fresh-process allocator
 	for c := 0; c < cfg.Clients; c++ {
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
-			perClient[c], errs[c] = runClient(cfg, c, epoch)
+			perClient[c], errs[c] = runClient(cfg, c, epoch, &incarn)
 		}(c)
 	}
 	wg.Wait()
@@ -232,6 +277,35 @@ func Run(cfg Config) (*Result, error) {
 			}
 		}
 	}
+	// The outage window, client by client: each cr's ops are in
+	// invocation order, so its window is first-pending-invoke →
+	// next-completed-respond. Taking the global min of the starts and max
+	// of the per-client recoveries spans the whole outage — it closes
+	// only when the last failed client is served again. (A global
+	// min-respond-after-min-invoke would be a mirage: an op already in
+	// flight from a not-yet-failed client responds microseconds after
+	// another client's first error.)
+	for _, cr := range perClient {
+		var firstErr, recov sim.Time
+		for _, op := range cr.ops {
+			if op.Respond == core.Pending {
+				if firstErr == 0 {
+					firstErr = op.Invoke
+				}
+			} else if firstErr != 0 && recov == 0 {
+				recov = op.Respond
+			}
+		}
+		if firstErr == 0 {
+			continue
+		}
+		if res.FirstError == 0 || firstErr < res.FirstError {
+			res.FirstError = firstErr
+		}
+		if recov > res.Recovered {
+			res.Recovered = recov
+		}
+	}
 	for c, err := range errs {
 		if err != nil {
 			return res, fmt.Errorf("client %d: %w", c, err)
@@ -242,9 +316,12 @@ func Run(cfg Config) (*Result, error) {
 
 // runClient is one application process: a private pipelined client (and
 // thus its own t_min session) and a deterministic operation stream.
-func runClient(cfg Config, c int, start time.Time) (clientRun, error) {
+// Under ContinueOnError it is a sequence of recorded processes — each
+// swallowed error ends the current one at its pending op and draws a
+// fresh ID from incarn (see Config.ContinueOnError).
+func runClient(cfg Config, c int, start time.Time, incarn *atomic.Int64) (clientRun, error) {
 	var cr clientRun
-	cl, err := kvclient.Dial(cfg.Addr, kvclient.Options{Conns: cfg.Conns})
+	cl, err := kvclient.Dial(cfg.Addr, kvclient.Options{Conns: cfg.Conns, Fallbacks: cfg.Fallbacks})
 	if err != nil {
 		return cr, err
 	}
@@ -277,8 +354,9 @@ func runClient(cfg Config, c int, start time.Time) (clientRun, error) {
 	}
 	cr.ops = make([]*core.Op, 0, cfg.OpsPerClient)
 	cr.kinds = make([]opKind, 0, cfg.OpsPerClient)
+	proc := cfg.ClientBase + c
 	for i := 0; i < cfg.OpsPerClient; i++ {
-		op := &core.Op{Client: cfg.ClientBase + c, Service: "rsskvd", Respond: core.Pending}
+		op := &core.Op{Client: proc, Service: "rsskvd", Respond: core.Pending}
 		kind := kindOther
 		var err error
 		switch p := rng.Float64(); {
@@ -363,7 +441,20 @@ func runClient(cfg Config, c int, start time.Time) (clientRun, error) {
 				// checker's pending semantics allow.
 				cr.ops = append(cr.ops, op)
 				cr.kinds = append(cr.kinds, kind)
-				return cr, nil
+				if !cfg.ContinueOnError {
+					return cr, nil
+				}
+				// Failover mode: back off a beat and keep the stream
+				// running as a fresh recorded process — the pending op must
+				// stay the last op of its process (its lost effect may land
+				// after anything that follows). The ID scheme keeps
+				// incarnations disjoint from real clients (the 1<<20 floor)
+				// and from merged runs' incarnations (the ClientBase term).
+				// The client's view cache (Fallbacks) re-aims the next op
+				// once a new leader is serving.
+				proc = 1<<20 + cfg.ClientBase*64 + int(incarn.Add(1))
+				time.Sleep(cfg.RetryPause)
+				continue
 			}
 			return cr, err
 		}

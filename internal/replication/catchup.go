@@ -32,6 +32,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"rsskv/internal/mvstore"
 	"rsskv/internal/netio"
 	"rsskv/internal/obs"
 	"rsskv/internal/truetime"
@@ -66,7 +67,7 @@ const (
 // tracks real time (safe exactly because the follower held the whole log
 // when the watermark was captured).
 func (g *Group) ServePull(req *wire.Request, shards int) *wire.Response {
-	resp := &wire.Response{ID: req.ID, Op: req.Op, TxnID: uint64(shards), Seq: req.Seq}
+	resp := &wire.Response{ID: req.ID, Op: req.Op, TxnID: uint64(shards), Seq: req.Seq, Epoch: g.Epoch()}
 	es, wm, ok := g.WaitEntriesAfter(req.Seq, PullBatch, PullWait)
 	if !ok {
 		resp.Err = wire.ErrMsgSnapshotRequired
@@ -81,7 +82,7 @@ func (g *Group) ServePull(req *wire.Request, shards int) *wire.Response {
 	for i, e := range es {
 		wes[i] = wire.ReplEntry{
 			Seq: e.Seq, Kind: uint8(e.Kind), TxnID: e.TxnID,
-			TS: int64(e.TS), Watermark: int64(e.Watermark), Writes: e.Writes,
+			TS: int64(e.TS), Watermark: int64(e.Watermark), Epoch: e.Epoch, Writes: e.Writes,
 		}
 	}
 	resp.Value = string(wire.AppendReplEntries(nil, wes))
@@ -132,7 +133,6 @@ type Node struct {
 	nonce string
 
 	ln   net.Listener
-	pool *netio.Pool
 	reps []*replica
 	acks []*ackState
 
@@ -140,8 +140,41 @@ type Node struct {
 	wg     sync.WaitGroup
 	closed atomic.Bool
 
+	// pullQuit stops the pullers and ack senders without touching the
+	// read listener — the promotion path: a candidate stops following its
+	// dead leader but keeps answering OpView/OpMetrics.
+	pullQuit    chan struct{}
+	pullsClosed atomic.Bool
+	pullWG      sync.WaitGroup
+
 	mu    sync.Mutex
 	conns map[net.Conn]struct{}
+	pool  *netio.Pool // leader connection; swapped whole by Retarget
+
+	// View state. maxEpoch is the highest view epoch seen in pulled
+	// entries or pull responses; lastContact is when the leader last
+	// answered a pull (unix nanos) — the lease the promotion monitor
+	// watches. promoted marks this node's replica state handed over to a
+	// promoted server: OpReplRead is refused from then on.
+	maxEpoch    atomic.Uint64
+	lastContact atomic.Int64
+	promoted    atomic.Bool
+
+	// lastFed is, per shard, the last log position the puller handed to
+	// the replica's apply channel — what DrainApplied waits for.
+	lastFed []atomic.Uint64
+	// recent is, per shard, a bounded contiguous suffix of pulled entries
+	// (reset on snapshot install), the seed a promotion hands to
+	// Group.Restore so sibling replicas resync without full snapshots.
+	recentMu sync.Mutex
+	recent   [][]Entry
+
+	// viewFn answers OpView and promoteFn OpPromote; installed by the
+	// viewchange supervisor (nil hooks answer from the node's own state /
+	// refuse promotion).
+	hookMu    sync.Mutex
+	viewFn    func() (epoch uint64, leader string)
+	promoteFn func(epoch uint64, leader string) (uint64, string, error)
 
 	// snapshots counts catch-up installs across shards (testing and
 	// stats: a rejoin after truncation must show at least one).
@@ -164,10 +197,14 @@ type Node struct {
 //	node.read_fails       ctr    follower reads the park gave up on
 //	node.read_dur         hist   follower read duration (park included), ns
 //	node.safe_time_age_ns gauge  min applied watermark's age across shards
+//	node.fenced_drops     ctr    entries refused by the epoch fence floors
+//	node.view_epoch       gauge  highest view epoch the node has seen
 func (n *Node) newNodeMetrics() {
 	r := obs.NewRegistry("replica@" + n.adv)
 	r.CounterFunc("node.pulls", n.pulls.Load)
 	r.CounterFunc("node.snapshots", n.snapshots.Load)
+	r.CounterFunc("node.fenced_drops", n.FencedDrops)
+	r.Gauge("node.view_epoch", func() int64 { return int64(n.maxEpoch.Load()) })
 	r.Gauge("node.safe_time_age_ns", func() int64 {
 		w := n.MinTSafe()
 		if w <= 0 {
@@ -236,12 +273,14 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 		return nil, err
 	}
 	n := &Node{
-		cfg:   cfg,
-		ln:    ln,
-		nonce: newNonce(),
-		quit:  make(chan struct{}),
-		conns: map[net.Conn]struct{}{},
+		cfg:      cfg,
+		ln:       ln,
+		nonce:    newNonce(),
+		quit:     make(chan struct{}),
+		pullQuit: make(chan struct{}),
+		conns:    map[net.Conn]struct{}{},
 	}
+	n.lastContact.Store(time.Now().UnixNano())
 	n.adv = cfg.Advertise
 	if n.adv == "" {
 		n.adv = advertisable(ln.Addr())
@@ -272,6 +311,8 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 		return nil, fmt.Errorf("replication: leader reported implausible shard count %d", shards)
 	}
 
+	n.lastFed = make([]atomic.Uint64, shards)
+	n.recent = make([][]Entry, shards)
 	for i := 0; i < shards; i++ {
 		r := newReplica(0, i, cfg.Chaos)
 		a := &ackState{note: make(chan struct{}, 1)}
@@ -282,9 +323,9 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 	}
 	for i := range n.reps {
 		i := i
-		n.wg.Add(2)
-		go func() { defer n.wg.Done(); n.puller(i) }()
-		go func() { defer n.wg.Done(); n.ackSender(i) }()
+		n.pullWG.Add(2)
+		go func() { defer n.pullWG.Done(); n.puller(i) }()
+		go func() { defer n.pullWG.Done(); n.ackSender(i) }()
 	}
 	n.wg.Add(1)
 	go func() { defer n.wg.Done(); n.serveReads() }()
@@ -368,6 +409,33 @@ func (n *Node) MuteAcks() {
 	}
 }
 
+// leaderPool returns the node's current leader connection (swapped whole
+// by Retarget, so callers re-read it every iteration).
+func (n *Node) leaderPool() *netio.Pool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.pool
+}
+
+// Retarget points the node's pulls and acks at a new leader address — a
+// sibling replica following a promotion. The log seq space survives the
+// view change (the promoted leader restores it via Group.Restore), so the
+// puller keeps its position; a position the new leader's retained log
+// cannot serve falls back to snapshot catch-up, same as any lagging rejoin.
+func (n *Node) Retarget(addr string) error {
+	pool, err := netio.DialPool(addr, 1, n.cfg.MaxFrame)
+	if err != nil {
+		return err
+	}
+	n.mu.Lock()
+	old := n.pool
+	n.pool = pool
+	n.mu.Unlock()
+	old.Close()
+	n.lastContact.Store(time.Now().UnixNano())
+	return nil
+}
+
 // puller drains one shard's log from the leader: pull a batch after the
 // last held position, feed it to the replica in order, snapshot when the
 // leader has truncated past us, retry on connection trouble (the pool
@@ -377,7 +445,7 @@ func (n *Node) puller(shard int) {
 	var last uint64
 	backoff := func() bool {
 		select {
-		case <-n.quit:
+		case <-n.pullQuit:
 			return false
 		case <-time.After(5 * time.Millisecond):
 			return true
@@ -390,23 +458,27 @@ func (n *Node) puller(shard int) {
 	snapBackoff := 10 * time.Millisecond
 	for {
 		select {
-		case <-n.quit:
+		case <-n.pullQuit:
 			return
 		default:
 		}
-		resp, err := n.pool.Call(n.pullReq(shard, last))
+		resp, err := n.leaderPool().Call(n.pullReq(shard, last))
 		if err != nil {
 			if !backoff() {
 				return
 			}
 			continue
 		}
+		n.lastContact.Store(time.Now().UnixNano())
+		if resp.Epoch > 0 {
+			n.raiseMaxEpoch(resp.Epoch)
+		}
 		if !resp.OK {
 			if resp.Err == wire.ErrMsgSnapshotRequired {
 				seq, err := n.snapshot(shard)
 				if err != nil {
 					select {
-					case <-n.quit:
+					case <-n.pullQuit:
 						return
 					case <-time.After(snapBackoff):
 					}
@@ -432,7 +504,7 @@ func (n *Node) puller(shard int) {
 			if w := truetime.Timestamp(resp.Version); w > 0 {
 				select {
 				case r.ch <- []Entry{{Kind: EntryHeartbeat, Watermark: w}}:
-				case <-n.quit:
+				case <-n.pullQuit:
 					return
 				}
 			}
@@ -456,27 +528,58 @@ func (n *Node) puller(shard int) {
 				last = 0
 				break
 			}
+			if we.Epoch > 0 {
+				n.raiseMaxEpoch(we.Epoch)
+			}
 			batch = append(batch, Entry{
 				Seq: we.Seq, Kind: EntryKind(we.Kind), TxnID: we.TxnID,
 				TS: truetime.Timestamp(we.TS), Watermark: truetime.Timestamp(we.Watermark),
-				Writes: we.Writes,
+				Epoch: we.Epoch, Writes: we.Writes,
 			})
 			last = we.Seq
 		}
 		if len(batch) > 0 {
 			select {
 			case r.ch <- batch:
-			case <-n.quit:
+			case <-n.pullQuit:
 				return
 			}
+			n.lastFed[shard].Store(last)
+			n.keepRecent(shard, batch)
 		}
 	}
+}
+
+func (n *Node) raiseMaxEpoch(e uint64) {
+	for {
+		cur := n.maxEpoch.Load()
+		if e <= cur || n.maxEpoch.CompareAndSwap(cur, e) {
+			return
+		}
+	}
+}
+
+// keepRecent retains a bounded contiguous suffix of pulled entries for one
+// shard — the seed a promotion hands to Group.Restore so sibling replicas
+// resync from the log instead of full snapshots.
+func (n *Node) keepRecent(shard int, batch []Entry) {
+	n.recentMu.Lock()
+	defer n.recentMu.Unlock()
+	r := n.recent[shard]
+	if len(r) > 0 && batch[0].Seq != r[len(r)-1].Seq+1 {
+		r = r[:0] // contiguity broke (snapshot raced in); restart the suffix
+	}
+	r = append(r, batch...)
+	if len(r) > DefaultRetain {
+		r = append([]Entry(nil), r[len(r)-DefaultRetain:]...)
+	}
+	n.recent[shard] = r
 }
 
 // snapshot fetches and installs a catch-up snapshot for one shard,
 // returning the log position replay resumes after.
 func (n *Node) snapshot(shard int) (uint64, error) {
-	resp, err := n.pool.Call(&wire.Request{
+	resp, err := n.leaderPool().Call(&wire.Request{
 		Op: wire.OpReplSnapshot, Key: n.adv, Value: n.nonce, TxnID: uint64(shard),
 	})
 	if err != nil {
@@ -484,6 +587,10 @@ func (n *Node) snapshot(shard int) (uint64, error) {
 	}
 	if !resp.OK {
 		return 0, errors.New(resp.Err)
+	}
+	n.lastContact.Store(time.Now().UnixNano())
+	if resp.Epoch > 0 {
+		n.raiseMaxEpoch(resp.Epoch)
 	}
 	wvs, err := wire.DecodeReplVals([]byte(resp.Value))
 	if err != nil {
@@ -498,6 +605,12 @@ func (n *Node) snapshot(shard int) (uint64, error) {
 	// zero snapshot count.
 	n.snapshots.Add(1)
 	n.reps[shard].install(vals, resp.Seq, truetime.Timestamp(resp.Version))
+	// The retained suffix predates the snapshot: drop it. Entries pulled
+	// after resume the suffix from resp.Seq+1.
+	n.recentMu.Lock()
+	n.recent[shard] = n.recent[shard][:0]
+	n.recentMu.Unlock()
+	n.lastFed[shard].Store(resp.Seq)
 	return resp.Seq, nil
 }
 
@@ -506,26 +619,163 @@ func (n *Node) ackSender(shard int) {
 	a := n.acks[shard]
 	for {
 		select {
-		case <-n.quit:
+		case <-n.pullQuit:
 			return
 		case <-a.note:
 		}
 		a.mu.Lock()
 		seq, w := a.seq, a.w
 		a.mu.Unlock()
-		resp, err := n.pool.Call(&wire.Request{
+		resp, err := n.leaderPool().Call(&wire.Request{
 			Op: wire.OpReplAck, Key: n.adv, Value: n.nonce,
 			TxnID: uint64(shard), Seq: seq, TMin: int64(w),
 		})
 		_ = resp
 		if err != nil {
 			select {
-			case <-n.quit:
+			case <-n.pullQuit:
 				return
 			case <-time.After(5 * time.Millisecond):
 			}
 		}
 	}
+}
+
+// StopPulls stops the node's pullers and ack senders, leaving the read
+// listener up — the fencing half of a promotion: the candidate stops
+// following (and acknowledging) its old leader before it starts serving.
+// Idempotent; blocks until the pull goroutines have exited.
+func (n *Node) StopPulls() {
+	if !n.pullsClosed.Swap(true) {
+		close(n.pullQuit)
+	}
+	n.pullWG.Wait()
+}
+
+// DrainApplied waits until every shard replica has applied everything its
+// puller fed it (or timeout passes), reporting whether the drain finished.
+// Called after StopPulls, when lastFed is final, so a promotion extracts a
+// store that reflects every pulled entry.
+func (n *Node) DrainApplied(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		done := true
+		for i := range n.reps {
+			if n.reps[i].appliedSeq.Load() < n.lastFed[i].Load() {
+				done = false
+				break
+			}
+		}
+		if done {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+}
+
+// ExtractShard hands shard i's replica state to a promotion: the store,
+// the last applied log position, and the applied watermark, captured
+// atomically on the apply loop. copyStore leaves the replica its own copy
+// (the fencing-disabled chaos twin keeps applying the deposed feed).
+func (n *Node) ExtractShard(i int, copyStore bool) (st *mvstore.Store, seq uint64, wm truetime.Timestamp) {
+	return n.reps[i].extract(copyStore)
+}
+
+// RecentUpTo returns shard i's retained contiguous entry suffix ending at
+// position upto (nil when the suffix doesn't reach or cover it) — the seed
+// for the promoted leader's Group.Restore.
+func (n *Node) RecentUpTo(i int, upto uint64) []Entry {
+	n.recentMu.Lock()
+	defer n.recentMu.Unlock()
+	r := n.recent[i]
+	if len(r) == 0 || upto == 0 {
+		return nil
+	}
+	last := r[len(r)-1].Seq
+	if last < upto || r[0].Seq > upto {
+		return nil
+	}
+	cut := len(r) - int(last-upto)
+	out := make([]Entry, cut)
+	copy(out, r[:cut])
+	return out
+}
+
+// RaiseEpochFloors fences every shard replica at epoch e: entries stamped
+// with a lower epoch are dropped from then on.
+func (n *Node) RaiseEpochFloors(e uint64) {
+	for _, r := range n.reps {
+		r.raiseEpochFloor(e)
+	}
+}
+
+// FencedDrops sums entries refused by the epoch floors across shards.
+func (n *Node) FencedDrops() int64 {
+	var s int64
+	for _, r := range n.reps {
+		s += int64(r.fencedDrops.Load())
+	}
+	return s
+}
+
+// MarkPromoted records that the node's replica state was handed to a
+// promoted server: OpReplRead is refused from then on (the authoritative
+// store moved), while OpView and OpMetrics keep answering.
+func (n *Node) MarkPromoted() { n.promoted.Store(true) }
+
+// Promoted reports whether this node has been promoted.
+func (n *Node) Promoted() bool { return n.promoted.Load() }
+
+// LastContact returns when the leader last answered a pull (unix nanos) —
+// the lease the promotion monitor watches.
+func (n *Node) LastContact() int64 { return n.lastContact.Load() }
+
+// MaxEpoch returns the highest view epoch the node has seen.
+func (n *Node) MaxEpoch() uint64 { return n.maxEpoch.Load() }
+
+// Registry returns the node's metrics registry, so the viewchange
+// supervisor can add its instruments (view epoch, change duration) to the
+// same scrape.
+func (n *Node) Registry() *obs.Registry { return n.reg }
+
+// SetViewHooks installs the handlers behind OpView and OpPromote on the
+// read listener. Installed by the viewchange supervisor; with nil hooks
+// the node answers OpView from its own state and refuses OpPromote.
+func (n *Node) SetViewHooks(view func() (uint64, string), promote func(epoch uint64, leader string) (uint64, string, error)) {
+	n.hookMu.Lock()
+	n.viewFn = view
+	n.promoteFn = promote
+	n.hookMu.Unlock()
+}
+
+func (n *Node) serveView(req *wire.Request) *wire.Response {
+	n.hookMu.Lock()
+	view := n.viewFn
+	n.hookMu.Unlock()
+	resp := &wire.Response{ID: req.ID, Op: req.Op, OK: true}
+	if view != nil {
+		resp.Epoch, resp.Value = view()
+	} else {
+		resp.Epoch, resp.Value = n.maxEpoch.Load(), n.cfg.Leader
+	}
+	return resp
+}
+
+func (n *Node) servePromote(req *wire.Request) *wire.Response {
+	n.hookMu.Lock()
+	promote := n.promoteFn
+	n.hookMu.Unlock()
+	if promote == nil {
+		return &wire.Response{ID: req.ID, Op: req.Op, Err: "replica does not accept promotion"}
+	}
+	epoch, leader, err := promote(req.Epoch, req.Value)
+	if err != nil {
+		return &wire.Response{ID: req.ID, Op: req.Op, Err: err.Error(), Epoch: epoch, Value: leader}
+	}
+	return &wire.Response{ID: req.ID, Op: req.Op, OK: true, Epoch: epoch, Value: leader}
 }
 
 // serveReads accepts the leader's dial-back connections and serves
@@ -566,8 +816,28 @@ func (n *Node) handleReadConn(nc net.Conn) {
 			cw.Send(obs.MetricsResponse(req, n.reg))
 			continue
 		}
+		if req.Op == wire.OpView {
+			cw.Send(n.serveView(req))
+			continue
+		}
+		if req.Op == wire.OpPromote {
+			// Promotion can take a while (drain + catch-up + server open);
+			// answer on a goroutine so the connection keeps serving.
+			pending.Add(1)
+			go func(req *wire.Request) {
+				defer pending.Done()
+				cw.Send(n.servePromote(req))
+			}(req)
+			continue
+		}
 		if req.Op != wire.OpReplRead {
-			cw.Send(&wire.Response{ID: req.ID, Op: req.Op, Err: "replica serves repl-read and metrics only"})
+			cw.Send(&wire.Response{ID: req.ID, Op: req.Op, Err: "replica serves repl-read, view, promote, and metrics only"})
+			continue
+		}
+		if n.promoted.Load() {
+			// The authoritative store moved into the promoted server; a
+			// read served from the frozen replica copy would be stale.
+			cw.Send(&wire.Response{ID: req.ID, Op: req.Op, Err: "replica promoted", NotLeader: true})
 			continue
 		}
 		shard := int(req.TxnID)
@@ -613,13 +883,17 @@ func (n *Node) Close() {
 		return
 	}
 	close(n.quit)
+	if !n.pullsClosed.Swap(true) {
+		close(n.pullQuit)
+	}
 	n.ln.Close()
 	n.mu.Lock()
 	for nc := range n.conns {
 		nc.Close()
 	}
 	n.mu.Unlock()
-	n.pool.Close()
+	n.leaderPool().Close()
+	n.pullWG.Wait()
 	n.wg.Wait()
 	for _, r := range n.reps {
 		close(r.ch)

@@ -68,9 +68,19 @@ type replica struct {
 	// alive is cleared by Kill; a dead replica serves nothing.
 	alive atomic.Bool
 	// onAck, if set, forwards acknowledgments off-process (the Node's
-	// OpReplAck sender). Called from the loop, after the atomics update;
-	// it must not block.
+	// OpReplAck sender) or wakes the leader's synchronous-replication
+	// waiters (ChanTransport). Called from the loop, after the atomics
+	// update; it must not block.
 	onAck func(seq uint64, w truetime.Timestamp)
+
+	// epochFloor is the fence: entries stamped with a lower (nonzero)
+	// epoch are dropped instead of applied. Raised by promotion (the
+	// replica joins a newer view) and automatically when a higher epoch
+	// appears in the log.
+	epochFloor atomic.Uint64
+	// fencedDrops counts entries refused by the epoch floor — the
+	// observable half of fencing, scraped into metrics.
+	fencedDrops atomic.Uint64
 }
 
 func newReplica(id, shard int, chaos Chaos) *replica {
@@ -197,7 +207,17 @@ func (r *replica) drainParked() {
 
 // apply installs one entry. Entries arrive in log order; the watermark is
 // clamped monotone anyway so a replayed prefix cannot regress t_safe.
+// Entries stamped with an epoch below the fence floor are dropped whole —
+// neither their writes nor their watermark claims are trusted, because
+// they come from a leader deposed out of the view this replica serves.
 func (r *replica) apply(e Entry) {
+	if e.Epoch != 0 {
+		if floor := r.epochFloor.Load(); e.Epoch < floor {
+			r.fencedDrops.Add(1)
+			return
+		}
+		r.raiseEpochFloor(e.Epoch)
+	}
 	if e.Kind == EntryCommit {
 		for _, kv := range e.Writes {
 			r.store.Write(kv.Key, kv.Value, e.TS)
@@ -296,6 +316,44 @@ func (r *replica) ack(seq uint64, w truetime.Timestamp) {
 	}
 }
 
+// raiseEpochFloor lifts the fence floor monotonically: once the replica
+// has seen epoch e, entries from any lower epoch are refused forever.
+func (r *replica) raiseEpochFloor(e uint64) {
+	for {
+		cur := r.epochFloor.Load()
+		if e <= cur || r.epochFloor.CompareAndSwap(cur, e) {
+			return
+		}
+	}
+}
+
+// extract hands the replica's state to a promotion: the multi-version
+// store, the last applied log position, and the applied safe-time
+// watermark, captured atomically on the apply loop so no entry is half
+// reflected. With copyStore the store is deep-copied (the replica keeps
+// serving its own — the fencing-disabled chaos twin needs the deposed
+// feed and the promoted server to diverge without sharing memory);
+// otherwise ownership transfers and the caller must have stopped the
+// replica's feed first.
+func (r *replica) extract(copyStore bool) (st *mvstore.Store, seq uint64, wm truetime.Timestamp) {
+	done := make(chan struct{})
+	r.ctrl <- func() {
+		if copyStore {
+			st = mvstore.New()
+			r.store.Dump(func(key string, v mvstore.Version) {
+				st.Write(key, v.Value, v.TS)
+			})
+		} else {
+			st = r.store
+		}
+		seq = r.appliedSeq.Load()
+		wm = truetime.Timestamp(r.applied.Load())
+		close(done)
+	}
+	<-done
+	return st, seq, wm
+}
+
 // Read serves a snapshot read at tread from the replica, waiting up to
 // timeout for its t_safe to cover tread. A replica never serves a read
 // above its own applied watermark (the property the delayed-applies chaos
@@ -342,8 +400,11 @@ type ChanTransport struct {
 	detached atomic.Bool
 }
 
-func newChanTransport(id, shard int, chaos Chaos) *ChanTransport {
+func newChanTransport(id, shard int, chaos Chaos, notify func()) *ChanTransport {
 	t := &ChanTransport{r: newReplica(id, shard, chaos)}
+	if notify != nil {
+		t.r.onAck = func(uint64, truetime.Timestamp) { notify() }
+	}
 	go t.r.loop()
 	return t
 }

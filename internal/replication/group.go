@@ -39,8 +39,11 @@ type Group struct {
 	retain     int
 	lastWM     truetime.Timestamp // newest appended watermark (any kind)
 	appendC    chan struct{}      // closed and replaced on append (broadcast)
+	ackC       chan struct{}      // closed and replaced on ack progress (broadcast)
 	closed     bool
+	fenced     bool // a newer epoch exists; appends are refused, WaitAcked aborts
 	keepLog    bool // retain the log (up to the cap) even with no pull replicas
+	epoch      uint64
 
 	// active mirrors len(transports) > 0 so hot paths (Route, the shard
 	// replicate call sites) can skip the mutex when the group is idle.
@@ -52,11 +55,26 @@ type Group struct {
 // followers and starts their apply goroutines. Unreplicated shards that
 // also refuse replica joins keep a nil *Group rather than an empty one.
 func NewGroup(shard, n int, chaos Chaos) *Group {
-	g := &Group{shard: shard, retain: DefaultRetain, appendC: make(chan struct{})}
+	g := &Group{shard: shard, retain: DefaultRetain, appendC: make(chan struct{}), ackC: make(chan struct{})}
 	for i := 0; i < n; i++ {
-		g.Attach(newChanTransport(i, shard, chaos))
+		g.Attach(newChanTransport(i, shard, chaos, g.noteAck))
 	}
 	return g
+}
+
+// SetEpoch installs the view epoch stamped on every subsequent append.
+// Called once at open (or promotion) before the shard loops start.
+func (g *Group) SetEpoch(e uint64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.epoch = e
+}
+
+// Epoch returns the view epoch the group stamps on appends.
+func (g *Group) Epoch() uint64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.epoch
 }
 
 // SetRetain caps the retained log suffix (entries). Only meaningful before
@@ -98,10 +116,93 @@ func (g *Group) Detach(t Transport) bool {
 				g.nPull--
 			}
 			g.active.Store(len(g.transports) > 0)
+			// Wake ack waiters: the detached transport may have been the
+			// one WaitAcked was waiting on, and eligibility just changed.
+			close(g.ackC)
+			g.ackC = make(chan struct{})
 			return true
 		}
 	}
 	return false
+}
+
+// noteAck wakes WaitAcked parkers: some follower's acknowledged position
+// advanced. Called from ack paths (in-process apply loops, the server's
+// OpReplAck handler) — never from the shard apply loop, so a flush parked
+// in WaitAcked cannot deadlock against the wake-up it needs.
+func (g *Group) noteAck() {
+	g.mu.Lock()
+	close(g.ackC)
+	g.ackC = make(chan struct{})
+	g.mu.Unlock()
+}
+
+// NoteAck is the exported wake hook for ack progress recorded outside the
+// group (the server folds OpReplAck messages into SockTransports directly).
+func (g *Group) NoteAck() { g.noteAck() }
+
+// WaitAcked blocks until some live routable follower has acknowledged
+// applying through log position seq, the group has no eligible follower
+// left (nothing to wait for — the leader proceeds unreplicated, as before
+// synchronous mode), or quit closes. It returns false only when the group
+// was fenced or closed while waiting: the caller is no longer the leader
+// and must abandon the flush rather than release responses.
+//
+// This is the synchronous-replication gate (Config.SyncRepl): called by the
+// shard flush between replication append and response release, it ensures
+// every acknowledged write survives a leader loss that promotes a follower
+// — the property the RSS checker needs to hold across a merged
+// pre/post-failover history.
+func (g *Group) WaitAcked(seq uint64, quit <-chan struct{}) bool {
+	for {
+		g.mu.Lock()
+		if g.closed || g.fenced {
+			g.mu.Unlock()
+			return false
+		}
+		eligible := false
+		for _, t := range g.transports {
+			if !t.Alive() || !t.Routable() {
+				continue
+			}
+			eligible = true
+			if t.AckedSeq() >= seq {
+				g.mu.Unlock()
+				return true
+			}
+		}
+		ch := g.ackC
+		g.mu.Unlock()
+		if !eligible {
+			return true // no follower to wait for; degrade to async
+		}
+		select {
+		case <-ch:
+		case <-quit:
+			return true // shutdown path: let the flush finish draining
+		}
+	}
+}
+
+// Fence marks the group deposed: a newer epoch exists. Appends return 0
+// without sequencing, and WaitAcked parkers wake returning false so an
+// in-flight flush abandons instead of releasing responses for writes the
+// new view will never hold.
+func (g *Group) Fence() {
+	g.mu.Lock()
+	if !g.fenced {
+		g.fenced = true
+		close(g.ackC)
+		g.ackC = make(chan struct{})
+	}
+	g.mu.Unlock()
+}
+
+// Fenced reports whether the group has been fenced out of its view.
+func (g *Group) Fenced() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.fenced
 }
 
 // Active reports whether any transport is attached — the cheap guard the
@@ -169,12 +270,13 @@ func (g *Group) AppendBatch(entries []Entry) uint64 {
 // practice, but mixtures work) are retained for pull replicas.
 func (g *Group) appendOwned(es []Entry) uint64 {
 	g.mu.Lock()
-	if g.closed {
+	if g.closed || g.fenced {
 		g.mu.Unlock()
 		return 0
 	}
 	nData := 0
 	for i := range es {
+		es[i].Epoch = g.epoch
 		if es[i].Watermark > g.lastWM {
 			g.lastWM = es[i].Watermark
 		}
@@ -430,6 +532,8 @@ func (g *Group) Close() {
 	g.nPull = 0
 	g.active.Store(false)
 	close(g.appendC)
+	close(g.ackC)
+	g.ackC = make(chan struct{})
 	g.mu.Unlock()
 	for _, t := range ts {
 		t.Close()

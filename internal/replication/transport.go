@@ -82,6 +82,11 @@ type Entry struct {
 	// that has applied through this entry may serve snapshot reads at any
 	// t_read ≤ Watermark.
 	Watermark truetime.Timestamp
+	// Epoch is the leader's view epoch at append (Group.SetEpoch). A
+	// follower whose fence floor has moved past it drops the entry: this
+	// is the replica half of epoch fencing — a deposed leader's late
+	// appends cannot reach a follower that has joined a newer view.
+	Epoch uint64
 	// Writes is the commit's write set on this shard (nil otherwise).
 	Writes []wire.KV
 }

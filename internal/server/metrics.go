@@ -41,6 +41,10 @@ import (
 //	admission.rejects   ctr   operations refused by admission control
 //	admission.delayed   ctr   operations that parked in a delay queue
 //	admission.tokens    gauge bucket level summed over shard gates
+//	view.epoch          gauge view epoch led (or the deposing epoch once
+//	                          fenced)
+//	view.fenced         ctr   view fencings applied (normally 0 or 1)
+//	view.not_leader_rejects ctr serving requests refused after fencing
 //	slow_ops            ctr   requests over Config.SlowOpThreshold
 //	repl.safe_time_age_ns  gauge  freshest follower t_safe lag, max/shards
 //	apply.queue_depth_now  gauge  apply channel depth summed over shards
@@ -151,6 +155,14 @@ func newServerMetrics(srv *Server) *serverMetrics {
 			return n
 		})
 	}
+	r.CounterFunc("view.fenced", st.Fenced.Load)
+	r.CounterFunc("view.not_leader_rejects", st.NotLeaderRejects.Load)
+	r.Gauge("view.epoch", func() int64 {
+		if e := srv.fencedEpoch.Load(); e != 0 {
+			return int64(e)
+		}
+		return int64(srv.cfg.Epoch)
+	})
 	r.CounterFunc("slow_ops", m.slow.Slow)
 	r.Gauge("repl.safe_time_age_ns", func() int64 { return int64(srv.ReplicationLag()) })
 	r.Gauge("apply.queue_depth_now", func() int64 {

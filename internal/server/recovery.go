@@ -99,6 +99,12 @@ func (srv *Server) recover() error {
 		rp := &replays[i]
 		rp.rec = rec
 		rp.prepares = map[uint64]*wal.Record{}
+		if rec.MaxEpoch > srv.cfg.Epoch {
+			// The logs carry a higher view epoch than configured: a restarted
+			// leader resumes the view it last led rather than regressing to a
+			// stale number a live follower would fence out.
+			srv.cfg.Epoch = rec.MaxEpoch
+		}
 		if rec.Torn {
 			srv.recovery.TornTails++
 		}

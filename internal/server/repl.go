@@ -168,6 +168,10 @@ func (srv *Server) replAck(req *wire.Request, cw *connWriter) {
 	srv.replMu.Unlock()
 	if reg != nil {
 		reg.transports[req.TxnID].RecordAck(req.Seq, truetime.Timestamp(req.TMin))
+		// Wake any flush parked in WaitAcked (Config.SyncRepl): the ack was
+		// folded into the transport outside the group, so the group's own
+		// ack broadcast never fired.
+		srv.shards[req.TxnID].repl.NoteAck()
 	}
 	cw.Send(&wire.Response{ID: req.ID, Op: req.Op, OK: reg != nil})
 }

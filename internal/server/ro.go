@@ -7,7 +7,6 @@ import (
 	"rsskv/internal/obs"
 	"rsskv/internal/replication"
 	"rsskv/internal/truetime"
-	"rsskv/internal/wal"
 	"rsskv/internal/wire"
 )
 
@@ -88,6 +87,11 @@ type roWaiter struct {
 	parkedAt time.Time
 
 	reply chan roShardReply
+	// sync receives the flush outcome covering a leader-served portion
+	// (durability plus, under SyncRepl, the follower ack); roReply
+	// registers the deferral and marks the reply so the coordinator knows
+	// to drain it before responding.
+	sync chan bool
 }
 
 // roVal is a versioned read result, shard → coordinator.
@@ -114,13 +118,13 @@ type roShardReply struct {
 	// read (the scratch must not be pooled).
 	follower bool
 	leaked   bool
-	// wal and lsn pin the durability point covering a leader-served
-	// portion: the versions read may sit in the shard's current unsynced
-	// batch, so the coordinator waits them durable before responding.
+	// sync marks a leader-served portion whose versions may sit in the
+	// shard's current unsynced (or, under SyncRepl, unacked) batch: the
+	// shard registered a flush deferral and the coordinator must drain
+	// one outcome from the waiter's sync channel before responding.
 	// Follower portions carry none — followers only ever see entries that
 	// were already durable on the leader.
-	wal *wal.Log
-	lsn uint64
+	sync bool
 }
 
 // roScratch is the per-request fan-out state of a snapshot read, pooled on
@@ -136,6 +140,7 @@ type roScratch struct {
 	vals     map[string]roVal
 	skipped  []roSkip
 	reply    chan roShardReply
+	syncCh   chan bool // leader-served portions' flush outcomes
 	trace    obs.Trace // per-stage timeline for the slow-op log
 }
 
@@ -145,6 +150,7 @@ func (srv *Server) newROScratch() *roScratch {
 		perShard: make([][]string, len(srv.shards)),
 		vals:     make(map[string]roVal),
 		reply:    make(chan roShardReply, len(srv.shards)),
+		syncCh:   make(chan bool, len(srv.shards)),
 	}
 }
 
@@ -160,6 +166,9 @@ func (sc *roScratch) release(srv *Server) {
 	}
 	sc.shardIDs = sc.shardIDs[:0]
 	sc.skipped = sc.skipped[:0]
+	for len(sc.syncCh) > 0 {
+		<-sc.syncCh
+	}
 	sc.trace.Reset()
 	srv.roPool.Put(sc)
 }
@@ -237,7 +246,12 @@ func (s *shard) roReply(w *roWaiter) {
 	}
 	reply.leaked = w.leaked
 	if s.wal != nil {
-		reply.wal, reply.lsn = s.wal, s.wal.AppendedLSN()
+		// The versions just read may sit in the current unsynced batch —
+		// and, under SyncRepl, in a batch the follower has not acknowledged
+		// — so the response waits out the shard's flush deferral, which
+		// covers both (see shard.flush).
+		reply.sync = true
+		s.afterSync(func(ok bool) { w.sync <- ok })
 	}
 	w.reply <- reply
 }
@@ -251,7 +265,7 @@ func (s *shard) roReply(w *roWaiter) {
 // so watermark parks and timeouts across shards overlap instead of
 // serializing; the reply lands on the coordinator's fan-out channel
 // either way.
-func (srv *Server) followerRead(s *shard, f replication.Transport, keys []string, tread, tmin truetime.Timestamp, reply chan roShardReply) {
+func (srv *Server) followerRead(s *shard, f replication.Transport, keys []string, tread, tmin truetime.Timestamp, reply chan roShardReply, sync chan bool) {
 	fvals, ok, abandoned := f.Read(tread, keys, srv.cfg.FollowerReadTimeout)
 	if ok {
 		srv.stats.ROFollower.Add(1)
@@ -264,7 +278,7 @@ func (srv *Server) followerRead(s *shard, f replication.Transport, keys []string
 		return
 	}
 	srv.stats.ROFallback.Add(1)
-	w := &roWaiter{keys: keys, tread: tread, tmin: tmin, leaked: abandoned, reply: reply}
+	w := &roWaiter{keys: keys, tread: tread, tmin: tmin, leaked: abandoned, reply: reply, sync: sync}
 	if !s.run(func() { s.roRead(w) }) {
 		return // server closing; the coordinator abandons via srv.quit
 	}
@@ -395,23 +409,19 @@ func (srv *Server) readOnly(req *wire.Request, cw *connWriter) {
 		// phantom fallbacks.
 		if s.repl != nil && s.repl.Active() && !chaos {
 			if f := s.repl.Route(tread, lagBudget); f != nil {
-				go srv.followerRead(s, f, ks, tread, tmin, sc.reply)
+				go srv.followerRead(s, f, ks, tread, tmin, sc.reply, sc.syncCh)
 				continue
 			}
 			srv.stats.ROFallback.Add(1)
 		}
-		w := &roWaiter{keys: ks, tread: tread, tmin: tmin, chaos: chaos, reply: sc.reply}
+		w := &roWaiter{keys: ks, tread: tread, tmin: tmin, chaos: chaos, reply: sc.reply, sync: sc.syncCh}
 		if !s.run(func() { s.roRead(w) }) {
 			cw.Send(&wire.Response{ID: req.ID, Op: req.Op, Err: errClosed.Error()})
 			return // abandoned: pending sends may still land on sc.reply
 		}
 	}
 	followerShards := 0
-	type dwait struct {
-		wal *wal.Log
-		lsn uint64
-	}
-	var dwaits []dwait
+	nsync := 0
 	for i := 0; i < fanout; i++ {
 		select {
 		case r := <-sc.reply:
@@ -428,8 +438,8 @@ func (srv *Server) readOnly(req *wire.Request, cw *connWriter) {
 				sc.vals[v.Key] = roVal{value: v.Value, ts: v.TS}
 			}
 			sc.skipped = append(sc.skipped, r.skipped...)
-			if r.wal != nil {
-				dwaits = append(dwaits, dwait{r.wal, r.lsn})
+			if r.sync {
+				nsync++
 			}
 		case <-srv.quit:
 			cw.Send(&wire.Response{ID: req.ID, Op: req.Op, Err: errClosed.Error()})
@@ -461,18 +471,21 @@ func (srv *Server) readOnly(req *wire.Request, cw *connWriter) {
 		}
 		select {
 		case out := <-sk.ch:
+			if out.lost {
+				// The resolution's flush failed (crash, or fenced mid-ack):
+				// the outcome this snapshot would have placed itself against
+				// may not exist in the next view, so the response is dropped.
+				return // abandoned: scratch leaks like other abandon paths
+			}
 			if out.committed && out.tc <= tsnap {
 				for _, kv := range out.writes {
 					if cur, wanted := sc.vals[kv.Key], sc.seen[kv.Key]; wanted && out.tc > cur.ts {
 						sc.vals[kv.Key] = roVal{value: kv.Value, ts: out.tc}
 					}
 				}
-				if out.wal != nil {
-					// The folded writes come from a commit whose record may
-					// still be in its shard's unsynced batch; the response
-					// must wait on the LSN that covers it.
-					dwaits = append(dwaits, dwait{out.wal, out.lsn})
-				}
+				// No separate durability wait: watcher outcomes are delivered
+				// from the resolving shard's flush deferral, so a received
+				// outcome is already durable and (SyncRepl) follower-acked.
 			}
 		case <-srv.quit:
 			cw.Send(&wire.Response{ID: req.ID, Op: req.Op, Err: errClosed.Error()})
@@ -480,12 +493,14 @@ func (srv *Server) readOnly(req *wire.Request, cw *connWriter) {
 		}
 	}
 
-	// Read durability: everything this snapshot exposes must survive a
-	// crash before the client may see it. A failed wait means the server
-	// died — a dead process acknowledges nothing, so the response is
-	// dropped (the connection is being torn down anyway).
-	for _, d := range dwaits {
-		if err := d.wal.WaitDurable(d.lsn); err != nil {
+	// Read durability — and, under SyncRepl, the follower ack: everything
+	// this snapshot exposes must survive a crash and a failover before
+	// the client may see it. Each leader-served portion registered one
+	// flush deferral; a false outcome means the batch died with the
+	// process (or a fence deposed it), so the response is dropped (the
+	// connection is being torn down anyway).
+	for i := 0; i < nsync; i++ {
+		if !<-sc.syncCh {
 			return // abandoned: scratch leaks like other abandon paths
 		}
 	}

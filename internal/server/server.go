@@ -103,6 +103,23 @@ type Config struct {
 	// silence acks too: tests using them must finish (or assert) within
 	// this window.
 	ReplicaEvictAfter time.Duration
+	// Epoch is the view epoch this server leads (default 1): stamped on
+	// every replication entry and WAL record, advertised by OpView, and the
+	// number a promotion must exceed to depose this leader. A recovered
+	// leader resumes at the highest epoch its logs carry if that is larger.
+	Epoch uint64
+	// SyncRepl makes the shard flush wait, after the replication append,
+	// for some live follower to acknowledge applying through the shard's
+	// last appended data tail — covering everything the batch's responses
+	// could have observed, not just the batch's own appends — before any
+	// response in the batch is released (requires DataDir —
+	// undurable shards release responses inside the apply closures and have
+	// no deferral point). It is the failover-safety mode: an acknowledged
+	// write is then guaranteed to be present on the follower a view change
+	// promotes, which is what keeps a merged pre/post-failover history RSS.
+	// With no live follower attached the wait degrades to asynchronous
+	// (there is nobody to wait for, exactly the pre-SyncRepl behavior).
+	SyncRepl bool
 	// POReadLag > 0 is the PO-serializability ablation, the live analogue
 	// of the simulator's spanner.ModePO (Table 1's no-fence row): snapshot
 	// reads are served at t_read = max(t_min, TT.now().latest − POReadLag)
@@ -229,6 +246,9 @@ type Stats struct {
 	// touched); AdmitDelayed counts operations that parked in a gate's
 	// delay queue before their outcome (admitted or rejected).
 	AdmitRejects, AdmitDelayed atomic.Int64
+	// Fenced counts view fencings applied to this server (normally 0 or 1);
+	// NotLeaderRejects counts serving-path requests refused after it.
+	Fenced, NotLeaderRejects atomic.Int64
 }
 
 // Server is a sharded key-value server speaking the wire protocol.
@@ -255,7 +275,15 @@ type Server struct {
 	txnPool sync.Pool
 
 	quit chan struct{}
-	wg   sync.WaitGroup
+	// stopping closes at the start of Close, before the connection and
+	// coordinator drain. It is what the SyncRepl ack gate parks on: a
+	// flush waiting for a follower ack stalls its whole apply loop, and
+	// any coordinator queued behind it would keep Close's drain — and so
+	// quit, which closes only after the drain — from ever finishing. By
+	// the time stopping fires the listener and every conn are already
+	// closed, so the responses the woken flush releases reach no client.
+	stopping chan struct{}
+	wg       sync.WaitGroup
 	// loopWG tracks the shard apply loops and the replication heartbeat —
 	// the only goroutines that append to replication groups. Close waits
 	// for them before tearing the groups down, so no append can race a
@@ -266,6 +294,13 @@ type Server struct {
 	// server); crashed is set by Crash and the WAL crash points.
 	recovery RecoveryStats
 	crashed  atomic.Bool
+
+	// fencedEpoch is nonzero once a promotion deposed this leader: the
+	// epoch that fenced it. Serving paths answer NotLeader with it and
+	// newLeader (the promoted leader's address, for client redirect), and
+	// the shard logs and groups refuse further appends (see fenceTo).
+	fencedEpoch atomic.Uint64
+	newLeader   atomic.Value // string
 
 	mu     sync.Mutex
 	ln     net.Listener
@@ -303,7 +338,12 @@ func New(cfg Config) *Server {
 // otherwise (presumed abort; see recovery.go) — and the resolutions are
 // made durable before the shard loops start. Recovery() reports what
 // replay found.
-func Open(cfg Config) (*Server, error) {
+func Open(cfg Config) (*Server, error) { return open(cfg, nil) }
+
+// open is the shared constructor behind Open (seed nil: fresh or
+// crash-recovered) and OpenPromoted (seed non-nil: a follower's replicated
+// state becoming the new view's leader; see promote.go).
+func open(cfg Config, seed []PromotedShard) (*Server, error) {
 	if cfg.Shards <= 0 {
 		cfg.Shards = 8
 	}
@@ -341,10 +381,14 @@ func Open(cfg Config) (*Server, error) {
 	if cfg.DataDir != "" && cfg.CheckpointBytes <= 0 {
 		cfg.CheckpointBytes = 4 << 20
 	}
+	if cfg.Epoch == 0 {
+		cfg.Epoch = 1
+	}
 	srv := &Server{
 		cfg:       cfg,
 		clock:     truetime.NewWallClock(cfg.Epsilon),
 		quit:      make(chan struct{}),
+		stopping:  make(chan struct{}),
 		conns:     map[net.Conn]struct{}{},
 		active:    map[uint64]struct{}{},
 		replicas:  map[string]*replicaReg{},
@@ -374,11 +418,24 @@ func Open(cfg Config) (*Server, error) {
 		}
 	}
 	srv.metrics = newServerMetrics(srv)
-	if cfg.DataDir != "" {
+	if seed != nil {
+		// Promotion: adopt the candidate's replicated state instead of
+		// recovering from disk (the directory, if any, is fresh).
+		if err := srv.installSeed(seed); err != nil {
+			return nil, err
+		}
+	} else if cfg.DataDir != "" {
 		// Recover before the loops start: replay runs single-threaded with
 		// direct access to shard state, exactly like the loops will have.
 		if err := srv.recover(); err != nil {
 			return nil, err
+		}
+	}
+	// After recovery: replay may have raised the epoch above the configured
+	// one (a restarted leader resumes its recovered view, never regresses).
+	for _, s := range srv.shards {
+		if s.repl != nil {
+			s.repl.SetEpoch(srv.cfg.Epoch)
 		}
 	}
 	for _, s := range srv.shards {
@@ -629,6 +686,7 @@ func (srv *Server) Close() {
 		nc.Close()
 	}
 	srv.mu.Unlock()
+	close(srv.stopping)
 	srv.wg.Wait()
 	close(srv.quit)
 	// Only after every appender (shard loops, heartbeat, checkpoint
@@ -679,7 +737,32 @@ func (srv *Server) handleConn(nc net.Conn) {
 	nc.Close()
 }
 
+// rejectNotLeader answers serving-path requests once the server has been
+// fenced out of its view: the NotLeader flag, the fencing epoch, and the
+// promoted leader's address (Value) let the client redirect and retry
+// instead of parsing an error string. Reports whether it sent.
+func (srv *Server) rejectNotLeader(req *wire.Request, cw *connWriter) bool {
+	e := srv.fencedEpoch.Load()
+	if e == 0 {
+		return false
+	}
+	addr, _ := srv.newLeader.Load().(string)
+	srv.stats.NotLeaderRejects.Add(1)
+	cw.Send(&wire.Response{
+		ID: req.ID, Op: req.Op, Err: wire.ErrMsgNotLeader,
+		NotLeader: true, Epoch: e, Value: addr,
+	})
+	return true
+}
+
 func (srv *Server) dispatch(req *wire.Request, cw *connWriter, pending *sync.WaitGroup) {
+	switch req.Op {
+	case wire.OpGet, wire.OpPut, wire.OpBeginTxn, wire.OpCommit, wire.OpMultiGet,
+		wire.OpMultiPut, wire.OpROTxn, wire.OpFence:
+		if srv.rejectNotLeader(req, cw) {
+			return
+		}
+	}
 	switch req.Op {
 	case wire.OpGet:
 		s := srv.shardFor(req.Key)
@@ -739,6 +822,10 @@ func (srv *Server) dispatch(req *wire.Request, cw *connWriter, pending *sync.Wai
 			defer pending.Done()
 			srv.replSnapshot(req, cw)
 		}()
+	case wire.OpView:
+		cw.Send(srv.viewResponse(req))
+	case wire.OpPromote:
+		srv.stepDown(req, cw)
 	case wire.OpMetrics:
 		cw.Send(obs.MetricsResponse(req, srv.metrics.reg))
 	default:

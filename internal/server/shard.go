@@ -88,12 +88,12 @@ type prepOutcome struct {
 	committed bool
 	tc        truetime.Timestamp
 	writes    []wire.KV // this shard's write set (coordinator filters keys)
-	// wal and lsn pin the durability point covering this resolution: an
-	// RO coordinator that folds a committed outcome into its snapshot must
-	// wait it durable before releasing the response, or a crash could take
-	// back a write the read acknowledged (nil/0 on undurable shards).
-	wal *wal.Log
-	lsn uint64
+	// lost marks an outcome whose resolution record did not survive its
+	// shard's flush (a crashed log, or a fence deposing this leader while
+	// synchronous replication waited for the follower's ack). A
+	// coordinator folding a lost outcome into a snapshot must abandon its
+	// response: the write it would expose may not exist in the next view.
+	lost bool
 }
 
 // shard is one partition of the keyspace.
@@ -115,6 +115,15 @@ type shard struct {
 	// group lock, transport hop, and watermark computation are paid per
 	// batch instead of per entry. Loop-only.
 	replBuf []replication.Entry
+	// replTail is the highest data sequence this shard has ever appended
+	// to the group — the position a synchronous flush must see
+	// acknowledged before releasing responses. It is the running maximum
+	// of flushRepl's returns, not the current batch's tail: a batch with
+	// no appends of its own (snapshot reads resolved between write
+	// batches) still observed the store state the last append produced,
+	// and releasing its responses before that append is acked would let a
+	// client witness a write that a failover then loses. Loop-only.
+	replTail uint64
 
 	// wal is the shard's write-ahead log (nil when Config.DataDir is
 	// unset). Every prepare, commit, and abort the loop applies is
@@ -193,14 +202,27 @@ func (s *shard) resolvePrepared(txnID uint64, committed bool, tc truetime.Timest
 	}
 	delete(s.prepared, txnID)
 	out := prepOutcome{committed: committed, tc: tc, writes: p.writes}
-	if s.wal != nil {
-		// Call sites append the resolution record before resolving, so the
-		// current appended LSN covers it; watchers folding the outcome wait
-		// on it (prepOutcome contract).
-		out.wal, out.lsn = s.wal, s.wal.AppendedLSN()
-	}
-	for _, ch := range p.watchers {
-		ch <- out // buffered for exactly this send
+	if len(p.watchers) > 0 {
+		if s.wal != nil {
+			// Watcher delivery rides the flush deferral: call sites append
+			// the resolution record before resolving, so by the time the
+			// deferral runs the record is durable and — under SyncRepl —
+			// acknowledged by the promotable follower. A coordinator folding
+			// the outcome into its snapshot therefore never exposes a write
+			// the next view could lack; a failed flush delivers the outcome
+			// marked lost instead of never (watchers must always hear back).
+			watchers := p.watchers
+			s.afterSync(func(ok bool) {
+				out.lost = !ok
+				for _, ch := range watchers {
+					ch <- out // buffered for exactly this send
+				}
+			})
+		} else {
+			for _, ch := range p.watchers {
+				ch <- out // buffered for exactly this send
+			}
+		}
 	}
 	kept := s.roBlocked[:0]
 	for _, w := range s.roBlocked {
@@ -262,6 +284,7 @@ func (s *shard) walAppend(kind wal.Kind, txnID uint64, ts, tee truetime.Timestam
 	}
 	return s.wal.Append(wal.Record{
 		Kind: kind, TxnID: txnID, TS: int64(ts), TEE: int64(tee), Writes: writes,
+		Epoch: s.srv.cfg.Epoch,
 	})
 }
 
@@ -322,7 +345,27 @@ func (s *shard) flush() {
 			s.gate.noteFsync(time.Since(start))
 		}
 	}
-	s.flushRepl(wm)
+	if tail := s.flushRepl(wm); tail > s.replTail {
+		s.replTail = tail
+	}
+	if s.srv.cfg.SyncRepl && s.replTail > 0 && len(s.postSync) > 0 {
+		// Synchronous replication: the batch's responses stay withheld until
+		// a live follower has acknowledged applying through the last appended
+		// data tail — the write a failover promotes a follower over is then
+		// guaranteed to be on that follower. The wait covers s.replTail, not
+		// just this batch's appends: a read-only batch appends nothing but
+		// its responses still expose the state of the previous append.
+		// WaitAcked degrades to a no-op with no live follower and fails only
+		// when this leader was fenced mid-wait, in which case the responses
+		// must never leave: the new view may not hold these writes.
+		// The park releases on srv.stopping, not srv.quit: quit closes only
+		// after Close drains the coordinators, and a coordinator queued
+		// behind this stalled apply loop would deadlock the drain.
+		if !s.repl.WaitAcked(s.replTail, s.srv.stopping) {
+			s.runPostSync(false)
+			return
+		}
+	}
 	s.runPostSync(true)
 	s.maybeCheckpoint()
 }
@@ -339,15 +382,17 @@ func (s *shard) flush() {
 // holding only a prefix ending at that earlier entry would then serve
 // reads it cannot cover. Non-tail entries carry watermark 0, which
 // followers' monotone clamp ignores. Loop-only.
-func (s *shard) flushRepl(wm truetime.Timestamp) {
+// It returns the batch's tail sequence number (0 on an empty buffer or a
+// fenced group) — the position a synchronous flush waits acknowledged.
+func (s *shard) flushRepl(wm truetime.Timestamp) uint64 {
 	if len(s.replBuf) == 0 {
-		return
+		return 0
 	}
 	if wm == 0 {
 		wm = s.safeWatermark()
 	}
 	s.replBuf[len(s.replBuf)-1].Watermark = wm
-	s.repl.AppendBatch(s.replBuf)
+	tail := s.repl.AppendBatch(s.replBuf)
 	s.srv.metrics.replBatch.Observe(int64(len(s.replBuf)))
 	// AppendBatch copied the entries; drop the write-set references so the
 	// reused buffer doesn't pin them.
@@ -355,6 +400,7 @@ func (s *shard) flushRepl(wm truetime.Timestamp) {
 		s.replBuf[i] = replication.Entry{}
 	}
 	s.replBuf = s.replBuf[:0]
+	return tail
 }
 
 // maybeCheckpoint cuts a checkpoint when the log since the last cut has

@@ -47,11 +47,16 @@ type txnPlan struct {
 	// closure that the same shard's final closure for the transaction
 	// (apply, or abort's release) is queued behind — and release only runs
 	// after the coordinator drained that final round — so no send can land
-	// after release drains the residue below.
+	// after release drains the residue below. syncCh is the exception: its
+	// sends run from the shard flush after the apply closure, so the
+	// success path drains exactly the registered count before releasing,
+	// and every path that cannot (shutdown, a failed sync) leaks the plan
+	// instead of releasing it.
 	notify  chan shardEvent  // lock grants and wounds (2 events/shard)
 	prepCh  chan prepResult  // prepare outcomes
 	applyCh chan applyResult // apply-phase read results + durability points
 	abortCh chan struct{}    // abort-release completions
+	syncCh  chan bool        // per-shard flush outcomes (durability + repl ack)
 
 	trace obs.Trace // per-stage timeline for the slow-op log
 }
@@ -63,14 +68,14 @@ type prepResult struct {
 }
 
 // applyResult is one shard's apply-phase outcome: the read results with
-// their version witnesses, and — on durable shards — the log position
-// the coordinator must wait durable before acknowledging (covers this
-// shard's commit record and everything the reads observed).
+// their version witnesses, and — on durable shards — whether the shard
+// registered a flush deferral the coordinator must drain from syncCh
+// before acknowledging (covers this shard's commit record, everything
+// the reads observed, and — under SyncRepl — the follower ack gate).
 type applyResult struct {
 	kvs  []wire.KV
 	vers []int64
-	wal  *wal.Log
-	lsn  uint64
+	sync bool
 }
 
 func (srv *Server) newTxnPlan() *txnPlan {
@@ -85,6 +90,7 @@ func (srv *Server) newTxnPlan() *txnPlan {
 		prepCh:   make(chan prepResult, n),
 		applyCh:  make(chan applyResult, n),
 		abortCh:  make(chan struct{}, n),
+		syncCh:   make(chan bool, n),
 	}
 }
 
@@ -113,6 +119,9 @@ func (p *txnPlan) release(srv *Server) {
 	}
 	for len(p.abortCh) > 0 {
 		<-p.abortCh
+	}
+	for len(p.syncCh) > 0 {
+		<-p.syncCh
 	}
 	p.trace.Reset()
 	srv.txnPool.Put(p)
@@ -359,7 +368,12 @@ func (srv *Server) runTxn(txnID uint64, readKeys []string, writeKVs []wire.KV) (
 			if s.wal != nil {
 				// Even a read-only participant pins a durability point: its
 				// reads may have observed records still in the current batch.
-				res.wal, res.lsn = s.wal, s.wal.AppendedLSN()
+				// The deferral rides the shard's flush — group commit plus,
+				// under SyncRepl, the follower ack gate — so the transaction
+				// is acknowledged only once every participant's records are
+				// durable and (SyncRepl) on the promotable follower.
+				res.sync = true
+				s.afterSync(func(ok bool) { p.syncCh <- ok })
 			}
 			delete(s.waiters, txn)
 			s.lm.ReleaseAll(txn)
@@ -369,7 +383,7 @@ func (srv *Server) runTxn(txnID uint64, readKeys []string, writeKVs []wire.KV) (
 	}
 	byKey := map[string]string{}
 	verByKey := map[string]int64{}
-	var dwaits []applyResult
+	nsync := 0
 	for range p.shards {
 		select {
 		case res := <-applyCh:
@@ -377,8 +391,8 @@ func (srv *Server) runTxn(txnID uint64, readKeys []string, writeKVs []wire.KV) (
 				byKey[kv.Key] = kv.Value
 				verByKey[kv.Key] = res.vers[i]
 			}
-			if res.wal != nil {
-				dwaits = append(dwaits, res)
+			if res.sync {
+				nsync++
 			}
 		case <-srv.quit:
 			return nil, nil, 0, errClosed
@@ -403,10 +417,14 @@ func (srv *Server) runTxn(txnID uint64, readKeys []string, writeKVs []wire.KV) (
 	}
 	// Durability wait, overlapped with commit wait above: the group
 	// commits covering the shards' records have been running since apply,
-	// so by now they have usually landed. A crash here means the response
-	// must never be sent — a dead process acknowledges nothing.
-	for _, d := range dwaits {
-		if err := d.wal.WaitDurable(d.lsn); err != nil {
+	// so by now their flush outcomes have usually landed on syncCh. A
+	// false outcome means a crash ate the batch or a fence deposed this
+	// leader mid-wait — the response must never be sent (a dead process
+	// acknowledges nothing, and a deposed one may hold writes the new
+	// view lost); the plan is leaked rather than released because the
+	// remaining participants' outcomes may still be in flight.
+	for i := 0; i < nsync; i++ {
+		if !<-p.syncCh {
 			return nil, nil, 0, errClosed
 		}
 	}

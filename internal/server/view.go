@@ -1,0 +1,79 @@
+package server
+
+import "rsskv/internal/wire"
+
+// Leadership views. A kv server leads exactly one view, numbered by
+// Config.Epoch; it never installs a newer view over itself in place —
+// promotion builds a fresh server (OpenPromoted) from the candidate's
+// replicated state. What this file handles is the other side: answering
+// view queries (OpView) and being deposed (OpPromote with a higher epoch),
+// after which every serving-path request is refused with NotLeader and the
+// new leader's address so clients redirect.
+
+// viewResponse answers an OpView query with the epoch and leader address
+// this server believes in: its own while it leads, the deposing view's once
+// fenced. The NotLeader flag carries "that leader is not me".
+func (srv *Server) viewResponse(req *wire.Request) *wire.Response {
+	resp := &wire.Response{ID: req.ID, Op: req.Op, OK: true}
+	if e := srv.fencedEpoch.Load(); e != 0 {
+		addr, _ := srv.newLeader.Load().(string)
+		resp.Epoch, resp.Value, resp.NotLeader = e, addr, true
+		return resp
+	}
+	resp.Epoch, resp.Value = srv.cfg.Epoch, srv.Addr()
+	return resp
+}
+
+// stepDown handles an OpPromote order addressed to a leader: a view with a
+// strictly higher epoch exists (req.Epoch, led by req.Value), so fence this
+// one. The response is best-effort — fencing severs every client
+// connection, including possibly the one the order arrived on — and the
+// promotion does not depend on it: a partitioned old leader is fenced
+// implicitly by its followers' epoch floors and by replica eviction.
+func (srv *Server) stepDown(req *wire.Request, cw *connWriter) {
+	if req.Epoch <= srv.cfg.Epoch {
+		cw.Send(&wire.Response{
+			ID: req.ID, Op: req.Op,
+			Err:   "stale promote epoch",
+			Epoch: srv.cfg.Epoch, Value: srv.Addr(),
+		})
+		return
+	}
+	cw.Send(&wire.Response{ID: req.ID, Op: req.Op, OK: true, Epoch: req.Epoch})
+	srv.fenceTo(req.Epoch, req.Value)
+}
+
+// fenceTo deposes this server in favor of a higher-epoch view: record the
+// epoch and new leader for NotLeader responses, fence every shard's
+// replication group (appends refused, SyncRepl waits abandoned) and WAL
+// (syncs refused — durability freezes where the last fsync left it, so
+// nothing is acknowledged past the fence), then sever every client
+// connection so in-flight operations surface as connection errors rather
+// than hanging on responses that will never be released. The listener
+// stays up: later requests get clean NotLeader redirects.
+func (srv *Server) fenceTo(epoch uint64, leader string) {
+	for {
+		cur := srv.fencedEpoch.Load()
+		if cur >= epoch {
+			return // already fenced at least this far
+		}
+		if srv.fencedEpoch.CompareAndSwap(cur, epoch) {
+			break
+		}
+	}
+	srv.newLeader.Store(leader)
+	srv.stats.Fenced.Add(1)
+	for _, s := range srv.shards {
+		if s.repl != nil {
+			s.repl.Fence()
+		}
+		if s.wal != nil {
+			s.wal.Fence()
+		}
+	}
+	srv.mu.Lock()
+	for nc := range srv.conns {
+		nc.Close()
+	}
+	srv.mu.Unlock()
+}

@@ -1,0 +1,422 @@
+package viewchange
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"rsskv/internal/core"
+	"rsskv/internal/history"
+	"rsskv/internal/kvclient"
+	"rsskv/internal/loadgen"
+	"rsskv/internal/replication"
+	"rsskv/internal/server"
+)
+
+// The failover acceptance matrix. The clean direction: a leader dies
+// under live traffic, a follower is promoted, and the merged pre/post
+// history passes the RSS checker — acknowledged writes survive the view
+// change, promoted timestamps start above everything the old view could
+// have assigned. The falsifiable twin: the same promotion with fencing
+// disabled leaves the old leader serving beside the new one, and the
+// checker must reject the recorded split brain. Both directions run over
+// real sockets through the same production path CI's kill-the-leader job
+// drives with SIGKILL.
+
+// startLeader opens a durable synchronous-replication leader: the
+// configuration under which acknowledged writes are guaranteed to
+// survive a failover (SyncRepl needs a WAL — see server.Config).
+func startLeader(t *testing.T, cfg server.Config, dir string) *server.Server {
+	t.Helper()
+	cfg.DataDir = dir
+	cfg.SyncRepl = true
+	cfg.AllowReplicaJoin = true
+	srv, err := server.Open(cfg)
+	if err != nil {
+		t.Fatalf("open leader: %v", err)
+	}
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatalf("start leader: %v", err)
+	}
+	return srv
+}
+
+// joinCandidate starts a follower node against the leader and waits until
+// its pullers are live on every shard (SyncRepl only engages once the
+// follower is routable, so loads must not start before this).
+func joinCandidate(t *testing.T, leaderAddr string) *replication.Node {
+	t.Helper()
+	node, err := replication.StartNode(replication.NodeConfig{Leader: leaderAddr})
+	if err != nil {
+		t.Fatalf("node join: %v", err)
+	}
+	t.Cleanup(node.Close)
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if node.Pulls() > 0 && node.MinTSafe() > 0 {
+			return node
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("node never caught up (pulls=%d, min t_safe=%d)", node.Pulls(), node.MinTSafe())
+	return nil
+}
+
+// TestKillLeaderMergedHistoryRSS is the clean direction, two-phase like
+// the crash-point matrix: traffic against the leader, the leader dies
+// (WALs crash with it — promotion must not need them), the candidate is
+// promoted, traffic continues against the new view, and the merged
+// history must be RSS. This is the failover durability contract: nothing
+// any client was told before the kill may be contradicted after it.
+func TestKillLeaderMergedHistoryRSS(t *testing.T) {
+	lead := startLeader(t, server.Config{Shards: 2}, t.TempDir())
+	node := joinCandidate(t, lead.Addr())
+	sup, err := New(Config{Node: node, Leader: lead.Addr()})
+	if err != nil {
+		t.Fatalf("supervisor: %v", err)
+	}
+	defer sup.Close()
+
+	epoch := time.Now()
+	res1, err := loadgen.Run(loadgen.Config{
+		Addr:         lead.Addr(),
+		Clients:      6,
+		OpsPerClient: 300,
+		Keys:         16,
+		KeyPrefix:    "fo",
+		TxnFrac:      0.3,
+		ROFrac:       0.2,
+		MultiFrac:    0.1,
+		Seed:         31,
+		Start:        epoch,
+	})
+	if err != nil {
+		t.Fatalf("pre-kill loadgen: %v", err)
+	}
+
+	lead.Crash() // the data dir dies with the process: promotion is WAL-free
+
+	srv2, e, err := sup.Promote(0)
+	if err != nil {
+		t.Fatalf("promote: %v", err)
+	}
+	t.Cleanup(srv2.Close)
+	if e < 2 {
+		t.Fatalf("promoted epoch %d, want >= 2 (initial leader owns epoch 1)", e)
+	}
+	if ve, _ := sup.View(); ve != e {
+		t.Fatalf("supervisor view epoch %d after promoting epoch %d", ve, e)
+	}
+
+	res2, err := loadgen.Run(loadgen.Config{
+		Addr:         srv2.Addr(),
+		Clients:      6,
+		OpsPerClient: 200,
+		Keys:         16,
+		KeyPrefix:    "fo", // same keyspace: post-failover reads witness pre-kill writes
+		TxnFrac:      0.3,
+		ROFrac:       0.2,
+		MultiFrac:    0.1,
+		Seed:         32,
+		Start:        epoch, // shared epoch: merged real-time edges are comparable
+		ClientBase:   100,
+	})
+	if err != nil {
+		t.Fatalf("post-promotion loadgen: %v", err)
+	}
+
+	merged := history.Merge(res1.H, res2.H)
+	if err := history.RepairPendingVersions(merged); err != nil {
+		t.Fatalf("repair: %v", err)
+	}
+	if err := history.Check(merged, core.RSS); err != nil {
+		t.Fatalf("merged pre/post-failover history violates RSS: %v", err)
+	}
+}
+
+// TestMidRunKillClientsRedirect is the single-run version: the leader is
+// killed while clients are mid-stream, the supervisor promotes, and the
+// same clients must ride the outage out — failed ops recorded pending,
+// the view re-resolved through the candidate's read listener, later ops
+// answered by the new leader — with the whole run's history RSS. It also
+// pins the client-observed MTTR accounting the failover benchmark uses.
+func TestMidRunKillClientsRedirect(t *testing.T) {
+	lead := startLeader(t, server.Config{Shards: 2}, t.TempDir())
+	node := joinCandidate(t, lead.Addr())
+	sup, err := New(Config{Node: node, Leader: lead.Addr()})
+	if err != nil {
+		t.Fatalf("supervisor: %v", err)
+	}
+	defer sup.Close()
+
+	killed := make(chan struct{})
+	go func() {
+		defer close(killed)
+		time.Sleep(50 * time.Millisecond)
+		lead.Crash()
+		if _, _, err := sup.Promote(0); err != nil {
+			t.Errorf("promote: %v", err)
+		}
+	}()
+
+	res, err := loadgen.Run(loadgen.Config{
+		Addr:            lead.Addr(),
+		Fallbacks:       []string{node.Addr()},
+		Clients:         6,
+		OpsPerClient:    800,
+		Keys:            16,
+		KeyPrefix:       "mr",
+		TxnFrac:         0.25,
+		ROFrac:          0.2,
+		Seed:            41,
+		TolerateErrors:  true,
+		ContinueOnError: true,
+	})
+	<-killed
+	if err != nil {
+		t.Fatalf("loadgen: %v", err)
+	}
+	srv2 := sup.Promoted()
+	if srv2 == nil {
+		t.Fatal("supervisor never promoted")
+	}
+	t.Cleanup(srv2.Close)
+
+	if res.Errors == 0 {
+		t.Fatal("leader died mid-run but no op was recorded pending")
+	}
+	if res.Recovered == 0 {
+		t.Fatal("no op completed after the outage began: clients never redirected to the new leader")
+	}
+	t.Logf("rode out the failover: %d pending ops, client-observed MTTR %v",
+		res.Errors, time.Duration(res.Recovered-res.FirstError))
+
+	if err := history.RepairPendingVersions(res.H); err != nil {
+		t.Fatalf("repair: %v", err)
+	}
+	if err := history.Check(res.H, core.RSS); err != nil {
+		t.Fatalf("failover run history violates RSS: %v", err)
+	}
+}
+
+// TestSplitBrainFencingTwins is the falsifiable pair with the old leader
+// ALIVE through the promotion — the case fencing exists for. With
+// fencing, the step-down order deposes the old leader before traffic
+// resumes: its clients are bounced with NotLeader, redirect through the
+// candidate's view service, and everything lands on one timeline — the
+// checker must accept. With NoFence, promotion skips the step-down and
+// the epoch floors: two leaders serve the same keys concurrently, and
+// the checker must reject the recorded split brain.
+func TestSplitBrainFencingTwins(t *testing.T) {
+	run := func(t *testing.T, noFence bool) error {
+		lead := startLeader(t, server.Config{Shards: 2}, t.TempDir())
+		t.Cleanup(lead.Close)
+		node := joinCandidate(t, lead.Addr())
+		sup, err := New(Config{Node: node, Leader: lead.Addr(), NoFence: noFence})
+		if err != nil {
+			t.Fatalf("supervisor: %v", err)
+		}
+		defer sup.Close()
+
+		epoch := time.Now()
+		warm, err := loadgen.Run(loadgen.Config{
+			Addr: lead.Addr(), Clients: 4, OpsPerClient: 100, Keys: 8,
+			KeyPrefix: "sb", TxnFrac: 0.2, ROFrac: 0.2, Seed: 51, Start: epoch,
+		})
+		if err != nil {
+			t.Fatalf("warmup loadgen: %v", err)
+		}
+
+		srv2, _, err := sup.Promote(0)
+		if err != nil {
+			t.Fatalf("promote: %v", err)
+		}
+		t.Cleanup(srv2.Close)
+
+		// Both loads run concurrently on the shared hot keyspace: one aimed
+		// at the old leader (fenced: bounced and redirected; unfenced: the
+		// split brain), one at the new.
+		var wg sync.WaitGroup
+		var resA, resB *loadgen.Result
+		var errA, errB error
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			resA, errA = loadgen.Run(loadgen.Config{
+				Addr: lead.Addr(), Fallbacks: []string{node.Addr()},
+				Clients: 4, OpsPerClient: 150, Keys: 8, KeyPrefix: "sb",
+				TxnFrac: 0.2, ROFrac: 0.3, Seed: 52, Start: epoch, ClientBase: 100,
+				TolerateErrors: true, ContinueOnError: true,
+			})
+		}()
+		go func() {
+			defer wg.Done()
+			resB, errB = loadgen.Run(loadgen.Config{
+				Addr: srv2.Addr(), Clients: 4, OpsPerClient: 150, Keys: 8,
+				KeyPrefix: "sb", TxnFrac: 0.2, ROFrac: 0.3, Seed: 53,
+				Start: epoch, ClientBase: 200,
+			})
+		}()
+		wg.Wait()
+		if errA != nil || errB != nil {
+			t.Fatalf("split loads: %v / %v", errA, errB)
+		}
+
+		if noFence {
+			// The protocol-level fault must actually be in force: the old
+			// leader was never deposed and still answers writes directly.
+			cl, err := kvclient.Dial(lead.Addr(), kvclient.Options{Conns: 1})
+			if err != nil {
+				t.Fatalf("dial old leader: %v", err)
+			}
+			defer cl.Close()
+			if _, err := cl.Put("sb-probe", "alive"); err != nil {
+				t.Fatalf("unfenced old leader refused a write: %v", err)
+			}
+		} else {
+			if lead.Stats().Fenced.Load() == 0 {
+				t.Error("old leader was never fenced by the step-down order")
+			}
+			if lead.Stats().NotLeaderRejects.Load() == 0 {
+				t.Error("fenced leader bounced no client operations")
+			}
+		}
+
+		merged := history.Merge(warm.H, resA.H, resB.H)
+		if err := history.RepairPendingVersions(merged); err != nil {
+			t.Fatalf("repair: %v", err)
+		}
+		return history.Check(merged, core.RSS)
+	}
+
+	t.Run("fenced-accepted", func(t *testing.T) {
+		if err := run(t, false); err != nil {
+			t.Fatalf("fenced failover history rejected: %v", err)
+		}
+	})
+	t.Run("nofence-rejected", func(t *testing.T) {
+		if err := run(t, true); err == nil {
+			t.Fatal("checker accepted a split-brain history recorded with fencing disabled")
+		} else {
+			t.Logf("checker correctly rejected: %v", err)
+		}
+	})
+}
+
+// TestSnapshotCatchUpRacesPromotion covers the candidate that fell behind
+// the leader's log truncation: it joins through the snapshot path (small
+// ReplLogRetain guarantees the log window it needs is gone), is promoted
+// while writes are still racing in, and the promotion must still fence
+// the old leader, serve every acknowledged write, and re-seat a group a
+// fresh replica can join — i.e. the RecentUpTo seed stays valid across
+// the snapshot reset.
+func TestSnapshotCatchUpRacesPromotion(t *testing.T) {
+	lead := startLeader(t, server.Config{Shards: 2, ReplLogRetain: 64}, t.TempDir())
+	t.Cleanup(lead.Close)
+	cl, err := kvclient.Dial(lead.Addr(), kvclient.Options{Conns: 1})
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer cl.Close()
+	// Push the log far past retention before any candidate exists, so the
+	// joining node can only catch up by snapshot.
+	for i := 0; i < 300; i++ {
+		if _, err := cl.Put(fmt.Sprintf("sc-%d", i%32), fmt.Sprintf("v%d", i)); err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+	}
+	node := joinCandidate(t, lead.Addr())
+	if node.Snapshots() == 0 {
+		t.Error("candidate joined a truncated log without a snapshot")
+	}
+	sup, err := New(Config{Node: node, Leader: lead.Addr(),
+		Server: server.Config{AllowReplicaJoin: true}})
+	if err != nil {
+		t.Fatalf("supervisor: %v", err)
+	}
+	defer sup.Close()
+
+	// A writer races the promotion, tracking the last value acknowledged
+	// per key. Its client falls back to the candidate's view service, so
+	// post-fence writes transparently land on the new leader.
+	wcl, err := kvclient.Dial(lead.Addr(), kvclient.Options{Conns: 1, Fallbacks: []string{node.Addr()}})
+	if err != nil {
+		t.Fatalf("dial writer: %v", err)
+	}
+	defer wcl.Close()
+	stop := make(chan struct{})
+	acked := make(map[string]int)
+	var wmu sync.Mutex
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			key := fmt.Sprintf("sc-%d", i%32)
+			if _, err := wcl.Put(key, fmt.Sprintf("race-%d-%d", i%32, i)); err != nil {
+				time.Sleep(2 * time.Millisecond)
+				continue
+			}
+			wmu.Lock()
+			if i > acked[key] {
+				acked[key] = i
+			}
+			wmu.Unlock()
+		}
+	}()
+	time.Sleep(30 * time.Millisecond)
+
+	srv2, e, err := sup.Promote(0)
+	if err != nil {
+		t.Fatalf("promote: %v", err)
+	}
+	t.Cleanup(srv2.Close)
+	if e < 2 {
+		t.Fatalf("promoted epoch %d, want >= 2", e)
+	}
+	time.Sleep(30 * time.Millisecond) // let the writer ride the redirect
+	close(stop)
+	wg.Wait()
+
+	// Fencing: the old leader is deposed and bounces clients at the wire.
+	if lead.Stats().Fenced.Load() == 0 {
+		t.Error("old leader was never fenced")
+	}
+
+	// Every write acknowledged before or after the fence must be visible
+	// at the new leader, at its acknowledged version or a later one by
+	// the same (single) writer.
+	ncl, err := kvclient.Dial(srv2.Addr(), kvclient.Options{Conns: 1})
+	if err != nil {
+		t.Fatalf("dial promoted: %v", err)
+	}
+	defer ncl.Close()
+	wmu.Lock()
+	defer wmu.Unlock()
+	for key, seq := range acked {
+		got, _, err := ncl.Get(key)
+		if err != nil {
+			t.Fatalf("get %q: %v", key, err)
+		}
+		if !strings.HasPrefix(got, "race-") {
+			t.Fatalf("promoted leader lost acknowledged write: %q = %q, want race-*-%d or later", key, got, seq)
+		}
+		n, err := strconv.Atoi(got[strings.LastIndexByte(got, '-')+1:])
+		if err != nil || n < seq {
+			t.Fatalf("promoted leader serves %q = %q, older than acknowledged seq %d", key, got, seq)
+		}
+	}
+
+	// Re-seating: the promoted group must accept a brand-new replica —
+	// the restored log suffix and sequencer survive the snapshot-reset
+	// candidate's promotion.
+	joinCandidate(t, srv2.Addr())
+}

@@ -1,0 +1,315 @@
+// Package viewchange is per-shard-group leader failover: leadership is an
+// epoch-numbered view (leader identity + epoch), and a Supervisor wrapped
+// around a follower replica (replication.Node) can promote it to be the
+// leader of the next view when the current leader is declared dead — by
+// lease expiry (no pull answered within PromoteAfter) or by an explicit
+// OpPromote order on the replica's read listener.
+//
+// Promotion composes machinery that already exists rather than adding a
+// consensus protocol (the paper's systems assume a view service; so does
+// this package — see the README's Failover section for what that leaves
+// out):
+//
+//   - catch-up: the candidate has been continuously pulling the leader's
+//     per-shard logs (internal/replication's pull + snapshot path). With
+//     the leader dead there is nothing more to pull; promotion just stops
+//     the pulls and drains the apply loops, so the extracted stores
+//     reflect every entry the candidate ever held.
+//   - fencing: the new epoch is raised on the candidate's own replicas
+//     (entries stamped with the old epoch are dropped from then on), the
+//     old leader — if still reachable — is ordered to step down
+//     (server-side it fences its WALs and replication groups and answers
+//     NotLeader), and every entry and WAL record the new leader writes
+//     carries the new epoch.
+//   - timestamp flooring: the promoted server floors each shard's
+//     timestamps at the replicated safe-time watermark
+//     (server.OpenPromoted), exactly as WAL recovery floors a restarted
+//     leader — no timestamp the old view may have assigned is reused.
+//   - re-seating: the promoted server's groups restore the candidate's
+//     retained log suffixes (Group.Restore), so sibling replicas resync
+//     from their acknowledged positions; an OpPromote carrying another
+//     leader's address retargets this node's pulls instead (the order a
+//     promoting sibling sends the rest of the group).
+//
+// The NoFence knob disables exactly the fencing steps and nothing else —
+// the falsifiable twin: the candidate keeps pulling and acknowledging the
+// old leader while a second server serves the same shards from a copied
+// store. Histories recorded across that split brain must be rejected by
+// the RSS checker.
+package viewchange
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"rsskv/internal/netio"
+	"rsskv/internal/obs"
+	"rsskv/internal/replication"
+	"rsskv/internal/server"
+	"rsskv/internal/wire"
+)
+
+// Config parameterizes a Supervisor.
+type Config struct {
+	// Node is the follower replica this supervisor can promote (required,
+	// already started).
+	Node *replication.Node
+	// Leader is the current leader's serving address (the one Node joined):
+	// the step-down order's destination and the address OpView reports
+	// while the node follows.
+	Leader string
+	// PromoteAddr is where the promoted server listens (default
+	// "127.0.0.1:0").
+	PromoteAddr string
+	// PromoteAfter > 0 arms the lease monitor: when no pull has been
+	// answered for this long, the node declares the leader dead and
+	// promotes itself. 0 leaves promotion to explicit OpPromote orders.
+	PromoteAfter time.Duration
+	// DrainTimeout bounds the post-StopPulls apply drain (default 2s).
+	DrainTimeout time.Duration
+	// NoFence is the fencing-disabled chaos twin: promotion skips
+	// StopPulls, the epoch floors, the step-down order, and MarkPromoted,
+	// and serves from a copy of the store while the replica keeps
+	// following. Never enable outside chaos runs; recorded histories must
+	// be rejected by the checker.
+	NoFence bool
+	// Server is the promoted server's configuration. Shards and Epoch are
+	// set by the promotion itself; DataDir, if set, must be fresh (the
+	// promoted server checkpoints its seed there). SyncRepl is worth
+	// setting on the old leader AND here: it is what makes acknowledged
+	// writes survive the failover.
+	Server server.Config
+}
+
+// Supervisor watches one follower node and runs its promotion. It installs
+// itself as the node's view hooks, so OpView and OpPromote on the node's
+// read listener are answered here.
+type Supervisor struct {
+	cfg  Config
+	node *replication.Node
+
+	quit chan struct{}
+	wg   sync.WaitGroup
+
+	mu     sync.Mutex
+	srv    *server.Server // non-nil once promoted
+	epoch  uint64         // view epoch this node believes in
+	leader string         // that view's leader address
+
+	changeDur *obs.Histogram
+	promotes  *obs.Counter
+}
+
+// New wraps a started node in a supervisor and installs the view hooks.
+// Call Close before closing the node.
+func New(cfg Config) (*Supervisor, error) {
+	if cfg.Node == nil {
+		return nil, errors.New("viewchange: config needs a Node")
+	}
+	if cfg.PromoteAddr == "" {
+		cfg.PromoteAddr = "127.0.0.1:0"
+	}
+	if cfg.DrainTimeout <= 0 {
+		cfg.DrainTimeout = 2 * time.Second
+	}
+	s := &Supervisor{
+		cfg:    cfg,
+		node:   cfg.Node,
+		quit:   make(chan struct{}),
+		leader: cfg.Leader,
+	}
+	if e := cfg.Node.MaxEpoch(); e > 0 {
+		s.epoch = e
+	}
+	if reg := cfg.Node.Registry(); reg != nil {
+		s.changeDur = reg.Hist("view.change_dur")
+		s.promotes = reg.Counter("view.promotes")
+		reg.Gauge("view.promoted", func() int64 {
+			if s.Promoted() != nil {
+				return 1
+			}
+			return 0
+		})
+	}
+	cfg.Node.SetViewHooks(s.view, s.order)
+	if cfg.PromoteAfter > 0 {
+		s.wg.Add(1)
+		go s.monitor()
+	}
+	return s, nil
+}
+
+// View returns the epoch and leader address this supervisor believes in.
+func (s *Supervisor) View() (uint64, string) { return s.view() }
+
+func (s *Supervisor) view() (uint64, string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	epoch := s.epoch
+	if e := s.node.MaxEpoch(); e > epoch && s.srv == nil {
+		epoch = e
+	}
+	return epoch, s.leader
+}
+
+// Promoted returns the promoted server (nil while still a follower).
+func (s *Supervisor) Promoted() *server.Server {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.srv
+}
+
+// order handles an OpPromote on the node's read listener. An order naming
+// no leader (or this node's own advertise address) means "you are the new
+// leader of epoch e"; an order naming another address means that leader
+// already won the view — retarget the pulls at it.
+func (s *Supervisor) order(epoch uint64, leader string) (uint64, string, error) {
+	if leader == "" || leader == s.node.Advertise() {
+		srv, e, err := s.Promote(epoch)
+		if err != nil {
+			curE, curL := s.view()
+			return curE, curL, err
+		}
+		return e, srv.Addr(), nil
+	}
+	if err := s.node.Retarget(leader); err != nil {
+		curE, curL := s.view()
+		return curE, curL, fmt.Errorf("retarget to %s: %w", leader, err)
+	}
+	s.mu.Lock()
+	if epoch > s.epoch {
+		s.epoch, s.leader = epoch, leader
+	}
+	s.mu.Unlock()
+	return epoch, leader, nil
+}
+
+// monitor is the lease watcher: when the leader has answered nothing for
+// PromoteAfter, the node promotes itself at the next epoch.
+func (s *Supervisor) monitor() {
+	defer s.wg.Done()
+	tick := time.NewTicker(s.cfg.PromoteAfter / 4)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.quit:
+			return
+		case <-tick.C:
+		}
+		if s.Promoted() != nil {
+			return
+		}
+		silent := time.Duration(time.Now().UnixNano() - s.node.LastContact())
+		if silent < s.cfg.PromoteAfter {
+			continue
+		}
+		if _, _, err := s.Promote(0); err == nil {
+			return
+		}
+	}
+}
+
+// Promote makes this node the leader of view epoch (0 picks the next epoch
+// above everything the node has seen). Idempotent: a second call returns
+// the already-promoted server. On success the returned server is listening
+// on Config.PromoteAddr.
+func (s *Supervisor) Promote(epoch uint64) (*server.Server, uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.srv != nil {
+		return s.srv, s.epoch, nil
+	}
+	if e := s.node.MaxEpoch(); epoch <= e {
+		if epoch != 0 {
+			return nil, s.epoch, fmt.Errorf("viewchange: promote epoch %d not above seen epoch %d", epoch, e)
+		}
+		epoch = e + 1
+	}
+	if epoch <= 1 {
+		// The group's initial leader is epoch 1; a node that never saw an
+		// epoch stamp (pre-epoch leader) still must go above it.
+		epoch = 2
+	}
+	start := time.Now()
+
+	if !s.cfg.NoFence {
+		// Fence first: stop following (and acknowledging) the old view,
+		// drain what was already pulled, and refuse anything stamped below
+		// the new epoch. With SyncRepl at the old leader this is the step
+		// that strands its unacknowledged flushes: the only follower stops
+		// acking, so WaitAcked parks until the step-down (or eviction)
+		// fences it — nothing acknowledged there is missing here.
+		s.node.StopPulls()
+		if !s.node.DrainApplied(s.cfg.DrainTimeout) {
+			return nil, s.epoch, errors.New("viewchange: apply drain timed out")
+		}
+		s.node.RaiseEpochFloors(epoch)
+	}
+
+	seed := make([]server.PromotedShard, s.node.Shards())
+	for i := range seed {
+		st, seq, wm := s.node.ExtractShard(i, s.cfg.NoFence)
+		seed[i] = server.PromotedShard{
+			Store: st, NextSeq: seq, Watermark: wm,
+			Recent: s.node.RecentUpTo(i, seq),
+		}
+	}
+
+	scfg := s.cfg.Server
+	scfg.Shards = len(seed)
+	scfg.Epoch = epoch
+	srv, err := server.OpenPromoted(scfg, seed)
+	if err != nil {
+		return nil, s.epoch, err
+	}
+	if err := srv.Start(s.cfg.PromoteAddr); err != nil {
+		srv.Close()
+		return nil, s.epoch, err
+	}
+
+	if !s.cfg.NoFence {
+		s.node.MarkPromoted()
+		// Step-down order to the old leader, best-effort (the usual trigger
+		// is its death): if it is alive it fences its WALs and groups and
+		// redirects clients here. Between our StopPulls and this delivery a
+		// live old leader can still serve reads of old state — the window a
+		// real deployment closes with leases on the read path; here the
+		// SyncRepl ack-starvation bounds the write side only.
+		stepDown(s.cfg.Leader, epoch, srv.Addr())
+	}
+
+	s.srv = srv
+	s.epoch = epoch
+	s.leader = srv.Addr()
+	if s.changeDur != nil {
+		s.changeDur.ObserveSince(start)
+		s.promotes.Inc()
+	}
+	return srv, epoch, nil
+}
+
+// stepDown delivers one best-effort OpPromote to the deposed leader.
+func stepDown(addr string, epoch uint64, newLeader string) {
+	if addr == "" {
+		return
+	}
+	pool, err := netio.DialPool(addr, 1, wire.MaxFrame)
+	if err != nil {
+		return
+	}
+	defer pool.Close()
+	pool.Call(&wire.Request{Op: wire.OpPromote, Epoch: epoch, Value: newLeader})
+}
+
+// Close stops the lease monitor. It does not close the node or a promoted
+// server; their owners do.
+func (s *Supervisor) Close() {
+	select {
+	case <-s.quit:
+	default:
+		close(s.quit)
+	}
+	s.wg.Wait()
+}

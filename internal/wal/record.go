@@ -52,6 +52,7 @@ func appendFramedRecord(buf []byte, r *Record) []byte {
 		buf = appendString(buf, kv.Key)
 		buf = appendString(buf, kv.Value)
 	}
+	buf = binary.AppendUvarint(buf, r.Epoch)
 	return appendFrame(buf, org)
 }
 
@@ -186,6 +187,12 @@ func decodeRecord(payload []byte, r *Record) error {
 			return d.err
 		}
 		r.Writes = append(r.Writes, wire.KV{Key: k, Value: v})
+	}
+	// Epoch is a trailing field added after the first durable format:
+	// records written before it simply end here and decode with epoch 0.
+	r.Epoch = 0
+	if len(d.buf) > 0 {
+		r.Epoch = d.uvarint()
 	}
 	return d.finish()
 }

@@ -22,6 +22,10 @@ type Recovered struct {
 	// torn tail from a crash between append and fsync — which recovery
 	// truncated.
 	Torn bool
+	// MaxEpoch is the highest view epoch stamped on any replayed record
+	// (0 on logs that predate epochs): the floor a restarted leader's own
+	// epoch must clear.
+	MaxEpoch uint64
 }
 
 // CheckpointLSN returns the checkpoint's cut position, 0 without one.
@@ -93,6 +97,9 @@ func recoverDir(dir string) (*Recovered, error) {
 			}
 			valid += len(data) - len(rest)
 			data = rest
+			if r.Epoch > rec.MaxEpoch {
+				rec.MaxEpoch = r.Epoch
+			}
 			// Records below next are already covered by the checkpoint
 			// (a segment straddling the cut); skip them.
 			if lsn >= next {

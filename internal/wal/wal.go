@@ -94,6 +94,11 @@ type Record struct {
 	// replication batch contract: every commit at or below it precedes
 	// this record in the log.
 	Watermark int64
+	// Epoch is the view epoch the leader held when it logged the record.
+	// Recovery surfaces the maximum seen, so a restarted leader rejoins
+	// at the epoch it last served — and a deposed leader's replayed state
+	// is recognizably stale next to the promoted leader's higher epoch.
+	Epoch uint64
 	// Writes is the shard's write set for prepares and commits.
 	Writes []wire.KV
 }
@@ -142,6 +147,13 @@ var ErrCrashed = fmt.Errorf("wal: crashed")
 // final flush covered acknowledges normally, everything past it fails.
 var ErrShutdown = fmt.Errorf("wal: shut down")
 
+// ErrFenced reports an append or sync refused because the log was fenced
+// out of its view: a newer epoch leads the shard group, so nothing this
+// process writes may ever be acknowledged again. Selective like
+// ErrShutdown — waits for records durable before the fence still succeed,
+// waits beyond it fail.
+var ErrFenced = fmt.Errorf("wal: fenced")
+
 // Config parameterizes Open.
 type Config struct {
 	// Dir is the shard's log directory, created if missing.
@@ -175,6 +187,7 @@ type Log struct {
 	durable  atomic.Uint64
 	crashed  atomic.Bool
 	shutdown atomic.Bool
+	fenced   atomic.Bool
 	events   atomic.Int64 // qualifying crash events seen
 	fsyncs   atomic.Uint64
 	bytes    atomic.Uint64
@@ -247,7 +260,7 @@ func (l *Log) openSegment(firstLSN uint64) error {
 // its strength must WaitDurable the returned LSN. Returns 0 after a
 // crash. Loop-only.
 func (l *Log) Append(r Record) uint64 {
-	if l.crashed.Load() {
+	if l.crashed.Load() || l.fenced.Load() {
 		return 0
 	}
 	l.pending = append(l.pending, r)
@@ -273,6 +286,9 @@ func (l *Log) Pending() int { return len(l.pending) }
 func (l *Log) Sync(watermark int64) (int, error) {
 	if l.crashed.Load() {
 		return 0, ErrCrashed
+	}
+	if l.fenced.Load() {
+		return 0, ErrFenced
 	}
 	if len(l.pending) == 0 {
 		return 0, nil
@@ -382,6 +398,25 @@ func (l *Log) Shutdown() {
 	l.mu.Unlock()
 }
 
+// Fence marks the log fenced out of its view: a newer epoch leads the
+// shard group. Pending (unfenced-synced) durability stands, but every
+// future Append is dropped, every future Sync fails with ErrFenced, and
+// WaitDurable parkers beyond the durable LSN wake with ErrFenced — a
+// deposed leader can neither extend its log nor acknowledge in-flight
+// writes the new view will never hold. Safe from any goroutine.
+func (l *Log) Fence() {
+	if l.fenced.Swap(true) {
+		return
+	}
+	l.mu.Lock()
+	close(l.syncC)
+	l.syncC = make(chan struct{})
+	l.mu.Unlock()
+}
+
+// Fenced reports whether the log has been fenced.
+func (l *Log) Fenced() bool { return l.fenced.Load() }
+
 // Crashed reports whether the log hit its crash point or was crashed.
 func (l *Log) Crashed() bool { return l.crashed.Load() }
 
@@ -401,10 +436,13 @@ func (l *Log) WaitDurable(lsn uint64) error {
 		if l.shutdown.Load() {
 			return ErrShutdown
 		}
+		if l.fenced.Load() {
+			return ErrFenced
+		}
 		l.mu.Lock()
 		ch := l.syncC
 		l.mu.Unlock()
-		if l.crashed.Load() || l.shutdown.Load() || l.durable.Load() >= lsn {
+		if l.crashed.Load() || l.shutdown.Load() || l.fenced.Load() || l.durable.Load() >= lsn {
 			continue // re-check outcome above
 		}
 		<-ch
@@ -480,7 +518,7 @@ func (l *Log) RemoveObsoleteSegments(cutLSN uint64) error {
 // log closes without syncing (the crash already froze durability).
 func (l *Log) Close() error {
 	if !l.crashed.Load() {
-		if _, err := l.Sync(0); err != nil && err != ErrCrashed {
+		if _, err := l.Sync(0); err != nil && err != ErrCrashed && err != ErrFenced {
 			return err
 		}
 	}

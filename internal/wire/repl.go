@@ -28,6 +28,10 @@ type ReplEntry struct {
 	TS int64
 	// Watermark is the leader's safe time at append.
 	Watermark int64
+	// Epoch is the view epoch the leader stamped on the entry at append.
+	// Followers drop entries from an epoch below their fence floor, which
+	// is what keeps a deposed leader's late appends out of the new view.
+	Epoch uint64
 	// Writes is a commit's write set on the shard (nil otherwise).
 	Writes []KV
 }
@@ -49,6 +53,7 @@ func AppendReplEntries(buf []byte, es []ReplEntry) []byte {
 		buf = binary.AppendUvarint(buf, e.TxnID)
 		buf = binary.AppendVarint(buf, e.TS)
 		buf = binary.AppendVarint(buf, e.Watermark)
+		buf = binary.AppendUvarint(buf, e.Epoch)
 		buf = binary.AppendUvarint(buf, uint64(len(e.Writes)))
 		for _, kv := range e.Writes {
 			buf = appendString(buf, kv.Key)
@@ -73,6 +78,7 @@ func DecodeReplEntries(payload []byte) ([]ReplEntry, error) {
 		e.TxnID = d.uvarint()
 		e.TS = d.varint()
 		e.Watermark = d.varint()
+		e.Epoch = d.uvarint()
 		if w := d.count(); w > 0 {
 			e.Writes = make([]KV, w)
 			for j := range e.Writes {

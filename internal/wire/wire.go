@@ -99,6 +99,22 @@ const (
 	// which is what lets rssbench assemble one merged cross-process
 	// snapshot.
 	OpMetrics
+	// OpPromote installs a shard-group view {Epoch, leader}: Epoch is the
+	// new view's epoch and Value the new leader's client-serving address.
+	// Sent to a replica node whose advertise address matches Value, it
+	// triggers promotion: catch up, fence the old epoch, start serving.
+	// Sent to a kv leader carrying a higher epoch than its own, it is a
+	// step-down order: the leader fences itself and answers NotLeader from
+	// then on. Sent to any other replica, it retargets the replica's log
+	// pulls at the new leader. Responses echo the view actually installed
+	// (Epoch + leader address in Value).
+	OpPromote
+	// OpView queries a process's current view of a shard group: the
+	// response carries the epoch in Epoch and the leader's client-serving
+	// address in Value. Clients use it to re-locate the leader after a
+	// NotLeader rejection or a dead connection; every daemon personality
+	// answers it.
+	OpView
 )
 
 func (o Op) String() string {
@@ -133,11 +149,15 @@ func (o Op) String() string {
 		return "repl-snapshot"
 	case OpMetrics:
 		return "metrics"
+	case OpPromote:
+		return "promote"
+	case OpView:
+		return "view"
 	}
 	return fmt.Sprintf("op(%d)", uint8(o))
 }
 
-func (o Op) valid() bool { return o >= OpGet && o <= OpMetrics }
+func (o Op) valid() bool { return o >= OpGet && o <= OpView }
 
 // KV is a key-value pair in a batched write or a batched read result.
 type KV struct {
@@ -171,6 +191,9 @@ type Request struct {
 	// holds on OpReplEntry, the last position applied on OpReplAck. Zero
 	// elsewhere.
 	Seq uint64
+	// Epoch is the view epoch on OpPromote (the epoch of the view being
+	// installed). Zero elsewhere.
+	Epoch uint64
 }
 
 // Response is a server→client message.
@@ -226,6 +249,17 @@ type Response struct {
 	// observed value on its version chain even when the writing
 	// operation's own response was lost to the crash.
 	Vers []int64
+	// NotLeader reports that this process has been fenced out of the
+	// shard group's current view and refuses to serve: a newer epoch
+	// exists. Value carries the new leader's address when known and Epoch
+	// the newest epoch this process has seen, so clients can redirect
+	// without a separate view query. Like Overloaded, a NotLeader
+	// rejection leaves zero lock/WAL/replication footprint and the
+	// operation is safe to retry elsewhere.
+	NotLeader bool
+	// Epoch is the responding process's view epoch on OpView, OpPromote,
+	// and NotLeader responses. Zero elsewhere.
+	Epoch uint64
 }
 
 // Framing limits.
@@ -253,6 +287,12 @@ const ErrMsgAborted = "aborted"
 // traces see it too. The client should back off (honoring RetryAfterUS
 // when nonzero) and retry.
 const ErrMsgOverloaded = "overloaded"
+
+// ErrMsgNotLeader is the Err value of a response refused because the
+// process has been fenced out of the current view. The NotLeader flag
+// carries the same fact structurally; Value names the new leader when
+// known.
+const ErrMsgNotLeader = "not leader"
 
 // Protocol errors.
 var (
@@ -284,6 +324,7 @@ func AppendRequest(buf []byte, r *Request) []byte {
 	}
 	buf = binary.AppendVarint(buf, r.TMin)
 	buf = binary.AppendUvarint(buf, r.Seq)
+	buf = binary.AppendUvarint(buf, r.Epoch)
 	return buf
 }
 
@@ -343,6 +384,7 @@ func DecodeRequest(payload []byte) (*Request, error) {
 	}
 	r.TMin = d.varint()
 	r.Seq = d.uvarint()
+	r.Epoch = d.uvarint()
 	if err := d.finish(); err != nil {
 		return nil, err
 	}
@@ -366,6 +408,9 @@ func AppendResponse(buf []byte, r *Response) []byte {
 	if r.Overloaded {
 		flags |= 8
 	}
+	if r.NotLeader {
+		flags |= 16
+	}
 	buf = append(buf, flags)
 	buf = appendString(buf, r.Err)
 	buf = binary.AppendUvarint(buf, r.TxnID)
@@ -382,6 +427,7 @@ func AppendResponse(buf []byte, r *Response) []byte {
 		buf = binary.AppendVarint(buf, v)
 	}
 	buf = binary.AppendVarint(buf, r.RetryAfterUS)
+	buf = binary.AppendUvarint(buf, r.Epoch)
 	return buf
 }
 
@@ -396,13 +442,14 @@ func DecodeResponse(payload []byte) (*Response, error) {
 	}
 	r.ID = d.uvarint()
 	flags := d.byte()
-	if flags > 15 {
+	if flags > 31 {
 		return nil, fmt.Errorf("%w: bad flags %d", ErrBadMessage, flags)
 	}
 	r.OK = flags&1 != 0
 	r.Follower = flags&2 != 0
 	r.Empty = flags&4 != 0
 	r.Overloaded = flags&8 != 0
+	r.NotLeader = flags&16 != 0
 	r.Err = d.string()
 	r.TxnID = d.uvarint()
 	r.Value = d.string()
@@ -430,6 +477,7 @@ func DecodeResponse(payload []byte) (*Response, error) {
 		}
 	}
 	r.RetryAfterUS = d.varint()
+	r.Epoch = d.uvarint()
 	if err := d.finish(); err != nil {
 		return nil, err
 	}

@@ -222,7 +222,8 @@ func TestOversizedEnqueue(t *testing.T) {
 func TestBadResponseFlags(t *testing.T) {
 	full := AppendResponse(nil, &Response{ID: 1, Op: OpDequeue, OK: true, Empty: true})
 	// The flags byte follows the opcode and the ID varint (one byte here).
-	full[2] |= 16
+	// Bit 16 became NotLeader; 32 is the lowest still-reserved bit.
+	full[2] |= 32
 	if _, err := DecodeResponse(full); !errors.Is(err, ErrBadMessage) {
 		t.Errorf("reserved flag bit: got %v, want ErrBadMessage", err)
 	}
